@@ -1,0 +1,101 @@
+"""Figure 3 -- the paper's headline measurement.
+
+"The results of running the OrdinaryIR algorithm for n = 50,000":
+simulated instruction time (SimParC units in the paper; our
+cost-model units here) of the parallel OrdinaryIR solution vs. the
+original sequential loop, swept over the processor count P.
+
+Expected shape (and what the assertions check):
+
+* the sequential curve is flat at Theta(n);
+* the parallel curve is Theta((n/P) log n): slope ~ -1 on log-log
+  axes until P approaches n;
+* the curves cross at a small multiple of log2(n) processors --
+  beyond that the parallel algorithm wins, by ~P/log n at large P.
+
+Absolute instruction counts are cost-model constants, not SimParC's;
+the shape is the reproduction target (see EXPERIMENTS.md).
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis.complexity import loglog_slope
+from repro.analysis.reporting import banner, series_table
+from repro.core import FLOAT_MUL, OrdinaryIRSystem, processor_sweep
+from repro.pram import profile_ordinary
+
+N = 50_000
+P_MAX = 4096
+
+
+def build_system(n=N):
+    """The Fig-3 workload: a maximal chain (worst-case trace depth),
+    matching the paper's use of a full-length recurrence."""
+    initial = np.full(n + 1, 1.0000001)
+    return OrdinaryIRSystem.build(
+        initial, np.arange(1, n + 1), np.arange(n), FLOAT_MUL
+    )
+
+
+def run_fig3(n=N):
+    system = build_system(n)
+    _result, profile = profile_ordinary(system)
+    grid = processor_sweep(P_MAX)
+    rows = profile.sweep(grid)
+    return profile, grid, rows
+
+
+def test_fig3_parallel_ir_sweep(benchmark):
+    profile, grid, rows = benchmark(run_fig3)
+
+    seq = profile.sequential_time()
+    par = [r["parallel_time"] for r in rows]
+
+    # sequential flat at Theta(n)
+    assert seq == N * 8  # n * per-iteration instruction constant
+
+    # parallel curve decreasing, slope ~ -1 on log-log until P ~ n
+    assert par == sorted(par, reverse=True)
+    slope = loglog_slope(grid[:8], [float(t) for t in par[:8]])
+    assert abs(slope + 1.0) < 0.05
+
+    # crossover at a small multiple of log2(n)
+    cross = profile.crossover_processors()
+    assert math.log2(N) <= cross <= 8 * math.log2(N)
+
+    # large-P speedup ~ P / log n (paper: T = (n/P) log n)
+    big_p = grid[-1]
+    speedup = rows[-1]["speedup"]
+    assert speedup > big_p / (4 * math.log2(N))
+
+    benchmark.extra_info["sequential_time"] = seq
+    benchmark.extra_info["crossover_P"] = cross
+    benchmark.extra_info["speedup_at_Pmax"] = round(speedup, 2)
+
+
+def main():
+    profile, grid, rows = run_fig3()
+    print(banner(f"Figure 3: OrdinaryIR, n = {N:,} "
+                 f"(instruction units; paper used SimParC assembly units)"))
+    print(series_table(
+        "P",
+        grid,
+        {
+            "parallel_IR": [r["parallel_time"] for r in rows],
+            "original_loop": [r["sequential_time"] for r in rows],
+            "speedup": [r["speedup"] for r in rows],
+        },
+    ))
+    print()
+    print(f"rounds executed      : {profile.rounds} "
+          f"(= ceil(log2 n) = {math.ceil(math.log2(N))})")
+    print(f"crossover            : P = {profile.crossover_processors()} "
+          f"(~{profile.crossover_processors() / math.log2(N):.1f} x log2 n)")
+    slope = loglog_slope(grid[:8], [float(r['parallel_time']) for r in rows[:8]])
+    print(f"log-log slope (P<=128): {slope:.3f}  (ideal (n/P)log n model: -1)")
+
+
+if __name__ == "__main__":
+    main()

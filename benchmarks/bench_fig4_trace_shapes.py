@@ -1,0 +1,75 @@
+"""Figure 4 -- list-shaped (IR) vs. tree-shaped (GIR) traces.
+
+The paper contrasts the trace of ``A[i] := A[i-1] * A[i]`` (a list:
+one new factor per step) with ``A[i] := A[i-1] * A[i-2]`` (a binary
+tree: exponential expansion).  This bench measures both trace sizes as
+n grows and asserts the linear-vs-exponential separation that forces
+the GIR solver to count powers instead of expanding.
+"""
+
+from repro.analysis.reporting import banner, series_table
+from repro.core import CONCAT, GIRSystem, OrdinaryIRSystem, modular_mul
+from repro.core.traces import chain_lengths, tree_sizes
+
+NS = [4, 8, 12, 16, 20, 24]
+
+
+def ir_trace_factors(n):
+    """Factors in the last trace of the list-shaped loop."""
+    sys_ = OrdinaryIRSystem.build(
+        [(j,) for j in range(n + 1)],
+        list(range(1, n + 1)),
+        list(range(n)),
+        CONCAT,
+    )
+    return int(chain_lengths(sys_)[-1]) + 1  # + terminal f-operand
+
+
+def gir_trace_factors(n):
+    """Factors in the last trace of the tree-shaped loop."""
+    op = modular_mul(97)
+    sys_ = GIRSystem.build(
+        [1] * (n + 2),
+        [i + 2 for i in range(n)],
+        [i + 1 for i in range(n)],
+        [i for i in range(n)],
+        op,
+    )
+    return tree_sizes(sys_)[-1]
+
+
+def run_fig4():
+    return {
+        "n": NS,
+        "list_trace_IR": [ir_trace_factors(n) for n in NS],
+        "tree_trace_GIR": [gir_trace_factors(n) for n in NS],
+    }
+
+
+def test_fig4_shapes(benchmark):
+    data = benchmark(run_fig4)
+    lists = data["list_trace_IR"]
+    trees = data["tree_trace_GIR"]
+    # list traces grow linearly: n + 1 factors
+    assert lists == [n + 1 for n in NS]
+    # tree traces grow like Fibonacci: strictly super-linear, with the
+    # golden-ratio growth factor between doublings
+    for a, b in zip(trees, trees[1:]):
+        assert b > 2 * a
+    assert trees[-1] > 10_000 * lists[-1] / (NS[-1] + 1)
+
+
+def main():
+    data = run_fig4()
+    print(banner("Figure 4: trace size, list (IR) vs tree (GIR)"))
+    print(series_table("n", data["n"], {
+        "list trace (A[i]:=A[i-1]*A[i])": data["list_trace_IR"],
+        "tree trace (A[i]:=A[i-1]*A[i-2])": data["tree_trace_GIR"],
+    }))
+    print()
+    print("The tree trace explodes (Fibonacci growth): expanding it is")
+    print("hopeless, so GIR counts powers via CAP instead (Figs 5-9).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Extension -- the Livermore suite through the IR machinery.
+
+Runs every kernel that has an IR-based parallel reimplementation
+(15 of 24) against its sequential reference at a common problem size
+and reports per-kernel agreement plus which parallel mechanism carried
+it.  The assertion is the paper's implicit claim: the IR framework
+*covers* these kernels -- same outputs, produced by map/fold/Moebius
+machinery rather than the original loop-carried code.
+"""
+
+from repro.analysis.reporting import ascii_table, banner
+from repro.livermore.classify import KERNEL_NAMES
+from repro.livermore.data import kernel_inputs
+from repro.livermore.kernels import run_kernel
+from repro.livermore.parallel import PARALLEL_KERNELS
+
+MECHANISM = {
+    1: "vectorized map",
+    2: "level-parallel wavefront",
+    3: "fold (scatter-add)",
+    5: "Moebius affine chain",
+    7: "vectorized map",
+    11: "Moebius affine chain",
+    12: "vectorized map",
+    13: "map + scatter-add",
+    14: "map + scatter-add",
+    18: "three map sweeps",
+    19: "Moebius affine chains",
+    21: "fold (scatter-add)",
+    22: "vectorized map",
+    23: "Moebius column sweeps",
+    24: "fold (argmin)",
+}
+
+
+def _flat(v):
+    if isinstance(v, (int, float)):
+        yield v
+    elif isinstance(v, list):
+        for e in v:
+            yield from _flat(e)
+
+
+def _max_err(a, b):
+    xa = list(_flat(a))
+    xb = list(_flat(b))
+    return max(
+        (abs(x - y) / max(1.0, abs(x), abs(y)) for x, y in zip(xa, xb)),
+        default=0.0,
+    )
+
+
+def run_suite(n=100, seed=1997):
+    rows = []
+    for k in sorted(PARALLEL_KERNELS):
+        size = 16 if k == 21 else n
+        d = kernel_inputs(k, size, seed=seed)
+        seq = run_kernel(k, d)
+        par = PARALLEL_KERNELS[k](d)
+        err = max(
+            _max_err(par[name], value)
+            for name, value in seq.items()
+            if name in par
+        )
+        rows.append((k, KERNEL_NAMES[k], MECHANISM[k], err))
+    return rows
+
+
+def test_livermore_parallel_suite(benchmark):
+    rows = benchmark(run_suite)
+    assert len(rows) == 15
+    for k, _name, _mech, err in rows:
+        assert err < 1e-7, (k, err)
+    benchmark.extra_info["kernels_covered"] = len(rows)
+
+
+def main():
+    rows = run_suite()
+    print(banner("Extension: Livermore kernels through the IR machinery "
+                 "(15 of 24 covered)"))
+    print(ascii_table(
+        ("#", "kernel", "parallel mechanism", "max rel err vs sequential"),
+        [(k, name, mech, f"{err:.2e}") for k, name, mech, err in rows],
+        align_right=[0, 3],
+    ))
+    print()
+    print("Kernels without a parallel version (4, 6, 9, 10, 15, 16, 17,")
+    print("20) are either inherently sequential (data-dependent control")
+    print("or degree-2 carried recurrences) or trivially row-parallel;")
+    print("the census (bench_table1) records each one's classification.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Benchmark harness conventions.
+
+Every ``bench_*.py`` file regenerates one artifact of the paper (a
+figure, a table, or an ablation) and can be used two ways:
+
+* ``pytest benchmarks/ --benchmark-only`` -- times the computational
+  core with pytest-benchmark and asserts the artifact's *shape*
+  (who wins, by roughly what factor, where crossovers fall);
+* ``python benchmarks/bench_<name>.py`` -- prints the full
+  paper-style artifact (the series/table quoted in EXPERIMENTS.md).
+"""
+
+import pytest

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Regenerate every paper artifact into text files.
+
+Runs each benchmark's ``main()`` and captures its output under
+``artifacts/`` -- the single command that rebuilds everything
+EXPERIMENTS.md quotes:
+
+    python benchmarks/regenerate_all.py [--out artifacts]
+"""
+
+import argparse
+import contextlib
+import importlib
+import io
+import os
+import sys
+import time
+
+BENCHES = [
+    "bench_fig1_trace_example",
+    "bench_fig2_concatenation",
+    "bench_fig3_ordinary_ir",
+    "bench_fig4_trace_shapes",
+    "bench_fig5_fibonacci_powers",
+    "bench_fig6_dependence_graph",
+    "bench_fig9_cap_iterations",
+    "bench_table1_livermore_census",
+    "bench_moebius_hydro",
+    "bench_baselines_scan",
+    "bench_gir_processors",
+    "bench_livermore_parallel",
+    "bench_ablation_power_atomic",
+    "bench_ablation_work_efficiency",
+    "bench_ablation_scheduling",
+    "bench_wallclock_engines",
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="artifacts", help="output directory")
+    args = parser.parse_args()
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    sys.path.insert(0, here)
+    os.makedirs(args.out, exist_ok=True)
+
+    failures = []
+    for name in BENCHES:
+        module = importlib.import_module(name)
+        buffer = io.StringIO()
+        started = time.perf_counter()
+        try:
+            with contextlib.redirect_stdout(buffer):
+                module.main()
+        except Exception as exc:  # keep going; report at the end
+            failures.append((name, exc))
+            print(f"FAIL  {name}: {exc}")
+            continue
+        elapsed = time.perf_counter() - started
+        path = os.path.join(args.out, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(buffer.getvalue())
+        print(f"ok    {name:<32} {elapsed:6.2f}s -> {path}")
+
+    if failures:
+        print(f"\n{len(failures)} artifact(s) failed")
+        return 1
+    print(f"\nall {len(BENCHES)} artifacts regenerated into {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

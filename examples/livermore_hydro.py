@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The paper's section-3 showcase: Livermore kernel 23 via Moebius.
+
+Kernel 23 (2-D implicit hydrodynamics) sweeps columns of a grid with
+
+    za[k][j] := za[k][j] + 0.175*(qa - za[k][j])
+
+where ``qa`` carries the just-updated ``za[k-1][j]`` -- a loop-carried
+affine recurrence.  The paper parallelizes it *without any dependence
+analysis* by lifting each column sweep to 2x2 Moebius matrices and
+solving it as an OrdinaryIR system in O(log n) steps.
+
+This example runs the sequential kernel and the Moebius-parallel
+version on the same data, verifies bitwise-close agreement, and prints
+the simulated instruction costs of one column solve.
+
+Run:  python examples/livermore_hydro.py
+"""
+
+import numpy as np
+
+from repro.core import AffineRecurrence, run_moebius_sequential, solve_moebius
+from repro.livermore.data import kernel_inputs
+from repro.livermore.kernels import k23
+from repro.livermore.parallel import k23_parallel
+from repro.pram import profile_ordinary
+from repro.core import OrdinaryIRSystem
+from repro.core.moebius import Mat2, moebius_ir_operator
+
+
+def main() -> None:
+    n = 100  # the canonical kernel-23 grid height (101 rows)
+    d = kernel_inputs(23, n, seed=1997)
+
+    print(f"Livermore kernel 23, grid {n + 2} x {d['jn']}, "
+          f"{d['jn'] - 2} column sweeps")
+    print()
+
+    seq = k23(d)["za"]
+    par = k23_parallel(d)["za"]
+    err = max(
+        abs(a - b)
+        for ra, rb in zip(seq, par)
+        for a, b in zip(ra, rb)
+    )
+    print(f"max |sequential - parallel| = {err:.3e}")
+    assert err < 1e-9
+
+    # Cost of one column sweep, solved as OrdinaryIR over matrices.
+    j = 1
+    column = [d["za"][k][j] for k in range(n + 1)]
+    a = [0.175 * d["zv"][k][j] for k in range(1, n)]
+    b = [0.0] * (n - 1)  # placeholder coefficients: cost is data-independent
+    rec = AffineRecurrence.build(
+        column, g=list(range(1, n)), f=list(range(0, n - 1)), a=a, b=b
+    )
+    coeff = [Mat2.constant(v) for v in column]
+    for t, cell in enumerate(range(1, n)):
+        coeff[cell] = rec.coefficient_matrix(t)
+    system = OrdinaryIRSystem(
+        initial=coeff,
+        g=rec.g.copy(),
+        f=rec.f.copy(),
+        op=moebius_ir_operator(),
+    )
+    _, profile = profile_ordinary(system)
+    print()
+    print("one column sweep, simulated instruction time:")
+    print(f"  sequential recurrence : {profile.sequential_time()}")
+    for p in (1, 8, 32, 128):
+        t = profile.parallel_time(p)
+        print(f"  Moebius-parallel P={p:<4}: {t}  "
+              f"(speedup {profile.sequential_time() / t:.2f}x)")
+    print()
+    print("The paper's point: the loop was parallelized to O(log n) steps")
+    print("purely from its syntactic shape -- no dependence analysis.")
+
+
+if __name__ == "__main__":
+    main()

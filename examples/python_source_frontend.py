@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Parallelize plain Python loops -- no AST construction, no analysis.
+
+The most compiler-like entry point: write the loop as ordinary Python,
+hand the *source* to `parallelize_source`, and the recognizer/Moebius
+machinery does the rest.  The body is parsed, never executed.
+
+Run:  python examples/python_source_frontend.py
+"""
+
+import numpy as np
+
+from repro.loops import loops_from_source, parallelize_source
+from repro.loops.program import evaluate_program
+
+N = 500
+
+
+def hydro_fragment(X, Y, Z):
+    """The paper's section-3 shape, as plain Python."""
+    for i in range(1, n):  # noqa: F821  (n bound via consts)
+        X[i] = X[i] + r * (Y[i] + X[i - 1] * Z[i])  # noqa: F821
+
+
+def guarded_chain(V, S):
+    for k in range(1, n):  # noqa: F821
+        V[k] = V[k - 1] * 0.5 + S[k] if S[k] > 0.0 else V[k - 1] - S[k]
+
+
+def dot_product(Q, A, B):
+    for k in range(n):  # noqa: F821
+        Q[0] += A[k] * B[k]
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    consts = {"n": N, "r": 0.175}
+
+    jobs = [
+        (
+            hydro_fragment,
+            {
+                "X": rng.normal(size=N).tolist(),
+                "Y": rng.normal(size=N).tolist(),
+                "Z": rng.normal(size=N).tolist(),
+            },
+        ),
+        (
+            guarded_chain,
+            {"V": [1.0] * N, "S": rng.normal(size=N).tolist()},
+        ),
+        (
+            dot_product,
+            {
+                "Q": [0.0],
+                "A": rng.normal(size=N).tolist(),
+                "B": rng.normal(size=N).tolist(),
+            },
+        ),
+    ]
+
+    for fn, env in jobs:
+        result = parallelize_source(fn, env, consts=consts)
+        program = loops_from_source(fn, consts=consts)
+        reference = evaluate_program(program, env)
+        err = max(
+            abs(a - b)
+            for name in env
+            for a, b in zip(result.env[name], reference[name])
+        )
+        rec = result.steps[0].recognition
+        print(f"{fn.__name__:<16} class={rec.ir_class.value:<18} "
+              f"method={result.methods}  max|err|={err:.2e}")
+        assert result.fully_parallel and err < 1e-9
+
+    print()
+    print("Three plain-Python loops -- an indexed affine recurrence, a")
+    print("data-guarded chain, and a scalar reduction -- parallelized to")
+    print("O(log n) steps straight from their source text.")
+
+
+if __name__ == "__main__":
+    main()

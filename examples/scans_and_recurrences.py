@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Classic prefix computations through the IR machinery.
+
+The paper generalizes the textbook fact that prefix sums solve
+ordinary recurrences.  This example stays on the classic side and
+shows the layer the generalization rests on:
+
+* inclusive / exclusive / segmented scans over arbitrary associative
+  operators, solved by the OrdinaryIR pointer-jumping engine;
+* first-order linear recurrences via the Moebius reduction;
+* the related-work baselines (Kogge-Stone, Blelloch) computing the
+  same results with their classic work/depth trade-offs.
+
+Run:  python examples/scans_and_recurrences.py
+"""
+
+import numpy as np
+
+from repro.core import ADD, CONCAT, MAX
+from repro.core.baselines import blelloch_scan, kogge_stone_scan, sequential_scan
+from repro.core.prefix import (
+    exclusive_scan,
+    linear_recurrence,
+    prefix_scan,
+    segmented_scan,
+)
+
+
+def main() -> None:
+    values = [3, 1, 4, 1, 5, 9, 2, 6]
+    print(f"values           : {values}")
+
+    sums, stats = prefix_scan(values, ADD, collect_stats=True)
+    print(f"inclusive scan   : {sums}   ({stats.rounds} parallel rounds)")
+    print(f"exclusive scan   : {exclusive_scan(values, ADD)}")
+    print(f"running max      : {prefix_scan(values, MAX)[0]}")
+
+    flags = [False, False, True, False, False, True, False, False]
+    print(f"segment flags    : {[int(f) for f in flags]}")
+    print(f"segmented scan   : {segmented_scan(values, flags, ADD)}")
+
+    words = [(w,) for w in "the quick brown fox".split()]
+    print(f"concat scan      : {prefix_scan(words, CONCAT)[0][-1]}")
+    print()
+
+    # first-order linear recurrence: x[i] = a[i]*x[i-1] + b[i]
+    rng = np.random.default_rng(1)
+    n = 6
+    a = np.round(rng.uniform(0.5, 1.5, n), 2).tolist()
+    b = np.round(rng.uniform(-1, 1, n), 2).tolist()
+    xs = linear_recurrence(a, b, 1.0)
+    print(f"x[i] = a[i]*x[i-1] + b[i],  a={a}, b={b}, x0=1")
+    print("solved (Moebius) :", [round(x, 4) for x in xs])
+    cur = 1.0
+    for i in range(n):
+        cur = a[i] * cur + b[i]
+    assert abs(cur - xs[-1]) < 1e-12
+    print()
+
+    # the classic work/depth trade-off on a larger input
+    n = 1 << 12
+    big = list(range(1, n + 1))
+    _, seq = sequential_scan(big, ADD)
+    _, ks = kogge_stone_scan(big, ADD)
+    _, bl = blelloch_scan(big, ADD)
+    _, ir = prefix_scan(big, ADD, collect_stats=True)
+    print(f"prefix sum of n = {n}:")
+    print(f"  {'algorithm':<22} {'op-work':>8}  depth")
+    for name, ops, depth in (
+        ("sequential", seq.ops, seq.depth),
+        ("Kogge-Stone", ks.ops, ks.depth),
+        ("Blelloch", bl.ops, bl.depth),
+        ("OrdinaryIR (repro)", ir.total_ops, ir.depth),
+    ):
+        print(f"  {name:<22} {ops:>8,}  {depth}")
+    print()
+    print("OrdinaryIR matches Kogge-Stone here; its value is that the same")
+    print("engine also solves recurrences with arbitrary index maps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro -- Parallel Solutions of Indexed Recurrence Equations.
+
+A full reproduction of Ben-Asher & Haber (IPPS 1997): indexed
+recurrence (IR) equations ``A[g(i)] := op(A[f(i)], A[h(i)])``, their
+O(log n) parallel solvers (OrdinaryIR pointer jumping, the Moebius
+reduction for affine/rational recurrences, the CAP path-counting GIR
+solver), a PRAM simulator standing in for the paper's SimParC, a
+loop-AST front end that parallelizes sequential loops with no
+dependence analysis, and the Livermore Loops suite the paper's census
+analyzes.
+
+Quick start::
+
+    from repro import OrdinaryIRSystem, CONCAT, solve_ordinary
+
+    sys_ = OrdinaryIRSystem.build(
+        initial=[("a",), ("b",), ("c",), ("d",)],
+        g=[1, 2, 3],
+        f=[0, 1, 2],
+        op=CONCAT,
+    )
+    final, stats = solve_ordinary(sys_, collect_stats=True)
+
+Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.pram`
+(simulator), :mod:`repro.loops` (front end), :mod:`repro.livermore`
+(benchmark suite), :mod:`repro.analysis` (models and reports).
+"""
+
+from . import analysis, core, livermore, loops, pram
+from .core import (
+    ADD,
+    CONCAT,
+    FLOAT_ADD,
+    FLOAT_MUL,
+    MAX,
+    MIN,
+    MUL,
+    AffineRecurrence,
+    GIRSystem,
+    IRClass,
+    IRValidationError,
+    Mat2,
+    Operator,
+    OperatorError,
+    OrdinaryIRSystem,
+    RationalRecurrence,
+    SolveStats,
+    make_operator,
+    modular_add,
+    modular_mul,
+    normalize_non_distinct,
+    run_gir,
+    run_moebius_sequential,
+    run_ordinary,
+    solve_gir,
+    solve_moebius,
+    solve_ordinary,
+    solve_ordinary_numpy,
+)
+from .loops import Loop, parallelize, recognize
+from .pram import PRAM, AccessPolicy, profile_ordinary
+
+__version__ = "1.0.0"
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,11 @@
+"""Complexity models and report rendering for the benchmark harness."""
+
+from .complexity import (
+    fit_parallel_constant,
+    loglog_slope,
+    model_crossover,
+    model_parallel_time,
+)
+from .reporting import ascii_table, banner, series_table
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,69 @@
+"""Analytic complexity models for the paper's algorithms.
+
+The paper's stated bounds:
+
+* sequential loop: ``T_seq(n) = c_seq * n``;
+* parallel OrdinaryIR with P processors (fork-bounded version,
+  measured in Fig 3): ``T(n, P) = c_par * (n / P) * log2(n)``;
+* GIR: ``O(log n)`` CAP iterations with up to ``O(n^2)`` processors.
+
+These closed forms are used to sanity-check the measured instruction
+counts (the benchmarks assert the measured series matches the model
+within a small tolerance) and to locate the Fig-3 crossover.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "model_parallel_time",
+    "model_crossover",
+    "loglog_slope",
+    "fit_parallel_constant",
+]
+
+
+def model_parallel_time(n: int, processors: int, c_par: float = 1.0) -> float:
+    """``c_par * ceil(n/P) * ceil(log2 n)`` -- the paper's T(n, P)."""
+    if n <= 1:
+        return c_par
+    return c_par * math.ceil(n / processors) * math.ceil(math.log2(n))
+
+
+def model_crossover(n: int, c_par: float, c_seq: float) -> float:
+    """Processor count where the model curves intersect:
+    ``T_par < T_seq  <=>  P > (c_par / c_seq) * log2 n``."""
+    if n <= 1:
+        return 1.0
+    return (c_par / c_seq) * math.log2(n)
+
+
+def loglog_slope(processors: Sequence[int], times: Sequence[float]) -> float:
+    """Least-squares slope of ``log(time)`` vs ``log(P)``.
+
+    For an ideally scaling ``T = c * n log n / P`` series the slope is
+    exactly ``-1``; the Fig-3 benchmark asserts the measured slope is
+    close to that until P approaches n.
+    """
+    if len(processors) != len(times) or len(processors) < 2:
+        raise ValueError("need at least two (P, time) points")
+    xs = [math.log(p) for p in processors]
+    ys = [math.log(t) for t in times]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den
+
+
+def fit_parallel_constant(
+    n: int, processors: Sequence[int], times: Sequence[float]
+) -> float:
+    """Best-fit ``c_par`` for the paper's model against a measured
+    series (simple per-point ratio average)."""
+    ratios = [
+        t / model_parallel_time(n, p) for p, t in zip(processors, times)
+    ]
+    return sum(ratios) / len(ratios)

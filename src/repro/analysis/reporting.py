@@ -1,0 +1,66 @@
+"""Report rendering shared by the benchmark harness.
+
+All benches print paper-style artifacts (tables for the census, series
+for Fig 3, trace listings for Fig 1) through these helpers, so the
+output format is uniform and EXPERIMENTS.md can quote it verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["ascii_table", "series_table", "banner"]
+
+
+def banner(title: str, *, width: int = 72) -> str:
+    """A section banner for bench output."""
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    align_right: Optional[Sequence[int]] = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    ``align_right`` lists column indices to right-align (numeric
+    columns); everything else is left-aligned.
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    right = set(align_right or ())
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        out = []
+        for c, cell in enumerate(cells):
+            out.append(cell.rjust(widths[c]) if c in right else cell.ljust(widths[c]))
+        return "  ".join(out).rstrip()
+
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines += [fmt_row(r) for r in str_rows]
+    return "\n".join(lines)
+
+
+def series_table(
+    x_name: str,
+    x_values: Sequence[Any],
+    series: Dict[str, Sequence[Any]],
+    *,
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render one x column plus named series columns (Fig-3 style)."""
+    headers = [x_name] + list(series)
+    rows: List[List[Any]] = []
+    for i, x in enumerate(x_values):
+        row: List[Any] = [x]
+        for name in series:
+            v = series[name][i]
+            row.append(floatfmt.format(v) if isinstance(v, float) else v)
+        rows.append(row)
+    return ascii_table(headers, rows, align_right=list(range(len(headers))))

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, dependency-free front door to the reproduction:
+
+* ``census``  -- print the Livermore recurrence census (section 1);
+* ``fig3``    -- print the Fig-3 processor sweep (optionally ``--n``);
+* ``explain`` -- diagnostics for a built-in demo system (``--demo``);
+* ``scan``    -- prefix-scan a list of numbers with a chosen operator;
+* ``solve``   -- solve an IR system stored as JSON (repro.core.serialize);
+* ``version`` -- package version.
+
+The heavy artifacts live in ``benchmarks/``; the CLI wraps the common
+interactive entry points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Parallel solutions of indexed recurrence equations "
+            "(Ben-Asher & Haber, IPPS 1997) -- reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("version", help="print the package version")
+
+    census = sub.add_parser(
+        "census", help="Livermore recurrence census (paper section 1)"
+    )
+    census.add_argument("--n", type=int, default=32, help="model size")
+
+    fig3 = sub.add_parser("fig3", help="Fig-3 processor sweep")
+    fig3.add_argument("--n", type=int, default=50_000, help="problem size")
+    fig3.add_argument(
+        "--max-p", type=int, default=4096, help="largest processor count"
+    )
+
+    explain = sub.add_parser(
+        "explain", help="diagnostics for a demo IR system"
+    )
+    explain.add_argument(
+        "--demo",
+        choices=["chain", "fibonacci", "scatter"],
+        default="chain",
+        help="which built-in system to explain",
+    )
+    explain.add_argument("--n", type=int, default=16)
+
+    scan = sub.add_parser("scan", help="parallel prefix scan of numbers")
+    scan.add_argument("values", nargs="+", type=float)
+    scan.add_argument(
+        "--op", choices=["add", "mul", "min", "max"], default="add"
+    )
+
+    solve = sub.add_parser(
+        "solve", help="solve an IR system from a JSON file (see "
+        "repro.core.serialize)"
+    )
+    solve.add_argument("path", help="JSON file written by dump_system")
+    solve.add_argument(
+        "--stats", action="store_true", help="also print solver statistics"
+    )
+
+    return parser
+
+
+def _cmd_version() -> int:
+    from . import __version__
+
+    print(f"repro {__version__}")
+    return 0
+
+
+def _cmd_census(n: int) -> int:
+    from .livermore.classify import census, census_table
+
+    print(census_table(census(n=n)))
+    return 0
+
+
+def _cmd_fig3(n: int, max_p: int) -> int:
+    import numpy as np
+
+    from .analysis.reporting import series_table
+    from .core import FLOAT_MUL, OrdinaryIRSystem, processor_sweep
+    from .pram import profile_ordinary
+
+    system = OrdinaryIRSystem.build(
+        np.full(n + 1, 1.0000001), np.arange(1, n + 1), np.arange(n), FLOAT_MUL
+    )
+    _, profile = profile_ordinary(system)
+    grid = processor_sweep(max_p)
+    rows = profile.sweep(grid)
+    print(series_table("P", grid, {
+        "parallel_IR": [r["parallel_time"] for r in rows],
+        "original_loop": [r["sequential_time"] for r in rows],
+        "speedup": [r["speedup"] for r in rows],
+    }))
+    cross = profile.crossover_processors()
+    print(f"\ncrossover: P = {cross}")
+    return 0
+
+
+def _cmd_explain(demo: str, n: int) -> int:
+    import numpy as np
+
+    from .core import CONCAT, GIRSystem, OrdinaryIRSystem, modular_mul
+    from .core.diagnostics import explain_gir, explain_ordinary
+
+    if demo == "chain":
+        system = OrdinaryIRSystem.build(
+            [(f"s{j}",) for j in range(n + 1)],
+            list(range(1, n + 1)),
+            list(range(n)),
+            CONCAT,
+        )
+        print(explain_ordinary(system))
+    elif demo == "fibonacci":
+        system = GIRSystem.build(
+            [2, 3] + [1] * n,
+            [i + 2 for i in range(n)],
+            [i + 1 for i in range(n)],
+            [i for i in range(n)],
+            modular_mul(10**9 + 7),
+        )
+        print(explain_gir(system))
+    else:  # scatter
+        rng = np.random.default_rng(0)
+        m = max(n // 4, 1)
+        system = GIRSystem.build(
+            [1] * m,
+            rng.integers(0, m, size=n),
+            rng.integers(0, m, size=n),
+            rng.integers(0, m, size=n),
+            modular_mul(97),
+        )
+        print(explain_gir(system))
+    return 0
+
+
+def _cmd_scan(values: List[float], op_name: str) -> int:
+    from .core.operators import FLOAT_ADD, FLOAT_MUL, MAX, MIN
+    from .core.prefix import prefix_scan
+
+    op = {"add": FLOAT_ADD, "mul": FLOAT_MUL, "min": MIN, "max": MAX}[op_name]
+    out, stats = prefix_scan(values, op, collect_stats=True)
+    print(" ".join(f"{v:g}" for v in out))
+    if stats is not None:
+        print(f"# {stats.rounds} parallel round(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_solve(path: str, show_stats: bool) -> int:
+    from .core import GIRSystem, run_gir, run_ordinary, solve_gir, solve_ordinary_numpy
+    from .core.serialize import load_system
+
+    system = load_system(path)
+    if isinstance(system, GIRSystem):
+        result, stats = solve_gir(system, collect_stats=True)
+        reference = run_gir(system)
+    else:
+        result, stats = solve_ordinary_numpy(system, collect_stats=True)
+        reference = run_ordinary(system)
+    matches = result == reference
+    for cell, value in enumerate(result):
+        print(f"A[{cell}] = {value}")
+    if show_stats and stats is not None:
+        print(f"# stats: {stats}", file=sys.stderr)
+    if not matches:
+        print("# WARNING: parallel result differs from sequential "
+              "(floating-point reassociation?)", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "version":
+        return _cmd_version()
+    if args.command == "census":
+        return _cmd_census(args.n)
+    if args.command == "fig3":
+        return _cmd_fig3(args.n, args.max_p)
+    if args.command == "explain":
+        return _cmd_explain(args.demo, args.n)
+    if args.command == "scan":
+        return _cmd_scan(args.values, args.op)
+    if args.command == "solve":
+        return _cmd_solve(args.path, args.stats)
+    raise AssertionError(args.command)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

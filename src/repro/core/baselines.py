@@ -1,0 +1,245 @@
+"""Baseline parallel algorithms from the paper's related work.
+
+The paper positions OrdinaryIR against the classic parallel solutions
+of *ordinary* recurrences: Kogge & Stone's recursive-doubling scan
+[ref 4], Stone's cyclic/recursive-doubling tridiagonal solver [ref 2],
+and the textbook work-efficient scan (Jaja [ref 3], usually credited
+to Blelloch).  This module implements those baselines faithfully, each
+instrumented with the same (op-count, depth) accounting the IR solvers
+report, so the comparison benchmark can reproduce the classic
+work/depth trade-offs:
+
+=====================  ============  =========
+algorithm              op-work       depth
+=====================  ============  =========
+sequential scan        n - 1         n - 1
+Kogge-Stone            ~ n log n     log n
+Blelloch (two-phase)   ~ 3n          2 log n + 1
+OrdinaryIR (chain)     ~ n log n     log n + 1
+recursive doubling     ~ 3n log n    log n + 1
+=====================  ============  =========
+
+All of them compute the same results as the IR-based
+:mod:`repro.core.prefix` / Moebius solvers (tested), which is the
+point: the paper's machinery matches Kogge-Stone on the classic case
+while also handling arbitrary index maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+from .operators import Operator
+
+__all__ = [
+    "BaselineStats",
+    "sequential_scan",
+    "kogge_stone_scan",
+    "blelloch_scan",
+    "recursive_doubling_linear",
+    "work_efficient_chain_solve",
+]
+
+
+@dataclass
+class BaselineStats:
+    """(op-applications, parallel depth) of one baseline run."""
+
+    ops: int = 0
+    depth: int = 0
+
+
+def sequential_scan(
+    values: Sequence[Any], op: Operator
+) -> Tuple[List[Any], BaselineStats]:
+    """The sequential inclusive scan: n-1 ops, depth n-1."""
+    out = list(values)
+    stats = BaselineStats()
+    for i in range(1, len(out)):
+        out[i] = op.fn(out[i - 1], out[i])
+        stats.ops += 1
+        stats.depth += 1
+    return out, stats
+
+
+def kogge_stone_scan(
+    values: Sequence[Any], op: Operator
+) -> Tuple[List[Any], BaselineStats]:
+    """Kogge-Stone recursive doubling: inclusive scan in ``ceil(log2 n)``
+    synchronous steps, ~``n log n`` total ops.
+
+    Step ``d``: every position ``i >= 2^d`` combines with position
+    ``i - 2^d`` -- all reads before all writes (double buffered), the
+    PRAM discipline the original hardware network embodies.
+    """
+    out = list(values)
+    n = len(out)
+    stats = BaselineStats()
+    d = 1
+    while d < n:
+        prev = list(out)  # synchronous step
+        for i in range(d, n):
+            out[i] = op.fn(prev[i - d], prev[i])
+            stats.ops += 1
+        stats.depth += 1
+        d *= 2
+    return out, stats
+
+
+def blelloch_scan(
+    values: Sequence[Any], op: Operator
+) -> Tuple[List[Any], BaselineStats]:
+    """Work-efficient two-phase (up-sweep / down-sweep) inclusive scan.
+
+    ~``2n`` ops, ``2 ceil(log2 n)`` depth.  Implemented on a padded
+    power-of-two tree with an exclusive down-sweep followed by one
+    combine step to produce the inclusive result; requires an
+    identity element.
+    """
+    n = len(values)
+    if n == 0:
+        return [], BaselineStats()
+    if op.identity is None:
+        raise ValueError(f"operator {op.name!r} needs an identity for Blelloch")
+    stats = BaselineStats()
+    size = 1
+    while size < n:
+        size *= 2
+    tree = list(values) + [op.identity] * (size - n)
+
+    # up-sweep (reduce)
+    d = 1
+    while d < size:
+        for i in range(2 * d - 1, size, 2 * d):
+            tree[i] = op.fn(tree[i - d], tree[i])
+            stats.ops += 1
+        stats.depth += 1
+        d *= 2
+
+    # down-sweep (exclusive prefixes)
+    tree[size - 1] = op.identity
+    d = size // 2
+    while d >= 1:
+        for i in range(2 * d - 1, size, 2 * d):
+            left = tree[i - d]
+            tree[i - d] = tree[i]
+            tree[i] = op.fn(tree[i], left)
+            stats.ops += 1
+        stats.depth += 1
+        d //= 2
+
+    # one combine converts exclusive -> inclusive
+    out = [op.fn(tree[i], values[i]) for i in range(n)]
+    stats.ops += n
+    stats.depth += 1
+    return out, stats
+
+
+def recursive_doubling_linear(
+    a: Sequence[Any],
+    b: Sequence[Any],
+    x0: Any,
+) -> Tuple[List[Any], BaselineStats]:
+    """Stone-style recursive doubling for ``x[i] = a[i]*x[i-1] + b[i]``.
+
+    Each level composes every relation with the one ``hop`` places
+    earlier -- ``x[i] = (a[i]a[i-hop]) x[i-2*hop] + (a[i]b[i-hop] +
+    b[i])`` -- doubling the hop, after which every ``x[i]`` is
+    expressed directly in terms of the seed: ~``3 n log n``
+    multiply-adds over ``ceil(log2 n)`` levels, depth ``log n``.  This
+    is the paper's reference-[2]/[4] technique for the unit-stride
+    case; the Moebius/OrdinaryIR pipeline generalizes exactly this to
+    arbitrary ``g, f`` (and to rational maps).
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("a and b must have equal length")
+    if n == 0:
+        return [], BaselineStats()
+    # relation i: x[i] = A[i] * x[i - hop] + B[i]   (hop doubles)
+    A = list(a)
+    B = list(b)
+    stats = BaselineStats()
+    hop = 1
+    while hop < n:
+        newA = list(A)
+        newB = list(B)
+        for i in range(hop, n):
+            # compose with the relation of x[i - hop]
+            newA[i] = A[i - hop] * A[i]
+            newB[i] = A[i] * B[i - hop] + B[i]
+            stats.ops += 3
+        A, B = newA, newB
+        stats.depth += 1
+        hop *= 2
+    out = [A[i] * x0 + B[i] for i in range(n)]
+    stats.ops += n
+    stats.depth += 1
+    return out, stats
+
+
+def work_efficient_chain_solve(system) -> Tuple[List[Any], BaselineStats]:
+    """Work-efficient alternative to pointer jumping for
+    *chain-decomposable* OrdinaryIR systems.
+
+    Pointer jumping does ``Theta(n log n)`` operator work.  When the
+    Lemma-1 trace forest has no branching (no two iterations share a
+    predecessor -- e.g. disjoint chains, scans, the Fig-3 workload),
+    every chain's values are exactly the inclusive prefixes of its
+    factor sequence, so a work-efficient (Blelloch) scan solves it
+    with ``~3n`` operations at ``2 log n + 1`` depth -- the classic
+    work/depth trade against the paper's algorithm, quantified by
+    ``benchmarks/bench_ablation_work_efficiency.py``.
+
+    Requirements: chain decomposability (branching raises
+    ``ValueError`` -- use the general solver) and an operator identity
+    (Blelloch's down-sweep needs one).
+    """
+    from .traces import predecessor_array
+
+    system.validate()
+    op = system.op
+    if op.identity is None:
+        raise ValueError(
+            f"operator {op.name!r} has no identity; the work-efficient "
+            "scan needs one (use solve_ordinary instead)"
+        )
+    n = system.n
+    pred = predecessor_array(system).tolist()
+    successors = [0] * n
+    for i in range(n):
+        if pred[i] >= 0:
+            successors[pred[i]] += 1
+    if any(count > 1 for count in successors):
+        raise ValueError(
+            "trace forest has branching (a cell feeds several chains); "
+            "the chain-scan decomposition does not apply -- use "
+            "solve_ordinary"
+        )
+
+    g = system.g.tolist()
+    f = system.f.tolist()
+    S = system.initial
+    out = list(S)
+    stats = BaselineStats()
+
+    # chain heads are iterations with no successor; walk back to the
+    # terminal and scan the factor sequence forward
+    for head in range(n):
+        if successors[head]:
+            continue
+        chain = [head]
+        while pred[chain[-1]] >= 0:
+            chain.append(pred[chain[-1]])
+        chain.reverse()  # terminal first
+        terminal = chain[0]
+        factors = [op.fn(S[f[terminal]], S[g[terminal]])]
+        stats.ops += 1
+        factors += [S[g[j]] for j in chain[1:]]
+        scanned, scan_stats = blelloch_scan(factors, op)
+        stats.ops += scan_stats.ops
+        stats.depth = max(stats.depth, scan_stats.depth + 1)
+        for j, value in zip(chain, scanned):
+            out[g[j]] = value
+    return out, stats

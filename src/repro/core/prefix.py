@@ -1,0 +1,169 @@
+"""Prefix computations on top of the IR machinery.
+
+The paper frames its contribution as the indexed generalization of the
+classic fact that *prefix sums solve ordinary recurrences*
+(``F(A, op) = prefix-sum(A, op)`` in its notation, citing Kogge &
+Stone).  This module provides that classic layer as a first-class
+API, built on the OrdinaryIR solver:
+
+* :func:`prefix_scan` -- inclusive scan of any associative operator,
+  expressed as the IR system ``A[i+1] := op(A[i], A[i+1])`` and solved
+  by pointer jumping in ``O(log n)`` rounds;
+* :func:`exclusive_scan` -- the shifted variant (requires an identity);
+* :func:`segmented_scan` -- scan that restarts at segment boundaries,
+  implemented by the standard operator lifting onto (value, flag)
+  pairs -- a worked example of the library's "any associative operator"
+  contract;
+* :func:`linear_recurrence` -- ``x[i] = a[i]*x[i-1] + b[i]`` as a thin
+  convenience over the Moebius solver.
+
+Comparison baselines (Kogge-Stone, Blelloch, recursive doubling) live in
+:mod:`repro.core.baselines`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .equations import OrdinaryIRSystem
+from .moebius import AffineRecurrence, solve_moebius
+from .operators import Operator, make_operator
+from .ordinary import SolveStats, solve_ordinary, solve_ordinary_numpy
+
+__all__ = [
+    "prefix_scan",
+    "exclusive_scan",
+    "segmented_scan",
+    "linear_recurrence",
+    "lift_segmented",
+]
+
+
+def _scan_system(values: Sequence[Any], op: Operator) -> OrdinaryIRSystem:
+    n = len(values)
+    return OrdinaryIRSystem(
+        initial=list(values),
+        g=np.arange(1, n, dtype=np.int64),
+        f=np.arange(0, n - 1, dtype=np.int64),
+        op=op,
+    )
+
+
+def prefix_scan(
+    values: Sequence[Any],
+    op: Operator,
+    *,
+    engine: str = "numpy",
+    collect_stats: bool = False,
+) -> Tuple[List[Any], Optional[SolveStats]]:
+    """Inclusive prefix scan: ``out[i] = values[0] (.) ... (.) values[i]``.
+
+    Solved as the OrdinaryIR chain ``A[i+1] := op(A[i], A[i+1])`` --
+    the degenerate IR instance the paper generalizes from.  Works for
+    any associative (not necessarily commutative) operator.
+    """
+    if len(values) <= 1:
+        return list(values), (SolveStats(n=0) if collect_stats else None)
+    system = _scan_system(values, op)
+    solver = solve_ordinary_numpy if engine == "numpy" else solve_ordinary
+    return solver(system, collect_stats=collect_stats)
+
+
+def exclusive_scan(
+    values: Sequence[Any],
+    op: Operator,
+    *,
+    engine: str = "numpy",
+) -> List[Any]:
+    """Exclusive prefix scan: ``out[i] = values[0] (.) ... (.) values[i-1]``,
+    with ``out[0] = op.identity`` (the operator must define one)."""
+    if op.identity is None:
+        raise ValueError(
+            f"operator {op.name!r} has no identity; exclusive scans need one"
+        )
+    inclusive, _ = prefix_scan(values, op, engine=engine)
+    return [op.identity] + inclusive[:-1]
+
+
+def lift_segmented(op: Operator) -> Operator:
+    """Lift an operator to (value, restart_flag) pairs for segmented
+    scans.
+
+    The lifted operator combines left-to-right: a pair whose flag is
+    set discards everything before it.  Associativity of the lift is a
+    standard result (and property-tested); commutativity is lost even
+    for commutative ``op``, which is fine for OrdinaryIR.
+    """
+
+    def fn(left: Tuple[Any, bool], right: Tuple[Any, bool]) -> Tuple[Any, bool]:
+        lv, lf = left
+        rv, rf = right
+        if rf:
+            return (rv, True)
+        return (op.fn(lv, rv), lf)
+
+    return make_operator(
+        f"segmented_{op.name}",
+        fn,
+        associative=op.associative,
+        commutative=False,
+        identity=None,
+        cost=op.cost + 1,
+    )
+
+
+def segmented_scan(
+    values: Sequence[Any],
+    flags: Sequence[bool],
+    op: Operator,
+    *,
+    engine: str = "numpy",
+) -> List[Any]:
+    """Inclusive scan restarting wherever ``flags[i]`` is true.
+
+    ``flags[0]`` is implicitly true.  Example::
+
+        segmented_scan([1,2,3,4,5], [True,False,True,False,False], ADD)
+        -> [1, 3, 3, 7, 12]
+    """
+    if len(values) != len(flags):
+        raise ValueError("values and flags must have equal length")
+    if not values:
+        return []
+    lifted = lift_segmented(op)
+    pairs = [(v, bool(f) or i == 0) for i, (v, f) in enumerate(zip(values, flags))]
+    scanned, _ = prefix_scan(pairs, lifted, engine=engine)
+    return [v for v, _f in scanned]
+
+
+def linear_recurrence(
+    a: Sequence[Any],
+    b: Sequence[Any],
+    x0: Any,
+    *,
+    engine: str = "numpy",
+) -> List[Any]:
+    """Solve ``x[i] = a[i]*x[i-1] + b[i]`` for ``i = 0..n-1`` with seed
+    ``x[-1] = x0``; returns ``[x[0], ..., x[n-1]]``.
+
+    A convenience wrapper over the Moebius reduction -- the classic
+    first-order linear recurrence the paper's related work (Kogge &
+    Stone) parallelizes, here as the unit-stride special case of the
+    indexed machinery.
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ValueError("a and b must have equal length")
+    if n == 0:
+        return []
+    rec = AffineRecurrence.build(
+        [x0] + [x0] * n,  # placeholder initials; every cell is assigned
+        g=list(range(1, n + 1)),
+        f=list(range(0, n)),
+        a=list(a),
+        b=list(b),
+    )
+    solved, _ = solve_moebius(rec, engine="auto" if engine == "numpy" else engine)
+    return solved[1:]

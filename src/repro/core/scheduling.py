@@ -1,0 +1,126 @@
+"""Processor scheduling and work/depth accounting.
+
+The paper first presents OrdinaryIR with one processor per trace
+(``O(n)`` processors), then notes that "a more efficient version of
+the algorithm which forks only up to P processes at the same time"
+achieves ``T(n, P) = (n/P) log n`` -- the version actually measured on
+SimParC (Fig 3).  This module provides the scheduling arithmetic both
+engines share:
+
+* :class:`WorkDepth` -- a (work, depth) profile with Brent's bound;
+* :func:`brent_schedule` -- per-superstep processor-bounded time:
+  a superstep with ``a`` active virtual processors costs
+  ``ceil(a / P)`` bursts on ``P`` physical processors;
+* :func:`fork_bounded_schedule` -- the paper's refinement, which also
+  charges the (small) per-burst fork/join overhead, letting the
+  ablation benchmark contrast the two accountings.
+
+These are pure integer computations; the instruction-level constants
+live in :mod:`repro.pram.instructions`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "WorkDepth",
+    "brent_schedule",
+    "fork_bounded_schedule",
+    "speedup",
+    "efficiency",
+    "processor_sweep",
+]
+
+
+@dataclass(frozen=True)
+class WorkDepth:
+    """A parallel computation profile.
+
+    ``work`` is the total number of elementary operations across all
+    processors; ``depth`` is the critical-path length (number of
+    synchronous supersteps).
+    """
+
+    work: int
+    depth: int
+
+    def brent_bound(self, processors: int) -> int:
+        """Brent's theorem: ``T_P <= W/P + D`` (rounded up)."""
+        if processors < 1:
+            raise ValueError("processors must be >= 1")
+        return math.ceil(self.work / processors) + self.depth
+
+    def lower_bound(self, processors: int) -> int:
+        """``T_P >= max(ceil(W/P), D)``."""
+        if processors < 1:
+            raise ValueError("processors must be >= 1")
+        return max(math.ceil(self.work / processors), self.depth)
+
+
+def brent_schedule(active_per_step: Sequence[int], processors: int) -> int:
+    """Exact processor-bounded superstep time.
+
+    Each superstep with ``a`` active virtual processors executes in
+    ``ceil(a / P)`` sequential bursts (the standard simulation of an
+    ``a``-processor step on ``P`` processors).  Returns the total
+    number of bursts; multiplying by the per-burst instruction cost
+    yields SimParC-style instruction counts.
+    """
+    if processors < 1:
+        raise ValueError("processors must be >= 1")
+    return sum(math.ceil(a / processors) for a in active_per_step if a > 0)
+
+
+def fork_bounded_schedule(
+    active_per_step: Sequence[int],
+    processors: int,
+    *,
+    fork_overhead: int = 1,
+) -> int:
+    """The paper's fork-bounded accounting.
+
+    Identical burst arithmetic to :func:`brent_schedule`, plus
+    ``fork_overhead`` charged once per superstep per processor batch:
+    the measured version forks at most ``P`` processes and re-uses
+    them across bursts, so the overhead scales with the number of
+    supersteps, not with ``n``.
+    """
+    if processors < 1:
+        raise ValueError("processors must be >= 1")
+    total = 0
+    for a in active_per_step:
+        if a <= 0:
+            continue
+        total += math.ceil(a / processors) + fork_overhead
+    return total
+
+
+def speedup(sequential_time: float, parallel_time: float) -> float:
+    """Classic speedup ratio ``T_seq / T_par``."""
+    if parallel_time <= 0:
+        raise ValueError("parallel time must be positive")
+    return sequential_time / parallel_time
+
+
+def efficiency(sequential_time: float, parallel_time: float, processors: int) -> float:
+    """Speedup per processor, in ``(0, 1]`` for honest accountings."""
+    return speedup(sequential_time, parallel_time) / processors
+
+
+def processor_sweep(max_processors: int, *, base: int = 2) -> List[int]:
+    """The geometric processor grid used by the Fig-3 style sweeps:
+    ``1, base, base^2, ... <= max_processors`` (always includes the
+    endpoints)."""
+    if max_processors < 1:
+        raise ValueError("max_processors must be >= 1")
+    grid = []
+    p = 1
+    while p <= max_processors:
+        grid.append(p)
+        p *= base
+    if grid[-1] != max_processors:
+        grid.append(max_processors)
+    return grid

@@ -1,0 +1,90 @@
+"""Reference sequential executors -- the paper's "Original IR Loop".
+
+These are the ground truth every parallel solver is checked against,
+and the baseline whose instruction count the Fig-3 benchmark compares
+with.  They are deliberately written as plain loops (one iteration per
+step, exactly the paper's pseudo-code) rather than vectorized: their
+job is fidelity, not speed.  Instruction-cost accounting for the
+baseline lives in :mod:`repro.pram.instructions` so that the core
+algorithms stay cost-model agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Tuple
+
+from .equations import GIRSystem, OrdinaryIRSystem
+
+__all__ = [
+    "run_ordinary",
+    "run_gir",
+    "iter_ordinary_states",
+    "iter_gir_states",
+    "assignment_history",
+]
+
+
+def run_ordinary(system: OrdinaryIRSystem) -> List[Any]:
+    """Execute ``for i: A[g(i)] := op(A[f(i)], A[g(i)])`` sequentially.
+
+    Returns the final array; the input system is not mutated.
+    """
+    A = list(system.initial)
+    op = system.op.fn
+    g = system.g.tolist()
+    f = system.f.tolist()
+    for i in range(system.n):
+        gi = g[i]
+        A[gi] = op(A[f[i]], A[gi])
+    return A
+
+
+def run_gir(system: GIRSystem) -> List[Any]:
+    """Execute ``for i: A[g(i)] := op(A[f(i)], A[h(i)])`` sequentially."""
+    A = list(system.initial)
+    op = system.op.fn
+    g = system.g.tolist()
+    f = system.f.tolist()
+    h = system.h.tolist()
+    for i in range(system.n):
+        A[g[i]] = op(A[f[i]], A[h[i]])
+    return A
+
+
+def iter_ordinary_states(system: OrdinaryIRSystem) -> Iterator[List[Any]]:
+    """Yield the array state *after* each iteration (n states).
+
+    Used by the trace tests (Fig 1) and the loop-AST cross-checks.
+    """
+    A = list(system.initial)
+    op = system.op.fn
+    for i in range(system.n):
+        gi = int(system.g[i])
+        A[gi] = op(A[int(system.f[i])], A[gi])
+        yield list(A)
+
+
+def iter_gir_states(system: GIRSystem) -> Iterator[List[Any]]:
+    """Yield the array state *after* each iteration (n states)."""
+    A = list(system.initial)
+    op = system.op.fn
+    for i in range(system.n):
+        A[int(system.g[i])] = op(A[int(system.f[i])], A[int(system.h[i])])
+        yield list(A)
+
+
+def assignment_history(system: GIRSystem) -> List[Tuple[int, Any]]:
+    """Run the loop and record ``(cell, value)`` per iteration.
+
+    The history is exactly the sequence of side effects of the original
+    loop; the traces module reconstructs the same values symbolically.
+    """
+    A = list(system.initial)
+    op = system.op.fn
+    history: List[Tuple[int, Any]] = []
+    for i in range(system.n):
+        cell = int(system.g[i])
+        value = op(A[int(system.f[i])], A[int(system.h[i])])
+        A[cell] = value
+        history.append((cell, value))
+    return history

@@ -1,0 +1,111 @@
+"""Serialization of IR systems for reproducible experiments.
+
+Benchmark configurations (index maps + initial values + operator) can
+be written to and read from JSON so that a measured artifact can be
+re-run bit-identically later or on another machine.  Operators are
+serialized *by name*: stock operators and modular families round-trip;
+systems with ad-hoc Python callables are rejected with a clear error
+(serialize the recipe, not the closure).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Union
+
+from .equations import GIRSystem, OrdinaryIRSystem
+from .operators import STOCK_OPERATORS, Operator, modular_add, modular_mul
+
+__all__ = [
+    "operator_to_name",
+    "operator_from_name",
+    "system_to_dict",
+    "system_from_dict",
+    "dump_system",
+    "load_system",
+]
+
+_MOD_RE = re.compile(r"^(add|mul)_mod_(\d+)$")
+
+
+def operator_to_name(op: Operator) -> str:
+    """The serializable name of an operator.
+
+    Raises :class:`ValueError` for operators outside the stock set and
+    the modular families (their behaviour cannot be reconstructed from
+    a name).
+    """
+    if op.name in STOCK_OPERATORS:
+        return op.name
+    if _MOD_RE.match(op.name):
+        return op.name
+    raise ValueError(
+        f"operator {op.name!r} is not serializable by name; only stock "
+        "operators and modular_add/modular_mul families round-trip"
+    )
+
+
+def operator_from_name(name: str) -> Operator:
+    """Inverse of :func:`operator_to_name`."""
+    if name in STOCK_OPERATORS:
+        return STOCK_OPERATORS[name]
+    match = _MOD_RE.match(name)
+    if match:
+        kind, modulus = match.groups()
+        maker = modular_add if kind == "add" else modular_mul
+        return maker(int(modulus))
+    raise ValueError(f"unknown operator name {name!r}")
+
+
+def system_to_dict(
+    system: Union[OrdinaryIRSystem, GIRSystem]
+) -> Dict[str, Any]:
+    """JSON-ready description of an IR system.
+
+    Initial values must themselves be JSON-serializable (numbers,
+    strings, lists); tuples are converted to lists and restored as
+    tuples on load when ``tuple_values`` is flagged.
+    """
+    tuple_values = any(isinstance(v, tuple) for v in system.initial)
+    doc: Dict[str, Any] = {
+        "kind": "gir" if isinstance(system, GIRSystem) else "ordinary",
+        "operator": operator_to_name(system.op),
+        "initial": [
+            list(v) if isinstance(v, tuple) else v for v in system.initial
+        ],
+        "tuple_values": tuple_values,
+        "g": system.g.tolist(),
+        "f": system.f.tolist(),
+    }
+    if isinstance(system, GIRSystem):
+        doc["h"] = system.h.tolist()
+    return doc
+
+
+def system_from_dict(doc: Dict[str, Any]) -> Union[OrdinaryIRSystem, GIRSystem]:
+    """Rebuild a system from :func:`system_to_dict` output."""
+    op = operator_from_name(doc["operator"])
+    initial = [
+        tuple(v) if doc.get("tuple_values") and isinstance(v, list) else v
+        for v in doc["initial"]
+    ]
+    if doc["kind"] == "gir":
+        return GIRSystem.build(initial, doc["g"], doc["f"], doc["h"], op)
+    if doc["kind"] == "ordinary":
+        return OrdinaryIRSystem.build(initial, doc["g"], doc["f"], op)
+    raise ValueError(f"unknown system kind {doc['kind']!r}")
+
+
+def dump_system(
+    system: Union[OrdinaryIRSystem, GIRSystem], path: str
+) -> None:
+    """Write a system to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(system_to_dict(system), handle, indent=2)
+
+
+def load_system(path: str) -> Union[OrdinaryIRSystem, GIRSystem]:
+    """Read a system from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return system_from_dict(json.load(handle))

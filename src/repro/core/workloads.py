@@ -1,0 +1,164 @@
+"""Workload generators: IR systems with controlled shapes.
+
+Benchmarks, tests and user experiments all need IR systems whose
+*trace structure* is known in advance -- chains of a given length,
+forests with a prescribed length distribution, scatter patterns,
+Fibonacci trees.  This module is the single place those shapes are
+built, with the invariants documented (and tested) per generator.
+
+All generators are deterministic given their arguments (seeded where
+randomness is involved).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .equations import GIRSystem, OrdinaryIRSystem
+from .operators import FLOAT_MUL, Operator, modular_mul
+
+__all__ = [
+    "chain_system",
+    "forest_system",
+    "random_ordinary_system",
+    "scatter_system",
+    "fibonacci_gir_system",
+    "double_chain_gir_system",
+    "random_gir_system",
+]
+
+
+def _default_initial(m: int) -> np.ndarray:
+    # values slightly above 1: products stay finite and orderable
+    return np.full(m, 1.0000001)
+
+
+def chain_system(n: int, *, op: Operator = FLOAT_MUL) -> OrdinaryIRSystem:
+    """One maximal chain: ``g(i) = i+1, f(i) = i`` over ``n+1`` cells.
+
+    Worst-case trace depth: the pointer-jumping solver needs exactly
+    ``ceil(log2 n)`` rounds.  This is the Fig-3 workload.
+    """
+    return OrdinaryIRSystem.build(
+        _default_initial(n + 1), np.arange(1, n + 1), np.arange(n), op
+    )
+
+
+def forest_system(
+    chain_lengths: Sequence[int], *, op: Operator = FLOAT_MUL
+) -> OrdinaryIRSystem:
+    """Disjoint chains with the given lengths.
+
+    Chain ``k`` of length ``L`` contributes ``L`` iterations over its
+    own ``L+1`` cells.  Useful for skewed active-set distributions
+    (the scheduling ablation uses a one-long-many-short instance).
+    """
+    g: List[int] = []
+    f: List[int] = []
+    base = 0
+    for length in chain_lengths:
+        if length < 0:
+            raise ValueError("chain lengths must be non-negative")
+        for i in range(length):
+            f.append(base + i)
+            g.append(base + i + 1)
+        base += length + 1
+    return OrdinaryIRSystem.build(
+        _default_initial(base), np.asarray(g, dtype=np.int64),
+        np.asarray(f, dtype=np.int64), op
+    )
+
+
+def random_ordinary_system(
+    n: int,
+    *,
+    extra_cells: int = 0,
+    seed: int = 0,
+    op: Operator = FLOAT_MUL,
+) -> OrdinaryIRSystem:
+    """Random injective ``g``, arbitrary ``f`` -- a random forest of
+    trace trees (each cell has one predecessor, possibly many
+    successors)."""
+    rng = np.random.default_rng(seed)
+    m = n + max(extra_cells, 1)
+    g = rng.permutation(m)[:n]
+    f = rng.integers(0, m, size=n)
+    return OrdinaryIRSystem.build(_default_initial(m), g, f, op)
+
+
+def scatter_system(
+    n: int,
+    cells: int,
+    *,
+    seed: int = 0,
+    op: Operator = FLOAT_MUL,
+) -> GIRSystem:
+    """Repeated assignments into few cells (``g`` non-distinct, drawn
+    uniformly): the scatter/fold shape of Livermore 13/14/21.  Returned
+    as a GIR system (the direct OrdinaryIR solver requires distinct
+    ``g``); solvers handle it via renaming."""
+    rng = np.random.default_rng(seed)
+    g = rng.integers(0, cells, size=n)
+    f = rng.integers(0, cells, size=n)
+    return GIRSystem.build(
+        _default_initial(cells), g, f, g.copy(), op
+    )
+
+
+def fibonacci_gir_system(
+    n: int, *, op: Optional[Operator] = None
+) -> GIRSystem:
+    """``A[i+2] := A[i+1] * A[i]`` -- the paper's Fig-5/6 recurrence
+    with Fibonacci-sized trace powers.  Defaults to multiplication mod
+    ``10**9 + 7`` so values stay exact."""
+    op = op or modular_mul(10**9 + 7)
+    return GIRSystem.build(
+        [2, 3] + [1] * n,
+        [i + 2 for i in range(n)],
+        [i + 1 for i in range(n)],
+        [i for i in range(n)],
+        op,
+    )
+
+
+def double_chain_gir_system(
+    n: int, *, op: Optional[Operator] = None
+) -> GIRSystem:
+    """``A[i+1] := A[i] * A[i]`` -- both operands identical, so the
+    dependence graph is the paper's double chain and path counts are
+    exactly ``2^i`` (the CAP(G) worked example)."""
+    op = op or modular_mul(10**9 + 7)
+    return GIRSystem.build(
+        [3] + [1] * n,
+        [i + 1 for i in range(n)],
+        [i for i in range(n)],
+        [i for i in range(n)],
+        op,
+    )
+
+
+def random_gir_system(
+    n: int,
+    *,
+    extra_cells: int = 4,
+    seed: int = 0,
+    distinct_g: bool = True,
+    op: Optional[Operator] = None,
+) -> GIRSystem:
+    """Random GIR system over addition mod 97 (exact, commutative)."""
+    from .operators import modular_add
+
+    op = op or modular_add(97)
+    rng = np.random.default_rng(seed)
+    if distinct_g:
+        m = n + max(extra_cells, 1)
+        g = rng.permutation(m)[:n]
+    else:
+        m = max(extra_cells, 1)
+        g = rng.integers(0, m, size=n)
+    f = rng.integers(0, m, size=n)
+    h = rng.integers(0, m, size=n)
+    initial = rng.integers(0, 97, size=m).tolist()
+    return GIRSystem.build(initial, g, f, h, op)

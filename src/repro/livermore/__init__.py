@@ -1,0 +1,16 @@
+"""The Livermore Loops substrate: kernels, data, census, parallel versions."""
+
+from .classify import (
+    KERNEL_NAMES,
+    PAPER_GROUPS,
+    CensusEntry,
+    ast_model,
+    census,
+    census_table,
+)
+from .data import INPUT_GENERATORS, kernel_inputs
+from .frontend import k23_loop_program, k23_via_frontend
+from .kernels import KERNELS, run_kernel
+from .parallel import PARALLEL_KERNELS, fold_scatter, scatter_add
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,472 @@
+"""Recurrence census of the Livermore Loops (paper, section 1).
+
+The paper reports, for the 24-kernel Livermore suite:
+
+* a group with *no recurrences of any type*,
+* a group with classic *linear recurrences*,
+* three excluded kernels, and
+* *all remaining kernels contain indexed recurrences* -- the paper's
+  motivation for the IR framework.
+
+The conference scan is OCR-damaged exactly where the kernel numbers
+are listed, so this module does two things:
+
+1. ships a *reconstructed* reading of the paper's grouping
+   (:data:`PAPER_GROUPS`) with the ambiguity flagged, and
+2. recomputes the census *programmatically*: each kernel whose
+   recurrence core fits the single-statement loop template gets a
+   :mod:`repro.loops` AST model and is classified by the actual
+   recognizer; the rest are classified structurally from their
+   implementation, with the reason recorded.
+
+``census()`` returns one entry per kernel; ``census_table()`` renders
+the table the benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.equations import IRClass
+from ..loops.ast import AffineIndex, Assign, BinOp, Const, Loop, OpApply, Ref, TableIndex
+from ..loops.recognize import recognize
+from .data import kernel_inputs
+
+__all__ = [
+    "KERNEL_NAMES",
+    "PAPER_GROUPS",
+    "CensusEntry",
+    "ast_model",
+    "census",
+    "census_table",
+]
+
+KERNEL_NAMES = {
+    1: "hydro fragment",
+    2: "ICCG excerpt",
+    3: "inner product",
+    4: "banded linear equations",
+    5: "tri-diagonal elimination",
+    6: "general linear recurrence",
+    7: "equation of state",
+    8: "ADI integration",
+    9: "integrate predictors",
+    10: "difference predictors",
+    11: "first sum",
+    12: "first difference",
+    13: "2-D particle in cell",
+    14: "1-D particle in cell",
+    15: "casual Fortran",
+    16: "Monte Carlo search",
+    17: "implicit conditional",
+    18: "2-D explicit hydrodynamics",
+    19: "general linear recurrence II",
+    20: "discrete ordinates transport",
+    21: "matrix * matrix product",
+    22: "Planckian distribution",
+    23: "2-D implicit hydrodynamics",
+    24: "first minimum location",
+}
+
+PAPER_GROUPS: Dict[str, Any] = {
+    "none": (1, 7, 8, 12, 15, 16, 21),
+    "linear": (5, 11, 19),
+    "linear_ambiguous": (3, 6),
+    "excluded": (10, 13, 14),
+    "note": (
+        "Reconstructed from an OCR-damaged scan: the paper lists seven "
+        "kernels without recurrences, four with linear recurrences (the "
+        "legible ones are 5, 11 and ...19; the fourth is 3 or 6), three "
+        "excluded kernels (consistent readings include 10, 13, 14), and "
+        "classifies every remaining kernel as containing indexed "
+        "recurrences."
+    ),
+}
+"""Best-effort reading of the paper's own grouping; see ``note``."""
+
+
+@dataclass
+class CensusEntry:
+    """One kernel's census row.
+
+    ``ir_class`` is the recognizer's verdict when an AST model exists
+    (``modeled=True``); otherwise the classification is structural and
+    ``basis`` explains it.  ``group`` collapses the classification into
+    the paper's three buckets.
+    """
+
+    number: int
+    name: str
+    group: str  # "none" | "linear" | "indexed" | "outside-template"
+    ir_class: Optional[IRClass]
+    modeled: bool
+    basis: str
+
+    def row(self) -> Tuple[str, ...]:
+        return (
+            f"{self.number}",
+            self.name,
+            self.group,
+            self.ir_class.value if self.ir_class else "-",
+            "recognizer" if self.modeled else "structural",
+            self.basis,
+        )
+
+
+# ---------------------------------------------------------------------------
+# AST models of the modelable recurrence cores
+# ---------------------------------------------------------------------------
+
+
+def _model_k01(n: int, seed: int) -> Tuple[Loop, Dict[str, List[Any]]]:
+    d = kernel_inputs(1, n, seed)
+    expr = BinOp(
+        "+",
+        Const(d["q"]),
+        BinOp(
+            "*",
+            Ref("y", AffineIndex()),
+            BinOp(
+                "+",
+                BinOp("*", Const(d["r"]), Ref("z", AffineIndex(1, 10))),
+                BinOp("*", Const(d["t"]), Ref("z", AffineIndex(1, 11))),
+            ),
+        ),
+    )
+    loop = Loop(n, Assign(Ref("x", AffineIndex()), expr))
+    return loop, {"x": d["x"], "y": d["y"], "z": d["z"]}
+
+
+def _model_k03(n: int, seed: int) -> Tuple[Loop, Dict[str, List[Any]]]:
+    d = kernel_inputs(3, n, seed)
+    expr = BinOp(
+        "+",
+        Ref("q", AffineIndex(0, 0)),
+        BinOp("*", Ref("z", AffineIndex()), Ref("x", AffineIndex())),
+    )
+    loop = Loop(n, Assign(Ref("q", AffineIndex(0, 0)), expr))
+    return loop, {"q": [0.0], "z": d["z"], "x": d["x"]}
+
+
+def _model_k05(n: int, seed: int) -> Tuple[Loop, Dict[str, List[Any]]]:
+    d = kernel_inputs(5, n, seed)
+    expr = BinOp(
+        "*",
+        Ref("z", AffineIndex(1, 1)),
+        BinOp("-", Ref("y", AffineIndex(1, 1)), Ref("x", AffineIndex(1, 0))),
+    )
+    loop = Loop(n - 1, Assign(Ref("x", AffineIndex(1, 1)), expr))
+    return loop, {"x": d["x"], "y": d["y"], "z": d["z"]}
+
+
+def _model_k07(n: int, seed: int) -> Tuple[Loop, Dict[str, List[Any]]]:
+    d = kernel_inputs(7, n, seed)
+    r, t, q = d["r"], d["t"], d["q"]
+    u = Ref
+    expr = BinOp(
+        "+",
+        BinOp(
+            "+",
+            Ref("u", AffineIndex()),
+            BinOp(
+                "*",
+                Const(r),
+                BinOp("+", Ref("z", AffineIndex()), BinOp("*", Const(r), Ref("y", AffineIndex()))),
+            ),
+        ),
+        BinOp(
+            "*",
+            Const(t),
+            BinOp(
+                "+",
+                BinOp(
+                    "+",
+                    Ref("u", AffineIndex(1, 3)),
+                    BinOp(
+                        "*",
+                        Const(r),
+                        BinOp(
+                            "+",
+                            Ref("u", AffineIndex(1, 2)),
+                            BinOp("*", Const(r), Ref("u", AffineIndex(1, 1))),
+                        ),
+                    ),
+                ),
+                BinOp(
+                    "*",
+                    Const(t),
+                    BinOp(
+                        "+",
+                        Ref("u", AffineIndex(1, 6)),
+                        BinOp(
+                            "*",
+                            Const(q),
+                            BinOp(
+                                "+",
+                                Ref("u", AffineIndex(1, 5)),
+                                BinOp("*", Const(q), Ref("u", AffineIndex(1, 4))),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+    loop = Loop(n, Assign(Ref("x", AffineIndex()), expr))
+    return loop, {"x": d["x"], "y": d["y"], "z": d["z"], "u": d["u"]}
+
+
+def _model_k11(n: int, seed: int) -> Tuple[Loop, Dict[str, List[Any]]]:
+    d = kernel_inputs(11, n, seed)
+    x = list(d["x"])
+    x[0] = d["y"][0]
+    expr = BinOp("+", Ref("x", AffineIndex(1, 0)), Ref("y", AffineIndex(1, 1)))
+    loop = Loop(n - 1, Assign(Ref("x", AffineIndex(1, 1)), expr))
+    return loop, {"x": x, "y": d["y"]}
+
+
+def _model_k12(n: int, seed: int) -> Tuple[Loop, Dict[str, List[Any]]]:
+    d = kernel_inputs(12, n, seed)
+    expr = BinOp("-", Ref("y", AffineIndex(1, 1)), Ref("y", AffineIndex()))
+    loop = Loop(n, Assign(Ref("x", AffineIndex()), expr))
+    return loop, {"x": d["x"], "y": d["y"]}
+
+
+def _model_k19(n: int, seed: int) -> Tuple[Loop, Dict[str, List[Any]]]:
+    # Scalar elimination of the carried stb5:
+    #   stb5[k+1] = sa[k] + stb5[k]*(sb[k] - 1)
+    d = kernel_inputs(19, n, seed)
+    st = [d["stb5"]] + [0.0] * n
+    expr = BinOp(
+        "+",
+        Ref("sa", AffineIndex()),
+        BinOp(
+            "*",
+            Ref("st", AffineIndex(1, 0)),
+            BinOp("-", Ref("sb", AffineIndex()), Const(1.0)),
+        ),
+    )
+    loop = Loop(n, Assign(Ref("st", AffineIndex(1, 1)), expr))
+    return loop, {"st": st, "sa": d["sa"], "sb": d["sb"]}
+
+
+def _model_k21(n: int, seed: int) -> Tuple[Loop, Dict[str, List[Any]]]:
+    # Flattened accumulation px[j][i] += vy[k][i]*cx[j][k]; model a
+    # representative slice (fixed i) to keep the census cheap.
+    d = kernel_inputs(21, min(n, 16), seed)
+    band = d["band"]
+    nj = d["n"]
+    g_table, vy_table, cx_table = [], [], []
+    i = 0
+    for k in range(band):
+        for j in range(nj):
+            g_table.append(j)
+            vy_table.append(d["vy"][k][i])
+            cx_table.append(d["cx"][j][k])
+    px_col = [row[i] for row in d["px"]]
+    expr = BinOp(
+        "+",
+        Ref("px", TableIndex(g_table)),
+        BinOp("*", Ref("vy", AffineIndex()), Ref("cx", AffineIndex())),
+    )
+    loop = Loop(len(g_table), Assign(Ref("px", TableIndex(g_table)), expr))
+    return loop, {"px": px_col, "vy": vy_table, "cx": cx_table}
+
+
+def _model_k23(n: int, seed: int) -> Tuple[Loop, Dict[str, List[Any]]]:
+    # The paper's section-3 fragment for one column sweep (j = 1),
+    # over the *flattened* grid with the paper's index maps
+    # g(i) = jn*i + j and f(i) = jn*(i-1) + j (stride jn -- an
+    # indexed recurrence, not a unit-stride linear one):
+    #   X[g(i)] := X[g(i)] + 0.175*(Y[g(i)] + X[f(i)]*Z[g(i)])
+    d = kernel_inputs(23, n, seed)
+    jn = d["jn"]
+    j = 1
+    rows = n + 1
+    X = [d["za"][k][jj] for k in range(rows) for jj in range(jn)]
+    Z = [0.175 * d["zv"][k][jj] for k in range(rows) for jj in range(jn)]
+    Y = [
+        d["za"][k][jj + 1] * d["zr"][k][jj]
+        + d["za"][k][jj - 1] * d["zb"][k][jj]
+        + d["zz"][k][jj]
+        if 0 < jj < jn - 1
+        else 0.0
+        for k in range(rows)
+        for jj in range(jn)
+    ]
+    g_idx = AffineIndex(jn, jn + j)  # cell (i+1, j) of the flat grid
+    f_idx = AffineIndex(jn, j)  # cell (i, j)
+    expr = BinOp(
+        "+",
+        Ref("X", g_idx),
+        BinOp(
+            "+",
+            Ref("Y", g_idx),
+            BinOp("*", Ref("X", f_idx), Ref("Z", g_idx)),
+        ),
+    )
+    loop = Loop(n, Assign(Ref("X", g_idx), expr))
+    return loop, {"X": X, "Y": Y, "Z": Z}
+
+
+def _model_k24(n: int, seed: int) -> Tuple[Loop, Dict[str, List[Any]]]:
+    from ..core.operators import make_operator
+
+    argmin = make_operator(
+        "argmin",
+        lambda p, q: p if p <= q else q,
+        commutative=True,
+        power=lambda x, k: x,
+    )
+    d = kernel_inputs(24, n, seed)
+    pairs = [(v, k) for k, v in enumerate(d["x"])]
+    expr = OpApply(argmin, Ref("m", AffineIndex(0, 0)), Ref("pairs", AffineIndex()))
+    loop = Loop(n, Assign(Ref("m", AffineIndex(0, 0)), expr))
+    return loop, {"m": [(float("inf"), -1)], "pairs": pairs}
+
+
+AST_MODELS: Dict[int, Callable[[int, int], Tuple[Loop, Dict[str, List[Any]]]]] = {
+    1: _model_k01,
+    3: _model_k03,
+    5: _model_k05,
+    7: _model_k07,
+    11: _model_k11,
+    12: _model_k12,
+    19: _model_k19,
+    21: _model_k21,
+    23: _model_k23,
+    24: _model_k24,
+}
+
+
+def ast_model(kernel: int, n: int = 32, seed: int = 0):
+    """The loop-AST model of a kernel's recurrence core, or ``None``
+    when the kernel has no single-statement model."""
+    fn = AST_MODELS.get(kernel)
+    return fn(n, seed) if fn else None
+
+
+# Structural classifications for kernels without a single-loop model.
+_STRUCTURAL: Dict[int, Tuple[str, Optional[IRClass], str]] = {
+    2: (
+        "indexed",
+        None,
+        "x[i] = x[k] - v[k]*x[k-1] - v[k+1]*x[k+1]: an indexed recurrence "
+        "with three operand reads, beyond the two-operand IR template",
+    ),
+    4: (
+        "indexed",
+        None,
+        "strided band update fed by an inner reduction over earlier x",
+    ),
+    6: (
+        "linear",
+        None,
+        "full-history general linear recurrence w[i] = f(w[0..i-1])",
+    ),
+    8: ("none", None, "reads time level nl1, writes nl2: no carried dependence"),
+    9: ("none", None, "row-local predictor integration"),
+    10: ("none", None, "row-local scalar chains; independent across rows"),
+    13: (
+        "indexed",
+        None,
+        "gather + scatter-accumulate h[j2][i2] += 1 with data-dependent "
+        "indices (g depends on values computed in the loop)",
+    ),
+    14: (
+        "indexed",
+        None,
+        "charge deposition rh[ir[k]] += w: indexed recurrence with "
+        "non-distinct, data-dependent g",
+    ),
+    15: (
+        "indexed",
+        None,
+        "neighbour updates guarded by data-dependent conditionals",
+    ),
+    16: ("none", None, "data-dependent search walk; control flow, no recurrence"),
+    17: (
+        "linear",
+        None,
+        "backward scan carrying a scalar through conditionals",
+    ),
+    18: ("none", None, "sweeps read previously-completed grids; += with distinct g"),
+    20: (
+        "indexed",
+        None,
+        "carried xx[k+1] = f(xx[k]) with divisions; degree 2 in xx[k], "
+        "outside the Moebius-reducible class",
+    ),
+    22: ("none", None, "pointwise Planckian evaluation"),
+}
+
+
+def _group_of(cls: IRClass) -> str:
+    if cls is IRClass.NO_RECURRENCE:
+        return "none"
+    if cls is IRClass.LINEAR:
+        return "linear"
+    if cls.is_indexed():
+        return "indexed"
+    return "outside-template"
+
+
+def census(n: int = 32, seed: int = 0) -> List[CensusEntry]:
+    """Classify all 24 kernels; recognizer-backed where modelable."""
+    entries: List[CensusEntry] = []
+    for number in range(1, 25):
+        name = KERNEL_NAMES[number]
+        model = ast_model(number, n=n, seed=seed)
+        if model is not None:
+            loop, _env = model
+            rec = recognize(loop)
+            entries.append(
+                CensusEntry(
+                    number=number,
+                    name=name,
+                    group=_group_of(rec.ir_class),
+                    ir_class=rec.ir_class,
+                    modeled=True,
+                    basis=rec.describe(),
+                )
+            )
+        else:
+            group, cls, basis = _STRUCTURAL[number]
+            entries.append(
+                CensusEntry(
+                    number=number,
+                    name=name,
+                    group=group,
+                    ir_class=cls,
+                    modeled=False,
+                    basis=basis,
+                )
+            )
+    return entries
+
+
+def census_table(entries: Optional[List[CensusEntry]] = None) -> str:
+    """Render the census as an aligned ASCII table."""
+    entries = entries if entries is not None else census()
+    headers = ("#", "kernel", "group", "recognized class", "basis", "detail")
+    rows = [e.row() for e in entries]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) for c in range(len(headers))
+    ]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines += [fmt.format(*r) for r in rows]
+    counts: Dict[str, int] = {}
+    for e in entries:
+        counts[e.group] = counts.get(e.group, 0) + 1
+    lines.append("")
+    lines.append(
+        "totals: "
+        + ", ".join(f"{g}={c}" for g, c in sorted(counts.items()))
+        + f"  (paper: none={len(PAPER_GROUPS['none'])}, linear=4, "
+        "excluded=3, rest indexed)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,364 @@
+"""Deterministic workload generators for the Livermore kernels.
+
+The paper's section-1 census analyzed the 24 Livermore Loops (McMahon's
+LFK suite) for recurrence structure.  This module generates the input
+arrays each kernel consumes: deterministic (seeded), sized by a single
+``n`` parameter (the canonical suite uses ``n`` = 1001/101/64 depending
+on the kernel; tests use smaller ``n``), and numerically tame (values
+bounded away from poles so the rational kernels stay finite).
+
+Every ``inputs_kNN(n, seed)`` returns a plain dict of lists / nested
+lists -- the same structures the sequential kernels and the parallel
+reimplementations consume, so results can be compared element-wise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+__all__ = ["kernel_inputs", "INPUT_GENERATORS"]
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _vec(rng: np.random.Generator, size: int, lo: float = 0.1, hi: float = 1.0) -> List[float]:
+    """A list of floats uniform in ``[lo, hi)`` -- positive by default
+    so divisions and logs stay well-behaved."""
+    return (lo + (hi - lo) * rng.random(size)).tolist()
+
+
+def _mat(
+    rng: np.random.Generator, rows: int, cols: int, lo: float = 0.1, hi: float = 1.0
+) -> List[List[float]]:
+    return [(lo + (hi - lo) * rng.random(cols)).tolist() for _ in range(rows)]
+
+
+def inputs_k01(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 1)
+    return {
+        "n": n,
+        "q": 0.5,
+        "r": 0.2,
+        "t": 0.1,
+        "x": [0.0] * n,
+        "y": _vec(rng, n),
+        "z": _vec(rng, n + 11),
+    }
+
+
+def inputs_k02(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 2)
+    size = 2 * n + 2
+    return {"n": n, "x": _vec(rng, size), "v": _vec(rng, size, 0.01, 0.2)}
+
+
+def inputs_k03(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 3)
+    return {"n": n, "z": _vec(rng, n), "x": _vec(rng, n)}
+
+
+def inputs_k04(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 4)
+    # the banded sweep walks lw up to ~n + n/5 past the band start
+    return {"n": n, "x": _vec(rng, n + n // 5 + 2), "y": _vec(rng, n, 0.01, 0.1)}
+
+
+def inputs_k05(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 5)
+    return {
+        "n": n,
+        "x": _vec(rng, n),
+        "y": _vec(rng, n),
+        "z": _vec(rng, n, 0.1, 0.9),
+    }
+
+
+def inputs_k06(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 6)
+    return {"n": n, "w": _vec(rng, n, 0.001, 0.01), "b": _mat(rng, n, n, 0.0, 0.05)}
+
+
+def inputs_k07(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 7)
+    return {
+        "n": n,
+        "q": 0.5,
+        "r": 0.2,
+        "t": 0.1,
+        "x": [0.0] * n,
+        "y": _vec(rng, n),
+        "z": _vec(rng, n),
+        "u": _vec(rng, n + 6),
+    }
+
+
+def inputs_k08(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 8)
+
+    def cube() -> List[List[List[float]]]:
+        return [
+            [(0.1 + 0.9 * rng.random(4)).tolist() for _ in range(n + 1)]
+            for _ in range(2)
+        ]
+
+    return {
+        "n": n,
+        "a11": 0.032,
+        "a12": -0.005,
+        "a13": -0.011,
+        "a21": -0.022,
+        "a22": 0.020,
+        "a23": -0.017,
+        "a31": 0.012,
+        "a32": -0.013,
+        "a33": 0.015,
+        "sig": 0.1,
+        "u1": cube(),
+        "u2": cube(),
+        "u3": cube(),
+    }
+
+
+def inputs_k09(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 9)
+    coeffs = {f"dm{k}": 0.01 * (k - 21) for k in range(22, 29)}
+    return {"n": n, "c0": 0.5, "px": _mat(rng, n, 13), **coeffs}
+
+
+def inputs_k10(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 10)
+    return {"n": n, "px": _mat(rng, n, 13), "cx": _mat(rng, n, 13)}
+
+
+def inputs_k11(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 11)
+    return {"n": n, "x": [0.0] * n, "y": _vec(rng, n)}
+
+
+def inputs_k12(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 12)
+    return {"n": n, "x": [0.0] * n, "y": _vec(rng, n + 1)}
+
+
+def inputs_k13(n: int, seed: int = 0, grid: int = 32) -> Dict[str, Any]:
+    rng = _rng(seed + 13)
+    return {
+        "n": n,
+        "grid": grid,
+        "p": [
+            [
+                float(rng.integers(0, grid)),
+                float(rng.integers(0, grid)),
+                float(rng.random()),
+                float(rng.random()),
+            ]
+            for _ in range(n)
+        ],
+        "b": _mat(rng, grid, grid, 0.0, 2.0),
+        "c": _mat(rng, grid, grid, 0.0, 2.0),
+        "y": _vec(rng, 2 * grid, 0.0, 1.0),
+        "z": _vec(rng, 2 * grid, 0.0, 1.0),
+        "e": [int(v) for v in rng.integers(1, 4, size=2 * grid)],
+        "f": [int(v) for v in rng.integers(1, 4, size=2 * grid)],
+        "h": _mat(rng, 2 * grid + 4, 2 * grid + 4, 0.0, 1.0),
+    }
+
+
+def inputs_k14(n: int, seed: int = 0, nz: int = 128) -> Dict[str, Any]:
+    rng = _rng(seed + 14)
+    return {
+        "n": n,
+        "nz": nz,
+        "grd": [float(v) for v in (1 + (nz - 3) * rng.random(n))],
+        "xx": _vec(rng, n, 1.0, float(nz - 2)),
+        "ex": _vec(rng, nz, -0.5, 0.5),
+        "dex": _vec(rng, nz, -0.1, 0.1),
+        "vx": [0.0] * n,
+        "rh": [0.0] * (nz + 2),
+        "flx": 0.001,
+    }
+
+
+def inputs_k15(n: int, seed: int = 0, ng: int = 7) -> Dict[str, Any]:
+    rng = _rng(seed + 15)
+    return {
+        "n": n,
+        "ng": ng,
+        "vy": _mat(rng, ng, n, -1.0, 1.0),
+        "vh": _mat(rng, ng + 1, n + 1, 0.0, 1.0),
+        "vf": _mat(rng, ng + 1, n + 1, 0.0, 1.0),
+        "vg": _mat(rng, ng + 1, n + 1, 0.0, 1.0),
+        "vs": _mat(rng, ng + 1, n + 1, 0.0, 1.0),
+        "r": 0.5,
+        "t": 0.3,
+    }
+
+
+def inputs_k16(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 16)
+    return {
+        "n": n,
+        "zone": [int(v) for v in rng.integers(1, max(2, n // 2), size=3 * n)],
+        "plan": _vec(rng, 3 * n, 0.0, 3.0),
+        "d": _vec(rng, 3 * n, 0.0, 1.0),
+        "s": 0.5,
+        "t": 1.5,
+    }
+
+
+def inputs_k17(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 17)
+    return {
+        "n": n,
+        "vsp": _vec(rng, n, 0.1, 0.5),
+        "vstp": _vec(rng, n, 0.1, 0.5),
+        "vxne": _vec(rng, n, 0.5, 1.5),
+        "vxnd": _vec(rng, n, 0.5, 1.5),
+        "ve3": _vec(rng, n),
+        "vlr": _vec(rng, n),
+        "vlin": _vec(rng, n),
+        "vxno": _vec(rng, n, 1.0, 2.0),
+    }
+
+
+def inputs_k18(n: int, seed: int = 0, kn: int = 6) -> Dict[str, Any]:
+    rng = _rng(seed + 18)
+    shape = (kn + 2, n + 2)
+
+    def grid() -> List[List[float]]:
+        return _mat(rng, shape[0], shape[1], 0.5, 1.5)
+
+    return {
+        "n": n,
+        "kn": kn,
+        "t": 0.0037,
+        "s": 0.0041,
+        "za": grid(),
+        "zb": grid(),
+        "zm": grid(),
+        "zp": grid(),
+        "zq": grid(),
+        "zr": grid(),
+        "zu": grid(),
+        "zv": grid(),
+        "zz": grid(),
+    }
+
+
+def inputs_k19(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 19)
+    return {
+        "n": n,
+        "sa": _vec(rng, n),
+        "sb": _vec(rng, n, 0.1, 0.5),
+        "b5": [0.0] * n,
+        "stb5": 0.1,
+    }
+
+
+def inputs_k20(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 20)
+    return {
+        "n": n,
+        "dk": 0.5,
+        "y": _vec(rng, n, 1.0, 2.0),
+        "g": _vec(rng, n, 0.01, 0.1),
+        "u": _vec(rng, n),
+        "v": _vec(rng, n, 0.1, 0.5),
+        "w": _vec(rng, n),
+        "vx": _vec(rng, n, 1.0, 2.0),
+        "x": [0.0] * n,
+        "xx": [0.3] + [0.0] * n,
+    }
+
+
+def inputs_k21(n: int, seed: int = 0, band: int = 25) -> Dict[str, Any]:
+    rng = _rng(seed + 21)
+    return {
+        "n": n,
+        "band": band,
+        "px": _mat(rng, n, band, 0.0, 0.1),
+        "vy": _mat(rng, band, band),
+        "cx": _mat(rng, n, band),
+    }
+
+
+def inputs_k22(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 22)
+    return {
+        "n": n,
+        "u": _vec(rng, n, 0.1, 2.0),
+        "v": _vec(rng, n, 0.5, 1.5),
+        "x": _vec(rng, n),
+        "y": [0.0] * n,
+        "w": [0.0] * n,
+    }
+
+
+def inputs_k23(n: int, seed: int = 0, jn: int = 7) -> Dict[str, Any]:
+    rng = _rng(seed + 23)
+    shape_rows = n + 2
+
+    def grid(lo: float = 0.0, hi: float = 0.2) -> List[List[float]]:
+        return _mat(rng, shape_rows, jn, lo, hi)
+
+    return {
+        "n": n,
+        "jn": jn,
+        "za": _mat(rng, shape_rows, jn, 0.5, 1.5),
+        "zb": grid(),
+        "zr": grid(),
+        "zu": grid(),
+        "zv": grid(),
+        "zz": grid(),
+    }
+
+
+def inputs_k24(n: int, seed: int = 0) -> Dict[str, Any]:
+    rng = _rng(seed + 24)
+    return {"n": n, "x": [float(v) for v in rng.normal(size=n)]}
+
+
+INPUT_GENERATORS = {
+    k: fn
+    for k, fn in (
+        (1, inputs_k01),
+        (2, inputs_k02),
+        (3, inputs_k03),
+        (4, inputs_k04),
+        (5, inputs_k05),
+        (6, inputs_k06),
+        (7, inputs_k07),
+        (8, inputs_k08),
+        (9, inputs_k09),
+        (10, inputs_k10),
+        (11, inputs_k11),
+        (12, inputs_k12),
+        (13, inputs_k13),
+        (14, inputs_k14),
+        (15, inputs_k15),
+        (16, inputs_k16),
+        (17, inputs_k17),
+        (18, inputs_k18),
+        (19, inputs_k19),
+        (20, inputs_k20),
+        (21, inputs_k21),
+        (22, inputs_k22),
+        (23, inputs_k23),
+        (24, inputs_k24),
+    )
+}
+"""Kernel number -> input generator."""
+
+
+def kernel_inputs(kernel: int, n: int, seed: int = 0) -> Dict[str, Any]:
+    """Inputs for kernel ``kernel`` at problem size ``n``."""
+    try:
+        gen = INPUT_GENERATORS[kernel]
+    except KeyError:
+        raise KeyError(f"no such Livermore kernel: {kernel}") from None
+    return gen(n, seed)

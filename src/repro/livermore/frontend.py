@@ -1,0 +1,131 @@
+"""Kernel 23 through the compiler front end, end to end.
+
+The other modules parallelize kernel 23 by *hand-deriving* the
+per-sweep affine coefficients (:mod:`repro.livermore.parallel`).  This
+module instead does what a compiler would: it lowers the kernel's
+double loop into a :class:`~repro.loops.program.LoopProgram` over
+*flattened* grids -- using exactly the paper's index maps
+``g(i) = jn*i + j`` -- and lets the generic recognizer/transformer
+parallelize every statement:
+
+* per column sweep ``j``, a **map** statement precomputes the
+  fixed part of ``qa`` into a scratch grid ``Y`` (reads of columns
+  ``j-1``/``j+1`` and the pre-sweep column ``j``; this is the same
+  folding the paper performs when it rewrites the kernel as
+  ``X[i,j] := X[i,j] + 0.175*(Y[i] + X[i-1,j]*Z[i,j])``);
+* the **recurrence** statement is then literally the paper's fragment,
+  which the recognizer classifies MOEBIUS_AFFINE (stride-``jn`` index
+  maps: an *indexed* recurrence, not a unit-stride linear one) and the
+  transformer solves in ``O(log n)`` steps.
+
+No dependence analysis, no hand-derived coefficients: the census
+machinery recognizes the shape and the Moebius machinery solves it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..loops.ast import AffineIndex, Assign, BinOp, Const, Loop, Ref
+from ..loops.program import LoopProgram, ProgramResult, parallelize_program
+
+__all__ = ["k23_loop_program", "k23_via_frontend"]
+
+
+def _flatten(grid: List[List[float]]) -> List[float]:
+    return [v for row in grid for v in row]
+
+
+def k23_loop_program(
+    d: Dict[str, Any]
+) -> Tuple[LoopProgram, Dict[str, List[float]]]:
+    """Lower kernel 23 to a loop program over flattened grids.
+
+    Returns ``(program, env)``; the program has two statements per
+    column sweep (scratch map + Moebius recurrence), ``jn - 2`` sweeps.
+    """
+    n, jn = d["n"], d["jn"]
+
+    env: Dict[str, List[float]] = {
+        "X": _flatten(d["za"]),
+        "Y": [0.0] * ((n + 2) * jn),
+        "ZB": _flatten(d["zb"]),
+        "ZR": _flatten(d["zr"]),
+        "ZU": _flatten(d["zu"]),
+        "ZV": _flatten(d["zv"]),
+        "ZZ": _flatten(d["zz"]),
+    }
+
+    statements: List[Loop] = []
+    for j in range(1, jn - 1):
+        # flattened cell (i+1, j) -- the paper's g(i) = jn*(i) + j
+        g = AffineIndex(jn, jn + j)
+        # flattened cell (i, j)   -- the paper's f(i) = jn*(i-1) + j
+        f = AffineIndex(jn, j)
+        up = AffineIndex(jn, jn + j + 1)  # (i+1, j+1): next column
+        dn = AffineIndex(jn, jn + j - 1)  # (i+1, j-1): previous column
+        below = AffineIndex(jn, 2 * jn + j)  # (i+1+1, j): pre-sweep read
+
+        # Y[g] := X[up]*ZR[g] + X[dn]*ZB[g] + X[below]*ZU[g] + ZZ[g]
+        scratch = Loop(
+            n - 1,
+            Assign(
+                Ref("Y", g),
+                BinOp(
+                    "+",
+                    BinOp(
+                        "+",
+                        BinOp("*", Ref("X", up), Ref("ZR", g)),
+                        BinOp("*", Ref("X", dn), Ref("ZB", g)),
+                    ),
+                    BinOp(
+                        "+",
+                        BinOp("*", Ref("X", below), Ref("ZU", g)),
+                        Ref("ZZ", g),
+                    ),
+                ),
+            ),
+        )
+        # X[g] := X[g] + 0.175*((Y[g] + X[f]*ZV[g]) - X[g])
+        recurrence = Loop(
+            n - 1,
+            Assign(
+                Ref("X", g),
+                BinOp(
+                    "+",
+                    Ref("X", g),
+                    BinOp(
+                        "*",
+                        Const(0.175),
+                        BinOp(
+                            "-",
+                            BinOp(
+                                "+",
+                                Ref("Y", g),
+                                BinOp("*", Ref("X", f), Ref("ZV", g)),
+                            ),
+                            Ref("X", g),
+                        ),
+                    ),
+                ),
+            ),
+        )
+        statements.append(scratch)
+        statements.append(recurrence)
+
+    return LoopProgram(statements), env
+
+
+def k23_via_frontend(d: Dict[str, Any]) -> Tuple[Dict[str, Any], ProgramResult]:
+    """Run kernel 23 entirely through the loop front end.
+
+    Returns ``({"za": grid}, program_result)`` -- the same output shape
+    as :func:`repro.livermore.kernels.k23`, computed by the generic
+    recognizer + Moebius machinery.
+    """
+    n, jn = d["n"], d["jn"]
+    program, env = k23_loop_program(d)
+    result = parallelize_program(program, env)
+    flat = result.env["X"]
+    za = [flat[r * jn : (r + 1) * jn] for r in range(n + 2)]
+    return {"za": za}, result

@@ -1,0 +1,508 @@
+"""Sequential reference implementations of the 24 Livermore kernels.
+
+The paper's section-1 claim -- most Livermore loops are indexed
+recurrences -- is reproduced against these implementations.  Each
+``kNN(d)`` consumes a dict from :mod:`repro.livermore.data` (never
+mutated) and returns a dict of output arrays/scalars.
+
+Fidelity notes: kernels 1-13, 18-24 follow the classic ``lloops.c``
+control and data flow (0-based, sized by ``n``); kernels 14-17 (1-D
+PIC, casual Fortran, Monte-Carlo search, implicit conditional) are
+*structurally faithful* reimplementations -- same dependence pattern
+(gather / scatter-accumulate / conditional chains), simplified
+constants -- which is all the recurrence census needs.  The docstring
+of each kernel states its recurrence classification as implemented
+here.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from typing import Any, Dict, List
+
+__all__ = ["KERNELS", "run_kernel"] + [f"k{num:02d}" for num in range(1, 25)]
+
+
+def _copy2(mat: List[List[float]]) -> List[List[float]]:
+    return [row[:] for row in mat]
+
+
+def k01(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 1 -- hydro fragment.  No recurrence (pure map)."""
+    n, q, r, t = d["n"], d["q"], d["r"], d["t"]
+    y, z = d["y"], d["z"]
+    x = list(d["x"])
+    for k in range(n):
+        x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11])
+    return {"x": x}
+
+
+def k02(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 2 -- ICCG excerpt (incomplete Cholesky conjugate
+    gradient).  Indexed recurrence with *three* operand reads per
+    assignment -- outside the two-operand IR template."""
+    n = d["n"]
+    x = list(d["x"])
+    v = d["v"]
+    ipntp = 0
+    ii = n
+    while ii > 0:
+        ipnt = ipntp
+        ipntp += ii
+        ii //= 2
+        i = ipntp - 1
+        for k in range(ipnt + 1, ipntp, 2):
+            i += 1
+            x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1]
+    return {"x": x}
+
+
+def k03(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 3 -- inner product.  Scalar reduction chain (an indexed
+    recurrence on a single cell; Moebius-affine after renaming)."""
+    q = 0.0
+    z, x = d["z"], d["x"]
+    for k in range(d["n"]):
+        q += z[k] * x[k]
+    return {"q": q}
+
+
+def k04(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 4 -- banded linear equations.  Inner reduction feeding a
+    strided update."""
+    n = d["n"]
+    x = list(d["x"])
+    y = d["y"]
+    m = max((n - 7) // 2, 1)
+    for k in range(6, n, m):
+        lw = k - 6
+        temp = x[k - 1]
+        for j in range(4, n, 5):
+            temp -= x[lw] * y[j]
+            lw += 1
+        x[k - 1] = y[4] * temp
+    return {"x": x}
+
+
+def k05(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 5 -- tri-diagonal elimination, below diagonal.  The
+    classic *linear recurrence* ``x[i] = z[i]*(y[i] - x[i-1])``."""
+    n = d["n"]
+    x = list(d["x"])
+    y, z = d["y"], d["z"]
+    for i in range(1, n):
+        x[i] = z[i] * (y[i] - x[i - 1])
+    return {"x": x}
+
+
+def k06(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 6 -- general linear recurrence equations.  Full-history
+    linear recurrence (each value reads all predecessors)."""
+    n = d["n"]
+    w = list(d["w"])
+    b = d["b"]
+    for i in range(1, n):
+        w[i] = 0.01
+        for k in range(i):
+            w[i] += b[k][i] * w[(i - k) - 1]
+    return {"w": w}
+
+
+def k07(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 7 -- equation of state fragment.  No recurrence."""
+    n, q, r, t = d["n"], d["q"], d["r"], d["t"]
+    x = list(d["x"])
+    y, z, u = d["y"], d["z"], d["u"]
+    for k in range(n):
+        x[k] = (
+            u[k]
+            + r * (z[k] + r * y[k])
+            + t
+            * (
+                u[k + 3]
+                + r * (u[k + 2] + r * u[k + 1])
+                + t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4]))
+            )
+        )
+    return {"x": x}
+
+
+def k08(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 8 -- ADI integration.  Reads time level ``nl1``, writes
+    ``nl2``: no loop-carried recurrence inside the sweep."""
+    n = d["n"]
+    a11, a12, a13 = d["a11"], d["a12"], d["a13"]
+    a21, a22, a23 = d["a21"], d["a22"], d["a23"]
+    a31, a32, a33 = d["a31"], d["a32"], d["a33"]
+    sig = d["sig"]
+    u1 = copy.deepcopy(d["u1"])
+    u2 = copy.deepcopy(d["u2"])
+    u3 = copy.deepcopy(d["u3"])
+    nl1, nl2 = 0, 1
+    for kx in range(1, 3):
+        for ky in range(1, n):
+            du1 = u1[nl1][ky + 1][kx] - u1[nl1][ky - 1][kx]
+            du2 = u2[nl1][ky + 1][kx] - u2[nl1][ky - 1][kx]
+            du3 = u3[nl1][ky + 1][kx] - u3[nl1][ky - 1][kx]
+            u1[nl2][ky][kx] = u1[nl1][ky][kx] + a11 * du1 + a12 * du2 + a13 * du3 + sig * (
+                u1[nl1][ky][kx + 1] - 2.0 * u1[nl1][ky][kx] + u1[nl1][ky][kx - 1]
+            )
+            u2[nl2][ky][kx] = u2[nl1][ky][kx] + a21 * du1 + a22 * du2 + a23 * du3 + sig * (
+                u2[nl1][ky][kx + 1] - 2.0 * u2[nl1][ky][kx] + u2[nl1][ky][kx - 1]
+            )
+            u3[nl2][ky][kx] = u3[nl1][ky][kx] + a31 * du1 + a32 * du2 + a33 * du3 + sig * (
+                u3[nl1][ky][kx + 1] - 2.0 * u3[nl1][ky][kx] + u3[nl1][ky][kx - 1]
+            )
+    return {"u1": u1, "u2": u2, "u3": u3}
+
+
+def k09(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 9 -- integrate predictors.  No recurrence (row-local)."""
+    px = _copy2(d["px"])
+    c0 = d["c0"]
+    for i in range(d["n"]):
+        px[i][0] = (
+            d["dm28"] * px[i][12]
+            + d["dm27"] * px[i][11]
+            + d["dm26"] * px[i][10]
+            + d["dm25"] * px[i][9]
+            + d["dm24"] * px[i][8]
+            + d["dm23"] * px[i][7]
+            + d["dm22"] * px[i][6]
+            + c0 * (px[i][4] + px[i][5])
+            + px[i][2]
+        )
+    return {"px": px}
+
+
+def k10(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 10 -- difference predictors.  Row-local scalar chain; no
+    loop-carried recurrence across ``i``."""
+    px = _copy2(d["px"])
+    cx = d["cx"]
+    for i in range(d["n"]):
+        ar = cx[i][4]
+        br = ar - px[i][4]
+        px[i][4] = ar
+        cr = br - px[i][5]
+        px[i][5] = br
+        ar = cr - px[i][6]
+        px[i][6] = cr
+        br = ar - px[i][7]
+        px[i][7] = ar
+        cr = br - px[i][8]
+        px[i][8] = br
+        ar = cr - px[i][9]
+        px[i][9] = cr
+        br = ar - px[i][10]
+        px[i][10] = ar
+        cr = br - px[i][11]
+        px[i][11] = br
+        px[i][12] = cr
+    return {"px": px}
+
+
+def k11(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 11 -- first sum (prefix sums).  Linear recurrence."""
+    n = d["n"]
+    x = list(d["x"])
+    y = d["y"]
+    x[0] = y[0]
+    for k in range(1, n):
+        x[k] = x[k - 1] + y[k]
+    return {"x": x}
+
+
+def k12(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 12 -- first difference.  No recurrence."""
+    n = d["n"]
+    x = list(d["x"])
+    y = d["y"]
+    for k in range(n):
+        x[k] = y[k + 1] - y[k]
+    return {"x": x}
+
+
+def k13(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 13 -- 2-D particle in cell.  Gather + scatter-accumulate
+    with computed indices: indexed recurrences with non-distinct g
+    (the ``h`` histogram update) plus per-particle state chains."""
+    n, grid = d["n"], d["grid"]
+    p = _copy2(d["p"])
+    b, c, y, z = d["b"], d["c"], d["y"], d["z"]
+    e, f = list(d["e"]), list(d["f"])
+    h = _copy2(d["h"])
+    for ip in range(n):
+        i1 = int(p[ip][0]) % grid
+        j1 = int(p[ip][1]) % grid
+        p[ip][2] += b[j1][i1]
+        p[ip][3] += c[j1][i1]
+        p[ip][0] += p[ip][2]
+        p[ip][1] += p[ip][3]
+        i2 = int(p[ip][0]) % grid
+        j2 = int(p[ip][1]) % grid
+        p[ip][0] += y[i2 + grid // 2]
+        p[ip][1] += z[j2 + grid // 2]
+        i2 += e[i2 + grid // 2]
+        j2 += f[j2 + grid // 2]
+        h[j2][i2] += 1.0
+    return {"p": p, "h": h}
+
+
+def k14(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 14 -- 1-D particle in cell (structurally faithful).
+    Gather of field values, position push, charge deposition via
+    scatter-accumulate ``rh[ir] += w`` (indexed recurrence with
+    non-distinct g)."""
+    n, nz = d["n"], d["nz"]
+    grd, ex, dex = d["grd"], d["ex"], d["dex"]
+    vx = list(d["vx"])
+    xx = list(d["xx"])
+    rh = list(d["rh"])
+    flx = d["flx"]
+    ir = [0] * n
+    for k in range(n):
+        ix = int(grd[k])
+        vx[k] = ex[ix] + (grd[k] - ix) * dex[ix]
+    for k in range(n):
+        xx[k] = xx[k] + vx[k] * flx
+        ir[k] = int(xx[k]) % nz
+    for k in range(n):
+        frac = xx[k] - int(xx[k])
+        rh[ir[k]] += 1.0 - frac
+        rh[ir[k] + 1] += frac
+    return {"vx": vx, "xx": xx, "rh": rh, "ir": ir}
+
+
+def k15(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 15 -- casual Fortran (structurally faithful).  2-D sweep
+    with data-dependent conditionals; writes depend on neighbours
+    already updated in the same sweep: an indexed recurrence guarded by
+    control flow."""
+    n, ng = d["n"], d["ng"]
+    r, t = d["r"], d["t"]
+    vy = _copy2(d["vy"])
+    vh, vf, vg, vs = d["vh"], _copy2(d["vf"]), d["vg"], _copy2(d["vs"])
+    for j in range(1, ng):
+        for k in range(1, n):
+            if vh[j][k + 1] > vh[j][k]:
+                t_ = r * vy[j][k - 1] + t
+            else:
+                t_ = r * vy[j - 1][k] + t
+            if vf[j][k] < vg[j][k]:
+                vy[j][k] = t_ * vf[j][k] + vy[j][k]
+                vs[j][k] = t_ - vs[j][k]
+            else:
+                vy[j][k] = t_ * vg[j][k] - vy[j][k]
+                vf[j][k] = t_ + vf[j][k]
+    return {"vy": vy, "vf": vf, "vs": vs}
+
+
+def k16(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 16 -- Monte Carlo search loop (structurally faithful).
+    Data-dependent walk with early exit; inherently sequential control
+    flow, no arithmetic recurrence."""
+    n = d["n"]
+    zone, plan, dd = d["zone"], d["plan"], d["d"]
+    s, t = d["s"], d["t"]
+    j = 0
+    k = 0
+    steps = 0
+    path = []
+    limit = 3 * n - 2
+    while steps < limit:
+        k += 1
+        if k >= limit:
+            break
+        steps += 1
+        m = zone[k] % max(1, n // 2)
+        path.append(m)
+        if plan[k] < t:
+            if plan[k] < s:
+                j += 1
+            else:
+                j += 2
+        else:
+            j += 3
+        if dd[k] > plan[k] * 2.0:
+            k += 2
+    return {"j": j, "steps": steps, "checksum": float(sum(path))}
+
+
+def k17(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 17 -- implicit, conditional computation (structurally
+    faithful).  Backward scan carrying a scalar through branches: a
+    conditional linear recurrence."""
+    n = d["n"]
+    vsp, vstp = d["vsp"], d["vstp"]
+    vxne = list(d["vxne"])
+    vxnd = list(d["vxnd"])
+    ve3 = list(d["ve3"])
+    vlr, vlin, vxno = d["vlr"], d["vlin"], d["vxno"]
+    scale = 5.0 / 3.0
+    xnm = 1.0 / 3.0
+    e6 = 1.03 / 3.07
+    for i in range(n - 1, -1, -1):
+        e3 = xnm * vlr[i] + vlin[i]
+        xnei = vxne[i]
+        vxnd[i] = e6
+        xnc = scale * e3
+        if xnm > xnc or xnei > xnc:
+            e6 = xnm * vsp[i] + vstp[i]
+            vxne[i] = e6
+            xnm = e6
+            ve3[i] = e6
+        else:
+            e6 = xnm * vxno[i] * 0.5 + e3 * 0.5
+            ve3[i] = e3
+            vxne[i] = e6
+            xnm = e6
+    return {"vxne": vxne, "vxnd": vxnd, "ve3": ve3, "xnm": xnm}
+
+
+def k18(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 18 -- 2-D explicit hydrodynamics fragment.  Three sweeps
+    reading previously-computed grids; own-cell ``+=`` updates only
+    (distinct g): parallel maps."""
+    n, kn = d["n"], d["kn"]
+    t, s = d["t"], d["s"]
+    za = _copy2(d["za"])
+    zb = _copy2(d["zb"])
+    zm, zp, zq = d["zm"], d["zp"], d["zq"]
+    zr = _copy2(d["zr"])
+    zu = _copy2(d["zu"])
+    zv = _copy2(d["zv"])
+    zz = _copy2(d["zz"])
+    for k in range(1, kn):
+        for j in range(1, n):
+            za[k][j] = (
+                (zp[k + 1][j - 1] + zq[k + 1][j - 1] - zp[k][j - 1] - zq[k][j - 1])
+                * (zr[k][j] + zr[k][j - 1])
+                / (zm[k][j - 1] + zm[k + 1][j - 1])
+            )
+            zb[k][j] = (
+                (zp[k][j - 1] + zq[k][j - 1] - zp[k][j] - zq[k][j])
+                * (zr[k][j] + zr[k - 1][j])
+                / (zm[k][j] + zm[k][j - 1])
+            )
+    for k in range(1, kn):
+        for j in range(1, n):
+            zu[k][j] += s * (
+                za[k][j] * (zz[k][j] - zz[k][j + 1])
+                - za[k][j - 1] * (zz[k][j] - zz[k][j - 1])
+                - zb[k][j] * (zz[k][j] - zz[k - 1][j])
+                + zb[k + 1][j] * (zz[k][j] - zz[k + 1][j])
+            )
+            zv[k][j] += s * (
+                za[k][j] * (zr[k][j] - zr[k][j + 1])
+                - za[k][j - 1] * (zr[k][j] - zr[k][j - 1])
+                - zb[k][j] * (zr[k][j] - zr[k - 1][j])
+                + zb[k + 1][j] * (zr[k][j] - zr[k + 1][j])
+            )
+    for k in range(1, kn):
+        for j in range(1, n):
+            zr[k][j] = zr[k][j] + t * zu[k][j]
+            zz[k][j] = zz[k][j] + t * zv[k][j]
+    return {"za": za, "zb": zb, "zr": zr, "zu": zu, "zv": zv, "zz": zz}
+
+
+def k19(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 19 -- general linear recurrence equations.  Forward and
+    backward scalar-carried linear recurrences."""
+    n = d["n"]
+    sa, sb = d["sa"], d["sb"]
+    b5 = list(d["b5"])
+    stb5 = d["stb5"]
+    for k in range(n):
+        b5[k] = sa[k] + stb5 * sb[k]
+        stb5 = b5[k] - stb5
+    for k in range(n - 1, -1, -1):
+        b5[k] = sa[k] + stb5 * sb[k]
+        stb5 = b5[k] - stb5
+    return {"b5": b5, "stb5": stb5}
+
+
+def k20(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 20 -- discrete ordinates transport.  A *rational*
+    carried recurrence: ``xx[k+1]`` depends on ``xx[k]`` through
+    divisions.  The full body has degree 2 in ``xx[k]``, so it sits
+    outside the Moebius-reducible class (the transformer falls back)."""
+    n, dk = d["n"], d["dk"]
+    y, g, u, v, w, vx = d["y"], d["g"], d["u"], d["v"], d["w"], d["vx"]
+    x = list(d["x"])
+    xx = list(d["xx"])
+    for k in range(n):
+        di = y[k] - g[k] / (xx[k] + dk)
+        dn = 0.2 / di
+        x[k] = ((w[k] + v[k] * dn) * xx[k] + u[k]) / (vx[k] + v[k] * dn)
+        xx[k + 1] = (x[k] - xx[k]) * dn + xx[k]
+    return {"x": x, "xx": xx}
+
+
+def k21(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 21 -- matrix * matrix product.  Accumulation
+    ``px[j][i] += vy[k][i]*cx[j][k]``: per-cell reduction chains
+    (indexed recurrence with repeated assignments)."""
+    n, band = d["n"], d["band"]
+    px = _copy2(d["px"])
+    vy, cx = d["vy"], d["cx"]
+    for k in range(band):
+        for i in range(band):
+            for j in range(n):
+                px[j][i] += vy[k][i] * cx[j][k]
+    return {"px": px}
+
+
+def k22(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 22 -- Planckian distribution.  No recurrence."""
+    n = d["n"]
+    u, v, x = d["u"], d["v"], d["x"]
+    y = list(d["y"])
+    w = list(d["w"])
+    for k in range(n):
+        y[k] = u[k] / v[k]
+        w[k] = x[k] / (math.exp(y[k]) - 1.0)
+    return {"y": y, "w": w}
+
+
+def k23(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 23 -- 2-D implicit hydrodynamics fragment.  The paper's
+    section-3 showcase: each column sweep is an affine indexed
+    recurrence, Moebius-parallelizable (see
+    :func:`repro.livermore.parallel.k23_parallel`)."""
+    n, jn = d["n"], d["jn"]
+    za = _copy2(d["za"])
+    zb, zr, zu, zv, zz = d["zb"], d["zr"], d["zu"], d["zv"], d["zz"]
+    for j in range(1, jn - 1):
+        for k in range(1, n):
+            qa = (
+                za[k][j + 1] * zr[k][j]
+                + za[k][j - 1] * zb[k][j]
+                + za[k + 1][j] * zu[k][j]
+                + za[k - 1][j] * zv[k][j]
+                + zz[k][j]
+            )
+            za[k][j] += 0.175 * (qa - za[k][j])
+    return {"za": za}
+
+
+def k24(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 24 -- find location of first minimum.  An argmin fold
+    (associative, commutative with lexicographic tie-breaking):
+    parallelizable as an OrdinaryIR fold reduction."""
+    x = d["x"]
+    m = 0
+    for k in range(1, d["n"]):
+        if x[k] < x[m]:
+            m = k
+    return {"m": m}
+
+
+KERNELS = {num: globals()[f"k{num:02d}"] for num in range(1, 25)}
+"""Kernel number -> sequential implementation."""
+
+
+def run_kernel(kernel: int, d: Dict[str, Any]) -> Dict[str, Any]:
+    """Run a kernel by number on prepared inputs."""
+    return KERNELS[kernel](d)

@@ -1,0 +1,453 @@
+"""Parallel (IR-based) reimplementations of the IR-amenable kernels.
+
+Each ``kNN_parallel`` consumes the same input dict as its sequential
+counterpart in :mod:`repro.livermore.kernels` and produces the same
+outputs, but computes every recurrence with the paper's machinery:
+
+* linear / affine chains (k5, k11, k19, k23) via the **Moebius
+  reduction** solved by OrdinaryIR -- ``O(log n)`` parallel steps, no
+  dependence analysis (k23 is the paper's own section-3 example);
+* reductions and scatter-accumulations (k3, k13, k14, k21, k24) via
+  the **fold encoding**: single-assignment version cells chained
+  through each target cell, solved by OrdinaryIR pointer jumping;
+* pure maps (k1, k7, k12, k18, k22) vectorized directly; and
+* the ICCG halving structure (k2) as a level-parallel wavefront.
+
+:func:`fold_scatter` is the reusable core of the scatter family; it is
+exact for any associative operator (element order within each cell's
+chain is preserved, so even non-commutative operators are safe).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..core.equations import OrdinaryIRSystem
+from ..core.moebius import AffineRecurrence, solve_moebius
+from ..core.operators import FLOAT_ADD, Operator, make_operator
+from ..core.ordinary import solve_ordinary_numpy
+
+__all__ = [
+    "fold_scatter",
+    "scatter_add",
+    "k01_parallel",
+    "k02_parallel",
+    "k03_parallel",
+    "k05_parallel",
+    "k07_parallel",
+    "k11_parallel",
+    "k12_parallel",
+    "k13_parallel",
+    "k14_parallel",
+    "k18_parallel",
+    "k19_parallel",
+    "k21_parallel",
+    "k22_parallel",
+    "k23_parallel",
+    "k24_parallel",
+    "PARALLEL_KERNELS",
+]
+
+
+# ---------------------------------------------------------------------------
+# Reusable parallel primitives
+# ---------------------------------------------------------------------------
+
+
+def fold_scatter(
+    base: Sequence[Any],
+    idx: Sequence[int],
+    vals: Sequence[Any],
+    op: Operator,
+) -> List[Any]:
+    """Parallel ``for i: base[idx[i]] = op(base[idx[i]], vals[i])``.
+
+    The fold encoding: iteration ``i`` owns a fresh version cell whose
+    *initial* value is ``vals[i]`` and whose ``f``-operand is the
+    previous version of ``base[idx[i]]`` (or the base cell itself the
+    first time).  The resulting system has distinct ``g`` and list
+    traces, so OrdinaryIR pointer jumping solves it in ``O(log n)``
+    rounds -- order within each cell's chain is preserved, making this
+    exact for non-commutative operators too.
+    """
+    m, n = len(base), len(idx)
+    if len(vals) != n:
+        raise ValueError("idx and vals must have equal length")
+    if n == 0:
+        return list(base)
+    latest: Dict[int, int] = {}
+    g = np.arange(m, m + n, dtype=np.int64)
+    f = np.empty(n, dtype=np.int64)
+    for i, cell in enumerate(idx):
+        f[i] = latest.get(cell, cell)
+        latest[int(cell)] = m + i
+    system = OrdinaryIRSystem(initial=list(base) + list(vals), g=g, f=f, op=op)
+    solved, _stats = solve_ordinary_numpy(system)
+    return [solved[latest.get(x, x)] for x in range(m)]
+
+
+def scatter_add(
+    base: Sequence[float], idx: Sequence[int], vals: Sequence[float]
+) -> List[float]:
+    """Parallel ``base[idx[i]] += vals[i]`` (float addition fold)."""
+    return fold_scatter(base, idx, vals, FLOAT_ADD)
+
+
+_ARGMIN = make_operator(
+    "argmin",
+    lambda p, q: p if p <= q else q,
+    commutative=True,
+    power=lambda x, _k: x,
+)
+
+
+# ---------------------------------------------------------------------------
+# Kernels
+# ---------------------------------------------------------------------------
+
+
+def k01_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 1: no recurrence -- one vectorized map."""
+    n, q, r, t = d["n"], d["q"], d["r"], d["t"]
+    y = np.asarray(d["y"][:n])
+    z = np.asarray(d["z"])
+    x = q + y * (r * z[10 : 10 + n] + t * z[11 : 11 + n])
+    return {"x": x.tolist()}
+
+
+def k02_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 2 (ICCG): the halving structure is a *level-parallel*
+    wavefront.  Within one level nearly every write ``x[i]`` reads only
+    cells of the previous level's region, so each level is a vectorized
+    map; the one exception is the level's last read, which can touch
+    the level's own first write (``x[k+1]`` with ``k+1 == ipntp`` on
+    even-sized levels) and gets a scalar fixup after the map.  The
+    ``log2 n`` levels remain sequential -- the kernel's critical path.
+    """
+    n = d["n"]
+    x = np.asarray(d["x"], dtype=float)
+    v = np.asarray(d["v"], dtype=float)
+    ipntp = 0
+    ii = n
+    while ii > 0:
+        ipnt = ipntp
+        ipntp += ii
+        ii //= 2
+        ks = np.arange(ipnt + 1, ipntp, 2)
+        if ks.size:
+            i0 = ipntp  # first write position of this level
+            idx = i0 + np.arange(ks.size)
+            x[idx] = x[ks] - v[ks] * x[ks - 1] - v[ks + 1] * x[ks + 1]
+            last = int(ks[-1])
+            # Boundary read-after-write inside the level: the last
+            # iteration reads x[ipntp], written by the level's FIRST
+            # iteration.  (When the level has a single iteration the
+            # read precedes its own write, so the old value is right.)
+            if ks.size > 1 and last + 1 == i0:
+                x[int(idx[-1])] = (
+                    x[last] - v[last] * x[last - 1] - v[last + 1] * x[last + 1]
+                )
+    return {"x": x.tolist()}
+
+
+def k03_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 3: inner product as a single-cell addition fold."""
+    n = d["n"]
+    vals = (np.asarray(d["z"][:n]) * np.asarray(d["x"][:n])).tolist()
+    q = scatter_add([0.0], [0] * n, vals)[0]
+    return {"q": q}
+
+
+def k05_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 5: ``x[i] = z[i]*(y[i] - x[i-1])`` as the affine map
+    ``x[i] = (-z[i])*x[i-1] + z[i]*y[i]`` solved via Moebius."""
+    n = d["n"]
+    y, z = d["y"], d["z"]
+    a = [-z[i] for i in range(1, n)]
+    b = [z[i] * y[i] for i in range(1, n)]
+    rec = AffineRecurrence.build(
+        d["x"], g=list(range(1, n)), f=list(range(0, n - 1)), a=a, b=b
+    )
+    x, _stats = solve_moebius(rec)
+    return {"x": x}
+
+
+def k07_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 7: no recurrence -- one vectorized map over shifted
+    views of ``u``."""
+    n, q, r, t = d["n"], d["q"], d["r"], d["t"]
+    y = np.asarray(d["y"][:n])
+    z = np.asarray(d["z"][:n])
+    u = np.asarray(d["u"])
+    x = (
+        u[:n]
+        + r * (z + r * y)
+        + t
+        * (
+            u[3 : n + 3]
+            + r * (u[2 : n + 2] + r * u[1 : n + 1])
+            + t * (u[6 : n + 6] + q * (u[5 : n + 5] + q * u[4 : n + 4]))
+        )
+    )
+    return {"x": x.tolist()}
+
+
+def k12_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 12: first difference -- a vectorized map."""
+    n = d["n"]
+    y = np.asarray(d["y"])
+    return {"x": (y[1 : n + 1] - y[:n]).tolist()}
+
+
+def k18_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 18: three sweeps, each a pure map over the grids left by
+    the previous sweep (no loop-carried dependence inside a sweep)."""
+    n, kn = d["n"], d["kn"]
+    t, s = d["t"], d["s"]
+    za = np.asarray(d["za"], dtype=float)
+    zb = np.asarray(d["zb"], dtype=float)
+    zm = np.asarray(d["zm"], dtype=float)
+    zp = np.asarray(d["zp"], dtype=float)
+    zq = np.asarray(d["zq"], dtype=float)
+    zr = np.asarray(d["zr"], dtype=float)
+    zu = np.asarray(d["zu"], dtype=float)
+    zv = np.asarray(d["zv"], dtype=float)
+    zz = np.asarray(d["zz"], dtype=float)
+    K = slice(1, kn)
+    J = slice(1, n)
+    Kp = slice(2, kn + 1)
+    Km = slice(0, kn - 1)
+    Jm = slice(0, n - 1)
+    Jp = slice(2, n + 1)
+
+    za[K, J] = (
+        (zp[Kp, Jm] + zq[Kp, Jm] - zp[K, Jm] - zq[K, Jm])
+        * (zr[K, J] + zr[K, Jm])
+        / (zm[K, Jm] + zm[Kp, Jm])
+    )
+    zb[K, J] = (
+        (zp[K, Jm] + zq[K, Jm] - zp[K, J] - zq[K, J])
+        * (zr[K, J] + zr[Km, J])
+        / (zm[K, J] + zm[K, Jm])
+    )
+    zu[K, J] = zu[K, J] + s * (
+        za[K, J] * (zz[K, J] - zz[K, Jp])
+        - za[K, Jm] * (zz[K, J] - zz[K, Jm])
+        - zb[K, J] * (zz[K, J] - zz[Km, J])
+        + zb[Kp, J] * (zz[K, J] - zz[Kp, J])
+    )
+    zv[K, J] = zv[K, J] + s * (
+        za[K, J] * (zr[K, J] - zr[K, Jp])
+        - za[K, Jm] * (zr[K, J] - zr[K, Jm])
+        - zb[K, J] * (zr[K, J] - zr[Km, J])
+        + zb[Kp, J] * (zr[K, J] - zr[Kp, J])
+    )
+    zr[K, J] = zr[K, J] + t * zu[K, J]
+    zz[K, J] = zz[K, J] + t * zv[K, J]
+    return {
+        "za": za.tolist(),
+        "zb": zb.tolist(),
+        "zr": zr.tolist(),
+        "zu": zu.tolist(),
+        "zv": zv.tolist(),
+        "zz": zz.tolist(),
+    }
+
+
+def k22_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 22: Planckian distribution -- a vectorized map."""
+    n = d["n"]
+    u = np.asarray(d["u"][:n])
+    v = np.asarray(d["v"][:n])
+    x = np.asarray(d["x"][:n])
+    y = u / v
+    w = x / (np.exp(y) - 1.0)
+    return {"y": y.tolist(), "w": w.tolist()}
+
+
+def k11_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 11: prefix sums as the affine chain ``x[k] = x[k-1] + y[k]``."""
+    n = d["n"]
+    y = d["y"]
+    initial = list(d["x"])
+    initial[0] = y[0]
+    rec = AffineRecurrence.build(
+        initial,
+        g=list(range(1, n)),
+        f=list(range(0, n - 1)),
+        a=[1.0] * (n - 1),
+        b=[y[k] for k in range(1, n)],
+    )
+    x, _stats = solve_moebius(rec)
+    return {"x": x}
+
+
+def k13_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 13: the per-particle phase is independent across
+    particles (a map); the histogram update is a parallel scatter-add."""
+    n, grid = d["n"], d["grid"]
+    b, c, y, z = d["b"], d["c"], d["y"], d["z"]
+    e, f = d["e"], d["f"]
+    p = [row[:] for row in d["p"]]
+    targets: List[int] = []
+    width = len(d["h"][0])
+    for ip in range(n):  # independent per particle: parallel map
+        i1 = int(p[ip][0]) % grid
+        j1 = int(p[ip][1]) % grid
+        p[ip][2] += b[j1][i1]
+        p[ip][3] += c[j1][i1]
+        p[ip][0] += p[ip][2]
+        p[ip][1] += p[ip][3]
+        i2 = int(p[ip][0]) % grid
+        j2 = int(p[ip][1]) % grid
+        p[ip][0] += y[i2 + grid // 2]
+        p[ip][1] += z[j2 + grid // 2]
+        i2 += e[i2 + grid // 2]
+        j2 += f[j2 + grid // 2]
+        targets.append(j2 * width + i2)
+    flat = [v for row in d["h"] for v in row]
+    flat = scatter_add(flat, targets, [1.0] * n)
+    h = [flat[r * width : (r + 1) * width] for r in range(len(d["h"]))]
+    return {"p": p, "h": h}
+
+
+def k14_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 14: gathers/pushes are maps; the charge deposition is a
+    parallel scatter-add with two contributions per particle."""
+    n, nz = d["n"], d["nz"]
+    grd, ex, dex, flx = d["grd"], d["ex"], d["dex"], d["flx"]
+    ixs = [int(g) for g in grd[:n]]
+    vx = [ex[ix] + (grd[k] - ix) * dex[ix] for k, ix in enumerate(ixs)]
+    xx = [d["xx"][k] + vx[k] * flx for k in range(n)]
+    ir = [int(v) % nz for v in xx]
+    fracs = [xx[k] - int(xx[k]) for k in range(n)]
+    idx: List[int] = []
+    vals: List[float] = []
+    for k in range(n):  # interleaved to preserve the sequential order
+        idx.append(ir[k])
+        vals.append(1.0 - fracs[k])
+        idx.append(ir[k] + 1)
+        vals.append(fracs[k])
+    rh = scatter_add(d["rh"], idx, vals)
+    return {"vx": vx, "xx": xx, "rh": rh, "ir": ir}
+
+
+def k19_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 19: eliminate the carried scalar --
+    ``stb5' = sa[k] + stb5*(sb[k]-1)`` -- and solve each pass as an
+    affine chain; ``b5`` follows elementwise."""
+    n = d["n"]
+    sa, sb = d["sa"], d["sb"]
+
+    def pass_(order: List[int], stb5_0: float) -> (List[float], float):
+        # chain over iterations: st[t+1] = sa[order[t]] + st[t]*(sb-1)
+        initial = [stb5_0] + [0.0] * n
+        rec = AffineRecurrence.build(
+            initial,
+            g=list(range(1, n + 1)),
+            f=list(range(0, n)),
+            a=[sb[k] - 1.0 for k in order],
+            b=[sa[k] for k in order],
+        )
+        st, _ = solve_moebius(rec)
+        # b5[k] = sa[k] + st[t]*sb[k] for the t-th update
+        b5_updates = [sa[k] + st[t] * sb[k] for t, k in enumerate(order)]
+        return b5_updates, st[n]
+
+    fwd_updates, stb5 = pass_(list(range(n)), d["stb5"])
+    bwd_order = list(range(n - 1, -1, -1))
+    bwd_updates, stb5 = pass_(bwd_order, stb5)
+    b5 = list(d["b5"])
+    for t, k in enumerate(range(n)):
+        b5[k] = fwd_updates[t]
+    for t, k in enumerate(bwd_order):
+        b5[k] = bwd_updates[t]
+    return {"b5": b5, "stb5": stb5}
+
+
+def k21_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 21: matrix product as per-cell accumulation chains --
+    one scatter-add over the flattened ``px`` in the sequential
+    iteration order."""
+    n, band = d["n"], d["band"]
+    vy, cx = d["vy"], d["cx"]
+    idx: List[int] = []
+    vals: List[float] = []
+    for k in range(band):
+        for i in range(band):
+            for j in range(n):
+                idx.append(j * band + i)
+                vals.append(vy[k][i] * cx[j][k])
+    flat = [v for row in d["px"] for v in row]
+    flat = scatter_add(flat, idx, vals)
+    px = [flat[j * band : (j + 1) * band] for j in range(n)]
+    return {"px": px}
+
+
+def k23_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 23, the paper's section-3 showcase.
+
+    Each column sweep ``j`` is the affine indexed recurrence
+    ``za[k][j] := 0.825*za[k][j] + 0.175*(za[k-1][j]*zv[k][j] + c_k)``
+    with the carried term ``za[k-1][j]``; everything else in ``qa`` is
+    fixed during the sweep (columns ``j-1``/``j+1`` and the pre-sweep
+    values of column ``j``).  Each sweep is solved by the Moebius
+    reduction in ``O(log n)`` steps; the ``jn-2`` sweeps remain an
+    outer sequential loop, exactly as in the paper's fragment."""
+    n, jn = d["n"], d["jn"]
+    za = [row[:] for row in d["za"]]
+    zb, zr, zu, zv, zz = d["zb"], d["zr"], d["zu"], d["zv"], d["zz"]
+    for j in range(1, jn - 1):
+        column = [za[k][j] for k in range(n + 1)]
+        a = [0.175 * zv[k][j] for k in range(1, n)]
+        b = [
+            0.825 * za[k][j]
+            + 0.175
+            * (
+                za[k][j + 1] * zr[k][j]
+                + za[k][j - 1] * zb[k][j]
+                + za[k + 1][j] * zu[k][j]
+                + zz[k][j]
+            )
+            for k in range(1, n)
+        ]
+        rec = AffineRecurrence.build(
+            column, g=list(range(1, n)), f=list(range(0, n - 1)), a=a, b=b
+        )
+        solved, _ = solve_moebius(rec)
+        for k in range(1, n):
+            za[k][j] = solved[k]
+    return {"za": za}
+
+
+def k24_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
+    """Kernel 24: first-minimum location as an argmin fold (the
+    lexicographic pair order keeps the *first* minimum on ties)."""
+    n = d["n"]
+    pairs = [(v, k) for k, v in enumerate(d["x"][:n])]
+    result = fold_scatter(
+        [(float("inf"), -1)], [0] * n, pairs, _ARGMIN
+    )[0]
+    return {"m": result[1]}
+
+
+PARALLEL_KERNELS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+    1: k01_parallel,
+    2: k02_parallel,
+    3: k03_parallel,
+    5: k05_parallel,
+    7: k07_parallel,
+    11: k11_parallel,
+    12: k12_parallel,
+    13: k13_parallel,
+    14: k14_parallel,
+    18: k18_parallel,
+    19: k19_parallel,
+    21: k21_parallel,
+    22: k22_parallel,
+    23: k23_parallel,
+    24: k24_parallel,
+}
+"""Kernel number -> parallel implementation (IR machinery)."""

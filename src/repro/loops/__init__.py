@@ -1,0 +1,39 @@
+"""Loop front end: AST, shape recognizer, parallelizing transformer."""
+
+from .ast import (
+    AffineIndex,
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    Loop,
+    OpApply,
+    Ref,
+    TableIndex,
+    Where,
+    array_names,
+    evaluate_compare,
+    evaluate_expr,
+    evaluate_loop,
+)
+from .linfrac import DegreeError, extract_moebius_matrix
+from .pyfrontend import (
+    FrontendError,
+    loops_from_source,
+    parallelize_source,
+)
+from .program import (
+    LoopProgram,
+    ProgramResult,
+    evaluate_program,
+    parallelize_program,
+)
+from .recognize import Recognition, RecognitionError, recognize
+from .transform import (
+    TransformResult,
+    flip_operator,
+    parallelize,
+    pick_arith_operator,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

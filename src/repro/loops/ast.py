@@ -1,0 +1,307 @@
+"""A miniature loop AST for sequential array loops.
+
+The paper's pitch is compiler-shaped: *model a sequential loop as an
+IR system, then replace the loop by the parallel IR solver, with no
+data-dependence analysis*.  This module is the loop side of that
+story: a small AST capable of expressing the loops the paper
+discusses --
+
+.. code-block:: none
+
+    for i = 0..n-1:
+        A[g(i)] := op(A[f(i)], A[h(i)])            # IR / GIR
+        X[g(i)] := a[i] * X[f(i)] + b[i]           # Moebius-affine
+        X[g(i)] := X[g(i)] + 0.175*(Y[i] + X[f(i)]*Z[i])   # Livermore 23
+        B[i]    := C[i] * D[i]                     # no recurrence
+
+-- together with an interpreter (:func:`evaluate_loop`) that provides
+ground truth for the parallelizer.
+
+Index maps are :class:`AffineIndex` (``stride*i + offset``) or
+:class:`TableIndex` (arbitrary precomputed map); expressions are
+arithmetic (:class:`BinOp` over ``+ - * /``), generic-operator
+applications (:class:`OpApply`), array references (:class:`Ref`) and
+constants (:class:`Const`).  Arrays are referenced by *name*; values
+are bound at evaluation/parallelization time through an environment
+``{name: list}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Union
+
+import numpy as np
+
+from ..core.operators import Operator
+
+__all__ = [
+    "AffineIndex",
+    "TableIndex",
+    "IndexFn",
+    "Ref",
+    "Const",
+    "BinOp",
+    "OpApply",
+    "Where",
+    "Compare",
+    "Expr",
+    "Assign",
+    "Loop",
+    "evaluate_expr",
+    "evaluate_loop",
+    "array_names",
+]
+
+
+# ---------------------------------------------------------------------------
+# Index functions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """The index map ``i -> stride*i + offset`` (the common case in
+    the Livermore kernels: ``i``, ``i-1``, ``7*i + j``...)."""
+
+    stride: int = 1
+    offset: int = 0
+
+    def at(self, i: int) -> int:
+        return self.stride * i + self.offset
+
+    def materialize(self, n: int) -> np.ndarray:
+        return self.stride * np.arange(n, dtype=np.int64) + self.offset
+
+    def __repr__(self) -> str:  # compact, for recognizer reports
+        if self.stride == 1 and self.offset == 0:
+            return "i"
+        if self.stride == 1:
+            return f"i{self.offset:+d}"
+        return f"{self.stride}*i{self.offset:+d}" if self.offset else f"{self.stride}*i"
+
+
+@dataclass(frozen=True)
+class TableIndex:
+    """An arbitrary index map given by a precomputed table (the
+    paper's ``f, g, h`` are arbitrary functions of ``i``)."""
+
+    table: tuple
+
+    def __init__(self, table: Sequence[int]) -> None:
+        object.__setattr__(self, "table", tuple(int(t) for t in table))
+
+    def at(self, i: int) -> int:
+        return self.table[i]
+
+    def materialize(self, n: int) -> np.ndarray:
+        if len(self.table) < n:
+            raise ValueError(f"index table has {len(self.table)} entries, need {n}")
+        return np.asarray(self.table[:n], dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return f"tbl[{len(self.table)}]"
+
+
+IndexFn = Union[AffineIndex, TableIndex]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Ref:
+    """``array[index(i)]``."""
+
+    array: str
+    index: IndexFn
+
+    def __repr__(self) -> str:
+        return f"{self.array}[{self.index!r}]"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A loop-invariant scalar constant."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Arithmetic node; ``op`` is one of ``'+' '-' '*' '/'``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/"):
+            raise ValueError(f"unsupported arithmetic operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class OpApply:
+    """Application of a generic associative
+    :class:`~repro.core.operators.Operator` (the abstract ``op`` of an
+    IR equation)."""
+
+    operator: Operator
+    left: "Expr"
+    right: "Expr"
+
+    def __repr__(self) -> str:
+        return f"{self.operator.name}({self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Compare:
+    """A comparison producing a boolean, for :class:`Where` guards.
+
+    ``op`` is one of ``< <= > >= == !=``.
+    """
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("<", "<=", ">", ">=", "==", "!="):
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Where:
+    """A guarded expression: ``then if cond else other``.
+
+    Models the data-dependent branches of kernels like Livermore 15/17.
+    The parallelizer handles guards whose *condition does not read the
+    target array* (the branch taken is then known before the loop
+    runs, so per-iteration coefficients remain extractable); guards on
+    the recurrence variable itself make the loop fall back.
+    """
+
+    cond: "Compare"
+    then: "Expr"
+    other: "Expr"
+
+    def __repr__(self) -> str:
+        return f"where({self.cond!r}, {self.then!r}, {self.other!r})"
+
+
+Expr = Union[Ref, Const, BinOp, OpApply, Where]
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target := expr`` executed once per iteration."""
+
+    target: Ref
+    expr: Expr
+
+    def __repr__(self) -> str:
+        return f"{self.target!r} := {self.expr!r}"
+
+
+@dataclass(frozen=True)
+class Loop:
+    """``for i in range(n): body`` -- a single statement per iteration
+    (the paper's IR template).  Multi-statement kernels are modeled as
+    several loops in sequence (see :mod:`repro.livermore.kernels`)."""
+
+    n: int
+    body: Assign
+
+    def __repr__(self) -> str:
+        return f"for i in range({self.n}): {self.body!r}"
+
+
+# ---------------------------------------------------------------------------
+# Interpreter (ground truth)
+# ---------------------------------------------------------------------------
+
+_ARITH: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda x, y: x + y,
+    "-": lambda x, y: x - y,
+    "*": lambda x, y: x * y,
+    "/": lambda x, y: x / y,
+}
+
+
+_COMPARE: Dict[str, Callable[[Any, Any], bool]] = {
+    "<": lambda x, y: x < y,
+    "<=": lambda x, y: x <= y,
+    ">": lambda x, y: x > y,
+    ">=": lambda x, y: x >= y,
+    "==": lambda x, y: x == y,
+    "!=": lambda x, y: x != y,
+}
+
+
+def evaluate_compare(cond: Compare, i: int, env: Dict[str, List[Any]]) -> bool:
+    """Evaluate a :class:`Compare` guard at iteration ``i``."""
+    return _COMPARE[cond.op](
+        evaluate_expr(cond.left, i, env), evaluate_expr(cond.right, i, env)
+    )
+
+
+def evaluate_expr(expr: Expr, i: int, env: Dict[str, List[Any]]) -> Any:
+    """Evaluate an expression at iteration ``i`` under ``env``."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Ref):
+        return env[expr.array][expr.index.at(i)]
+    if isinstance(expr, BinOp):
+        return _ARITH[expr.op](
+            evaluate_expr(expr.left, i, env), evaluate_expr(expr.right, i, env)
+        )
+    if isinstance(expr, OpApply):
+        return expr.operator.fn(
+            evaluate_expr(expr.left, i, env), evaluate_expr(expr.right, i, env)
+        )
+    if isinstance(expr, Where):
+        branch = expr.then if evaluate_compare(expr.cond, i, env) else expr.other
+        return evaluate_expr(branch, i, env)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def evaluate_loop(loop: Loop, env: Dict[str, List[Any]]) -> Dict[str, List[Any]]:
+    """Run the loop sequentially.
+
+    ``env`` maps array names to value lists; arrays are copied, so the
+    input environment is untouched.  Returns the post-loop environment.
+    """
+    out = {name: list(values) for name, values in env.items()}
+    tgt = loop.body.target
+    for i in range(loop.n):
+        out[tgt.array][tgt.index.at(i)] = evaluate_expr(loop.body.expr, i, out)
+    return out
+
+
+def array_names(expr: Expr) -> set:
+    """All array names referenced by an expression (guards included)."""
+    if isinstance(expr, Const):
+        return set()
+    if isinstance(expr, Ref):
+        return {expr.array}
+    if isinstance(expr, (BinOp, OpApply)):
+        return array_names(expr.left) | array_names(expr.right)
+    if isinstance(expr, Where):
+        return (
+            array_names(expr.cond.left)
+            | array_names(expr.cond.right)
+            | array_names(expr.then)
+            | array_names(expr.other)
+        )
+    raise TypeError(f"not an expression: {expr!r}")

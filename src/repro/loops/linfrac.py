@@ -1,0 +1,165 @@
+"""Linear-fractional coefficient extraction from arithmetic bodies.
+
+A loop body like ``X[g(i)] := (2*X[f(i)] + 1) / (X[f(i)] + 3)`` reads
+the recurrence variable several times; a path-to-root walk cannot
+recover its Moebius matrix.  This module does it properly: every
+subexpression is evaluated (per iteration) as a *rational function* in
+the single variable ``X = X[f(i)]`` -- a pair of coefficient
+polynomials -- with exact polynomial arithmetic.  If the final form has
+degree <= 1 in both numerator and denominator, the body is the
+Moebius map ``(a*X + b) / (c*X + d)`` and the paper's reduction
+applies; a higher degree (e.g. ``X*X``) makes the transformer fall
+back to sequential execution.
+
+Own-cell reads ``X[g(i)]`` are folded in as constants equal to the
+cell's *initial* value -- the paper's self-term rewrite, valid because
+``g`` is distinct (verified by the caller).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.moebius import Mat2
+from .ast import (
+    BinOp,
+    Const,
+    Expr,
+    IndexFn,
+    Ref,
+    Where,
+    evaluate_compare,
+    evaluate_expr,
+)
+
+__all__ = ["DegreeError", "extract_moebius_matrix"]
+
+
+class DegreeError(ValueError):
+    """The body is polynomial of degree > 1 in the recurrence variable
+    (e.g. ``X[f]*X[f]``) -- outside the Moebius framework."""
+
+
+Poly = Tuple[Any, ...]  # coefficients, lowest degree first
+
+
+def _trim(p: Poly) -> Poly:
+    """Drop (exactly) zero leading coefficients; keep at least one."""
+    k = len(p)
+    while k > 1 and p[k - 1] == 0:
+        k -= 1
+    return p[:k]
+
+
+def _padd(p: Poly, q: Poly) -> Poly:
+    if len(p) < len(q):
+        p, q = q, p
+    return _trim(tuple(p[k] + (q[k] if k < len(q) else 0) for k in range(len(p))))
+
+
+def _pneg(p: Poly) -> Poly:
+    return tuple(-c for c in p)
+
+
+def _pmul(p: Poly, q: Poly) -> Poly:
+    out = [0] * (len(p) + len(q) - 1)
+    for a, ca in enumerate(p):
+        if ca == 0:
+            continue
+        for b, cb in enumerate(q):
+            out[a + b] += ca * cb
+    return _trim(tuple(out))
+
+
+class _RatFn:
+    """A rational function ``num/den`` in one variable."""
+
+    __slots__ = ("num", "den")
+
+    def __init__(self, num: Poly, den: Poly = (1,)) -> None:
+        self.num = _trim(num)
+        self.den = _trim(den)
+
+    @staticmethod
+    def const(v: Any) -> "_RatFn":
+        return _RatFn((v,))
+
+    @staticmethod
+    def variable() -> "_RatFn":
+        return _RatFn((0, 1))
+
+    def add(self, other: "_RatFn") -> "_RatFn":
+        return _RatFn(
+            _padd(_pmul(self.num, other.den), _pmul(other.num, self.den)),
+            _pmul(self.den, other.den),
+        )
+
+    def sub(self, other: "_RatFn") -> "_RatFn":
+        return _RatFn(
+            _padd(_pmul(self.num, other.den), _pneg(_pmul(other.num, self.den))),
+            _pmul(self.den, other.den),
+        )
+
+    def mul(self, other: "_RatFn") -> "_RatFn":
+        return _RatFn(_pmul(self.num, other.num), _pmul(self.den, other.den))
+
+    def div(self, other: "_RatFn") -> "_RatFn":
+        if other.num == (0,):
+            raise ZeroDivisionError("division by an identically-zero subexpression")
+        return _RatFn(_pmul(self.num, other.den), _pmul(self.den, other.num))
+
+
+def extract_moebius_matrix(
+    expr: Expr,
+    i: int,
+    env: Dict[str, List[Any]],
+    *,
+    target: str,
+    f_index: IndexFn,
+    g_index: IndexFn,
+) -> Mat2:
+    """Coefficient matrix of the body at iteration ``i``.
+
+    ``target`` reads at ``f_index`` become the variable; reads at
+    ``g_index`` read the initial array in ``env``; everything else is
+    evaluated to a constant.  Raises :class:`DegreeError` when the
+    body is not linear-fractional.
+    """
+
+    def ev(e: Expr) -> _RatFn:
+        if isinstance(e, Const):
+            return _RatFn.const(e.value)
+        if isinstance(e, Ref):
+            if e.array == target and e.index == f_index:
+                return _RatFn.variable()
+            # own-cell or foreign reads: plain (initial) values
+            return _RatFn.const(env[e.array][e.index.at(i)])
+        if isinstance(e, BinOp):
+            left, right = ev(e.left), ev(e.right)
+            if e.op == "+":
+                return left.add(right)
+            if e.op == "-":
+                return left.sub(right)
+            if e.op == "*":
+                return left.mul(right)
+            return left.div(right)
+        if isinstance(e, Where):
+            # the recognizer guarantees the guard is target-free, so
+            # the branch taken is known before the recurrence runs
+            branch = e.then if evaluate_compare(e.cond, i, env) else e.other
+            return ev(branch)
+        raise DegreeError(
+            f"non-arithmetic node {e!r} inside a Moebius-candidate body"
+        )
+
+    form = ev(expr)
+    if len(form.num) > 2 or len(form.den) > 2:
+        raise DegreeError(
+            f"body has degree {max(len(form.num), len(form.den)) - 1} in "
+            f"{target}[{f_index!r}]; the Moebius reduction needs degree <= 1"
+        )
+    a = form.num[1] if len(form.num) > 1 else 0
+    b = form.num[0]
+    c = form.den[1] if len(form.den) > 1 else 0
+    d = form.den[0]
+    return Mat2(a, b, c, d)

@@ -1,0 +1,284 @@
+"""Parse restricted Python functions into loop programs.
+
+The paper's pitch is compiler-shaped; this module makes it literal.
+A Python function written in the IR-friendly fragment --
+
+.. code-block:: python
+
+    def kernel(X, Y, Z):
+        for i in range(1, n):
+            X[i] = X[i - 1] * Y[i] + Z[i]
+
+-- is parsed (via :mod:`ast`, no execution of the body) into a
+:class:`~repro.loops.program.LoopProgram`, which the generic
+recognizer/transformer then parallelizes.  ``parallelize_source``
+wires the two together.
+
+Supported fragment (anything else raises :class:`FrontendError` with a
+pointer at the offending construct):
+
+* a body that is a sequence of ``for <var> in range(...)`` loops
+  (``range(stop)`` / ``range(start, stop)``, bounds being integer
+  literals or names bound through ``consts``);
+* exactly one statement per loop body: an assignment or augmented
+  assignment (``+= -= *= /=``) to a single subscript ``A[<index>]``;
+* indices affine in the loop variable (``i``, ``i+3``, ``7*i + j`` with
+  ``j`` in ``consts``);
+* expressions over subscripts, numeric literals, ``consts`` names,
+  ``+ - * /``, unary minus, and conditional expressions
+  ``a if <cmp> else b`` with a single comparison (lowered to
+  :class:`~repro.loops.ast.Where`).
+
+The point is not to compile arbitrary Python -- it is to demonstrate,
+end to end, that loops *written as loops* fall into the paper's
+framework with zero annotations.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+import inspect
+import textwrap
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from .ast import (
+    AffineIndex,
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    Expr,
+    Loop,
+    Ref,
+    Where,
+)
+from .program import LoopProgram, ProgramResult, parallelize_program
+
+__all__ = ["FrontendError", "loops_from_source", "parallelize_source"]
+
+
+class FrontendError(ValueError):
+    """The Python source uses a construct outside the IR fragment."""
+
+
+_BINOPS = {
+    pyast.Add: "+",
+    pyast.Sub: "-",
+    pyast.Mult: "*",
+    pyast.Div: "/",
+}
+
+_CMPOPS = {
+    pyast.Lt: "<",
+    pyast.LtE: "<=",
+    pyast.Gt: ">",
+    pyast.GtE: ">=",
+    pyast.Eq: "==",
+    pyast.NotEq: "!=",
+}
+
+
+def _fail(node: pyast.AST, message: str) -> "FrontendError":
+    line = getattr(node, "lineno", "?")
+    return FrontendError(f"line {line}: {message}")
+
+
+def _const_int(node: pyast.AST, consts: Dict[str, Any]) -> int:
+    if isinstance(node, pyast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, pyast.Name) and node.id in consts:
+        value = consts[node.id]
+        if isinstance(value, int):
+            return value
+        raise _fail(node, f"bound {node.id!r} must be an int, got {value!r}")
+    if isinstance(node, pyast.UnaryOp) and isinstance(node.op, pyast.USub):
+        return -_const_int(node.operand, consts)
+    raise _fail(node, "range bounds must be int literals or consts names")
+
+
+def _affine(
+    node: pyast.AST, var: str, consts: Dict[str, Any]
+) -> Tuple[int, int]:
+    """Index expression -> (stride, offset) w.r.t. the loop variable."""
+    if isinstance(node, pyast.Name):
+        if node.id == var:
+            return (1, 0)
+        if node.id in consts and isinstance(consts[node.id], int):
+            return (0, consts[node.id])
+        raise _fail(node, f"index name {node.id!r} is not the loop variable "
+                          "or an int in consts")
+    if isinstance(node, pyast.Constant) and isinstance(node.value, int):
+        return (0, node.value)
+    if isinstance(node, pyast.UnaryOp) and isinstance(node.op, pyast.USub):
+        s, o = _affine(node.operand, var, consts)
+        return (-s, -o)
+    if isinstance(node, pyast.BinOp):
+        if isinstance(node.op, pyast.Add):
+            s1, o1 = _affine(node.left, var, consts)
+            s2, o2 = _affine(node.right, var, consts)
+            return (s1 + s2, o1 + o2)
+        if isinstance(node.op, pyast.Sub):
+            s1, o1 = _affine(node.left, var, consts)
+            s2, o2 = _affine(node.right, var, consts)
+            return (s1 - s2, o1 - o2)
+        if isinstance(node.op, pyast.Mult):
+            s1, o1 = _affine(node.left, var, consts)
+            s2, o2 = _affine(node.right, var, consts)
+            if s1 == 0:
+                return (o1 * s2, o1 * o2)
+            if s2 == 0:
+                return (s1 * o2, o1 * o2)
+            raise _fail(node, "index is quadratic in the loop variable")
+    raise _fail(node, "index must be affine in the loop variable")
+
+
+def _subscript_to_ref(
+    node: pyast.Subscript, var: str, start: int, consts: Dict[str, Any]
+) -> Ref:
+    if not isinstance(node.value, pyast.Name):
+        raise _fail(node, "only plain-name arrays can be subscripted")
+    index_node = node.slice
+    stride, offset = _affine(index_node, var, consts)
+    # our Loop runs i' = 0..n-1 with the source variable i = i' + start
+    return Ref(node.value.id, AffineIndex(stride, offset + stride * start))
+
+
+def _expr(
+    node: pyast.AST, var: str, start: int, consts: Dict[str, Any]
+) -> Expr:
+    if isinstance(node, pyast.Constant) and isinstance(node.value, (int, float)):
+        return Const(node.value)
+    if isinstance(node, pyast.Name):
+        if node.id in consts:
+            return Const(consts[node.id])
+        raise _fail(node, f"unbound scalar name {node.id!r}; pass it via consts")
+    if isinstance(node, pyast.Subscript):
+        return _subscript_to_ref(node, var, start, consts)
+    if isinstance(node, pyast.UnaryOp) and isinstance(node.op, pyast.USub):
+        operand = _expr(node.operand, var, start, consts)
+        if isinstance(operand, Const):
+            return Const(-operand.value)
+        return BinOp("-", Const(0), operand)
+    if isinstance(node, pyast.BinOp):
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise _fail(node, f"unsupported operator {type(node.op).__name__}")
+        return BinOp(
+            op,
+            _expr(node.left, var, start, consts),
+            _expr(node.right, var, start, consts),
+        )
+    if isinstance(node, pyast.IfExp):
+        test = node.test
+        if not (
+            isinstance(test, pyast.Compare)
+            and len(test.ops) == 1
+            and type(test.ops[0]) in _CMPOPS
+        ):
+            raise _fail(node, "guard must be a single comparison")
+        cond = Compare(
+            _CMPOPS[type(test.ops[0])],
+            _expr(test.left, var, start, consts),
+            _expr(test.comparators[0], var, start, consts),
+        )
+        return Where(
+            cond,
+            _expr(node.body, var, start, consts),
+            _expr(node.orelse, var, start, consts),
+        )
+    raise _fail(node, f"unsupported expression {type(node).__name__}")
+
+
+def _convert_for(stmt: pyast.For, consts: Dict[str, Any]) -> Loop:
+    if not isinstance(stmt.target, pyast.Name):
+        raise _fail(stmt, "loop target must be a simple name")
+    var = stmt.target.id
+    it = stmt.iter
+    if not (
+        isinstance(it, pyast.Call)
+        and isinstance(it.func, pyast.Name)
+        and it.func.id == "range"
+        and 1 <= len(it.args) <= 2
+        and not it.keywords
+    ):
+        raise _fail(stmt, "loop iterable must be range(stop) or range(start, stop)")
+    if len(it.args) == 1:
+        start, stop = 0, _const_int(it.args[0], consts)
+    else:
+        start = _const_int(it.args[0], consts)
+        stop = _const_int(it.args[1], consts)
+    n = max(stop - start, 0)
+
+    if stmt.orelse:
+        raise _fail(stmt, "for/else is not supported")
+    if len(stmt.body) != 1:
+        raise _fail(stmt, "loop body must be exactly one statement")
+    body = stmt.body[0]
+
+    if isinstance(body, pyast.Assign):
+        if len(body.targets) != 1 or not isinstance(body.targets[0], pyast.Subscript):
+            raise _fail(body, "assignment target must be a single subscript")
+        target = _subscript_to_ref(body.targets[0], var, start, consts)
+        expr = _expr(body.value, var, start, consts)
+    elif isinstance(body, pyast.AugAssign):
+        if not isinstance(body.target, pyast.Subscript):
+            raise _fail(body, "augmented target must be a subscript")
+        op = _BINOPS.get(type(body.op))
+        if op is None:
+            raise _fail(body, f"unsupported augmented op {type(body.op).__name__}")
+        target = _subscript_to_ref(body.target, var, start, consts)
+        expr = BinOp(op, target, _expr(body.value, var, start, consts))
+    else:
+        raise _fail(body, f"unsupported statement {type(body).__name__}")
+
+    return Loop(n, Assign(target, expr))
+
+
+def loops_from_source(
+    source: Union[str, Callable],
+    *,
+    consts: Optional[Dict[str, Any]] = None,
+) -> LoopProgram:
+    """Parse a Python function (object or source text) into a
+    :class:`LoopProgram`.
+
+    ``consts`` binds scalar names used in the body (coefficients,
+    bounds).  The function body is parsed, never executed.
+    """
+    consts = dict(consts or {})
+    if callable(source):
+        text = textwrap.dedent(inspect.getsource(source))
+    else:
+        text = textwrap.dedent(source)
+    tree = pyast.parse(text)
+    fndefs = [node for node in tree.body if isinstance(node, pyast.FunctionDef)]
+    if len(fndefs) != 1:
+        raise FrontendError("source must contain exactly one function definition")
+    loops: List[Loop] = []
+    for stmt in fndefs[0].body:
+        if isinstance(stmt, pyast.Expr) and isinstance(stmt.value, pyast.Constant):
+            continue  # docstring
+        if isinstance(stmt, pyast.For):
+            loops.append(_convert_for(stmt, consts))
+            continue
+        raise _fail(stmt, "function body must be a sequence of for loops")
+    if not loops:
+        raise FrontendError("function contains no loops")
+    return LoopProgram(loops)
+
+
+def parallelize_source(
+    source: Union[str, Callable],
+    env: Dict[str, List[Any]],
+    *,
+    consts: Optional[Dict[str, Any]] = None,
+    engine: str = "numpy",
+) -> ProgramResult:
+    """Parse and parallelize a Python function in one call.
+
+    ``env`` binds the arrays the body subscripts; ``consts`` binds its
+    scalar names.  Returns the same :class:`ProgramResult` as
+    :func:`~repro.loops.program.parallelize_program`.
+    """
+    program = loops_from_source(source, consts=consts)
+    return parallelize_program(program, env, engine=engine)

@@ -1,0 +1,426 @@
+"""Loop-shape recognition: which IR class does a loop belong to?
+
+Given a :class:`~repro.loops.ast.Loop`, the recognizer classifies its
+body into the paper's taxonomy (:class:`~repro.core.equations.IRClass`)
+purely *syntactically* -- no data-dependence analysis, which is the
+paper's selling point:
+
+* ``NO_RECURRENCE`` -- the RHS never reads the target array (or only
+  reads the target cell being written, which holds its initial value
+  when ``g`` is distinct): an embarrassingly parallel map.
+* ``LINEAR`` -- a classic first-order recurrence: target and operand
+  indices are both unit-stride affine (``X[i] := ... X[i-1] ...``).
+  The paper counts these separately from indexed recurrences (section
+  1's Livermore census); they are solved by the same machinery.
+* ``ORDINARY_IR`` / ``GIR`` -- a generic associative operator applied
+  to two target references, with/without the own-cell operand.
+* ``MOEBIUS_AFFINE`` / ``MOEBIUS_RATIONAL`` -- arithmetic bodies in
+  which all non-own reads of the target array share a *single* index
+  map ``f``: the body is then (a candidate for) a linear-fractional
+  map of ``X[f(i)]``, rational when some read sits under a
+  denominator.  Own-cell reads ``X[g(i)]`` anywhere in the body are
+  folded into coefficients as initial values (the paper's self-term
+  rewrite, licensed by ``g`` distinct -- the transformer verifies
+  distinctness at bind time).  Degree > 1 bodies (``X[f]*X[f]``) pass
+  the syntactic test but are rejected during coefficient extraction
+  (:mod:`repro.loops.linfrac`).
+* ``UNSUPPORTED`` -- shapes the framework does not cover (e.g. reads
+  at three different indices combined with non-uniform arithmetic);
+  the transformer then falls back to sequential evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.equations import IRClass
+from ..core.operators import Operator
+from .ast import (
+    AffineIndex,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    IndexFn,
+    Loop,
+    OpApply,
+    Ref,
+    Where,
+    array_names,
+)
+
+__all__ = ["Recognition", "RecognitionError", "recognize"]
+
+
+class RecognitionError(ValueError):
+    """The loop body is not an expression form the recognizer knows."""
+
+
+@dataclass
+class Recognition:
+    """Result of :func:`recognize`.
+
+    The payload depends on ``ir_class``:
+
+    * IR/GIR: ``operator`` (or ``arith_op`` for ``+``/``*`` bodies,
+      bound to a concrete operator at transform time), ``f``, ``h``,
+      and ``swapped`` (own-cell operand appearing first).
+    * Moebius/Linear: ``f``, the shared index of every non-own read;
+      per-iteration coefficient matrices are extracted by
+      :func:`repro.loops.linfrac.extract_moebius_matrix`.
+    """
+
+    ir_class: IRClass
+    target_array: str
+    g: IndexFn
+    n: int
+    operator: Optional[Operator] = None
+    arith_op: Optional[str] = None
+    f: Optional[IndexFn] = None
+    h: Optional[IndexFn] = None
+    swapped: bool = False
+    own_reads: bool = False
+    fold_operand: Optional[Expr] = None
+    notes: str = ""
+
+    def describe(self) -> str:
+        bits = [self.ir_class.value]
+        if self.operator is not None:
+            bits.append(f"op={self.operator.name}")
+        if self.arith_op is not None:
+            bits.append(f"op={self.arith_op!r}")
+        if self.f is not None:
+            bits.append(f"f={self.f!r}")
+        if self.h is not None:
+            bits.append(f"h={self.h!r}")
+        if self.notes:
+            bits.append(self.notes)
+        return " ".join(bits)
+
+
+def _target_reads(expr: Expr, array: str) -> List[Tuple[Tuple[str, ...], Ref]]:
+    """All reads of ``array`` with their tree paths ('L'/'R' strings);
+    guarded expressions contribute the reads of both branches and of
+    the guard itself."""
+    found: List[Tuple[Tuple[str, ...], Ref]] = []
+
+    def walk(e: Expr, path: Tuple[str, ...]) -> None:
+        if isinstance(e, Ref):
+            if e.array == array:
+                found.append((path, e))
+        elif isinstance(e, (BinOp, OpApply)):
+            walk(e.left, path + ("L",))
+            walk(e.right, path + ("R",))
+        elif isinstance(e, Where):
+            walk(e.cond.left, path + ("C",))
+            walk(e.cond.right, path + ("C",))
+            walk(e.then, path + ("T",))
+            walk(e.other, path + ("E",))
+
+    walk(expr, ())
+    return found
+
+
+def _guards_target_free(expr: Expr, array: str) -> bool:
+    """True when no :class:`Where` guard condition reads ``array`` --
+    the branch taken is then data-independent of the recurrence
+    variable, so coefficient extraction stays well-defined."""
+    if isinstance(expr, (Ref, Const)):
+        return True
+    if isinstance(expr, (BinOp, OpApply)):
+        return _guards_target_free(expr.left, array) and _guards_target_free(
+            expr.right, array
+        )
+    if isinstance(expr, Where):
+        cond_reads = _target_reads(expr.cond.left, array) or _target_reads(
+            expr.cond.right, array
+        )
+        return (
+            not cond_reads
+            and _guards_target_free(expr.then, array)
+            and _guards_target_free(expr.other, array)
+        )
+    return True
+
+
+def _is_unit_affine(idx: IndexFn) -> bool:
+    return isinstance(idx, AffineIndex) and idx.stride == 1
+
+
+def _index_injective(idx: IndexFn, n: int) -> bool:
+    """Is the index map injective over ``0..n-1``?  (Decidable for
+    both index kinds; a stride-0 affine map is the classic scalar
+    accumulator.)"""
+    if n <= 1:
+        return True
+    if isinstance(idx, AffineIndex):
+        return idx.stride != 0
+    table = idx.table[:n]
+    return len(set(table)) == len(table)
+
+
+def recognize(loop: Loop) -> Recognition:
+    """Classify a loop body.  Never raises on plain arithmetic/OpApply
+    bodies -- unknown shapes come back as ``UNSUPPORTED``."""
+    assign = loop.body
+    target = assign.target.array
+    g = assign.target.index
+    expr = assign.expr
+    n = loop.n
+
+    reads = _target_reads(expr, target)
+    own = [(p, r) for p, r in reads if r.index == g]
+    other = [(p, r) for p, r in reads if r.index != g]
+
+    # -- target never read: a pure map -------------------------------------
+    if not reads:
+        return Recognition(
+            ir_class=IRClass.NO_RECURRENCE,
+            target_array=target,
+            g=g,
+            n=n,
+            notes="target never read",
+        )
+
+    # -- generic-operator forms (checked first so that folds over the
+    #    own cell are not swallowed by the own-only branch) ----------------
+    if isinstance(expr, OpApply):
+        return _recognize_opapply(expr, target, g, n)
+
+    # -- no reads beyond the own cell --------------------------------------
+    if not other:
+        if own and not _index_injective(g, n):
+            # A reduction chain: ``q[c] := phi(q[c])`` with repeated
+            # assignments -- a first-order recurrence along iterations,
+            # Moebius-solvable after single-assignment renaming.
+            if _arithmetic_only(expr) and not _guards_target_free(expr, target):
+                return Recognition(
+                    ir_class=IRClass.UNSUPPORTED,
+                    target_array=target,
+                    g=g,
+                    n=n,
+                    own_reads=True,
+                    notes="guard condition reads the recurrence variable",
+                )
+            if _arithmetic_only(expr):
+                rational = _reads_in_denominator(expr, target, g)
+                return Recognition(
+                    ir_class=(
+                        IRClass.MOEBIUS_RATIONAL
+                        if rational
+                        else IRClass.MOEBIUS_AFFINE
+                    ),
+                    target_array=target,
+                    g=g,
+                    n=n,
+                    f=g,
+                    own_reads=True,
+                    notes="own-cell reduction chain (non-distinct g)",
+                )
+            return Recognition(
+                ir_class=IRClass.UNSUPPORTED,
+                target_array=target,
+                g=g,
+                n=n,
+                own_reads=True,
+                notes="own-cell reduction with a non-arithmetic body",
+            )
+        note = "reads own cell (initial value)" if own else "target never read"
+        return Recognition(
+            ir_class=IRClass.NO_RECURRENCE,
+            target_array=target,
+            g=g,
+            n=n,
+            own_reads=bool(own),
+            notes=note,
+        )
+
+    # -- arithmetic GIR: A[g] := A[f] (+|*) A[h], both non-own ------------
+    if (
+        len(other) == 2
+        and not own
+        and isinstance(expr, BinOp)
+        and expr.op in ("+", "*")
+        and isinstance(expr.left, Ref)
+        and isinstance(expr.right, Ref)
+    ):
+        return Recognition(
+            ir_class=IRClass.GIR,
+            target_array=target,
+            g=g,
+            n=n,
+            arith_op=expr.op,
+            f=expr.left.index,
+            h=expr.right.index,
+        )
+
+    # -- Moebius: every non-own read shares one index map -----------------
+    shared = {r.index for _p, r in other}
+    if (
+        len(shared) == 1
+        and _arithmetic_only(expr)
+        and not _guards_target_free(expr, target)
+    ):
+        return Recognition(
+            ir_class=IRClass.UNSUPPORTED,
+            target_array=target,
+            g=g,
+            n=n,
+            notes="guard condition reads the recurrence variable",
+        )
+    if len(shared) == 1 and _arithmetic_only(expr):
+        f_index = next(iter(shared))
+        rational = _reads_in_denominator(expr, target, f_index)
+        if (
+            not rational
+            and _is_unit_affine(g)
+            and _is_unit_affine(f_index)
+        ):
+            cls = IRClass.LINEAR
+        elif rational:
+            cls = IRClass.MOEBIUS_RATIONAL
+        else:
+            cls = IRClass.MOEBIUS_AFFINE
+        return Recognition(
+            ir_class=cls,
+            target_array=target,
+            g=g,
+            n=n,
+            f=f_index,
+            own_reads=bool(own),
+            notes="own-cell reads folded as initial values" if own else "",
+        )
+
+    return Recognition(
+        ir_class=IRClass.UNSUPPORTED,
+        target_array=target,
+        g=g,
+        n=n,
+        notes=(
+            f"target read at {len(shared)} distinct indices in an "
+            "arithmetic body"
+            if _arithmetic_only(expr)
+            else "mixed arithmetic/operator body"
+        ),
+    )
+
+
+def _arithmetic_only(expr: Expr) -> bool:
+    """True when the expression uses only ``+ - * /`` combinators
+    (guarded expressions count when both branches and the guard's
+    sides are arithmetic)."""
+    if isinstance(expr, (Ref, Const)):
+        return True
+    if isinstance(expr, BinOp):
+        return _arithmetic_only(expr.left) and _arithmetic_only(expr.right)
+    if isinstance(expr, Where):
+        return (
+            _arithmetic_only(expr.cond.left)
+            and _arithmetic_only(expr.cond.right)
+            and _arithmetic_only(expr.then)
+            and _arithmetic_only(expr.other)
+        )
+    return False
+
+
+def _reads_in_denominator(expr: Expr, target: str, f_index: IndexFn) -> bool:
+    """Does any read ``target[f_index]`` sit under the right child of a
+    division?  (Syntactic test for "rational rather than affine".)"""
+
+    def contains(e: Expr) -> bool:
+        if isinstance(e, Ref):
+            return e.array == target and e.index == f_index
+        if isinstance(e, BinOp):
+            return contains(e.left) or contains(e.right)
+        if isinstance(e, Where):
+            return contains(e.then) or contains(e.other)
+        return False
+
+    def walk(e: Expr) -> bool:
+        if isinstance(e, BinOp):
+            if e.op == "/" and contains(e.right):
+                return True
+            return walk(e.left) or walk(e.right)
+        if isinstance(e, Where):
+            return walk(e.then) or walk(e.other)
+        return False
+
+    return walk(expr)
+
+
+def _recognize_opapply(
+    expr: OpApply, target: str, g: IndexFn, n: int
+) -> Recognition:
+    """Classify a generic-operator body ``op(left, right)``.
+
+    Shapes handled:
+
+    * both operands read the target -> OrdinaryIR (own cell present,
+      either position) or GIR (two foreign cells);
+    * exactly one operand is the own cell and the other is target-free
+      -> a *fold reduction* ``q[g(i)] := op(q[g(i)], e_i)``, encoded by
+      the transformer as OrdinaryIR over version cells.
+    """
+    left, right = expr.left, expr.right
+    left_is_target = isinstance(left, Ref) and left.array == target
+    right_is_target = isinstance(right, Ref) and right.array == target
+
+    if left_is_target and right_is_target:
+        if right.index == g:
+            return Recognition(
+                ir_class=IRClass.ORDINARY_IR,
+                target_array=target,
+                g=g,
+                n=n,
+                operator=expr.operator,
+                f=left.index,
+                own_reads=True,
+            )
+        if left.index == g:
+            return Recognition(
+                ir_class=IRClass.ORDINARY_IR,
+                target_array=target,
+                g=g,
+                n=n,
+                operator=expr.operator,
+                f=right.index,
+                swapped=True,
+                own_reads=True,
+                notes="own-cell operand first",
+            )
+        return Recognition(
+            ir_class=IRClass.GIR,
+            target_array=target,
+            g=g,
+            n=n,
+            operator=expr.operator,
+            f=left.index,
+            h=right.index,
+        )
+
+    # Fold reduction: one operand is the own cell, the other is a
+    # target-free expression.
+    own_left = left_is_target and left.index == g
+    own_right = right_is_target and right.index == g
+    if own_left != own_right:
+        operand = right if own_left else left
+        if target not in array_names(operand):
+            return Recognition(
+                ir_class=IRClass.ORDINARY_IR,
+                target_array=target,
+                g=g,
+                n=n,
+                operator=expr.operator,
+                swapped=own_right,
+                own_reads=True,
+                fold_operand=operand,
+                notes="fold reduction over an associative operator",
+            )
+    return Recognition(
+        ir_class=IRClass.UNSUPPORTED,
+        target_array=target,
+        g=g,
+        n=n,
+        notes="OpApply with unsupported operand shapes",
+    )

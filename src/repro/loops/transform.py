@@ -1,0 +1,300 @@
+"""Loop parallelization: AST -> IR system -> parallel solver.
+
+:func:`parallelize` is the compiler-shaped entry point the paper
+motivates: hand it a sequential loop and the arrays it touches, get
+the post-loop arrays back, computed by the appropriate ``O(log n)``
+parallel algorithm -- or by a transparent sequential fallback when the
+loop leaves the framework (non-commutative GIR, repeated assignments
+mixed with own-cell reads, unsupported shapes).  The result records
+which path was taken, so callers (and the Livermore census) can see
+exactly what was parallelized and why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.equations import GIRSystem, IRClass, OrdinaryIRSystem
+from ..core.gir import GIRSolveStats, solve_gir
+from ..core.moebius import RationalRecurrence, solve_moebius
+from ..core.operators import ADD, FLOAT_ADD, FLOAT_MUL, MUL, Operator
+from ..core.ordinary import SolveStats, solve_ordinary, solve_ordinary_numpy
+from .ast import Loop, evaluate_expr, evaluate_loop
+from .linfrac import DegreeError, extract_moebius_matrix
+from .recognize import Recognition, recognize
+
+__all__ = ["TransformResult", "parallelize", "pick_arith_operator", "flip_operator"]
+
+Env = Dict[str, List[Any]]
+
+
+@dataclass
+class TransformResult:
+    """Outcome of :func:`parallelize`.
+
+    ``method`` names the execution path actually used (one of
+    ``"map"``, ``"ordinary-ir"``, ``"gir"``, ``"moebius"``,
+    ``"sequential-fallback"``); ``fallback`` flags the last one.
+    ``stats`` carries the parallel solver's profile when one ran.
+    """
+
+    env: Env
+    recognition: Recognition
+    method: str
+    fallback: bool = False
+    stats: Optional[object] = None
+    note: str = ""
+
+
+def pick_arith_operator(symbol: str, sample: Any) -> Operator:
+    """Bind ``'+'``/``'*'`` to a concrete operator based on the value
+    domain of the target array."""
+    is_float = isinstance(sample, float) or isinstance(sample, np.floating)
+    if symbol == "+":
+        return FLOAT_ADD if is_float else ADD
+    if symbol == "*":
+        return FLOAT_MUL if is_float else MUL
+    raise ValueError(f"no stock operator for arithmetic symbol {symbol!r}")
+
+
+def flip_operator(op: Operator) -> Operator:
+    """The operator with swapped operands, ``op'(x, y) = op(y, x)``.
+
+    Associativity is preserved (the flip of an associative operation
+    is associative); used for bodies of the form
+    ``A[g(i)] := op(A[g(i)], A[f(i)])``.
+    """
+    return Operator(
+        name=f"{op.name}_flipped",
+        fn=lambda x, y: op.fn(y, x),
+        associative=op.associative,
+        commutative=op.commutative,
+        identity=op.identity,
+        power=op.power,
+        cost=op.cost,
+        dtype=op.dtype,
+        vector_fn=None if op.vector_fn is None else (lambda x, y: op.vector_fn(y, x)),
+    )
+
+
+def _copy_env(env: Env) -> Env:
+    return {name: list(values) for name, values in env.items()}
+
+
+def _fallback(loop: Loop, env: Env, rec: Recognition, note: str) -> TransformResult:
+    return TransformResult(
+        env=evaluate_loop(loop, env),
+        recognition=rec,
+        method="sequential-fallback",
+        fallback=True,
+        note=note,
+    )
+
+
+def parallelize(
+    loop: Loop,
+    env: Env,
+    *,
+    engine: str = "numpy",
+    collect_stats: bool = False,
+) -> TransformResult:
+    """Recognize and parallelize ``loop`` over the arrays in ``env``.
+
+    ``env`` maps array names to value lists and is never mutated.
+    ``engine`` selects the OrdinaryIR backend (``"numpy"`` or
+    ``"python"``); the GIR and map paths are engine-independent.
+    """
+    rec = recognize(loop)
+    n = loop.n
+    target = rec.target_array
+    if target not in env:
+        raise KeyError(f"environment lacks the target array {target!r}")
+    m = len(env[target])
+    g = rec.g.materialize(n)
+    g_distinct = len(np.unique(g)) == n
+
+    cls = rec.ir_class
+
+    # -- embarrassingly parallel map --------------------------------------
+    if cls is IRClass.NO_RECURRENCE:
+        if rec.own_reads and not g_distinct:
+            return _fallback(
+                loop, env, rec, "own-cell reads with repeated assignments"
+            )
+        out = _copy_env(env)
+        column = out[target]
+        for i in range(n):  # each evaluation sees only initial values
+            column[int(g[i])] = evaluate_expr(loop.body.expr, i, env)
+        return TransformResult(env=out, recognition=rec, method="map")
+
+    # -- Moebius / linear --------------------------------------------------
+    if cls in (IRClass.LINEAR, IRClass.MOEBIUS_AFFINE, IRClass.MOEBIUS_RATIONAL):
+        assert rec.f is not None
+        if not g_distinct and rec.own_reads and rec.f != rec.g:
+            return _fallback(
+                loop,
+                env,
+                rec,
+                "own-cell reads mixed with f-reads under repeated assignments",
+            )
+        a: List[Any] = []
+        b: List[Any] = []
+        c: List[Any] = []
+        d: List[Any] = []
+        try:
+            for i in range(n):
+                mat = extract_moebius_matrix(
+                    loop.body.expr,
+                    i,
+                    env,
+                    target=target,
+                    f_index=rec.f,
+                    g_index=rec.g,
+                )
+                a.append(mat.a)
+                b.append(mat.b)
+                c.append(mat.c)
+                d.append(mat.d)
+        except DegreeError as exc:
+            return _fallback(loop, env, rec, str(exc))
+
+        f_cells = rec.f.materialize(n)
+        if g_distinct:
+            recurrence = RationalRecurrence.build(
+                env[target], g, f_cells, a, b, c, d, self_term=False
+            )
+            solved, stats = solve_moebius(
+                recurrence,
+                collect_stats=collect_stats,
+                # "numpy" upgrades to the affine fast path when it applies
+                engine="auto" if engine == "numpy" else engine,
+            )
+        else:
+            # Single-assignment renaming: iteration i writes a fresh
+            # version cell m+i; reads follow the latest version.  This
+            # turns reductions (q := phi(q)) and repeatedly-assigned
+            # indexed recurrences into distinct-g chains the Moebius
+            # solver accepts (the full paper's non-distinct-g remark).
+            latest: Dict[int, int] = {}
+            new_g = np.arange(m, m + n, dtype=np.int64)
+            new_f = np.empty(n, dtype=np.int64)
+            gl = g.tolist()
+            fl = f_cells.tolist()
+            for i in range(n):
+                new_f[i] = latest.get(fl[i], fl[i])
+                latest[gl[i]] = m + i
+            initial2 = list(env[target]) + [env[target][gl[i]] for i in range(n)]
+            recurrence = RationalRecurrence.build(
+                initial2, new_g, new_f, a, b, c, d, self_term=False
+            )
+            versions, stats = solve_moebius(
+                recurrence,
+                collect_stats=collect_stats,
+                engine="auto" if engine == "numpy" else engine,
+            )
+            solved = [
+                versions[latest.get(x, x)] for x in range(m)
+            ]
+        out = _copy_env(env)
+        out[target] = solved
+        return TransformResult(
+            env=out, recognition=rec, method="moebius", stats=stats
+        )
+
+    # -- ordinary IR --------------------------------------------------------
+    if cls is IRClass.ORDINARY_IR:
+        op = rec.operator
+        assert op is not None
+
+        if rec.fold_operand is not None:
+            # Fold reduction ``q[g(i)] := op(q[g(i)], e_i)`` (or with
+            # swapped operands): encode as OrdinaryIR over per-iteration
+            # version cells initialized to the e_i, chained through the
+            # latest version of each target cell.
+            if rec.swapped:
+                op = flip_operator(op)
+            e_vals = [evaluate_expr(rec.fold_operand, i, env) for i in range(n)]
+            latest: Dict[int, int] = {}
+            new_g = np.arange(m, m + n, dtype=np.int64)
+            new_f = np.empty(n, dtype=np.int64)
+            gl = g.tolist()
+            for i in range(n):
+                new_f[i] = latest.get(gl[i], gl[i])
+                latest[gl[i]] = m + i
+            system = OrdinaryIRSystem(
+                initial=list(env[target]) + e_vals, g=new_g, f=new_f, op=op
+            )
+            solver = solve_ordinary_numpy if engine == "numpy" else solve_ordinary
+            versions, stats = solver(system, collect_stats=collect_stats)
+            out = _copy_env(env)
+            out[target] = [versions[latest.get(x, x)] for x in range(m)]
+            return TransformResult(
+                env=out,
+                recognition=rec,
+                method="ordinary-ir",
+                stats=stats,
+                note="fold reduction via version-cell encoding",
+            )
+
+        assert rec.f is not None
+        if rec.swapped:
+            op = flip_operator(op)
+        f = rec.f.materialize(n)
+        if not g_distinct:
+            if op.commutative:
+                system = GIRSystem(
+                    initial=list(env[target]), g=g, f=f, op=op, h=g.copy()
+                )
+                solved, stats = solve_gir(system, collect_stats=collect_stats)
+                out = _copy_env(env)
+                out[target] = solved
+                return TransformResult(
+                    env=out,
+                    recognition=rec,
+                    method="gir",
+                    stats=stats,
+                    note="non-distinct g handled by renaming",
+                )
+            return _fallback(
+                loop, env, rec, "non-distinct g with non-commutative operator"
+            )
+        system = OrdinaryIRSystem(initial=list(env[target]), g=g, f=f, op=op)
+        solver = solve_ordinary_numpy if engine == "numpy" else solve_ordinary
+        solved, stats = solver(system, collect_stats=collect_stats)
+        out = _copy_env(env)
+        out[target] = solved
+        return TransformResult(
+            env=out, recognition=rec, method="ordinary-ir", stats=stats
+        )
+
+    # -- general IR ----------------------------------------------------------
+    if cls is IRClass.GIR:
+        op = rec.operator
+        if op is None:
+            assert rec.arith_op is not None
+            op = pick_arith_operator(rec.arith_op, env[target][0])
+        if not op.commutative:
+            return _fallback(
+                loop,
+                env,
+                rec,
+                "GIR requires a commutative operator (paper section 4; "
+                "the general case encodes circuit evaluation)",
+            )
+        assert rec.f is not None and rec.h is not None
+        system = GIRSystem(
+            initial=list(env[target]),
+            g=g,
+            f=rec.f.materialize(n),
+            op=op,
+            h=rec.h.materialize(n),
+        )
+        solved, stats = solve_gir(system, collect_stats=collect_stats)
+        out = _copy_env(env)
+        out[target] = solved
+        return TransformResult(env=out, recognition=rec, method="gir", stats=stats)
+
+    return _fallback(loop, env, rec, rec.notes or "unsupported loop shape")

@@ -1,0 +1,44 @@
+"""PRAM simulator substrate (SimParC substitute).
+
+Provides the machine the paper's measurements ran on, in two layers:
+
+* an instruction-honest interpreter (:mod:`~repro.pram.machine`,
+  :mod:`~repro.pram.memory`, :mod:`~repro.pram.program`) with
+  EREW/CREW/CRCW policies and burst-wise (fork-bounded) scheduling;
+* a cost-accounted vectorized engine (:mod:`~repro.pram.vectorized`)
+  for paper-scale runs, cross-validated against the interpreter.
+
+IR-specific programs live in :mod:`~repro.pram.ir_programs`.
+"""
+
+from .instructions import DEFAULT_COST_MODEL, CostModel
+from .ir_programs import (
+    run_cap_on_pram,
+    run_gir_on_pram,
+    run_ordinary_on_pram,
+    run_sequential_on_pram,
+    run_trace_eval_on_pram,
+)
+from .machine import PRAM
+from .memory import AccessPolicy, MemoryConflictError, SharedMemory
+from .metrics import RunMetrics, StepMetrics
+from .primitives import (
+    map_time,
+    run_crcw_min_on_pram,
+    reduce_time,
+    run_map_on_pram,
+    run_reduce_on_pram,
+    run_scan_on_pram,
+    scan_time,
+)
+from .program import ProcContext
+from .scheduler import make_bursts
+from .vectorized import (
+    GIRCostProfile,
+    OrdinaryCostProfile,
+    profile_gir,
+    profile_ordinary,
+    sequential_time,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,123 @@
+"""Instruction-cost model in "assembly units" (SimParC substitute).
+
+The paper's Fig 3 measures complexity "in units of assembly
+instructions" on the SimParC simulator.  SimParC itself is not
+available; this cost model plays its role: every shared-memory access
+and every arithmetic/branch step performed by a simulated processor is
+charged a small integer cost, and the benchmark reports totals in the
+same spirit.
+
+Two layers consume the model:
+
+* the PRAM interpreter (:mod:`repro.pram.machine`) charges costs as
+  processors actually execute reads/writes/computes;
+* the vectorized engine (:mod:`repro.pram.vectorized`) charges the
+  *same formulas* analytically from solver statistics -- tests assert
+  the two agree instruction-for-instruction on identical programs.
+
+The per-step formulas below hard-code the operation sequences of the
+IR programs in :mod:`repro.pram.ir_programs`; if you change a thunk
+there, change the formula here (the cross-validation test will catch a
+mismatch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-primitive instruction costs.
+
+    The defaults model a simple load/store RISC: every shared-memory
+    read or write is one instruction, ALU and branch are one each, and
+    a fork (spawning a batch of virtual processes, the paper's
+    bounded-fork refinement) costs a couple of instructions per
+    superstep burst.
+    """
+
+    load: int = 1
+    store: int = 1
+    alu: int = 1
+    branch: int = 1
+    fork: int = 2
+
+    # -- composite step costs (must mirror repro.pram.ir_programs) --------
+
+    def ordinary_seq_iter(self, op_cost: int = 1) -> int:
+        """One iteration of the sequential baseline loop
+        ``A[g(i)] := op(A[f(i)], A[g(i)])``:
+        load ``g[i]``, ``f[i]``, ``A[f]``, ``A[g]``; apply ``op``;
+        store ``A[g]``; loop increment + bounds branch."""
+        return 4 * self.load + op_cost + self.store + self.alu + self.branch
+
+    def ordinary_init_writer(self) -> int:
+        """Per-processor cost of the writer-map superstep:
+        load ``g[i]``, store ``writer[g[i]] = i``."""
+        return self.load + self.store
+
+    def ordinary_init_links(self, op_cost: int = 1) -> int:
+        """Per-processor cost of the link/first-product superstep.
+
+        Uniform (SIMD-style padded) sequence: load ``f[i]``, load
+        ``writer[f[i]]``, compare (alu+branch), load two operand
+        values, apply ``op``, store ``val``, store ``nxt``.
+        """
+        return (
+            2 * self.load
+            + self.alu
+            + self.branch
+            + 2 * self.load
+            + op_cost
+            + 2 * self.store
+        )
+
+    def ordinary_concat(self, op_cost: int = 1) -> int:
+        """Per-active-processor cost of one concatenation round:
+        load ``nxt[x]``, test it (alu+branch), load ``val[nxt]``, load
+        ``val[x]``, apply ``op``, store ``val[x]``, load ``nxt[nxt]``,
+        store ``nxt[x]``."""
+        return (
+            self.load
+            + self.alu
+            + self.branch
+            + 2 * self.load
+            + op_cost
+            + self.store
+            + self.load
+            + self.store
+        )
+
+    # -- GIR step costs (mirror repro.pram.vectorized.profile_gir) ---------
+
+    def gir_graph_build(self) -> int:
+        """Per-iteration cost of dependence-graph construction: load
+        ``g/f/h``, two writer lookups, two compare/branches, two edge
+        stores."""
+        return 5 * self.load + 2 * (self.alu + self.branch) + 2 * self.store
+
+    def gir_cap_compose(self) -> int:
+        """One CAP edge composition: load the two edges, multiply
+        labels, add into the accumulator slot, store."""
+        return 2 * self.load + 2 * self.alu + self.store
+
+    def gir_power(self, power_cost: int = 1) -> int:
+        """One atomic-power application during trace evaluation: load
+        the initial value and the exponent, apply ``power``, store."""
+        return 2 * self.load + power_cost + self.store
+
+    def gir_combine(self, op_cost: int = 1) -> int:
+        """One combine in the log-depth factor reduction."""
+        return 2 * self.load + op_cost + self.store
+
+    def superstep_overhead(self) -> int:
+        """Per-burst scheduling overhead (fork/join of up to P
+        processes), charged once per burst by both accounting layers."""
+        return self.fork
+
+
+DEFAULT_COST_MODEL = CostModel()
+"""The model used by all shipped benchmarks."""

@@ -1,0 +1,413 @@
+"""PRAM programs for the IR algorithms.
+
+This module turns the paper's pseudo-code into actual instruction
+streams for the :class:`~repro.pram.machine.PRAM` interpreter, using
+the paper's own memory layout: the value of a sub-trace lives in its
+array cell ``A[g(i)]`` and the next-pointer array ``N[1..m]`` links
+sub-traces (``N[g(i)] = f(i)`` exactly as in the paper's
+initialization, since the predecessor's cell *is* ``f(i)``).
+
+Programs:
+
+* :func:`run_sequential_on_pram` -- the "Original IR Loop" baseline:
+  one processor, one superstep per iteration.
+* :func:`run_ordinary_on_pram` -- the parallel OrdinaryIR algorithm:
+  a writer-map superstep, a link/first-product superstep, then
+  ``O(log n)`` concatenation rounds over the still-active traces (the
+  fork-bounded scheduler only dispatches active virtual processors,
+  matching the paper's measured version).
+
+Every thunk executes a *uniform* (SIMD-padded) instruction sequence,
+so burst time equals the per-step constants in
+:class:`~repro.pram.instructions.CostModel`; the analytic engine in
+:mod:`repro.pram.vectorized` charges the same formulas, and the test
+suite asserts instruction-for-instruction agreement between the two.
+
+The algorithm is CREW: several chains may share a predecessor cell and
+read it concurrently, while writes stay exclusive thanks to distinct
+``g``.  Running the parallel program on an EREW machine raises
+:class:`~repro.pram.memory.MemoryConflictError` whenever the input
+actually shares predecessors -- a property the tests exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.equations import OrdinaryIRSystem
+from .instructions import DEFAULT_COST_MODEL, CostModel
+from .machine import PRAM
+from .memory import AccessPolicy
+from .metrics import RunMetrics
+
+__all__ = [
+    "run_sequential_on_pram",
+    "run_ordinary_on_pram",
+    "run_trace_eval_on_pram",
+    "run_cap_on_pram",
+    "run_gir_on_pram",
+]
+
+NIL = -1
+
+
+def run_sequential_on_pram(
+    system: OrdinaryIRSystem,
+    *,
+    cost_model: Optional[CostModel] = None,
+    policy: AccessPolicy = AccessPolicy.CREW,
+) -> Tuple[List[Any], RunMetrics]:
+    """Execute the sequential baseline loop on a 1-processor machine.
+
+    One superstep per iteration (each iteration must observe the
+    previous one's write), no fork overhead: total time is exactly
+    ``n * cost_model.ordinary_seq_iter(op.cost)``.
+    """
+    system.validate()
+    machine = PRAM(
+        processors=1,
+        policy=policy,
+        cost_model=cost_model or DEFAULT_COST_MODEL,
+    )
+    mem = machine.memory
+    mem.alloc("A", system.initial)
+    mem.alloc("g", system.g.tolist())
+    mem.alloc("f", system.f.tolist())
+    op = system.op
+
+    def make_iteration(i: int):
+        def thunk(ctx) -> None:
+            gi = ctx.read("g", i)
+            fi = ctx.read("f", i)
+            x = ctx.read("A", fi)
+            y = ctx.read("A", gi)
+            v = ctx.compute(op.fn, x, y, cost=op.cost)
+            ctx.write("A", gi, v)
+            ctx.alu()  # i := i + 1
+            ctx.branch()  # loop bound test
+
+        return thunk
+
+    for i in range(system.n):
+        machine.superstep([(0, make_iteration(i))], charge_overhead=False)
+    return mem.snapshot("A"), machine.metrics
+
+
+def run_ordinary_on_pram(
+    system: OrdinaryIRSystem,
+    *,
+    processors: int = 1,
+    cost_model: Optional[CostModel] = None,
+    policy: AccessPolicy = AccessPolicy.CREW,
+    f_initial: Optional[List[Any]] = None,
+) -> Tuple[List[Any], RunMetrics]:
+    """Execute the parallel OrdinaryIR algorithm on the interpreter.
+
+    ``f_initial`` has the same meaning as in
+    :func:`repro.core.ordinary.solve_ordinary` (the Moebius reduction
+    reads constant-map matrices at chain terminals); it is allocated
+    as a read-only array ``A0``.
+    """
+    system.validate()
+    n = system.n
+    machine = PRAM(
+        processors=processors,
+        policy=policy,
+        cost_model=cost_model or DEFAULT_COST_MODEL,
+    )
+    mem = machine.memory
+    mem.alloc("A", system.initial)
+    mem.alloc("A0", f_initial if f_initial is not None else system.initial)
+    mem.alloc("N", [NIL] * system.m)
+    mem.alloc("writer", [NIL] * system.m)
+    mem.alloc("g", system.g.tolist())
+    mem.alloc("f", system.f.tolist())
+    op = system.op
+    use_a0 = f_initial is not None
+
+    # Virtual processors are processes: registers persist across steps.
+    regs: List[Dict[str, int]] = [dict() for _ in range(n)]
+
+    # -- superstep 1: writer map ------------------------------------------
+    def make_writer(i: int):
+        def thunk(ctx) -> None:
+            gi = ctx.read("g", i)
+            regs[i]["g"] = gi
+            ctx.write("writer", gi, i)
+
+        return thunk
+
+    machine.superstep([(i, make_writer(i)) for i in range(n)])
+
+    # -- superstep 2: links + first products (uniform padded) -------------
+    def make_links(i: int):
+        def thunk(ctx) -> None:
+            fi = ctx.read("f", i)
+            regs[i]["f"] = fi
+            w = ctx.read("writer", fi)
+            ctx.alu()  # compare w with i
+            ctx.branch()
+            gi = regs[i]["g"]
+            terminal = w == NIL or w >= i
+            if terminal:
+                x = ctx.read("A0" if use_a0 else "A", fi)
+                y = ctx.read("A", gi)
+                v = ctx.compute(op.fn, x, y, cost=op.cost)
+                ctx.write("A", gi, v)
+                ctx.write("N", gi, NIL)
+            else:
+                # padded: same instruction mix, no semantic effect
+                x = ctx.read("A", fi)
+                y = ctx.read("A", gi)
+                v = ctx.compute(lambda _a, b: b, x, y, cost=op.cost)
+                ctx.write("A", gi, v)
+                ctx.write("N", gi, fi)  # N[g(i)] = f(i), as in the paper
+
+        return thunk
+
+    machine.superstep([(i, make_links(i)) for i in range(n)])
+
+    # -- concatenation rounds ---------------------------------------------
+    def make_concat(i: int):
+        def thunk(ctx) -> None:
+            gi = regs[i]["g"]
+            p = ctx.read("N", gi)
+            ctx.alu()  # NIL test
+            ctx.branch()
+            v1 = ctx.read("A", p)
+            v2 = ctx.read("A", gi)
+            v = ctx.compute(op.fn, v1, v2, cost=op.cost)
+            ctx.write("A", gi, v)
+            p2 = ctx.read("N", p)
+            ctx.write("N", gi, p2)
+
+        return thunk
+
+    while True:
+        # The fork-bounded scheduler (host side, uncharged) dispatches
+        # only traces whose pointer is still live.
+        active = [
+            i for i in range(n) if mem.peek("N", regs[i]["g"]) != NIL
+        ]
+        if not active:
+            break
+        machine.superstep([(i, make_concat(i)) for i in active])
+
+    return mem.snapshot("A"), machine.metrics
+
+
+def run_trace_eval_on_pram(
+    power_tables: List[Dict[int, int]],
+    initial: List[Any],
+    op,
+    *,
+    processors: int = 1,
+    cost_model: Optional[CostModel] = None,
+    policy: AccessPolicy = AccessPolicy.CREW,
+    machine: Optional[PRAM] = None,
+) -> Tuple[List[Any], RunMetrics]:
+    """The GIR evaluation stage as a PRAM program.
+
+    Inputs are the CAP power tables (one ``{cell: exponent}`` per
+    trace).  The program runs two phases:
+
+    1. **power gathering** -- one virtual processor per (trace,
+       factor): load the initial value and its exponent, apply the
+       atomic power, store the factor (matches
+       ``CostModel.gir_power``);
+    2. **combine tree** -- per level, one processor per surviving
+       factor pair: two loads, one ``op``, one store (matches
+       ``CostModel.gir_combine``), with floor-pairing identical to
+       :func:`repro.core.gir.evaluate_trace_powers`.
+
+    Returns the per-trace values and the machine metrics.  The
+    instruction time equals the power+combine stages of
+    :class:`repro.pram.vectorized.GIRCostProfile` exactly (tested).
+    An existing ``machine`` may be passed to continue a pipeline (the
+    full-GIR program does); its metrics then accumulate.
+    """
+    if machine is None:
+        machine = PRAM(
+            processors=processors,
+            policy=policy,
+            cost_model=cost_model or DEFAULT_COST_MODEL,
+        )
+    mem = machine.memory
+    mem.alloc("S", initial)
+
+    # flatten (trace, factor) pairs; factors in ascending cell order,
+    # exactly as evaluate_trace_powers sorts them
+    bases: List[int] = []
+    cells: List[int] = []
+    exps: List[int] = []
+    for table in power_tables:
+        bases.append(len(cells))
+        for cell, k in sorted(table.items()):
+            cells.append(cell)
+            exps.append(k)
+    total = len(cells)
+    mem.alloc("K", exps)
+    mem.alloc("F", [None] * max(total, 1))
+
+    power = op.power
+    fn = op.fn
+    op_cost = op.cost
+
+    # -- phase 1: atomic powers -------------------------------------------
+    def make_power(j: int, cell: int):
+        def thunk(ctx) -> None:
+            v = ctx.read("S", cell)
+            k = ctx.read("K", j)
+            ctx.write("F", j, ctx.compute(power, v, k, cost=op_cost))
+
+        return thunk
+
+    machine.superstep(
+        [(j, make_power(j, cells[j])) for j in range(total)]
+    )
+
+    # -- phase 2: combine tree (floor pairing, compacting) -----------------
+    # seg[t] = (start, length) of trace t's surviving factors in F
+    segments = [
+        [bases[t] + k for k in range(len(power_tables[t]))]
+        for t in range(len(power_tables))
+    ]
+    while any(len(seg) > 1 for seg in segments):
+        work = []
+        new_segments = []
+        proc = 0
+        for seg in segments:
+            nxt = []
+            for a, b in zip(seg[0::2], seg[1::2]):
+                def make_combine(a=a, b=b):
+                    def thunk(ctx) -> None:
+                        x = ctx.read("F", a)
+                        y = ctx.read("F", b)
+                        ctx.write("F", a, ctx.compute(fn, x, y, cost=op_cost))
+
+                    return thunk
+
+                work.append((proc, make_combine()))
+                proc += 1
+                nxt.append(a)
+            if len(seg) % 2:
+                nxt.append(seg[-1])
+            new_segments.append(nxt)
+        machine.superstep(work)
+        segments = new_segments
+
+    values = [
+        mem.peek("F", seg[0]) if seg else None for seg in segments
+    ]
+    return values, machine.metrics
+
+
+def run_cap_on_pram(
+    graph,
+    *,
+    processors: int = 1,
+    cost_model: Optional[CostModel] = None,
+    policy: AccessPolicy = AccessPolicy.CREW,
+    machine: Optional[PRAM] = None,
+) -> Tuple[List[Dict[int, int]], RunMetrics]:
+    """CAP (Counting All Paths) as a PRAM program.
+
+    The edge set of each final node lives in one shared-memory cell
+    (``E[u]`` holds ``{target: count}``); every doubling iteration is
+    one superstep in which each still-unresolved node composes its
+    edges with its targets' edge sets (concurrent reads of shared
+    targets: CREW).  Per-processor cost is *non-uniform* -- a node is
+    charged one load per edge it reads, one multiply-accumulate per
+    composition, one store -- so burst time is the burst's heaviest
+    node, the honest accounting for CAP's irregular parallelism.
+
+    Returns ``(edge_sets, metrics)`` where ``edge_sets[u]`` maps leaf
+    node ids to exact path counts, equal to
+    :func:`repro.core.cap.count_all_paths` (tested).
+    """
+    own_machine = machine is None
+    if own_machine:
+        machine = PRAM(
+            processors=processors,
+            policy=policy,
+            cost_model=cost_model or DEFAULT_COST_MODEL,
+        )
+    mem = machine.memory
+    n = graph.n
+    mem.alloc("E", [dict(graph.out_edges(u)) for u in range(n)])
+
+    def unresolved() -> List[int]:
+        return [
+            u
+            for u in range(n)
+            if any(v < n for v in mem.peek("E", u))
+        ]
+
+    def make_node(u: int):
+        def thunk(ctx) -> None:
+            edges = ctx.read("E", u)
+            acc: Dict[int, int] = {}
+            for v, x in edges.items():
+                if v >= n:  # complete path: keep
+                    acc[v] = acc.get(v, 0) + x
+                    continue
+                inner = ctx.read("E", v)
+                for w, y in inner.items():  # paths multiplication
+                    ctx.alu()  # multiply-accumulate (paths addition)
+                    acc[w] = acc.get(w, 0) + x * y
+            ctx.write("E", u, acc)
+
+        return thunk
+
+    active = unresolved()
+    while active:
+        machine.superstep([(u, make_node(u)) for u in active])
+        active = unresolved()
+
+    return [mem.peek("E", u) for u in range(n)], machine.metrics
+
+
+def run_gir_on_pram(
+    system,
+    *,
+    processors: int = 1,
+    cost_model: Optional[CostModel] = None,
+    policy: AccessPolicy = AccessPolicy.CREW,
+) -> Tuple[List[Any], RunMetrics]:
+    """The complete GIR pipeline on the interpreter.
+
+    Dependence-graph construction happens host-side (it is a pure
+    function of ``g, f, h``, the paper's scheduler-level preprocessing);
+    CAP and the trace evaluation run as PRAM programs on one machine,
+    so the returned metrics cover both parallel stages.  Requires a
+    commutative operator and distinct ``g``, like the core solver.
+    """
+    from ..core.depgraph import build_dependence_graph
+
+    system.validate()
+    system.op.require_commutative()
+    graph = build_dependence_graph(system)
+
+    machine = PRAM(
+        processors=processors,
+        policy=policy,
+        cost_model=cost_model or DEFAULT_COST_MODEL,
+    )
+    edge_sets, _ = run_cap_on_pram(graph, machine=machine)
+    tables = [
+        {graph.leaf_cell(v): x for v, x in edge_sets[i].items()}
+        for i in range(graph.n)
+    ]
+    values, metrics = run_trace_eval_on_pram(
+        tables,
+        system.initial,
+        system.op,
+        processors=processors,
+        cost_model=cost_model,
+        policy=policy,
+        machine=machine,
+    )
+    out = list(system.initial)
+    for i in range(system.n):
+        out[int(system.g[i])] = values[i]
+    return out, metrics

@@ -1,0 +1,130 @@
+"""The PRAM interpreter (SimParC substitute).
+
+:class:`PRAM` executes programs superstep by superstep against a
+:class:`~repro.pram.memory.SharedMemory`:
+
+* all thunks of a superstep run against the state left by the previous
+  barrier (writes are staged and committed together), giving true
+  synchronous PRAM semantics regardless of burst order;
+* memory-access conflicts are checked at the barrier per the machine's
+  :class:`~repro.pram.memory.AccessPolicy`;
+* time is charged burst-wise: a superstep with ``a`` virtual
+  processors on ``P`` physical ones runs in ``ceil(a/P)`` bursts, each
+  costing the *maximum* instruction count inside the burst plus the
+  cost model's per-burst fork/join overhead -- the accounting the
+  paper's measured, fork-bounded version implies.
+
+The interpreter is deliberately slow-but-honest; large-``n`` runs use
+the cross-validated analytic engine in :mod:`repro.pram.vectorized`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from .instructions import DEFAULT_COST_MODEL, CostModel
+from .memory import AccessPolicy, SharedMemory
+from .metrics import RunMetrics
+from .program import ProcContext, SuperStep
+from .scheduler import make_bursts
+
+__all__ = ["PRAM"]
+
+
+@dataclass
+class PRAM:
+    """A synchronous shared-memory machine with ``processors``
+    physical processors.
+
+    Typical use::
+
+        machine = PRAM(processors=4)
+        machine.memory.alloc("A", initial_values)
+        machine.superstep([(i, thunk_i) for i in range(n)])
+        result = machine.memory.snapshot("A")
+        print(machine.metrics.time)
+    """
+
+    processors: int = 1
+    policy: AccessPolicy = AccessPolicy.CREW
+    cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    memory: SharedMemory = field(default=None)  # type: ignore[assignment]
+    metrics: RunMetrics = field(default=None)  # type: ignore[assignment]
+    record_trace: bool = False
+    trace: List[List[Any]] = field(default_factory=list)
+    """When ``record_trace`` is set, one event list per superstep:
+    ``(proc, 'R'|'W', array, index)`` for memory accesses and
+    ``(proc, 'C', fn_name, cost)`` for computations -- a debugging and
+    teaching aid (see :meth:`render_trace`)."""
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("processors must be >= 1")
+        if self.memory is None:
+            self.memory = SharedMemory(policy=self.policy)
+        if self.metrics is None:
+            self.metrics = RunMetrics(processors=self.processors)
+
+    def render_trace(self, *, max_events: int = 200) -> str:
+        """Human-readable dump of the recorded event trace."""
+        if not self.record_trace:
+            return "(tracing disabled; construct PRAM(record_trace=True))"
+        lines: List[str] = []
+        shown = 0
+        for step, events in enumerate(self.trace):
+            lines.append(f"superstep {step}:")
+            for event in events:
+                if shown >= max_events:
+                    lines.append("  ... (truncated)")
+                    return "\n".join(lines)
+                proc, kind, a, b = event
+                if kind == "C":
+                    lines.append(f"  p{proc}: compute {a} (cost {b})")
+                else:
+                    verb = "read " if kind == "R" else "write"
+                    lines.append(f"  p{proc}: {verb} {a}[{b}]")
+                shown += 1
+        return "\n".join(lines)
+
+    def superstep(
+        self, work: SuperStep, *, charge_overhead: bool = True
+    ) -> None:
+        """Run one synchronous step.
+
+        ``work`` is a sequence of ``(virtual_proc_id, thunk)`` pairs.
+        ``charge_overhead=False`` suppresses the per-burst fork cost --
+        used by the sequential baseline, which forks nothing.
+        """
+        if not work:
+            return
+        cm = self.cost_model
+        bursts = make_bursts(list(work), self.processors)
+        time = 0
+        total_work = 0
+        events: Optional[List[Any]] = [] if self.record_trace else None
+        for burst in bursts:
+            burst_max = 0
+            for proc, thunk in burst:
+                ctx = ProcContext(
+                    proc=proc,
+                    memory=self.memory,
+                    load_cost=cm.load,
+                    store_cost=cm.store,
+                    alu_cost=cm.alu,
+                    branch_cost=cm.branch,
+                    events=events,
+                )
+                thunk(ctx)
+                burst_max = max(burst_max, ctx.instructions)
+                total_work += ctx.instructions
+            time += burst_max
+            if charge_overhead:
+                time += cm.superstep_overhead()
+        # Synchronous barrier: conflicts checked, writes commit at once.
+        self.memory.commit()
+        if events is not None:
+            self.trace.append(events)
+        self.metrics.add_step(
+            virtual=len(work), bursts=len(bursts), time=time, work=total_work
+        )

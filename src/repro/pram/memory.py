@@ -1,0 +1,147 @@
+"""Shared memory for the PRAM interpreter.
+
+A PRAM step is *synchronous*: all processors read the state left by
+the previous superstep, then all writes commit at once.  This module
+provides :class:`SharedMemory`, a collection of named arrays with
+
+* write buffering (writes are staged and committed at the superstep
+  barrier),
+* per-superstep access logging, and
+* access-policy enforcement: EREW, CREW (the model the OrdinaryIR
+  algorithm needs -- chains may share a predecessor, so reads are
+  concurrent, while distinct ``g`` keeps writes exclusive) and the
+  COMMON / ARBITRARY / PRIORITY CRCW variants.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["AccessPolicy", "MemoryConflictError", "SharedMemory"]
+
+
+class AccessPolicy(enum.Enum):
+    """PRAM memory-access discipline."""
+
+    EREW = "EREW"
+    CREW = "CREW"
+    CRCW_COMMON = "CRCW-common"
+    CRCW_ARBITRARY = "CRCW-arbitrary"
+    CRCW_PRIORITY = "CRCW-priority"
+
+    @property
+    def allows_concurrent_reads(self) -> bool:
+        return self is not AccessPolicy.EREW
+
+    @property
+    def allows_concurrent_writes(self) -> bool:
+        return self in (
+            AccessPolicy.CRCW_COMMON,
+            AccessPolicy.CRCW_ARBITRARY,
+            AccessPolicy.CRCW_PRIORITY,
+        )
+
+
+class MemoryConflictError(RuntimeError):
+    """A superstep violated the machine's access policy."""
+
+
+Location = Tuple[str, int]
+
+
+@dataclass
+class SharedMemory:
+    """Named arrays with synchronous-commit semantics.
+
+    Arrays are plain Python lists (object cells), declared with
+    :meth:`alloc`.  During a superstep, processor reads see the state
+    at the start of the step; writes go to a staging buffer and are
+    applied by :meth:`commit` (called by the machine at the barrier),
+    after conflict checking.
+    """
+
+    policy: AccessPolicy = AccessPolicy.CREW
+    arrays: Dict[str, List[Any]] = field(default_factory=dict)
+    # staging: location -> list of (proc_id, value), in issue order
+    _pending: Dict[Location, List[Tuple[int, Any]]] = field(default_factory=dict)
+    _readers: Dict[Location, List[int]] = field(default_factory=dict)
+
+    def alloc(self, name: str, values) -> None:
+        """Declare array ``name`` with initial ``values`` (copied)."""
+        if name in self.arrays:
+            raise ValueError(f"array {name!r} already allocated")
+        self.arrays[name] = list(values)
+
+    def read(self, proc: int, name: str, index: int) -> Any:
+        """Processor ``proc`` reads ``name[index]`` (pre-step state)."""
+        loc = (name, int(index))
+        self._readers.setdefault(loc, []).append(proc)
+        return self.arrays[name][int(index)]
+
+    def write(self, proc: int, name: str, index: int, value: Any) -> None:
+        """Processor ``proc`` stages ``name[index] := value``."""
+        loc = (name, int(index))
+        self._pending.setdefault(loc, []).append((proc, value))
+
+    # -- barrier ----------------------------------------------------------
+
+    def commit(self) -> None:
+        """Apply staged writes after enforcing the access policy."""
+        self._check_conflicts()
+        for (name, index), writes in self._pending.items():
+            if self.policy is AccessPolicy.CRCW_PRIORITY:
+                # lowest processor id wins
+                _proc, value = min(writes, key=lambda pv: pv[0])
+            else:
+                # arbitrary/common/exclusive: single writer, or the
+                # machine's deterministic choice (first issued)
+                _proc, value = writes[0]
+            self.arrays[name][index] = value
+        self._pending.clear()
+        self._readers.clear()
+
+    def _check_conflicts(self) -> None:
+        if not self.policy.allows_concurrent_reads:
+            for loc, readers in self._readers.items():
+                if len(set(readers)) > 1:
+                    raise MemoryConflictError(
+                        f"EREW violation: processors {sorted(set(readers))} "
+                        f"concurrently read {loc[0]}[{loc[1]}]"
+                    )
+        for loc, writes in self._pending.items():
+            writers = {p for p, _v in writes}
+            if len(writers) > 1:
+                if not self.policy.allows_concurrent_writes:
+                    raise MemoryConflictError(
+                        f"{self.policy.value} violation: processors "
+                        f"{sorted(writers)} concurrently wrote {loc[0]}[{loc[1]}]"
+                    )
+                if self.policy is AccessPolicy.CRCW_COMMON:
+                    values = {id(v) if not _hashable(v) else v for _p, v in writes}
+                    raw = [v for _p, v in writes]
+                    if any(v != raw[0] for v in raw[1:]):
+                        raise MemoryConflictError(
+                            f"CRCW-common violation: divergent values written "
+                            f"to {loc[0]}[{loc[1]}]: {raw!r}"
+                        )
+
+    # -- convenience ------------------------------------------------------
+
+    def snapshot(self, name: str) -> List[Any]:
+        """Copy of an array's committed state (host-side, not charged)."""
+        return list(self.arrays[name])
+
+    def peek(self, name: str, index: int) -> Any:
+        """Host-side read without logging or charging."""
+        return self.arrays[name][int(index)]
+
+
+def _hashable(v: Any) -> bool:
+    try:
+        hash(v)
+    except TypeError:
+        return False
+    return True

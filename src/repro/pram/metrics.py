@@ -1,0 +1,74 @@
+"""Execution metrics for the PRAM machine and the analytic engine.
+
+Both accounting layers produce :class:`RunMetrics` so benchmarks can
+treat interpreter measurements and analytic predictions uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["StepMetrics", "RunMetrics"]
+
+
+@dataclass
+class StepMetrics:
+    """One superstep's accounting.
+
+    ``time`` is the scheduled duration on the machine's ``P`` physical
+    processors: the sum over bursts of (max instructions within the
+    burst + per-burst overhead).  ``work`` is the total instructions
+    issued by all virtual processors.
+    """
+
+    virtual_processors: int
+    bursts: int
+    time: int
+    work: int
+
+
+@dataclass
+class RunMetrics:
+    """Whole-run accounting.
+
+    Attributes
+    ----------
+    processors:
+        Physical processor count ``P`` the run was scheduled on.
+    steps:
+        Per-superstep breakdown.
+    """
+
+    processors: int
+    steps: List[StepMetrics] = field(default_factory=list)
+
+    @property
+    def time(self) -> int:
+        """Total scheduled time in instruction units -- the paper's
+        Fig-3 y-axis quantity."""
+        return sum(s.time for s in self.steps)
+
+    @property
+    def work(self) -> int:
+        """Total instructions across all processors."""
+        return sum(s.work for s in self.steps)
+
+    @property
+    def supersteps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def bursts(self) -> int:
+        return sum(s.bursts for s in self.steps)
+
+    def add_step(self, virtual: int, bursts: int, time: int, work: int) -> None:
+        self.steps.append(
+            StepMetrics(virtual_processors=virtual, bursts=bursts, time=time, work=work)
+        )
+
+    def describe(self) -> str:
+        return (
+            f"P={self.processors}: time={self.time} work={self.work} "
+            f"supersteps={self.supersteps} bursts={self.bursts}"
+        )

@@ -1,0 +1,259 @@
+"""Generic PRAM programs: map, tree reduction, Kogge-Stone scan.
+
+The IR algorithms in :mod:`repro.pram.ir_programs` are the paper's;
+this module shows the machine is a general PRAM (as SimParC was) by
+implementing the textbook primitives as instruction streams, with the
+same burst-wise accounting.  They double as executable documentation
+of the machine API and as independent cross-checks for the cost
+formulas (each function's time on P processors is a closed form the
+tests verify).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .instructions import DEFAULT_COST_MODEL, CostModel
+from .machine import PRAM
+from .memory import AccessPolicy
+from .metrics import RunMetrics
+
+__all__ = [
+    "run_crcw_min_on_pram",
+    "run_map_on_pram",
+    "run_reduce_on_pram",
+    "run_scan_on_pram",
+    "map_time",
+    "reduce_time",
+    "scan_time",
+]
+
+
+def run_map_on_pram(
+    values: Sequence[Any],
+    fn: Callable[[Any], Any],
+    *,
+    processors: int = 1,
+    fn_cost: int = 1,
+    cost_model: Optional[CostModel] = None,
+) -> Tuple[List[Any], RunMetrics]:
+    """``out[i] = fn(values[i])`` in one superstep of n processors.
+
+    EREW-clean: every processor touches only its own cells.
+    """
+    machine = PRAM(
+        processors=processors,
+        policy=AccessPolicy.EREW,
+        cost_model=cost_model or DEFAULT_COST_MODEL,
+    )
+    machine.memory.alloc("A", values)
+    machine.memory.alloc("B", [None] * len(values))
+
+    def make(i: int):
+        def thunk(ctx) -> None:
+            ctx.write("B", i, ctx.compute(fn, ctx.read("A", i), cost=fn_cost))
+
+        return thunk
+
+    machine.superstep([(i, make(i)) for i in range(len(values))])
+    return machine.memory.snapshot("B"), machine.metrics
+
+
+def run_reduce_on_pram(
+    values: Sequence[Any],
+    op: Callable[[Any, Any], Any],
+    *,
+    processors: int = 1,
+    op_cost: int = 1,
+    cost_model: Optional[CostModel] = None,
+) -> Tuple[Any, RunMetrics]:
+    """Tree reduction in ``ceil(log2 n)`` supersteps.
+
+    Stride doubling: step ``d`` combines ``A[i]`` with ``A[i+d]`` for
+    ``i`` multiples of ``2d``.  EREW-clean.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot reduce an empty sequence")
+    machine = PRAM(
+        processors=processors,
+        policy=AccessPolicy.EREW,
+        cost_model=cost_model or DEFAULT_COST_MODEL,
+    )
+    machine.memory.alloc("A", values)
+
+    stride = 1
+    while stride < n:
+        work = []
+        for i in range(0, n - stride, 2 * stride):
+            def make(i=i, stride=stride):
+                def thunk(ctx) -> None:
+                    a = ctx.read("A", i)
+                    b = ctx.read("A", i + stride)
+                    ctx.write("A", i, ctx.compute(op, a, b, cost=op_cost))
+
+                return thunk
+
+            work.append((i, make()))
+        machine.superstep(work)
+        stride *= 2
+    return machine.memory.peek("A", 0), machine.metrics
+
+
+def run_scan_on_pram(
+    values: Sequence[Any],
+    op: Callable[[Any, Any], Any],
+    *,
+    processors: int = 1,
+    op_cost: int = 1,
+    cost_model: Optional[CostModel] = None,
+) -> Tuple[List[Any], RunMetrics]:
+    """Kogge-Stone inclusive scan in ``ceil(log2 n)`` supersteps.
+
+    Step ``d``: every ``i >= d`` computes ``A[i] = op(A[i-d], A[i])``.
+    The machine's synchronous commit provides the double buffering the
+    algorithm needs, and the shared reads make this CREW (position
+    ``i`` is read by ``i`` and ``i+d``).
+    """
+    n = len(values)
+    machine = PRAM(
+        processors=processors,
+        policy=AccessPolicy.CREW,
+        cost_model=cost_model or DEFAULT_COST_MODEL,
+    )
+    machine.memory.alloc("A", values)
+
+    d = 1
+    while d < n:
+        work = []
+        for i in range(d, n):
+            def make(i=i, d=d):
+                def thunk(ctx) -> None:
+                    a = ctx.read("A", i - d)
+                    b = ctx.read("A", i)
+                    ctx.write("A", i, ctx.compute(op, a, b, cost=op_cost))
+
+                return thunk
+
+            work.append((i, make()))
+        machine.superstep(work)
+        d *= 2
+    return machine.memory.snapshot("A"), machine.metrics
+
+
+# ---------------------------------------------------------------------------
+# Closed-form time predictions (verified against the interpreter)
+# ---------------------------------------------------------------------------
+
+
+def _unit(op_cost: int, cm: CostModel, reads: int) -> int:
+    return reads * cm.load + op_cost + cm.store
+
+
+def map_time(
+    n: int, processors: int, *, fn_cost: int = 1, cost_model: Optional[CostModel] = None
+) -> int:
+    cm = cost_model or DEFAULT_COST_MODEL
+    if n == 0:
+        return 0
+    bursts = math.ceil(n / processors)
+    return bursts * (_unit(fn_cost, cm, 1) + cm.superstep_overhead())
+
+
+def reduce_time(
+    n: int, processors: int, *, op_cost: int = 1, cost_model: Optional[CostModel] = None
+) -> int:
+    cm = cost_model or DEFAULT_COST_MODEL
+    total = 0
+    stride = 1
+    while stride < n:
+        active = len(range(0, n - stride, 2 * stride))
+        if active:
+            total += math.ceil(active / processors) * (
+                _unit(op_cost, cm, 2) + cm.superstep_overhead()
+            )
+        stride *= 2
+    return total
+
+
+def scan_time(
+    n: int, processors: int, *, op_cost: int = 1, cost_model: Optional[CostModel] = None
+) -> int:
+    cm = cost_model or DEFAULT_COST_MODEL
+    total = 0
+    d = 1
+    while d < n:
+        active = n - d
+        total += math.ceil(active / processors) * (
+            _unit(op_cost, cm, 2) + cm.superstep_overhead()
+        )
+        d *= 2
+    return total
+
+
+def run_crcw_min_on_pram(
+    values: Sequence[Any],
+    *,
+    processors: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
+) -> Tuple[Any, "RunMetrics"]:
+    """Constant-depth minimum on a CRCW-common machine.
+
+    The classic O(1) algorithm with n^2 processors: superstep 1
+    compares every ordered pair and marks the larger element as a
+    loser (all writers of ``loser[j]`` write the same value ``True`` --
+    legal under CRCW-common); superstep 2 has the one unmarked element
+    write itself to the output cell.  Two supersteps regardless of n,
+    versus the log-n tree of :func:`run_reduce_on_pram` -- the textbook
+    depth-vs-processors trade the CRCW policies exist for.
+
+    Ties are broken by index (the earlier element survives), matching
+    Livermore kernel 24's first-minimum semantics.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot take the minimum of an empty sequence")
+    machine = PRAM(
+        processors=processors if processors is not None else n * n,
+        policy=AccessPolicy.CRCW_COMMON,
+        cost_model=cost_model or DEFAULT_COST_MODEL,
+    )
+    mem = machine.memory
+    mem.alloc("A", values)
+    mem.alloc("loser", [False] * n)
+    mem.alloc("out", [None])
+
+    # superstep 1: pairwise comparisons, mark losers
+    work = []
+    proc = 0
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+
+            def make(i=i, j=j):
+                def thunk(ctx) -> None:
+                    a = ctx.read("A", i)
+                    b = ctx.read("A", j)
+                    ctx.alu()  # the comparison
+                    # strict ordering with index tie-break: j loses to i
+                    if (a, i) < (b, j):
+                        ctx.write("loser", j, True)
+
+                return thunk
+
+            work.append((proc, make()))
+            proc += 1
+    machine.superstep(work)
+
+    # superstep 2: the sole survivor writes the answer
+    def make_writer(i: int):
+        def thunk(ctx) -> None:
+            if not ctx.read("loser", i):
+                ctx.write("out", 0, ctx.read("A", i))
+
+        return thunk
+
+    machine.superstep([(i, make_writer(i)) for i in range(n)])
+    return mem.peek("out", 0), machine.metrics

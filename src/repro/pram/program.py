@@ -1,0 +1,82 @@
+"""Per-processor execution contexts for PRAM programs.
+
+A PRAM program is a sequence of *supersteps*; in each superstep a set
+of virtual processors runs a small straight-line code fragment (a
+Python callable receiving a :class:`ProcContext`).  The context is the
+only sanctioned way to touch shared memory, and every primitive it
+exposes charges the machine's cost model -- that is what makes the
+interpreter's instruction counts trustworthy:
+
+* :meth:`ProcContext.read` / :meth:`ProcContext.write` -- one shared
+  memory access each (logged for conflict detection);
+* :meth:`ProcContext.compute` -- apply a function to already-loaded
+  register values at an explicit cost (e.g. ``op.cost``);
+* :meth:`ProcContext.alu` / :meth:`ProcContext.branch` -- charge bare
+  arithmetic / control instructions (loop tests, comparisons).
+
+Virtual processors are *processes* in the SimParC sense: register
+state (plain Python locals of the closure) persists across supersteps,
+so a processor may load an index once and reuse it later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Sequence, Tuple
+
+from .memory import SharedMemory
+
+__all__ = ["ProcContext", "Thunk", "SuperStep"]
+
+
+@dataclass
+class ProcContext:
+    """Handle a virtual processor uses during one superstep.
+
+    ``instructions`` accumulates this processor's charge for the step;
+    the machine folds it into burst-max time and total work.
+    """
+
+    proc: int
+    memory: SharedMemory
+    load_cost: int
+    store_cost: int
+    alu_cost: int
+    branch_cost: int
+    instructions: int = 0
+    events: Any = None  # optional per-superstep trace sink
+
+    def read(self, array: str, index: int) -> Any:
+        """Load ``array[index]`` from shared memory (pre-step state)."""
+        self.instructions += self.load_cost
+        value = self.memory.read(self.proc, array, index)
+        if self.events is not None:
+            self.events.append((self.proc, "R", array, int(index)))
+        return value
+
+    def write(self, array: str, index: int, value: Any) -> None:
+        """Stage ``array[index] := value`` (visible after the barrier)."""
+        self.instructions += self.store_cost
+        self.memory.write(self.proc, array, index, value)
+        if self.events is not None:
+            self.events.append((self.proc, "W", array, int(index)))
+
+    def compute(self, fn: Callable[..., Any], *args: Any, cost: int = 1) -> Any:
+        """Apply ``fn`` to register values, charging ``cost``."""
+        self.instructions += cost
+        if self.events is not None:
+            self.events.append((self.proc, "C", fn.__name__ if hasattr(fn, "__name__") else "fn", cost))
+        return fn(*args)
+
+    def alu(self, count: int = 1) -> None:
+        """Charge ``count`` plain ALU instructions."""
+        self.instructions += count * self.alu_cost
+
+    def branch(self, count: int = 1) -> None:
+        """Charge ``count`` branch instructions."""
+        self.instructions += count * self.branch_cost
+
+
+Thunk = Callable[[ProcContext], None]
+SuperStep = Sequence[Tuple[int, Thunk]]
+"""One synchronous step: ``(virtual processor id, code)`` pairs."""

@@ -1,0 +1,24 @@
+"""Virtual-processor to physical-processor scheduling.
+
+The machine simulates supersteps with more virtual processors than the
+``P`` physical ones by executing them in *bursts* of at most ``P``
+(the standard Brent simulation, and exactly the paper's "forks only up
+to P processes at the same time" refinement).  Burst grouping is by
+ascending virtual id, which also gives CRCW-priority its deterministic
+winner ordering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["make_bursts"]
+
+
+def make_bursts(items: Sequence[T], processors: int) -> List[Sequence[T]]:
+    """Split a superstep's work items into bursts of size <= P."""
+    if processors < 1:
+        raise ValueError("processors must be >= 1")
+    return [items[i : i + processors] for i in range(0, len(items), processors)]

@@ -1,0 +1,48 @@
+"""Tests for the analytic complexity models."""
+
+import math
+
+import pytest
+
+from repro.analysis.complexity import (
+    fit_parallel_constant,
+    loglog_slope,
+    model_crossover,
+    model_parallel_time,
+)
+
+
+class TestModel:
+    def test_parallel_time_formula(self):
+        assert model_parallel_time(1024, 1) == 1024 * 10
+        assert model_parallel_time(1024, 16) == 64 * 10
+        assert model_parallel_time(1000, 16, c_par=2.0) == 2.0 * 63 * 10
+
+    def test_tiny_n(self):
+        assert model_parallel_time(1, 4) == 1.0
+
+    def test_crossover(self):
+        # T_par < T_seq  <=>  P > (c_par/c_seq) log2 n
+        assert model_crossover(1 << 16, 2.0, 1.0) == pytest.approx(32.0)
+        assert model_crossover(1, 2.0, 1.0) == 1.0
+
+
+class TestFits:
+    def test_slope_of_ideal_scaling_is_minus_one(self):
+        ps = [1, 2, 4, 8, 16, 32]
+        ts = [1000.0 / p for p in ps]
+        assert loglog_slope(ps, ts) == pytest.approx(-1.0)
+
+    def test_slope_of_flat_series_is_zero(self):
+        ps = [1, 2, 4, 8]
+        assert loglog_slope(ps, [7.0] * 4) == pytest.approx(0.0)
+
+    def test_slope_needs_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1.0])
+
+    def test_fit_constant_recovers_c(self):
+        n = 4096
+        ps = [1, 4, 16, 64]
+        ts = [3.5 * model_parallel_time(n, p) for p in ps]
+        assert fit_parallel_constant(n, ps, ts) == pytest.approx(3.5)

@@ -1,0 +1,44 @@
+"""Tests for report rendering."""
+
+from repro.analysis.reporting import ascii_table, banner, series_table
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        text = ascii_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]], align_right=[1]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[2].endswith(" 1")
+        assert lines[3].endswith("22")
+
+    def test_empty_rows(self):
+        text = ascii_table(["a", "b"], [])
+        assert "a" in text and "-" in text
+
+    def test_header_width_respected(self):
+        text = ascii_table(["wide-header"], [["x"]])
+        assert text.splitlines()[1] == "-" * len("wide-header")
+
+
+class TestSeriesTable:
+    def test_columns(self):
+        text = series_table(
+            "P", [1, 2], {"par": [10.0, 5.0], "seq": [8, 8]}
+        )
+        lines = text.splitlines()
+        assert "P" in lines[0] and "par" in lines[0] and "seq" in lines[0]
+        assert "10.000" in lines[2]
+        assert lines[3].split()[0] == "2"
+
+    def test_int_series_not_float_formatted(self):
+        text = series_table("P", [1], {"count": [42]})
+        assert "42" in text and "42.000" not in text
+
+
+class TestBanner:
+    def test_contains_title(self):
+        text = banner("Fig 3")
+        assert "Fig 3" in text
+        assert text.count("=") >= 100

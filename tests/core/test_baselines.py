@@ -1,0 +1,148 @@
+"""Tests for the related-work baseline algorithms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baselines import (
+    blelloch_scan,
+    kogge_stone_scan,
+    recursive_doubling_linear,
+    sequential_scan,
+)
+from repro.core.operators import ADD, CONCAT
+from repro.core.prefix import prefix_scan
+
+
+class TestScanBaselines:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 7, 8, 9, 100])
+    def test_all_scans_agree(self, n, rng):
+        vals = rng.integers(-9, 9, size=n).tolist()
+        ref, _ = sequential_scan(vals, ADD)
+        assert kogge_stone_scan(vals, ADD)[0] == ref
+        assert blelloch_scan(vals, ADD)[0] == ref
+        assert prefix_scan(vals, ADD)[0] == ref
+
+    def test_non_commutative_safe(self):
+        vals = [(c,) for c in "abcdefg"]
+        ref, _ = sequential_scan(vals, CONCAT)
+        assert kogge_stone_scan(vals, CONCAT)[0] == ref
+        assert blelloch_scan(vals, CONCAT)[0] == ref
+
+    def test_work_depth_tradeoffs(self):
+        n = 256
+        vals = list(range(n))
+        _, seq = sequential_scan(vals, ADD)
+        _, ks = kogge_stone_scan(vals, ADD)
+        _, bl = blelloch_scan(vals, ADD)
+        # sequential: minimal work, linear depth
+        assert seq.ops == n - 1 and seq.depth == n - 1
+        # Kogge-Stone: log depth, n log n work
+        assert ks.depth == int(math.log2(n))
+        assert ks.ops > 3 * n
+        # Blelloch: ~3n work, 2 log n + 1 depth
+        assert bl.ops <= 3 * n
+        assert bl.depth == 2 * int(math.log2(n)) + 1
+
+    def test_blelloch_requires_identity(self):
+        from repro.core.operators import make_operator
+
+        op = make_operator("noid", lambda x, y: x + y)
+        with pytest.raises(ValueError, match="identity"):
+            blelloch_scan([1, 2], op)
+
+    @given(st.lists(st.integers(-50, 50), max_size=64))
+    @settings(max_examples=60)
+    def test_property_baselines_agree(self, vals):
+        ref, _ = sequential_scan(vals, ADD)
+        assert kogge_stone_scan(vals, ADD)[0] == ref
+        assert blelloch_scan(vals, ADD)[0] == ref
+
+
+class TestRecursiveDoubling:
+    def test_matches_sequential(self, rng):
+        n = 100
+        a = (0.5 * rng.normal(size=n)).tolist()
+        b = rng.normal(size=n).tolist()
+        got, stats = recursive_doubling_linear(a, b, 1.5)
+        cur = 1.5
+        for i in range(n):
+            cur = a[i] * cur + b[i]
+            assert got[i] == pytest.approx(cur, rel=1e-8)
+        assert stats.depth == math.ceil(math.log2(n)) + 1
+
+    def test_agrees_with_moebius_solver(self, rng):
+        from repro.core.prefix import linear_recurrence
+
+        n = 64
+        a = (0.3 * rng.normal(size=n)).tolist()
+        b = rng.normal(size=n).tolist()
+        assert np.allclose(
+            recursive_doubling_linear(a, b, 0.7)[0],
+            linear_recurrence(a, b, 0.7),
+        )
+
+    def test_empty_and_mismatch(self):
+        assert recursive_doubling_linear([], [], 1.0)[0] == []
+        with pytest.raises(ValueError):
+            recursive_doubling_linear([1.0], [], 1.0)
+
+    def test_work_is_nlogn(self):
+        n = 128
+        _, stats = recursive_doubling_linear([1.0] * n, [0.0] * n, 1.0)
+        assert n * math.log2(n) < stats.ops < 4 * n * math.log2(n)
+
+
+class TestWorkEfficientChainSolve:
+    def test_matches_pointer_jumping_on_forests(self, rng):
+        from repro.core import CONCAT, OrdinaryIRSystem, run_ordinary
+        from repro.core.baselines import work_efficient_chain_solve
+        from repro.core.workloads import forest_system
+
+        base = forest_system([5, 1, 9, 3, 0, 7])
+        system = OrdinaryIRSystem.build(
+            [(f"s{j}",) for j in range(base.m)], base.g, base.f, CONCAT
+        )
+        out, stats = work_efficient_chain_solve(system)
+        assert out == run_ordinary(system)
+        assert stats.ops <= 4 * system.n
+
+    def test_shared_initial_cells_are_fine(self):
+        from repro.core import CONCAT, OrdinaryIRSystem, run_ordinary
+        from repro.core.baselines import work_efficient_chain_solve
+
+        system = OrdinaryIRSystem.build(
+            [("a",), ("b",), ("c",)], [1, 2], [0, 0], CONCAT
+        )
+        out, _ = work_efficient_chain_solve(system)
+        assert out == run_ordinary(system)
+
+    def test_branching_rejected(self):
+        from repro.core import CONCAT, OrdinaryIRSystem
+        from repro.core.baselines import work_efficient_chain_solve
+
+        system = OrdinaryIRSystem.build(
+            [(c,) for c in "abcd"], [1, 2, 3], [0, 1, 1], CONCAT
+        )
+        with pytest.raises(ValueError, match="branching"):
+            work_efficient_chain_solve(system)
+
+    def test_identity_required(self):
+        from repro.core import OrdinaryIRSystem
+        from repro.core.baselines import work_efficient_chain_solve
+        from repro.core.operators import make_operator
+
+        op = make_operator("noid", lambda x, y: x + y)
+        system = OrdinaryIRSystem.build([1, 2], [1], [0], op)
+        with pytest.raises(ValueError, match="identity"):
+            work_efficient_chain_solve(system)
+
+    def test_empty_system(self):
+        from repro.core import ADD, OrdinaryIRSystem
+        from repro.core.baselines import work_efficient_chain_solve
+
+        system = OrdinaryIRSystem.build([7], [], [], ADD)
+        out, stats = work_efficient_chain_solve(system)
+        assert out == [7] and stats.ops == 0

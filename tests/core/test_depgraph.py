@@ -1,0 +1,119 @@
+"""Unit tests for GIR dependence-graph construction (paper section 4)."""
+
+import pytest
+
+from repro.core import ADD, GIRSystem
+from repro.core.depgraph import build_dependence_graph
+from repro.core.equations import IRValidationError
+from repro.core.operators import modular_add
+
+
+def fib_graph(n=4):
+    """The paper's Fig-6 recurrence ``A[i] = A[i-1] * A[i-2]``."""
+    op = modular_add(97)
+    sys_ = GIRSystem.build(
+        [1] * (n + 2),
+        [i + 2 for i in range(n)],
+        [i + 1 for i in range(n)],
+        [i for i in range(n)],
+        op,
+    )
+    return sys_, build_dependence_graph(sys_)
+
+
+class TestConstruction:
+    def test_first_iterations_point_at_leaves(self):
+        sys_, g = fib_graph()
+        n = g.n
+        # iteration 0 reads cells 1 and 0, both unassigned: leaves
+        assert g.target_f[0] == n + 1
+        assert g.target_h[0] == n + 0
+
+    def test_later_iterations_point_at_earlier_iterations(self):
+        _, g = fib_graph()
+        # iteration 2 reads cell 3 (written by it 1) and cell 2 (it 0)
+        assert g.target_f[2] == 1
+        assert g.target_h[2] == 0
+
+    def test_forward_writes_resolve_to_leaves(self):
+        # f reads a cell that is written *later*: must be a leaf edge
+        op = modular_add(97)
+        sys_ = GIRSystem.build([1, 2, 3], [0, 1], [1, 0], [2, 2], op)
+        g = build_dependence_graph(sys_)
+        assert g.target_f[0] == g.n + 1  # cell 1 written at it 1 > 0
+        assert g.target_f[1] == 0  # cell 0 written at it 0 < 1
+
+    def test_parallel_edges_merge_with_multiplicity(self):
+        op = modular_add(97)
+        sys_ = GIRSystem.build([5, 0], [1], [0], [0], op)  # A[1] = A[0]+A[0]
+        g = build_dependence_graph(sys_)
+        assert g.out_edges(0) == {g.n + 0: 2}
+
+    def test_requires_distinct_g(self):
+        op = modular_add(97)
+        sys_ = GIRSystem.build([1, 2], [0, 0], [1, 1], [1, 1], op)
+        with pytest.raises(IRValidationError, match="distinct g"):
+            build_dependence_graph(sys_)
+
+    def test_edge_count_and_edges_iter(self):
+        _, g = fib_graph(4)
+        assert g.edge_count() == 8  # two distinct targets per iteration
+        assert len(list(g.edges())) == 8
+        assert all(mult == 1 for _s, _t, mult in g.edges())
+
+
+class TestNodeHelpers:
+    def test_leaf_predicates(self):
+        _, g = fib_graph()
+        assert g.is_leaf(g.n)
+        assert not g.is_leaf(0)
+        assert g.leaf_cell(g.n + 3) == 3
+        with pytest.raises(ValueError):
+            g.leaf_cell(0)
+
+    def test_labels(self):
+        _, g = fib_graph()
+        assert g.node_label(0) == "it0"
+        assert g.node_label(g.n + 2) == "A0[2]"
+
+    def test_leaves_listing(self):
+        _, g = fib_graph()
+        assert g.leaves() == [g.n + 0, g.n + 1]
+
+    def test_depth_fibonacci_chain(self):
+        for n in (1, 2, 5, 9):
+            _, g = fib_graph(n)
+            assert g.depth() == n
+
+    def test_depth_empty(self):
+        op = modular_add(97)
+        sys_ = GIRSystem.build([1], [], [], [], op)
+        assert build_dependence_graph(sys_).depth() == 0
+
+
+class TestNetworkxExport:
+    def test_export_matches_structure(self):
+        nx = pytest.importorskip("networkx")
+        _, g = fib_graph(5)
+        gg = g.to_networkx()
+        assert gg.number_of_nodes() == g.n + len(g.leaves())
+        assert gg.number_of_edges() == g.edge_count()
+        # DAG property
+        assert nx.is_directed_acyclic_graph(gg)
+
+    def test_networkx_path_counts_match_cap(self):
+        nx = pytest.importorskip("networkx")
+        from repro.core.cap import count_all_paths
+
+        sys_, g = fib_graph(7)
+        gg = g.to_networkx()
+        cap = count_all_paths(g)
+        for leaf in g.leaves():
+            # count weighted paths from node n-1 to leaf by DFS
+            total = 0
+            for path in nx.all_simple_paths(gg, g.n - 1, leaf):
+                w = 1
+                for a, b in zip(path, path[1:]):
+                    w *= gg[a][b]["weight"]
+                total += w
+            assert cap.powers[g.n - 1].get(leaf, 0) == total

@@ -1,0 +1,70 @@
+"""Tests for the diagnostics / explain helpers."""
+
+from repro.core import CONCAT, GIRSystem, OrdinaryIRSystem, modular_mul
+from repro.core.diagnostics import explain_gir, explain_ordinary
+
+
+def chain(n):
+    return OrdinaryIRSystem.build(
+        [(f"s{j}",) for j in range(n + 1)],
+        list(range(1, n + 1)),
+        list(range(n)),
+        CONCAT,
+    )
+
+
+class TestExplainOrdinary:
+    def test_mentions_structure(self):
+        text = explain_ordinary(chain(8))
+        assert "n = 8" in text
+        assert "longest 8" in text
+        assert "3 concatenation round(s)" in text
+        assert "non-commutative" in text
+
+    def test_counts_preserved_cells(self):
+        text = explain_ordinary(chain(4))  # m = n + 1
+        assert "1 cell(s) preserve their initial values" in text
+
+    def test_empty(self):
+        sys_ = OrdinaryIRSystem.build([1], [], [], CONCAT)
+        assert "empty loop" in explain_ordinary(sys_)
+
+
+class TestExplainGIR:
+    def fib(self, n):
+        return GIRSystem.build(
+            [2, 3] + [1] * n,
+            [i + 2 for i in range(n)],
+            [i + 1 for i in range(n)],
+            [i for i in range(n)],
+            modular_mul(97),
+        )
+
+    def test_mentions_pipeline(self):
+        text = explain_gir(self.fib(12))
+        assert "depth 12" in text
+        assert "CAP" in text
+        assert "atomic powers essential" in text
+        assert "commutative: GIR-solvable" in text
+
+    def test_flags_non_commutative(self):
+        sys_ = GIRSystem.build([("a",), ("b",), ("c",)], [2], [0], [1], CONCAT)
+        text = explain_gir(sys_)
+        assert "NON-commutative" in text
+        assert "P-vs-NC" in text
+
+    def test_flags_renaming(self):
+        op = modular_mul(97)
+        sys_ = GIRSystem.build([1, 2], [0, 0], [1, 1], [1, 0], op)
+        text = explain_gir(sys_)
+        assert "renaming adds 2 version cells" in text
+
+    def test_notes_ordinary_shape(self):
+        op = modular_mul(97)
+        sys_ = GIRSystem.build([1, 2, 3], [1, 2], [0, 1], [1, 2], op)
+        assert "OrdinaryIR" in explain_gir(sys_)
+
+    def test_empty(self):
+        op = modular_mul(97)
+        sys_ = GIRSystem.build([1], [], [], [], op)
+        assert "empty loop" in explain_gir(sys_)

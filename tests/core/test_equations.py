@@ -1,0 +1,154 @@
+"""Unit tests for the IR system model and validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core import (
+    ADD,
+    CONCAT,
+    GIRSystem,
+    IRClass,
+    IRValidationError,
+    OrdinaryIRSystem,
+    as_index_array,
+    normalize_non_distinct,
+    run_gir,
+)
+from repro.core.operators import make_operator, modular_add
+
+from ..conftest import gir_systems
+
+
+class TestIndexArrays:
+    def test_from_sequence(self):
+        arr = as_index_array([3, 1, 2], 3)
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [3, 1, 2]
+
+    def test_from_callable(self):
+        arr = as_index_array(lambda i: 7 * i + 2, 4)
+        assert arr.tolist() == [2, 9, 16, 23]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(IRValidationError, match="exactly n=3"):
+            as_index_array([1, 2], 3)
+
+
+class TestOrdinaryValidation:
+    def test_builds_and_validates(self):
+        sys_ = OrdinaryIRSystem.build([("a",)] * 5, [1, 2], [0, 0], CONCAT)
+        assert sys_.n == 2 and sys_.m == 5
+
+    def test_callable_needs_n(self):
+        with pytest.raises(IRValidationError, match="n is required"):
+            OrdinaryIRSystem.build([1, 2, 3], lambda i: i, lambda i: i, ADD)
+
+    def test_callable_with_n(self):
+        sys_ = OrdinaryIRSystem.build(
+            [1] * 6, lambda i: i + 1, lambda i: i, ADD, n=5
+        )
+        assert sys_.g.tolist() == [1, 2, 3, 4, 5]
+
+    def test_domain_violation_rejected(self):
+        with pytest.raises(IRValidationError, match="outside the array domain"):
+            OrdinaryIRSystem.build([1, 2], [0, 5], [0, 0], ADD)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(IRValidationError, match="outside the array domain"):
+            OrdinaryIRSystem.build([1, 2], [0, -1], [0, 0], ADD)
+
+    def test_length_mismatch_rejected(self):
+        sys_ = OrdinaryIRSystem(
+            initial=[1, 2, 3],
+            g=np.array([0, 1]),
+            f=np.array([0]),
+            op=ADD,
+        )
+        with pytest.raises(IRValidationError, match="equal length"):
+            sys_.validate()
+
+    def test_non_distinct_g_rejected_with_hint(self):
+        with pytest.raises(IRValidationError, match="normalize_non_distinct"):
+            OrdinaryIRSystem.build([1, 2, 3], [1, 1], [0, 0], ADD)
+
+    def test_non_associative_operator_rejected(self):
+        sub = make_operator("sub", lambda x, y: x - y, associative=False)
+        with pytest.raises(Exception, match="not associative"):
+            OrdinaryIRSystem.build([1, 2, 3], [1, 2], [0, 0], sub)
+
+    def test_first_duplicate_cell(self):
+        sys_ = OrdinaryIRSystem(
+            initial=[1, 2, 3],
+            g=np.array([2, 0, 2]),
+            f=np.array([0, 0, 0]),
+            op=ADD,
+        )
+        assert sys_.first_duplicate_cell() == 2
+        assert not sys_.g_is_distinct()
+
+    def test_as_gir_view(self):
+        sys_ = OrdinaryIRSystem.build([1, 2, 3], [1, 2], [0, 1], ADD)
+        gir = sys_.as_gir()
+        assert isinstance(gir, GIRSystem)
+        assert gir.is_ordinary_shaped()
+        assert gir.h.tolist() == sys_.g.tolist()
+
+
+class TestGIRValidation:
+    def test_requires_h(self):
+        with pytest.raises(IRValidationError, match="requires an h"):
+            GIRSystem(initial=[1], g=np.array([0]), f=np.array([0]), op=ADD)
+
+    def test_h_domain_checked(self):
+        with pytest.raises(IRValidationError, match="h maps"):
+            GIRSystem.build([1, 2], [0], [1], [9], ADD)
+
+    def test_ordinary_shape_detection(self):
+        sys_ = GIRSystem.build([1, 2, 3], [1], [0], [1], ADD)
+        assert sys_.is_ordinary_shaped()
+        sys2 = GIRSystem.build([1, 2, 3], [1], [0], [2], ADD)
+        assert not sys2.is_ordinary_shaped()
+
+
+class TestIRClass:
+    def test_indexed_membership(self):
+        assert IRClass.ORDINARY_IR.is_indexed()
+        assert IRClass.GIR.is_indexed()
+        assert IRClass.MOEBIUS_AFFINE.is_indexed()
+        assert IRClass.MOEBIUS_RATIONAL.is_indexed()
+        assert not IRClass.LINEAR.is_indexed()
+        assert not IRClass.NO_RECURRENCE.is_indexed()
+        assert not IRClass.UNSUPPORTED.is_indexed()
+
+
+class TestNormalizeNonDistinct:
+    def test_renamed_system_has_distinct_g(self):
+        op = modular_add(97)
+        sys_ = GIRSystem.build([1, 2], [0, 0, 1], [1, 0, 0], [0, 1, 0], op)
+        norm = normalize_non_distinct(sys_)
+        assert norm.system.g_is_distinct()
+        assert norm.system.m == sys_.m + sys_.n
+
+    def test_projection_matches_sequential(self):
+        op = modular_add(97)
+        sys_ = GIRSystem.build(
+            [3, 5, 7], [0, 1, 0, 2, 0], [1, 0, 2, 0, 1], [2, 2, 1, 1, 0], op
+        )
+        norm = normalize_non_distinct(sys_)
+        renamed_final = run_gir(norm.system)
+        assert norm.project(renamed_final) == run_gir(sys_)
+
+    def test_unassigned_cells_map_to_themselves(self):
+        op = modular_add(97)
+        sys_ = GIRSystem.build([1, 2, 3, 4], [1], [0], [0], op)
+        norm = normalize_non_distinct(sys_)
+        assert norm.final_cell_of.tolist()[0] == 0
+        assert norm.final_cell_of.tolist()[2:] == [2, 3]
+        assert norm.final_cell_of.tolist()[1] == sys_.m  # version cell
+
+    @given(gir_systems(distinct_g=False))
+    def test_property_renaming_preserves_semantics(self, sys_):
+        norm = normalize_non_distinct(sys_)
+        assert norm.system.g_is_distinct()
+        assert norm.project(run_gir(norm.system)) == run_gir(sys_)

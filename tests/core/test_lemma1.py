@@ -1,0 +1,103 @@
+"""Structural property tests for Lemma 1 (the paper's trace lemma).
+
+Lemma 1 states that the trace of ``A'[g(i)]`` is determined by the
+chain ``i = j_0 > j_1 > ... > j_k`` where each ``j_t`` is the *last*
+iteration before ``j_{t-1}`` with ``g(j_t) = f(j_{t-1})`` and the
+terminal ``j_k`` has no such predecessor.  These tests verify exactly
+those structural claims on random systems -- independent of the value
+computations the other test files cover.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.traces import (
+    ordinary_trace_factors,
+    predecessor_array,
+    writer_map,
+)
+
+from ..conftest import ordinary_systems
+
+
+@given(ordinary_systems())
+@settings(max_examples=80)
+def test_chain_indices_strictly_decrease(sys_):
+    pred = predecessor_array(sys_)
+    for i in range(sys_.n):
+        j = i
+        while pred[j] >= 0:
+            assert pred[j] < j  # j_t < j_{t-1}
+            j = int(pred[j])
+
+
+@given(ordinary_systems())
+@settings(max_examples=80)
+def test_chain_links_satisfy_g_equals_f(sys_):
+    pred = predecessor_array(sys_)
+    for i in range(sys_.n):
+        j = i
+        while pred[j] >= 0:
+            p = int(pred[j])
+            # g(j_t) = f(j_{t-1})
+            assert int(sys_.g[p]) == int(sys_.f[j])
+            j = p
+
+
+@given(ordinary_systems())
+@settings(max_examples=80)
+def test_predecessor_is_the_last_matching_iteration(sys_):
+    """``j_k`` is maximal: no iteration strictly between pred[i] and i
+    writes ``f(i)`` (with distinct g there is at most one writer at
+    all, so 'last' and 'unique' coincide -- verified explicitly)."""
+    pred = predecessor_array(sys_)
+    g = sys_.g.tolist()
+    f = sys_.f.tolist()
+    for i in range(sys_.n):
+        writers = [j for j in range(i) if g[j] == f[i]]
+        if writers:
+            assert pred[i] == max(writers)
+        else:
+            assert pred[i] == -1
+
+
+@given(ordinary_systems())
+@settings(max_examples=80)
+def test_terminal_has_no_earlier_writer(sys_):
+    """The paper: "there is no j_{k+1} < j_k such that
+    g(j_{k+1}) = f(j_k)"."""
+    pred = predecessor_array(sys_)
+    g = sys_.g.tolist()
+    f = sys_.f.tolist()
+    for i in range(sys_.n):
+        j = i
+        while pred[j] >= 0:
+            j = int(pred[j])
+        assert all(g[t] != f[j] for t in range(j))
+
+
+@given(ordinary_systems())
+@settings(max_examples=60)
+def test_trace_factor_list_matches_lemma_shape(sys_):
+    """factors = [f(j_k), g(j_k), ..., g(j_1), g(j_0)]."""
+    pred = predecessor_array(sys_)
+    for i in range(sys_.n):
+        chain = [i]
+        while pred[chain[-1]] >= 0:
+            chain.append(int(pred[chain[-1]]))
+        factors = ordinary_trace_factors(sys_, i, pred)
+        assert len(factors) == len(chain) + 1
+        assert factors[0] == int(sys_.f[chain[-1]])
+        for pos, j in enumerate(reversed(chain)):
+            assert factors[pos + 1] == int(sys_.g[j])
+
+
+@given(ordinary_systems())
+@settings(max_examples=60)
+def test_writer_map_inverts_g(sys_):
+    writer = writer_map(sys_.g, sys_.m)
+    for i in range(sys_.n):
+        assert writer[int(sys_.g[i])] == i
+    assigned = set(sys_.g.tolist())
+    for cell in range(sys_.m):
+        if cell not in assigned:
+            assert writer[cell] == -1

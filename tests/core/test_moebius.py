@@ -1,0 +1,223 @@
+"""Unit and property tests for the Moebius reduction (paper section 3)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AffineRecurrence,
+    Mat2,
+    RationalRecurrence,
+    moebius_compose,
+    moebius_ir_operator,
+    run_moebius_sequential,
+    solve_moebius,
+)
+from repro.core.equations import IRValidationError
+
+from ..conftest import fraction_values
+
+
+class TestMat2:
+    def test_identity(self):
+        ident = Mat2.identity()
+        m = Mat2(2, 3, 5, 7)
+        assert ident.matmul(m) == m
+        assert m.matmul(ident) == m
+
+    def test_affine_and_apply(self):
+        m = Mat2.affine(2, 3)
+        assert m.apply(10) == 23
+        assert m.det() == 2
+
+    def test_constant_is_singular(self):
+        c = Mat2.constant(42)
+        assert c.det() == 0
+        assert c.is_constant_map()
+        assert c.constant_value() == 42
+        assert c.apply(123456.0) == 42
+
+    def test_rank_one_constant_value(self):
+        # (2x+1)/(4x+2) = 1/2 everywhere
+        m = Mat2(2, 1, 4, 2)
+        assert m.is_constant_map()
+        assert m.constant_value() == pytest.approx(0.5)
+
+    def test_constant_value_rejects_nonsingular(self):
+        with pytest.raises(ValueError, match="not a constant map"):
+            Mat2(1, 0, 0, 1).constant_value()
+
+    def test_constant_value_with_zero_d(self):
+        # rank-1 with d == 0: falls back to evaluation at 1
+        m = Mat2(0, 0, 1, 0)  # map x -> 0/x = 0 (x != 0)
+        assert m.constant_value() == 0
+
+    def test_matmul_hand_example(self):
+        a = Mat2(1, 2, 3, 4)
+        b = Mat2(5, 6, 7, 8)
+        assert a.matmul(b) == Mat2(19, 22, 43, 50)
+
+
+class TestCompose:
+    def test_constant_absorbs_on_left(self):
+        c = Mat2.constant(9)
+        m = Mat2(1, 2, 3, 4)
+        assert moebius_compose(c, m) == c
+
+    def test_nonsingular_composes(self):
+        a = Mat2.affine(2, 0)
+        b = Mat2.affine(1, 5)
+        # (2x) o (x+5) = 2x + 10
+        assert moebius_compose(a, b) == Mat2.affine(2, 10)
+
+    def test_compose_then_constant_stays_constant(self):
+        m = Mat2.affine(3, 1)
+        c = Mat2.constant(2)
+        out = moebius_compose(m, c)
+        assert out.is_constant_map()
+        assert out.constant_value() == 7  # 3*2 + 1
+
+    small = st.integers(min_value=-2, max_value=2)
+
+    @given(small, small, small, small, small, small, small, small, small, small, small, small)
+    @settings(max_examples=300)
+    def test_property_associativity(self, a, b, c, d, e, f, g, h, i, j, k, l):
+        A, B, C = Mat2(a, b, c, d), Mat2(e, f, g, h), Mat2(i, j, k, l)
+        assert moebius_compose(moebius_compose(A, B), C) == moebius_compose(
+            A, moebius_compose(B, C)
+        )
+
+    def test_ir_operator_flags(self):
+        op = moebius_ir_operator()
+        assert op.associative and not op.commutative
+        assert op.identity == Mat2.identity()
+        # op(f_segment, own_segment) composes own over f
+        own, fseg = Mat2.affine(2, 0), Mat2.constant(3)
+        assert op(fseg, own) == moebius_compose(own, fseg)
+
+
+def random_affine(rng, n, m, self_term, exact=True):
+    perm = rng.permutation(m)[:n]
+    f = rng.integers(0, m, size=n)
+    if exact:
+        S = [Fraction(int(v), int(q)) for v, q in zip(
+            rng.integers(-5, 6, size=m), rng.integers(1, 5, size=m))]
+        a = [Fraction(int(v)) for v in rng.integers(-3, 4, size=n)]
+        b = [Fraction(int(v)) for v in rng.integers(-3, 4, size=n)]
+    else:
+        S = rng.normal(size=m).tolist()
+        a = rng.normal(size=n).tolist()
+        b = rng.normal(size=n).tolist()
+    return AffineRecurrence.build(S, perm, f, a, b, self_term=self_term)
+
+
+class TestAffineSolve:
+    @pytest.mark.parametrize("self_term", [False, True])
+    @pytest.mark.parametrize("engine", ["python", "numpy"])
+    def test_exact_fraction_equivalence(self, self_term, engine, rng):
+        for _ in range(25):
+            n = int(rng.integers(1, 20))
+            m = n + int(rng.integers(0, 8))
+            rec = random_affine(rng, n, m, self_term)
+            assert solve_moebius(rec, engine=engine)[0] == run_moebius_sequential(rec)
+
+    def test_zero_coefficient_constant_assignment(self):
+        # a = 0 makes the map constant: X[g] := b
+        rec = AffineRecurrence.build(
+            [Fraction(1), Fraction(2), Fraction(3)],
+            g=[1, 2],
+            f=[0, 1],
+            a=[Fraction(0), Fraction(2)],
+            b=[Fraction(7), Fraction(1)],
+        )
+        assert solve_moebius(rec)[0] == run_moebius_sequential(rec)
+
+    def test_float_path(self, rng):
+        rec = random_affine(rng, 50, 60, True, exact=False)
+        got = solve_moebius(rec)[0]
+        ref = run_moebius_sequential(rec)
+        assert np.allclose(got, ref)
+
+    def test_livermore23_fragment_shape(self):
+        # the paper's example: X[g] := X[g] + 0.175*(Y + X[f]*Z)
+        # expressed with self_term and coefficients a = 0.175*Z,
+        # b = 0.175*Y
+        rng = np.random.default_rng(2)
+        n = 40
+        S = rng.normal(size=n + 1).tolist()
+        Y = rng.normal(size=n).tolist()
+        Z = rng.normal(size=n).tolist()
+        rec = AffineRecurrence.build(
+            S,
+            g=list(range(1, n + 1)),
+            f=list(range(0, n)),
+            a=[0.175 * z for z in Z],
+            b=[0.175 * y for y in Y],
+            self_term=True,
+        )
+        assert np.allclose(
+            solve_moebius(rec)[0], run_moebius_sequential(rec)
+        )
+
+
+class TestRationalSolve:
+    def test_exact_rational_with_self_term(self, rng):
+        done = 0
+        while done < 20:
+            n = int(rng.integers(1, 12))
+            m = n + int(rng.integers(0, 6))
+            perm = rng.permutation(m)[:n]
+            f = rng.integers(0, m, size=n)
+            S = [Fraction(int(v)) for v in rng.integers(1, 7, size=m)]
+            a = [Fraction(int(v)) for v in rng.integers(1, 4, size=n)]
+            b = [Fraction(int(v)) for v in rng.integers(0, 4, size=n)]
+            c = [Fraction(int(v)) for v in rng.integers(0, 2, size=n)]
+            d = [Fraction(int(v)) for v in rng.integers(1, 4, size=n)]
+            for self_term in (False, True):
+                rec = RationalRecurrence.build(
+                    S, perm, f, a, b, c, d, self_term=self_term
+                )
+                try:
+                    ref = run_moebius_sequential(rec)
+                except ZeroDivisionError:
+                    continue
+                assert solve_moebius(rec)[0] == ref
+                done += 1
+
+    def test_continued_fraction_converges_to_golden_ratio(self):
+        # x_{k+1} = 1 + 1/x_k -> golden ratio
+        n = 40
+        rec = RationalRecurrence.build(
+            [1.0] * (n + 1),
+            g=list(range(1, n + 1)),
+            f=list(range(0, n)),
+            a=[1.0] * n,
+            b=[1.0] * n,
+            c=[1.0] * n,
+            d=[0.0] * n,
+        )
+        got = solve_moebius(rec)[0]
+        ref = run_moebius_sequential(rec)
+        assert np.allclose(got, ref)
+        assert got[-1] == pytest.approx((1 + 5**0.5) / 2, rel=1e-9)
+
+
+class TestValidation:
+    def test_non_distinct_g_rejected(self):
+        with pytest.raises(IRValidationError, match="distinct g"):
+            AffineRecurrence.build([1, 2], [0, 0], [1, 1], [1, 1], [0, 0])
+
+    def test_coefficient_length_checked(self):
+        with pytest.raises(IRValidationError, match="coefficient a"):
+            AffineRecurrence.build([1, 2], [0], [1], [1, 2], [0], n=1)
+
+    def test_domain_checked(self):
+        with pytest.raises(IRValidationError, match="maps outside"):
+            AffineRecurrence.build([1, 2], [5], [1], [1], [0])
+
+    def test_unknown_engine(self):
+        rec = AffineRecurrence.build([1.0, 2.0], [1], [0], [1.0], [0.0])
+        with pytest.raises(ValueError, match="unknown engine"):
+            solve_moebius(rec, engine="fortran")

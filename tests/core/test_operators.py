@@ -1,0 +1,142 @@
+"""Unit tests for the operator algebra."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.operators import (
+    ADD,
+    CONCAT,
+    FLOAT_ADD,
+    FLOAT_MUL,
+    MAX,
+    MIN,
+    MUL,
+    STOCK_OPERATORS,
+    Operator,
+    OperatorError,
+    make_operator,
+    modular_add,
+    modular_mul,
+)
+
+
+class TestStockOperators:
+    def test_add_basics(self):
+        assert ADD(2, 3) == 5
+        assert ADD.identity == 0
+        assert ADD.commutative and ADD.associative
+
+    def test_add_power_is_scaling(self):
+        assert ADD.power(7, 5) == 35
+        assert ADD.power(-3, 4) == -12
+
+    def test_mul_power_is_exponentiation(self):
+        assert MUL.power(3, 5) == 243
+        assert MUL.power(2, 100) == 2**100  # exact big ints
+
+    def test_min_max_idempotent_powers(self):
+        assert MIN.power(4.5, 1000) == 4.5
+        assert MAX.power(-2.0, 7) == -2.0
+
+    def test_min_max_identities(self):
+        assert MIN(MIN.identity, 5) == 5
+        assert MAX(MAX.identity, 5) == 5
+
+    def test_concat_non_commutative(self):
+        assert CONCAT(("a",), ("b",)) == ("a", "b")
+        assert not CONCAT.check_commutative_on([("a",), ("b",)])
+        assert CONCAT.check_associative_on([("a",), ("b",), ("c",)])
+
+    def test_concat_power(self):
+        assert CONCAT.power(("x",), 3) == ("x", "x", "x")
+
+    def test_float_mul_power_overflow_saturates(self):
+        assert FLOAT_MUL.power(2.0, 10**6) == math.inf
+        assert FLOAT_MUL.power(-2.0, 10**6 + 1) == -math.inf
+        assert FLOAT_MUL.power(0.5, 10**6) == 0.0
+
+    def test_float_add_power_overflow_saturates(self):
+        assert FLOAT_ADD.power(1e300, 10**10) == math.inf
+        assert FLOAT_ADD.power(-1e300, 10**10) == -math.inf
+
+    def test_registry_contents(self):
+        assert set(STOCK_OPERATORS) == {
+            "add",
+            "mul",
+            "float_add",
+            "float_mul",
+            "min",
+            "max",
+            "concat",
+        }
+
+    def test_vector_fns_match_scalar(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([4.0, 0.5, 3.0])
+        assert np.array_equal(FLOAT_ADD.vector_fn(a, b), a + b)
+        assert np.array_equal(MIN.vector_fn(a, b), np.minimum(a, b))
+        assert CONCAT.vector_fn is None
+
+
+class TestModularOperators:
+    def test_modular_add(self):
+        op = modular_add(7)
+        assert op(5, 4) == 2
+        assert op.power(3, 10**30) == (3 * (10**30 % 7)) % 7
+
+    def test_modular_mul_uses_builtin_pow(self):
+        op = modular_mul(97)
+        assert op(50, 60) == (50 * 60) % 97
+        assert op.power(3, 10**30) == pow(3, 10**30, 97)
+
+    def test_modular_requires_sane_modulus(self):
+        with pytest.raises(ValueError):
+            modular_add(1)
+        with pytest.raises(ValueError):
+            modular_mul(0)
+
+    @given(st.integers(0, 96), st.integers(0, 96), st.integers(0, 96))
+    def test_modular_add_associative(self, a, b, c):
+        op = modular_add(97)
+        assert op(op(a, b), c) == op(a, op(b, c))
+
+
+class TestGenericPower:
+    def test_default_power_repeated_squaring(self):
+        op = make_operator("concat2", lambda x, y: x + y)
+        assert op.power("ab", 4) == "abababab"
+        assert op.power("x", 1) == "x"
+
+    def test_power_rejects_nonpositive(self):
+        op = make_operator("f", lambda x, y: x + y)
+        with pytest.raises(OperatorError):
+            op.power(1, 0)
+        with pytest.raises(OperatorError):
+            op.power(1, -3)
+
+    @given(st.integers(1, 200), st.integers(-5, 5))
+    def test_default_power_matches_addition(self, k, x):
+        op = make_operator("plus", lambda a, b: a + b)
+        assert op.power(x, k) == x * k
+
+
+class TestRequirementChecks:
+    def test_require_associative_raises(self):
+        op = make_operator("sub", lambda x, y: x - y, associative=False)
+        with pytest.raises(OperatorError, match="not associative"):
+            op.require_associative()
+
+    def test_require_commutative_raises(self):
+        with pytest.raises(OperatorError, match="not commutative"):
+            CONCAT.require_commutative()
+
+    def test_spot_checks_detect_violations(self):
+        sub = make_operator("sub", lambda x, y: x - y, associative=False)
+        assert not sub.check_associative_on([1, 2, 3])
+        assert not sub.check_commutative_on([1, 2])
+
+    def test_operator_callable(self):
+        assert MUL(6, 7) == 42

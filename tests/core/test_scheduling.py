@@ -1,0 +1,92 @@
+"""Unit tests for Brent scheduling arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scheduling import (
+    WorkDepth,
+    brent_schedule,
+    efficiency,
+    fork_bounded_schedule,
+    processor_sweep,
+    speedup,
+)
+
+
+class TestWorkDepth:
+    def test_brent_bound(self):
+        wd = WorkDepth(work=100, depth=7)
+        assert wd.brent_bound(10) == 17
+        assert wd.brent_bound(1) == 107
+
+    def test_lower_bound(self):
+        wd = WorkDepth(work=100, depth=7)
+        assert wd.lower_bound(10) == 10
+        assert wd.lower_bound(100) == 7
+
+    def test_rejects_bad_processors(self):
+        wd = WorkDepth(10, 2)
+        with pytest.raises(ValueError):
+            wd.brent_bound(0)
+        with pytest.raises(ValueError):
+            wd.lower_bound(-1)
+
+    @given(
+        st.integers(1, 10_000),
+        st.integers(1, 100),
+        st.integers(1, 64),
+    )
+    def test_property_bounds_ordered(self, work, depth, p):
+        wd = WorkDepth(work, depth)
+        assert wd.lower_bound(p) <= wd.brent_bound(p)
+
+
+class TestSchedules:
+    def test_brent_schedule_exact(self):
+        assert brent_schedule([10, 5, 1], processors=4) == 3 + 2 + 1
+        assert brent_schedule([10, 5, 1], processors=1) == 16
+
+    def test_zero_steps_skipped(self):
+        assert brent_schedule([0, 0, 3], processors=2) == 2
+
+    def test_fork_bounded_adds_per_step_overhead(self):
+        plain = brent_schedule([8, 8], 4)
+        forked = fork_bounded_schedule([8, 8], 4, fork_overhead=3)
+        assert forked == plain + 2 * 3
+
+    def test_rejects_bad_processors(self):
+        with pytest.raises(ValueError):
+            brent_schedule([1], 0)
+        with pytest.raises(ValueError):
+            fork_bounded_schedule([1], 0)
+
+    @given(st.lists(st.integers(0, 1000), max_size=20), st.integers(1, 128))
+    def test_property_monotone_in_processors(self, steps, p):
+        assert brent_schedule(steps, p) >= brent_schedule(steps, p * 2)
+
+
+class TestRatios:
+    def test_speedup_and_efficiency(self):
+        assert speedup(100, 25) == 4.0
+        assert efficiency(100, 25, 8) == 0.5
+
+    def test_speedup_rejects_zero(self):
+        with pytest.raises(ValueError):
+            speedup(10, 0)
+
+
+class TestProcessorSweep:
+    def test_powers_of_two(self):
+        assert processor_sweep(8) == [1, 2, 4, 8]
+
+    def test_endpoint_included(self):
+        assert processor_sweep(10) == [1, 2, 4, 8, 10]
+
+    def test_base(self):
+        assert processor_sweep(27, base=3) == [1, 3, 9, 27]
+
+    def test_rejects_bad_max(self):
+        with pytest.raises(ValueError):
+            processor_sweep(0)

@@ -1,0 +1,67 @@
+"""Unit tests for the sequential reference executors."""
+
+from repro.core import ADD, CONCAT, GIRSystem, MUL, OrdinaryIRSystem
+from repro.core.sequential import (
+    assignment_history,
+    iter_gir_states,
+    iter_ordinary_states,
+    run_gir,
+    run_ordinary,
+)
+
+
+class TestRunOrdinary:
+    def test_hand_example(self):
+        # A = [1, 10, 100]; A[1] += A[0]; A[2] += A[1]
+        sys_ = OrdinaryIRSystem.build([1, 10, 100], [1, 2], [0, 1], ADD)
+        assert run_ordinary(sys_) == [1, 11, 111]
+
+    def test_input_not_mutated(self):
+        sys_ = OrdinaryIRSystem.build([1, 10, 100], [1, 2], [0, 1], ADD)
+        run_ordinary(sys_)
+        assert sys_.initial == [1, 10, 100]
+
+    def test_forward_reference_reads_initial(self):
+        # f(0) = 2 is assigned later (iteration 1): iteration 0 must
+        # read the initial value.
+        sys_ = OrdinaryIRSystem.build([1, 10, 100], [0, 2], [2, 1], ADD)
+        # i=0: A[0] = A[2] + A[0] = 101 ; i=1: A[2] = A[1] + A[2] = 110
+        assert run_ordinary(sys_) == [101, 10, 110]
+
+    def test_empty_loop(self):
+        sys_ = OrdinaryIRSystem.build([5, 6], [], [], ADD)
+        assert run_ordinary(sys_) == [5, 6]
+
+    def test_order_preserved_non_commutative(self):
+        sys_ = OrdinaryIRSystem.build(
+            [("a",), ("b",), ("c",)], [1, 2], [0, 1], CONCAT
+        )
+        assert run_ordinary(sys_) == [("a",), ("a", "b"), ("a", "b", "c")]
+
+
+class TestRunGIR:
+    def test_hand_example_fibonacci_mul(self):
+        # A[i+2] = A[i+1] * A[i] with A = [2, 3, 1, 1]
+        sys_ = GIRSystem.build([2, 3, 1, 1], [2, 3], [1, 2], [0, 1], MUL)
+        assert run_gir(sys_) == [2, 3, 6, 18]
+
+    def test_non_distinct_g_overwrites(self):
+        sys_ = GIRSystem.build([1, 2], [0, 0], [1, 1], [1, 0], ADD)
+        # i=0: A[0] = A[1]+A[1] = 4 ; i=1: A[0] = A[1]+A[0] = 6
+        assert run_gir(sys_) == [6, 2]
+
+
+class TestIterators:
+    def test_ordinary_states_count_and_content(self):
+        sys_ = OrdinaryIRSystem.build([1, 10, 100], [1, 2], [0, 1], ADD)
+        states = list(iter_ordinary_states(sys_))
+        assert states == [[1, 11, 100], [1, 11, 111]]
+
+    def test_gir_states(self):
+        sys_ = GIRSystem.build([2, 3, 1], [2], [0], [1], MUL)
+        assert list(iter_gir_states(sys_)) == [[2, 3, 6]]
+
+    def test_history_records_each_assignment(self):
+        sys_ = GIRSystem.build([1, 2], [0, 0], [1, 1], [1, 0], ADD)
+        hist = assignment_history(sys_)
+        assert hist == [(0, 4), (0, 6)]

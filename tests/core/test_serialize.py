@@ -1,0 +1,123 @@
+"""Tests for IR-system serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    ADD,
+    CONCAT,
+    GIRSystem,
+    OrdinaryIRSystem,
+    modular_mul,
+    run_gir,
+    run_ordinary,
+)
+from repro.core.operators import make_operator
+from repro.core.serialize import (
+    dump_system,
+    load_system,
+    operator_from_name,
+    operator_to_name,
+    system_from_dict,
+    system_to_dict,
+)
+
+
+class TestOperatorNames:
+    def test_stock_round_trip(self):
+        for name in ("add", "mul", "min", "max", "concat", "float_add"):
+            op = operator_from_name(name)
+            assert operator_to_name(op) == name
+
+    def test_modular_round_trip(self):
+        op = modular_mul(97)
+        name = operator_to_name(op)
+        restored = operator_from_name(name)
+        assert restored(13, 17) == op(13, 17)
+        assert restored.power(3, 10**20) == op.power(3, 10**20)
+
+    def test_adhoc_operator_rejected(self):
+        op = make_operator("custom", lambda x, y: x)
+        with pytest.raises(ValueError, match="not serializable"):
+            operator_to_name(op)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown operator"):
+            operator_from_name("frobnicate")
+
+
+class TestSystemRoundTrip:
+    def test_ordinary_numeric(self):
+        sys_ = OrdinaryIRSystem.build([1, 2, 3, 4], [1, 2], [0, 1], ADD)
+        doc = system_to_dict(sys_)
+        restored = system_from_dict(doc)
+        assert isinstance(restored, OrdinaryIRSystem)
+        assert run_ordinary(restored) == run_ordinary(sys_)
+
+    def test_ordinary_tuple_values(self):
+        sys_ = OrdinaryIRSystem.build(
+            [("a",), ("b",), ("c",)], [1, 2], [0, 1], CONCAT
+        )
+        restored = system_from_dict(system_to_dict(sys_))
+        assert restored.initial == sys_.initial
+        assert run_ordinary(restored) == run_ordinary(sys_)
+
+    def test_gir_round_trip(self):
+        op = modular_mul(10**9 + 7)
+        sys_ = GIRSystem.build([2, 3, 1, 1], [2, 3], [1, 2], [0, 1], op)
+        restored = system_from_dict(system_to_dict(sys_))
+        assert isinstance(restored, GIRSystem)
+        assert run_gir(restored) == run_gir(sys_)
+
+    def test_dict_is_json_clean(self):
+        sys_ = OrdinaryIRSystem.build([1.5, 2.5], [1], [0], ADD)
+        text = json.dumps(system_to_dict(sys_))
+        assert "ordinary" in text
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown system kind"):
+            system_from_dict(
+                {"kind": "nope", "operator": "add", "initial": [], "g": [], "f": []}
+            )
+
+    def test_file_round_trip(self, tmp_path):
+        sys_ = OrdinaryIRSystem.build(
+            [("x",), ("y",), ("z",)], [1, 2], [0, 0], CONCAT
+        )
+        path = str(tmp_path / "system.json")
+        dump_system(sys_, path)
+        restored = load_system(path)
+        assert run_ordinary(restored) == run_ordinary(sys_)
+
+
+class TestPropertyRoundTrips:
+    """Hypothesis: arbitrary generated systems survive serialization."""
+
+    def test_random_ordinary_systems(self):
+        from hypothesis import given, settings
+
+        from ..conftest import ordinary_systems
+
+        @given(ordinary_systems())
+        @settings(max_examples=40)
+        def inner(sys_):
+            restored = system_from_dict(system_to_dict(sys_))
+            assert run_ordinary(restored) == run_ordinary(sys_)
+            assert restored.g.tolist() == sys_.g.tolist()
+            assert restored.f.tolist() == sys_.f.tolist()
+
+        inner()
+
+    def test_random_gir_systems(self):
+        from hypothesis import given, settings
+
+        from ..conftest import gir_systems
+
+        @given(gir_systems(distinct_g=False))
+        @settings(max_examples=40)
+        def inner(sys_):
+            restored = system_from_dict(system_to_dict(sys_))
+            assert run_gir(restored) == run_gir(sys_)
+
+        inner()

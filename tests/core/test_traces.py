@@ -1,0 +1,203 @@
+"""Unit tests for trace structures (Lemma 1, Figs 1/4/5)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    ADD,
+    CONCAT,
+    GIRSystem,
+    MUL,
+    OrdinaryIRSystem,
+    run_ordinary,
+)
+from repro.core.equations import IRValidationError
+from repro.core.operators import modular_mul
+from repro.core.traces import (
+    Leaf,
+    Node,
+    all_ordinary_traces,
+    chain_lengths,
+    expand_tree_value,
+    gir_trace_tree,
+    leaf_counts,
+    max_chain_length,
+    ordinary_trace_factors,
+    predecessor_array,
+    render_factors,
+    render_tree,
+    tree_sizes,
+    writer_map,
+)
+
+from ..conftest import ordinary_systems
+
+
+def chain_system():
+    """g(i) = i+1, f(i) = i over 5 iterations: one chain."""
+    return OrdinaryIRSystem.build(
+        [(c,) for c in "abcdef"], [1, 2, 3, 4, 5], [0, 1, 2, 3, 4], CONCAT
+    )
+
+
+class TestWriterAndPredecessors:
+    def test_writer_map(self):
+        sys_ = chain_system()
+        w = writer_map(sys_.g, sys_.m)
+        assert w.tolist() == [-1, 0, 1, 2, 3, 4]
+
+    def test_predecessors_chain(self):
+        assert predecessor_array(chain_system()).tolist() == [-1, 0, 1, 2, 3]
+
+    def test_forward_reference_has_no_predecessor(self):
+        # f points at cells written later: every iteration is terminal
+        sys_ = OrdinaryIRSystem.build(
+            [(c,) for c in "abcd"], [0, 1, 2], [1, 2, 3], CONCAT
+        )
+        assert predecessor_array(sys_).tolist() == [-1, -1, -1]
+
+    def test_self_reference_is_terminal(self):
+        sys_ = OrdinaryIRSystem.build([("a",), ("b",)], [0], [0], CONCAT)
+        assert predecessor_array(sys_).tolist() == [-1]
+
+
+class TestOrdinaryTraces:
+    def test_chain_trace_factors(self):
+        sys_ = chain_system()
+        # trace of the last cell: [f(term), g(chain...)] = [0, 1, ..., 5]
+        assert ordinary_trace_factors(sys_, 4) == [0, 1, 2, 3, 4, 5]
+
+    def test_traces_reproduce_sequential_values(self):
+        sys_ = chain_system()
+        final = run_ordinary(sys_)
+        for cell, factors in all_ordinary_traces(sys_).items():
+            value = sys_.initial[factors[0]]
+            for c in factors[1:]:
+                value = value + sys_.initial[c]
+            assert value == final[cell]
+
+    @given(ordinary_systems())
+    @settings(max_examples=60)
+    def test_property_traces_match_sequential(self, sys_):
+        final = run_ordinary(sys_)
+        for cell, factors in all_ordinary_traces(sys_).items():
+            value = sys_.initial[factors[0]]
+            for c in factors[1:]:
+                value = value + sys_.initial[c]
+            assert value == final[cell]
+
+    def test_chain_lengths_and_max(self):
+        sys_ = chain_system()
+        assert chain_lengths(sys_).tolist() == [1, 2, 3, 4, 5]
+        assert max_chain_length(sys_) == 5
+
+    def test_max_chain_empty(self):
+        sys_ = OrdinaryIRSystem.build([1], [], [], ADD)
+        assert max_chain_length(sys_) == 0
+
+    def test_render(self):
+        assert render_factors([0, 2], one_based=True) == "A[1]*A[3]"
+        assert render_factors([0, 2]) == "A[0]*A[2]"
+
+    def test_paper_fig1_loop_shape(self):
+        # the literal Fig-1 loop ``A[i] := A[i+4]*A[i]`` (0-based):
+        # every f target is written later, so all traces have length 2
+        sys_ = OrdinaryIRSystem.build(
+            [(j,) for j in range(12)],
+            list(range(8)),
+            [i + 4 for i in range(8)],
+            CONCAT,
+        )
+        traces = all_ordinary_traces(sys_)
+        assert all(len(factors) == 2 for factors in traces.values())
+        assert traces[0] == [4, 0]
+        # unassigned cells (8..11) keep initial values: not in traces
+        assert set(traces) == set(range(8))
+
+
+def fib_system(n, mod=10**9 + 7):
+    op = modular_mul(mod)
+    initial = [3, 5] + [1] * n
+    return GIRSystem.build(
+        initial,
+        [i + 2 for i in range(n)],
+        [i + 1 for i in range(n)],
+        [i for i in range(n)],
+        op,
+    )
+
+
+class TestGIRTrees:
+    def test_tree_structure_small(self):
+        sys_ = fib_system(2)
+        tree = gir_trace_tree(sys_, 1)
+        assert isinstance(tree, Node)
+        assert isinstance(tree.left, Node)  # iteration 0
+        assert isinstance(tree.right, Leaf) and tree.right.cell == 1
+
+    def test_tree_sharing_is_a_dag(self):
+        sys_ = fib_system(3)
+        t = gir_trace_tree(sys_, 2)
+        # node for iteration 1 is shared between t.left and t.right? No:
+        # left = it1, right = it0; it1.left = it0 -- shared object
+        assert t.left.left is t.right
+
+    def test_tree_sizes_fibonacci(self):
+        sys_ = fib_system(10)
+        sizes = tree_sizes(sys_)
+        fib = [1, 1]
+        for _ in range(12):
+            fib.append(fib[-1] + fib[-2])
+        # size of iteration i = fib(i+3)? check: it0 combines two
+        # leaves -> 2 = fib(3); it1 -> 3 = fib(4)...
+        assert sizes == [fib[i + 2] for i in range(10)]
+
+    def test_leaf_counts_are_fibonacci_powers(self):
+        sys_ = fib_system(12)
+        counts = leaf_counts(sys_)
+        fib = [1, 1]
+        for _ in range(14):
+            fib.append(fib[-1] + fib[-2])
+        assert counts[11] == {0: fib[11], 1: fib[12]}
+
+    def test_expand_tree_value_matches_sequential(self):
+        from repro.core.sequential import run_gir
+
+        sys_ = fib_system(8)
+        final = run_gir(sys_)
+        tree = gir_trace_tree(sys_, 7)
+        assert expand_tree_value(tree, sys_.initial, sys_.op) == final[9]
+
+    def test_expand_handles_deep_chains(self):
+        # a pure chain 3000 deep would break naive recursion
+        n = 3000
+        op = modular_mul(97)
+        sys_ = GIRSystem.build(
+            [2] + [1] * n,
+            [i + 1 for i in range(n)],
+            [i for i in range(n)],
+            [i for i in range(n)],
+            op,
+        )
+        from repro.core.sequential import run_gir
+
+        tree = gir_trace_tree(sys_, n - 1)
+        assert expand_tree_value(tree, sys_.initial, sys_.op) == run_gir(sys_)[n]
+
+    def test_render_tree(self):
+        sys_ = fib_system(1)
+        assert render_tree(gir_trace_tree(sys_, 0)) == "(A[1]*A[0])"
+
+    def test_requires_distinct_g(self):
+        sys_ = GIRSystem.build([1, 2], [0, 0], [1, 1], [1, 1], ADD)
+        with pytest.raises(IRValidationError, match="distinct g"):
+            gir_trace_tree(sys_, 0)
+        with pytest.raises(IRValidationError, match="distinct g"):
+            tree_sizes(sys_)
+
+    def test_leaf_counts_match_expansion_elementwise(self):
+        sys_ = fib_system(6)
+        counts = leaf_counts(sys_)
+        sizes = tree_sizes(sys_)
+        for i in range(6):
+            assert sum(counts[i].values()) == sizes[i]

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script and benchmark main() must run.
+
+Examples are user-facing documentation; a broken one is a bug.  Each
+is executed in-process (fast) with stdout captured.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+EXAMPLES = [
+    "quickstart.py",
+    "fibonacci_gir.py",
+    "loop_parallelizer.py",
+    "pram_playground.py",
+    "scans_and_recurrences.py",
+    "livermore_hydro.py",
+    "python_source_frontend.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    path = os.path.join(REPO_ROOT, "examples", script)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), script  # every example prints something
+
+
+CHEAP_BENCH_MAINS = [
+    "bench_fig1_trace_example",
+    "bench_fig2_concatenation",
+    "bench_fig4_trace_shapes",
+    "bench_fig5_fibonacci_powers",
+    "bench_fig6_dependence_graph",
+    "bench_fig9_cap_iterations",
+    "bench_table1_livermore_census",
+    "bench_baselines_scan",
+    "bench_ablation_power_atomic",
+    "bench_ablation_scheduling",
+    "bench_fig3_ordinary_ir",
+    "bench_livermore_parallel",
+    "bench_ablation_work_efficiency",
+]
+
+
+@pytest.mark.parametrize("module", CHEAP_BENCH_MAINS)
+def test_benchmark_main_prints_artifact(module, capsys):
+    sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+    try:
+        mod = __import__(module)
+        mod.main()
+    finally:
+        sys.path.pop(0)
+    out = capsys.readouterr().out
+    assert "====" in out  # the banner

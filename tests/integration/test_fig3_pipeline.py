@@ -1,0 +1,77 @@
+"""End-to-end validation of the Fig-3 measurement pipeline.
+
+Confirms, at test-friendly scale, everything the benchmark relies on:
+the vectorized engine's instruction accounting equals the PRAM
+interpreter's, the measured series follows the paper's
+``T(n,P) = (n/P) log n`` model, and the crossover sits near a small
+multiple of ``log2 n``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import loglog_slope, model_parallel_time
+from repro.core import FLOAT_MUL, OrdinaryIRSystem, processor_sweep
+from repro.pram import profile_ordinary, run_ordinary_on_pram, run_sequential_on_pram
+
+
+def fig3_system(n):
+    """The Fig-3 workload shape: one maximal chain (worst-case depth)."""
+    initial = np.full(n + 1, 1.0000001).tolist()
+    return OrdinaryIRSystem.build(
+        initial, list(range(1, n + 1)), list(range(n)), FLOAT_MUL
+    )
+
+
+class TestCrossLayerAgreement:
+    @pytest.mark.parametrize("processors", [1, 2, 7, 32])
+    def test_interpreter_equals_vectorized_accounting(self, processors):
+        sys_ = fig3_system(40)
+        vec_out, profile = profile_ordinary(sys_)
+        pram_out, metrics = run_ordinary_on_pram(sys_, processors=processors)
+        assert np.allclose(vec_out, pram_out)
+        assert metrics.time == profile.parallel_time(processors)
+
+    def test_sequential_baseline_agrees(self):
+        sys_ = fig3_system(40)
+        out, metrics = run_sequential_on_pram(sys_)
+        _, profile = profile_ordinary(sys_)
+        assert metrics.time == profile.sequential_time()
+
+
+class TestPaperShape:
+    def test_series_tracks_the_model(self):
+        n = 2048
+        _, profile = profile_ordinary(fig3_system(n))
+        for p in (1, 4, 16, 64, 256):
+            measured = profile.parallel_time(p)
+            model = model_parallel_time(n, p)
+            # same shape up to the per-step instruction constant
+            ratio = measured / model
+            assert 5 <= ratio <= 25, (p, ratio)
+
+    def test_loglog_slope_near_minus_one(self):
+        n = 4096
+        _, profile = profile_ordinary(fig3_system(n))
+        ps = [1, 2, 4, 8, 16, 32, 64]
+        ts = [float(profile.parallel_time(p)) for p in ps]
+        slope = loglog_slope(ps, ts)
+        assert slope == pytest.approx(-1.0, abs=0.05)
+
+    def test_crossover_small_multiple_of_log_n(self):
+        n = 4096
+        _, profile = profile_ordinary(fig3_system(n))
+        cross = profile.crossover_processors()
+        log_n = math.log2(n)
+        assert log_n <= cross <= 8 * log_n
+
+    def test_sequential_flat_parallel_decreasing(self):
+        _, profile = profile_ordinary(fig3_system(512))
+        rows = profile.sweep(processor_sweep(512))
+        seqs = {r["sequential_time"] for r in rows}
+        assert len(seqs) == 1
+        pars = [r["parallel_time"] for r in rows]
+        assert pars == sorted(pars, reverse=True)
+        assert rows[-1]["speedup"] > 1.0

@@ -1,0 +1,138 @@
+"""Integration tests mirroring the paper's worked examples."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CONCAT,
+    GIRSystem,
+    OperatorError,
+    OrdinaryIRSystem,
+    modular_mul,
+    run_gir,
+    solve_gir,
+)
+from repro.core.cap import cap_iterations, count_all_paths
+from repro.core.depgraph import build_dependence_graph
+from repro.core.traces import all_ordinary_traces, render_factors, tree_sizes
+from repro.livermore.classify import ast_model
+from repro.livermore.data import kernel_inputs
+from repro.livermore.kernels import k23
+from repro.livermore.parallel import k23_parallel
+from repro.loops import evaluate_loop, parallelize
+
+
+class TestFig1TraceExample:
+    def test_literal_loop_traces(self):
+        # ``for i = 1..8: A[i] := A[i+4] * A[i]`` over A[1..12]
+        sys_ = OrdinaryIRSystem.build(
+            [(j + 1,) for j in range(12)],
+            list(range(8)),
+            [i + 4 for i in range(8)],
+            CONCAT,
+        )
+        traces = all_ordinary_traces(sys_)
+        # cells 9..12 (0-based 8..11) preserve their initial values
+        assert set(traces) == set(range(8))
+        assert render_factors(traces[7], one_based=True) == "A[12]*A[8]"
+
+    def test_chained_variant_produces_long_traces(self):
+        # ``A[i+4] := A[i] * A[i+4]`` produces genuine chains
+        sys_ = OrdinaryIRSystem.build(
+            [(j + 1,) for j in range(12)],
+            [i + 4 for i in range(8)],
+            list(range(8)),
+            CONCAT,
+        )
+        traces = all_ordinary_traces(sys_)
+        assert render_factors(traces[11], one_based=True) == "A[4]*A[8]*A[12]"
+
+
+class TestFig5FibonacciExpansion:
+    def test_trace_sizes_are_fibonacci(self):
+        op = modular_mul(10**9 + 7)
+        n = 16
+        sys_ = GIRSystem.build(
+            [2, 3] + [1] * n,
+            [i + 2 for i in range(n)],
+            [i + 1 for i in range(n)],
+            [i for i in range(n)],
+            op,
+        )
+        sizes = tree_sizes(sys_)
+        fib = [1, 1]
+        for _ in range(n + 2):
+            fib.append(fib[-1] + fib[-2])
+        assert sizes[-1] == fib[n + 1]
+
+    def test_paper_n4_example_powers(self):
+        # Fig 5: for n = 4, A'[4] = A[0]^fib(3) * A[1]^fib(4)
+        op = modular_mul(10**9 + 7)
+        sys_ = GIRSystem.build(
+            [2, 3, 1, 1, 1, 1],
+            [2, 3, 4, 5],
+            [1, 2, 3, 4],
+            [0, 1, 2, 3],
+            op,
+        )
+        graph = build_dependence_graph(sys_)
+        cap = count_all_paths(graph)
+        assert cap.powers_by_cell(graph, 3) == {0: 3, 1: 5}
+        assert solve_gir(sys_)[0] == run_gir(sys_)
+
+    def test_cap_storyboard_matches_final(self):
+        op = modular_mul(97)
+        n = 6
+        sys_ = GIRSystem.build(
+            [2, 3] + [1] * n,
+            [i + 2 for i in range(n)],
+            [i + 1 for i in range(n)],
+            [i for i in range(n)],
+            op,
+        )
+        graph = build_dependence_graph(sys_)
+        frames = list(cap_iterations(graph))
+        assert frames[-1] == count_all_paths(graph).powers
+        assert len(frames) - 1 <= 3  # ceil(log2(depth)) iterations
+
+
+class TestPvsNCBoundary:
+    def test_non_commutative_gir_is_refused(self):
+        """The paper: general IR with a non-commutative op would solve
+        circuit evaluation; the GIR solver must refuse rather than
+        silently reorder."""
+        sys_ = GIRSystem.build(
+            [("a",), ("b",), ("c",), ("d",)], [3], [0], [1], CONCAT
+        )
+        with pytest.raises(OperatorError):
+            solve_gir(sys_)
+
+    def test_ordinary_shape_with_same_op_is_fine(self):
+        sys_ = OrdinaryIRSystem.build(
+            [("a",), ("b",), ("c",)], [1, 2], [0, 1], CONCAT
+        )
+        from repro.core import run_ordinary, solve_ordinary
+
+        assert solve_ordinary(sys_)[0] == run_ordinary(sys_)
+
+
+class TestLivermore23Showcase:
+    def test_kernel_parallel_vs_sequential_full_grid(self):
+        d = kernel_inputs(23, 60, seed=21)
+        seq = k23(d)["za"]
+        par = k23_parallel(d)["za"]
+        assert np.allclose(seq, par)
+
+    def test_ast_fragment_recognized_and_parallelized(self):
+        loop, env = ast_model(23, n=40, seed=4)
+        res = parallelize(loop, env)
+        assert res.method == "moebius"
+        ref = evaluate_loop(loop, env)
+        assert np.allclose(res.env["X"], ref["X"])
+
+    def test_flattened_index_maps_match_paper(self):
+        loop, _env = ast_model(23, n=10, seed=0)
+        # paper: g(i) = 7(i-1)+j, f(i) = 7(i-2)+j (1-based); here
+        # 0-based with jn = 7 and j = 1
+        g = loop.body.target.index
+        assert g.stride == 7 and g.offset == 8

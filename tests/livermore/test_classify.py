@@ -1,0 +1,107 @@
+"""Tests for the Livermore recurrence census (paper section 1)."""
+
+import pytest
+
+from repro.core import IRClass
+from repro.livermore.classify import (
+    KERNEL_NAMES,
+    PAPER_GROUPS,
+    ast_model,
+    census,
+    census_table,
+)
+from repro.loops import evaluate_loop, parallelize
+
+
+class TestCensusStructure:
+    def test_all_24_kernels_present(self):
+        entries = census()
+        assert [e.number for e in entries] == list(range(1, 25))
+        assert all(e.name == KERNEL_NAMES[e.number] for e in entries)
+
+    def test_groups_are_known(self):
+        for e in census():
+            assert e.group in ("none", "linear", "indexed", "outside-template")
+
+    def test_modeled_kernels_have_classes(self):
+        for e in census():
+            if e.modeled:
+                assert e.ir_class is not None
+
+
+class TestExpectedClassifications:
+    @pytest.fixture(scope="class")
+    def by_number(self):
+        return {e.number: e for e in census()}
+
+    @pytest.mark.parametrize("k", [1, 7, 12])
+    def test_no_recurrence_kernels(self, by_number, k):
+        assert by_number[k].ir_class is IRClass.NO_RECURRENCE
+        assert by_number[k].group == "none"
+
+    @pytest.mark.parametrize("k", [5, 11, 19])
+    def test_linear_kernels(self, by_number, k):
+        assert by_number[k].ir_class is IRClass.LINEAR
+        assert by_number[k].group == "linear"
+
+    @pytest.mark.parametrize("k", [3, 21])
+    def test_reduction_kernels_are_indexed(self, by_number, k):
+        assert by_number[k].ir_class is IRClass.MOEBIUS_AFFINE
+        assert by_number[k].group == "indexed"
+
+    def test_k23_is_indexed_moebius(self, by_number):
+        # the paper's showcase uses the flattened stride-7 index maps
+        assert by_number[23].ir_class is IRClass.MOEBIUS_AFFINE
+        assert by_number[23].group == "indexed"
+
+    def test_k24_is_fold(self, by_number):
+        assert by_number[24].ir_class is IRClass.ORDINARY_IR
+        assert "fold" in by_number[24].basis
+
+    @pytest.mark.parametrize("k", [2, 13, 14, 20])
+    def test_structural_indexed_kernels(self, by_number, k):
+        assert by_number[k].group == "indexed"
+        assert not by_number[k].modeled
+
+    def test_majority_shapes_match_paper_claim(self, by_number):
+        indexed = sum(1 for e in by_number.values() if e.group == "indexed")
+        linear = sum(1 for e in by_number.values() if e.group == "linear")
+        none = sum(1 for e in by_number.values() if e.group == "none")
+        # the paper's qualitative claim: a large indexed group, a small
+        # linear group, and a moderate none group
+        assert indexed >= 8
+        assert 3 <= linear <= 7
+        assert 6 <= none <= 10
+
+
+class TestAstModels:
+    MODELED = [1, 3, 5, 7, 11, 12, 19, 21, 23, 24]
+
+    @pytest.mark.parametrize("k", MODELED)
+    def test_model_parallelizes_without_fallback(self, k):
+        loop, env = ast_model(k, n=24, seed=3)
+        res = parallelize(loop, env)
+        assert not res.fallback, (k, res.note)
+        ref = evaluate_loop(loop, env)
+        for name in env:
+            a, b = res.env[name], ref[name]
+            for x, y in zip(a, b):
+                if isinstance(x, float):
+                    assert x == pytest.approx(y, rel=1e-6, abs=1e-9)
+                else:
+                    assert x == y
+
+    def test_unmodeled_returns_none(self):
+        assert ast_model(2) is None
+        assert ast_model(16) is None
+
+
+class TestRendering:
+    def test_table_renders_all_rows(self):
+        text = census_table()
+        assert "tri-diagonal" in text
+        assert "totals:" in text
+        assert text.count("\n") >= 26
+
+    def test_paper_groups_note_present(self):
+        assert "OCR" in PAPER_GROUPS["note"]

@@ -1,0 +1,56 @@
+"""Tests for the fully-automatic kernel-23 frontend lowering."""
+
+import numpy as np
+import pytest
+
+from repro.core import IRClass
+from repro.livermore.data import kernel_inputs
+from repro.livermore.frontend import k23_loop_program, k23_via_frontend
+from repro.livermore.kernels import k23
+from repro.loops.program import evaluate_program
+
+
+class TestLowering:
+    def test_program_shape(self):
+        d = kernel_inputs(23, 20, seed=0)
+        program, env = k23_loop_program(d)
+        assert len(program) == 2 * (d["jn"] - 2)
+        assert set(env) == {"X", "Y", "ZB", "ZR", "ZU", "ZV", "ZZ"}
+        assert len(env["X"]) == (20 + 2) * d["jn"]
+
+    def test_paper_index_maps(self):
+        d = kernel_inputs(23, 10, seed=0)
+        program, _env = k23_loop_program(d)
+        jn = d["jn"]
+        recurrence = program.loops[1]  # first sweep's recurrence
+        g = recurrence.body.target.index
+        assert g.stride == jn and g.offset == jn + 1
+
+    def test_sequential_interpretation_matches_kernel(self):
+        d = kernel_inputs(23, 24, seed=4)
+        program, env = k23_loop_program(d)
+        out = evaluate_program(program, env)
+        jn = d["jn"]
+        za = [out["X"][r * jn : (r + 1) * jn] for r in range(24 + 2)]
+        assert np.allclose(za, k23(d)["za"])
+
+
+class TestFrontendParallelization:
+    @pytest.mark.parametrize("n,seed", [(16, 0), (60, 7)])
+    def test_matches_sequential_kernel(self, n, seed):
+        d = kernel_inputs(23, n, seed=seed)
+        out, result = k23_via_frontend(d)
+        assert np.allclose(out["za"], k23(d)["za"])
+        assert result.fully_parallel
+
+    def test_every_sweep_is_map_then_moebius(self):
+        d = kernel_inputs(23, 20, seed=2)
+        _out, result = k23_via_frontend(d)
+        assert result.methods == ["map", "moebius"] * (d["jn"] - 2)
+
+    def test_recurrences_classified_as_indexed_affine(self):
+        d = kernel_inputs(23, 20, seed=2)
+        _out, result = k23_via_frontend(d)
+        for step in result.steps[1::2]:
+            assert step.recognition.ir_class is IRClass.MOEBIUS_AFFINE
+            assert step.recognition.own_reads  # the self-term rewrite fired

@@ -1,0 +1,72 @@
+"""Golden regression values for the Livermore kernels.
+
+Each kernel's output at a fixed size/seed is summarized by a
+deterministic checksum (sum of |x| mod 997 over all output scalars,
+rounded to 1e-6) plus the output scalar count.  Any semantic change to
+a kernel, its data generator, or the shared RNG discipline trips the
+corresponding entry — update the table *only* after confirming the
+change is intentional.
+"""
+
+import math
+
+import pytest
+
+from repro.livermore.data import kernel_inputs
+from repro.livermore.kernels import run_kernel
+
+SEED = 1997
+
+GOLDEN = {
+    1: (59.739769, 101),
+    2: (85.630219, 204),
+    3: (29.424896, 1),
+    4: (70.042303, 123),
+    5: (22.89191, 101),
+    6: (1.527825, 64),
+    7: (75.014277, 101),
+    8: (1346.967431, 2448),
+    9: (799.467215, 1313),
+    10: (1769.748484, 1313),
+    11: (2899.331934, 101),
+    12: (28.180966, 101),
+    13: (6113.915458, 5028),
+    14: (13514.813333, 433),
+    15: (1259.679803, 2339),
+    16: (1488.0, 3),
+    17: (649.491609, 304),
+    18: (4409.968166, 4944),
+    19: (64.359653, 102),
+    20: (122.86607, 203),
+    21: (12421.356019, 1600),
+    22: (178.150492, 202),
+    23: (686.608008, 721),
+    24: (7.0, 1),
+}
+
+
+def _checksum(out):
+    def flat(v):
+        if isinstance(v, (int, float)):
+            yield float(v)
+        elif isinstance(v, list):
+            for e in v:
+                yield from flat(e)
+
+    total = 0.0
+    count = 0
+    for key in sorted(out):
+        for x in flat(out[key]):
+            total += math.fmod(abs(x), 997.0)
+            count += 1
+    return total, count
+
+
+@pytest.mark.parametrize("kernel", sorted(GOLDEN))
+def test_kernel_golden_checksum(kernel):
+    n = 64 if kernel in (6, 21) else 101
+    out = run_kernel(kernel, kernel_inputs(kernel, n, seed=SEED))
+    total, count = _checksum(out)
+    expect_total, expect_count = GOLDEN[kernel]
+    assert count == expect_count, (kernel, count)
+    assert total == pytest.approx(expect_total, abs=5e-6), (kernel, total)

@@ -1,0 +1,162 @@
+"""Tests for the sequential Livermore kernels.
+
+Where an independent NumPy formulation exists (dot products, prefix
+sums, differences, matrix products, argmin, explicit recurrences) the
+kernels are checked against it, not just for finiteness.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.livermore.data import INPUT_GENERATORS, kernel_inputs
+from repro.livermore.kernels import KERNELS, run_kernel
+
+
+def _flat(v):
+    if isinstance(v, (int, float)):
+        yield v
+    elif isinstance(v, list):
+        for e in v:
+            yield from _flat(e)
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_kernel_runs_and_is_finite(kernel):
+    n = 48 if kernel in (6, 21) else 80
+    d = kernel_inputs(kernel, n, seed=7)
+    out = run_kernel(kernel, d)
+    values = [x for key in out for x in _flat(out[key])]
+    assert values, kernel
+    assert all(math.isfinite(x) for x in values if isinstance(x, float))
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_kernel_deterministic(kernel):
+    n = 32
+    a = run_kernel(kernel, kernel_inputs(kernel, n, seed=3))
+    b = run_kernel(kernel, kernel_inputs(kernel, n, seed=3))
+    assert a == b
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_kernel_inputs_not_mutated(kernel):
+    import copy
+
+    n = 32
+    d = kernel_inputs(kernel, n, seed=5)
+    before = copy.deepcopy(d)
+    run_kernel(kernel, d)
+    assert d == before
+
+
+class TestIndependentFormulations:
+    def test_k01_closed_form(self):
+        d = kernel_inputs(1, 50, seed=1)
+        out = run_kernel(1, d)
+        y, z = np.asarray(d["y"]), np.asarray(d["z"])
+        expect = d["q"] + y * (d["r"] * z[10:60] + d["t"] * z[11:61])
+        assert np.allclose(out["x"], expect)
+
+    def test_k03_is_dot_product(self):
+        d = kernel_inputs(3, 200, seed=2)
+        out = run_kernel(3, d)
+        assert out["q"] == pytest.approx(np.dot(d["z"], d["x"]), rel=1e-12)
+
+    def test_k05_explicit_recurrence(self):
+        d = kernel_inputs(5, 64, seed=3)
+        out = run_kernel(5, d)
+        x = list(d["x"])
+        for i in range(1, 64):
+            x[i] = d["z"][i] * (d["y"][i] - x[i - 1])
+        assert out["x"] == x
+
+    def test_k11_is_cumsum(self):
+        d = kernel_inputs(11, 100, seed=4)
+        out = run_kernel(11, d)
+        assert np.allclose(out["x"], np.cumsum(d["y"][:100]))
+
+    def test_k12_is_diff(self):
+        d = kernel_inputs(12, 100, seed=5)
+        out = run_kernel(12, d)
+        assert np.allclose(out["x"], np.diff(d["y"][:101]))
+
+    def test_k21_is_matrix_product(self):
+        d = kernel_inputs(21, 12, seed=6)
+        out = run_kernel(21, d)
+        px = np.asarray(d["px"])
+        vy = np.asarray(d["vy"])
+        cx = np.asarray(d["cx"])
+        expect = px + cx @ vy
+        assert np.allclose(out["px"], expect)
+
+    def test_k22_planckian(self):
+        d = kernel_inputs(22, 40, seed=7)
+        out = run_kernel(22, d)
+        y = np.asarray(d["u"]) / np.asarray(d["v"])
+        assert np.allclose(out["y"], y)
+        assert np.allclose(out["w"], np.asarray(d["x"]) / (np.exp(y) - 1.0))
+
+    def test_k24_is_argmin(self):
+        d = kernel_inputs(24, 300, seed=8)
+        out = run_kernel(24, d)
+        assert out["m"] == int(np.argmin(d["x"]))
+
+    def test_k24_first_min_on_ties(self):
+        out = run_kernel(24, {"n": 5, "x": [3.0, 1.0, 1.0, 0.5, 0.5]})
+        assert out["m"] == 3
+
+    def test_k02_halving_structure(self):
+        # total writes = n/2 + n/4 + ... ; final x differs from input
+        d = kernel_inputs(2, 64, seed=9)
+        out = run_kernel(2, d)
+        assert out["x"] != d["x"]
+        assert len(out["x"]) == len(d["x"])
+
+    def test_k06_full_history(self):
+        d = kernel_inputs(6, 20, seed=10)
+        out = run_kernel(6, d)
+        w = list(d["w"])
+        for i in range(1, 20):
+            acc = 0.01
+            for k in range(i):
+                acc += d["b"][k][i] * w[i - k - 1]
+            w[i] = acc
+        assert np.allclose(out["w"], w)
+
+    def test_k19_forward_backward(self):
+        d = kernel_inputs(19, 30, seed=11)
+        out = run_kernel(19, d)
+        b5 = list(d["b5"])
+        stb5 = d["stb5"]
+        for k in range(30):
+            b5[k] = d["sa"][k] + stb5 * d["sb"][k]
+            stb5 = b5[k] - stb5
+        for k in range(29, -1, -1):
+            b5[k] = d["sa"][k] + stb5 * d["sb"][k]
+            stb5 = b5[k] - stb5
+        assert np.allclose(out["b5"], b5)
+        assert out["stb5"] == pytest.approx(stb5)
+
+    def test_k23_fixed_boundary(self):
+        d = kernel_inputs(23, 30, seed=12)
+        out = run_kernel(23, d)
+        za = out["za"]
+        # boundary rows/columns untouched
+        assert za[0] == d["za"][0]
+        assert [row[0] for row in za] == [row[0] for row in d["za"]]
+        assert [row[-1] for row in za] == [row[-1] for row in d["za"]]
+
+
+class TestInputGenerators:
+    def test_all_kernels_have_generators(self):
+        assert set(INPUT_GENERATORS) == set(range(1, 25))
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError, match="no such Livermore kernel"):
+            kernel_inputs(99, 10)
+
+    def test_seeded_reproducibility(self):
+        assert kernel_inputs(5, 16, seed=1) == kernel_inputs(5, 16, seed=1)
+        assert kernel_inputs(5, 16, seed=1) != kernel_inputs(5, 16, seed=2)

@@ -1,0 +1,80 @@
+"""Parallel kernel implementations must match the sequential ones."""
+
+import numpy as np
+import pytest
+
+from repro.livermore.data import kernel_inputs
+from repro.livermore.kernels import run_kernel
+from repro.livermore.parallel import (
+    PARALLEL_KERNELS,
+    fold_scatter,
+    scatter_add,
+)
+from repro.core.operators import CONCAT
+
+
+def assert_close(a, b, tol=1e-7, path=""):
+    if isinstance(a, list):
+        assert len(a) == len(b), path
+        for i, (x, y) in enumerate(zip(a, b)):
+            assert_close(x, y, tol, f"{path}[{i}]")
+    elif isinstance(a, float) or isinstance(b, float):
+        assert abs(a - b) <= tol * max(1.0, abs(a), abs(b)), (path, a, b)
+    else:
+        assert a == b, (path, a, b)
+
+
+@pytest.mark.parametrize("kernel", sorted(PARALLEL_KERNELS))
+@pytest.mark.parametrize("seed", [0, 17])
+def test_parallel_matches_sequential(kernel, seed):
+    n = 12 if kernel == 21 else 120
+    d = kernel_inputs(kernel, n, seed=seed)
+    seq = run_kernel(kernel, d)
+    par = PARALLEL_KERNELS[kernel](d)
+    for name, value in seq.items():
+        assert name in par, (kernel, name)
+        assert_close(par[name], value, path=f"k{kernel}:{name}")
+
+
+@pytest.mark.parametrize("kernel", sorted(PARALLEL_KERNELS))
+def test_parallel_at_small_sizes(kernel):
+    n = 2 if kernel != 21 else 1
+    d = kernel_inputs(kernel, n, seed=5)
+    seq = run_kernel(kernel, d)
+    par = PARALLEL_KERNELS[kernel](d)
+    for name, value in seq.items():
+        assert_close(par[name], value, path=f"k{kernel}:{name}")
+
+
+class TestFoldScatter:
+    def test_scatter_add_matches_loop(self, rng):
+        m, n = 8, 200
+        base = rng.normal(size=m).tolist()
+        idx = rng.integers(0, m, size=n).tolist()
+        vals = rng.normal(size=n).tolist()
+        expect = list(base)
+        for i, v in zip(idx, vals):
+            expect[i] += v
+        got = scatter_add(base, idx, vals)
+        assert np.allclose(got, expect)
+
+    def test_order_preserved_for_non_commutative(self, rng):
+        m, n = 4, 50
+        idx = rng.integers(0, m, size=n).tolist()
+        vals = [(f"w{k}",) for k in range(n)]
+        base = [()] * m
+        expect = list(base)
+        for i, v in zip(idx, vals):
+            expect[i] = expect[i] + v
+        assert fold_scatter(base, idx, vals, CONCAT) == expect
+
+    def test_empty(self):
+        assert scatter_add([1.0, 2.0], [], []) == [1.0, 2.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            scatter_add([0.0], [0], [1.0, 2.0])
+
+    def test_untouched_cells_keep_values(self):
+        got = scatter_add([1.0, 2.0, 3.0], [1], [10.0])
+        assert got == [1.0, 12.0, 3.0]

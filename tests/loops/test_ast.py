@@ -1,0 +1,93 @@
+"""Unit tests for the loop AST and its interpreter."""
+
+import pytest
+
+from repro.core import ADD
+from repro.loops.ast import (
+    AffineIndex,
+    Assign,
+    BinOp,
+    Const,
+    Loop,
+    OpApply,
+    Ref,
+    TableIndex,
+    array_names,
+    evaluate_expr,
+    evaluate_loop,
+)
+
+
+class TestIndexFns:
+    def test_affine_at_and_materialize(self):
+        idx = AffineIndex(7, 2)
+        assert idx.at(3) == 23
+        assert idx.materialize(3).tolist() == [2, 9, 16]
+
+    def test_affine_repr(self):
+        assert repr(AffineIndex()) == "i"
+        assert repr(AffineIndex(1, -1)) == "i-1"
+        assert repr(AffineIndex(7, 2)) == "7*i+2"
+
+    def test_table_at_and_materialize(self):
+        idx = TableIndex([5, 3, 1])
+        assert idx.at(1) == 3
+        assert idx.materialize(2).tolist() == [5, 3]
+
+    def test_table_too_short_rejected(self):
+        with pytest.raises(ValueError, match="need"):
+            TableIndex([1]).materialize(5)
+
+    def test_table_hashable_and_equal(self):
+        assert TableIndex([1, 2]) == TableIndex([1, 2])
+        assert hash(TableIndex([1, 2])) == hash(TableIndex([1, 2]))
+
+
+class TestExpressions:
+    def test_binop_validates_operator(self):
+        with pytest.raises(ValueError, match="unsupported arithmetic"):
+            BinOp("%", Const(1), Const(2))
+
+    def test_evaluate_arith(self):
+        env = {"x": [2.0, 4.0], "y": [10.0, 20.0]}
+        e = BinOp("/", Ref("y", AffineIndex()), Ref("x", AffineIndex()))
+        assert evaluate_expr(e, 1, env) == 5.0
+
+    def test_evaluate_opapply(self):
+        env = {"a": [1, 2], "b": [10, 20]}
+        e = OpApply(ADD, Ref("a", AffineIndex()), Ref("b", AffineIndex()))
+        assert evaluate_expr(e, 0, env) == 11
+
+    def test_evaluate_const(self):
+        assert evaluate_expr(Const(3.5), 0, {}) == 3.5
+
+    def test_array_names(self):
+        e = BinOp(
+            "+",
+            Ref("a", AffineIndex()),
+            OpApply(ADD, Ref("b", AffineIndex()), Const(1)),
+        )
+        assert array_names(e) == {"a", "b"}
+
+    def test_reprs_readable(self):
+        e = BinOp("*", Ref("a", AffineIndex()), Const(2))
+        assert repr(e) == "(a[i] * 2)"
+
+
+class TestLoopInterpreter:
+    def test_simple_prefix_loop(self):
+        loop = Loop(
+            3,
+            Assign(
+                Ref("x", AffineIndex(1, 1)),
+                BinOp("+", Ref("x", AffineIndex()), Ref("y", AffineIndex(1, 1))),
+            ),
+        )
+        env = {"x": [1.0, 0.0, 0.0, 0.0], "y": [0.0, 1.0, 2.0, 3.0]}
+        out = evaluate_loop(loop, env)
+        assert out["x"] == [1.0, 2.0, 4.0, 7.0]
+        assert env["x"] == [1.0, 0.0, 0.0, 0.0]  # input untouched
+
+    def test_repr(self):
+        loop = Loop(2, Assign(Ref("x", AffineIndex()), Const(0)))
+        assert "for i in range(2)" in repr(loop)

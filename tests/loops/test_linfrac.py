@@ -1,0 +1,90 @@
+"""Unit tests for linear-fractional coefficient extraction."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.moebius import Mat2
+from repro.loops.ast import AffineIndex, BinOp, Const, Ref
+from repro.loops.linfrac import DegreeError, extract_moebius_matrix
+
+I = AffineIndex()
+G = AffineIndex(1, 1)
+X = Ref("X", I)
+
+
+def extract(expr, env=None, i=0):
+    env = env or {"X": [1.0] * 10}
+    return extract_moebius_matrix(expr, i, env, target="X", f_index=I, g_index=G)
+
+
+class TestExtraction:
+    def test_affine_body(self):
+        # 2*X + 3 -> [[2,3],[0,1]]
+        m = extract(BinOp("+", BinOp("*", Const(2), X), Const(3)))
+        assert m == Mat2(2, 3, 0, 1)
+
+    def test_rational_body(self):
+        # (2X+1)/(X+3)
+        num = BinOp("+", BinOp("*", Const(2), X), Const(1))
+        den = BinOp("+", X, Const(3))
+        assert extract(BinOp("/", num, den)) == Mat2(2, 1, 1, 3)
+
+    def test_reciprocal(self):
+        m = extract(BinOp("/", Const(1), X))
+        assert m == Mat2(0, 1, 1, 0)
+
+    def test_subtraction_both_sides(self):
+        assert extract(BinOp("-", X, Const(4))) == Mat2(1, -4, 0, 1)
+        assert extract(BinOp("-", Const(4), X)) == Mat2(-1, 4, 0, 1)
+
+    def test_x_plus_x_collapses(self):
+        m = extract(BinOp("+", X, X))
+        assert m == Mat2(2, 0, 0, 1)
+
+    def test_x_minus_x_degenerates_to_constant(self):
+        m = extract(BinOp("-", X, X))
+        assert m == Mat2(0, 0, 0, 1)
+
+    def test_own_cell_reads_fold_as_initial(self):
+        env = {"X": [10.0, 20.0, 30.0], "Y": [1.0, 2.0, 3.0]}
+        # X[g] + Y[i]*X[f]  at i=1: own value X[g(1)] = X[2] = 30
+        expr = BinOp(
+            "+", Ref("X", G), BinOp("*", Ref("Y", I), Ref("X", I))
+        )
+        m = extract_moebius_matrix(
+            expr, 1, env, target="X", f_index=I, g_index=G
+        )
+        assert m == Mat2(2.0, 30.0, 0, 1)
+
+    def test_foreign_arrays_evaluated(self):
+        env = {"X": [0.0] * 5, "c": [5.0, 7.0]}
+        m = extract(BinOp("*", Ref("c", I), X), env=env, i=1)
+        assert m == Mat2(7.0, 0, 0, 1)
+
+    def test_fraction_coefficients_exact(self):
+        env = {"X": [Fraction(1)] * 5}
+        m = extract(
+            BinOp("/", X, Const(Fraction(3))), env=env
+        )
+        assert m == Mat2(Fraction(1), Fraction(0), Fraction(0), Fraction(3))
+
+
+class TestDegreeRejection:
+    def test_square_rejected(self):
+        with pytest.raises(DegreeError, match="degree 2"):
+            extract(BinOp("*", X, X))
+
+    def test_cubic_rejected(self):
+        with pytest.raises(DegreeError):
+            extract(BinOp("*", BinOp("*", X, X), X))
+
+    def test_x_over_x_rejected_even_though_reducible(self):
+        # X^2 / X is mathematically linear but symbolically degree 2;
+        # documented limitation: the transformer falls back
+        with pytest.raises(DegreeError):
+            extract(BinOp("/", BinOp("*", X, X), X))
+
+    def test_division_by_zero_subexpression(self):
+        with pytest.raises(ZeroDivisionError):
+            extract(BinOp("/", X, BinOp("-", X, X)))

@@ -1,0 +1,110 @@
+"""Tests for multi-statement loop programs."""
+
+import numpy as np
+import pytest
+
+from repro.loops.ast import AffineIndex, Assign, BinOp, Const, Loop, Ref
+from repro.loops.program import (
+    LoopProgram,
+    evaluate_program,
+    parallelize_program,
+)
+
+I = AffineIndex()
+
+
+def two_pass_program(n):
+    """Livermore-19-shaped: a forward chain then an elementwise map."""
+    forward = Loop(
+        n - 1,
+        Assign(
+            Ref("st", AffineIndex(1, 1)),
+            BinOp(
+                "+",
+                Ref("sa", I),
+                BinOp("*", Ref("st", I), BinOp("-", Ref("sb", I), Const(1.0))),
+            ),
+        ),
+    )
+    emit = Loop(
+        n - 1,
+        Assign(
+            Ref("b5", I),
+            BinOp("+", Ref("sa", I), BinOp("*", Ref("st", I), Ref("sb", I))),
+        ),
+    )
+    return LoopProgram([forward, emit])
+
+
+class TestLoopProgram:
+    def test_rejects_non_loops(self):
+        with pytest.raises(TypeError, match="not a Loop"):
+            LoopProgram([42])
+
+    def test_len_and_iter(self):
+        prog = two_pass_program(5)
+        assert len(prog) == 2
+        assert all(isinstance(l, Loop) for l in prog)
+
+
+class TestParallelizeProgram:
+    def env(self, rng, n):
+        return {
+            "st": [0.1] + [0.0] * (n - 1),
+            "sa": rng.normal(size=n).tolist(),
+            "sb": (rng.normal(size=n) * 0.3 + 1.0).tolist(),
+            "b5": [0.0] * n,
+        }
+
+    def test_matches_sequential(self, rng):
+        n = 60
+        prog = two_pass_program(n)
+        env = self.env(rng, n)
+        res = parallelize_program(prog, env)
+        ref = evaluate_program(prog, env)
+        for name in env:
+            assert np.allclose(res.env[name], ref[name])
+
+    def test_methods_reported(self, rng):
+        n = 20
+        res = parallelize_program(two_pass_program(n), self.env(rng, n))
+        assert res.methods == ["moebius", "map"]
+        assert res.fully_parallel
+
+    def test_environment_threads_between_statements(self, rng):
+        # the second statement must read the FIRST statement's output
+        n = 10
+        prog = LoopProgram([
+            Loop(n, Assign(Ref("a", I), Const(2.0))),
+            Loop(n, Assign(Ref("b", I), BinOp("*", Ref("a", I), Const(3.0)))),
+        ])
+        env = {"a": [0.0] * n, "b": [0.0] * n}
+        res = parallelize_program(prog, env)
+        assert res.env["b"] == [6.0] * n
+
+    def test_fallback_statement_still_correct(self, rng):
+        n = 8
+        degree2 = Loop(
+            n - 1,
+            Assign(
+                Ref("x", AffineIndex(1, 1)),
+                BinOp("+", BinOp("*", Ref("x", I), Ref("x", I)), Const(0.1)),
+            ),
+        )
+        after = Loop(n, Assign(Ref("y", I), BinOp("*", Ref("x", I), Const(2.0))))
+        prog = LoopProgram([degree2, after])
+        env = {"x": [0.4] * n, "y": [0.0] * n}
+        res = parallelize_program(prog, env)
+        ref = evaluate_program(prog, env)
+        assert not res.fully_parallel
+        assert res.steps[0].fallback and not res.steps[1].fallback
+        for name in env:
+            assert np.allclose(res.env[name], ref[name])
+
+    def test_input_env_untouched(self, rng):
+        n = 12
+        prog = two_pass_program(n)
+        env = self.env(rng, n)
+        snapshot = {k: list(v) for k, v in env.items()}
+        parallelize_program(prog, env)
+        assert env == snapshot

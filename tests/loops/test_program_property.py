@@ -1,0 +1,110 @@
+"""Chaos test: random multi-statement loop programs.
+
+Builds LoopPrograms of 2-4 statements drawn from the supported shapes
+(maps, affine chains, reductions, scatter-adds, guarded bodies) over
+shared arrays, and asserts the parallelized program always equals the
+sequential interpreter -- including when individual statements fall
+back.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.loops.ast import (
+    AffineIndex,
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    Loop,
+    Ref,
+    TableIndex,
+    Where,
+)
+from repro.loops.program import LoopProgram, evaluate_program, parallelize_program
+
+N = 20
+M = 30
+I = AffineIndex()
+
+
+def _statement(kind, rng):
+    """One random statement of the given kind over arrays X, Y, W, q."""
+    if kind == "map":
+        return Loop(
+            N, Assign(Ref("Y", I), BinOp("*", Ref("X", I), Const(round(rng.uniform(-2, 2), 2))))
+        )
+    if kind == "chain":
+        return Loop(
+            N - 1,
+            Assign(
+                Ref("X", AffineIndex(1, 1)),
+                BinOp(
+                    "+",
+                    BinOp("*", Const(round(rng.uniform(-0.8, 0.8), 2)), Ref("X", I)),
+                    Ref("Y", I),
+                ),
+            ),
+        )
+    if kind == "reduction":
+        c = AffineIndex(0, 0)
+        return Loop(
+            N, Assign(Ref("q", c), BinOp("+", Ref("q", c), Ref("X", I)))
+        )
+    if kind == "scatter":
+        g = TableIndex(rng.integers(0, 5, size=N))
+        return Loop(
+            N, Assign(Ref("W", g), BinOp("+", Ref("W", g), Ref("Y", I)))
+        )
+    if kind == "guarded":
+        return Loop(
+            N - 1,
+            Assign(
+                Ref("X", AffineIndex(1, 1)),
+                Where(
+                    Compare(">", Ref("Y", I), Const(0.0)),
+                    BinOp("+", Ref("X", I), Const(0.5)),
+                    BinOp("*", Ref("X", I), Const(0.5)),
+                ),
+            ),
+        )
+    if kind == "degree2":  # intentionally outside the framework
+        return Loop(
+            N - 1,
+            Assign(
+                Ref("X", AffineIndex(1, 1)),
+                BinOp("+", BinOp("*", Ref("X", I), Ref("X", I)), Const(0.01)),
+            ),
+        )
+    raise AssertionError(kind)
+
+
+KINDS = ["map", "chain", "reduction", "scatter", "guarded", "degree2"]
+
+
+@given(
+    st.lists(st.sampled_from(KINDS), min_size=2, max_size=4),
+    st.integers(0, 10**6),
+)
+@settings(max_examples=50, deadline=None)
+def test_random_programs_match_interpreter(kinds, seed):
+    rng = np.random.default_rng(seed)
+    program = LoopProgram([_statement(k, rng) for k in kinds])
+    env = {
+        "X": (0.4 * rng.normal(size=N)).tolist(),
+        "Y": rng.normal(size=N).tolist(),
+        "W": [0.0] * 5,
+        "q": [0.0],
+    }
+    result = parallelize_program(program, env)
+    reference = evaluate_program(program, env)
+    for name in env:
+        for a, b in zip(result.env[name], reference[name]):
+            assert a == pytest.approx(b, rel=1e-6, abs=1e-9), (name, kinds)
+    # degree2 statements (and only those) must have fallen back
+    for kind, step in zip(kinds, result.steps):
+        if kind == "degree2":
+            assert step.fallback
+        else:
+            assert not step.fallback, (kind, step.note)

@@ -1,0 +1,171 @@
+"""Tests for the Python-source frontend."""
+
+import numpy as np
+import pytest
+
+from repro.core import IRClass
+from repro.loops.program import evaluate_program
+from repro.loops.pyfrontend import (
+    FrontendError,
+    loops_from_source,
+    parallelize_source,
+)
+
+N = 48
+
+
+# module-level functions so inspect.getsource works ----------------------
+
+
+def linear_kernel(X, Y, Z):
+    for i in range(1, n):  # noqa: F821  (bound via consts)
+        X[i] = X[i - 1] * Y[i] + Z[i]
+
+
+def two_phase_kernel(X, W, S, H):
+    """A strided scatter then a guarded reduction."""
+    for i in range(n):  # noqa: F821
+        H[7 * i + j] = H[7 * i + j] + W[i]  # noqa: F821
+    for k in range(n):  # noqa: F821
+        S[0] += W[k] * X[k] if X[k] > 0.0 else 0.0
+
+
+def env_linear(rng):
+    return {
+        "X": rng.normal(size=N).tolist(),
+        "Y": (0.5 * rng.normal(size=N)).tolist(),
+        "Z": rng.normal(size=N).tolist(),
+    }
+
+
+class TestParsing:
+    def test_callable_and_string_agree(self, rng):
+        consts = {"n": N}
+        from_callable = loops_from_source(linear_kernel, consts=consts)
+        source = (
+            "def f(X, Y, Z):\n"
+            "    for i in range(1, n):\n"
+            "        X[i] = X[i - 1] * Y[i] + Z[i]\n"
+        )
+        from_string = loops_from_source(source, consts=consts)
+        assert len(from_callable) == len(from_string) == 1
+        env = env_linear(rng)
+        a = evaluate_program(from_callable, env)
+        b = evaluate_program(from_string, env)
+        assert a == b
+
+    def test_range_start_shifts_indices(self):
+        prog = loops_from_source(linear_kernel, consts={"n": 10})
+        loop = prog.loops[0]
+        assert loop.n == 9
+        # g: i over source range(1, n) -> offset 1 in our 0-based frame
+        assert loop.body.target.index.stride == 1
+        assert loop.body.target.index.offset == 1
+
+    def test_strided_index_with_const(self):
+        prog = loops_from_source(two_phase_kernel, consts={"n": 8, "j": 3})
+        scatter = prog.loops[0]
+        assert scatter.body.target.index.stride == 7
+        assert scatter.body.target.index.offset == 3
+
+    def test_docstring_skipped(self):
+        prog = loops_from_source(two_phase_kernel, consts={"n": 4, "j": 0})
+        assert len(prog) == 2
+
+    def test_augassign_lowered(self):
+        prog = loops_from_source(two_phase_kernel, consts={"n": 4, "j": 0})
+        reduction = prog.loops[1]
+        # S[0] += e  ->  S[0] = S[0] + e
+        from repro.loops.ast import BinOp, Ref
+
+        assert isinstance(reduction.body.expr, BinOp)
+        assert reduction.body.expr.op == "+"
+        assert isinstance(reduction.body.expr.left, Ref)
+
+
+class TestParallelization:
+    def test_linear_kernel(self, rng):
+        env = env_linear(rng)
+        res = parallelize_source(linear_kernel, env, consts={"n": N})
+        prog = loops_from_source(linear_kernel, consts={"n": N})
+        ref = evaluate_program(prog, env)
+        assert res.methods == ["moebius"]
+        assert np.allclose(res.env["X"], ref["X"])
+
+    def test_two_phase_kernel(self, rng):
+        m = 7 * N + 7
+        env = {
+            "X": rng.normal(size=N).tolist(),
+            "W": rng.normal(size=N).tolist(),
+            "S": [0.0],
+            "H": [0.0] * m,
+        }
+        res = parallelize_source(two_phase_kernel, env, consts={"n": N, "j": 3})
+        prog = loops_from_source(two_phase_kernel, consts={"n": N, "j": 3})
+        ref = evaluate_program(prog, env)
+        assert res.fully_parallel
+        for name in env:
+            assert np.allclose(res.env[name], ref[name]), name
+
+    def test_classification_surface(self):
+        prog = loops_from_source(linear_kernel, consts={"n": 10})
+        from repro.loops import recognize
+
+        assert recognize(prog.loops[0]).ir_class is IRClass.LINEAR
+
+
+class TestRejections:
+    def check(self, source, match, consts=None):
+        with pytest.raises(FrontendError, match=match):
+            loops_from_source(source, consts=consts or {"n": 4})
+
+    def test_quadratic_index(self):
+        self.check(
+            "def f(A):\n    for i in range(n):\n        A[i*i] = 1.0\n",
+            "quadratic",
+        )
+
+    def test_multiple_statements(self):
+        self.check(
+            "def f(A):\n    for i in range(n):\n        A[i] = 1.0\n"
+            "        A[i] = 2.0\n",
+            "one statement",
+        )
+
+    def test_non_loop_statement(self):
+        self.check("def f(A):\n    x = 1\n", "sequence of for loops")
+
+    def test_unbound_scalar(self):
+        self.check(
+            "def f(A):\n    for i in range(n):\n        A[i] = B\n",
+            "consts",
+        )
+
+    def test_while_rejected(self):
+        self.check(
+            "def f(A):\n    while True:\n        pass\n",
+            "sequence of for loops",
+        )
+
+    def test_range_step_rejected(self):
+        self.check(
+            "def f(A):\n    for i in range(0, n, 2):\n        A[i] = 1.0\n",
+            "range",
+        )
+
+    def test_boolean_guard_rejected(self):
+        self.check(
+            "def f(A, S):\n    for i in range(n):\n"
+            "        A[i] = 1.0 if S[i] > 0 and S[i] < 2 else 0.0\n",
+            "single comparison",
+        )
+
+    def test_empty_function(self):
+        self.check('def f(A):\n    "doc"\n', "no loops")
+
+    def test_float_bound_rejected(self):
+        self.check(
+            "def f(A):\n    for i in range(m):\n        A[i] = 1.0\n",
+            "int",
+            consts={"m": 2.5},
+        )

@@ -1,0 +1,61 @@
+"""Property tests: randomly generated Python loop sources round-trip
+through the frontend and parallelize to the sequential semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.loops.program import evaluate_program
+from repro.loops.pyfrontend import loops_from_source, parallelize_source
+
+N = 24
+
+
+@st.composite
+def affine_loop_sources(draw):
+    """A random single-loop function in the supported fragment:
+    ``X[i+1] = c0*X[i] (+|-) (Y[i+sh] (*|+) c1)`` with random affine
+    shifts and coefficients."""
+    c0 = draw(st.floats(-0.9, 0.9).map(lambda v: round(v, 3)))
+    c1 = draw(st.floats(-2.0, 2.0).map(lambda v: round(v, 3)))
+    sh = draw(st.integers(0, 1))
+    outer = draw(st.sampled_from(["+", "-"]))
+    inner = draw(st.sampled_from(["*", "+"]))
+    start = draw(st.integers(0, 2))
+    body = (
+        f"X[i + 1] = {c0} * X[i] {outer} (Y[i + {sh}] {inner} {c1})"
+    )
+    source = (
+        "def f(X, Y):\n"
+        f"    for i in range({start}, n):\n"
+        f"        {body}\n"
+    )
+    return source
+
+
+class TestRandomSources:
+    @given(affine_loop_sources(), st.integers(0, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_parallelized_equals_interpreted(self, source, seed):
+        rng = np.random.default_rng(seed)
+        env = {
+            "X": rng.normal(size=N + 2).tolist(),
+            "Y": rng.normal(size=N + 2).tolist(),
+        }
+        consts = {"n": N}
+        program = loops_from_source(source, consts=consts)
+        result = parallelize_source(source, env, consts=consts)
+        reference = evaluate_program(program, env)
+        assert not result.steps[0].fallback
+        for name in env:
+            got, want = result.env[name], reference[name]
+            for a, b in zip(got, want):
+                assert a == pytest.approx(b, rel=1e-7, abs=1e-10)
+
+    @given(affine_loop_sources())
+    @settings(max_examples=30, deadline=None)
+    def test_parse_is_deterministic(self, source):
+        a = loops_from_source(source, consts={"n": N})
+        b = loops_from_source(source, consts={"n": N})
+        assert len(a) == len(b) == 1
+        assert a.loops[0] == b.loops[0]

@@ -1,0 +1,196 @@
+"""Unit tests for the loop-shape recognizer."""
+
+import pytest
+
+from repro.core import ADD, CONCAT, IRClass
+from repro.loops.ast import AffineIndex, Assign, BinOp, Const, Loop, OpApply, Ref, TableIndex
+from repro.loops.recognize import recognize
+
+I = AffineIndex()
+
+
+def loop_of(target_idx, expr, n=10, target="X"):
+    return Loop(n, Assign(Ref(target, target_idx), expr))
+
+
+class TestNoRecurrence:
+    def test_target_never_read(self):
+        rec = recognize(loop_of(I, BinOp("*", Ref("Y", I), Ref("Z", I))))
+        assert rec.ir_class is IRClass.NO_RECURRENCE
+        assert not rec.own_reads
+
+    def test_own_cell_read_distinct_g(self):
+        rec = recognize(loop_of(I, BinOp("+", Ref("X", I), Ref("Y", I))))
+        assert rec.ir_class is IRClass.NO_RECURRENCE
+        assert rec.own_reads
+
+
+class TestReductions:
+    def test_scalar_accumulator_is_moebius(self):
+        c = AffineIndex(0, 0)
+        rec = recognize(
+            loop_of(c, BinOp("+", Ref("X", c), Ref("Y", I)))
+        )
+        assert rec.ir_class is IRClass.MOEBIUS_AFFINE
+        assert rec.f == c and rec.own_reads
+
+    def test_scatter_chain_detected_via_table(self):
+        g = TableIndex([0, 1, 0, 1, 0])
+        rec = recognize(
+            Loop(5, Assign(Ref("X", g), BinOp("+", Ref("X", g), Ref("Y", I))))
+        )
+        assert rec.ir_class is IRClass.MOEBIUS_AFFINE
+
+    def test_rational_reduction(self):
+        c = AffineIndex(0, 0)
+        rec = recognize(
+            loop_of(c, BinOp("/", Const(1.0), BinOp("+", Ref("X", c), Const(1.0))))
+        )
+        assert rec.ir_class is IRClass.MOEBIUS_RATIONAL
+
+    def test_non_arithmetic_reduction_body_unsupported(self):
+        c = AffineIndex(0, 0)
+        # op applied to (own, own): not a fold, not arithmetic
+        expr = BinOp("+", OpApply(ADD, Ref("X", c), Ref("X", c)), Const(1))
+        rec = recognize(loop_of(c, expr))
+        assert rec.ir_class is IRClass.UNSUPPORTED
+
+
+class TestLinearAndMoebius:
+    def test_classic_linear(self):
+        rec = recognize(
+            loop_of(
+                AffineIndex(1, 1),
+                BinOp("+", Ref("X", I), Ref("Y", AffineIndex(1, 1))),
+            )
+        )
+        assert rec.ir_class is IRClass.LINEAR
+        assert rec.f == I
+
+    def test_strided_g_is_indexed_not_linear(self):
+        rec = recognize(
+            loop_of(
+                AffineIndex(7, 8),
+                BinOp("+", Ref("X", AffineIndex(7, 1)), Ref("Y", I)),
+            )
+        )
+        assert rec.ir_class is IRClass.MOEBIUS_AFFINE
+
+    def test_rational_when_read_in_denominator(self):
+        rec = recognize(
+            loop_of(
+                AffineIndex(1, 1),
+                BinOp("/", Const(1.0), BinOp("+", Ref("X", I), Const(3.0))),
+            )
+        )
+        assert rec.ir_class is IRClass.MOEBIUS_RATIONAL
+
+    def test_multiple_reads_same_index_still_moebius(self):
+        num = BinOp("+", BinOp("*", Const(2.0), Ref("X", I)), Const(1.0))
+        den = BinOp("+", Ref("X", I), Const(3.0))
+        rec = recognize(loop_of(AffineIndex(1, 1), BinOp("/", num, den)))
+        assert rec.ir_class is IRClass.MOEBIUS_RATIONAL
+
+    def test_self_term_folded(self):
+        g = TableIndex(list(range(1, 11)))
+        f = TableIndex(list(range(10)))
+        expr = BinOp(
+            "+",
+            Ref("X", g),
+            BinOp("*", Ref("X", f), Ref("Z", I)),
+        )
+        rec = recognize(Loop(10, Assign(Ref("X", g), expr)))
+        assert rec.ir_class is IRClass.MOEBIUS_AFFINE
+        assert rec.own_reads
+
+    def test_two_distinct_foreign_indices_unsupported(self):
+        expr = BinOp(
+            "+",
+            BinOp("*", Ref("X", AffineIndex(1, -1)), Const(2.0)),
+            Ref("X", AffineIndex(1, -2)),
+        )
+        rec = recognize(loop_of(AffineIndex(1, 0), expr, n=5))
+        assert rec.ir_class is IRClass.UNSUPPORTED
+        assert "2 distinct indices" in rec.notes
+
+
+class TestOpApplyForms:
+    def test_ordinary_own_second(self):
+        g = TableIndex([3, 4, 5])
+        f = TableIndex([0, 1, 2])
+        rec = recognize(
+            Loop(3, Assign(Ref("A", g), OpApply(CONCAT, Ref("A", f), Ref("A", g))))
+        )
+        assert rec.ir_class is IRClass.ORDINARY_IR
+        assert not rec.swapped and rec.f == f
+
+    def test_ordinary_own_first_swapped(self):
+        g = TableIndex([3, 4, 5])
+        f = TableIndex([0, 1, 2])
+        rec = recognize(
+            Loop(3, Assign(Ref("A", g), OpApply(CONCAT, Ref("A", g), Ref("A", f))))
+        )
+        assert rec.ir_class is IRClass.ORDINARY_IR
+        assert rec.swapped
+
+    def test_gir_two_foreign(self):
+        g = TableIndex([3, 4, 5])
+        rec = recognize(
+            Loop(
+                3,
+                Assign(
+                    Ref("A", g),
+                    OpApply(ADD, Ref("A", TableIndex([0, 1, 2])), Ref("A", TableIndex([1, 2, 0]))),
+                ),
+            )
+        )
+        assert rec.ir_class is IRClass.GIR
+        assert rec.h is not None
+
+    def test_fold_reduction(self):
+        c = AffineIndex(0, 0)
+        rec = recognize(
+            Loop(5, Assign(Ref("q", c), OpApply(ADD, Ref("q", c), Ref("y", I))))
+        )
+        assert rec.ir_class is IRClass.ORDINARY_IR
+        assert rec.fold_operand is not None
+        assert not rec.swapped
+
+    def test_fold_swapped(self):
+        c = AffineIndex(0, 0)
+        rec = recognize(
+            Loop(5, Assign(Ref("q", c), OpApply(CONCAT, Ref("y", I), Ref("q", c))))
+        )
+        assert rec.ir_class is IRClass.ORDINARY_IR
+        assert rec.fold_operand is not None and rec.swapped
+
+    def test_fold_operand_must_be_target_free(self):
+        c = AffineIndex(0, 0)
+        rec = recognize(
+            Loop(
+                5,
+                Assign(
+                    Ref("q", c),
+                    OpApply(ADD, Ref("q", c), BinOp("+", Ref("q", AffineIndex(1, 1)), Const(1))),
+                ),
+            )
+        )
+        assert rec.ir_class is IRClass.UNSUPPORTED
+
+    def test_gir_arithmetic_form(self):
+        g = TableIndex([3, 4, 5])
+        rec = recognize(
+            Loop(
+                3,
+                Assign(
+                    Ref("A", g),
+                    BinOp("*", Ref("A", TableIndex([0, 1, 2])), Ref("A", TableIndex([1, 2, 0]))),
+                ),
+            )
+        )
+        assert rec.ir_class is IRClass.GIR
+        assert rec.arith_op == "*"
+
+    def test_describe_mentions_class(self):
+        rec = recognize(loop_of(I, Const(1)))
+        assert "no-recurrence" in rec.describe()

@@ -1,0 +1,355 @@
+"""Tests for the parallelizing transformer: every method path must
+reproduce the sequential interpreter exactly (or within float
+tolerance)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ADD, CONCAT, IRClass, make_operator
+from repro.loops.ast import (
+    AffineIndex,
+    Assign,
+    BinOp,
+    Const,
+    Loop,
+    OpApply,
+    Ref,
+    TableIndex,
+    evaluate_loop,
+)
+from repro.loops.transform import flip_operator, parallelize, pick_arith_operator
+
+I = AffineIndex()
+
+
+def run_both(loop, env, **kw):
+    res = parallelize(loop, env, **kw)
+    ref = evaluate_loop(loop, env)
+    return res, ref
+
+
+def assert_env_close(got, ref, rel=1e-8):
+    for name in ref:
+        a, b = got[name], ref[name]
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            if isinstance(x, float) or isinstance(y, float):
+                assert x == pytest.approx(y, rel=rel, abs=1e-10)
+            else:
+                assert x == y
+
+
+class TestMapPath:
+    def test_pure_map(self, rng):
+        n = 40
+        loop = Loop(
+            n, Assign(Ref("B", I), BinOp("*", Ref("Y", I), Ref("Z", I)))
+        )
+        env = {
+            "B": [0.0] * n,
+            "Y": rng.normal(size=n).tolist(),
+            "Z": rng.normal(size=n).tolist(),
+        }
+        res, ref = run_both(loop, env)
+        assert res.method == "map"
+        assert_env_close(res.env, ref)
+
+    def test_map_with_own_read_distinct_g(self, rng):
+        n = 20
+        loop = Loop(
+            n, Assign(Ref("B", I), BinOp("+", Ref("B", I), Ref("Y", I)))
+        )
+        env = {"B": rng.normal(size=n).tolist(), "Y": rng.normal(size=n).tolist()}
+        res, ref = run_both(loop, env)
+        assert res.method == "map"
+        assert_env_close(res.env, ref)
+
+    def test_map_duplicate_g_without_own_reads_last_writer_wins(self, rng):
+        g = TableIndex([0, 1, 0])
+        loop = Loop(3, Assign(Ref("B", g), Ref("Y", I)))
+        env = {"B": [0.0, 0.0], "Y": [1.0, 2.0, 3.0]}
+        res, ref = run_both(loop, env)
+        assert res.method == "map"
+        assert res.env["B"] == ref["B"] == [3.0, 2.0]
+
+    def test_env_missing_target_raises(self):
+        loop = Loop(1, Assign(Ref("B", I), Const(1)))
+        with pytest.raises(KeyError, match="target array"):
+            parallelize(loop, {"Y": [1]})
+
+    def test_input_env_not_mutated(self, rng):
+        n = 10
+        loop = Loop(n, Assign(Ref("B", I), Ref("Y", I)))
+        env = {"B": [0.0] * n, "Y": rng.normal(size=n).tolist()}
+        before = {k: list(v) for k, v in env.items()}
+        parallelize(loop, env)
+        assert env == before
+
+
+class TestMoebiusPath:
+    @pytest.mark.parametrize("engine", ["numpy", "python"])
+    def test_linear_chain(self, rng, engine):
+        n = 60
+        loop = Loop(
+            n - 1,
+            Assign(
+                Ref("X", AffineIndex(1, 1)),
+                BinOp(
+                    "+",
+                    BinOp("*", Ref("X", I), Ref("A", AffineIndex(1, 1))),
+                    Ref("B", AffineIndex(1, 1)),
+                ),
+            ),
+        )
+        env = {
+            "X": rng.normal(size=n).tolist(),
+            "A": (0.5 * rng.normal(size=n)).tolist(),
+            "B": rng.normal(size=n).tolist(),
+        }
+        res, ref = run_both(loop, env, engine=engine)
+        assert res.method == "moebius"
+        assert_env_close(res.env, ref)
+
+    def test_rational_chain(self):
+        n = 30
+        loop = Loop(
+            n,
+            Assign(
+                Ref("X", AffineIndex(1, 1)),
+                BinOp(
+                    "/",
+                    BinOp("+", BinOp("*", Const(2.0), Ref("X", I)), Const(1.0)),
+                    BinOp("+", Ref("X", I), Const(3.0)),
+                ),
+            ),
+        )
+        env = {"X": [1.0] * (n + 1)}
+        res, ref = run_both(loop, env)
+        assert res.method == "moebius"
+        assert res.recognition.ir_class is IRClass.MOEBIUS_RATIONAL
+        assert_env_close(res.env, ref)
+
+    def test_reduction_chain_renamed(self, rng):
+        n = 120
+        c = AffineIndex(0, 0)
+        loop = Loop(
+            n,
+            Assign(
+                Ref("q", c),
+                BinOp("+", Ref("q", c), BinOp("*", Ref("z", I), Ref("x", I))),
+            ),
+        )
+        env = {
+            "q": [0.0],
+            "z": rng.normal(size=n).tolist(),
+            "x": rng.normal(size=n).tolist(),
+        }
+        res, ref = run_both(loop, env)
+        assert res.method == "moebius"
+        assert res.env["q"][0] == pytest.approx(ref["q"][0], rel=1e-7)
+
+    def test_scatter_affine_renamed(self, rng):
+        n, m = 80, 7
+        g = TableIndex(rng.integers(0, m, size=n))
+        loop = Loop(
+            n,
+            Assign(
+                Ref("X", g),
+                BinOp("+", BinOp("*", Const(0.5), Ref("X", g)), Ref("c", I)),
+            ),
+        )
+        env = {"X": [1.0] * m, "c": rng.normal(size=n).tolist()}
+        res, ref = run_both(loop, env)
+        assert res.method == "moebius"
+        assert_env_close(res.env, ref, rel=1e-6)
+
+    def test_degree2_falls_back(self):
+        loop = Loop(
+            5,
+            Assign(
+                Ref("X", AffineIndex(1, 1)),
+                BinOp("+", BinOp("*", Ref("X", I), Ref("X", I)), Const(0.1)),
+            ),
+        )
+        res, ref = run_both(loop, {"X": [0.5] * 6})
+        assert res.fallback and "degree" in res.note
+        assert_env_close(res.env, ref)
+
+    def test_mixed_own_and_f_with_duplicates_falls_back(self, rng):
+        g = TableIndex([0, 1, 0, 1])
+        f = TableIndex([1, 0, 1, 0])
+        loop = Loop(
+            4,
+            Assign(
+                Ref("X", g),
+                BinOp("+", Ref("X", g), BinOp("*", Const(0.5), Ref("X", f))),
+            ),
+        )
+        res, ref = run_both(loop, {"X": [1.0, 2.0]})
+        assert res.fallback
+        assert_env_close(res.env, ref)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_random_affine_loops(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 40))
+        m = n + int(rng.integers(1, 10))
+        perm = rng.permutation(m)[:n]
+        f = rng.integers(0, m, size=n)
+        loop = Loop(
+            n,
+            Assign(
+                Ref("X", TableIndex(perm)),
+                BinOp(
+                    "+",
+                    BinOp("*", Ref("a", I), Ref("X", TableIndex(f))),
+                    Ref("b", I),
+                ),
+            ),
+        )
+        env = {
+            "X": rng.normal(size=m).tolist(),
+            "a": (0.7 * rng.normal(size=n)).tolist(),
+            "b": rng.normal(size=n).tolist(),
+        }
+        res, ref = run_both(loop, env)
+        # when the drawn f table coincides with g the body reads only
+        # its own cell and the map path is the correct classification
+        assert res.method in ("moebius", "map")
+        assert not res.fallback
+        assert_env_close(res.env, ref, rel=1e-6)
+
+
+class TestOrdinaryIRPath:
+    def test_generic_op_both_orders(self, rng):
+        n, m = 30, 40
+        perm = rng.permutation(m)[:n]
+        f = rng.integers(0, m, size=n)
+        A0 = [(f"s{j}",) for j in range(m)]
+        for swapped in (False, True):
+            args = (Ref("A", TableIndex(perm)), Ref("A", TableIndex(f)))
+            left, right = (args if swapped else args[::-1])
+            loop = Loop(
+                n,
+                Assign(Ref("A", TableIndex(perm)), OpApply(CONCAT, left, right)),
+            )
+            res, ref = run_both(loop, {"A": A0})
+            assert res.method == "ordinary-ir"
+            assert res.env["A"] == ref["A"]
+
+    def test_fold_reduction_argmin(self, rng):
+        argmin = make_operator(
+            "argmin", lambda p, q: p if p <= q else q, commutative=True,
+            power=lambda x, k: x,
+        )
+        n = 100
+        xs = [(float(v), k) for k, v in enumerate(rng.normal(size=n))]
+        c = AffineIndex(0, 0)
+        loop = Loop(
+            n, Assign(Ref("m", c), OpApply(argmin, Ref("m", c), Ref("xs", I)))
+        )
+        env = {"m": [(float("inf"), -1)], "xs": xs}
+        res, ref = run_both(loop, env)
+        assert res.method == "ordinary-ir"
+        assert res.env["m"] == ref["m"]
+        assert res.env["m"][0][1] == int(np.argmin([v for v, _ in xs]))
+
+    def test_fold_scatter_non_commutative(self, rng):
+        n, m = 60, 9
+        g = TableIndex(rng.integers(0, m, size=n))
+        words = [(f"w{k}",) for k in range(n)]
+        for swapped in (False, True):
+            own = Ref("acc", g)
+            other = Ref("w", I)
+            left, right = (other, own) if swapped else (own, other)
+            loop = Loop(
+                n, Assign(Ref("acc", g), OpApply(CONCAT, left, right))
+            )
+            res, ref = run_both(loop, {"acc": [()] * m, "w": words})
+            assert res.method == "ordinary-ir"
+            assert res.env["acc"] == ref["acc"]
+
+    def test_non_distinct_commutative_routes_to_gir(self, rng):
+        n, m = 25, 6
+        g = TableIndex(rng.integers(0, m, size=n))
+        f = TableIndex(rng.integers(0, m, size=n))
+        loop = Loop(
+            n, Assign(Ref("A", g), OpApply(ADD, Ref("A", f), Ref("A", g)))
+        )
+        env = {"A": [int(v) for v in rng.integers(0, 50, size=m)]}
+        res, ref = run_both(loop, env)
+        assert res.method == "gir"
+        assert res.env["A"] == ref["A"]
+
+    def test_non_distinct_non_commutative_falls_back(self, rng):
+        n, m = 10, 3
+        g = TableIndex(rng.integers(0, m, size=n))
+        f = TableIndex(rng.integers(0, m, size=n))
+        loop = Loop(
+            n, Assign(Ref("A", g), OpApply(CONCAT, Ref("A", f), Ref("A", g)))
+        )
+        env = {"A": [(f"s{j}",) for j in range(m)]}
+        res, ref = run_both(loop, env)
+        assert res.fallback
+        assert res.env["A"] == ref["A"]
+
+
+class TestGIRPath:
+    def test_arithmetic_gir(self, rng):
+        n, m = 20, 30
+        perm = rng.permutation(m)[:n]
+        loop = Loop(
+            n,
+            Assign(
+                Ref("A", TableIndex(perm)),
+                BinOp(
+                    "+",
+                    Ref("A", TableIndex(rng.integers(0, m, size=n))),
+                    Ref("A", TableIndex(rng.integers(0, m, size=n))),
+                ),
+            ),
+        )
+        env = {"A": [int(v) for v in rng.integers(0, 100, size=m)]}
+        res, ref = run_both(loop, env)
+        assert res.method == "gir"
+        assert res.env["A"] == ref["A"]
+
+    def test_non_commutative_gir_falls_back_with_reason(self, rng):
+        n, m = 8, 12
+        perm = rng.permutation(m)[:n]
+        loop = Loop(
+            n,
+            Assign(
+                Ref("A", TableIndex(perm)),
+                OpApply(
+                    CONCAT,
+                    Ref("A", TableIndex(rng.integers(0, m, size=n))),
+                    Ref("A", TableIndex(rng.integers(0, m, size=n))),
+                ),
+            ),
+        )
+        env = {"A": [(f"s{j}",) for j in range(m)]}
+        res, ref = run_both(loop, env)
+        assert res.fallback and "commutative" in res.note
+        assert res.env["A"] == ref["A"]
+
+
+class TestHelpers:
+    def test_pick_arith_operator(self):
+        assert pick_arith_operator("+", 1).name == "add"
+        assert pick_arith_operator("+", 1.0).name == "float_add"
+        assert pick_arith_operator("*", np.float64(1.0)).name == "float_mul"
+        with pytest.raises(ValueError):
+            pick_arith_operator("-", 1)
+
+    def test_flip_operator_semantics(self):
+        flipped = flip_operator(CONCAT)
+        assert flipped(("a",), ("b",)) == ("b", "a")
+        assert flipped.associative
+        assert flipped.name == "concat_flipped"
+
+    def test_flip_preserves_power(self):
+        flipped = flip_operator(CONCAT)
+        assert flipped.power(("x",), 3) == ("x", "x", "x")

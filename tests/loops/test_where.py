@@ -1,0 +1,157 @@
+"""Tests for guarded expressions (Where) in the loop front end."""
+
+import numpy as np
+import pytest
+
+from repro.core import IRClass
+from repro.loops import (
+    AffineIndex,
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    Loop,
+    Ref,
+    Where,
+    evaluate_compare,
+    evaluate_expr,
+    evaluate_loop,
+    parallelize,
+    recognize,
+)
+
+I = AffineIndex()
+
+
+class TestAst:
+    def test_compare_validates_operator(self):
+        with pytest.raises(ValueError, match="comparison"):
+            Compare("<>", Const(1), Const(2))
+
+    @pytest.mark.parametrize(
+        "op,expect", [("<", True), ("<=", True), (">", False), (">=", False),
+                      ("==", False), ("!=", True)]
+    )
+    def test_compare_evaluation(self, op, expect):
+        cond = Compare(op, Const(1), Const(2))
+        assert evaluate_compare(cond, 0, {}) is expect
+
+    def test_where_evaluation(self):
+        expr = Where(
+            Compare(">", Ref("s", I), Const(0.0)), Const("pos"), Const("neg")
+        )
+        assert evaluate_expr(expr, 0, {"s": [1.0]}) == "pos"
+        assert evaluate_expr(expr, 0, {"s": [-1.0]}) == "neg"
+
+    def test_where_repr(self):
+        expr = Where(Compare("<", Const(1), Const(2)), Const(3), Const(4))
+        assert "where(" in repr(expr)
+
+
+class TestGuardedRecurrences:
+    def guarded_loop(self, n):
+        # x[i+1] = (a*x[i] + b)  if s[i] > 0.5  else  (x[i] - b)
+        return Loop(
+            n,
+            Assign(
+                Ref("x", AffineIndex(1, 1)),
+                Where(
+                    Compare(">", Ref("s", I), Const(0.5)),
+                    BinOp("+", BinOp("*", Ref("a", I), Ref("x", I)), Ref("b", I)),
+                    BinOp("-", Ref("x", I), Ref("b", I)),
+                ),
+            ),
+        )
+
+    def env(self, rng, n):
+        return {
+            "x": [1.0] * (n + 1),
+            "s": rng.random(n).tolist(),
+            "a": (0.5 * rng.normal(size=n)).tolist(),
+            "b": rng.normal(size=n).tolist(),
+        }
+
+    def test_recognized_as_linear(self, rng):
+        rec = recognize(self.guarded_loop(10))
+        assert rec.ir_class is IRClass.LINEAR
+
+    def test_parallelized_correctly(self, rng):
+        n = 120
+        loop = self.guarded_loop(n)
+        env = self.env(rng, n)
+        res = parallelize(loop, env)
+        assert res.method == "moebius" and not res.fallback
+        assert np.allclose(res.env["x"], evaluate_loop(loop, env)["x"])
+
+    def test_guard_on_variable_falls_back(self):
+        n = 20
+        loop = Loop(
+            n,
+            Assign(
+                Ref("x", AffineIndex(1, 1)),
+                Where(
+                    Compare(">", Ref("x", I), Const(0.0)),
+                    BinOp("*", Ref("x", I), Const(0.5)),
+                    BinOp("+", Ref("x", I), Const(1.0)),
+                ),
+            ),
+        )
+        rec = recognize(loop)
+        assert rec.ir_class is IRClass.UNSUPPORTED
+        assert "guard condition reads" in rec.notes
+        env = {"x": [0.3] * (n + 1)}
+        res = parallelize(loop, env)
+        assert res.fallback
+        assert np.allclose(res.env["x"], evaluate_loop(loop, env)["x"])
+
+    def test_guarded_reduction_chain(self, rng):
+        # q += (w[i] if s[i] > 0 else 0): a guarded scalar reduction
+        n = 100
+        c = AffineIndex(0, 0)
+        loop = Loop(
+            n,
+            Assign(
+                Ref("q", c),
+                BinOp(
+                    "+",
+                    Ref("q", c),
+                    Where(
+                        Compare(">", Ref("s", I), Const(0.0)),
+                        Ref("w", I),
+                        Const(0.0),
+                    ),
+                ),
+            ),
+        )
+        env = {
+            "q": [0.0],
+            "s": rng.normal(size=n).tolist(),
+            "w": rng.normal(size=n).tolist(),
+        }
+        res = parallelize(loop, env)
+        assert res.method == "moebius"
+        assert res.env["q"][0] == pytest.approx(
+            evaluate_loop(loop, env)["q"][0], rel=1e-9
+        )
+
+    def test_guarded_rational_branch(self):
+        # a guard selecting between affine and reciprocal branches:
+        # classified rational, solved via Moebius matrices
+        n = 30
+        loop = Loop(
+            n,
+            Assign(
+                Ref("x", AffineIndex(1, 1)),
+                Where(
+                    Compare("==", Ref("k", I), Const(0)),
+                    BinOp("+", Ref("x", I), Const(1.0)),
+                    BinOp("/", Const(2.0), BinOp("+", Ref("x", I), Const(3.0))),
+                ),
+            ),
+        )
+        rec = recognize(loop)
+        assert rec.ir_class is IRClass.MOEBIUS_RATIONAL
+        env = {"x": [1.0] * (n + 1), "k": [i % 2 for i in range(n)]}
+        res = parallelize(loop, env)
+        assert res.method == "moebius"
+        assert np.allclose(res.env["x"], evaluate_loop(loop, env)["x"])

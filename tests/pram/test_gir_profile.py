@@ -1,0 +1,202 @@
+"""Tests for the GIR cost profile."""
+
+import pytest
+
+from repro.core import GIRSystem, modular_mul, run_gir
+from repro.pram import profile_gir
+
+
+def fib_system(n):
+    return GIRSystem.build(
+        [2, 3] + [1] * n,
+        [i + 2 for i in range(n)],
+        [i + 1 for i in range(n)],
+        [i for i in range(n)],
+        modular_mul(10**9 + 7),
+    )
+
+
+class TestGIRProfile:
+    def test_result_is_the_real_solve(self):
+        sys_ = fib_system(24)
+        result, _profile = profile_gir(sys_)
+        assert result == run_gir(sys_)
+
+    def test_time_decreases_with_processors(self):
+        _, profile = profile_gir(fib_system(64))
+        times = [profile.parallel_time(p) for p in (1, 4, 16, 64, 256)]
+        assert times == sorted(times, reverse=True)
+
+    def test_sequential_flat_and_positive(self):
+        _, profile = profile_gir(fib_system(32))
+        assert profile.sequential_time() == 32 * 9
+
+    def test_gir_needs_many_processors(self):
+        """The honest GIR story: CAP does far more work than the
+        sequential loop, so speedup > 1 needs a large P (the paper's
+        O(n^2)-processor regime)."""
+        _, profile = profile_gir(fib_system(64))
+        assert profile.speedup(1) < 0.1
+        big = profile.max_useful_processors()
+        assert profile.speedup(big) > 1.0
+
+    def test_rejects_bad_processors(self):
+        _, profile = profile_gir(fib_system(8))
+        with pytest.raises(ValueError):
+            profile.parallel_time(0)
+
+    def test_non_distinct_g_profiled_via_renaming(self):
+        op = modular_mul(97)
+        sys_ = GIRSystem.build([2, 3], [0, 0, 1], [1, 1, 0], [0, 1, 1], op)
+        result, profile = profile_gir(sys_)
+        assert result == run_gir(sys_)
+        assert profile.n == sys_.n  # renamed system has one row per iteration
+
+    def test_cap_work_recorded_per_iteration(self):
+        _, profile = profile_gir(fib_system(32))
+        assert len(profile.cap_work_per_iteration) >= 4
+        assert all(w > 0 for w in profile.cap_work_per_iteration)
+
+
+class TestTraceEvalOnPram:
+    """The GIR evaluation stage as an interpreter program must match
+    both the reference evaluator and the analytic profile charges."""
+
+    def _check(self, sys_):
+        import math
+
+        from repro.core.gir import evaluate_trace_powers, trace_powers
+        from repro.pram.instructions import DEFAULT_COST_MODEL
+        from repro.pram.ir_programs import run_trace_eval_on_pram
+
+        tables = trace_powers(sys_)
+        expected = [
+            evaluate_trace_powers(t, sys_.initial, sys_.op)[0] for t in tables
+        ]
+        _, profile = profile_gir(sys_)
+        cm = DEFAULT_COST_MODEL
+        fork = cm.superstep_overhead()
+        for P in (1, 3, 16):
+            vals, metrics = run_trace_eval_on_pram(
+                tables, sys_.initial, sys_.op, processors=P
+            )
+            assert vals == expected
+
+            def step(active, unit):
+                return (
+                    math.ceil(active / P) * (unit + fork) if active else 0
+                )
+
+            predicted = step(
+                profile.power_stage_ops, cm.gir_power(sys_.op.cost)
+            )
+            for a in profile.combine_work_per_level:
+                predicted += step(a, cm.gir_combine(sys_.op.cost))
+            assert metrics.time == predicted, P
+
+    def test_fibonacci_system(self):
+        self._check(fib_system(24))
+
+    def test_random_systems(self):
+        import numpy as np
+
+        from repro.core import GIRSystem
+        from repro.core.operators import modular_add
+
+        rng = np.random.default_rng(3)
+        op = modular_add(97)
+        for _ in range(5):
+            n = int(rng.integers(1, 20))
+            m = n + int(rng.integers(1, 8))
+            sys_ = GIRSystem.build(
+                rng.integers(0, 97, size=m).tolist(),
+                rng.permutation(m)[:n],
+                rng.integers(0, m, size=n),
+                rng.integers(0, m, size=n),
+                op,
+            )
+            self._check(sys_)
+
+    def test_single_factor_traces_need_no_combines(self):
+        from repro.core import GIRSystem
+        from repro.core.operators import modular_add
+        from repro.pram.ir_programs import run_trace_eval_on_pram
+
+        op = modular_add(97)
+        # A[1] = A[0] + A[0]: one trace, one factor (power 2)
+        sys_ = GIRSystem.build([5, 0], [1], [0], [0], op)
+        from repro.core.gir import trace_powers
+
+        tables = trace_powers(sys_)
+        vals, metrics = run_trace_eval_on_pram(tables, sys_.initial, op)
+        assert vals == [10 % 97]
+        assert metrics.supersteps == 1  # powers only, no combine levels
+
+
+class TestFullGIROnPram:
+    """The complete GIR pipeline as PRAM instruction streams."""
+
+    def test_cap_program_matches_reference(self):
+        from repro.core.cap import count_all_paths
+        from repro.core.depgraph import build_dependence_graph
+        from repro.pram.ir_programs import run_cap_on_pram
+
+        sys_ = fib_system(20)
+        graph = build_dependence_graph(sys_)
+        for p in (1, 4, 32):
+            edges, metrics = run_cap_on_pram(graph, processors=p)
+            assert edges == count_all_paths(graph).powers
+            assert metrics.supersteps == count_all_paths(graph).iterations
+
+    def test_full_pipeline_matches_sequential(self):
+        from repro.pram.ir_programs import run_gir_on_pram
+
+        sys_ = fib_system(24)
+        out, metrics = run_gir_on_pram(sys_, processors=8)
+        assert out == run_gir(sys_)
+        assert metrics.time > 0 and metrics.work >= metrics.time
+
+    def test_random_systems_all_processor_counts(self):
+        import numpy as np
+
+        from repro.core import GIRSystem
+        from repro.core.operators import modular_add
+        from repro.pram.ir_programs import run_gir_on_pram
+
+        rng = np.random.default_rng(7)
+        op = modular_add(97)
+        for _ in range(6):
+            n = int(rng.integers(1, 16))
+            m = n + int(rng.integers(1, 6))
+            sys_ = GIRSystem.build(
+                rng.integers(0, 97, size=m).tolist(),
+                rng.permutation(m)[:n],
+                rng.integers(0, m, size=n),
+                rng.integers(0, m, size=n),
+                op,
+            )
+            for p in (1, 3):
+                out, _ = run_gir_on_pram(sys_, processors=p)
+                assert out == run_gir(sys_)
+
+    def test_non_commutative_rejected(self):
+        from repro.core import CONCAT, GIRSystem
+        from repro.core.operators import OperatorError
+        from repro.pram.ir_programs import run_gir_on_pram
+
+        sys_ = GIRSystem.build(
+            [("a",), ("b",), ("c",)], [2], [0], [1], CONCAT
+        )
+        with pytest.raises(OperatorError):
+            run_gir_on_pram(sys_)
+
+    def test_more_processors_not_slower(self):
+        from repro.pram.ir_programs import run_gir_on_pram
+
+        sys_ = fib_system(20)
+        _, m1 = run_gir_on_pram(sys_, processors=1)
+        _, m8 = run_gir_on_pram(sys_, processors=8)
+        _, m64 = run_gir_on_pram(sys_, processors=64)
+        assert m1.time >= m8.time >= m64.time
+        # work is processor-independent
+        assert m1.work == m8.work == m64.work

@@ -1,0 +1,170 @@
+"""Tests for the PRAM IR programs and their instruction accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import CONCAT, OrdinaryIRSystem, run_ordinary
+from repro.core.moebius import Mat2, moebius_ir_operator
+from repro.pram.instructions import DEFAULT_COST_MODEL, CostModel
+from repro.pram.ir_programs import run_ordinary_on_pram, run_sequential_on_pram
+from repro.pram.memory import AccessPolicy, MemoryConflictError
+from repro.pram.vectorized import profile_ordinary, sequential_time
+
+from ..conftest import ordinary_systems
+
+
+def chain(n):
+    return OrdinaryIRSystem.build(
+        [(f"s{j}",) for j in range(n + 1)],
+        list(range(1, n + 1)),
+        list(range(n)),
+        CONCAT,
+    )
+
+
+class TestSequentialProgram:
+    def test_result_matches_reference(self):
+        sys_ = chain(10)
+        out, _metrics = run_sequential_on_pram(sys_)
+        assert out == run_ordinary(sys_)
+
+    def test_time_is_linear(self):
+        sys_ = chain(10)
+        _, metrics = run_sequential_on_pram(sys_)
+        assert metrics.time == sequential_time(10, CONCAT.cost)
+        assert metrics.supersteps == 10
+
+    def test_custom_cost_model(self):
+        cm = CostModel(load=3, store=2, alu=1, branch=1, fork=5)
+        sys_ = chain(4)
+        _, metrics = run_sequential_on_pram(sys_, cost_model=cm)
+        assert metrics.time == 4 * cm.ordinary_seq_iter(CONCAT.cost)
+
+
+class TestParallelProgram:
+    @pytest.mark.parametrize("processors", [1, 2, 3, 8, 64])
+    def test_result_matches_reference(self, processors):
+        sys_ = chain(13)
+        out, _ = run_ordinary_on_pram(sys_, processors=processors)
+        assert out == run_ordinary(sys_)
+
+    @pytest.mark.parametrize("processors", [1, 2, 5, 16])
+    def test_interpreter_time_equals_analytic(self, processors):
+        sys_ = chain(13)
+        _, metrics = run_ordinary_on_pram(sys_, processors=processors)
+        _, profile = profile_ordinary(sys_)
+        assert metrics.time == profile.parallel_time(processors)
+        assert metrics.work == profile.parallel_work()
+
+    @given(ordinary_systems(max_n=14, max_extra=6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_interpreter_equals_analytic(self, sys_):
+        _, profile = profile_ordinary(sys_)
+        for processors in (1, 3, 8):
+            out, metrics = run_ordinary_on_pram(sys_, processors=processors)
+            assert out == run_ordinary(sys_)
+            assert metrics.time == profile.parallel_time(processors)
+
+    def test_erew_detects_shared_predecessors(self):
+        # three chains share the same predecessor cell -> concurrent
+        # reads in the links/concat steps
+        sys_ = OrdinaryIRSystem.build(
+            [(c,) for c in "abcd"], [1, 2, 3], [0, 0, 0], CONCAT
+        )
+        with pytest.raises(MemoryConflictError):
+            run_ordinary_on_pram(sys_, processors=4, policy=AccessPolicy.EREW)
+
+    def test_erew_fine_when_truly_disjoint(self):
+        # operand cells are disjoint from assigned cells and from each
+        # other: every location is touched by exactly one processor
+        sys_ = OrdinaryIRSystem.build(
+            [(c,) for c in "abcdef"], [0, 1, 2], [3, 4, 5], CONCAT
+        )
+        out, _ = run_ordinary_on_pram(sys_, processors=8, policy=AccessPolicy.EREW)
+        assert out == run_ordinary(sys_)
+
+    def test_chains_are_crew_not_erew(self):
+        # even a plain chain shares cells between an owner and its
+        # successor's f-operand: EREW rejects, CREW accepts
+        sys_ = chain(6)
+        with pytest.raises(MemoryConflictError):
+            run_ordinary_on_pram(sys_, processors=8, policy=AccessPolicy.EREW)
+        out, _ = run_ordinary_on_pram(sys_, processors=8, policy=AccessPolicy.CREW)
+        assert out == run_ordinary(sys_)
+
+    def test_f_initial_array_used_at_terminals(self):
+        sys_ = OrdinaryIRSystem.build(
+            [("a",), ("b",), ("c",)], [1, 2], [0, 1], CONCAT
+        )
+        alt = [("A",), ("B",), ("C",)]
+        out, _ = run_ordinary_on_pram(sys_, processors=2, f_initial=alt)
+        assert out == [("a",), ("A", "b"), ("A", "b", "c")]
+
+    def test_moebius_matrices_on_pram(self):
+        # run the matrix monoid through the interpreter end to end
+        op = moebius_ir_operator()
+        coeff = [Mat2.affine(2, 1), Mat2.affine(3, 0), Mat2.affine(1, 5)]
+        const = [Mat2.constant(v) for v in (7, 8, 9)]
+        sys_ = OrdinaryIRSystem.build(coeff, [1, 2], [0, 1], op)
+        out, _ = run_ordinary_on_pram(sys_, processors=2, f_initial=const)
+        # X1 = 3*7 + 0 = 21 ; X2 = 1*21 + 5 = 26
+        assert out[1].constant_value() == 21
+        assert out[2].constant_value() == 26
+
+
+class TestVectorizedProfile:
+    def test_hand_computed_small_case(self):
+        cm = DEFAULT_COST_MODEL
+        sys_ = chain(4)  # single chain of 4, rounds = 2
+        _, profile = profile_ordinary(sys_)
+        assert profile.rounds == 2
+        assert profile.active_per_round == [3, 2]
+        p1 = profile.parallel_time(1)
+        expect = (
+            4 * (cm.ordinary_init_writer() + cm.fork)
+            + 4 * (cm.ordinary_init_links(1) + cm.fork)
+            + 3 * (cm.ordinary_concat(1) + cm.fork)
+            + 2 * (cm.ordinary_concat(1) + cm.fork)
+        )
+        assert p1 == expect
+
+    def test_parallel_time_decreases_with_processors(self):
+        sys_ = chain(200)
+        _, profile = profile_ordinary(sys_)
+        times = [profile.parallel_time(p) for p in (1, 2, 4, 8, 16)]
+        assert times == sorted(times, reverse=True)
+
+    def test_work_independent_of_processors(self):
+        sys_ = chain(50)
+        _, profile = profile_ordinary(sys_)
+        assert profile.parallel_work() == profile.parallel_work()
+
+    def test_speedup_and_crossover(self):
+        sys_ = chain(4096)
+        _, profile = profile_ordinary(sys_)
+        cross = profile.crossover_processors()
+        assert cross is not None
+        assert profile.speedup(cross) > 1.0
+        assert profile.speedup(max(1, cross // 2)) <= 1.0
+
+    def test_crossover_none_for_tiny_limit(self):
+        sys_ = chain(4096)
+        _, profile = profile_ordinary(sys_)
+        assert profile.crossover_processors(limit=2) is None
+
+    def test_sweep_rows(self):
+        sys_ = chain(64)
+        _, profile = profile_ordinary(sys_)
+        rows = profile.sweep([1, 2, 4])
+        assert [r["processors"] for r in rows] == [1, 2, 4]
+        assert all(r["sequential_time"] == profile.sequential_time() for r in rows)
+        assert rows[0]["speedup"] == pytest.approx(
+            profile.sequential_time() / rows[0]["parallel_time"]
+        )
+
+    def test_rejects_bad_processors(self):
+        sys_ = chain(4)
+        _, profile = profile_ordinary(sys_)
+        with pytest.raises(ValueError):
+            profile.parallel_time(0)

@@ -1,0 +1,146 @@
+"""Unit tests for the PRAM interpreter's scheduling and accounting."""
+
+import pytest
+
+from repro.pram.instructions import CostModel
+from repro.pram.machine import PRAM
+from repro.pram.memory import AccessPolicy
+from repro.pram.scheduler import make_bursts
+
+
+def charge(k):
+    """A thunk charging exactly k ALU instructions."""
+
+    def thunk(ctx):
+        ctx.alu(k)
+
+    return thunk
+
+
+class TestSuperstepAccounting:
+    def test_burst_time_is_max_within_burst(self):
+        machine = PRAM(processors=2, cost_model=CostModel(fork=0))
+        machine.superstep([(0, charge(3)), (1, charge(5))])
+        assert machine.metrics.time == 5
+        assert machine.metrics.work == 8
+
+    def test_multiple_bursts(self):
+        machine = PRAM(processors=2, cost_model=CostModel(fork=0))
+        machine.superstep(
+            [(0, charge(1)), (1, charge(2)), (2, charge(3)), (3, charge(4))]
+        )
+        # bursts: (0,1) max 2; (2,3) max 4
+        assert machine.metrics.steps[0].bursts == 2
+        assert machine.metrics.time == 6
+
+    def test_fork_overhead_charged_per_burst(self):
+        machine = PRAM(processors=1, cost_model=CostModel(fork=2))
+        machine.superstep([(0, charge(1)), (1, charge(1))])
+        assert machine.metrics.time == (1 + 2) * 2
+
+    def test_overhead_suppressed(self):
+        machine = PRAM(processors=1, cost_model=CostModel(fork=2))
+        machine.superstep([(0, charge(1))], charge_overhead=False)
+        assert machine.metrics.time == 1
+
+    def test_empty_superstep_is_noop(self):
+        machine = PRAM(processors=4)
+        machine.superstep([])
+        assert machine.metrics.supersteps == 0
+
+    def test_rejects_bad_processors(self):
+        with pytest.raises(ValueError):
+            PRAM(processors=0)
+
+
+class TestSynchrony:
+    def test_writes_commit_at_barrier(self):
+        machine = PRAM(processors=1)
+        machine.memory.alloc("A", [1, 2])
+
+        def swap0(ctx):
+            ctx.write("A", 0, ctx.read("A", 1))
+
+        def swap1(ctx):
+            ctx.write("A", 1, ctx.read("A", 0))
+
+        # even though processor 0's thunk runs first (P=1 bursts),
+        # both read the pre-step state: a true synchronous swap
+        machine.superstep([(0, swap0), (1, swap1)])
+        assert machine.memory.snapshot("A") == [2, 1]
+
+    def test_instruction_charges_per_primitive(self):
+        cm = CostModel(load=2, store=3, alu=5, branch=7, fork=0)
+        machine = PRAM(processors=1, cost_model=cm)
+        machine.memory.alloc("A", [0])
+
+        def thunk(ctx):
+            v = ctx.read("A", 0)  # 2
+            ctx.alu()  # 5
+            ctx.branch()  # 7
+            ctx.write("A", 0, ctx.compute(lambda x: x + 1, v, cost=11))  # 11 + 3
+
+        machine.superstep([(0, thunk)])
+        assert machine.metrics.time == 2 + 5 + 7 + 11 + 3
+
+    def test_metrics_describe(self):
+        machine = PRAM(processors=2)
+        machine.superstep([(0, charge(1))])
+        text = machine.metrics.describe()
+        assert "P=2" in text and "time=" in text
+
+
+class TestBursts:
+    def test_make_bursts_splits(self):
+        assert make_bursts([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+
+    def test_make_bursts_single(self):
+        assert make_bursts([1, 2], 10) == [[1, 2]]
+
+    def test_make_bursts_rejects_zero(self):
+        with pytest.raises(ValueError):
+            make_bursts([1], 0)
+
+
+class TestEventTrace:
+    def test_disabled_by_default(self):
+        machine = PRAM(processors=1)
+        machine.memory.alloc("A", [1])
+        machine.superstep([(0, lambda ctx: ctx.read("A", 0))])
+        assert machine.trace == []
+        assert "disabled" in machine.render_trace()
+
+    def test_records_reads_writes_computes(self):
+        machine = PRAM(processors=2, record_trace=True)
+        machine.memory.alloc("A", [1, 2])
+
+        def thunk(ctx):
+            v = ctx.read("A", 0)
+            ctx.write("A", 1, ctx.compute(lambda x: x + 1, v))
+
+        machine.superstep([(0, thunk)])
+        assert machine.trace[0][0] == (0, "R", "A", 0)
+        kinds = [e[1] for e in machine.trace[0]]
+        assert kinds == ["R", "C", "W"]
+
+    def test_one_event_list_per_superstep(self):
+        machine = PRAM(record_trace=True)
+        machine.memory.alloc("A", [0])
+        for _ in range(3):
+            machine.superstep([(0, lambda ctx: ctx.read("A", 0))])
+        assert len(machine.trace) == 3
+
+    def test_render_truncates(self):
+        machine = PRAM(record_trace=True)
+        machine.memory.alloc("A", [0])
+        machine.superstep(
+            [(p, lambda ctx: ctx.read("A", 0)) for p in range(10)]
+        )
+        text = machine.render_trace(max_events=3)
+        assert "truncated" in text
+
+    def test_render_mentions_arrays(self):
+        machine = PRAM(record_trace=True)
+        machine.memory.alloc("A", [0])
+        machine.superstep([(0, lambda ctx: ctx.write("A", 0, 5))])
+        assert "write A[0]" in machine.render_trace()

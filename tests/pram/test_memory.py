@@ -1,0 +1,121 @@
+"""Unit tests for shared memory policies and synchronous commit."""
+
+import pytest
+
+from repro.pram.memory import AccessPolicy, MemoryConflictError, SharedMemory
+
+
+def mem(policy):
+    m = SharedMemory(policy=policy)
+    m.alloc("A", [10, 20, 30])
+    return m
+
+
+class TestBasics:
+    def test_alloc_copies(self):
+        values = [1, 2]
+        m = SharedMemory()
+        m.alloc("A", values)
+        values[0] = 99
+        assert m.peek("A", 0) == 1
+
+    def test_double_alloc_rejected(self):
+        m = mem(AccessPolicy.CREW)
+        with pytest.raises(ValueError, match="already allocated"):
+            m.alloc("A", [1])
+
+    def test_reads_see_prestep_state(self):
+        m = mem(AccessPolicy.CREW)
+        m.write(0, "A", 0, 99)
+        assert m.read(1, "A", 0) == 10  # staged write not visible
+        m.commit()
+        assert m.peek("A", 0) == 99
+
+    def test_snapshot_is_a_copy(self):
+        m = mem(AccessPolicy.CREW)
+        snap = m.snapshot("A")
+        snap[0] = -1
+        assert m.peek("A", 0) == 10
+
+
+class TestEREW:
+    def test_concurrent_read_rejected(self):
+        m = mem(AccessPolicy.EREW)
+        m.read(0, "A", 1)
+        m.read(1, "A", 1)
+        with pytest.raises(MemoryConflictError, match="EREW violation"):
+            m.commit()
+
+    def test_same_processor_rereads_ok(self):
+        m = mem(AccessPolicy.EREW)
+        m.read(0, "A", 1)
+        m.read(0, "A", 1)
+        m.commit()
+
+    def test_concurrent_write_rejected(self):
+        m = mem(AccessPolicy.EREW)
+        m.write(0, "A", 2, 1)
+        m.write(1, "A", 2, 1)
+        with pytest.raises(MemoryConflictError):
+            m.commit()
+
+
+class TestCREW:
+    def test_concurrent_reads_allowed(self):
+        m = mem(AccessPolicy.CREW)
+        m.read(0, "A", 1)
+        m.read(1, "A", 1)
+        m.commit()
+
+    def test_concurrent_writes_rejected(self):
+        m = mem(AccessPolicy.CREW)
+        m.write(0, "A", 0, 1)
+        m.write(1, "A", 0, 2)
+        with pytest.raises(MemoryConflictError, match="CREW violation"):
+            m.commit()
+
+    def test_distinct_cells_fine(self):
+        m = mem(AccessPolicy.CREW)
+        m.write(0, "A", 0, 1)
+        m.write(1, "A", 1, 2)
+        m.commit()
+        assert m.snapshot("A") == [1, 2, 30]
+
+
+class TestCRCW:
+    def test_common_same_value_ok(self):
+        m = mem(AccessPolicy.CRCW_COMMON)
+        m.write(0, "A", 0, 7)
+        m.write(1, "A", 0, 7)
+        m.commit()
+        assert m.peek("A", 0) == 7
+
+    def test_common_divergent_rejected(self):
+        m = mem(AccessPolicy.CRCW_COMMON)
+        m.write(0, "A", 0, 7)
+        m.write(1, "A", 0, 8)
+        with pytest.raises(MemoryConflictError, match="divergent"):
+            m.commit()
+
+    def test_arbitrary_takes_first_issued(self):
+        m = mem(AccessPolicy.CRCW_ARBITRARY)
+        m.write(3, "A", 0, 33)
+        m.write(1, "A", 0, 11)
+        m.commit()
+        assert m.peek("A", 0) == 33
+
+    def test_priority_lowest_processor_wins(self):
+        m = mem(AccessPolicy.CRCW_PRIORITY)
+        m.write(3, "A", 0, 33)
+        m.write(1, "A", 0, 11)
+        m.write(2, "A", 0, 22)
+        m.commit()
+        assert m.peek("A", 0) == 11
+
+
+class TestPolicyFlags:
+    def test_flags(self):
+        assert not AccessPolicy.EREW.allows_concurrent_reads
+        assert AccessPolicy.CREW.allows_concurrent_reads
+        assert not AccessPolicy.CREW.allows_concurrent_writes
+        assert AccessPolicy.CRCW_PRIORITY.allows_concurrent_writes

@@ -1,0 +1,135 @@
+"""Tests for the generic PRAM primitives and their closed-form costs."""
+
+import numpy as np
+import pytest
+
+from repro.pram.primitives import (
+    map_time,
+    reduce_time,
+    run_map_on_pram,
+    run_reduce_on_pram,
+    run_scan_on_pram,
+    scan_time,
+)
+
+
+class TestMap:
+    def test_result(self):
+        out, _ = run_map_on_pram([1, 2, 3], lambda x: x * 10, processors=2)
+        assert out == [10, 20, 30]
+
+    @pytest.mark.parametrize("p", [1, 2, 5, 16])
+    def test_time_matches_closed_form(self, p):
+        n = 13
+        _, metrics = run_map_on_pram(list(range(n)), lambda x: x, processors=p)
+        assert metrics.time == map_time(n, p)
+
+    def test_empty(self):
+        out, metrics = run_map_on_pram([], lambda x: x)
+        assert out == [] and metrics.time == 0
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 9, 33])
+    def test_result_any_size(self, n, rng):
+        vals = rng.integers(-100, 100, size=n).tolist()
+        out, _ = run_reduce_on_pram(vals, lambda a, b: a + b, processors=4)
+        assert out == sum(vals)
+
+    def test_non_commutative_order(self):
+        vals = [(c,) for c in "abcdefg"]
+        out, _ = run_reduce_on_pram(vals, lambda a, b: a + b, processors=8)
+        assert out == tuple("abcdefg")
+
+    @pytest.mark.parametrize("p", [1, 3, 8])
+    def test_time_matches_closed_form(self, p):
+        n = 21
+        _, metrics = run_reduce_on_pram(
+            list(range(n)), lambda a, b: a + b, processors=p
+        )
+        assert metrics.time == reduce_time(n, p)
+
+    def test_logarithmic_supersteps(self):
+        _, metrics = run_reduce_on_pram(
+            list(range(64)), lambda a, b: a + b, processors=64
+        )
+        assert metrics.supersteps == 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            run_reduce_on_pram([], lambda a, b: a + b)
+
+
+class TestScan:
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 16, 31])
+    def test_result_matches_cumsum(self, n, rng):
+        vals = rng.integers(-9, 9, size=n).tolist()
+        out, _ = run_scan_on_pram(vals, lambda a, b: a + b, processors=4)
+        assert out == np.cumsum(vals).tolist() if n else out == []
+
+    def test_non_commutative(self):
+        vals = [(c,) for c in "abcd"]
+        out, _ = run_scan_on_pram(vals, lambda a, b: a + b, processors=4)
+        assert out[-1] == ("a", "b", "c", "d")
+
+    @pytest.mark.parametrize("p", [1, 2, 7])
+    def test_time_matches_closed_form(self, p):
+        n = 19
+        _, metrics = run_scan_on_pram(
+            list(range(n)), lambda a, b: a + b, processors=p
+        )
+        assert metrics.time == scan_time(n, p)
+
+    def test_synchronous_double_buffering(self):
+        # the Kogge-Stone update reads pre-step values: with eager
+        # (non-synchronous) updates the result would differ
+        vals = [1] * 8
+        out, _ = run_scan_on_pram(vals, lambda a, b: a + b, processors=8)
+        assert out == [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+class TestCRCWMin:
+    def test_matches_python_min(self, rng):
+        from repro.pram.primitives import run_crcw_min_on_pram
+
+        for n in (1, 2, 5, 12, 20):
+            vals = rng.integers(-50, 50, size=n).tolist()
+            got, metrics = run_crcw_min_on_pram(vals)
+            assert got == min(vals)
+            # constant depth: 2 supersteps (1 when there are no pairs)
+            assert metrics.supersteps == (2 if n > 1 else 1)
+
+    def test_first_minimum_on_ties(self):
+        from repro.pram.primitives import run_crcw_min_on_pram
+
+        got, _ = run_crcw_min_on_pram([3, 1, 1, 2])
+        assert got == 1
+
+    def test_bounded_processors_still_correct(self):
+        from repro.pram.primitives import run_crcw_min_on_pram
+
+        got, metrics = run_crcw_min_on_pram(list(range(10, 0, -1)), processors=3)
+        assert got == 1
+        assert metrics.bursts > 2  # n^2 virtual procs over 3 physical
+
+    def test_empty_rejected(self):
+        from repro.pram.primitives import run_crcw_min_on_pram
+
+        with pytest.raises(ValueError):
+            run_crcw_min_on_pram([])
+
+    def test_requires_common_policy_semantics(self):
+        """The algorithm's concurrent 'loser' writes all carry the same
+        value: it must run cleanly under CRCW-common (a CREW machine
+        would reject it)."""
+        from repro.pram.machine import PRAM
+        from repro.pram.memory import AccessPolicy, MemoryConflictError
+
+        machine = PRAM(processors=4, policy=AccessPolicy.CREW)
+        machine.memory.alloc("loser", [False])
+
+        def mark(ctx):
+            ctx.write("loser", 0, True)
+
+        with pytest.raises(MemoryConflictError):
+            machine.superstep([(0, mark), (1, mark)])

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+
+    def test_census(self, capsys):
+        assert main(["census", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "tri-diagonal" in out and "totals:" in out
+
+    def test_fig3_small(self, capsys):
+        assert main(["fig3", "--n", "256", "--max-p", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel_IR" in out and "crossover" in out
+
+    def test_scan_add(self, capsys):
+        assert main(["scan", "1", "2", "3"]) == 0
+        assert capsys.readouterr().out.strip() == "1 3 6"
+
+    def test_scan_max(self, capsys):
+        assert main(["scan", "3", "1", "5", "--op", "max"]) == 0
+        assert capsys.readouterr().out.strip() == "3 3 5"
+
+    @pytest.mark.parametrize("demo", ["chain", "fibonacci", "scatter"])
+    def test_explain(self, demo, capsys):
+        assert main(["explain", "--demo", demo, "--n", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "system" in out
+
+
+class TestSolveCommand:
+    def test_solve_ordinary_from_file(self, tmp_path, capsys):
+        from repro.core import CONCAT, OrdinaryIRSystem
+        from repro.core.serialize import dump_system
+
+        path = str(tmp_path / "system.json")
+        dump_system(
+            OrdinaryIRSystem.build(
+                [("a",), ("b",), ("c",)], [1, 2], [0, 1], CONCAT
+            ),
+            path,
+        )
+        assert main(["solve", path, "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "A[2] = ('a', 'b', 'c')" in captured.out
+        assert "stats" in captured.err
+
+    def test_solve_gir_from_file(self, tmp_path, capsys):
+        from repro.core import GIRSystem, modular_mul
+        from repro.core.serialize import dump_system
+
+        path = str(tmp_path / "gir.json")
+        dump_system(
+            GIRSystem.build(
+                [2, 3, 1, 1], [2, 3], [1, 2], [0, 1], modular_mul(97)
+            ),
+            path,
+        )
+        assert main(["solve", path]) == 0
+        out = capsys.readouterr().out
+        assert "A[3] = 18" in out  # 2*3=6, 6*3=18 mod 97
