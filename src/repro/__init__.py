@@ -23,10 +23,11 @@ Quick start::
 
 Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.pram`
 (simulator), :mod:`repro.loops` (front end), :mod:`repro.livermore`
-(benchmark suite), :mod:`repro.analysis` (models and reports).
+(benchmark suite), :mod:`repro.analysis` (models and reports),
+:mod:`repro.obs` (tracing + metrics; see ``docs/OBSERVABILITY.md``).
 """
 
-from . import analysis, core, livermore, loops, pram
+from . import analysis, core, livermore, loops, obs, pram
 from .core import (
     ADD,
     CONCAT,

@@ -7,7 +7,16 @@ Small, dependency-free front door to the reproduction:
 * ``explain`` -- diagnostics for a built-in demo system (``--demo``);
 * ``scan``    -- prefix-scan a list of numbers with a chosen operator;
 * ``solve``   -- solve an IR system stored as JSON (repro.core.serialize);
-* ``version`` -- package version.
+* ``trace``   -- run any other command with observation enabled;
+* ``version`` -- package version (and the NumPy it runs on).
+
+Observability (see ``docs/OBSERVABILITY.md``): ``solve``, ``fig3`` and
+``census`` accept ``--trace-out FILE`` (Chrome-trace-format JSON,
+loadable in Perfetto / ``chrome://tracing``) and ``--metrics-json
+FILE`` (the metric-series snapshot); ``repro trace <cmd> ...`` wraps
+*any* command, additionally offering ``--jsonl`` for the validated
+event log and a terminal tree summary.  ``solve`` and ``census`` offer
+``--json`` for machine-readable results.
 
 The heavy artifacts live in ``benchmarks/``; the CLI wraps the common
 interactive entry points.
@@ -16,10 +25,27 @@ interactive entry points.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
+import os
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Chrome-trace-format JSON of the run "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        help="write the metric-series snapshot as JSON",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,12 +64,17 @@ def build_parser() -> argparse.ArgumentParser:
         "census", help="Livermore recurrence census (paper section 1)"
     )
     census.add_argument("--n", type=int, default=32, help="model size")
+    census.add_argument(
+        "--json", action="store_true", help="machine-readable census"
+    )
+    _add_obs_flags(census)
 
     fig3 = sub.add_parser("fig3", help="Fig-3 processor sweep")
     fig3.add_argument("--n", type=int, default=50_000, help="problem size")
     fig3.add_argument(
         "--max-p", type=int, default=4096, help="largest processor count"
     )
+    _add_obs_flags(fig3)
 
     explain = sub.add_parser(
         "explain", help="diagnostics for a demo IR system"
@@ -70,21 +101,73 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--stats", action="store_true", help="also print solver statistics"
     )
+    solve.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result (cells, stats, agreement) as JSON",
+    )
+    _add_obs_flags(solve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run another repro command with tracing + metrics enabled",
+        description=(
+            "Wrapper enabling repro.obs around any other command: "
+            "repro trace [--out t.json] [--jsonl t.jsonl] solve sys.json"
+        ),
+    )
+    trace.add_argument(
+        "--out", metavar="FILE", help="write Chrome-trace-format JSON"
+    )
+    trace.add_argument(
+        "--jsonl", metavar="FILE", help="write the JSONL event log"
+    )
+    trace.add_argument(
+        "--metrics-json", metavar="FILE", help="write the metrics snapshot"
+    )
+    trace.add_argument(
+        "--no-summary",
+        action="store_true",
+        help="suppress the terminal span-tree summary",
+    )
+    trace.add_argument(
+        "cmd",
+        nargs=argparse.REMAINDER,
+        metavar="command ...",
+        help="the repro command to run traced",
+    )
 
     return parser
 
 
 def _cmd_version() -> int:
+    import numpy
+
     from . import __version__
 
-    print(f"repro {__version__}")
+    print(f"repro {__version__} (numpy {numpy.__version__})")
     return 0
 
 
-def _cmd_census(n: int) -> int:
+def _cmd_census(n: int, as_json: bool) -> int:
     from .livermore.classify import census, census_table
 
-    print(census_table(census(n=n)))
+    entries = census(n=n)
+    if as_json:
+        payload = [
+            {
+                "kernel": e.number,
+                "name": e.name,
+                "group": e.group,
+                "ir_class": e.ir_class.value if e.ir_class else None,
+                "modeled": e.modeled,
+                "basis": e.basis,
+            }
+            for e in entries
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        print(census_table(entries))
     return 0
 
 
@@ -160,7 +243,15 @@ def _cmd_scan(values: List[float], op_name: str) -> int:
     return 0
 
 
-def _cmd_solve(path: str, show_stats: bool) -> int:
+def _stats_dict(stats: object) -> Optional[dict]:
+    import dataclasses
+
+    if stats is None:
+        return None
+    return dataclasses.asdict(stats)  # type: ignore[call-overload]
+
+
+def _cmd_solve(path: str, show_stats: bool, as_json: bool) -> int:
     from .core import GIRSystem, run_gir, run_ordinary, solve_gir, solve_ordinary_numpy
     from .core.serialize import load_system
 
@@ -172,31 +263,117 @@ def _cmd_solve(path: str, show_stats: bool) -> int:
         result, stats = solve_ordinary_numpy(system, collect_stats=True)
         reference = run_ordinary(system)
     matches = result == reference
-    for cell, value in enumerate(result):
-        print(f"A[{cell}] = {value}")
-    if show_stats and stats is not None:
-        print(f"# stats: {stats}", file=sys.stderr)
-    if not matches:
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "cells": result,
+                    "matches_sequential": matches,
+                    "stats": _stats_dict(stats),
+                },
+                default=repr,
+                indent=2,
+            )
+        )
+    else:
+        for cell, value in enumerate(result):
+            print(f"A[{cell}] = {value}")
+        if show_stats and stats is not None:
+            print(f"# stats: {stats}", file=sys.stderr)
+    if not matches and not as_json:
         print("# WARNING: parallel result differs from sequential "
               "(floating-point reassociation?)", file=sys.stderr)
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _check_writable(*paths: Optional[str]) -> Optional[str]:
+    """Return an error message if any output path's directory is
+    missing -- checked up front so a typo fails before the work runs."""
+    for path in paths:
+        if not path:
+            continue
+        parent = os.path.dirname(path) or "."
+        if not os.path.isdir(parent):
+            return f"error: output directory does not exist: {parent}"
+    return None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from . import obs
+
+    inner = list(args.cmd)
+    if inner and inner[0] == "--":
+        inner = inner[1:]
+    if not inner:
+        print("trace: missing command to run", file=sys.stderr)
+        return 2
+    if inner[0] == "trace":
+        print("trace: cannot nest trace wrappers", file=sys.stderr)
+        return 2
+    error = _check_writable(args.out, args.jsonl, args.metrics_json)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    inner_args = build_parser().parse_args(inner)
+    with obs.observed() as (tracer, registry):
+        code = _dispatch(inner_args)
+        if args.out:
+            obs.write_chrome_trace(args.out, tracer, registry)
+        if args.jsonl:
+            obs.write_jsonl(args.jsonl, tracer, registry)
+        if args.metrics_json:
+            with open(args.metrics_json, "w", encoding="utf-8") as handle:
+                json.dump(registry.snapshot(), handle, indent=2)
+        if not args.no_summary:
+            print(obs.tree_summary(tracer, registry), file=sys.stderr)
+    return code
+
+
+@contextlib.contextmanager
+def _observed_exports(args: argparse.Namespace) -> Iterator[None]:
+    """Enable observation when ``--trace-out``/``--metrics-json`` were
+    passed, and write the requested files on success."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_json = getattr(args, "metrics_json", None)
+    if not trace_out and not metrics_json:
+        yield
+        return
+    error = _check_writable(trace_out, metrics_json)
+    if error:
+        print(error, file=sys.stderr)
+        raise SystemExit(2)
+    from . import obs
+
+    with obs.observed() as (tracer, registry):
+        yield
+        if trace_out:
+            obs.write_chrome_trace(trace_out, tracer, registry)
+        if metrics_json:
+            with open(metrics_json, "w", encoding="utf-8") as handle:
+                json.dump(registry.snapshot(), handle, indent=2)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "version":
         return _cmd_version()
-    if args.command == "census":
-        return _cmd_census(args.n)
-    if args.command == "fig3":
-        return _cmd_fig3(args.n, args.max_p)
-    if args.command == "explain":
-        return _cmd_explain(args.demo, args.n)
-    if args.command == "scan":
-        return _cmd_scan(args.values, args.op)
-    if args.command == "solve":
-        return _cmd_solve(args.path, args.stats)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    with _observed_exports(args):
+        if args.command == "census":
+            return _cmd_census(args.n, args.json)
+        if args.command == "fig3":
+            return _cmd_fig3(args.n, args.max_p)
+        if args.command == "explain":
+            return _cmd_explain(args.demo, args.n)
+        if args.command == "scan":
+            return _cmd_scan(args.values, args.op)
+        if args.command == "solve":
+            return _cmd_solve(args.path, args.stats, args.json)
     raise AssertionError(args.command)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    return _dispatch(build_parser().parse_args(argv))
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from ..obs import get_registry, get_tracer, maybe_span
 from .depgraph import DependenceGraph
 
 __all__ = [
@@ -115,34 +116,61 @@ def count_all_paths(
     ``max_iterations`` is a safety valve for tests; the algorithm
     provably converges within ``ceil(log2(graph.depth()))`` iterations.
     """
-    edges = _initial_edges(graph)
-    iterations = 0
-    total_work = 0
-    per_iteration: List[int] = []
-    while True:
-        if all(all(v >= graph.n for v in e) for e in edges):
-            break
-        if max_iterations is not None and iterations >= max_iterations:
-            break
-        edges, work, _converged = _doubling_step(edges, graph)
-        total_work += work
-        per_iteration.append(work)
-        iterations += 1
-    return CAPResult(
-        powers=edges,
-        iterations=iterations,
-        edge_work=total_work,
-        work_per_iteration=per_iteration,
-    )
+    tracer = get_tracer()
+    registry = get_registry()
+    with maybe_span(tracer, "cap.count_all_paths", n=graph.n) as root:
+        edges = _initial_edges(graph)
+        iterations = 0
+        total_work = 0
+        per_iteration: List[int] = []
+        while True:
+            if all(all(v >= graph.n for v in e) for e in edges):
+                break
+            if max_iterations is not None and iterations >= max_iterations:
+                break
+            with maybe_span(
+                tracer, "cap.iteration", iteration=iterations
+            ) as isp:
+                edges, work, _converged = _doubling_step(edges, graph)
+                total_work += work
+                per_iteration.append(work)
+                iterations += 1
+                if isp is not None:
+                    isp.set_attribute("compositions", work)
+            if registry is not None:
+                live = sum(len(e) for e in edges)
+                registry.counter("cap.iterations").inc()
+                registry.counter("cap.edge_work").inc(work)
+                registry.gauge("cap.edges_live").set(live)
+        if root is not None:
+            root.set_attribute("iterations", iterations)
+            root.set_attribute("edge_work", total_work)
+        return CAPResult(
+            powers=edges,
+            iterations=iterations,
+            edge_work=total_work,
+            work_per_iteration=per_iteration,
+        )
 
 
 def cap_iterations(graph: DependenceGraph) -> Iterator[EdgeSet]:
     """Yield the edge set before the first iteration and after every
     subsequent one, until convergence -- the Fig-9 storyboard."""
+    tracer = get_tracer()
+    registry = get_registry()
     edges = _initial_edges(graph)
     yield [dict(e) for e in edges]
+    iteration = 0
     while not all(all(v >= graph.n for v in e) for e in edges):
-        edges, _work, _conv = _doubling_step(edges, graph)
+        with maybe_span(tracer, "cap.iteration", iteration=iteration) as isp:
+            edges, work, _conv = _doubling_step(edges, graph)
+            if isp is not None:
+                isp.set_attribute("compositions", work)
+        if registry is not None:
+            registry.counter("cap.iterations").inc()
+            registry.counter("cap.edge_work").inc(work)
+            registry.gauge("cap.edges_live").set(sum(len(e) for e in edges))
+        iteration += 1
         yield [dict(e) for e in edges]
 
 

@@ -34,6 +34,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs import get_registry, get_tracer, maybe_span
 from .cap import CAPResult, count_all_paths
 from .depgraph import DependenceGraph, build_dependence_graph
 from .equations import GIRSystem, OrdinaryIRSystem, normalize_non_distinct
@@ -174,40 +175,61 @@ def solve_gir(
 
     system.op.require_commutative()
 
-    renamed = False
-    work_system = system
-    projector = None
-    if not system.g_is_distinct():
-        if not allow_rename:
-            raise ValueError(
-                "system has non-distinct g; pass allow_rename=True or "
-                "normalize explicitly"
-            )
-        norm = normalize_non_distinct(system)
-        work_system = norm.system
-        projector = norm
-        renamed = True
+    tracer = get_tracer()
+    registry = get_registry()
+    with maybe_span(tracer, "solver.gir", n=system.n) as root:
+        renamed = False
+        work_system = system
+        projector = None
+        if not system.g_is_distinct():
+            if not allow_rename:
+                raise ValueError(
+                    "system has non-distinct g; pass allow_rename=True or "
+                    "normalize explicitly"
+                )
+            with maybe_span(tracer, "gir.normalize"):
+                norm = normalize_non_distinct(system)
+            work_system = norm.system
+            projector = norm
+            renamed = True
 
-    graph = build_dependence_graph(work_system)
-    cap: CAPResult = count_all_paths(graph)
+        with maybe_span(tracer, "gir.build_graph") as gsp:
+            graph = build_dependence_graph(work_system)
+            if gsp is not None:
+                gsp.set_attribute("edges", graph.edge_count())
+                gsp.set_attribute("depth", graph.depth())
+        with maybe_span(tracer, "gir.cap"):
+            cap: CAPResult = count_all_paths(graph)
 
-    out = list(work_system.initial)
-    power_ops = 0
-    combine_ops = 0
-    depth = 0
-    for i in range(work_system.n):
-        table = cap.powers_by_cell(graph, i)
-        value, p_ops, c_ops = evaluate_trace_powers(
-            table, work_system.initial, work_system.op
-        )
-        out[int(work_system.g[i])] = value
-        power_ops += p_ops
-        combine_ops += c_ops
-        if table:
-            depth = max(depth, math.ceil(math.log2(len(table))) if len(table) > 1 else 0)
+        with maybe_span(tracer, "gir.evaluate") as esp:
+            out = list(work_system.initial)
+            power_ops = 0
+            combine_ops = 0
+            depth = 0
+            for i in range(work_system.n):
+                table = cap.powers_by_cell(graph, i)
+                value, p_ops, c_ops = evaluate_trace_powers(
+                    table, work_system.initial, work_system.op
+                )
+                out[int(work_system.g[i])] = value
+                power_ops += p_ops
+                combine_ops += c_ops
+                if table:
+                    depth = max(depth, math.ceil(math.log2(len(table))) if len(table) > 1 else 0)
+            if esp is not None:
+                esp.set_attribute("power_ops", power_ops)
+                esp.set_attribute("combine_ops", combine_ops)
 
-    if projector is not None:
-        out = projector.project(out)
+        if projector is not None:
+            out = projector.project(out)
+
+        if root is not None:
+            root.set_attribute("cap_iterations", cap.iterations)
+            root.set_attribute("renamed", renamed)
+        if registry is not None:
+            registry.counter("solver.solves", engine="gir").inc()
+            registry.counter("gir.power_ops").inc(power_ops)
+            registry.counter("gir.combine_ops").inc(combine_ops)
 
     stats = None
     if collect_stats:

@@ -60,6 +60,7 @@ from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..obs import get_registry, get_tracer, maybe_span
 from .equations import IRValidationError, OrdinaryIRSystem, as_index_array
 from .operators import Operator
 from .ordinary import SolveStats, solve_ordinary, solve_ordinary_numpy
@@ -373,39 +374,48 @@ def solve_moebius(
         return solve_rational_numpy(rec, collect_stats=collect_stats)
     n, m = rec.n, rec.m
 
-    coeff = [Mat2.constant(rec.initial[x]) for x in range(m)]
-    for i in range(n):
-        coeff[int(rec.g[i])] = rec.coefficient_matrix(i)
-    const = [Mat2.constant(rec.initial[x]) for x in range(m)]
+    tracer = get_tracer()
+    registry = get_registry()
+    with maybe_span(tracer, "solver.moebius", engine=engine, n=n):
+        with maybe_span(tracer, "moebius.coefficients"):
+            coeff = [Mat2.constant(rec.initial[x]) for x in range(m)]
+            for i in range(n):
+                coeff[int(rec.g[i])] = rec.coefficient_matrix(i)
+            const = [Mat2.constant(rec.initial[x]) for x in range(m)]
 
-    system = OrdinaryIRSystem(
-        initial=coeff,
-        g=rec.g.copy(),
-        f=rec.f.copy(),
-        op=moebius_ir_operator(),
-    )
-    if engine == "numpy":
-        solved, stats = solve_ordinary_numpy(
-            system, collect_stats=collect_stats, f_initial=const
+        system = OrdinaryIRSystem(
+            initial=coeff,
+            g=rec.g.copy(),
+            f=rec.f.copy(),
+            op=moebius_ir_operator(),
         )
-    elif engine == "python":
-        solved, stats = solve_ordinary(
-            system, collect_stats=collect_stats, f_initial=const
-        )
-    else:
-        raise ValueError(f"unknown engine {engine!r}")
+        with maybe_span(tracer, "moebius.ir_solve"):
+            if engine == "numpy":
+                solved, stats = solve_ordinary_numpy(
+                    system, collect_stats=collect_stats, f_initial=const
+                )
+            elif engine == "python":
+                solved, stats = solve_ordinary(
+                    system, collect_stats=collect_stats, f_initial=const
+                )
+            else:
+                raise ValueError(f"unknown engine {engine!r}")
 
-    X = list(rec.initial)
-    for i in range(n):
-        cell = int(rec.g[i])
-        mat = solved[cell]
-        # The composed matrix always ends in a constant map; evaluate
-        # it.  Following the paper we feed S[g(i)] as the (irrelevant)
-        # argument when the matrix is rank-1 but not in b/d form.
-        if mat.a == 0 and mat.c == 0:
-            X[cell] = mat.b / mat.d
-        else:
-            X[cell] = mat.apply(rec.initial[cell])
+        with maybe_span(tracer, "moebius.evaluate"):
+            X = list(rec.initial)
+            for i in range(n):
+                cell = int(rec.g[i])
+                mat = solved[cell]
+                # The composed matrix always ends in a constant map;
+                # evaluate it.  Following the paper we feed S[g(i)] as
+                # the (irrelevant) argument when the matrix is rank-1
+                # but not in b/d form.
+                if mat.a == 0 and mat.c == 0:
+                    X[cell] = mat.b / mat.d
+                else:
+                    X[cell] = mat.apply(rec.initial[cell])
+        if registry is not None:
+            registry.counter("solver.solves", engine="moebius").inc()
     return X, stats
 
 
@@ -472,21 +482,44 @@ def solve_affine_numpy(
         SolveStats(n=n, init_ops=int(terminal.sum())) if collect_stats else None
     )
 
+    tracer = get_tracer()
+    registry = get_registry()
     active = np.nonzero(nxt >= 0)[0]
-    with np.errstate(over="ignore", invalid="ignore"):
-        while active.size:
-            p = nxt[active]
-            # newer segment (active) composes over the older one (p):
-            # gathers complete before the scatters below
-            new_b = a[active] * b[p] + b[active]
-            new_a = a[active] * a[p]
-            a[active] = new_a
-            b[active] = new_b
-            nxt[active] = nxt[p]
-            if stats is not None:
-                stats.rounds += 1
-                stats.active_per_round.append(int(active.size))
-            active = active[nxt[active] >= 0]
+    rounds = 0
+    with maybe_span(tracer, "solver.moebius", engine="affine", n=n) as root:
+        with np.errstate(over="ignore", invalid="ignore"):
+            while active.size:
+                count = int(active.size)
+                with maybe_span(
+                    tracer,
+                    "solver.round",
+                    engine="affine",
+                    round=rounds,
+                    active=count,
+                ):
+                    p = nxt[active]
+                    # newer segment (active) composes over the older
+                    # one (p): gathers complete before the scatters
+                    # below
+                    new_b = a[active] * b[p] + b[active]
+                    new_a = a[active] * a[p]
+                    a[active] = new_a
+                    b[active] = new_b
+                    nxt[active] = nxt[p]
+                    rounds += 1
+                    if stats is not None:
+                        stats.rounds += 1
+                        stats.active_per_round.append(count)
+                    active = active[nxt[active] >= 0]
+                if registry is not None:
+                    registry.counter("solver.rounds", engine="affine").inc()
+                    registry.histogram(
+                        "solver.active_cells", engine="affine"
+                    ).observe(count)
+        if root is not None:
+            root.set_attribute("rounds", rounds)
+        if registry is not None:
+            registry.counter("solver.solves", engine="affine").inc()
 
     out = list(rec.initial)
     g_list = rec.g.tolist()
@@ -548,23 +581,45 @@ def solve_rational_numpy(
         SolveStats(n=n, init_ops=int(terminal.sum())) if collect_stats else None
     )
 
+    tracer = get_tracer()
+    registry = get_registry()
     active = np.nonzero(nxt >= 0)[0]
-    with np.errstate(over="ignore", invalid="ignore"):
-        while active.size:
-            p = nxt[active]
-            ao, bo, co, do = A[active], B[active], C[active], D[active]
-            ai, bi, ci, di = A[p], B[p], C[p], D[p]
-            det = ao * do - bo * co
-            keep = det == 0  # odot: a singular outer segment absorbs
-            A[active] = np.where(keep, ao, ao * ai + bo * ci)
-            B[active] = np.where(keep, bo, ao * bi + bo * di)
-            C[active] = np.where(keep, co, co * ai + do * ci)
-            D[active] = np.where(keep, do, co * bi + do * di)
-            nxt[active] = nxt[p]
-            if stats is not None:
-                stats.rounds += 1
-                stats.active_per_round.append(int(active.size))
-            active = active[nxt[active] >= 0]
+    rounds = 0
+    with maybe_span(tracer, "solver.moebius", engine="rational", n=n) as root:
+        with np.errstate(over="ignore", invalid="ignore"):
+            while active.size:
+                count = int(active.size)
+                with maybe_span(
+                    tracer,
+                    "solver.round",
+                    engine="rational",
+                    round=rounds,
+                    active=count,
+                ):
+                    p = nxt[active]
+                    ao, bo, co, do = A[active], B[active], C[active], D[active]
+                    ai, bi, ci, di = A[p], B[p], C[p], D[p]
+                    det = ao * do - bo * co
+                    keep = det == 0  # odot: a singular outer segment absorbs
+                    A[active] = np.where(keep, ao, ao * ai + bo * ci)
+                    B[active] = np.where(keep, bo, ao * bi + bo * di)
+                    C[active] = np.where(keep, co, co * ai + do * ci)
+                    D[active] = np.where(keep, do, co * bi + do * di)
+                    nxt[active] = nxt[p]
+                    rounds += 1
+                    if stats is not None:
+                        stats.rounds += 1
+                        stats.active_per_round.append(count)
+                    active = active[nxt[active] >= 0]
+                if registry is not None:
+                    registry.counter("solver.rounds", engine="rational").inc()
+                    registry.histogram(
+                        "solver.active_cells", engine="rational"
+                    ).observe(count)
+        if root is not None:
+            root.set_attribute("rounds", rounds)
+        if registry is not None:
+            registry.counter("solver.solves", engine="rational").inc()
 
     out = list(rec.initial)
     g_list = rec.g.tolist()

@@ -59,6 +59,7 @@ from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import get_registry, get_tracer, maybe_span
 from .equations import OrdinaryIRSystem
 from .traces import predecessor_array
 
@@ -139,47 +140,65 @@ def solve_ordinary(
     f = system.f.tolist()
     pred = predecessor_array(system).tolist()
 
-    # State is indexed by iteration (equivalently by assigned cell,
-    # since g is a bijection onto the assigned cells).
-    val: List[Any] = [None] * n
-    nxt: List[int] = [-1] * n
-    for i in range(n):
-        if pred[i] < 0:
-            val[i] = op(F[f[i]], S[g[i]])  # first product at the terminal
-            nxt[i] = -1
-        else:
-            val[i] = S[g[i]]
-            nxt[i] = pred[i]
-
-    stats = SolveStats(n=n, init_ops=sum(1 for p in pred if p < 0)) if (
-        collect_stats
-    ) else None
-
-    rounds = 0
-    while any(p >= 0 for p in nxt):
-        if max_rounds is not None and rounds >= max_rounds:
-            break
-        new_val = list(val)
-        new_nxt = list(nxt)
-        active = 0
+    tracer = get_tracer()
+    registry = get_registry()
+    with maybe_span(tracer, "solver.ordinary", engine="python", n=n) as root:
+        # State is indexed by iteration (equivalently by assigned cell,
+        # since g is a bijection onto the assigned cells).
+        val: List[Any] = [None] * n
+        nxt: List[int] = [-1] * n
+        terminals = 0
         for i in range(n):
-            p = nxt[i]
-            if p >= 0:
-                new_val[i] = op(val[p], val[i])
-                new_nxt[i] = nxt[p]
-                active += 1
-        val, nxt = new_val, new_nxt
-        rounds += 1
+            if pred[i] < 0:
+                val[i] = op(F[f[i]], S[g[i]])  # first product at the terminal
+                nxt[i] = -1
+                terminals += 1
+            else:
+                val[i] = S[g[i]]
+                nxt[i] = pred[i]
+
+        stats = SolveStats(n=n, init_ops=terminals) if collect_stats else None
+
+        rounds = 0
+        while any(p >= 0 for p in nxt):
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            with maybe_span(
+                tracer, "solver.round", engine="python", round=rounds
+            ) as rsp:
+                new_val = list(val)
+                new_nxt = list(nxt)
+                active = 0
+                for i in range(n):
+                    p = nxt[i]
+                    if p >= 0:
+                        new_val[i] = op(val[p], val[i])
+                        new_nxt[i] = nxt[p]
+                        active += 1
+                val, nxt = new_val, new_nxt
+                rounds += 1
+                if rsp is not None:
+                    rsp.set_attribute("active", active)
+            if registry is not None:
+                registry.counter("solver.rounds", engine="python").inc()
+                registry.histogram(
+                    "solver.active_cells", engine="python"
+                ).observe(active)
+            if stats is not None:
+                stats.active_per_round.append(active)
+
         if stats is not None:
-            stats.active_per_round.append(active)
+            stats.rounds = rounds
+        if root is not None:
+            root.set_attribute("rounds", rounds)
+        if registry is not None:
+            registry.counter("solver.solves", engine="python").inc()
+            registry.counter("solver.init_ops", engine="python").inc(terminals)
 
-    if stats is not None:
-        stats.rounds = rounds
-
-    out = list(S)
-    for i in range(n):
-        out[g[i]] = val[i]
-    return out, stats
+        out = list(S)
+        for i in range(n):
+            out[g[i]] = val[i]
+        return out, stats
 
 
 def solve_ordinary_numpy(
@@ -222,34 +241,58 @@ def solve_ordinary_numpy(
     finit = init if f_initial is None else to_array(F)
     vec = system.op.vector_fn if use_typed else np.frompyfunc(system.op.fn, 2, 1)
 
-    terminal = pred < 0
-    val = init[g].copy()
-    # First products at the terminals (paper's initialization step).
-    val[terminal] = vec(finit[f[terminal]], val[terminal])
-    nxt = pred.copy()
+    tracer = get_tracer()
+    registry = get_registry()
+    with maybe_span(tracer, "solver.ordinary", engine="numpy", n=n) as root:
+        terminal = pred < 0
+        val = init[g].copy()
+        # First products at the terminals (paper's initialization step).
+        val[terminal] = vec(finit[f[terminal]], val[terminal])
+        nxt = pred.copy()
 
-    stats = SolveStats(n=n, init_ops=int(terminal.sum())) if collect_stats else None
+        init_ops = int(terminal.sum())
+        stats = SolveStats(n=n, init_ops=init_ops) if collect_stats else None
 
-    rounds = 0
-    active_idx = np.nonzero(nxt >= 0)[0]
-    # Overflow saturates to +/-inf, matching the Python-float semantics
-    # of the sequential loop; suppress NumPy's warning about it.
-    with np.errstate(over="ignore", invalid="ignore"):
-        while active_idx.size:
-            p = nxt[active_idx]
-            # Synchronous semantics: gather old values/pointers first.
-            val[active_idx] = vec(val[p], val[active_idx])
-            nxt[active_idx] = nxt[p]
-            rounds += 1
-            if stats is not None:
-                stats.active_per_round.append(int(active_idx.size))
-            active_idx = active_idx[nxt[active_idx] >= 0]
+        rounds = 0
+        active_idx = np.nonzero(nxt >= 0)[0]
+        # Overflow saturates to +/-inf, matching the Python-float
+        # semantics of the sequential loop; suppress NumPy's warning
+        # about it.
+        with np.errstate(over="ignore", invalid="ignore"):
+            while active_idx.size:
+                active = int(active_idx.size)
+                with maybe_span(
+                    tracer,
+                    "solver.round",
+                    engine="numpy",
+                    round=rounds,
+                    active=active,
+                ):
+                    p = nxt[active_idx]
+                    # Synchronous semantics: gather old values/pointers
+                    # first.
+                    val[active_idx] = vec(val[p], val[active_idx])
+                    nxt[active_idx] = nxt[p]
+                    rounds += 1
+                    if stats is not None:
+                        stats.active_per_round.append(active)
+                    active_idx = active_idx[nxt[active_idx] >= 0]
+                if registry is not None:
+                    registry.counter("solver.rounds", engine="numpy").inc()
+                    registry.histogram(
+                        "solver.active_cells", engine="numpy"
+                    ).observe(active)
 
-    if stats is not None:
-        stats.rounds = rounds
+        if stats is not None:
+            stats.rounds = rounds
+        if root is not None:
+            root.set_attribute("rounds", rounds)
+        if registry is not None:
+            registry.counter("solver.solves", engine="numpy").inc()
+            registry.counter("solver.init_ops", engine="numpy").inc(init_ops)
 
-    out = list(S)
-    solved = val.tolist()  # numpy scalars -> Python scalars / objects
-    for i, cell in enumerate(g.tolist()):
-        out[cell] = solved[i]
-    return out, stats
+        out = list(S)
+        solved = val.tolist()  # numpy scalars -> Python scalars / objects
+        for i, cell in enumerate(g.tolist()):
+            out[cell] = solved[i]
+        return out, stats

@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..core.equations import GIRSystem, IRClass, OrdinaryIRSystem
+from ..obs import get_registry, get_tracer, maybe_span
 from ..core.gir import GIRSolveStats, solve_gir
 from ..core.moebius import RationalRecurrence, solve_moebius
 from ..core.operators import ADD, FLOAT_ADD, FLOAT_MUL, MUL, Operator
@@ -106,7 +107,37 @@ def parallelize(
     ``env`` maps array names to value lists and is never mutated.
     ``engine`` selects the OrdinaryIR backend (``"numpy"`` or
     ``"python"``); the GIR and map paths are engine-independent.
+
+    When observation is enabled (:mod:`repro.obs`) the call is wrapped
+    in a ``loops.parallelize`` span carrying the execution ``method``
+    actually used, and a ``loops.parallelized`` counter labeled by
+    method is bumped.
     """
+    tracer = get_tracer()
+    registry = get_registry()
+    if tracer is None and registry is None:
+        return _parallelize_impl(
+            loop, env, engine=engine, collect_stats=collect_stats
+        )
+    with maybe_span(tracer, "loops.parallelize", n=loop.n) as sp:
+        result = _parallelize_impl(
+            loop, env, engine=engine, collect_stats=collect_stats
+        )
+        if sp is not None:
+            sp.set_attribute("method", result.method)
+            sp.set_attribute("fallback", result.fallback)
+        if registry is not None:
+            registry.counter("loops.parallelized", method=result.method).inc()
+        return result
+
+
+def _parallelize_impl(
+    loop: Loop,
+    env: Env,
+    *,
+    engine: str = "numpy",
+    collect_stats: bool = False,
+) -> TransformResult:
     rec = recognize(loop)
     n = loop.n
     target = rec.target_array

@@ -1,0 +1,5 @@
+"""``python -m repro.obs validate FILE`` -- JSONL event-log checker."""
+
+from .export import _main
+
+raise SystemExit(_main())

@@ -1,0 +1,349 @@
+"""Exporters for span trees and metric series.
+
+Three formats, one source of truth (a :class:`~repro.obs.tracer.Tracer`
+plus an optional :class:`~repro.obs.metrics.MetricsRegistry`):
+
+* **JSONL** (:func:`write_jsonl`) -- one event object per line,
+  schema-checked by :func:`validate_jsonl` (the CI smoke job runs it);
+* **Chrome trace format** (:func:`write_chrome_trace`) -- complete
+  duration events (``"ph": "X"``, microsecond timestamps) loadable in
+  ``chrome://tracing`` or https://ui.perfetto.dev;
+* **tree summary** (:func:`tree_summary`) -- a human-readable span
+  tree with durations and attributes, plus a metrics table.
+
+``python -m repro.obs validate FILE`` validates a JSONL log from the
+shell (the CI smoke job does).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterator, List, Optional, Union
+
+from .metrics import MetricsRegistry
+from .tracer import Span, Tracer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "span_events",
+    "metric_events",
+    "write_jsonl",
+    "validate_event",
+    "validate_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "tree_summary",
+]
+
+SCHEMA_VERSION = 1
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _clean_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """Attributes coerced to JSON-able scalars (repr() as a fallback)."""
+    return {
+        k: v if isinstance(v, _JSON_SCALARS) else repr(v)
+        for k, v in attrs.items()
+    }
+
+
+def _micros(tracer: Tracer, t: Optional[float]) -> Optional[float]:
+    return None if t is None else round((t - tracer.epoch) * 1e6, 3)
+
+
+# ---------------------------------------------------------------------------
+# JSONL event log
+# ---------------------------------------------------------------------------
+
+
+def span_events(tracer: Tracer) -> Iterator[Dict[str, Any]]:
+    """One ``span`` event per recorded span (depth first)."""
+    for span in tracer.spans():
+        yield {
+            "type": "span",
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "thread": span.thread_id,
+            "ts_us": _micros(tracer, span.start),
+            "dur_us": _micros(tracer, span.end if span.end is not None else span.start + span.duration),
+            "attrs": _clean_attrs(span.attributes),
+        }
+
+
+def metric_events(registry: MetricsRegistry) -> Iterator[Dict[str, Any]]:
+    """One ``metric`` event per registered series."""
+    for entry in registry.snapshot():
+        yield {"type": "metric", **entry}
+
+
+def write_jsonl(
+    target: Union[str, IO[str]],
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> int:
+    """Write the event log; returns the number of events written.
+
+    The first line is a ``meta`` event carrying the schema version so
+    downstream consumers can detect incompatible logs.
+    """
+    events: List[Dict[str, Any]] = [
+        {"type": "meta", "schema_version": SCHEMA_VERSION}
+    ]
+    if tracer is not None:
+        events.extend(span_events(tracer))
+    if registry is not None:
+        events.extend(metric_events(registry))
+
+    def emit(handle: IO[str]) -> None:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            emit(handle)
+    else:
+        emit(target)
+    return len(events)
+
+
+class SchemaError(ValueError):
+    """A JSONL event violates the exporter schema."""
+
+
+_EVENT_FIELDS: Dict[str, Dict[str, Any]] = {
+    "meta": {"schema_version": int},
+    "span": {
+        "name": str,
+        "span_id": int,
+        "parent_id": (int, type(None)),
+        "thread": int,
+        "ts_us": (int, float),
+        "dur_us": (int, float),
+        "attrs": dict,
+    },
+    "metric": {
+        "name": str,
+        "kind": str,
+        "labels": dict,
+    },
+}
+
+_METRIC_KINDS = {"counter", "gauge", "histogram"}
+
+
+def validate_event(obj: Any) -> None:
+    """Raise :class:`SchemaError` unless ``obj`` is a valid event."""
+    if not isinstance(obj, dict):
+        raise SchemaError(f"event must be an object, got {type(obj).__name__}")
+    etype = obj.get("type")
+    if etype not in _EVENT_FIELDS:
+        raise SchemaError(f"unknown event type {etype!r}")
+    for field, expected in _EVENT_FIELDS[etype].items():
+        if field not in obj:
+            raise SchemaError(f"{etype} event missing field {field!r}")
+        value = obj[field]
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"{etype}.{field} has type {type(value).__name__}, "
+                f"expected {expected}"
+            )
+        # bool passes isinstance(..., int); keep ids genuinely numeric
+        if expected in (int, (int, float)) and isinstance(value, bool):
+            raise SchemaError(f"{etype}.{field} must not be a boolean")
+    if etype == "span" and obj["dur_us"] < 0:
+        raise SchemaError("span duration must be non-negative")
+    if etype == "metric" and obj["kind"] not in _METRIC_KINDS:
+        raise SchemaError(f"unknown metric kind {obj['kind']!r}")
+
+
+def validate_jsonl(path: str) -> int:
+    """Validate every line of an event log; returns the event count.
+
+    The first event must be the ``meta`` header with a known schema
+    version.
+    """
+    count = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"line {lineno}: invalid JSON ({exc})")
+            try:
+                validate_event(obj)
+            except SchemaError as exc:
+                raise SchemaError(f"line {lineno}: {exc}")
+            if count == 0:
+                if obj.get("type") != "meta":
+                    raise SchemaError("first event must be the meta header")
+                if obj["schema_version"] != SCHEMA_VERSION:
+                    raise SchemaError(
+                        f"schema version {obj['schema_version']} != "
+                        f"{SCHEMA_VERSION}"
+                    )
+            count += 1
+    if count == 0:
+        raise SchemaError("empty event log")
+    return count
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace format
+# ---------------------------------------------------------------------------
+
+
+def to_chrome_trace(
+    tracer: Tracer,
+    registry: Optional[MetricsRegistry] = None,
+    *,
+    process_name: str = "repro",
+) -> Dict[str, Any]:
+    """The trace as a Chrome-trace-format object (``traceEvents``).
+
+    Every span becomes a complete duration event (``ph="X"``); metric
+    series ride along in ``otherData`` so one file carries the whole
+    observed run.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in tracer.spans():
+        start = _micros(tracer, span.start)
+        end = span.end if span.end is not None else span.start + span.duration
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": start,
+                "dur": round(span.duration * 1e6, 3),
+                "pid": 1,
+                "tid": span.thread_id % 2**31,
+                "args": _clean_attrs(span.attributes),
+            }
+        )
+    trace: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema_version": SCHEMA_VERSION},
+    }
+    if registry is not None:
+        trace["otherData"]["metrics"] = registry.snapshot()
+    return trace
+
+
+def write_chrome_trace(
+    path: str,
+    tracer: Tracer,
+    registry: Optional[MetricsRegistry] = None,
+    **kwargs: Any,
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(tracer, registry, **kwargs), handle, indent=1)
+
+
+# ---------------------------------------------------------------------------
+# Human-readable summary
+# ---------------------------------------------------------------------------
+
+
+def _format_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in _clean_attrs(attrs).items())
+    return f"  [{inner}]"
+
+
+def _summarize_span(
+    span: Span, lines: List[str], prefix: str, *, max_children: int
+) -> None:
+    lines.append(
+        f"{prefix}{span.name}  {span.duration * 1e3:.3f} ms"
+        f"{_format_attrs(span.attributes)}"
+    )
+    shown = span.children[:max_children]
+    for child in shown:
+        _summarize_span(
+            child, lines, prefix + "  ", max_children=max_children
+        )
+    hidden = len(span.children) - len(shown)
+    if hidden > 0:
+        lines.append(f"{prefix}  ... ({hidden} more)")
+
+
+def tree_summary(
+    tracer: Optional[Tracer],
+    registry: Optional[MetricsRegistry] = None,
+    *,
+    max_children: int = 32,
+) -> str:
+    """Indented span tree plus a metrics table -- the ``repro trace``
+    terminal report."""
+    lines: List[str] = []
+    if tracer is not None:
+        roots = tracer.roots()
+        lines.append(f"trace: {len(roots)} root span(s)")
+        for root in roots:
+            _summarize_span(root, lines, "  ", max_children=max_children)
+    if registry is not None:
+        entries = registry.snapshot()
+        if entries:
+            lines.append(f"metrics: {len(entries)} series")
+            for entry in entries:
+                labels = entry["labels"]
+                label_str = (
+                    "{" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                    if labels
+                    else ""
+                )
+                if entry["kind"] == "histogram":
+                    detail = (
+                        f"count={entry['count']} sum={entry['sum']:g} "
+                        f"min={entry['min']:g} max={entry['max']:g}"
+                        if entry["count"]
+                        else "count=0"
+                    )
+                else:
+                    detail = f"value={entry['value']}"
+                    if entry["kind"] == "gauge" and entry["updates"]:
+                        detail += f" (min={entry['min']:g}, max={entry['max']:g})"
+                lines.append(
+                    f"  {entry['kind']:<9} {entry['name']}{label_str}: {detail}"
+                )
+    return "\n".join(lines) if lines else "(nothing recorded)"
+
+
+def _main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - thin shell
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="validate a repro.obs JSONL event log",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    val = sub.add_parser("validate", help="schema-check a JSONL event log")
+    val.add_argument("path")
+    args = parser.parse_args(argv)
+    try:
+        count = validate_jsonl(args.path)
+    except SchemaError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    print(f"ok: {count} event(s) conform to schema v{SCHEMA_VERSION}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_main())

@@ -1,0 +1,202 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+The registry is the machine-readable side of the observability layer:
+where spans record *when* work happened, metric series record *how
+much* -- ``solver.rounds``, ``solver.active_cells``, ``cap.edges_live``,
+``pram.superstep.work`` and friends.  A series is identified by its
+name plus a frozen label set, so ``registry.counter("solver.rounds",
+engine="numpy")`` and the ``engine="python"`` variant accumulate
+independently.
+
+All instruments are cheap plain-Python objects; instrumented code
+fetches them via :func:`repro.obs.get_registry` and skips everything
+when no registry is installed.  :meth:`MetricsRegistry.snapshot`
+produces the JSON-able structure the exporters and the bench harness
+(``BENCH_results.json``) persist.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "series_key"]
+
+LabelSet = Tuple[Tuple[str, Any], ...]
+
+
+def series_key(name: str, labels: Dict[str, Any]) -> Tuple[str, LabelSet]:
+    """Canonical dictionary key of one labeled series."""
+    return name, tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (rounds, ops, events)."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-written value plus its observed range (live edges, active
+    processors)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value", "min", "max", "updates")
+
+    def __init__(self, name: str, labels: Dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: Optional[float] = None
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.updates: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self.updates += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "updates": self.updates,
+        }
+
+
+class Histogram:
+    """Distribution summary with power-of-two buckets.
+
+    Tracks count/sum/min/max exactly and a coarse shape via bucket
+    upper bounds ``1, 2, 4, ...`` -- enough to see whether per-round
+    active counts halve geometrically (they should) without storing
+    every observation.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "count", "sum", "min", "max", "buckets")
+
+    def __init__(self, name: str, labels: Dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self.count: int = 0
+        self.sum: float = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}  # upper bound (2^k) -> count
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        bound = 1
+        while bound < value:
+            bound <<= 1
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Holds every labeled series produced by one observed run.
+
+    Get-or-create accessors (:meth:`counter`, :meth:`gauge`,
+    :meth:`histogram`) are idempotent per ``(name, labels)``;
+    requesting an existing series under a different kind raises, which
+    catches name collisions early.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[str, LabelSet], Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, labels: Dict[str, Any]):
+        key = series_key(name, labels)
+        with self._lock:
+            found = self._series.get(key)
+            if found is None:
+                found = cls(name, dict(labels))
+                self._series[key] = found
+            elif not isinstance(found, cls):
+                raise TypeError(
+                    f"metric {name!r} {labels!r} already registered as "
+                    f"{found.kind}, requested {cls.kind}"
+                )
+            return found
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- inspection -------------------------------------------------------
+
+    def series(self) -> Iterator[Any]:
+        """Every registered instrument, sorted by (name, labels)."""
+        with self._lock:
+            items = sorted(self._series.items())
+        for _key, instrument in items:
+            yield instrument
+
+    def get(self, name: str, **labels: Any) -> Optional[Any]:
+        """The series if it exists, else ``None`` (never creates)."""
+        return self._series.get(series_key(name, labels))
+
+    def value(self, name: str, default: Any = None, **labels: Any) -> Any:
+        """Shortcut: current value of a counter/gauge, or ``default``."""
+        found = self.get(name, **labels)
+        if found is None:
+            return default
+        return found.value
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """JSON-able dump of every series (the exporter payload)."""
+        return [
+            {
+                "name": s.name,
+                "kind": s.kind,
+                "labels": s.labels,
+                **s.snapshot(),
+            }
+            for s in self.series()
+        ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._series.clear()

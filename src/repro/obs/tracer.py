@@ -1,0 +1,222 @@
+"""Span-based tracing for the solvers, the PRAM machine and the CLI.
+
+A :class:`Span` is a named, timed interval with structured attributes
+and children; a :class:`Tracer` collects spans into per-thread trees
+(thread-local current span, monotonic :func:`time.perf_counter`
+timestamps).  Instrumented code never talks to a tracer directly --
+it asks :func:`repro.obs.get_tracer` for the installed one and skips
+all bookkeeping when tracing is disabled (the common case), so the
+hot paths pay a single ``None`` check per *phase*, never per element.
+
+Two entry styles::
+
+    with tracer.span("solver.round", index=r) as sp:
+        ...
+        sp.set_attribute("active", count)
+
+    @traced("gir.evaluate")
+    def evaluate(...): ...
+
+Span trees are consumed by :mod:`repro.obs.export` (JSONL, Chrome
+trace format, tree summary).
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import threading
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer", "traced"]
+
+
+class Span:
+    """One named, timed interval of work.
+
+    Attributes are arbitrary JSON-able key/values; children are spans
+    opened while this one was current on the same thread.  ``end`` is
+    ``None`` until :meth:`finish` runs (normally via the tracer's
+    context manager).
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "thread_id",
+        "start",
+        "end",
+        "attributes",
+        "children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        thread_id: int,
+        start: float,
+        attributes: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread_id = thread_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes = attributes
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (to "now" while the span is still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach or overwrite one structured attribute."""
+        self.attributes[key] = value
+
+    def finish(self, end: Optional[float] = None) -> None:
+        if self.end is None:
+            self.end = time.perf_counter() if end is None else end
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration * 1e3:.3f}ms" if self.end else "open"
+        return f"Span({self.name!r}, {state}, attrs={self.attributes})"
+
+
+class _SpanHandle:
+    """Context manager pushing/popping one span on the tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.set_attribute("error", exc_type.__name__)
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Collects span trees; thread-safe, one current-span stack per
+    thread.
+
+    ``epoch`` (a ``perf_counter`` reading taken at construction) is the
+    zero point the exporters report timestamps against, so traces from
+    one process line up on a common axis.
+    """
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: List[Span] = []
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _SpanHandle:
+        """Open a child of the current span (or a new root).
+
+        Returns a context manager yielding the :class:`Span`, so
+        callers can attach attributes discovered mid-flight.
+        """
+        parent = self.current_span()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            thread_id=threading.get_ident(),
+            start=time.perf_counter(),
+            attributes=attributes,
+        )
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+        self._stack().append(span)
+        return _SpanHandle(self, span)
+
+    def _stack(self) -> List[Span]:
+        try:
+            return self._local.stack
+        except AttributeError:
+            self._local.stack = []
+            return self._local.stack
+
+    def _pop(self, span: Span) -> None:
+        span.finish()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # unbalanced exit: drop through to the span
+            del stack[stack.index(span):]
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on this thread, or ``None``."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- inspection -------------------------------------------------------
+
+    def roots(self) -> List[Span]:
+        """Top-level spans, in start order."""
+        with self._lock:
+            return list(self._roots)
+
+    def spans(self) -> Iterator[Span]:
+        """Every recorded span, depth first across the root forest."""
+        for root in self.roots():
+            yield from root.walk()
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with the given name."""
+        return [s for s in self.spans() if s.name == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+        self._local = threading.local()
+
+
+def traced(name: Optional[str] = None, **attributes: Any) -> Callable:
+    """Decorator tracing every call of the wrapped function.
+
+    Uses the *installed* tracer at call time (so decorating is free
+    when tracing is disabled).  ``name`` defaults to the function's
+    qualified name.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            from . import get_tracer  # late: module-level install state
+
+            tracer = get_tracer()
+            if tracer is None:
+                return fn(*args, **kwargs)
+            with tracer.span(span_name, **attributes):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
 
+from ..obs import get_tracer, maybe_span
 from .instructions import DEFAULT_COST_MODEL, CostModel
 from .memory import AccessPolicy, SharedMemory
 from .metrics import RunMetrics
@@ -98,33 +99,47 @@ class PRAM:
         """
         if not work:
             return
-        cm = self.cost_model
-        bursts = make_bursts(list(work), self.processors)
-        time = 0
-        total_work = 0
-        events: Optional[List[Any]] = [] if self.record_trace else None
-        for burst in bursts:
-            burst_max = 0
-            for proc, thunk in burst:
-                ctx = ProcContext(
-                    proc=proc,
-                    memory=self.memory,
-                    load_cost=cm.load,
-                    store_cost=cm.store,
-                    alu_cost=cm.alu,
-                    branch_cost=cm.branch,
-                    events=events,
-                )
-                thunk(ctx)
-                burst_max = max(burst_max, ctx.instructions)
-                total_work += ctx.instructions
-            time += burst_max
-            if charge_overhead:
-                time += cm.superstep_overhead()
-        # Synchronous barrier: conflicts checked, writes commit at once.
-        self.memory.commit()
-        if events is not None:
-            self.trace.append(events)
-        self.metrics.add_step(
-            virtual=len(work), bursts=len(bursts), time=time, work=total_work
-        )
+        with maybe_span(
+            get_tracer(),
+            "pram.superstep",
+            step=len(self.metrics.steps),
+            virtual=len(work),
+            processors=self.processors,
+        ) as sp:
+            cm = self.cost_model
+            bursts = make_bursts(list(work), self.processors)
+            time = 0
+            total_work = 0
+            events: Optional[List[Any]] = [] if self.record_trace else None
+            for burst in bursts:
+                burst_max = 0
+                for proc, thunk in burst:
+                    ctx = ProcContext(
+                        proc=proc,
+                        memory=self.memory,
+                        load_cost=cm.load,
+                        store_cost=cm.store,
+                        alu_cost=cm.alu,
+                        branch_cost=cm.branch,
+                        events=events,
+                    )
+                    thunk(ctx)
+                    burst_max = max(burst_max, ctx.instructions)
+                    total_work += ctx.instructions
+                time += burst_max
+                if charge_overhead:
+                    time += cm.superstep_overhead()
+            # Synchronous barrier: conflicts checked, writes commit at
+            # once.
+            self.memory.commit()
+            if events is not None:
+                self.trace.append(events)
+            # add_step also mirrors the superstep into the repro.obs
+            # registry when one is installed (see repro.pram.metrics).
+            self.metrics.add_step(
+                virtual=len(work), bursts=len(bursts), time=time, work=total_work
+            )
+            if sp is not None:
+                sp.set_attribute("bursts", len(bursts))
+                sp.set_attribute("time", time)
+                sp.set_attribute("work", total_work)

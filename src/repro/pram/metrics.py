@@ -1,7 +1,15 @@
 """Execution metrics for the PRAM machine and the analytic engine.
 
-Both accounting layers produce :class:`RunMetrics` so benchmarks can
-treat interpreter measurements and analytic predictions uniformly.
+Since the :mod:`repro.obs` subsystem landed, the *canonical* metric
+series for PRAM runs live in the observability registry
+(``pram.superstep.work``, ``pram.superstep.time``,
+``pram.superstep.bursts``, ``pram.supersteps`` -- see
+:mod:`repro.obs.metrics`): every :meth:`RunMetrics.add_step` call
+publishes the superstep through the installed registry when
+observation is enabled.  :class:`StepMetrics` and :class:`RunMetrics`
+remain as thin, always-on compatibility records so existing
+benchmarks, the analytic engine and the interpreter keep a uniform
+return type without requiring observation to be switched on.
 """
 
 from __future__ import annotations
@@ -9,12 +17,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-__all__ = ["StepMetrics", "RunMetrics"]
+from ..obs import get_registry
+
+__all__ = ["StepMetrics", "RunMetrics", "publish_run_metrics"]
 
 
 @dataclass
 class StepMetrics:
-    """One superstep's accounting.
+    """One superstep's accounting (compatibility record; the labeled
+    series in :mod:`repro.obs` are the canonical export).
 
     ``time`` is the scheduled duration on the machine's ``P`` physical
     processors: the sum over bursts of (max instructions within the
@@ -30,7 +41,7 @@ class StepMetrics:
 
 @dataclass
 class RunMetrics:
-    """Whole-run accounting.
+    """Whole-run accounting (compatibility record).
 
     Attributes
     ----------
@@ -38,6 +49,10 @@ class RunMetrics:
         Physical processor count ``P`` the run was scheduled on.
     steps:
         Per-superstep breakdown.
+
+    When a :class:`repro.obs.MetricsRegistry` is installed,
+    :meth:`add_step` mirrors each superstep into it, so traced runs
+    get machine-readable ``pram.superstep.*`` series for free.
     """
 
     processors: int
@@ -66,9 +81,40 @@ class RunMetrics:
         self.steps.append(
             StepMetrics(virtual_processors=virtual, bursts=bursts, time=time, work=work)
         )
+        registry = get_registry()
+        if registry is not None:
+            _publish_step(registry, self.processors, virtual, bursts, time, work)
 
     def describe(self) -> str:
         return (
             f"P={self.processors}: time={self.time} work={self.work} "
             f"supersteps={self.supersteps} bursts={self.bursts}"
+        )
+
+
+def _publish_step(registry, p: int, virtual: int, bursts: int, time: int, work: int) -> None:
+    registry.counter("pram.supersteps", processors=p).inc()
+    registry.counter("pram.superstep.work", processors=p).inc(work)
+    registry.counter("pram.superstep.time", processors=p).inc(time)
+    registry.histogram("pram.superstep.bursts", processors=p).observe(bursts)
+    registry.gauge("pram.virtual_processors", processors=p).set(virtual)
+
+
+def publish_run_metrics(metrics: RunMetrics, registry=None) -> None:
+    """Replay a finished :class:`RunMetrics` into a registry.
+
+    For runs recorded *before* observation was enabled (``registry``
+    defaults to the installed one); no-op when none is available.
+    """
+    registry = registry if registry is not None else get_registry()
+    if registry is None:
+        return
+    for step in metrics.steps:
+        _publish_step(
+            registry,
+            metrics.processors,
+            step.virtual_processors,
+            step.bursts,
+            step.time,
+            step.work,
         )

@@ -1,0 +1,178 @@
+"""Tests for the exporters (repro.obs.export)."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, SchemaError, Tracer
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    to_chrome_trace,
+    tree_summary,
+    validate_event,
+    validate_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _sample():
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with tracer.span("solver.ordinary", engine="numpy", n=8) as root:
+        for r in range(3):
+            with tracer.span("solver.round", round=r, active=8 >> r):
+                pass
+        root.set_attribute("rounds", 3)
+    registry.counter("solver.rounds", engine="numpy").inc(3)
+    registry.gauge("cap.edges_live").set(5)
+    registry.histogram("solver.active_cells").observe(4)
+    return tracer, registry
+
+
+class TestJSONL:
+    def test_roundtrip_validates(self, tmp_path):
+        tracer, registry = _sample()
+        path = str(tmp_path / "events.jsonl")
+        written = write_jsonl(path, tracer, registry)
+        assert validate_jsonl(path) == written
+        # 1 meta + 4 spans + 3 metrics
+        assert written == 8
+
+    def test_meta_header_first(self):
+        tracer, registry = _sample()
+        buf = io.StringIO()
+        write_jsonl(buf, tracer, registry)
+        first = json.loads(buf.getvalue().splitlines()[0])
+        assert first == {"type": "meta", "schema_version": SCHEMA_VERSION}
+
+    def test_span_event_shape(self):
+        tracer, _ = _sample()
+        buf = io.StringIO()
+        write_jsonl(buf, tracer)
+        events = [json.loads(line) for line in buf.getvalue().splitlines()]
+        spans = [e for e in events if e["type"] == "span"]
+        root = spans[0]
+        assert root["name"] == "solver.ordinary"
+        assert root["parent_id"] is None
+        assert root["attrs"]["rounds"] == 3
+        child = spans[1]
+        assert child["parent_id"] == root["span_id"]
+        assert child["ts_us"] >= root["ts_us"]
+        assert child["dur_us"] >= 0
+
+    def test_non_jsonable_attrs_coerced(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("t", obj=object()):
+            pass
+        path = str(tmp_path / "e.jsonl")
+        write_jsonl(path, tracer)
+        assert validate_jsonl(path) == 2
+
+    def test_validate_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta", "schema_version": 1}\nnot json\n')
+        with pytest.raises(SchemaError, match="line 2"):
+            validate_jsonl(str(path))
+
+    def test_validate_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type": "metric", "name": "x", "kind": "counter", "labels": {}}\n'
+        )
+        with pytest.raises(SchemaError, match="meta header"):
+            validate_jsonl(str(path))
+
+    def test_validate_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            validate_jsonl(str(path))
+
+    def test_validate_event_rejections(self):
+        with pytest.raises(SchemaError):
+            validate_event([])
+        with pytest.raises(SchemaError):
+            validate_event({"type": "nope"})
+        with pytest.raises(SchemaError):
+            validate_event({"type": "span", "name": "x"})  # missing fields
+        with pytest.raises(SchemaError):
+            validate_event(
+                {"type": "metric", "name": "x", "kind": "weird", "labels": {}}
+            )
+
+
+class TestChromeTrace:
+    def test_complete_events(self, tmp_path):
+        tracer, registry = _sample()
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, tracer, registry)
+        with open(path) as handle:
+            trace = json.load(handle)
+        events = trace["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 4  # root + 3 rounds
+        for e in xs:
+            assert set(e) >= {"name", "ph", "ts", "dur", "pid", "tid", "args"}
+            assert e["dur"] >= 0
+        rounds = [e for e in xs if e["name"] == "solver.round"]
+        assert [e["args"]["round"] for e in rounds] == [0, 1, 2]
+        # metrics ride along in otherData
+        names = {m["name"] for m in trace["otherData"]["metrics"]}
+        assert "solver.rounds" in names
+
+    def test_category_is_name_prefix(self):
+        tracer, _ = _sample()
+        trace = to_chrome_trace(tracer)
+        cats = {e["cat"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert cats == {"solver"}
+
+    def test_process_metadata(self):
+        tracer, _ = _sample()
+        trace = to_chrome_trace(tracer, process_name="bench")
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "bench"
+
+
+class TestTreeSummary:
+    def test_contains_spans_and_metrics(self):
+        tracer, registry = _sample()
+        text = tree_summary(tracer, registry)
+        assert "solver.ordinary" in text
+        assert "rounds=3" in text
+        assert "solver.round" in text
+        assert "cap.edges_live" in text
+        assert "histogram" in text
+
+    def test_child_truncation(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            for i in range(10):
+                with tracer.span("c", i=i):
+                    pass
+        text = tree_summary(tracer, max_children=4)
+        assert "(6 more)" in text
+
+    def test_empty(self):
+        assert tree_summary(None, None) == "(nothing recorded)"
+
+
+class TestCLIValidator:
+    def test_module_entry(self, tmp_path, capsys):
+        from repro.obs.export import _main
+
+        tracer, registry = _sample()
+        path = str(tmp_path / "e.jsonl")
+        write_jsonl(path, tracer, registry)
+        assert _main(["validate", path]) == 0
+        assert "conform" in capsys.readouterr().out
+
+    def test_module_entry_invalid(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{}\n")
+        from repro.obs.export import _main
+
+        assert _main(["validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_same_labels_same_series(self):
+        reg = MetricsRegistry()
+        reg.counter("solver.rounds", engine="numpy").inc()
+        reg.counter("solver.rounds", engine="numpy").inc()
+        reg.counter("solver.rounds", engine="python").inc()
+        assert reg.value("solver.rounds", engine="numpy") == 2
+        assert reg.value("solver.rounds", engine="python") == 1
+
+
+class TestGauge:
+    def test_tracks_last_min_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("cap.edges_live")
+        g.set(10)
+        g.set(3)
+        g.set(7)
+        assert (g.value, g.min, g.max, g.updates) == (7, 3, 10, 3)
+
+    def test_unset_gauge(self):
+        g = MetricsRegistry().gauge("g")
+        assert g.value is None
+        assert g.snapshot()["updates"] == 0
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("active")
+        for v in (1, 2, 4, 100):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 107
+        assert h.min == 1
+        assert h.max == 100
+        assert h.mean == pytest.approx(26.75)
+
+    def test_power_of_two_buckets(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (1, 2, 3, 5, 100):
+            h.observe(v)
+        # upper bounds: 1->1, 2->2, 3->4, 5->8, 100->128
+        assert h.buckets == {1: 1, 2: 1, 4: 1, 8: 1, 128: 1}
+
+
+class TestRegistry:
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_get_never_creates(self):
+        reg = MetricsRegistry()
+        assert reg.get("missing") is None
+        assert reg.value("missing", default=42) == 42
+        assert list(reg.series()) == []
+
+    def test_snapshot_is_jsonable_and_sorted(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.gauge("a", k="v").set(1.5)
+        reg.histogram("c").observe(3)
+        snap = reg.snapshot()
+        assert [e["name"] for e in snap] == ["a", "b", "c"]
+        parsed = json.loads(json.dumps(snap))
+        assert parsed[1] == {"name": "b", "kind": "counter", "labels": {}, "value": 2}
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.clear()
+        assert reg.snapshot() == []

@@ -1,0 +1,181 @@
+"""Tests for the span tracer (repro.obs.tracer)."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import Span, Tracer, traced
+
+
+class TestSpanTree:
+    def test_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+        roots = tracer.roots()
+        assert [s.name for s in roots] == ["outer"]
+        assert [s.name for s in roots[0].children] == ["inner"]
+        assert roots[0].children[0].parent_id == roots[0].span_id
+
+    def test_siblings(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            for i in range(3):
+                with tracer.span("child", index=i):
+                    pass
+        (parent,) = tracer.roots()
+        assert [c.attributes["index"] for c in parent.children] == [0, 1, 2]
+
+    def test_multiple_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.roots()] == ["a", "b"]
+
+    def test_durations_monotonic(self):
+        tracer = Tracer()
+        with tracer.span("t") as sp:
+            assert sp.end is None
+        assert sp.end is not None
+        assert sp.duration >= 0
+        assert sp.start >= tracer.epoch
+
+    def test_attributes(self):
+        tracer = Tracer()
+        with tracer.span("t", n=5) as sp:
+            sp.set_attribute("rounds", 3)
+        assert sp.attributes == {"n": 5, "rounds": 3}
+
+    def test_error_attribute_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (root,) = tracer.roots()
+        assert root.attributes["error"] == "ValueError"
+        assert root.end is not None  # closed despite the exception
+
+    def test_walk_and_find(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("b"):
+                    pass
+        assert [s.name for s in tracer.spans()] == ["a", "b", "b"]
+        assert len(tracer.find("b")) == 2
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.roots() == []
+
+    def test_span_ids_unique(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        ids = [s.span_id for s in tracer.spans()]
+        assert len(set(ids)) == len(ids)
+
+
+class TestThreading:
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(tag):
+            with tracer.span(f"root-{tag}"):
+                seen[tag] = tracer.current_span().name
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        with tracer.span("main-root"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # worker spans must NOT nest under the main thread's span
+        names = {s.name for s in tracer.roots()}
+        assert names == {"main-root"} | {f"root-{i}" for i in range(4)}
+        assert seen == {i: f"root-{i}" for i in range(4)}
+
+
+class TestInstallation:
+    def test_disabled_by_default(self):
+        assert obs.get_tracer() is None
+        assert obs.get_registry() is None
+        assert not obs.is_enabled()
+
+    def test_observed_restores(self):
+        with obs.observed() as (tracer, registry):
+            assert obs.get_tracer() is tracer
+            assert obs.get_registry() is registry
+        assert obs.get_tracer() is None
+        assert obs.get_registry() is None
+
+    def test_observed_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with obs.observed():
+                raise RuntimeError("x")
+        assert not obs.is_enabled()
+
+    def test_enable_disable(self):
+        tracer, registry = obs.enable()
+        try:
+            assert obs.get_tracer() is tracer
+        finally:
+            obs.disable()
+        assert not obs.is_enabled()
+
+    def test_nested_observed_restores_outer(self):
+        with obs.observed() as (outer, _):
+            with obs.observed() as (inner, _):
+                assert obs.get_tracer() is inner
+            assert obs.get_tracer() is outer
+
+    def test_maybe_span_without_tracer(self):
+        with obs.maybe_span(None, "x") as sp:
+            assert sp is None
+
+    def test_maybe_span_with_tracer(self):
+        tracer = Tracer()
+        with obs.maybe_span(tracer, "x", k=1) as sp:
+            assert isinstance(sp, Span)
+        assert tracer.find("x")[0].attributes == {"k": 1}
+
+
+class TestTracedDecorator:
+    def test_records_when_enabled(self):
+        @traced("my.fn", kind="test")
+        def fn(x):
+            return x + 1
+
+        with obs.observed() as (tracer, _):
+            assert fn(1) == 2
+        (span,) = tracer.find("my.fn")
+        assert span.attributes == {"kind": "test"}
+
+    def test_noop_when_disabled(self):
+        @traced()
+        def fn(x):
+            return x * 2
+
+        assert fn(3) == 6  # no tracer installed: plain call
+
+    def test_default_name(self):
+        @traced()
+        def some_function():
+            return 1
+
+        with obs.observed() as (tracer, _):
+            some_function()
+        assert len(tracer.find("TestTracedDecorator.test_default_name.<locals>.some_function")) == 1

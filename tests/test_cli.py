@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -20,6 +22,12 @@ class TestCommands:
         assert main(["version"]) == 0
         out = capsys.readouterr().out
         assert out.startswith("repro ")
+
+    def test_version_reports_numpy(self, capsys):
+        import numpy
+
+        assert main(["version"]) == 0
+        assert f"numpy {numpy.__version__}" in capsys.readouterr().out
 
     def test_census(self, capsys):
         assert main(["census", "--n", "16"]) == 0
@@ -77,3 +85,153 @@ class TestSolveCommand:
         assert main(["solve", path]) == 0
         out = capsys.readouterr().out
         assert "A[3] = 18" in out  # 2*3=6, 6*3=18 mod 97
+
+
+def fig3_system_file(tmp_path, n=300):
+    """A serialized Fig-3-shaped workload (maximal FLOAT_MUL chain)."""
+    import numpy as np
+
+    from repro.core import FLOAT_MUL, OrdinaryIRSystem
+    from repro.core.serialize import dump_system
+
+    path = str(tmp_path / "fig3.json")
+    dump_system(
+        OrdinaryIRSystem.build(
+            np.full(n + 1, 1.0000001), np.arange(1, n + 1), np.arange(n),
+            FLOAT_MUL,
+        ),
+        path,
+    )
+    return path
+
+
+class TestJSONOutput:
+    def test_solve_json(self, tmp_path, capsys):
+        from repro.core import CONCAT, OrdinaryIRSystem
+        from repro.core.serialize import dump_system
+
+        path = str(tmp_path / "chain.json")
+        dump_system(
+            OrdinaryIRSystem.build(
+                [(f"s{j}",) for j in range(17)],
+                list(range(1, 17)),
+                list(range(16)),
+                CONCAT,
+            ),
+            path,
+        )
+        assert main(["solve", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["matches_sequential"] is True
+        assert len(payload["cells"]) == 17
+        assert payload["stats"]["rounds"] == 4  # ceil(log2 16)
+
+    def test_census_json(self, capsys):
+        assert main(["census", "--n", "16", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 24
+        assert {e["group"] for e in payload} <= {
+            "none", "linear", "indexed", "outside-template"
+        }
+        assert payload[4]["name"] == "tri-diagonal elimination"
+
+
+class TestObservabilityFlags:
+    def test_solve_trace_out_rounds_agree_with_stats(self, tmp_path, capsys):
+        """Acceptance: per-round spans in the Chrome trace equal the
+        solver's own SolveStats.rounds on the Fig-3 workload."""
+        import math
+
+        n = 300
+        path = fig3_system_file(tmp_path, n=n)
+        trace_path = str(tmp_path / "t.json")
+        assert main(["solve", path, "--json", "--trace-out", trace_path]) == 0
+        stats = json.loads(capsys.readouterr().out)["stats"]
+        with open(trace_path) as handle:
+            trace = json.load(handle)
+        rounds = [
+            e for e in trace["traceEvents"]
+            if e.get("name") == "solver.round"
+        ]
+        assert len(rounds) == stats["rounds"] == math.ceil(math.log2(n))
+        actives = [e["args"]["active"] for e in rounds]
+        assert actives == stats["active_per_round"]
+
+    def test_solve_metrics_json(self, tmp_path, capsys):
+        path = fig3_system_file(tmp_path, n=32)
+        metrics_path = str(tmp_path / "m.json")
+        assert main(["solve", path, "--metrics-json", metrics_path]) == 0
+        capsys.readouterr()
+        series = json.loads(open(metrics_path).read())
+        by_name = {(e["name"], e["labels"].get("engine")): e for e in series}
+        assert by_name[("solver.rounds", "numpy")]["value"] == 5
+
+    def test_census_trace_out_writes_valid_trace(self, tmp_path, capsys):
+        # census classification is static, so the trace has no solver
+        # spans -- but the flag must still write a well-formed file.
+        trace_path = str(tmp_path / "census.json")
+        assert main(["census", "--n", "8", "--trace-out", trace_path]) == 0
+        capsys.readouterr()
+        trace = json.loads(open(trace_path).read())
+        assert isinstance(trace["traceEvents"], list)
+
+    def test_fig3_trace_out_records_solver_spans(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "fig3.json")
+        assert main(
+            ["fig3", "--n", "64", "--max-p", "4", "--trace-out", trace_path]
+        ) == 0
+        capsys.readouterr()
+        trace = json.loads(open(trace_path).read())
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert "solver.round" in names
+        metric_names = {m["name"] for m in trace["otherData"]["metrics"]}
+        assert "solver.rounds" in metric_names
+
+    def test_observation_disabled_after_run(self, tmp_path, capsys):
+        from repro import obs
+
+        path = fig3_system_file(tmp_path, n=8)
+        assert main(["solve", path, "--trace-out", str(tmp_path / "t.json")]) == 0
+        capsys.readouterr()
+        assert not obs.is_enabled()
+
+
+class TestTraceWrapper:
+    def test_traced_solve_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs import validate_jsonl
+
+        path = fig3_system_file(tmp_path, n=16)
+        jsonl = str(tmp_path / "events.jsonl")
+        chrome = str(tmp_path / "trace.json")
+        assert main(
+            ["trace", "--jsonl", jsonl, "--out", chrome, "solve", path]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "A[16]" in captured.out
+        assert "solver.ordinary" in captured.err  # tree summary on stderr
+        assert validate_jsonl(jsonl) > 0
+        trace = json.loads(open(chrome).read())
+        assert any(
+            e.get("name") == "solver.round" for e in trace["traceEvents"]
+        )
+
+    def test_trace_metrics_json(self, tmp_path, capsys):
+        path = fig3_system_file(tmp_path, n=8)
+        metrics = str(tmp_path / "m.json")
+        assert main(
+            ["trace", "--no-summary", "--metrics-json", metrics, "solve", path]
+        ) == 0
+        capsys.readouterr()
+        names = {e["name"] for e in json.loads(open(metrics).read())}
+        assert "solver.rounds" in names
+
+    def test_trace_requires_command(self, capsys):
+        assert main(["trace"]) == 2
+        assert "missing command" in capsys.readouterr().err
+
+    def test_trace_rejects_nesting(self, capsys):
+        assert main(["trace", "trace", "version"]) == 2
+        assert "nest" in capsys.readouterr().err
+
+    def test_trace_propagates_exit_code(self, capsys):
+        assert main(["trace", "--no-summary", "version"]) == 0
