@@ -24,10 +24,13 @@ Quick start::
 Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.pram`
 (simulator), :mod:`repro.loops` (front end), :mod:`repro.livermore`
 (benchmark suite), :mod:`repro.analysis` (models and reports),
-:mod:`repro.obs` (tracing + metrics; see ``docs/OBSERVABILITY.md``).
+:mod:`repro.obs` (tracing + metrics; see ``docs/OBSERVABILITY.md``),
+:mod:`repro.resilience` (numeric guards, fault injection, solve
+policies; see ``docs/RESILIENCE.md``) with the failure taxonomy in
+:mod:`repro.errors`.
 """
 
-from . import analysis, core, livermore, loops, obs, pram
+from . import analysis, core, errors, livermore, loops, obs, pram, resilience
 from .core import (
     ADD,
     CONCAT,
@@ -58,8 +61,25 @@ from .core import (
     solve_ordinary,
     solve_ordinary_numpy,
 )
+from .errors import (
+    CyclicDependenceError,
+    FaultError,
+    NumericHealthError,
+    PolicyError,
+    ReproError,
+    UnrecoverableFaultError,
+    VerificationError,
+    exit_code_for,
+)
 from .loops import Loop, parallelize, recognize
 from .pram import PRAM, AccessPolicy, profile_ordinary
+from .resilience import (
+    FaultEvent,
+    FaultPlan,
+    NumericGuard,
+    SolvePolicy,
+    default_guard,
+)
 
 __version__ = "1.0.0"
 

@@ -106,7 +106,73 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the result (cells, stats, agreement) as JSON",
     )
+    solve.add_argument(
+        "--policy-rounds",
+        type=int,
+        metavar="N",
+        help="bound the solver's parallel rounds (SolvePolicy.max_rounds)",
+    )
+    solve.add_argument(
+        "--policy-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget for the solve (SolvePolicy.timeout_s)",
+    )
+    solve.add_argument(
+        "--on-exhaustion",
+        choices=["raise", "fallback", "partial"],
+        default="raise",
+        help="what to do when a policy limit is hit (default: raise)",
+    )
+    solve.add_argument(
+        "--check",
+        action="store_true",
+        help="differentially verify sampled cells against the "
+        "sequential oracle (exit 6 on mismatch)",
+    )
     _add_obs_flags(solve)
+
+    faults = sub.add_parser(
+        "faults",
+        help="generate or replay a PRAM fault-injection plan",
+        description=(
+            "Fault-injection driver for the PRAM interpreter: "
+            "'repro faults gen --seed 7 --steps 6 --out plan.json' writes a "
+            "deterministic plan; 'repro faults run --plan plan.json' replays "
+            "it against a demo OrdinaryIR run and reports whether every "
+            "fault was detected, recovered, and the final array still "
+            "matches the sequential oracle."
+        ),
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    fgen = faults_sub.add_parser("gen", help="generate a seeded fault plan")
+    fgen.add_argument("--seed", type=int, default=0, help="plan RNG seed")
+    fgen.add_argument(
+        "--steps", type=int, default=6, help="superstep range faults land in"
+    )
+    fgen.add_argument("--count", type=int, default=4, help="number of faults")
+    fgen.add_argument(
+        "--out", metavar="FILE", help="write the plan JSON here (default: stdout)"
+    )
+    frun = faults_sub.add_parser(
+        "run", help="replay a fault plan against a demo PRAM run"
+    )
+    frun.add_argument(
+        "--plan", metavar="FILE", help="fault-plan JSON (default: a fresh "
+        "seeded plan, see --seed)"
+    )
+    frun.add_argument("--seed", type=int, default=0, help="seed when no --plan")
+    frun.add_argument("--n", type=int, default=32, help="chain length")
+    frun.add_argument(
+        "--processors", type=int, default=4, help="physical processors"
+    )
+    frun.add_argument(
+        "--max-retries", type=int, default=3, help="recovery retry budget"
+    )
+    frun.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    _add_obs_flags(frun)
 
     trace = sub.add_parser(
         "trace",
@@ -251,16 +317,31 @@ def _stats_dict(stats: object) -> Optional[dict]:
     return dataclasses.asdict(stats)  # type: ignore[call-overload]
 
 
-def _cmd_solve(path: str, show_stats: bool, as_json: bool) -> int:
+def _cmd_solve(args: argparse.Namespace) -> int:
     from .core import GIRSystem, run_gir, run_ordinary, solve_gir, solve_ordinary_numpy
     from .core.serialize import load_system
+    from .resilience import SolvePolicy
 
+    path = args.path
+    show_stats = args.stats
+    as_json = args.json
+    policy = None
+    if args.policy_rounds is not None or args.policy_timeout is not None:
+        policy = SolvePolicy(
+            max_rounds=args.policy_rounds,
+            timeout_s=args.policy_timeout,
+            on_exhaustion=args.on_exhaustion,
+        )
     system = load_system(path)
     if isinstance(system, GIRSystem):
-        result, stats = solve_gir(system, collect_stats=True)
+        result, stats = solve_gir(
+            system, collect_stats=True, policy=policy, checked=args.check
+        )
         reference = run_gir(system)
     else:
-        result, stats = solve_ordinary_numpy(system, collect_stats=True)
+        result, stats = solve_ordinary_numpy(
+            system, collect_stats=True, policy=policy, checked=args.check
+        )
         reference = run_ordinary(system)
     matches = result == reference
     if as_json:
@@ -284,6 +365,77 @@ def _cmd_solve(path: str, show_stats: bool, as_json: bool) -> int:
         print("# WARNING: parallel result differs from sequential "
               "(floating-point reassociation?)", file=sys.stderr)
     return 0
+
+
+def _cmd_faults_gen(args: argparse.Namespace) -> int:
+    from .resilience import FaultPlan
+
+    plan = FaultPlan.random(args.seed, steps=args.steps, count=args.count)
+    if args.out:
+        error = _check_writable(args.out)
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+        plan.to_json(args.out)
+        print(f"wrote {len(plan.events)} fault(s) to {args.out}", file=sys.stderr)
+    else:
+        print(plan.to_json())
+    return 0
+
+
+def _cmd_faults_run(args: argparse.Namespace) -> int:
+    """Replay a fault plan against a demo OrdinaryIR run on the PRAM.
+
+    The demo is an integer-sum chain of length ``--n``; the run is
+    accepted when every injected fault was detected and recovered and
+    the final array equals the sequential oracle *exactly*.
+    """
+    from .core import ADD, OrdinaryIRSystem, run_ordinary
+    from .pram import run_ordinary_on_pram
+    from .resilience import FaultPlan
+
+    if args.plan:
+        plan = FaultPlan.from_json(args.plan)
+    else:
+        plan = FaultPlan.random(args.seed, steps=6, count=4)
+    n = args.n
+    system = OrdinaryIRSystem.build(
+        initial=list(range(1, n + 2)),
+        g=list(range(1, n + 1)),
+        f=list(range(n)),
+        op=ADD,
+    )
+    oracle = run_ordinary(system)
+    out, metrics = run_ordinary_on_pram(
+        system,
+        processors=args.processors,
+        fault_plan=plan,
+        max_retries=args.max_retries,
+    )
+    matches = out == oracle
+    ok = matches and metrics.faults_recovered == metrics.faults_detected
+    report = {
+        "ok": ok,
+        "matches_oracle": matches,
+        "faults_injected": metrics.faults_injected,
+        "faults_detected": metrics.faults_detected,
+        "faults_recovered": metrics.faults_recovered,
+        "fault_retries": metrics.fault_retries,
+        "injected": plan.injected,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"injected={metrics.faults_injected} "
+            f"detected={metrics.faults_detected} "
+            f"recovered={metrics.faults_recovered} "
+            f"retries={metrics.fault_retries}"
+        )
+        for record in plan.injected:
+            print(f"  fired: {record}")
+        print("oracle match: " + ("yes" if matches else "NO"))
+    return 0 if ok else 7
 
 
 def _check_writable(*paths: Optional[str]) -> Optional[str]:
@@ -368,12 +520,28 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.command == "scan":
             return _cmd_scan(args.values, args.op)
         if args.command == "solve":
-            return _cmd_solve(args.path, args.stats, args.json)
+            return _cmd_solve(args)
+        if args.command == "faults":
+            if args.faults_command == "gen":
+                return _cmd_faults_gen(args)
+            return _cmd_faults_run(args)
     raise AssertionError(args.command)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    return _dispatch(build_parser().parse_args(argv))
+    from .errors import ReproError, exit_code_for
+
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        # Structured failures exit with their taxonomy code (see
+        # repro.errors); --json commands get the diagnosis as JSON.
+        if getattr(args, "json", False):
+            print(json.dumps({"error": exc.diagnosis()}, indent=2))
+        else:
+            print(f"error [{exc.category}]: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from .baselines import (
     sequential_scan,
     work_efficient_chain_solve,
 )
+from ..errors import CyclicDependenceError
 from .cap import CAPResult, cap_iterations, count_all_paths, count_paths_dp
 from .diagnostics import explain_gir, explain_ordinary
 from .depgraph import DependenceGraph, build_dependence_graph

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from ..obs import get_registry, get_tracer, maybe_span
+from ..resilience.policy import SolvePolicy
 from .depgraph import DependenceGraph
 
 __all__ = [
@@ -109,13 +110,29 @@ def _doubling_step(edges: EdgeSet, graph: DependenceGraph) -> "tuple[EdgeSet, in
 
 
 def count_all_paths(
-    graph: DependenceGraph, *, max_iterations: Optional[int] = None
+    graph: DependenceGraph,
+    *,
+    max_iterations: Optional[int] = None,
+    policy: Optional[SolvePolicy] = None,
+    validate: bool = True,
 ) -> CAPResult:
     """Run CAP to convergence (all edges reach leaves).
 
     ``max_iterations`` is a safety valve for tests; the algorithm
-    provably converges within ``ceil(log2(graph.depth()))`` iterations.
+    provably converges within ``ceil(log2(graph.depth()))`` iterations
+    -- *for a DAG*.  A cyclic graph would double forever, so the graph
+    is checked up front (``validate=False`` skips the O(n + e) check
+    for graphs known acyclic by construction) and a cycle raises
+    :class:`~repro.errors.CyclicDependenceError` naming it.
+
+    ``policy`` bounds the doubling loop; on exhaustion it raises,
+    falls back to the sequential :func:`count_paths_dp` ground truth,
+    or returns the current partially doubled edge sets, per its
+    ``on_exhaustion`` behaviour.
     """
+    if validate:
+        graph.validate_acyclic()
+    enforcer = policy.enforcer("cap") if policy is not None else None
     tracer = get_tracer()
     registry = get_registry()
     with maybe_span(tracer, "cap.count_all_paths", n=graph.n) as root:
@@ -127,6 +144,8 @@ def count_all_paths(
             if all(all(v >= graph.n for v in e) for e in edges):
                 break
             if max_iterations is not None and iterations >= max_iterations:
+                break
+            if enforcer is not None and not enforcer.admit():
                 break
             with maybe_span(
                 tracer, "cap.iteration", iteration=iterations
@@ -145,6 +164,8 @@ def count_all_paths(
         if root is not None:
             root.set_attribute("iterations", iterations)
             root.set_attribute("edge_work", total_work)
+        if enforcer is not None and enforcer.should_fallback:
+            edges = count_paths_dp(graph)
         return CAPResult(
             powers=edges,
             iterations=iterations,

@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..errors import IRValidationError
 from .operators import Operator, OperatorError
 
 __all__ = [
@@ -74,20 +75,24 @@ class IRClass(enum.Enum):
         )
 
 
-class IRValidationError(ValueError):
-    """Raised when an IR system violates its class's structural
-    requirements (domain errors, non-distinct ``g`` for OrdinaryIR,
-    missing commutativity for GIR, ...)."""
-
-
 def as_index_array(
-    index_map: IndexMapLike, n: int, *, name: str = "index map"
+    index_map: IndexMapLike,
+    n: int,
+    *,
+    name: str = "index map",
+    m: Optional[int] = None,
 ) -> np.ndarray:
     """Materialize an index map into an ``int64`` array of length ``n``.
 
     Accepts a sequence, a NumPy array, or a callable ``i -> cell``
     evaluated on ``0..n-1`` (handy for affine maps like the paper's
     ``g(i) = 7(i-1) + j``).
+
+    When ``m`` is given, the map's range is validated *eagerly* against
+    the array domain ``[0, m)`` -- an out-of-range entry raises
+    :class:`~repro.errors.IRValidationError` naming the offending
+    iteration here, at construction time, instead of surfacing as a
+    numpy ``IndexError`` deep inside a solver.
     """
     if callable(index_map):
         arr = np.fromiter((index_map(i) for i in range(n)), dtype=np.int64, count=n)
@@ -97,14 +102,19 @@ def as_index_array(
         raise IRValidationError(
             f"{name} must have exactly n={n} entries, got shape {arr.shape}"
         )
+    if m is not None:
+        _check_domain(arr, m, name)
     return arr
 
 
 def _check_domain(arr: np.ndarray, m: int, name: str) -> None:
     if arr.size and (arr.min() < 0 or arr.max() >= m):
-        bad = int(arr[(arr < 0) | (arr >= m)][0])
+        bad_mask = (arr < 0) | (arr >= m)
+        iteration = int(np.argmax(bad_mask))
+        bad = int(arr[iteration])
         raise IRValidationError(
-            f"{name} maps into cell {bad}, outside the array domain [0, {m})"
+            f"{name} maps iteration {iteration} to cell {bad}, outside "
+            f"the array domain [0, {m})"
         )
 
 
@@ -184,10 +194,11 @@ class OrdinaryIRSystem(IRSystemBase):
             if callable(g):
                 raise IRValidationError("n is required when g is a callable")
             n = len(g)  # type: ignore[arg-type]
+        m = len(initial)
         sys_ = cls(
             initial=list(initial),
-            g=as_index_array(g, n, name="g"),
-            f=as_index_array(f, n, name="f"),
+            g=as_index_array(g, n, name="g", m=m),
+            f=as_index_array(f, n, name="f", m=m),
             op=op,
         )
         if validate:
@@ -198,10 +209,12 @@ class OrdinaryIRSystem(IRSystemBase):
         super().validate()
         if not self.g_is_distinct():
             dup = self.first_duplicate_cell()
+            its = np.nonzero(self.g == dup)[0][:2].tolist()
             raise IRValidationError(
                 f"OrdinaryIR requires g to be distinct (injective); cell {dup} "
-                "is assigned more than once.  Use normalize_non_distinct() to "
-                "rewrite the loop into a distinct-g GIR system."
+                f"is assigned by iterations {its[0]} and {its[1]}.  Use "
+                "normalize_non_distinct() to rewrite the loop into a "
+                "distinct-g GIR system."
             )
 
     def g_is_distinct(self) -> bool:
@@ -269,12 +282,13 @@ class GIRSystem(IRSystemBase):
             if callable(g):
                 raise IRValidationError("n is required when g is a callable")
             n = len(g)  # type: ignore[arg-type]
+        m = len(initial)
         sys_ = cls(
             initial=list(initial),
-            g=as_index_array(g, n, name="g"),
-            f=as_index_array(f, n, name="f"),
+            g=as_index_array(g, n, name="g", m=m),
+            f=as_index_array(f, n, name="f", m=m),
             op=op,
-            h=as_index_array(h, n, name="h"),
+            h=as_index_array(h, n, name="h", m=m),
         )
         if validate:
             sys_.validate()

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..obs import get_registry, get_tracer, maybe_span
+from ..resilience.policy import SolvePolicy
 from .cap import CAPResult, count_all_paths
 from .depgraph import DependenceGraph, build_dependence_graph
 from .equations import GIRSystem, OrdinaryIRSystem, normalize_non_distinct
@@ -126,6 +127,9 @@ def solve_gir(
     collect_stats: bool = False,
     allow_rename: bool = True,
     allow_ordinary_dispatch: bool = True,
+    policy: Optional[SolvePolicy] = None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
 ) -> Tuple[List[Any], Optional[GIRSolveStats]]:
     """Solve a GIR system; returns ``(final_array, stats)``.
 
@@ -139,6 +143,12 @@ def solve_gir(
     lifts the commutativity requirement, exactly as the paper's
     section-2 special case does.  Set the flag to ``False`` to force
     the CAP pipeline (tests do, to cross-check the two algorithms).
+
+    ``policy`` bounds the iteration loops (pointer jumping or CAP
+    doubling, whichever runs); ``checked=True`` differentially
+    verifies ``check_sample`` sampled cells against the sequential
+    baseline and raises :class:`~repro.errors.VerificationError` on
+    mismatch.
     """
     system.validate()
 
@@ -156,7 +166,7 @@ def solve_gir(
             op=system.op,
         )
         out, ord_stats = solve_ordinary_numpy(
-            ordinary, collect_stats=collect_stats
+            ordinary, collect_stats=collect_stats, policy=policy
         )
         stats = None
         if collect_stats:
@@ -171,6 +181,10 @@ def solve_gir(
                 renamed=False,
                 ordinary_dispatch=True,
             )
+        if checked:
+            from ..resilience.verify import differential_check
+
+            differential_check("gir", system, out, sample=check_sample)
         return out, stats
 
     system.op.require_commutative()
@@ -199,7 +213,7 @@ def solve_gir(
                 gsp.set_attribute("edges", graph.edge_count())
                 gsp.set_attribute("depth", graph.depth())
         with maybe_span(tracer, "gir.cap"):
-            cap: CAPResult = count_all_paths(graph)
+            cap: CAPResult = count_all_paths(graph, policy=policy)
 
         with maybe_span(tracer, "gir.evaluate") as esp:
             out = list(work_system.initial)
@@ -242,6 +256,10 @@ def solve_gir(
             reduction_depth=depth,
             renamed=renamed,
         )
+    if checked:
+        from ..resilience.verify import differential_check
+
+        differential_check("gir", system, out, sample=check_sample)
     return out, stats
 
 

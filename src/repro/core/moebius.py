@@ -54,6 +54,7 @@ kernel 23 (see :mod:`repro.livermore.parallel`).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, List, Optional, Sequence, Tuple, Union
@@ -61,6 +62,8 @@ from typing import Any, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..obs import get_registry, get_tracer, maybe_span
+from ..resilience.guard import NumericGuard, default_guard
+from ..resilience.policy import SolvePolicy
 from .equations import IRValidationError, OrdinaryIRSystem, as_index_array
 from .operators import Operator
 from .ordinary import SolveStats, solve_ordinary, solve_ordinary_numpy
@@ -78,6 +81,23 @@ __all__ = [
 ]
 
 Number = Union[int, float, Fraction]
+
+
+def _zmul(x: Number, y: Number) -> Number:
+    """Product with an exact absorbing zero.
+
+    A *structural* zero entry (the ``0`` in an affine row ``[0, 1]`` or
+    a constant-map column) must wipe out its partner even when that
+    partner is a non-finite float: the paper's algebra is exact, and the
+    IEEE ``0 * inf = NaN`` would manufacture a NaN the ``odot``
+    semantics does not have.  Finite operands take the ordinary product,
+    so results on finite data are bit-identical to plain ``x * y``.
+    """
+    if x == 0 and isinstance(y, (float, np.floating)) and not math.isfinite(y):
+        return x
+    if y == 0 and isinstance(x, (float, np.floating)) and not math.isfinite(x):
+        return y
+    return x * y
 
 
 @dataclass(frozen=True)
@@ -117,12 +137,18 @@ class Mat2:
         return self.a * self.d - self.b * self.c
 
     def matmul(self, other: "Mat2") -> "Mat2":
-        """Plain matrix product (no degeneracy special-casing)."""
+        """Matrix product (no degeneracy special-casing).
+
+        Entry products use the exact absorbing zero (:func:`_zmul`):
+        bit-identical to the plain product on finite data, but a
+        structural zero absorbs a non-finite partner instead of
+        producing NaN.
+        """
         return Mat2(
-            self.a * other.a + self.b * other.c,
-            self.a * other.b + self.b * other.d,
-            self.c * other.a + self.d * other.c,
-            self.c * other.b + self.d * other.d,
+            _zmul(self.a, other.a) + _zmul(self.b, other.c),
+            _zmul(self.a, other.b) + _zmul(self.b, other.d),
+            _zmul(self.c, other.a) + _zmul(self.d, other.c),
+            _zmul(self.c, other.b) + _zmul(self.d, other.d),
         )
 
     def apply(self, x: Number) -> Number:
@@ -131,8 +157,18 @@ class Mat2:
         den = self.c * x + self.d
         return num / den
 
-    def is_constant_map(self) -> bool:
-        """True when the map ignores its argument (singular matrix)."""
+    def is_constant_map(self, guard: Optional[NumericGuard] = None) -> bool:
+        """True when the map ignores its argument (singular matrix).
+
+        With a :class:`~repro.resilience.NumericGuard`, the test is
+        tolerance-aware -- ``|det| <= tol * (|ad| + |bc|)`` -- so a
+        mathematically singular matrix whose determinant drifted off
+        exact zero under float accumulation is still classified as a
+        constant map.  Without one, the exact ``det == 0`` test of the
+        paper's algebra is used.
+        """
+        if guard is not None:
+            return guard.mat_is_constant(self)
         return self.det() == 0
 
     def constant_value(self) -> Number:
@@ -151,26 +187,33 @@ class Mat2:
         return self.apply(1)
 
 
-def moebius_compose(outer: Mat2, inner: Mat2) -> Mat2:
+def moebius_compose(
+    outer: Mat2, inner: Mat2, guard: Optional[NumericGuard] = None
+) -> Mat2:
     """The paper's ``odot``: ``outer`` if it is singular (a constant
     map absorbs whatever runs through it first), else the matrix
-    product ``outer @ inner`` (= map composition ``outer o inner``)."""
-    if outer.det() == 0:
+    product ``outer @ inner`` (= map composition ``outer o inner``).
+
+    ``guard`` makes the singularity test tolerance-aware (see
+    :meth:`Mat2.is_constant_map`)."""
+    if outer.is_constant_map(guard):
         return outer
     return outer.matmul(inner)
 
 
-def moebius_ir_operator() -> Operator:
+def moebius_ir_operator(guard: Optional[NumericGuard] = None) -> Operator:
     """The OrdinaryIR operator implementing the Moebius reduction.
 
     IR operators receive ``(A[f(i)], A[g(i)])`` -- the *earlier*
     segment first.  Map composition needs the newer map outermost
     (leftmost), so the operator composes its second argument over its
     first: ``op(f_seg, own_seg) = own_seg (*) f_seg``.
+
+    ``guard`` is threaded into the ``odot`` degeneracy test.
     """
     return Operator(
         name="moebius",
-        fn=lambda f_seg, own_seg: moebius_compose(own_seg, f_seg),
+        fn=lambda f_seg, own_seg: moebius_compose(own_seg, f_seg, guard),
         associative=True,
         commutative=False,
         identity=Mat2.identity(),
@@ -309,13 +352,21 @@ class AffineRecurrence(RationalRecurrence):
 
 
 def run_moebius_sequential(rec: RationalRecurrence) -> List[Number]:
-    """Ground-truth sequential execution of the recurrence."""
+    """Ground-truth sequential execution of the recurrence.
+
+    Scalar products use the exact absorbing zero (:func:`_zmul`): a
+    structural zero coefficient (``c = 0`` in an affine row, ``a = 0``
+    in a constant assignment) absorbs a non-finite operand value, so an
+    ``inf`` flowing through the chain does not manufacture NaN where
+    the recurrence's own semantics has none.  Finite data is untouched.
+    """
     X = list(rec.initial)
     g = rec.g.tolist()
     f = rec.f.tolist()
     for i in range(rec.n):
-        num = rec.a[i] * X[f[i]] + rec.b[i]
-        den = rec.c[i] * X[f[i]] + rec.d[i]
+        x_f = X[f[i]]
+        num = _zmul(rec.a[i], x_f) + rec.b[i]
+        den = _zmul(rec.c[i], x_f) + rec.d[i]
         value = num / den
         if rec.self_term:
             value = X[g[i]] + value
@@ -323,20 +374,77 @@ def run_moebius_sequential(rec: RationalRecurrence) -> List[Number]:
     return X
 
 
-def _all_float_scalars(rec: "RationalRecurrence") -> bool:
+def _floatable_scalars(rec: "RationalRecurrence") -> bool:
+    """True when every scalar is a plain int/float (safe to cast to
+    float64) and at least one is a float.  All-int and exact-Fraction
+    systems must keep the exact object engine."""
     scalars = list(rec.initial) + rec.a + rec.b + rec.c + rec.d
-    return all(isinstance(x, (float, np.floating)) for x in scalars)
+    saw_float = False
+    for x in scalars:
+        if isinstance(x, (bool, np.bool_)):
+            return False
+        if isinstance(x, (float, np.floating)):
+            saw_float = True
+        elif not isinstance(x, (int, np.integer)):
+            return False
+    return saw_float
 
 
 def _affine_fast_path_applicable(rec: "RationalRecurrence") -> bool:
     """The vectorized affine engine applies when the recurrence is
-    affine (``c = 0``, ``d != 0``) over plain Python/NumPy floats --
-    exact types (Fraction, int) must keep the object engine."""
+    affine (``c = 0``, ``d != 0``) over float-castable scalars --
+    exact types (Fraction, all-int data) must keep the object engine."""
     return (
         all(x == 0 for x in rec.c)
         and all(x != 0 for x in rec.d)
-        and _all_float_scalars(rec)
+        and _floatable_scalars(rec)
     )
+
+
+def _as_exact(rec: RationalRecurrence) -> Optional[RationalRecurrence]:
+    """An exact-``Fraction`` copy of the recurrence, or ``None`` when
+    one cannot represent it (a non-finite scalar)."""
+
+    def convert(xs: Sequence[Number]) -> Optional[List[Number]]:
+        out: List[Number] = []
+        for x in xs:
+            if isinstance(x, Fraction):
+                out.append(x)
+            elif isinstance(x, (int, np.integer)) and not isinstance(x, bool):
+                out.append(Fraction(int(x)))
+            elif isinstance(x, (float, np.floating)) and math.isfinite(x):
+                out.append(Fraction(float(x)))
+            else:
+                return None
+        return out
+
+    columns = [convert(rec.initial)] + [
+        convert(c) for c in (rec.a, rec.b, rec.c, rec.d)
+    ]
+    if any(col is None for col in columns):
+        return None
+    initial, a, b, c, d = columns
+    return RationalRecurrence(
+        initial=initial,  # type: ignore[arg-type]
+        g=rec.g.copy(),
+        f=rec.f.copy(),
+        a=a,  # type: ignore[arg-type]
+        b=b,  # type: ignore[arg-type]
+        c=c,  # type: ignore[arg-type]
+        d=d,  # type: ignore[arg-type]
+        self_term=rec.self_term,
+    )
+
+
+def _exact_to_float(value: Number) -> Number:
+    """Fraction -> float64 with overflow saturating to +/-inf, matching
+    the float engines' IEEE semantics."""
+    if isinstance(value, Fraction):
+        try:
+            return float(value)
+        except OverflowError:
+            return math.inf if value > 0 else -math.inf
+    return value
 
 
 def solve_moebius(
@@ -344,6 +452,10 @@ def solve_moebius(
     *,
     collect_stats: bool = False,
     engine: str = "auto",
+    guard: Any = "auto",
+    policy: Optional[SolvePolicy] = None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
 ) -> Tuple[List[Number], Optional[SolveStats]]:
     """Solve the recurrence in parallel via the Moebius reduction.
 
@@ -359,19 +471,83 @@ def solve_moebius(
     ``"rational"`` (the four-array fast path for float rational
     recurrences), or ``"auto"`` (default: the best applicable fast
     path, else ``"numpy"``).
+
+    ``guard`` controls the numeric-health degradation ladder.  The
+    default ``"auto"`` arms :func:`repro.resilience.default_guard` for
+    ``engine="auto"`` solves and leaves explicitly selected engines
+    unguarded (so their bit-level contracts hold); pass a
+    :class:`~repro.resilience.NumericGuard` to arm any engine, or
+    ``None`` to disable.  When the guard finds NaN (or Inf, if
+    configured fatal) in the result, the solve escalates: float64 fast
+    path -> exact ``Fraction`` object engine (when every scalar is
+    finite) -> the sequential baseline.  Trips and escalations are
+    counted in the obs registry (``resilience.guard.trips``,
+    ``resilience.escalations``).
+
+    ``policy`` bounds the solve (see
+    :class:`~repro.resilience.SolvePolicy`); ``checked=True``
+    differentially verifies ``check_sample`` cells against the
+    sequential baseline and raises
+    :class:`~repro.errors.VerificationError` on mismatch.
     """
     rec.validate()
-    if engine == "auto":
+    auto = engine == "auto"
+    guard_obj: Optional[NumericGuard]
+    if isinstance(guard, str):
+        if guard != "auto":
+            raise ValueError(f"unknown guard mode {guard!r}")
+        guard_obj = default_guard() if auto else None
+    else:
+        guard_obj = guard
+    if auto:
         if _affine_fast_path_applicable(rec):
             engine = "affine"
-        elif _all_float_scalars(rec):
+        elif _floatable_scalars(rec):
             engine = "rational"
         else:
             engine = "numpy"
+
+    X, stats = _run_moebius_engine(
+        rec, engine, collect_stats=collect_stats, guard=guard_obj, policy=policy
+    )
+
+    if guard_obj is not None:
+        X, stats = _escalate_if_unhealthy(
+            rec,
+            X,
+            stats,
+            engine=engine,
+            guard=guard_obj,
+            collect_stats=collect_stats,
+            policy=policy,
+        )
+
+    if checked:
+        from ..resilience.verify import differential_check
+
+        differential_check("moebius", rec, X, sample=check_sample)
+    return X, stats
+
+
+def _run_moebius_engine(
+    rec: RationalRecurrence,
+    engine: str,
+    *,
+    collect_stats: bool,
+    guard: Optional[NumericGuard],
+    policy: Optional[SolvePolicy],
+) -> Tuple[List[Number], Optional[SolveStats]]:
+    """Dispatch one concrete engine (no ladder, no auto resolution)."""
     if engine == "affine":
-        return solve_affine_numpy(rec, collect_stats=collect_stats)
+        return solve_affine_numpy(
+            rec, collect_stats=collect_stats, guard=guard, policy=policy
+        )
     if engine == "rational":
-        return solve_rational_numpy(rec, collect_stats=collect_stats)
+        return solve_rational_numpy(
+            rec, collect_stats=collect_stats, guard=guard, policy=policy
+        )
+    if engine not in ("numpy", "python"):
+        raise ValueError(f"unknown engine {engine!r}")
     n, m = rec.n, rec.m
 
     tracer = get_tracer()
@@ -387,19 +563,23 @@ def solve_moebius(
             initial=coeff,
             g=rec.g.copy(),
             f=rec.f.copy(),
-            op=moebius_ir_operator(),
+            op=moebius_ir_operator(guard),
         )
         with maybe_span(tracer, "moebius.ir_solve"):
             if engine == "numpy":
                 solved, stats = solve_ordinary_numpy(
-                    system, collect_stats=collect_stats, f_initial=const
-                )
-            elif engine == "python":
-                solved, stats = solve_ordinary(
-                    system, collect_stats=collect_stats, f_initial=const
+                    system,
+                    collect_stats=collect_stats,
+                    f_initial=const,
+                    policy=policy,
                 )
             else:
-                raise ValueError(f"unknown engine {engine!r}")
+                solved, stats = solve_ordinary(
+                    system,
+                    collect_stats=collect_stats,
+                    f_initial=const,
+                    policy=policy,
+                )
 
         with maybe_span(tracer, "moebius.evaluate"):
             X = list(rec.initial)
@@ -419,27 +599,87 @@ def solve_moebius(
     return X, stats
 
 
+def _escalate_if_unhealthy(
+    rec: RationalRecurrence,
+    X: List[Number],
+    stats: Optional[SolveStats],
+    *,
+    engine: str,
+    guard: NumericGuard,
+    collect_stats: bool,
+    policy: Optional[SolvePolicy],
+) -> Tuple[List[Number], Optional[SolveStats]]:
+    """The degradation ladder's upper rungs.
+
+    Rung 1 (the engine that just ran) produced ``X``; if the guard
+    finds it unhealthy, rung 2 re-solves with exact ``Fraction``
+    arithmetic on the object engine (possible iff every input scalar is
+    finite), and rung 3 -- when exactness is unavailable or division by
+    an exact zero occurs -- falls back to the sequential baseline,
+    which *defines* the recurrence's semantics.
+    """
+    assigned = (X[int(c)] for c in rec.g)
+    report = guard.check_values(assigned, where=f"moebius.{engine}")
+    if report.healthy:
+        return X, stats
+
+    tracer = get_tracer()
+    guard.record_trip(
+        kind="nan" if report.nan_count else "inf", engine=engine
+    )
+
+    exact = _as_exact(rec)
+    if exact is not None:
+        guard.record_escalation(source=engine, target="exact")
+        try:
+            with maybe_span(
+                tracer, "resilience.escalate", source=engine, target="exact"
+            ):
+                Xe, stats_e = _run_moebius_engine(
+                    exact,
+                    "numpy",
+                    collect_stats=collect_stats,
+                    guard=None,  # exact arithmetic: det == 0 is exact
+                    policy=policy,
+                )
+            return [_exact_to_float(v) for v in Xe], stats_e
+        except ZeroDivisionError:
+            # a genuine pole (0/0 or x/0): only float semantics can
+            # express the result; fall through to the baseline
+            pass
+
+    guard.record_escalation(source=engine, target="sequential")
+    with maybe_span(
+        tracer, "resilience.escalate", source=engine, target="sequential"
+    ):
+        return run_moebius_sequential(rec), stats
+
+
 def solve_affine_numpy(
     rec: RationalRecurrence,
     *,
     collect_stats: bool = False,
+    guard: Optional[NumericGuard] = None,
+    policy: Optional[SolvePolicy] = None,
 ) -> Tuple[List[Number], Optional[SolveStats]]:
     """Vectorized fast path for *affine* recurrences (``c = 0``).
 
     Affine maps compose as scalar pairs -- ``(a2, b2) o (a1, b1) =
     (a2*a1, a2*b1 + b2)`` -- so the whole pointer-jumping solve runs on
     two float arrays with NumPy gathers, no per-element :class:`Mat2`
-    objects.  Constant maps are the ``a = 0`` pairs, which the
-    composition absorbs automatically (``0*a1 = 0``), so no degeneracy
-    branch is needed either.
+    objects.  Constant maps are the ``a = 0`` pairs; the composition
+    masks them out explicitly so a constant's structural zero absorbs
+    even a non-finite partner (matching the exact ``odot`` rule
+    instead of IEEE's ``0 * inf = NaN``).
 
     Requirements: every ``c[i] == 0`` and ``d[i] != 0`` (``d`` is
-    normalized away), and finite float coefficients (an infinite
-    intermediate would turn the absorbing ``0 * inf`` into NaN where
-    the exact ``odot`` rule returns the constant; use
-    :func:`solve_moebius` with the object engine for such inputs).
-    Produces bit-identical results to the object engine on finite
-    data -- the arithmetic expressions are the same.
+    normalized away) and float-castable coefficients.  Produces
+    bit-identical results to the object engine on finite data -- the
+    arithmetic expressions are the same.
+
+    ``guard`` is accepted for interface symmetry (the affine
+    composition's degeneracy test -- ``a == 0`` -- is structural, so no
+    tolerance is needed); ``policy`` bounds the doubling loop.
     """
     rec.validate()
     n, m = rec.n, rec.m
@@ -473,8 +713,14 @@ def solve_affine_numpy(
     terminal = pred < 0
     a = coeff_a.copy()
     b = coeff_b.copy()
-    # terminals absorb Const(S[f(i)]): (a,b) o (0,S) = (0, a*S + b)
-    b[terminal] = a[terminal] * initial[rec.f[terminal]] + b[terminal]
+    # terminals absorb Const(S[f(i)]): (a,b) o (0,S) = (0, a*S + b);
+    # constant pairs (a == 0) keep their b untouched -- their
+    # structural zero must absorb even an infinite S
+    at = a[terminal]
+    with np.errstate(invalid="ignore"):
+        b[terminal] = np.where(
+            at == 0.0, b[terminal], at * initial[rec.f[terminal]] + b[terminal]
+        )
     a[terminal] = 0.0
     nxt = pred.copy()
 
@@ -482,6 +728,7 @@ def solve_affine_numpy(
         SolveStats(n=n, init_ops=int(terminal.sum())) if collect_stats else None
     )
 
+    enforcer = policy.enforcer("moebius.affine") if policy is not None else None
     tracer = get_tracer()
     registry = get_registry()
     active = np.nonzero(nxt >= 0)[0]
@@ -489,6 +736,8 @@ def solve_affine_numpy(
     with maybe_span(tracer, "solver.moebius", engine="affine", n=n) as root:
         with np.errstate(over="ignore", invalid="ignore"):
             while active.size:
+                if enforcer is not None and not enforcer.admit():
+                    break
                 count = int(active.size)
                 with maybe_span(
                     tracer,
@@ -500,9 +749,13 @@ def solve_affine_numpy(
                     p = nxt[active]
                     # newer segment (active) composes over the older
                     # one (p): gathers complete before the scatters
-                    # below
-                    new_b = a[active] * b[p] + b[active]
-                    new_a = a[active] * a[p]
+                    # below.  Constant pairs (a == 0) absorb: the odot
+                    # rule, kept out of IEEE's 0 * inf = NaN.
+                    const_pair = a[active] == 0.0
+                    new_b = np.where(
+                        const_pair, b[active], a[active] * b[p] + b[active]
+                    )
+                    new_a = np.where(const_pair, 0.0, a[active] * a[p])
                     a[active] = new_a
                     b[active] = new_b
                     nxt[active] = nxt[p]
@@ -521,9 +774,12 @@ def solve_affine_numpy(
         if registry is not None:
             registry.counter("solver.solves", engine="affine").inc()
 
+    if enforcer is not None and enforcer.should_fallback:
+        return run_moebius_sequential(rec), stats
+
     out = list(rec.initial)
     g_list = rec.g.tolist()
-    values = b.tolist()  # all maps end constant: value = b
+    values = b.tolist()  # all (completed) maps end constant: value = b
     for i in range(n):
         out[g_list[i]] = values[i]
     return out, stats
@@ -533,15 +789,24 @@ def solve_rational_numpy(
     rec: RationalRecurrence,
     *,
     collect_stats: bool = False,
+    guard: Optional[NumericGuard] = None,
+    policy: Optional[SolvePolicy] = None,
 ) -> Tuple[List[Number], Optional[SolveStats]]:
     """Vectorized engine for *rational* recurrences over floats.
 
     Generalizes :func:`solve_affine_numpy` to the full 2x2 case: the
     pointer-jumping state is four float arrays (one per matrix entry)
     and the paper's ``odot`` degeneracy rule is applied with a
-    ``det == 0`` mask -- the same exact-zero test the object engine
-    performs, so results are bit-identical on finite float data.
-    Requires float coefficients (exact types keep the object engine).
+    singularity mask.  Without a ``guard`` the mask is the exact
+    ``det == 0`` test the unguarded object engine performs, so results
+    are bit-identical on finite float data; with one, near-singular
+    drift is classified as constant via
+    :meth:`repro.resilience.NumericGuard.singular_mask` (matching the
+    guarded object engine).  Entry products use an absorbing-zero mask
+    so structural zeros wipe out non-finite partners, as in
+    :meth:`Mat2.matmul`.  Requires float-castable coefficients (exact
+    types keep the object engine).  ``policy`` bounds the doubling
+    loop.
     """
     rec.validate()
     n, m = rec.n, rec.m
@@ -566,14 +831,29 @@ def solve_rational_numpy(
     pred = predecessor_array(system_like)
     terminal = pred < 0
 
+    def singular(ma, mb, mc, md):
+        if guard is not None:
+            return guard.singular_mask(ma, mb, mc, md)
+        return ma * md - mb * mc == 0
+
+    def amul(x, y):
+        # product with an exact absorbing zero (vectorized _zmul): a
+        # structural 0 entry wipes out a non-finite partner instead of
+        # manufacturing NaN; finite data is untouched
+        out = x * y
+        zero = (x == 0.0) | (y == 0.0)
+        if zero.any():
+            out = np.where(zero, 0.0, out)
+        return out
+
     # terminals compose their map over Const(S[f(i)]) = [[0,S],[0,1]]
     s_f = initial[rec.f[terminal]]
-    det_t = A[terminal] * D[terminal] - B[terminal] * C[terminal]
-    keep = det_t == 0  # degenerate coefficient maps absorb the constant
-    new_b = np.where(keep, B[terminal], A[terminal] * s_f + B[terminal])
-    new_d = np.where(keep, D[terminal], C[terminal] * s_f + D[terminal])
-    new_a = np.where(keep, A[terminal], 0.0)
-    new_c = np.where(keep, C[terminal], 0.0)
+    with np.errstate(over="ignore", invalid="ignore"):
+        keep = singular(A[terminal], B[terminal], C[terminal], D[terminal])
+        new_b = np.where(keep, B[terminal], amul(A[terminal], s_f) + B[terminal])
+        new_d = np.where(keep, D[terminal], amul(C[terminal], s_f) + D[terminal])
+        new_a = np.where(keep, A[terminal], 0.0)
+        new_c = np.where(keep, C[terminal], 0.0)
     A[terminal], B[terminal], C[terminal], D[terminal] = new_a, new_b, new_c, new_d
     nxt = pred.copy()
 
@@ -581,6 +861,7 @@ def solve_rational_numpy(
         SolveStats(n=n, init_ops=int(terminal.sum())) if collect_stats else None
     )
 
+    enforcer = policy.enforcer("moebius.rational") if policy is not None else None
     tracer = get_tracer()
     registry = get_registry()
     active = np.nonzero(nxt >= 0)[0]
@@ -588,6 +869,8 @@ def solve_rational_numpy(
     with maybe_span(tracer, "solver.moebius", engine="rational", n=n) as root:
         with np.errstate(over="ignore", invalid="ignore"):
             while active.size:
+                if enforcer is not None and not enforcer.admit():
+                    break
                 count = int(active.size)
                 with maybe_span(
                     tracer,
@@ -599,12 +882,11 @@ def solve_rational_numpy(
                     p = nxt[active]
                     ao, bo, co, do = A[active], B[active], C[active], D[active]
                     ai, bi, ci, di = A[p], B[p], C[p], D[p]
-                    det = ao * do - bo * co
-                    keep = det == 0  # odot: a singular outer segment absorbs
-                    A[active] = np.where(keep, ao, ao * ai + bo * ci)
-                    B[active] = np.where(keep, bo, ao * bi + bo * di)
-                    C[active] = np.where(keep, co, co * ai + do * ci)
-                    D[active] = np.where(keep, do, co * bi + do * di)
+                    keep = singular(ao, bo, co, do)  # odot: singular outer absorbs
+                    A[active] = np.where(keep, ao, amul(ao, ai) + amul(bo, ci))
+                    B[active] = np.where(keep, bo, amul(ao, bi) + amul(bo, di))
+                    C[active] = np.where(keep, co, amul(co, ai) + amul(do, ci))
+                    D[active] = np.where(keep, do, amul(co, bi) + amul(do, di))
                     nxt[active] = nxt[p]
                     rounds += 1
                     if stats is not None:
@@ -620,6 +902,9 @@ def solve_rational_numpy(
             root.set_attribute("rounds", rounds)
         if registry is not None:
             registry.counter("solver.solves", engine="rational").inc()
+
+    if enforcer is not None and enforcer.should_fallback:
+        return run_moebius_sequential(rec), stats
 
     out = list(rec.initial)
     g_list = rec.g.tolist()

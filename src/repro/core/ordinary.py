@@ -60,12 +60,49 @@ from typing import Any, List, Optional, Tuple
 import numpy as np
 
 from ..obs import get_registry, get_tracer, maybe_span
+from ..resilience.policy import SolvePolicy
 from .equations import OrdinaryIRSystem
 from .traces import predecessor_array
 
 __all__ = ["SolveStats", "solve_ordinary", "solve_ordinary_numpy"]
 
 NIL = np.int64(-1)
+
+
+def _sequential_baseline(
+    system: OrdinaryIRSystem, f_initial: Optional[List[Any]]
+) -> List[Any]:
+    """O(n) sequential execution used as the policy-fallback rung.
+
+    Honors ``f_initial``: a terminal's ``f``-operand (a cell still at
+    its initial value) reads from ``f_initial`` when provided, exactly
+    as the parallel engines' initialization step does.
+    """
+    S = system.initial
+    F = f_initial if f_initial is not None else S
+    op = system.op.fn
+    g = system.g.tolist()
+    f = system.f.tolist()
+    out = list(S)
+    assigned = [False] * system.m
+    for i in range(system.n):
+        fi = f[i]
+        left = out[fi] if assigned[fi] else F[fi]
+        out[g[i]] = op(left, out[g[i]])
+        assigned[g[i]] = True
+    return out
+
+
+def _maybe_check(
+    system: OrdinaryIRSystem, out, f_initial, checked, check_sample
+) -> None:
+    if checked:
+        from ..resilience.verify import check_against_oracle
+
+        oracle = _sequential_baseline(system, f_initial)
+        check_against_oracle(
+            out, oracle, label="ordinary.checked", sample=check_sample
+        )
 
 
 @dataclass
@@ -110,6 +147,9 @@ def solve_ordinary(
     collect_stats: bool = False,
     max_rounds: Optional[int] = None,
     f_initial: Optional[List[Any]] = None,
+    policy: Optional[SolvePolicy] = None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
 ) -> Tuple[List[Any], Optional[SolveStats]]:
     """Pure-Python reference of the parallel OrdinaryIR algorithm.
 
@@ -130,6 +170,14 @@ def solve_ordinary(
     constant-map matrices to terminals while chain cells contribute
     coefficient matrices -- mirroring the paper's distinction between
     ``f(i)^0`` initial-value nodes and final nodes.
+
+    ``policy`` bounds the doubling loop (iteration budget / wall-clock
+    timeout) with the :class:`~repro.resilience.SolvePolicy` exhaustion
+    behaviour: raise, fall back to the O(n) sequential baseline, or
+    return the current partial state.  ``checked=True`` differentially
+    verifies ``check_sample`` sampled cells against the sequential
+    baseline and raises :class:`~repro.errors.VerificationError` on
+    mismatch.
     """
     system.validate()
     n = system.n
@@ -159,9 +207,14 @@ def solve_ordinary(
 
         stats = SolveStats(n=n, init_ops=terminals) if collect_stats else None
 
+        enforcer = (
+            policy.enforcer("ordinary.python") if policy is not None else None
+        )
         rounds = 0
         while any(p >= 0 for p in nxt):
             if max_rounds is not None and rounds >= max_rounds:
+                break
+            if enforcer is not None and not enforcer.admit():
                 break
             with maybe_span(
                 tracer, "solver.round", engine="python", round=rounds
@@ -195,9 +248,16 @@ def solve_ordinary(
             registry.counter("solver.solves", engine="python").inc()
             registry.counter("solver.init_ops", engine="python").inc(terminals)
 
+        if enforcer is not None and enforcer.should_fallback:
+            out = _sequential_baseline(system, f_initial)
+            _maybe_check(system, out, f_initial, checked, check_sample)
+            return out, stats
+
         out = list(S)
         for i in range(n):
             out[g[i]] = val[i]
+        if enforcer is None or not enforcer.is_partial:
+            _maybe_check(system, out, f_initial, checked, check_sample)
         return out, stats
 
 
@@ -206,6 +266,9 @@ def solve_ordinary_numpy(
     *,
     collect_stats: bool = False,
     f_initial: Optional[List[Any]] = None,
+    policy: Optional[SolvePolicy] = None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
 ) -> Tuple[List[Any], Optional[SolveStats]]:
     """Vectorized engine for the same algorithm.
 
@@ -216,7 +279,8 @@ def solve_ordinary_numpy(
     cost of Python-level dispatch inside NumPy).
 
     Semantically identical to :func:`solve_ordinary`; tests assert
-    exact agreement (including per-round stats).  ``f_initial`` as in
+    exact agreement (including per-round stats).  ``f_initial``,
+    ``policy``, ``checked``, ``check_sample`` as in
     :func:`solve_ordinary`.
     """
     system.validate()
@@ -253,6 +317,9 @@ def solve_ordinary_numpy(
         init_ops = int(terminal.sum())
         stats = SolveStats(n=n, init_ops=init_ops) if collect_stats else None
 
+        enforcer = (
+            policy.enforcer("ordinary.numpy") if policy is not None else None
+        )
         rounds = 0
         active_idx = np.nonzero(nxt >= 0)[0]
         # Overflow saturates to +/-inf, matching the Python-float
@@ -260,6 +327,8 @@ def solve_ordinary_numpy(
         # about it.
         with np.errstate(over="ignore", invalid="ignore"):
             while active_idx.size:
+                if enforcer is not None and not enforcer.admit():
+                    break
                 active = int(active_idx.size)
                 with maybe_span(
                     tracer,
@@ -291,8 +360,15 @@ def solve_ordinary_numpy(
             registry.counter("solver.solves", engine="numpy").inc()
             registry.counter("solver.init_ops", engine="numpy").inc(init_ops)
 
+        if enforcer is not None and enforcer.should_fallback:
+            out = _sequential_baseline(system, f_initial)
+            _maybe_check(system, out, f_initial, checked, check_sample)
+            return out, stats
+
         out = list(S)
         solved = val.tolist()  # numpy scalars -> Python scalars / objects
         for i, cell in enumerate(g.tolist()):
             out[cell] = solved[i]
+        if enforcer is None or not enforcer.is_partial:
+            _maybe_check(system, out, f_initial, checked, check_sample)
         return out, stats

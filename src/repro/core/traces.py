@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..errors import CyclicDependenceError
 from .equations import GIRSystem, IRValidationError, OrdinaryIRSystem
 
 __all__ = [
@@ -104,6 +105,16 @@ def ordinary_trace_factors(
         if nxt < 0:
             break
         j = nxt
+        # A well-formed predecessor array strictly decreases, so a
+        # chain can never exceed n nodes; a hand-supplied pred with a
+        # cycle would loop here forever.
+        if len(chain) > system.n:
+            raise CyclicDependenceError(
+                f"predecessor chain of iteration {iteration} exceeds n="
+                f"{system.n} nodes; the supplied predecessor array "
+                "contains a cycle",
+                cycle=chain[-4:],
+            )
     terminal = chain[-1]
     factors = [int(system.f[terminal])]
     for j in reversed(chain):

@@ -1,0 +1,192 @@
+"""Structured failure taxonomy for the reproduction.
+
+Every failure mode the library can diagnose flows through one of the
+exception classes below, so callers (and the CLI) can react to the
+*category* of a failure rather than string-matching messages:
+
+==========================  ===========  =======================================
+class                       exit code    meaning
+==========================  ===========  =======================================
+:class:`ReproError`         1            base class; anything diagnosed by us
+:class:`IRValidationError`  3            malformed IR system (domains, maps)
+:class:`CyclicDependenceError`  3        a dependence cycle that would hang
+:class:`PolicyError`        4            a :class:`~repro.resilience.SolvePolicy`
+                                         budget/timeout was exhausted
+:class:`NumericHealthError` 5            the numeric guard found NaN/Inf/degeneracy
+                                         and no ladder rung could recover
+:class:`VerificationError`  6            differential check against the
+                                         sequential oracle failed
+:class:`FaultError`         7            PRAM fault injection / recovery failure
+==========================  ===========  =======================================
+
+Each class carries ``exit_code`` and ``category`` attributes; the CLI
+maps an uncaught :class:`ReproError` onto its ``exit_code`` and prints
+the structured :meth:`ReproError.diagnosis`.  Pre-existing exception
+contracts are preserved through multiple inheritance:
+:class:`IRValidationError` is still a :class:`ValueError` and
+:class:`NumericHealthError` is an :class:`ArithmeticError`, so callers
+that caught the builtin types keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "ReproError",
+    "IRValidationError",
+    "CyclicDependenceError",
+    "PolicyError",
+    "IterationBudgetExceeded",
+    "SolveTimeoutError",
+    "NumericHealthError",
+    "VerificationError",
+    "FaultError",
+    "UnrecoverableFaultError",
+    "exit_code_for",
+]
+
+
+class ReproError(Exception):
+    """Base class of all structured failures raised by this library."""
+
+    exit_code: int = 1
+    category: str = "generic"
+
+    def diagnosis(self) -> Dict[str, Any]:
+        """Machine-readable description of the failure (CLI ``--json``
+        error output and the obs event log both use it)."""
+        return {
+            "category": self.category,
+            "type": type(self).__name__,
+            "message": str(self),
+        }
+
+
+class IRValidationError(ReproError, ValueError):
+    """An IR system violates its class's structural requirements
+    (domain errors, non-distinct ``g`` for OrdinaryIR, missing
+    commutativity for GIR, ...)."""
+
+    exit_code = 3
+    category = "validation"
+
+
+class CyclicDependenceError(IRValidationError):
+    """A dependence structure contains a cycle, so the doubling /
+    pointer-jumping iterations would never converge.  ``cycle`` lists
+    the node ids on the offending cycle."""
+
+    def __init__(self, message: str, *, cycle: Optional[Sequence[int]] = None):
+        super().__init__(message)
+        self.cycle: List[int] = list(cycle) if cycle is not None else []
+
+    def diagnosis(self) -> Dict[str, Any]:
+        doc = super().diagnosis()
+        doc["cycle"] = self.cycle
+        return doc
+
+
+class PolicyError(ReproError):
+    """A :class:`repro.resilience.SolvePolicy` limit was exhausted and
+    the policy's ``on_exhaustion`` behaviour is ``"raise"``."""
+
+    exit_code = 4
+    category = "policy"
+
+
+class IterationBudgetExceeded(PolicyError):
+    """The solve used up its round/iteration budget."""
+
+    def __init__(self, message: str, *, rounds: int = 0, budget: int = 0):
+        super().__init__(message)
+        self.rounds = rounds
+        self.budget = budget
+
+    def diagnosis(self) -> Dict[str, Any]:
+        doc = super().diagnosis()
+        doc.update(rounds=self.rounds, budget=self.budget)
+        return doc
+
+
+class SolveTimeoutError(PolicyError):
+    """The solve exceeded its wall-clock budget."""
+
+    def __init__(self, message: str, *, elapsed: float = 0.0, timeout: float = 0.0):
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.timeout = timeout
+
+    def diagnosis(self) -> Dict[str, Any]:
+        doc = super().diagnosis()
+        doc.update(elapsed=self.elapsed, timeout=self.timeout)
+        return doc
+
+
+class NumericHealthError(ReproError, ArithmeticError):
+    """The numeric guard tripped (NaN/Inf/degenerate determinant) and
+    no rung of the degradation ladder produced a verified answer."""
+
+    exit_code = 5
+    category = "numeric"
+
+    def __init__(self, message: str, *, report: Optional[Any] = None):
+        super().__init__(message)
+        self.report = report
+
+    def diagnosis(self) -> Dict[str, Any]:
+        doc = super().diagnosis()
+        if self.report is not None:
+            describe = getattr(self.report, "to_dict", None)
+            doc["report"] = describe() if callable(describe) else repr(self.report)
+        return doc
+
+
+class VerificationError(ReproError):
+    """Differential verification against the sequential oracle found
+    mismatching cells.  ``mismatches`` holds ``(cell, got, want)``."""
+
+    exit_code = 6
+    category = "verification"
+
+    def __init__(self, message: str, *, mismatches: Optional[Sequence[tuple]] = None):
+        super().__init__(message)
+        self.mismatches: List[tuple] = list(mismatches) if mismatches else []
+
+    def diagnosis(self) -> Dict[str, Any]:
+        doc = super().diagnosis()
+        doc["mismatches"] = [
+            {"cell": c, "got": repr(got), "want": repr(want)}
+            for c, got, want in self.mismatches[:20]
+        ]
+        return doc
+
+
+class FaultError(ReproError):
+    """Something went wrong in the PRAM fault-injection machinery."""
+
+    exit_code = 7
+    category = "fault"
+
+
+class UnrecoverableFaultError(FaultError):
+    """Checkpoint/retry could not reach two agreeing executions of a
+    superstep within the machine's retry budget."""
+
+    def __init__(self, message: str, *, step: int = -1, attempts: int = 0):
+        super().__init__(message)
+        self.step = step
+        self.attempts = attempts
+
+    def diagnosis(self) -> Dict[str, Any]:
+        doc = super().diagnosis()
+        doc.update(step=self.step, attempts=self.attempts)
+        return doc
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The CLI exit code for an exception (2 is reserved for argparse
+    usage errors, 1 for undiagnosed failures)."""
+    if isinstance(exc, ReproError):
+        return exc.exit_code
+    return 1

@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.equations import OrdinaryIRSystem
+from ..resilience.faults import FaultPlan
 from .instructions import DEFAULT_COST_MODEL, CostModel
 from .machine import PRAM
 from .memory import AccessPolicy
@@ -56,6 +57,8 @@ def run_sequential_on_pram(
     *,
     cost_model: Optional[CostModel] = None,
     policy: AccessPolicy = AccessPolicy.CREW,
+    fault_plan: Optional[FaultPlan] = None,
+    max_retries: int = 3,
 ) -> Tuple[List[Any], RunMetrics]:
     """Execute the sequential baseline loop on a 1-processor machine.
 
@@ -68,6 +71,8 @@ def run_sequential_on_pram(
         processors=1,
         policy=policy,
         cost_model=cost_model or DEFAULT_COST_MODEL,
+        fault_plan=fault_plan,
+        max_retries=max_retries,
     )
     mem = machine.memory
     mem.alloc("A", system.initial)
@@ -100,6 +105,8 @@ def run_ordinary_on_pram(
     cost_model: Optional[CostModel] = None,
     policy: AccessPolicy = AccessPolicy.CREW,
     f_initial: Optional[List[Any]] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_retries: int = 3,
 ) -> Tuple[List[Any], RunMetrics]:
     """Execute the parallel OrdinaryIR algorithm on the interpreter.
 
@@ -114,6 +121,8 @@ def run_ordinary_on_pram(
         processors=processors,
         policy=policy,
         cost_model=cost_model or DEFAULT_COST_MODEL,
+        fault_plan=fault_plan,
+        max_retries=max_retries,
     )
     mem = machine.memory
     mem.alloc("A", system.initial)
@@ -205,6 +214,8 @@ def run_trace_eval_on_pram(
     cost_model: Optional[CostModel] = None,
     policy: AccessPolicy = AccessPolicy.CREW,
     machine: Optional[PRAM] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_retries: int = 3,
 ) -> Tuple[List[Any], RunMetrics]:
     """The GIR evaluation stage as a PRAM program.
 
@@ -231,6 +242,8 @@ def run_trace_eval_on_pram(
             processors=processors,
             policy=policy,
             cost_model=cost_model or DEFAULT_COST_MODEL,
+            fault_plan=fault_plan,
+            max_retries=max_retries,
         )
     mem = machine.memory
     mem.alloc("S", initial)
@@ -309,6 +322,8 @@ def run_cap_on_pram(
     cost_model: Optional[CostModel] = None,
     policy: AccessPolicy = AccessPolicy.CREW,
     machine: Optional[PRAM] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    max_retries: int = 3,
 ) -> Tuple[List[Dict[int, int]], RunMetrics]:
     """CAP (Counting All Paths) as a PRAM program.
 
@@ -331,6 +346,8 @@ def run_cap_on_pram(
             processors=processors,
             policy=policy,
             cost_model=cost_model or DEFAULT_COST_MODEL,
+            fault_plan=fault_plan,
+            max_retries=max_retries,
         )
     mem = machine.memory
     n = graph.n
@@ -373,6 +390,8 @@ def run_gir_on_pram(
     processors: int = 1,
     cost_model: Optional[CostModel] = None,
     policy: AccessPolicy = AccessPolicy.CREW,
+    fault_plan: Optional[FaultPlan] = None,
+    max_retries: int = 3,
 ) -> Tuple[List[Any], RunMetrics]:
     """The complete GIR pipeline on the interpreter.
 
@@ -392,6 +411,8 @@ def run_gir_on_pram(
         processors=processors,
         policy=policy,
         cost_model=cost_model or DEFAULT_COST_MODEL,
+        fault_plan=fault_plan,
+        max_retries=max_retries,
     )
     edge_sets, _ = run_cap_on_pram(graph, machine=machine)
     tables = [

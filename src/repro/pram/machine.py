@@ -21,11 +21,13 @@ the cross-validated analytic engine in :mod:`repro.pram.vectorized`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..errors import UnrecoverableFaultError
 from ..obs import get_tracer, maybe_span
+from ..resilience.faults import FaultPlan
 from .instructions import DEFAULT_COST_MODEL, CostModel
-from .memory import AccessPolicy, SharedMemory
+from .memory import AccessPolicy, MemoryConflictError, SharedMemory
 from .metrics import RunMetrics
 from .program import ProcContext, SuperStep
 from .scheduler import make_bursts
@@ -58,6 +60,15 @@ class PRAM:
     ``(proc, 'R'|'W', array, index)`` for memory accesses and
     ``(proc, 'C', fn_name, cost)`` for computations -- a debugging and
     teaching aid (see :meth:`render_trace`)."""
+    fault_plan: Optional[FaultPlan] = None
+    """Optional :class:`repro.resilience.FaultPlan` to inject transient
+    faults from.  Installing a plan switches every superstep to
+    checkpointed dual-modular-redundant execution (see
+    :meth:`superstep`)."""
+    max_retries: int = 3
+    """Extra re-executions allowed beyond the first comparison pair
+    when fault recovery is active; exceeding it raises
+    :class:`~repro.errors.UnrecoverableFaultError`."""
 
     def __post_init__(self) -> None:
         if self.processors < 1:
@@ -96,50 +107,216 @@ class PRAM:
         ``work`` is a sequence of ``(virtual_proc_id, thunk)`` pairs.
         ``charge_overhead=False`` suppresses the per-burst fork cost --
         used by the sequential baseline, which forks nothing.
+
+        When a :attr:`fault_plan` is installed, the step runs under
+        dual modular redundancy: shared memory is checkpointed, the
+        step is executed repeatedly (faults scheduled for this step
+        fire on their designated attempt), and the result is accepted
+        only when two consecutive executions agree on memory contents,
+        time and work.  Detection never consults the plan -- a
+        divergence between attempts (or a conflict raised by a faulted
+        attempt) *is* the detection.  More than :attr:`max_retries`
+        extra attempts without agreement raises
+        :class:`~repro.errors.UnrecoverableFaultError`.
         """
         if not work:
             return
+        step_index = len(self.metrics.steps)
         with maybe_span(
             get_tracer(),
             "pram.superstep",
-            step=len(self.metrics.steps),
+            step=step_index,
             virtual=len(work),
             processors=self.processors,
         ) as sp:
-            cm = self.cost_model
-            bursts = make_bursts(list(work), self.processors)
-            time = 0
-            total_work = 0
-            events: Optional[List[Any]] = [] if self.record_trace else None
-            for burst in bursts:
-                burst_max = 0
-                for proc, thunk in burst:
-                    ctx = ProcContext(
-                        proc=proc,
-                        memory=self.memory,
-                        load_cost=cm.load,
-                        store_cost=cm.store,
-                        alu_cost=cm.alu,
-                        branch_cost=cm.branch,
-                        events=events,
-                    )
-                    thunk(ctx)
-                    burst_max = max(burst_max, ctx.instructions)
-                    total_work += ctx.instructions
-                time += burst_max
-                if charge_overhead:
-                    time += cm.superstep_overhead()
-            # Synchronous barrier: conflicts checked, writes commit at
-            # once.
-            self.memory.commit()
+            bursts_n: int
+            if self.fault_plan is None:
+                time, total_work, bursts_n, events = self._execute(
+                    work, charge_overhead
+                )
+                # Synchronous barrier: conflicts checked, writes commit
+                # at once.
+                self.memory.commit()
+            else:
+                time, total_work, bursts_n, events = self._resilient_step(
+                    work, charge_overhead, step_index
+                )
             if events is not None:
                 self.trace.append(events)
             # add_step also mirrors the superstep into the repro.obs
             # registry when one is installed (see repro.pram.metrics).
             self.metrics.add_step(
-                virtual=len(work), bursts=len(bursts), time=time, work=total_work
+                virtual=len(work), bursts=bursts_n, time=time, work=total_work
             )
             if sp is not None:
-                sp.set_attribute("bursts", len(bursts))
+                sp.set_attribute("bursts", bursts_n)
                 sp.set_attribute("time", time)
                 sp.set_attribute("work", total_work)
+
+    # -- execution engine -------------------------------------------------
+
+    def _execute(
+        self,
+        work: SuperStep,
+        charge_overhead: bool,
+        *,
+        skip: FrozenSet[int] = frozenset(),
+        duplicate: FrozenSet[int] = frozenset(),
+    ) -> Tuple[int, int, int, Optional[List[Any]]]:
+        """Run the bursts of one superstep attempt (no barrier commit).
+
+        ``skip``/``duplicate`` are victim virtual-processor ids whose
+        thunks are dropped or run twice -- the execution-level fault
+        surface.  Returns ``(time, work, bursts, trace_events)``.
+        """
+        cm = self.cost_model
+        bursts = make_bursts(list(work), self.processors)
+        time = 0
+        total_work = 0
+        events: Optional[List[Any]] = [] if self.record_trace else None
+        for burst in bursts:
+            burst_max = 0
+            for proc, thunk in burst:
+                if proc in skip:
+                    continue
+                ctx = ProcContext(
+                    proc=proc,
+                    memory=self.memory,
+                    load_cost=cm.load,
+                    store_cost=cm.store,
+                    alu_cost=cm.alu,
+                    branch_cost=cm.branch,
+                    events=events,
+                )
+                thunk(ctx)
+                if proc in duplicate:
+                    thunk(ctx)
+                burst_max = max(burst_max, ctx.instructions)
+                total_work += ctx.instructions
+            time += burst_max
+            if charge_overhead:
+                time += cm.superstep_overhead()
+        return time, total_work, len(bursts), events
+
+    def _digest(self, time: int, work: int) -> Tuple[Any, ...]:
+        """NaN-safe fingerprint of one attempt's outcome.
+
+        ``repr`` keeps ``nan == nan`` at the string level (a healthy
+        program computing NaNs must still reach agreement) and sees
+        through objects without ``__eq__``; cells therefore need a
+        deterministic ``repr``, which every value type the programs
+        store (numbers, tuples, dicts, dataclasses) has.
+        """
+        arrays = self.memory.arrays
+        return (
+            time,
+            work,
+            tuple((name, repr(arrays[name])) for name in sorted(arrays)),
+        )
+
+    def _resilient_step(
+        self, work: SuperStep, charge_overhead: bool, step_index: int
+    ) -> Tuple[int, int, int, Optional[List[Any]]]:
+        """Checkpointed DMR execution of one superstep.
+
+        Re-executes from the pre-step checkpoint until two consecutive
+        attempts produce identical digests; an attempt that raises
+        :class:`~repro.pram.memory.MemoryConflictError` counts as a
+        detected divergence and is rolled back.
+        """
+        plan = self.fault_plan
+        assert plan is not None
+        saved = self.memory.checkpoint()
+        work_procs = [proc for proc, _thunk in work]
+        max_attempts = self.max_retries + 2
+        prev_digest: Optional[Tuple[Any, ...]] = None
+        detected = 0
+        injected = 0
+        attempt = 0
+        while attempt < max_attempts:
+            if attempt > 0:
+                self.memory.restore(saved)
+            skip = set()
+            duplicate = set()
+            extra_time = 0
+            corruptions = []
+            for event in plan.events_for(step_index, attempt):
+                if event.kind in ("drop", "duplicate"):
+                    victim = plan.resolve_proc(event, work_procs)
+                    if victim is None:
+                        continue
+                    (skip if event.kind == "drop" else duplicate).add(victim)
+                    injected += 1
+                    plan.record_injection(
+                        event, {"resolved_proc": victim, "fired_attempt": attempt}
+                    )
+                elif event.kind == "delay":
+                    extra_time += event.delay
+                    injected += 1
+                    plan.record_injection(event, {"fired_attempt": attempt})
+                else:  # corrupt: applied after the barrier below
+                    corruptions.append(event)
+            try:
+                time, total_work, bursts_n, events = self._execute(
+                    work,
+                    charge_overhead,
+                    skip=frozenset(skip),
+                    duplicate=frozenset(duplicate),
+                )
+                self.memory.commit()
+            except MemoryConflictError as exc:
+                self.memory.abort()
+                detected += 1
+                prev_digest = None  # a failed attempt cannot pair up
+                attempt += 1
+                if attempt >= max_attempts:
+                    self.metrics.add_faults(
+                        injected=injected, detected=detected, retries=attempt - 2
+                    )
+                    raise UnrecoverableFaultError(
+                        f"superstep {step_index}: no two agreeing executions "
+                        f"within {max_attempts} attempts "
+                        f"(last failure: {exc})",
+                        step=step_index,
+                        attempts=attempt,
+                    ) from exc
+                continue
+            for event in corruptions:
+                resolved = plan.resolve_corruption(event, self.memory.arrays)
+                if resolved is None:
+                    continue
+                name, index, value = resolved
+                self.memory.arrays[name][index] = value
+                injected += 1
+                plan.record_injection(
+                    event,
+                    {
+                        "resolved_array": name,
+                        "resolved_index": index,
+                        "fired_attempt": attempt,
+                    },
+                )
+            time += extra_time
+            digest = self._digest(time, total_work)
+            if prev_digest is not None and digest == prev_digest:
+                # Agreement: memory already holds the agreed state.
+                self.metrics.add_faults(
+                    injected=injected,
+                    detected=detected,
+                    recovered=detected,
+                    retries=attempt - 1,
+                )
+                return time, total_work, bursts_n, events
+            if prev_digest is not None:
+                detected += 1
+            prev_digest = digest
+            attempt += 1
+        self.metrics.add_faults(
+            injected=injected, detected=detected, retries=max(attempt - 2, 0)
+        )
+        raise UnrecoverableFaultError(
+            f"superstep {step_index}: no two agreeing executions within "
+            f"{max_attempts} attempts",
+            step=step_index,
+            attempts=attempt,
+        )

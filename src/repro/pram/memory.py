@@ -128,6 +128,34 @@ class SharedMemory:
                             f"to {loc[0]}[{loc[1]}]: {raw!r}"
                         )
 
+    def abort(self) -> None:
+        """Discard the superstep's staged writes and read log.
+
+        The machine calls this instead of :meth:`commit` when it is
+        about to re-execute a superstep (fault recovery) or when the
+        attempt ended in a :class:`MemoryConflictError` and the staging
+        buffer must not leak into the retry.
+        """
+        self._pending.clear()
+        self._readers.clear()
+
+    def checkpoint(self) -> Dict[str, List[Any]]:
+        """Copy of every array's committed state.
+
+        The copy is per-array shallow: cells are shared with the live
+        arrays, which is sound because PRAM thunks communicate only
+        through :meth:`read`/:meth:`write` and never mutate a cell
+        object in place (the interpreter's charging discipline already
+        requires that).
+        """
+        return {name: list(vals) for name, vals in self.arrays.items()}
+
+    def restore(self, saved: Dict[str, List[Any]]) -> None:
+        """Reset committed state to a :meth:`checkpoint`, dropping any
+        staged writes."""
+        self.abort()
+        self.arrays = {name: list(vals) for name, vals in saved.items()}
+
     # -- convenience ------------------------------------------------------
 
     def snapshot(self, name: str) -> List[Any]:

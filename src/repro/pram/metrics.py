@@ -49,6 +49,15 @@ class RunMetrics:
         Physical processor count ``P`` the run was scheduled on.
     steps:
         Per-superstep breakdown.
+    faults_injected / faults_detected / faults_recovered:
+        Fault-injection accounting, filled in by the machine when a
+        :class:`repro.resilience.FaultPlan` is installed: events that
+        actually fired, divergences the dual-modular-redundancy vote
+        (or a conflict check) caught, and caught divergences that a
+        re-execution subsequently repaired.
+    fault_retries:
+        Extra superstep executions spent reaching agreement (0 when
+        every step agreed on its first comparison pair).
 
     When a :class:`repro.obs.MetricsRegistry` is installed,
     :meth:`add_step` mirrors each superstep into it, so traced runs
@@ -57,6 +66,10 @@ class RunMetrics:
 
     processors: int
     steps: List[StepMetrics] = field(default_factory=list)
+    faults_injected: int = 0
+    faults_detected: int = 0
+    faults_recovered: int = 0
+    fault_retries: int = 0
 
     @property
     def time(self) -> int:
@@ -85,11 +98,40 @@ class RunMetrics:
         if registry is not None:
             _publish_step(registry, self.processors, virtual, bursts, time, work)
 
+    def add_faults(
+        self, *, injected: int = 0, detected: int = 0, recovered: int = 0, retries: int = 0
+    ) -> None:
+        """Fold one superstep's fault accounting into the run totals
+        (mirrored into the obs registry when one is installed)."""
+        self.faults_injected += injected
+        self.faults_detected += detected
+        self.faults_recovered += recovered
+        self.fault_retries += retries
+        registry = get_registry()
+        if registry is not None:
+            p = self.processors
+            if injected:
+                registry.counter("pram.faults.injected", processors=p).inc(injected)
+            if detected:
+                registry.counter("pram.faults.detected", processors=p).inc(detected)
+            if recovered:
+                registry.counter("pram.faults.recovered", processors=p).inc(recovered)
+            if retries:
+                registry.counter("pram.faults.retries", processors=p).inc(retries)
+
     def describe(self) -> str:
-        return (
+        base = (
             f"P={self.processors}: time={self.time} work={self.work} "
             f"supersteps={self.supersteps} bursts={self.bursts}"
         )
+        if self.faults_injected or self.faults_detected:
+            base += (
+                f" faults(injected={self.faults_injected} "
+                f"detected={self.faults_detected} "
+                f"recovered={self.faults_recovered} "
+                f"retries={self.fault_retries})"
+            )
+        return base
 
 
 def _publish_step(registry, p: int, virtual: int, bursts: int, time: int, work: int) -> None:

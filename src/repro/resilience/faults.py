@@ -1,0 +1,242 @@
+"""Seeded fault plans for the PRAM machine.
+
+A :class:`FaultPlan` is a deterministic, serializable schedule of
+faults to inject into a :class:`repro.pram.machine.PRAM` run.  Four
+fault kinds model the classic transient failures of a synchronous
+shared-memory machine:
+
+* ``"drop"``      -- a virtual processor's superstep never executes
+  (lost work);
+* ``"duplicate"`` -- a virtual processor's superstep executes twice
+  (replayed message / double fork);
+* ``"corrupt"``   -- a shared-memory cell is overwritten with garbage
+  after the superstep's barrier (bit flip / torn write);
+* ``"delay"``     -- the superstep is charged extra time (straggler /
+  slow burst).
+
+Events fire at a specific superstep index, on a specific execution
+*attempt* (attempt 0 is the machine's first try; recovery re-executions
+count up from there), so a plan can also model *persistent* faults that
+survive retries -- the machine's bounded-retry logic must then give up
+with :class:`~repro.errors.UnrecoverableFaultError`.
+
+Detection is **not** plan-aware: the machine never peeks at the plan to
+decide whether a superstep was faulted.  It checkpoints shared memory
+before the step and re-executes until two runs agree (dual modular
+redundancy with bounded retries); see
+:meth:`repro.pram.machine.PRAM.superstep`.
+
+Plans round-trip through JSON (``to_json`` / ``from_json``) so a failed
+run can be replayed exactly -- the ``repro faults`` CLI subcommand and
+the CI fault-injection smoke job do this.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import FaultError
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan"]
+
+FAULT_KINDS = ("drop", "duplicate", "corrupt", "delay")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``proc``/``array``/``index``/``value`` may be left ``None``; the
+    plan resolves them at fire time with its own seeded RNG, so a plan
+    generated from a seed stays fully deterministic without knowing the
+    program's shape in advance.
+    """
+
+    kind: str
+    step: int
+    proc: Optional[int] = None  # victim virtual processor (drop/duplicate)
+    array: Optional[str] = None  # corruption target
+    index: Optional[int] = None
+    value: Any = None  # corruption payload
+    delay: int = 0  # extra time units (delay)
+    attempt: int = 0  # execution attempt the event fires on
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.step < 0:
+            raise FaultError("fault step must be >= 0")
+        if self.attempt < 0:
+            raise FaultError("fault attempt must be >= 0")
+        if self.kind == "delay" and self.delay <= 0:
+            raise FaultError("delay faults need a positive 'delay'")
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"kind": self.kind, "step": self.step}
+        for key in ("proc", "array", "index", "value"):
+            val = getattr(self, key)
+            if val is not None:
+                doc[key] = val
+        if self.delay:
+            doc["delay"] = self.delay
+        if self.attempt:
+            doc["attempt"] = self.attempt
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FaultEvent":
+        known = {"kind", "step", "proc", "array", "index", "value", "delay", "attempt"}
+        unknown = set(doc) - known
+        if unknown:
+            raise FaultError(f"unknown fault-event fields: {sorted(unknown)}")
+        return cls(
+            kind=doc["kind"],
+            step=int(doc["step"]),
+            proc=doc.get("proc"),
+            array=doc.get("array"),
+            index=doc.get("index"),
+            value=doc.get("value"),
+            delay=int(doc.get("delay", 0)),
+            attempt=int(doc.get("attempt", 0)),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of :class:`FaultEvent`\\ s.
+
+    ``injected`` is the runtime log: one record per event that actually
+    fired, with the fire-time resolution of its victim -- useful for
+    asserting determinism and for post-mortem reports.
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+    seed: Optional[int] = None
+    injected: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        steps: int,
+        count: int = 3,
+        kinds: Sequence[str] = FAULT_KINDS,
+    ) -> "FaultPlan":
+        """A seeded plan of ``count`` faults over supersteps
+        ``[0, steps)``, cycling through ``kinds`` so every requested
+        kind appears when ``count >= len(kinds)``."""
+        if steps <= 0:
+            raise FaultError("steps must be positive")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise FaultError(f"unknown fault kind {kind!r}")
+        rng = random.Random(seed)
+        events = []
+        for i in range(count):
+            kind = kinds[i % len(kinds)]
+            events.append(
+                FaultEvent(
+                    kind=kind,
+                    step=rng.randrange(steps),
+                    delay=rng.randrange(5, 50) if kind == "delay" else 0,
+                )
+            )
+        events.sort(key=lambda e: (e.step, e.kind))
+        return cls(events=events, seed=seed)
+
+    # -- runtime ----------------------------------------------------------
+
+    def events_for(self, step: int, attempt: int) -> List[FaultEvent]:
+        """Events scheduled to fire at this (superstep, attempt)."""
+        return [
+            e for e in self.events if e.step == step and e.attempt == attempt
+        ]
+
+    def resolve_proc(self, event: FaultEvent, work_procs: Sequence[int]) -> Optional[int]:
+        """The victim processor of a drop/duplicate event, resolved
+        against the step's actual work list (seeded pick when the event
+        left it open)."""
+        if not work_procs:
+            return None
+        if event.proc is not None:
+            return event.proc if event.proc in work_procs else None
+        return work_procs[self._rng.randrange(len(work_procs))]
+
+    def resolve_corruption(
+        self, event: FaultEvent, arrays: Dict[str, list]
+    ) -> Optional[tuple]:
+        """``(array, index, value)`` for a corrupt event, resolved
+        against the current shared memory (seeded pick when open)."""
+        candidates = sorted(name for name, vals in arrays.items() if vals)
+        if not candidates:
+            return None
+        name = event.array
+        if name is None:
+            name = candidates[self._rng.randrange(len(candidates))]
+        elif name not in arrays or not arrays[name]:
+            return None
+        index = event.index
+        if index is None:
+            index = self._rng.randrange(len(arrays[name]))
+        elif not 0 <= index < len(arrays[name]):
+            return None
+        value = event.value
+        if value is None:
+            # distinctive garbage, never equal to honest cell contents
+            value = ("#FAULT", self._rng.random())
+        return name, index, value
+
+    def record_injection(self, event: FaultEvent, detail: Dict[str, Any]) -> None:
+        self.injected.append({**event.to_dict(), **detail})
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "version": 1,
+            "events": [e.to_dict() for e in self.events],
+        }
+        if self.seed is not None:
+            doc["seed"] = self.seed
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FaultPlan":
+        if doc.get("version", 1) != 1:
+            raise FaultError(f"unsupported fault-plan version {doc.get('version')!r}")
+        return cls(
+            events=[FaultEvent.from_dict(e) for e in doc.get("events", [])],
+            seed=doc.get("seed"),
+        )
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        text = json.dumps(self.to_dict(), indent=2)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return text
+
+    @classmethod
+    def from_json(cls, text_or_path: str) -> "FaultPlan":
+        """Parse a plan from a JSON string or a file path."""
+        text = text_or_path
+        if not text_or_path.lstrip().startswith("{"):
+            with open(text_or_path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"invalid fault-plan JSON: {exc}") from exc
+        return cls.from_dict(doc)

@@ -1,0 +1,141 @@
+"""CLI surface of the resilience layer: repro faults, solve policy
+flags, and taxonomy exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import ADD, OrdinaryIRSystem
+from repro.core.serialize import dump_system
+from repro.resilience import FaultPlan
+
+
+@pytest.fixture
+def chain_json(tmp_path):
+    n = 16
+    system = OrdinaryIRSystem.build(
+        initial=list(range(1, n + 2)),
+        g=list(range(1, n + 1)),
+        f=list(range(n)),
+        op=ADD,
+    )
+    path = tmp_path / "chain.json"
+    dump_system(system, str(path))
+    return str(path)
+
+
+class TestFaultsGen:
+    def test_gen_to_stdout(self, capsys):
+        assert main(["faults", "gen", "--seed", "3", "--count", "4"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["seed"] == 3
+        assert len(doc["events"]) == 4
+
+    def test_gen_to_file_and_run(self, tmp_path, capsys):
+        plan_path = str(tmp_path / "plan.json")
+        assert main(
+            ["faults", "gen", "--seed", "7", "--steps", "5", "--out", plan_path]
+        ) == 0
+        assert (
+            main(
+                [
+                    "faults",
+                    "run",
+                    "--plan",
+                    plan_path,
+                    "--n",
+                    "24",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["matches_oracle"] is True
+        assert report["faults_injected"] == 4
+        assert report["faults_recovered"] == report["faults_detected"]
+
+    def test_gen_bad_directory(self, capsys):
+        assert (
+            main(["faults", "gen", "--out", "/nonexistent/dir/plan.json"]) == 2
+        )
+
+
+class TestFaultsRun:
+    def test_run_without_plan_uses_seed(self, capsys):
+        assert main(["faults", "run", "--seed", "1", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle match: yes" in out
+        assert "injected=" in out
+
+    def test_run_is_seed_deterministic(self, capsys):
+        main(["faults", "run", "--seed", "5", "--n", "16", "--json"])
+        first = json.loads(capsys.readouterr().out)
+        main(["faults", "run", "--seed", "5", "--n", "16", "--json"])
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+
+    def test_unrecoverable_plan_exits_with_fault_code(self, tmp_path, capsys):
+        doc = {
+            "version": 1,
+            "events": [
+                {
+                    "kind": "corrupt",
+                    "step": 0,
+                    "array": "A",
+                    "index": 0,
+                    "value": f"#F{a}",
+                    "attempt": a,
+                }
+                for a in range(8)
+            ],
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        # the doc parses into a persistent-corruption plan
+        assert len(FaultPlan.from_json(json.dumps(doc)).events) == 8
+        code = main(["faults", "run", "--plan", str(path), "--n", "8"])
+        assert code == 7
+        assert "fault" in capsys.readouterr().err
+
+
+class TestSolvePolicyFlags:
+    def test_policy_exhaustion_exit_code(self, chain_json, capsys):
+        code = main(
+            ["solve", chain_json, "--policy-rounds", "1"]
+        )
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "policy" in err and "budget" in err
+
+    def test_policy_fallback_succeeds(self, chain_json, capsys):
+        code = main(
+            [
+                "solve",
+                chain_json,
+                "--policy-rounds",
+                "1",
+                "--on-exhaustion",
+                "fallback",
+                "--check",
+            ]
+        )
+        assert code == 0
+        assert "A[16] = 153" in capsys.readouterr().out
+
+    def test_check_flag_passes_on_healthy_system(self, chain_json, capsys):
+        assert main(["solve", chain_json, "--check"]) == 0
+
+    def test_json_error_payload(self, chain_json, capsys):
+        code = main(
+            ["solve", chain_json, "--policy-rounds", "1", "--json"]
+        )
+        assert code == 4
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["error"]["category"] == "policy"
+        assert doc["error"]["type"] == "IterationBudgetExceeded"

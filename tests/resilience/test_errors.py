@@ -1,0 +1,94 @@
+"""The structured failure taxonomy (repro.errors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CyclicDependenceError,
+    FaultError,
+    IRValidationError,
+    IterationBudgetExceeded,
+    NumericHealthError,
+    PolicyError,
+    ReproError,
+    SolveTimeoutError,
+    UnrecoverableFaultError,
+    VerificationError,
+    exit_code_for,
+)
+
+
+def test_hierarchy_preserves_builtin_contracts():
+    # IRValidationError used to be a plain ValueError subclass in
+    # repro.core.equations; old callers catching ValueError must keep
+    # working.
+    assert issubclass(IRValidationError, ValueError)
+    assert issubclass(IRValidationError, ReproError)
+    assert issubclass(CyclicDependenceError, IRValidationError)
+    assert issubclass(NumericHealthError, ArithmeticError)
+    assert issubclass(IterationBudgetExceeded, PolicyError)
+    assert issubclass(SolveTimeoutError, PolicyError)
+    assert issubclass(UnrecoverableFaultError, FaultError)
+    assert issubclass(VerificationError, ReproError)
+
+
+def test_exit_codes_are_distinct_and_reserved():
+    codes = {
+        ReproError: 1,
+        IRValidationError: 3,
+        CyclicDependenceError: 3,
+        PolicyError: 4,
+        NumericHealthError: 5,
+        VerificationError: 6,
+        FaultError: 7,
+    }
+    for cls, code in codes.items():
+        assert cls.exit_code == code, cls
+        assert exit_code_for(cls("boom")) == code
+    # 2 is reserved for argparse usage errors; no class may claim it.
+    assert 2 not in {cls.exit_code for cls in codes}
+
+
+def test_exit_code_for_foreign_exception():
+    assert exit_code_for(RuntimeError("x")) == 1
+
+
+def test_diagnosis_payloads():
+    exc = CyclicDependenceError("loop", cycle=[3, 5, 3])
+    doc = exc.diagnosis()
+    assert doc["category"] == "validation"
+    assert doc["type"] == "CyclicDependenceError"
+    assert doc["cycle"] == [3, 5, 3]
+
+    budget = IterationBudgetExceeded("over", rounds=9, budget=8)
+    assert budget.diagnosis()["rounds"] == 9
+    assert budget.diagnosis()["budget"] == 8
+
+    verify = VerificationError("bad", mismatches=[(2, 1.0, 3.0)])
+    assert verify.diagnosis()["mismatches"] == [
+        {"cell": 2, "got": "1.0", "want": "3.0"}
+    ]
+
+    fault = UnrecoverableFaultError("gone", step=4, attempts=5)
+    assert fault.diagnosis()["step"] == 4
+    assert fault.diagnosis()["attempts"] == 5
+
+
+def test_category_strings():
+    assert PolicyError("x").category == "policy"
+    assert NumericHealthError("x").category == "numeric"
+    assert VerificationError("x").category == "verification"
+    assert FaultError("x").category == "fault"
+
+
+def test_numeric_health_report_attachment():
+    class Report:
+        def to_dict(self):
+            return {"nan_count": 2}
+
+    exc = NumericHealthError("nan", report=Report())
+    assert exc.diagnosis()["report"] == {"nan_count": 2}
+
+    with pytest.raises(ArithmeticError):
+        raise NumericHealthError("nan")

@@ -1,0 +1,314 @@
+"""Fault plans, PRAM injection, and checkpoint/DMR recovery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import ADD, GIRSystem, OrdinaryIRSystem, modular_mul, run_gir, run_ordinary
+from repro.errors import FaultError, UnrecoverableFaultError
+from repro.pram import (
+    PRAM,
+    AccessPolicy,
+    run_gir_on_pram,
+    run_ordinary_on_pram,
+    run_sequential_on_pram,
+)
+from repro.resilience import FAULT_KINDS, FaultEvent, FaultPlan
+
+
+def _chain(n: int) -> OrdinaryIRSystem:
+    return OrdinaryIRSystem.build(
+        initial=list(range(1, n + 2)),
+        g=list(range(1, n + 1)),
+        f=list(range(n)),
+        op=ADD,
+    )
+
+
+# ---------------------------------------------------------------------------
+# plan model + serialization
+# ---------------------------------------------------------------------------
+
+
+def test_event_validation():
+    with pytest.raises(FaultError):
+        FaultEvent(kind="meltdown", step=0)
+    with pytest.raises(FaultError):
+        FaultEvent(kind="drop", step=-1)
+    with pytest.raises(FaultError):
+        FaultEvent(kind="delay", step=0)  # delay needs a positive delay
+    with pytest.raises(FaultError):
+        FaultEvent(kind="drop", step=0, attempt=-1)
+
+
+def test_event_dict_round_trip_is_minimal():
+    event = FaultEvent(kind="corrupt", step=3, array="A", index=2)
+    doc = event.to_dict()
+    assert doc == {"kind": "corrupt", "step": 3, "array": "A", "index": 2}
+    assert FaultEvent.from_dict(doc) == event
+    with pytest.raises(FaultError):
+        FaultEvent.from_dict({"kind": "drop", "step": 0, "blast_radius": 9})
+
+
+def test_plan_json_round_trip(tmp_path):
+    plan = FaultPlan.random(99, steps=7, count=5)
+    path = tmp_path / "plan.json"
+    plan.to_json(str(path))
+    loaded = FaultPlan.from_json(str(path))
+    assert loaded.events == plan.events
+    assert loaded.seed == plan.seed
+    # and from a raw JSON string
+    again = FaultPlan.from_json(plan.to_json())
+    assert again.events == plan.events
+
+
+def test_plan_json_rejects_garbage():
+    with pytest.raises(FaultError):
+        FaultPlan.from_json('{"version": 2, "events": []}')
+    with pytest.raises(FaultError):
+        FaultPlan.from_json("{not json")
+
+
+def test_random_plan_covers_all_kinds_and_is_deterministic():
+    plan_a = FaultPlan.random(5, steps=6, count=4)
+    plan_b = FaultPlan.random(5, steps=6, count=4)
+    assert plan_a.events == plan_b.events
+    assert {e.kind for e in plan_a.events} == set(FAULT_KINDS)
+    with pytest.raises(FaultError):
+        FaultPlan.random(5, steps=0)
+    with pytest.raises(FaultError):
+        FaultPlan.random(5, steps=3, kinds=("drop", "meteor"))
+
+
+# ---------------------------------------------------------------------------
+# acceptance: seeded multi-kind run detects + recovers everything
+# ---------------------------------------------------------------------------
+
+
+def test_all_four_kinds_detected_recovered_oracle_exact():
+    """The PR's acceptance run: one fault of every kind injected into a
+    parallel OrdinaryIR run; all detected, all recovered, final array
+    exactly equal to the sequential oracle, accounting clean."""
+    system = _chain(12)
+    oracle = run_ordinary(system)
+    _clean_out, clean_metrics = run_ordinary_on_pram(system, processors=4)
+
+    plan = FaultPlan(
+        events=[
+            FaultEvent(kind="drop", step=1),
+            FaultEvent(kind="duplicate", step=2),
+            FaultEvent(kind="corrupt", step=3, array="A"),
+            FaultEvent(kind="delay", step=4, delay=17),
+        ],
+        seed=42,
+    )
+    out, metrics = run_ordinary_on_pram(system, processors=4, fault_plan=plan)
+
+    assert out == oracle  # exact, not approximate
+    assert metrics.faults_injected == 4
+    assert len(plan.injected) == 4
+    # one divergence detected per faulted superstep, all repaired
+    faulted_steps = {e.step for e in plan.events}
+    assert metrics.faults_detected == len(faulted_steps) == 4
+    assert metrics.faults_recovered == metrics.faults_detected
+    assert metrics.fault_retries >= 4
+    # the accepted accounting equals the fault-free run's
+    assert metrics.time == clean_metrics.time
+    assert metrics.work == clean_metrics.work
+    assert metrics.supersteps == clean_metrics.supersteps
+
+
+def test_seeded_recovery_is_deterministic():
+    system = _chain(16)
+    oracle = run_ordinary(system)
+
+    def run():
+        plan = FaultPlan.random(7, steps=5, count=4)
+        out, metrics = run_ordinary_on_pram(
+            system, processors=4, fault_plan=plan
+        )
+        return out, metrics.faults_injected, metrics.fault_retries, plan.injected
+
+    out_a, inj_a, retries_a, log_a = run()
+    out_b, inj_b, retries_b, log_b = run()
+    assert out_a == out_b == oracle
+    assert (inj_a, retries_a) == (inj_b, retries_b)
+    assert log_a == log_b
+
+
+def test_clean_plan_costs_only_dmr():
+    # A plan with no events still runs every step twice (DMR) but
+    # reports no faults and converges with zero retries.
+    system = _chain(8)
+    out, metrics = run_ordinary_on_pram(
+        system, processors=2, fault_plan=FaultPlan()
+    )
+    assert out == run_ordinary(system)
+    assert metrics.faults_injected == 0
+    assert metrics.faults_detected == 0
+    assert metrics.fault_retries == 0
+
+
+def test_unrecoverable_persistent_fault():
+    # A corruption that fires on every attempt with attempt-varying
+    # payloads never lets two executions agree.
+    system = _chain(8)
+    plan = FaultPlan(
+        events=[
+            FaultEvent(
+                kind="corrupt",
+                step=0,
+                array="A",
+                index=0,
+                value=[f"#F{a}"],
+                attempt=a,
+            )
+            for a in range(8)
+        ]
+    )
+    with pytest.raises(UnrecoverableFaultError) as info:
+        run_ordinary_on_pram(system, processors=2, fault_plan=plan)
+    assert info.value.step == 0
+    assert info.value.attempts == 5  # max_retries=3 -> 5 attempts
+    assert info.value.exit_code == 7
+
+
+def test_max_retries_extends_recovery():
+    # The same persistent fault becomes recoverable once the retry
+    # budget outlasts its last faulted attempt.
+    system = _chain(8)
+
+    def plan(upto: int) -> FaultPlan:
+        return FaultPlan(
+            events=[
+                FaultEvent(
+                    kind="corrupt",
+                    step=0,
+                    array="A",
+                    index=0,
+                    value=[f"#F{a}"],
+                    attempt=a,
+                )
+                for a in range(upto)
+            ]
+        )
+
+    with pytest.raises(UnrecoverableFaultError):
+        run_ordinary_on_pram(system, processors=2, fault_plan=plan(8))
+    out, metrics = run_ordinary_on_pram(
+        system, processors=2, fault_plan=plan(8), max_retries=8
+    )
+    assert out == run_ordinary(system)
+    assert metrics.faults_recovered == metrics.faults_detected > 0
+
+
+def test_faults_on_sequential_baseline_program():
+    system = _chain(10)
+    plan = FaultPlan.random(3, steps=10, count=3, kinds=("corrupt", "delay"))
+    out, metrics = run_sequential_on_pram(system, fault_plan=plan)
+    assert out == run_ordinary(system)
+    assert metrics.faults_recovered == metrics.faults_detected
+
+
+def test_faults_on_gir_pipeline():
+    n = 6
+    system = GIRSystem.build(
+        [2, 3] + [1] * n,
+        [i + 2 for i in range(n)],
+        [i + 1 for i in range(n)],
+        [i for i in range(n)],
+        modular_mul(10**9 + 7),
+    )
+    oracle = run_gir(system)
+    plan = FaultPlan.random(11, steps=4, count=3)
+    out, metrics = run_gir_on_pram(system, processors=2, fault_plan=plan)
+    assert out == oracle
+    assert metrics.faults_recovered == metrics.faults_detected
+
+
+def test_memory_checkpoint_restore_abort():
+    from repro.pram import SharedMemory
+
+    mem = SharedMemory()
+    mem.alloc("A", [1, 2, 3])
+    saved = mem.checkpoint()
+    mem.write(0, "A", 1, 99)
+    mem.commit()
+    assert mem.peek("A", 1) == 99
+    mem.write(0, "A", 2, 77)
+    mem.restore(saved)
+    assert mem.snapshot("A") == [1, 2, 3]
+    mem.write(0, "A", 0, 5)
+    mem.abort()
+    mem.commit()
+    assert mem.snapshot("A") == [1, 2, 3]
+
+
+def test_conflict_during_faulted_attempt_is_detected():
+    # A duplicated writer on an EREW machine makes the victim read the
+    # same cells twice -- legal -- but two *different* processors
+    # writing is what EREW forbids; emulate a transient conflict by
+    # dropping one of two cooperating writers so the arbitration
+    # changes, then confirm plain EREW violations still raise on a
+    # fault-free machine.
+    machine = PRAM(processors=2, policy=AccessPolicy.EREW)
+    machine.memory.alloc("A", [0])
+
+    def writer(value):
+        def thunk(ctx):
+            ctx.write("A", 0, value)
+
+        return thunk
+
+    from repro.pram import MemoryConflictError
+
+    with pytest.raises(MemoryConflictError):
+        machine.superstep([(0, writer(1)), (1, writer(2))])
+
+    # With a fault plan, the conflicting step is retried and, since the
+    # conflict is systematic, ends in UnrecoverableFaultError instead of
+    # leaking the raw conflict.
+    machine2 = PRAM(
+        processors=2, policy=AccessPolicy.EREW, fault_plan=FaultPlan()
+    )
+    machine2.memory.alloc("A", [0])
+    with pytest.raises(UnrecoverableFaultError):
+        machine2.superstep([(0, writer(1)), (1, writer(2))])
+    assert machine2.metrics.faults_detected > 0
+
+
+def test_corrupt_resolution_edge_cases():
+    plan = FaultPlan(seed=1)
+    event = FaultEvent(kind="corrupt", step=0, array="missing")
+    assert plan.resolve_corruption(event, {"A": [1, 2]}) is None
+    event = FaultEvent(kind="corrupt", step=0, array="A", index=9)
+    assert plan.resolve_corruption(event, {"A": [1, 2]}) is None
+    event = FaultEvent(kind="corrupt", step=0)
+    name, index, value = plan.resolve_corruption(event, {"A": [1, 2]})
+    assert name == "A" and 0 <= index < 2
+    assert value[0] == "#FAULT"
+    assert plan.resolve_corruption(event, {}) is None
+
+
+def test_proc_resolution_edge_cases():
+    plan = FaultPlan(seed=1)
+    event = FaultEvent(kind="drop", step=0, proc=99)
+    assert plan.resolve_proc(event, [0, 1, 2]) is None
+    assert plan.resolve_proc(event, []) is None
+    open_event = FaultEvent(kind="drop", step=0)
+    assert plan.resolve_proc(open_event, [4, 5]) in (4, 5)
+
+
+def test_fault_metrics_in_obs_registry():
+    from repro import obs
+
+    system = _chain(10)
+    plan = FaultPlan.random(7, steps=5, count=3)
+    with obs.observed() as (_tracer, registry):
+        run_ordinary_on_pram(system, processors=2, fault_plan=plan)
+        names = {e["name"] for e in registry.snapshot()}
+    assert "pram.faults.injected" in names
+    assert "pram.faults.detected" in names
+    assert "pram.faults.recovered" in names

@@ -1,0 +1,163 @@
+"""Property-based resilience suite (hypothesis).
+
+Random IR systems -- including adversarial cyclic and out-of-range
+index maps -- must either solve to the sequential oracle or fail
+through the structured error taxonomy; policies must bound work; fault
+recovery must be deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CONCAT,
+    GIRSystem,
+    OrdinaryIRSystem,
+    modular_add,
+    run_gir,
+    run_ordinary,
+    solve_gir,
+    solve_ordinary,
+    solve_ordinary_numpy,
+)
+from repro.core.depgraph import DependenceGraph
+from repro.errors import (
+    CyclicDependenceError,
+    IRValidationError,
+    IterationBudgetExceeded,
+    ReproError,
+)
+from repro.pram import run_ordinary_on_pram
+from repro.resilience import FaultPlan, SolvePolicy
+
+from ..conftest import gir_systems, ordinary_systems
+
+
+# ---------------------------------------------------------------------------
+# parallel == sequential, with and without checking
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(system=ordinary_systems())
+def test_checked_ordinary_never_raises_on_valid_systems(system):
+    out, _ = solve_ordinary(system, checked=True, check_sample=None)
+    assert out == run_ordinary(system)
+    out_np, _ = solve_ordinary_numpy(system, checked=True, check_sample=None)
+    assert out_np == run_ordinary(system)
+
+
+@settings(max_examples=25, deadline=None)
+@given(system=gir_systems(distinct_g=False))
+def test_checked_gir_never_raises_on_valid_systems(system):
+    out, _ = solve_gir(system, checked=True, check_sample=None)
+    assert out == run_gir(system)
+
+
+@settings(max_examples=25, deadline=None)
+@given(system=ordinary_systems(), rounds=st.integers(min_value=0, max_value=6))
+def test_policy_bounded_termination(system, rounds):
+    """Any round budget either completes within budget or exhausts
+    cleanly -- and fallback always recovers the exact answer."""
+    policy = SolvePolicy(max_rounds=rounds, on_exhaustion="fallback")
+    out, _ = solve_ordinary_numpy(system, policy=policy)
+    assert out == run_ordinary(system)
+    strict = SolvePolicy(max_rounds=rounds)
+    try:
+        out2, _ = solve_ordinary_numpy(system, policy=strict)
+        assert out2 == run_ordinary(system)
+    except IterationBudgetExceeded:
+        pass  # acceptable: budget genuinely too small
+
+
+# ---------------------------------------------------------------------------
+# adversarial inputs fail through the taxonomy
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    bad_iteration=st.integers(min_value=0, max_value=7),
+    offset=st.integers(min_value=1, max_value=100),
+    which=st.sampled_from(["g", "f"]),
+    sign=st.sampled_from([1, -1]),
+)
+def test_out_of_range_maps_raise_validation_error(
+    n, bad_iteration, offset, which, sign
+):
+    bad_iteration %= n
+    m = n + 1
+    g = list(range(1, n + 1))
+    f = list(range(n))
+    bad_value = m + offset - 1 if sign > 0 else -offset
+    (g if which == "g" else f)[bad_iteration] = bad_value
+    with pytest.raises(IRValidationError) as info:
+        OrdinaryIRSystem.build([("s",)] * m, g, f, CONCAT)
+    assert f"iteration {bad_iteration}" in str(info.value)
+    assert isinstance(info.value, ReproError)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    data=st.data(),
+)
+def test_random_cyclic_graphs_are_rejected(n, data):
+    """Random functional graphs with every node pointing at another
+    final node always contain a cycle; CAP must reject them."""
+    targets = [
+        data.draw(st.integers(min_value=0, max_value=n - 1)) for _ in range(n)
+    ]
+    graph = DependenceGraph(
+        n=n,
+        m=n,
+        target_f=np.array(targets),
+        target_h=np.array(targets),
+    )
+    cycle = graph.find_cycle()
+    assert cycle  # pigeonhole: a total function on finite nodes cycles
+    assert all(0 <= v < n for v in cycle)
+    from repro.core import count_all_paths
+
+    with pytest.raises(CyclicDependenceError):
+        count_all_paths(graph)
+
+
+# ---------------------------------------------------------------------------
+# fault-recovery determinism
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    n=st.integers(min_value=2, max_value=16),
+    count=st.integers(min_value=1, max_value=5),
+)
+def test_fault_recovery_is_deterministic_and_exact(seed, n, count):
+    from repro.core import ADD
+
+    system = OrdinaryIRSystem.build(
+        initial=list(range(1, n + 2)),
+        g=list(range(1, n + 1)),
+        f=list(range(n)),
+        op=ADD,
+    )
+    oracle = run_ordinary(system)
+
+    def run():
+        plan = FaultPlan.random(seed, steps=4, count=count)
+        out, metrics = run_ordinary_on_pram(
+            system, processors=3, fault_plan=plan
+        )
+        return out, metrics.faults_injected, metrics.faults_detected
+
+    out_a, inj_a, det_a = run()
+    out_b, inj_b, det_b = run()
+    assert out_a == out_b == oracle
+    assert (inj_a, det_a) == (inj_b, det_b)

@@ -1,0 +1,158 @@
+"""Eager index-map validation and dependence-cycle detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CONCAT,
+    GIRSystem,
+    OrdinaryIRSystem,
+    build_dependence_graph,
+    modular_add,
+)
+from repro.core.depgraph import DependenceGraph
+from repro.core.equations import as_index_array
+from repro.core.traces import ordinary_trace_factors
+from repro.errors import CyclicDependenceError, IRValidationError
+
+
+# ---------------------------------------------------------------------------
+# eager domain validation (satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_as_index_array_names_bad_iteration():
+    with pytest.raises(IRValidationError) as info:
+        as_index_array([0, 1, 7, 2], 4, name="g", m=4)
+    message = str(info.value)
+    assert "g" in message
+    assert "iteration 2" in message
+    assert "cell 7" in message
+    assert "[0, 4)" in message
+
+
+def test_as_index_array_negative_index():
+    with pytest.raises(IRValidationError) as info:
+        as_index_array([0, -3], 2, name="f", m=5)
+    assert "iteration 1" in str(info.value)
+    assert "cell -3" in str(info.value)
+
+
+def test_as_index_array_without_m_skips_domain_check():
+    arr = as_index_array([0, 99], 2, name="g")
+    assert arr.tolist() == [0, 99]
+
+
+def test_ordinary_build_validates_eagerly():
+    # the bad map must be rejected at build time, before any solver runs
+    with pytest.raises(IRValidationError) as info:
+        OrdinaryIRSystem.build(
+            [("s",)] * 3,
+            [1, 5],
+            [0, 1],
+            CONCAT,
+        )
+    assert "iteration 1" in str(info.value)
+    # and old callers catching ValueError still work
+    with pytest.raises(ValueError):
+        OrdinaryIRSystem.build([("s",)] * 3, [1, 5], [0, 1], CONCAT)
+
+
+def test_gir_build_validates_all_three_maps():
+    for maps in (
+        dict(g=[9, 2], f=[0, 1], h=[0, 1]),
+        dict(g=[1, 2], f=[9, 1], h=[0, 1]),
+        dict(g=[1, 2], f=[0, 1], h=[0, 9]),
+    ):
+        with pytest.raises(IRValidationError):
+            GIRSystem.build([1] * 4, maps["g"], maps["f"], maps["h"], modular_add(97))
+
+
+def test_duplicate_g_names_both_iterations():
+    with pytest.raises(IRValidationError) as info:
+        OrdinaryIRSystem.build(
+            [("s",)] * 4,
+            [1, 2, 1],
+            [0, 0, 0],
+            CONCAT,
+        )
+    message = str(info.value)
+    assert "cell 1" in message
+    assert "iterations 0 and 2" in message
+
+
+# ---------------------------------------------------------------------------
+# cycle detection
+# ---------------------------------------------------------------------------
+
+
+def _graph_with_cycle() -> DependenceGraph:
+    # 0 -> 1 -> 2 -> 0 among final nodes (hand-built; build_dependence_graph
+    # cannot produce this, which is exactly why find_cycle exists)
+    return DependenceGraph(
+        n=3,
+        m=3,
+        target_f=np.array([1, 2, 0]),
+        target_h=np.array([1, 2, 0]),
+    )
+
+
+def test_find_cycle_reports_cycle_nodes():
+    graph = _graph_with_cycle()
+    cycle = graph.find_cycle()
+    assert cycle
+    assert sorted(cycle) == [0, 1, 2]
+
+
+def test_find_cycle_none_on_dag():
+    system = GIRSystem.build(
+        [2, 3, 1, 1],
+        [2, 3],
+        [0, 1],
+        [1, 2],
+        modular_add(97),
+    )
+    graph = build_dependence_graph(system)
+    assert graph.find_cycle() == []
+    graph.validate_acyclic()  # no raise
+
+
+def test_validate_acyclic_raises_with_path():
+    graph = _graph_with_cycle()
+    with pytest.raises(CyclicDependenceError) as info:
+        graph.validate_acyclic()
+    assert info.value.cycle
+    assert "->" in str(info.value)
+
+
+def test_self_loop_cycle():
+    graph = DependenceGraph(
+        n=1, m=1, target_f=np.array([0]), target_h=np.array([1])
+    )
+    assert graph.find_cycle() == [0]
+    with pytest.raises(CyclicDependenceError):
+        graph.validate_acyclic()
+
+
+def test_cap_rejects_cyclic_graph():
+    from repro.core import count_all_paths
+
+    with pytest.raises(CyclicDependenceError):
+        count_all_paths(_graph_with_cycle())
+
+
+def test_ordinary_traces_detect_pointer_cycle():
+    # A hand-supplied (corrupted) predecessor array with a cycle must
+    # be detected by the chain-length bound instead of hanging.
+    system = OrdinaryIRSystem.build(
+        [("s",)] * 3,
+        [1, 2],
+        [0, 1],
+        CONCAT,
+    )
+    looping_pred = np.array([1, 0])  # 0 -> 1 -> 0 -> ...
+    with pytest.raises(CyclicDependenceError) as info:
+        ordinary_trace_factors(system, 0, pred=looping_pred)
+    assert info.value.cycle
