@@ -44,6 +44,7 @@ BENCHES = [
     "bench_ablation_work_efficiency",
     "bench_ablation_scheduling",
     "bench_wallclock_engines",
+    "bench_plan_reuse",
 ]
 
 RESULTS_SCHEMA_VERSION = 1

@@ -11,7 +11,7 @@ analyzes.
 
 Quick start::
 
-    from repro import OrdinaryIRSystem, CONCAT, solve_ordinary
+    from repro import OrdinaryIRSystem, CONCAT, solve
 
     sys_ = OrdinaryIRSystem.build(
         initial=[("a",), ("b",), ("c",), ("d",)],
@@ -19,10 +19,21 @@ Quick start::
         f=[0, 1, 2],
         op=CONCAT,
     )
-    final, stats = solve_ordinary(sys_, collect_stats=True)
+    result = solve(sys_, collect_stats=True)
+    final, stats = result.values, result.stats
 
-Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.pram`
-(simulator), :mod:`repro.loops` (front end), :mod:`repro.livermore`
+:func:`repro.engine.solve` is the unified entry point: it plans the
+solve (trace lists, round schedules, CAP counts -- everything
+derivable from the index maps alone), caches the plan by fingerprint,
+and dispatches to a registered backend (``python``, ``numpy``,
+``pram``, or ``auto``).  The historical per-family solvers
+(``solve_ordinary``, ``solve_gir``, ``solve_moebius``, ...) remain as
+deprecated wrappers.
+
+Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.engine`
+(Problem -> Plan -> Executor pipeline + backend registry; see
+``docs/ARCHITECTURE.md``), :mod:`repro.pram` (simulator),
+:mod:`repro.loops` (front end), :mod:`repro.livermore`
 (benchmark suite), :mod:`repro.analysis` (models and reports),
 :mod:`repro.obs` (tracing + metrics; see ``docs/OBSERVABILITY.md``),
 :mod:`repro.resilience` (numeric guards, fault injection, solve
@@ -30,7 +41,7 @@ policies; see ``docs/RESILIENCE.md``) with the failure taxonomy in
 :mod:`repro.errors`.
 """
 
-from . import analysis, core, errors, livermore, loops, obs, pram, resilience
+from . import analysis, core, engine, errors, livermore, loops, obs, pram, resilience
 from .core import (
     ADD,
     CONCAT,
@@ -60,6 +71,15 @@ from .core import (
     solve_moebius,
     solve_ordinary,
     solve_ordinary_numpy,
+)
+from .engine import (
+    EngineResult,
+    Problem,
+    available_backends,
+    execute,
+    register_backend,
+    solve,
+    solve_batch,
 )
 from .errors import (
     CyclicDependenceError,

@@ -99,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("path", help="JSON file written by dump_system")
     solve.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy", "pram"],
+        default="auto",
+        help="execution backend from the engine registry (default: auto; "
+        "'pram' runs the simulated machine, OrdinaryIR only)",
+    )
+    solve.add_argument(
         "--stats", action="store_true", help="also print solver statistics"
     )
     solve.add_argument(
@@ -318,8 +325,9 @@ def _stats_dict(stats: object) -> Optional[dict]:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    from .core import GIRSystem, run_gir, run_ordinary, solve_gir, solve_ordinary_numpy
+    from .core import GIRSystem, run_gir, run_ordinary
     from .core.serialize import load_system
+    from .engine import solve as engine_solve
     from .resilience import SolvePolicy
 
     path = args.path
@@ -333,16 +341,22 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             on_exhaustion=args.on_exhaustion,
         )
     system = load_system(path)
-    if isinstance(system, GIRSystem):
-        result, stats = solve_gir(
-            system, collect_stats=True, policy=policy, checked=args.check
+    try:
+        solved = engine_solve(
+            system,
+            backend=args.backend,
+            collect_stats=args.backend != "pram",
+            policy=policy,
+            checked=args.check,
         )
-        reference = run_gir(system)
-    else:
-        result, stats = solve_ordinary_numpy(
-            system, collect_stats=True, policy=policy, checked=args.check
-        )
-        reference = run_ordinary(system)
+    except ValueError as exc:
+        # backend/family mismatch (e.g. --backend pram on a GIR system)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result, stats = solved.values, solved.stats
+    reference = (
+        run_gir(system) if isinstance(system, GIRSystem) else run_ordinary(system)
+    )
     matches = result == reference
     if as_json:
         print(
@@ -350,6 +364,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 {
                     "cells": result,
                     "matches_sequential": matches,
+                    "backend": solved.backend,
                     "stats": _stats_dict(stats),
                 },
                 default=repr,
@@ -361,6 +376,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             print(f"A[{cell}] = {value}")
         if show_stats and stats is not None:
             print(f"# stats: {stats}", file=sys.stderr)
+        if show_stats:
+            print(f"# backend: {solved.backend}", file=sys.stderr)
     if not matches and not as_json:
         print("# WARNING: parallel result differs from sequential "
               "(floating-point reassociation?)", file=sys.stderr)

@@ -30,15 +30,13 @@ pipeline, matching the full paper's deferred remark.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..obs import get_registry, get_tracer, maybe_span
 from ..resilience.policy import SolvePolicy
-from .cap import CAPResult, count_all_paths
-from .depgraph import DependenceGraph, build_dependence_graph
-from .equations import GIRSystem, OrdinaryIRSystem, normalize_non_distinct
+from .cap import count_all_paths
+from .depgraph import build_dependence_graph
+from .equations import GIRSystem
 from .operators import Operator
 
 __all__ = ["GIRSolveStats", "solve_gir", "evaluate_trace_powers", "trace_powers"]
@@ -149,118 +147,27 @@ def solve_gir(
     verifies ``check_sample`` sampled cells against the sequential
     baseline and raises :class:`~repro.errors.VerificationError` on
     mismatch.
+
+    .. deprecated::
+        Use ``repro.engine.solve(system)`` -- which additionally
+        caches the DAG/CAP planning artifacts so repeated solves with
+        the same index maps skip straight to trace evaluation.
     """
-    system.validate()
+    from ..engine import solve as engine_solve
+    from ..engine._deprecation import warn_once
 
-    if (
-        allow_ordinary_dispatch
-        and system.is_ordinary_shaped()
-        and system.g_is_distinct()
-    ):
-        from .ordinary import solve_ordinary_numpy
-
-        ordinary = OrdinaryIRSystem(
-            initial=list(system.initial),
-            g=system.g.copy(),
-            f=system.f.copy(),
-            op=system.op,
-        )
-        out, ord_stats = solve_ordinary_numpy(
-            ordinary, collect_stats=collect_stats, policy=policy
-        )
-        stats = None
-        if collect_stats:
-            assert ord_stats is not None
-            stats = GIRSolveStats(
-                n=system.n,
-                cap_iterations=0,
-                cap_edge_work=0,
-                power_ops=0,
-                combine_ops=ord_stats.total_ops,
-                reduction_depth=ord_stats.depth,
-                renamed=False,
-                ordinary_dispatch=True,
-            )
-        if checked:
-            from ..resilience.verify import differential_check
-
-            differential_check("gir", system, out, sample=check_sample)
-        return out, stats
-
-    system.op.require_commutative()
-
-    tracer = get_tracer()
-    registry = get_registry()
-    with maybe_span(tracer, "solver.gir", n=system.n) as root:
-        renamed = False
-        work_system = system
-        projector = None
-        if not system.g_is_distinct():
-            if not allow_rename:
-                raise ValueError(
-                    "system has non-distinct g; pass allow_rename=True or "
-                    "normalize explicitly"
-                )
-            with maybe_span(tracer, "gir.normalize"):
-                norm = normalize_non_distinct(system)
-            work_system = norm.system
-            projector = norm
-            renamed = True
-
-        with maybe_span(tracer, "gir.build_graph") as gsp:
-            graph = build_dependence_graph(work_system)
-            if gsp is not None:
-                gsp.set_attribute("edges", graph.edge_count())
-                gsp.set_attribute("depth", graph.depth())
-        with maybe_span(tracer, "gir.cap"):
-            cap: CAPResult = count_all_paths(graph, policy=policy)
-
-        with maybe_span(tracer, "gir.evaluate") as esp:
-            out = list(work_system.initial)
-            power_ops = 0
-            combine_ops = 0
-            depth = 0
-            for i in range(work_system.n):
-                table = cap.powers_by_cell(graph, i)
-                value, p_ops, c_ops = evaluate_trace_powers(
-                    table, work_system.initial, work_system.op
-                )
-                out[int(work_system.g[i])] = value
-                power_ops += p_ops
-                combine_ops += c_ops
-                if table:
-                    depth = max(depth, math.ceil(math.log2(len(table))) if len(table) > 1 else 0)
-            if esp is not None:
-                esp.set_attribute("power_ops", power_ops)
-                esp.set_attribute("combine_ops", combine_ops)
-
-        if projector is not None:
-            out = projector.project(out)
-
-        if root is not None:
-            root.set_attribute("cap_iterations", cap.iterations)
-            root.set_attribute("renamed", renamed)
-        if registry is not None:
-            registry.counter("solver.solves", engine="gir").inc()
-            registry.counter("gir.power_ops").inc(power_ops)
-            registry.counter("gir.combine_ops").inc(combine_ops)
-
-    stats = None
-    if collect_stats:
-        stats = GIRSolveStats(
-            n=work_system.n,
-            cap_iterations=cap.iterations,
-            cap_edge_work=cap.edge_work,
-            power_ops=power_ops,
-            combine_ops=combine_ops,
-            reduction_depth=depth,
-            renamed=renamed,
-        )
-    if checked:
-        from ..resilience.verify import differential_check
-
-        differential_check("gir", system, out, sample=check_sample)
-    return out, stats
+    warn_once("repro.core.gir.solve_gir", "repro.engine.solve(system)")
+    result = engine_solve(
+        system,
+        backend="numpy",
+        collect_stats=collect_stats,
+        allow_rename=allow_rename,
+        allow_ordinary_dispatch=allow_ordinary_dispatch,
+        policy=policy,
+        checked=checked,
+        check_sample=check_sample,
+    )
+    return result.values, result.stats
 
 
 def trace_powers(system: GIRSystem) -> List[Dict[int, int]]:

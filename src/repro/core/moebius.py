@@ -61,12 +61,11 @@ from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..obs import get_registry, get_tracer, maybe_span
-from ..resilience.guard import NumericGuard, default_guard
+from ..resilience.guard import NumericGuard
 from ..resilience.policy import SolvePolicy
-from .equations import IRValidationError, OrdinaryIRSystem, as_index_array
+from .equations import IRValidationError, as_index_array
 from .operators import Operator
-from .ordinary import SolveStats, solve_ordinary, solve_ordinary_numpy
+from .ordinary import SolveStats
 
 __all__ = [
     "Mat2",
@@ -489,170 +488,48 @@ def solve_moebius(
     differentially verifies ``check_sample`` cells against the
     sequential baseline and raises
     :class:`~repro.errors.VerificationError` on mismatch.
+
+    .. deprecated::
+        Use ``repro.engine.solve(rec)``; the ``engine`` parameter maps
+        onto the engine's backend + ``options={"path": ...}``.
     """
-    rec.validate()
-    auto = engine == "auto"
-    guard_obj: Optional[NumericGuard]
-    if isinstance(guard, str):
-        if guard != "auto":
-            raise ValueError(f"unknown guard mode {guard!r}")
-        guard_obj = default_guard() if auto else None
-    else:
-        guard_obj = guard
-    if auto:
-        if _affine_fast_path_applicable(rec):
-            engine = "affine"
-        elif _floatable_scalars(rec):
-            engine = "rational"
-        else:
-            engine = "numpy"
+    from ..engine import solve as engine_solve
+    from ..engine._deprecation import warn_once
 
-    X, stats = _run_moebius_engine(
-        rec, engine, collect_stats=collect_stats, guard=guard_obj, policy=policy
+    warn_once("repro.core.moebius.solve_moebius", "repro.engine.solve(rec)")
+    # Historical engine names -> (backend, numeric path): the object
+    # Mat2 path ran on either value engine; affine/rational are numpy
+    # fast paths; "auto" resolves per fast-path applicability.
+    backend = "python" if engine == "python" else "numpy"
+    path = {"auto": "auto", "numpy": "object", "python": "object"}.get(
+        engine, engine
     )
-
-    if guard_obj is not None:
-        X, stats = _escalate_if_unhealthy(
-            rec,
-            X,
-            stats,
-            engine=engine,
-            guard=guard_obj,
-            collect_stats=collect_stats,
-            policy=policy,
-        )
-
-    if checked:
-        from ..resilience.verify import differential_check
-
-        differential_check("moebius", rec, X, sample=check_sample)
-    return X, stats
-
-
-def _run_moebius_engine(
-    rec: RationalRecurrence,
-    engine: str,
-    *,
-    collect_stats: bool,
-    guard: Optional[NumericGuard],
-    policy: Optional[SolvePolicy],
-) -> Tuple[List[Number], Optional[SolveStats]]:
-    """Dispatch one concrete engine (no ladder, no auto resolution)."""
-    if engine == "affine":
-        return solve_affine_numpy(
-            rec, collect_stats=collect_stats, guard=guard, policy=policy
-        )
-    if engine == "rational":
-        return solve_rational_numpy(
-            rec, collect_stats=collect_stats, guard=guard, policy=policy
-        )
-    if engine not in ("numpy", "python"):
-        raise ValueError(f"unknown engine {engine!r}")
-    n, m = rec.n, rec.m
-
-    tracer = get_tracer()
-    registry = get_registry()
-    with maybe_span(tracer, "solver.moebius", engine=engine, n=n):
-        with maybe_span(tracer, "moebius.coefficients"):
-            coeff = [Mat2.constant(rec.initial[x]) for x in range(m)]
-            for i in range(n):
-                coeff[int(rec.g[i])] = rec.coefficient_matrix(i)
-            const = [Mat2.constant(rec.initial[x]) for x in range(m)]
-
-        system = OrdinaryIRSystem(
-            initial=coeff,
-            g=rec.g.copy(),
-            f=rec.f.copy(),
-            op=moebius_ir_operator(guard),
-        )
-        with maybe_span(tracer, "moebius.ir_solve"):
-            if engine == "numpy":
-                solved, stats = solve_ordinary_numpy(
-                    system,
-                    collect_stats=collect_stats,
-                    f_initial=const,
-                    policy=policy,
-                )
-            else:
-                solved, stats = solve_ordinary(
-                    system,
-                    collect_stats=collect_stats,
-                    f_initial=const,
-                    policy=policy,
-                )
-
-        with maybe_span(tracer, "moebius.evaluate"):
-            X = list(rec.initial)
-            for i in range(n):
-                cell = int(rec.g[i])
-                mat = solved[cell]
-                # The composed matrix always ends in a constant map;
-                # evaluate it.  Following the paper we feed S[g(i)] as
-                # the (irrelevant) argument when the matrix is rank-1
-                # but not in b/d form.
-                if mat.a == 0 and mat.c == 0:
-                    X[cell] = mat.b / mat.d
-                else:
-                    X[cell] = mat.apply(rec.initial[cell])
-        if registry is not None:
-            registry.counter("solver.solves", engine="moebius").inc()
-    return X, stats
-
-
-def _escalate_if_unhealthy(
-    rec: RationalRecurrence,
-    X: List[Number],
-    stats: Optional[SolveStats],
-    *,
-    engine: str,
-    guard: NumericGuard,
-    collect_stats: bool,
-    policy: Optional[SolvePolicy],
-) -> Tuple[List[Number], Optional[SolveStats]]:
-    """The degradation ladder's upper rungs.
-
-    Rung 1 (the engine that just ran) produced ``X``; if the guard
-    finds it unhealthy, rung 2 re-solves with exact ``Fraction``
-    arithmetic on the object engine (possible iff every input scalar is
-    finite), and rung 3 -- when exactness is unavailable or division by
-    an exact zero occurs -- falls back to the sequential baseline,
-    which *defines* the recurrence's semantics.
-    """
-    assigned = (X[int(c)] for c in rec.g)
-    report = guard.check_values(assigned, where=f"moebius.{engine}")
-    if report.healthy:
-        return X, stats
-
-    tracer = get_tracer()
-    guard.record_trip(
-        kind="nan" if report.nan_count else "inf", engine=engine
+    result = engine_solve(
+        rec,
+        backend=backend,
+        collect_stats=collect_stats,
+        policy=policy,
+        checked=checked,
+        check_sample=check_sample,
+        options={"path": path, "guard": guard},
     )
+    return result.values, result.stats
 
-    exact = _as_exact(rec)
-    if exact is not None:
-        guard.record_escalation(source=engine, target="exact")
-        try:
-            with maybe_span(
-                tracer, "resilience.escalate", source=engine, target="exact"
-            ):
-                Xe, stats_e = _run_moebius_engine(
-                    exact,
-                    "numpy",
-                    collect_stats=collect_stats,
-                    guard=None,  # exact arithmetic: det == 0 is exact
-                    policy=policy,
-                )
-            return [_exact_to_float(v) for v in Xe], stats_e
-        except ZeroDivisionError:
-            # a genuine pole (0/0 or x/0): only float semantics can
-            # express the result; fall through to the baseline
-            pass
 
-    guard.record_escalation(source=engine, target="sequential")
-    with maybe_span(
-        tracer, "resilience.escalate", source=engine, target="sequential"
-    ):
-        return run_moebius_sequential(rec), stats
+def _cached_moebius_plan(rec: RationalRecurrence):
+    """Fetch (or build and cache) the shared pointer-jumping plan."""
+    from ..engine.exec_moebius import build_plan
+    from ..engine.planner import get_plan_cache
+    from ..engine.problem import Problem
+
+    problem = Problem.from_system(rec)
+    cache = get_plan_cache()
+    plan = cache.get(problem.fingerprint(), family="moebius")
+    if plan is None:
+        rec.validate()
+        plan = build_plan(rec, problem.fingerprint())
+        cache.put(problem.fingerprint(), plan)
+    return plan
 
 
 def solve_affine_numpy(
@@ -680,109 +557,23 @@ def solve_affine_numpy(
     ``guard`` is accepted for interface symmetry (the affine
     composition's degeneracy test -- ``a == 0`` -- is structural, so no
     tolerance is needed); ``policy`` bounds the doubling loop.
+
+    .. deprecated::
+        Use ``repro.engine.solve(rec, options={"path": "affine"})``.
+        Unlike the engine entry point, this wrapper never runs the
+        guard's degradation ladder -- its historical contract.
     """
-    rec.validate()
-    n, m = rec.n, rec.m
-    if any(c != 0 for c in rec.c):
-        raise IRValidationError(
-            "solve_affine_numpy requires c = 0 everywhere; use "
-            "solve_moebius for rational recurrences"
-        )
-    if any(d == 0 for d in rec.d):
-        raise ZeroDivisionError("affine normalization needs d != 0")
+    from ..engine._deprecation import warn_once
+    from ..engine.exec_moebius import execute_affine
 
-    initial = np.asarray(rec.initial, dtype=np.float64)
-    # per-iteration normalized coefficients (self-term folded in)
-    coeff_a = np.empty(n, dtype=np.float64)
-    coeff_b = np.empty(n, dtype=np.float64)
-    for i in range(n):
-        mat = rec.coefficient_matrix(i)
-        coeff_a[i] = mat.a / mat.d
-        coeff_b[i] = mat.b / mat.d
-
-    from .traces import predecessor_array
-
-    system_like = OrdinaryIRSystem(
-        initial=list(range(m)),  # indices only; values unused
-        g=rec.g.copy(),
-        f=rec.f.copy(),
-        op=moebius_ir_operator(),
+    warn_once(
+        "repro.core.moebius.solve_affine_numpy",
+        'repro.engine.solve(rec, options={"path": "affine"})',
     )
-    pred = predecessor_array(system_like)
-
-    terminal = pred < 0
-    a = coeff_a.copy()
-    b = coeff_b.copy()
-    # terminals absorb Const(S[f(i)]): (a,b) o (0,S) = (0, a*S + b);
-    # constant pairs (a == 0) keep their b untouched -- their
-    # structural zero must absorb even an infinite S
-    at = a[terminal]
-    with np.errstate(invalid="ignore"):
-        b[terminal] = np.where(
-            at == 0.0, b[terminal], at * initial[rec.f[terminal]] + b[terminal]
-        )
-    a[terminal] = 0.0
-    nxt = pred.copy()
-
-    stats = (
-        SolveStats(n=n, init_ops=int(terminal.sum())) if collect_stats else None
+    plan = _cached_moebius_plan(rec)
+    return execute_affine(
+        rec, plan, collect_stats=collect_stats, guard=guard, policy=policy
     )
-
-    enforcer = policy.enforcer("moebius.affine") if policy is not None else None
-    tracer = get_tracer()
-    registry = get_registry()
-    active = np.nonzero(nxt >= 0)[0]
-    rounds = 0
-    with maybe_span(tracer, "solver.moebius", engine="affine", n=n) as root:
-        with np.errstate(over="ignore", invalid="ignore"):
-            while active.size:
-                if enforcer is not None and not enforcer.admit():
-                    break
-                count = int(active.size)
-                with maybe_span(
-                    tracer,
-                    "solver.round",
-                    engine="affine",
-                    round=rounds,
-                    active=count,
-                ):
-                    p = nxt[active]
-                    # newer segment (active) composes over the older
-                    # one (p): gathers complete before the scatters
-                    # below.  Constant pairs (a == 0) absorb: the odot
-                    # rule, kept out of IEEE's 0 * inf = NaN.
-                    const_pair = a[active] == 0.0
-                    new_b = np.where(
-                        const_pair, b[active], a[active] * b[p] + b[active]
-                    )
-                    new_a = np.where(const_pair, 0.0, a[active] * a[p])
-                    a[active] = new_a
-                    b[active] = new_b
-                    nxt[active] = nxt[p]
-                    rounds += 1
-                    if stats is not None:
-                        stats.rounds += 1
-                        stats.active_per_round.append(count)
-                    active = active[nxt[active] >= 0]
-                if registry is not None:
-                    registry.counter("solver.rounds", engine="affine").inc()
-                    registry.histogram(
-                        "solver.active_cells", engine="affine"
-                    ).observe(count)
-        if root is not None:
-            root.set_attribute("rounds", rounds)
-        if registry is not None:
-            registry.counter("solver.solves", engine="affine").inc()
-
-    if enforcer is not None and enforcer.should_fallback:
-        return run_moebius_sequential(rec), stats
-
-    out = list(rec.initial)
-    g_list = rec.g.tolist()
-    values = b.tolist()  # all (completed) maps end constant: value = b
-    for i in range(n):
-        out[g_list[i]] = values[i]
-    return out, stats
 
 
 def solve_rational_numpy(
@@ -807,112 +598,20 @@ def solve_rational_numpy(
     :meth:`Mat2.matmul`.  Requires float-castable coefficients (exact
     types keep the object engine).  ``policy`` bounds the doubling
     loop.
+
+    .. deprecated::
+        Use ``repro.engine.solve(rec, options={"path": "rational"})``.
+        Unlike the engine entry point, this wrapper never runs the
+        guard's degradation ladder -- its historical contract.
     """
-    rec.validate()
-    n, m = rec.n, rec.m
+    from ..engine._deprecation import warn_once
+    from ..engine.exec_moebius import execute_rational
 
-    initial = np.asarray(rec.initial, dtype=np.float64)
-    A = np.empty(n)
-    B = np.empty(n)
-    C = np.empty(n)
-    D = np.empty(n)
-    for i in range(n):
-        mat = rec.coefficient_matrix(i)
-        A[i], B[i], C[i], D[i] = mat.a, mat.b, mat.c, mat.d
-
-    from .traces import predecessor_array
-
-    system_like = OrdinaryIRSystem(
-        initial=list(range(m)),
-        g=rec.g.copy(),
-        f=rec.f.copy(),
-        op=moebius_ir_operator(),
+    warn_once(
+        "repro.core.moebius.solve_rational_numpy",
+        'repro.engine.solve(rec, options={"path": "rational"})',
     )
-    pred = predecessor_array(system_like)
-    terminal = pred < 0
-
-    def singular(ma, mb, mc, md):
-        if guard is not None:
-            return guard.singular_mask(ma, mb, mc, md)
-        return ma * md - mb * mc == 0
-
-    def amul(x, y):
-        # product with an exact absorbing zero (vectorized _zmul): a
-        # structural 0 entry wipes out a non-finite partner instead of
-        # manufacturing NaN; finite data is untouched
-        out = x * y
-        zero = (x == 0.0) | (y == 0.0)
-        if zero.any():
-            out = np.where(zero, 0.0, out)
-        return out
-
-    # terminals compose their map over Const(S[f(i)]) = [[0,S],[0,1]]
-    s_f = initial[rec.f[terminal]]
-    with np.errstate(over="ignore", invalid="ignore"):
-        keep = singular(A[terminal], B[terminal], C[terminal], D[terminal])
-        new_b = np.where(keep, B[terminal], amul(A[terminal], s_f) + B[terminal])
-        new_d = np.where(keep, D[terminal], amul(C[terminal], s_f) + D[terminal])
-        new_a = np.where(keep, A[terminal], 0.0)
-        new_c = np.where(keep, C[terminal], 0.0)
-    A[terminal], B[terminal], C[terminal], D[terminal] = new_a, new_b, new_c, new_d
-    nxt = pred.copy()
-
-    stats = (
-        SolveStats(n=n, init_ops=int(terminal.sum())) if collect_stats else None
+    plan = _cached_moebius_plan(rec)
+    return execute_rational(
+        rec, plan, collect_stats=collect_stats, guard=guard, policy=policy
     )
-
-    enforcer = policy.enforcer("moebius.rational") if policy is not None else None
-    tracer = get_tracer()
-    registry = get_registry()
-    active = np.nonzero(nxt >= 0)[0]
-    rounds = 0
-    with maybe_span(tracer, "solver.moebius", engine="rational", n=n) as root:
-        with np.errstate(over="ignore", invalid="ignore"):
-            while active.size:
-                if enforcer is not None and not enforcer.admit():
-                    break
-                count = int(active.size)
-                with maybe_span(
-                    tracer,
-                    "solver.round",
-                    engine="rational",
-                    round=rounds,
-                    active=count,
-                ):
-                    p = nxt[active]
-                    ao, bo, co, do = A[active], B[active], C[active], D[active]
-                    ai, bi, ci, di = A[p], B[p], C[p], D[p]
-                    keep = singular(ao, bo, co, do)  # odot: singular outer absorbs
-                    A[active] = np.where(keep, ao, amul(ao, ai) + amul(bo, ci))
-                    B[active] = np.where(keep, bo, amul(ao, bi) + amul(bo, di))
-                    C[active] = np.where(keep, co, amul(co, ai) + amul(do, ci))
-                    D[active] = np.where(keep, do, amul(co, bi) + amul(do, di))
-                    nxt[active] = nxt[p]
-                    rounds += 1
-                    if stats is not None:
-                        stats.rounds += 1
-                        stats.active_per_round.append(count)
-                    active = active[nxt[active] >= 0]
-                if registry is not None:
-                    registry.counter("solver.rounds", engine="rational").inc()
-                    registry.histogram(
-                        "solver.active_cells", engine="rational"
-                    ).observe(count)
-        if root is not None:
-            root.set_attribute("rounds", rounds)
-        if registry is not None:
-            registry.counter("solver.solves", engine="rational").inc()
-
-    if enforcer is not None and enforcer.should_fallback:
-        return run_moebius_sequential(rec), stats
-
-    out = list(rec.initial)
-    g_list = rec.g.tolist()
-    for i in range(n):
-        a, b, c, d = A[i], B[i], C[i], D[i]
-        if a == 0 and c == 0:
-            out[g_list[i]] = b / d
-        else:  # rank-1 map: evaluate at the paper's S[g(i)] argument
-            s = rec.initial[g_list[i]]
-            out[g_list[i]] = (a * s + b) / (c * s + d)
-    return out, stats

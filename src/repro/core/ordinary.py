@@ -37,19 +37,27 @@ where ``L`` is the longest trace-chain length (``L <= n``).
 The reads are concurrent -- several chains may share a predecessor --
 so the algorithm is CREW; writes are exclusive (``g`` distinct).
 
-Two engines are provided:
+Two value engines implement this algorithm; both now live behind the
+:mod:`repro.engine` plan/execute pipeline
+(:mod:`repro.engine.exec_ordinary`), which separates the
+value-independent planning (predecessor array + the full pointer
+jumping round schedule, cached by index-map fingerprint) from the
+per-round value work:
 
-* :func:`solve_ordinary` -- a pure-Python synchronous-step reference
+* the ``python`` backend -- a pure-Python synchronous-step reference
   that mirrors the PRAM semantics one step at a time (double
   buffering).  This is the version executed instruction-by-instruction
   on the PRAM machine in :mod:`repro.pram.ir_programs`.
-* :func:`solve_ordinary_numpy` -- a vectorized engine operating on
+* the ``numpy`` backend -- a vectorized engine operating on
   iteration-indexed arrays with NumPy fancy indexing, used for large
   ``n`` (the Fig-3 benchmark runs it at ``n = 50,000``).
 
-Both return the final array plus an optional :class:`SolveStats`
-record (rounds, per-round active counts) that the cost model consumes
-to charge SimParC-style instruction counts.
+The historical entry points :func:`solve_ordinary` /
+:func:`solve_ordinary_numpy` remain as deprecated wrappers over
+:func:`repro.engine.solve`; they return the final array plus an
+optional :class:`SolveStats` record (rounds, per-round active counts)
+that the cost model consumes to charge SimParC-style instruction
+counts.
 """
 
 from __future__ import annotations
@@ -59,10 +67,8 @@ from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
-from ..obs import get_registry, get_tracer, maybe_span
 from ..resilience.policy import SolvePolicy
 from .equations import OrdinaryIRSystem
-from .traces import predecessor_array
 
 __all__ = ["SolveStats", "solve_ordinary", "solve_ordinary_numpy"]
 
@@ -178,87 +184,28 @@ def solve_ordinary(
     verifies ``check_sample`` sampled cells against the sequential
     baseline and raises :class:`~repro.errors.VerificationError` on
     mismatch.
+
+    .. deprecated::
+        Use ``repro.engine.solve(system, backend="python")``.
     """
-    system.validate()
-    n = system.n
-    op = system.op.fn
-    S = system.initial
-    F = f_initial if f_initial is not None else S
-    g = system.g.tolist()
-    f = system.f.tolist()
-    pred = predecessor_array(system).tolist()
+    from ..engine import solve as engine_solve
+    from ..engine._deprecation import warn_once
 
-    tracer = get_tracer()
-    registry = get_registry()
-    with maybe_span(tracer, "solver.ordinary", engine="python", n=n) as root:
-        # State is indexed by iteration (equivalently by assigned cell,
-        # since g is a bijection onto the assigned cells).
-        val: List[Any] = [None] * n
-        nxt: List[int] = [-1] * n
-        terminals = 0
-        for i in range(n):
-            if pred[i] < 0:
-                val[i] = op(F[f[i]], S[g[i]])  # first product at the terminal
-                nxt[i] = -1
-                terminals += 1
-            else:
-                val[i] = S[g[i]]
-                nxt[i] = pred[i]
-
-        stats = SolveStats(n=n, init_ops=terminals) if collect_stats else None
-
-        enforcer = (
-            policy.enforcer("ordinary.python") if policy is not None else None
-        )
-        rounds = 0
-        while any(p >= 0 for p in nxt):
-            if max_rounds is not None and rounds >= max_rounds:
-                break
-            if enforcer is not None and not enforcer.admit():
-                break
-            with maybe_span(
-                tracer, "solver.round", engine="python", round=rounds
-            ) as rsp:
-                new_val = list(val)
-                new_nxt = list(nxt)
-                active = 0
-                for i in range(n):
-                    p = nxt[i]
-                    if p >= 0:
-                        new_val[i] = op(val[p], val[i])
-                        new_nxt[i] = nxt[p]
-                        active += 1
-                val, nxt = new_val, new_nxt
-                rounds += 1
-                if rsp is not None:
-                    rsp.set_attribute("active", active)
-            if registry is not None:
-                registry.counter("solver.rounds", engine="python").inc()
-                registry.histogram(
-                    "solver.active_cells", engine="python"
-                ).observe(active)
-            if stats is not None:
-                stats.active_per_round.append(active)
-
-        if stats is not None:
-            stats.rounds = rounds
-        if root is not None:
-            root.set_attribute("rounds", rounds)
-        if registry is not None:
-            registry.counter("solver.solves", engine="python").inc()
-            registry.counter("solver.init_ops", engine="python").inc(terminals)
-
-        if enforcer is not None and enforcer.should_fallback:
-            out = _sequential_baseline(system, f_initial)
-            _maybe_check(system, out, f_initial, checked, check_sample)
-            return out, stats
-
-        out = list(S)
-        for i in range(n):
-            out[g[i]] = val[i]
-        if enforcer is None or not enforcer.is_partial:
-            _maybe_check(system, out, f_initial, checked, check_sample)
-        return out, stats
+    warn_once(
+        "repro.core.ordinary.solve_ordinary",
+        'repro.engine.solve(system, backend="python")',
+    )
+    result = engine_solve(
+        system,
+        backend="python",
+        collect_stats=collect_stats,
+        max_rounds=max_rounds,
+        f_initial=f_initial,
+        policy=policy,
+        checked=checked,
+        check_sample=check_sample,
+    )
+    return result.values, result.stats
 
 
 def solve_ordinary_numpy(
@@ -282,93 +229,24 @@ def solve_ordinary_numpy(
     exact agreement (including per-round stats).  ``f_initial``,
     ``policy``, ``checked``, ``check_sample`` as in
     :func:`solve_ordinary`.
+
+    .. deprecated::
+        Use ``repro.engine.solve(system)`` (or ``backend="numpy"``).
     """
-    system.validate()
-    n = system.n
-    S = system.initial
-    F = f_initial if f_initial is not None else S
-    g = system.g
-    f = system.f
-    pred = predecessor_array(system)
+    from ..engine import solve as engine_solve
+    from ..engine._deprecation import warn_once
 
-    use_typed = system.op.vector_fn is not None and system.op.dtype is not None
-
-    def to_array(values):
-        if use_typed:
-            return np.asarray(values, dtype=system.op.dtype)
-        arr = np.empty(len(values), dtype=object)
-        for idx, v in enumerate(values):  # element-wise: may hold sequences
-            arr[idx] = v
-        return arr
-
-    init = to_array(S)
-    finit = init if f_initial is None else to_array(F)
-    vec = system.op.vector_fn if use_typed else np.frompyfunc(system.op.fn, 2, 1)
-
-    tracer = get_tracer()
-    registry = get_registry()
-    with maybe_span(tracer, "solver.ordinary", engine="numpy", n=n) as root:
-        terminal = pred < 0
-        val = init[g].copy()
-        # First products at the terminals (paper's initialization step).
-        val[terminal] = vec(finit[f[terminal]], val[terminal])
-        nxt = pred.copy()
-
-        init_ops = int(terminal.sum())
-        stats = SolveStats(n=n, init_ops=init_ops) if collect_stats else None
-
-        enforcer = (
-            policy.enforcer("ordinary.numpy") if policy is not None else None
-        )
-        rounds = 0
-        active_idx = np.nonzero(nxt >= 0)[0]
-        # Overflow saturates to +/-inf, matching the Python-float
-        # semantics of the sequential loop; suppress NumPy's warning
-        # about it.
-        with np.errstate(over="ignore", invalid="ignore"):
-            while active_idx.size:
-                if enforcer is not None and not enforcer.admit():
-                    break
-                active = int(active_idx.size)
-                with maybe_span(
-                    tracer,
-                    "solver.round",
-                    engine="numpy",
-                    round=rounds,
-                    active=active,
-                ):
-                    p = nxt[active_idx]
-                    # Synchronous semantics: gather old values/pointers
-                    # first.
-                    val[active_idx] = vec(val[p], val[active_idx])
-                    nxt[active_idx] = nxt[p]
-                    rounds += 1
-                    if stats is not None:
-                        stats.active_per_round.append(active)
-                    active_idx = active_idx[nxt[active_idx] >= 0]
-                if registry is not None:
-                    registry.counter("solver.rounds", engine="numpy").inc()
-                    registry.histogram(
-                        "solver.active_cells", engine="numpy"
-                    ).observe(active)
-
-        if stats is not None:
-            stats.rounds = rounds
-        if root is not None:
-            root.set_attribute("rounds", rounds)
-        if registry is not None:
-            registry.counter("solver.solves", engine="numpy").inc()
-            registry.counter("solver.init_ops", engine="numpy").inc(init_ops)
-
-        if enforcer is not None and enforcer.should_fallback:
-            out = _sequential_baseline(system, f_initial)
-            _maybe_check(system, out, f_initial, checked, check_sample)
-            return out, stats
-
-        out = list(S)
-        solved = val.tolist()  # numpy scalars -> Python scalars / objects
-        for i, cell in enumerate(g.tolist()):
-            out[cell] = solved[i]
-        if enforcer is None or not enforcer.is_partial:
-            _maybe_check(system, out, f_initial, checked, check_sample)
-        return out, stats
+    warn_once(
+        "repro.core.ordinary.solve_ordinary_numpy",
+        'repro.engine.solve(system, backend="numpy")',
+    )
+    result = engine_solve(
+        system,
+        backend="numpy",
+        collect_stats=collect_stats,
+        f_initial=f_initial,
+        policy=policy,
+        checked=checked,
+        check_sample=check_sample,
+    )
+    return result.values, result.stats

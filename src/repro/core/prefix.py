@@ -28,9 +28,9 @@ from typing import Any, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .equations import OrdinaryIRSystem
-from .moebius import AffineRecurrence, solve_moebius
+from .moebius import AffineRecurrence
 from .operators import Operator, make_operator
-from .ordinary import SolveStats, solve_ordinary, solve_ordinary_numpy
+from .ordinary import SolveStats
 
 __all__ = [
     "prefix_scan",
@@ -66,9 +66,15 @@ def prefix_scan(
     """
     if len(values) <= 1:
         return list(values), (SolveStats(n=0) if collect_stats else None)
+    from ..engine import solve as engine_solve
+
     system = _scan_system(values, op)
-    solver = solve_ordinary_numpy if engine == "numpy" else solve_ordinary
-    return solver(system, collect_stats=collect_stats)
+    result = engine_solve(
+        system,
+        backend="numpy" if engine == "numpy" else "python",
+        collect_stats=collect_stats,
+    )
+    return result.values, result.stats
 
 
 def exclusive_scan(
@@ -165,5 +171,11 @@ def linear_recurrence(
         a=list(a),
         b=list(b),
     )
-    solved, _ = solve_moebius(rec, engine="auto" if engine == "numpy" else engine)
-    return solved[1:]
+    from ..engine import solve as engine_solve
+
+    result = engine_solve(
+        rec,
+        backend="numpy" if engine == "numpy" else "python",
+        options={"path": "auto" if engine == "numpy" else "object"},
+    )
+    return result.values[1:]

@@ -1,0 +1,32 @@
+"""One-shot deprecation warnings for the legacy per-module solvers.
+
+Each legacy entry point (``solve_ordinary``, ``solve_gir``, ...) warns
+exactly once per process -- enough to steer callers to the engine API
+without drowning loops that still use the old names.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_once", "reset_deprecation_warnings"]
+
+_warned: Set[str] = set()
+
+
+def warn_once(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit one ``DeprecationWarning`` naming the replacement call."""
+    if old in _warned:
+        return
+    _warned.add(old)
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see docs/ARCHITECTURE.md)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Re-arm every warning (tests use this)."""
+    _warned.clear()

@@ -1,0 +1,206 @@
+"""The engine's public entry points: ``solve``, ``execute``,
+``solve_batch``.
+
+``solve`` is the unified front door the per-family wrappers
+(:func:`repro.core.ordinary.solve_ordinary`,
+:func:`repro.core.gir.solve_gir`,
+:func:`repro.core.moebius.solve_moebius`, ...) now delegate to:
+
+1. derive the :class:`~repro.engine.problem.Problem` of the source
+   object (family + index maps + flags);
+2. look its fingerprint up in the plan cache -- a hit skips
+   validation, predecessor construction and schedule/CAP planning;
+3. dispatch to the selected backend (``python`` / ``numpy`` /
+   ``pram`` / ``auto``), which replays the plan over the values;
+4. store a freshly built plan back into the cache.
+
+Every solve increments ``engine.solves`` (labeled by backend and
+family) in the obs metrics registry when observation is enabled; cache
+lookups increment ``engine.plan.cache.{hits,misses}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs import get_registry
+from .backends import Backend, ExecutionRequest, resolve_backend
+from .plan import Plan
+from .planner import PlanCache, get_plan_cache
+from .problem import Problem
+
+__all__ = ["EngineResult", "solve", "execute", "solve_batch"]
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one engine solve.
+
+    ``values`` is the final array; ``stats`` the family's stats record
+    (when requested); ``plan`` the plan that ran (reusable via
+    ``solve(..., plan=...)`` or :func:`execute`); ``cache_hit`` whether
+    it came from the plan cache; ``metrics`` a backend-specific extra
+    (the PRAM :class:`~repro.pram.metrics.RunMetrics`).
+    """
+
+    values: List[Any]
+    stats: Optional[object]
+    backend: str
+    family: str
+    plan: Optional[Plan]
+    cache_hit: bool = False
+    metrics: Optional[object] = None
+
+
+def _cacheable(problem: Problem, policy) -> bool:
+    # A GIR policy bounds the CAP loop at *planning* time, so the
+    # resulting table may be truncated -- never cache those.  The
+    # ordinary/moebius policies act purely at execute time.
+    return problem.family != "gir" or policy is None
+
+
+def solve(
+    source: Any,
+    *,
+    backend: str = "auto",
+    plan: Optional[Plan] = None,
+    reuse_plan: bool = True,
+    cache: Optional[PlanCache] = None,
+    collect_stats: bool = False,
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
+    f_initial: Optional[List[Any]] = None,
+    max_rounds: Optional[int] = None,
+    allow_rename: bool = True,
+    allow_ordinary_dispatch: bool = True,
+    options: Optional[Dict[str, Any]] = None,
+) -> EngineResult:
+    """Solve any supported source object through the engine.
+
+    ``source`` is an :class:`~repro.core.equations.OrdinaryIRSystem`,
+    :class:`~repro.core.equations.GIRSystem` or
+    :class:`~repro.core.moebius.RationalRecurrence`.  ``backend``
+    selects the executor by registry name (``"auto"`` resolves to
+    ``"numpy"``).  ``plan`` runs a caller-held plan directly;
+    otherwise ``reuse_plan=True`` (default) consults the plan cache.
+    ``options`` carries backend/family extras (Moebius ``path`` /
+    ``guard``, PRAM ``processors`` / ``fault_plan`` / ...); the
+    remaining keywords mirror the historical per-family solvers.
+    """
+    problem = Problem.from_system(
+        source,
+        allow_rename=allow_rename,
+        allow_ordinary_dispatch=allow_ordinary_dispatch,
+    )
+    chosen = resolve_backend(backend, problem)
+
+    cache_hit = False
+    consulted = False
+    store = cache if cache is not None else get_plan_cache()
+    if (
+        plan is None
+        and reuse_plan
+        and chosen.name != "pram"  # the PRAM machine does not plan
+        and _cacheable(problem, policy)
+    ):
+        consulted = True
+        plan = store.get(problem.fingerprint(), family=problem.family)
+        cache_hit = plan is not None
+
+    request = ExecutionRequest(
+        problem=problem,
+        source=source,
+        plan=plan,
+        collect_stats=collect_stats,
+        policy=policy,
+        checked=checked,
+        check_sample=check_sample,
+        f_initial=f_initial,
+        max_rounds=max_rounds,
+        options=dict(options or {}),
+    )
+    values, stats, built_plan, metrics = chosen.execute(request)
+
+    if (
+        consulted
+        and not cache_hit
+        and built_plan is not None
+        and _cacheable(problem, policy)
+    ):
+        store.put(problem.fingerprint(), built_plan)
+
+    registry = get_registry()
+    if registry is not None:
+        registry.counter(
+            "engine.solves", backend=chosen.name, family=problem.family
+        ).inc()
+
+    return EngineResult(
+        values=values,
+        stats=stats,
+        backend=chosen.name,
+        family=problem.family,
+        plan=built_plan,
+        cache_hit=cache_hit,
+        metrics=metrics,
+    )
+
+
+def execute(plan: Plan, source: Any, **kwargs) -> EngineResult:
+    """Run a caller-held plan over ``source``'s values.
+
+    Equivalent to ``solve(source, plan=plan, ...)``; the plan must
+    have been built for the same index maps (same fingerprint) --
+    :func:`solve` with ``reuse_plan=True`` manages this automatically,
+    ``execute`` trusts the caller for the hot serving path.
+    """
+    return solve(source, plan=plan, **kwargs)
+
+
+def solve_batch(
+    source: Any,
+    batch_initial: Sequence[Sequence[Any]],
+    *,
+    backend: str = "auto",
+    plan: Optional[Plan] = None,
+    reuse_plan: bool = True,
+    cache: Optional[PlanCache] = None,
+    f_initial_batch: Optional[Sequence[Sequence[Any]]] = None,
+) -> List[List[Any]]:
+    """Solve ``k`` instances sharing ``source``'s index maps and
+    operator, one per row of ``batch_initial``.
+
+    The NumPy backend runs typed operators as ``(k, m)`` matrices
+    through one planned sweep; other operand kinds replay the shared
+    plan per row.  Returns the ``k`` final arrays.
+    """
+    problem = Problem.from_system(source)
+    chosen = resolve_backend(backend, problem)
+    if not chosen.capabilities.batch:
+        raise ValueError(
+            f"backend {chosen.name!r} does not support batched execution"
+        )
+
+    store = cache if cache is not None else get_plan_cache()
+    consulted = False
+    if plan is None and reuse_plan:
+        consulted = True
+        plan = store.get(problem.fingerprint(), family=problem.family)
+
+    request = ExecutionRequest(problem=problem, source=source, plan=plan)
+    values, built_plan = chosen.execute_batch(
+        request, batch_initial, f_initial_batch
+    )
+
+    if consulted and plan is None and built_plan is not None:
+        store.put(problem.fingerprint(), built_plan)
+
+    registry = get_registry()
+    if registry is not None:
+        registry.counter(
+            "engine.solves", backend=chosen.name, family=problem.family
+        ).inc(len(batch_initial))
+        registry.counter("engine.batch.solves", backend=chosen.name).inc()
+    return values

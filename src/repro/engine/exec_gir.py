@@ -1,0 +1,215 @@
+"""GIR executor: plan the dependence-DAG/CAP pipeline once, evaluate
+trace power tables per solve.
+
+The value-independent artifacts -- renaming, the dependence graph, the
+CAP path counts -- live in the :class:`~repro.engine.plan.GIRPlan`;
+re-solving a system with the same maps (different initial values,
+different commutative operator) skips straight to trace evaluation.
+Ordinary-shaped systems carry a nested :class:`OrdinaryPlan` and run
+through the pointer-jumping executors instead, exactly as the
+historical ``solve_gir`` dispatched.
+
+Span structure on a planning solve matches the historical solver
+(``solver.gir`` containing ``gir.normalize``/``gir.build_graph``/
+``gir.cap``/``gir.evaluate``); a plan-cache hit emits only the
+``gir.evaluate`` phase, since that is all that runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Tuple
+
+from ..obs import get_registry, get_tracer, maybe_span
+from ..core.cap import CAPResult, count_all_paths
+from ..core.depgraph import build_dependence_graph
+from ..core.equations import OrdinaryIRSystem, normalize_non_distinct
+from ..core.gir import GIRSolveStats, evaluate_trace_powers
+from . import exec_ordinary
+from .plan import GIRPlan
+
+__all__ = ["execute"]
+
+
+def _should_dispatch(system, problem) -> bool:
+    return (
+        problem.allow_ordinary_dispatch
+        and system.is_ordinary_shaped()
+        and system.g_is_distinct()
+    )
+
+
+def execute(
+    system,
+    problem,
+    plan: Optional[GIRPlan],
+    *,
+    ordinary_engine: str = "numpy",
+    collect_stats: bool = False,
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
+) -> Tuple[List[Any], Optional[GIRSolveStats], GIRPlan]:
+    """Solve a GIR system, building ``plan`` when ``None``.
+
+    Returns ``(values, stats, plan)`` so the caller can cache the plan.
+    """
+    if plan is None:
+        system.validate()
+        dispatch = _should_dispatch(system, problem)
+    else:
+        dispatch = plan.dispatch is not None
+
+    if dispatch:
+        ordinary = OrdinaryIRSystem(
+            initial=list(system.initial),
+            g=system.g,
+            f=system.f,
+            op=system.op,
+        )
+        if plan is None:
+            ordinary_plan = exec_ordinary.build_plan(
+                ordinary, problem.fingerprint()
+            )
+            plan = GIRPlan(
+                fingerprint=problem.fingerprint(),
+                n=system.n,
+                m=system.m,
+                dispatch=ordinary_plan,
+            )
+        runner = (
+            exec_ordinary.execute_python
+            if ordinary_engine == "python"
+            else exec_ordinary.execute_numpy
+        )
+        out, ord_stats = runner(
+            ordinary, plan.dispatch, collect_stats=collect_stats, policy=policy
+        )
+        stats = None
+        if collect_stats:
+            assert ord_stats is not None
+            stats = GIRSolveStats(
+                n=system.n,
+                cap_iterations=0,
+                cap_edge_work=0,
+                power_ops=0,
+                combine_ops=ord_stats.total_ops,
+                reduction_depth=ord_stats.depth,
+                renamed=False,
+                ordinary_dispatch=True,
+            )
+        if checked:
+            from ..resilience.verify import differential_check
+
+            differential_check("gir", system, out, sample=check_sample)
+        return out, stats, plan
+
+    system.op.require_commutative()
+
+    tracer = get_tracer()
+    registry = get_registry()
+    n, m = system.n, system.m
+    with maybe_span(tracer, "solver.gir", n=n) as root:
+        if plan is None:
+            renamed = not system.g_is_distinct()
+            final_cell_of = None
+            work_system = system
+            if renamed:
+                if not problem.allow_rename:
+                    raise ValueError(
+                        "system has non-distinct g; pass allow_rename=True "
+                        "or normalize explicitly"
+                    )
+                with maybe_span(tracer, "gir.normalize"):
+                    norm = normalize_non_distinct(system)
+                work_system = norm.system
+                final_cell_of = norm.final_cell_of
+
+            with maybe_span(tracer, "gir.build_graph") as gsp:
+                graph = build_dependence_graph(work_system)
+                if gsp is not None:
+                    gsp.set_attribute("edges", graph.edge_count())
+                    gsp.set_attribute("depth", graph.depth())
+            with maybe_span(tracer, "gir.cap"):
+                cap: CAPResult = count_all_paths(graph, policy=policy)
+            # Leaf cells are always original cells (< m): renamed
+            # version cells are written before any read, so only
+            # pristine cells appear as initial-value leaves.  The
+            # tables therefore index the original initial array.
+            tables = [
+                cap.powers_by_cell(graph, i) for i in range(work_system.n)
+            ]
+            plan = GIRPlan(
+                fingerprint=problem.fingerprint(),
+                n=n,
+                m=m,
+                renamed=renamed,
+                out_cells=work_system.g,
+                tables=tables,
+                final_cell_of=final_cell_of,
+                cap_iterations=cap.iterations,
+                cap_edge_work=cap.edge_work,
+            )
+
+        renamed = plan.renamed
+        out_cells = plan.out_cells.tolist()
+        # Reconstruct the working array: original cells keep their
+        # initial values; version cells (renamed systems) are always
+        # written before read, so any placeholder works.
+        if renamed:
+            g_list = system.g.tolist()
+            out = list(system.initial) + [
+                system.initial[g_list[i]] for i in range(n)
+            ]
+        else:
+            out = list(system.initial)
+
+        with maybe_span(tracer, "gir.evaluate") as esp:
+            initial = system.initial
+            op = system.op
+            power_ops = 0
+            combine_ops = 0
+            depth = 0
+            for i, table in enumerate(plan.tables):
+                value, p_ops, c_ops = evaluate_trace_powers(table, initial, op)
+                out[out_cells[i]] = value
+                power_ops += p_ops
+                combine_ops += c_ops
+                if table:
+                    depth = max(
+                        depth,
+                        math.ceil(math.log2(len(table)))
+                        if len(table) > 1
+                        else 0,
+                    )
+            if esp is not None:
+                esp.set_attribute("power_ops", power_ops)
+                esp.set_attribute("combine_ops", combine_ops)
+
+        if renamed:
+            out = [out[int(c)] for c in plan.final_cell_of]
+
+        if root is not None:
+            root.set_attribute("cap_iterations", plan.cap_iterations)
+            root.set_attribute("renamed", renamed)
+        if registry is not None:
+            registry.counter("solver.solves", engine="gir").inc()
+            registry.counter("gir.power_ops").inc(power_ops)
+            registry.counter("gir.combine_ops").inc(combine_ops)
+
+    stats = None
+    if collect_stats:
+        stats = GIRSolveStats(
+            n=len(plan.tables),
+            cap_iterations=plan.cap_iterations,
+            cap_edge_work=plan.cap_edge_work,
+            power_ops=power_ops,
+            combine_ops=combine_ops,
+            reduction_depth=depth,
+            renamed=renamed,
+        )
+    if checked:
+        from ..resilience.verify import differential_check
+
+        differential_check("gir", system, out, sample=check_sample)
+    return out, stats, plan

@@ -1,0 +1,489 @@
+"""Moebius executors: the reduction's numeric paths over a shared plan.
+
+All three execution paths -- the exact ``Mat2`` object path and the
+vectorized affine / rational float fast paths -- replay the same
+:class:`~repro.engine.plan.MoebiusPlan` (an OrdinaryIR round schedule
+over ``(g, f)``): the pointer-jumping structure is independent of how
+the matrices are represented.  Path selection (``auto``), the numeric
+guard and its degradation ladder (float -> exact ``Fraction`` -> the
+sequential baseline) are orchestrated here, moved verbatim from the
+historical :func:`repro.core.moebius.solve_moebius`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from ..obs import get_registry, get_tracer, maybe_span
+from ..core.equations import IRValidationError, OrdinaryIRSystem
+from ..core.moebius import (
+    Mat2,
+    RationalRecurrence,
+    _affine_fast_path_applicable,
+    _as_exact,
+    _exact_to_float,
+    _floatable_scalars,
+    moebius_ir_operator,
+    run_moebius_sequential,
+)
+from ..core.ordinary import SolveStats
+from ..resilience.guard import NumericGuard, default_guard
+from . import exec_ordinary
+from .plan import MoebiusPlan, OrdinaryPlan
+
+__all__ = ["execute", "resolve_path", "PATHS"]
+
+PATHS = ("auto", "object", "affine", "rational")
+
+
+def resolve_path(rec: RationalRecurrence, path: str) -> str:
+    """Concrete numeric path of an ``auto`` request (mirrors the
+    historical engine-selection rules)."""
+    if path != "auto":
+        return path
+    if _affine_fast_path_applicable(rec):
+        return "affine"
+    if _floatable_scalars(rec):
+        return "rational"
+    return "object"
+
+
+def build_plan(rec: RationalRecurrence, fingerprint: str) -> MoebiusPlan:
+    """Plan the shared pointer-jumping structure over ``(g, f)``."""
+    ordinary = exec_ordinary.build_plan_from_maps(
+        rec.g, rec.f, rec.m, fingerprint
+    )
+    return MoebiusPlan(
+        fingerprint=fingerprint, n=rec.n, m=rec.m, ordinary=ordinary
+    )
+
+
+def execute(
+    rec: RationalRecurrence,
+    problem,
+    plan: Optional[MoebiusPlan],
+    *,
+    backend_name: str = "numpy",
+    path: str = "auto",
+    guard: Any = "auto",
+    collect_stats: bool = False,
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
+) -> Tuple[List[Any], Optional[SolveStats], MoebiusPlan]:
+    """Solve the recurrence, building ``plan`` when ``None``.
+
+    ``path`` picks the numeric representation (``auto`` resolves per
+    the fast-path applicability rules); ``guard="auto"`` arms the
+    default numeric guard only for ``auto`` solves, matching the
+    historical contract that explicitly selected engines keep their
+    bit-level behavior unguarded.
+    """
+    rec.validate()
+    auto = path == "auto"
+    guard_obj: Optional[NumericGuard]
+    if isinstance(guard, str):
+        if guard != "auto":
+            raise ValueError(f"unknown guard mode {guard!r}")
+        guard_obj = default_guard() if auto else None
+    else:
+        guard_obj = guard
+    resolved = resolve_path(rec, path)
+    if resolved not in ("object", "affine", "rational"):
+        raise ValueError(f"unknown engine {resolved!r}")
+
+    if plan is None:
+        plan = build_plan(rec, problem.fingerprint())
+
+    X, stats = _run_path(
+        rec,
+        plan,
+        resolved,
+        backend_name=backend_name,
+        collect_stats=collect_stats,
+        guard=guard_obj,
+        policy=policy,
+    )
+
+    if guard_obj is not None:
+        X, stats = _escalate_if_unhealthy(
+            rec,
+            plan,
+            X,
+            stats,
+            engine=_engine_label(resolved, backend_name),
+            guard=guard_obj,
+            collect_stats=collect_stats,
+            policy=policy,
+        )
+
+    if checked:
+        from ..resilience.verify import differential_check
+
+        differential_check("moebius", rec, X, sample=check_sample)
+    return X, stats, plan
+
+
+def _engine_label(resolved: str, backend_name: str) -> str:
+    """The engine name reported in spans/metrics (the object path
+    reports the backend that ran it, as the historical solver did)."""
+    return backend_name if resolved == "object" else resolved
+
+
+def _run_path(
+    rec: RationalRecurrence,
+    plan: MoebiusPlan,
+    resolved: str,
+    *,
+    backend_name: str,
+    collect_stats: bool,
+    guard: Optional[NumericGuard],
+    policy,
+) -> Tuple[List[Any], Optional[SolveStats]]:
+    """Dispatch one concrete path (no ladder, no auto resolution)."""
+    if resolved == "affine":
+        return execute_affine(
+            rec, plan, collect_stats=collect_stats, guard=guard, policy=policy
+        )
+    if resolved == "rational":
+        return execute_rational(
+            rec, plan, collect_stats=collect_stats, guard=guard, policy=policy
+        )
+    return execute_object(
+        rec,
+        plan,
+        engine=backend_name,
+        collect_stats=collect_stats,
+        guard=guard,
+        policy=policy,
+    )
+
+
+def execute_object(
+    rec: RationalRecurrence,
+    plan: MoebiusPlan,
+    *,
+    engine: str = "numpy",
+    collect_stats: bool = False,
+    guard: Optional[NumericGuard] = None,
+    policy=None,
+) -> Tuple[List[Any], Optional[SolveStats]]:
+    """The exact object path: ``Mat2`` coefficient matrices solved as
+    an OrdinaryIR system over the planned round schedule."""
+    if engine not in ("numpy", "python"):
+        raise ValueError(f"unknown engine {engine!r}")
+    n, m = rec.n, rec.m
+
+    tracer = get_tracer()
+    registry = get_registry()
+    with maybe_span(tracer, "solver.moebius", engine=engine, n=n):
+        with maybe_span(tracer, "moebius.coefficients"):
+            coeff = [Mat2.constant(rec.initial[x]) for x in range(m)]
+            for i in range(n):
+                coeff[int(rec.g[i])] = rec.coefficient_matrix(i)
+            const = [Mat2.constant(rec.initial[x]) for x in range(m)]
+
+        system = OrdinaryIRSystem(
+            initial=coeff,
+            g=rec.g,
+            f=rec.f,
+            op=moebius_ir_operator(guard),
+        )
+        with maybe_span(tracer, "moebius.ir_solve"):
+            runner = (
+                exec_ordinary.execute_numpy
+                if engine == "numpy"
+                else exec_ordinary.execute_python
+            )
+            solved, stats = runner(
+                system,
+                plan.ordinary,
+                collect_stats=collect_stats,
+                f_initial=const,
+                policy=policy,
+            )
+
+        with maybe_span(tracer, "moebius.evaluate"):
+            X = list(rec.initial)
+            for i in range(n):
+                cell = int(rec.g[i])
+                mat = solved[cell]
+                # The composed matrix always ends in a constant map;
+                # evaluate it.  Following the paper we feed S[g(i)] as
+                # the (irrelevant) argument when the matrix is rank-1
+                # but not in b/d form.
+                if mat.a == 0 and mat.c == 0:
+                    X[cell] = mat.b / mat.d
+                else:
+                    X[cell] = mat.apply(rec.initial[cell])
+        if registry is not None:
+            registry.counter("solver.solves", engine="moebius").inc()
+    return X, stats
+
+
+def _escalate_if_unhealthy(
+    rec: RationalRecurrence,
+    plan: MoebiusPlan,
+    X: List[Any],
+    stats: Optional[SolveStats],
+    *,
+    engine: str,
+    guard: NumericGuard,
+    collect_stats: bool,
+    policy,
+) -> Tuple[List[Any], Optional[SolveStats]]:
+    """The degradation ladder's upper rungs.
+
+    Rung 1 (the path that just ran) produced ``X``; if the guard finds
+    it unhealthy, rung 2 re-solves with exact ``Fraction`` arithmetic
+    on the object path (possible iff every input scalar is finite) --
+    reusing the same plan, since the maps are unchanged -- and rung 3
+    falls back to the sequential baseline, which *defines* the
+    recurrence's semantics.
+    """
+    assigned = (X[int(c)] for c in rec.g)
+    report = guard.check_values(assigned, where=f"moebius.{engine}")
+    if report.healthy:
+        return X, stats
+
+    tracer = get_tracer()
+    guard.record_trip(
+        kind="nan" if report.nan_count else "inf", engine=engine
+    )
+
+    exact = _as_exact(rec)
+    if exact is not None:
+        guard.record_escalation(source=engine, target="exact")
+        try:
+            with maybe_span(
+                tracer, "resilience.escalate", source=engine, target="exact"
+            ):
+                Xe, stats_e = execute_object(
+                    exact,
+                    plan,
+                    engine="numpy",
+                    collect_stats=collect_stats,
+                    guard=None,  # exact arithmetic: det == 0 is exact
+                    policy=policy,
+                )
+            return [_exact_to_float(v) for v in Xe], stats_e
+        except ZeroDivisionError:
+            # a genuine pole (0/0 or x/0): only float semantics can
+            # express the result; fall through to the baseline
+            pass
+
+    guard.record_escalation(source=engine, target="sequential")
+    with maybe_span(
+        tracer, "resilience.escalate", source=engine, target="sequential"
+    ):
+        return run_moebius_sequential(rec), stats
+
+
+def execute_affine(
+    rec: RationalRecurrence,
+    plan: MoebiusPlan,
+    *,
+    collect_stats: bool = False,
+    guard: Optional[NumericGuard] = None,
+    policy=None,
+) -> Tuple[List[Any], Optional[SolveStats]]:
+    """Vectorized fast path for *affine* recurrences (``c = 0``) over
+    the planned schedule; see the historical
+    :func:`repro.core.moebius.solve_affine_numpy` for the algebra."""
+    rec.validate()
+    n = rec.n
+    if any(c != 0 for c in rec.c):
+        raise IRValidationError(
+            "solve_affine_numpy requires c = 0 everywhere; use "
+            "solve_moebius for rational recurrences"
+        )
+    if any(d == 0 for d in rec.d):
+        raise ZeroDivisionError("affine normalization needs d != 0")
+
+    initial = np.asarray(rec.initial, dtype=np.float64)
+    # per-iteration normalized coefficients (self-term folded in)
+    a = np.empty(n, dtype=np.float64)
+    b = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        mat = rec.coefficient_matrix(i)
+        a[i] = mat.a / mat.d
+        b[i] = mat.b / mat.d
+
+    sched = plan.ordinary
+    terminal = sched.terminal_idx
+    # terminals absorb Const(S[f(i)]): (a,b) o (0,S) = (0, a*S + b);
+    # constant pairs (a == 0) keep their b untouched -- their
+    # structural zero must absorb even an infinite S
+    at = a[terminal]
+    with np.errstate(invalid="ignore"):
+        b[terminal] = np.where(
+            at == 0.0,
+            b[terminal],
+            at * initial[sched.f[terminal]] + b[terminal],
+        )
+    a[terminal] = 0.0
+
+    stats = (
+        SolveStats(n=n, init_ops=sched.init_ops) if collect_stats else None
+    )
+
+    enforcer = policy.enforcer("moebius.affine") if policy is not None else None
+    tracer = get_tracer()
+    registry = get_registry()
+    rounds = 0
+    with maybe_span(tracer, "solver.moebius", engine="affine", n=n) as root:
+        with np.errstate(over="ignore", invalid="ignore"):
+            for active, p in sched.steps:
+                if enforcer is not None and not enforcer.admit():
+                    break
+                count = int(active.size)
+                with maybe_span(
+                    tracer,
+                    "solver.round",
+                    engine="affine",
+                    round=rounds,
+                    active=count,
+                ):
+                    # newer segment (active) composes over the older
+                    # one (p).  Constant pairs (a == 0) absorb: the
+                    # odot rule, kept out of IEEE's 0 * inf = NaN.
+                    const_pair = a[active] == 0.0
+                    new_b = np.where(
+                        const_pair, b[active], a[active] * b[p] + b[active]
+                    )
+                    new_a = np.where(const_pair, 0.0, a[active] * a[p])
+                    a[active] = new_a
+                    b[active] = new_b
+                    rounds += 1
+                    if stats is not None:
+                        stats.rounds += 1
+                        stats.active_per_round.append(count)
+                if registry is not None:
+                    registry.counter("solver.rounds", engine="affine").inc()
+                    registry.histogram(
+                        "solver.active_cells", engine="affine"
+                    ).observe(count)
+        if root is not None:
+            root.set_attribute("rounds", rounds)
+        if registry is not None:
+            registry.counter("solver.solves", engine="affine").inc()
+
+    if enforcer is not None and enforcer.should_fallback:
+        return run_moebius_sequential(rec), stats
+
+    out = list(rec.initial)
+    g_list = sched.g.tolist()
+    values = b.tolist()  # all (completed) maps end constant: value = b
+    for i in range(n):
+        out[g_list[i]] = values[i]
+    return out, stats
+
+
+def execute_rational(
+    rec: RationalRecurrence,
+    plan: MoebiusPlan,
+    *,
+    collect_stats: bool = False,
+    guard: Optional[NumericGuard] = None,
+    policy=None,
+) -> Tuple[List[Any], Optional[SolveStats]]:
+    """Vectorized engine for *rational* recurrences over floats on the
+    planned schedule; see the historical
+    :func:`repro.core.moebius.solve_rational_numpy` for the algebra."""
+    rec.validate()
+    n = rec.n
+
+    initial = np.asarray(rec.initial, dtype=np.float64)
+    A = np.empty(n)
+    B = np.empty(n)
+    C = np.empty(n)
+    D = np.empty(n)
+    for i in range(n):
+        mat = rec.coefficient_matrix(i)
+        A[i], B[i], C[i], D[i] = mat.a, mat.b, mat.c, mat.d
+
+    sched = plan.ordinary
+    terminal = sched.terminal_idx
+
+    def singular(ma, mb, mc, md):
+        if guard is not None:
+            return guard.singular_mask(ma, mb, mc, md)
+        return ma * md - mb * mc == 0
+
+    def amul(x, y):
+        # product with an exact absorbing zero (vectorized _zmul): a
+        # structural 0 entry wipes out a non-finite partner instead of
+        # manufacturing NaN; finite data is untouched
+        out = x * y
+        zero = (x == 0.0) | (y == 0.0)
+        if zero.any():
+            out = np.where(zero, 0.0, out)
+        return out
+
+    # terminals compose their map over Const(S[f(i)]) = [[0,S],[0,1]]
+    s_f = initial[sched.f[terminal]]
+    with np.errstate(over="ignore", invalid="ignore"):
+        keep = singular(A[terminal], B[terminal], C[terminal], D[terminal])
+        new_b = np.where(keep, B[terminal], amul(A[terminal], s_f) + B[terminal])
+        new_d = np.where(keep, D[terminal], amul(C[terminal], s_f) + D[terminal])
+        new_a = np.where(keep, A[terminal], 0.0)
+        new_c = np.where(keep, C[terminal], 0.0)
+    A[terminal], B[terminal], C[terminal], D[terminal] = new_a, new_b, new_c, new_d
+
+    stats = (
+        SolveStats(n=n, init_ops=sched.init_ops) if collect_stats else None
+    )
+
+    enforcer = policy.enforcer("moebius.rational") if policy is not None else None
+    tracer = get_tracer()
+    registry = get_registry()
+    rounds = 0
+    with maybe_span(tracer, "solver.moebius", engine="rational", n=n) as root:
+        with np.errstate(over="ignore", invalid="ignore"):
+            for active, p in sched.steps:
+                if enforcer is not None and not enforcer.admit():
+                    break
+                count = int(active.size)
+                with maybe_span(
+                    tracer,
+                    "solver.round",
+                    engine="rational",
+                    round=rounds,
+                    active=count,
+                ):
+                    ao, bo, co, do = A[active], B[active], C[active], D[active]
+                    ai, bi, ci, di = A[p], B[p], C[p], D[p]
+                    keep = singular(ao, bo, co, do)  # odot: singular outer absorbs
+                    A[active] = np.where(keep, ao, amul(ao, ai) + amul(bo, ci))
+                    B[active] = np.where(keep, bo, amul(ao, bi) + amul(bo, di))
+                    C[active] = np.where(keep, co, amul(co, ai) + amul(do, ci))
+                    D[active] = np.where(keep, do, amul(co, bi) + amul(do, di))
+                    rounds += 1
+                    if stats is not None:
+                        stats.rounds += 1
+                        stats.active_per_round.append(count)
+                if registry is not None:
+                    registry.counter("solver.rounds", engine="rational").inc()
+                    registry.histogram(
+                        "solver.active_cells", engine="rational"
+                    ).observe(count)
+        if root is not None:
+            root.set_attribute("rounds", rounds)
+        if registry is not None:
+            registry.counter("solver.solves", engine="rational").inc()
+
+    if enforcer is not None and enforcer.should_fallback:
+        return run_moebius_sequential(rec), stats
+
+    out = list(rec.initial)
+    g_list = sched.g.tolist()
+    for i in range(n):
+        a, b, c, d = A[i], B[i], C[i], D[i]
+        if a == 0 and c == 0:
+            out[g_list[i]] = b / d
+        else:  # rank-1 map: evaluate at the paper's S[g(i)] argument
+            s = rec.initial[g_list[i]]
+            out[g_list[i]] = (a * s + b) / (c * s + d)
+    return out, stats

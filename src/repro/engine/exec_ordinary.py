@@ -1,0 +1,310 @@
+"""OrdinaryIR executors: plan building plus the python/numpy/batched
+value engines.
+
+These are the pointer-jumping loops formerly inlined in
+:mod:`repro.core.ordinary`, split along the plan/execute seam: the
+plan (:func:`build_plan`) replays pointer jumping on indices alone and
+records the per-round active sets; the executors replay the recorded
+schedule over values -- one gather + ``op`` + scatter per round, with
+no pointer bookkeeping, no validation and no ``np.unique`` on the hot
+path.  Span structure, metrics, stats, policy semantics and the
+differential ``checked=`` hook are identical to the historical
+solvers (the obs and resilience test suites pin them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import get_registry, get_tracer, maybe_span
+from ..core.ordinary import SolveStats, _maybe_check, _sequential_baseline
+from ..core.traces import predecessor_array
+from .plan import OrdinaryPlan, build_round_schedule
+
+__all__ = [
+    "build_plan",
+    "execute_python",
+    "execute_numpy",
+    "execute_numpy_batch",
+]
+
+
+def build_plan(system, fingerprint: str) -> OrdinaryPlan:
+    """Validate the system and capture its full round schedule."""
+    system.validate()
+    pred = predecessor_array(system)
+    return OrdinaryPlan(
+        fingerprint=fingerprint,
+        n=system.n,
+        m=system.m,
+        g=system.g,
+        f=system.f,
+        pred=pred,
+        steps=build_round_schedule(pred),
+    )
+
+
+def build_plan_from_maps(
+    g: np.ndarray, f: np.ndarray, m: int, fingerprint: str
+) -> OrdinaryPlan:
+    """Plan directly from index maps (caller guarantees distinct ``g``
+    in range -- e.g. a validated Moebius recurrence)."""
+    from ..core.traces import writer_map
+
+    n = int(g.shape[0])
+    writer = writer_map(g, m)
+    cand = writer[f]
+    idx = np.arange(n, dtype=np.int64)
+    pred = np.where(cand < idx, cand, -1)
+    return OrdinaryPlan(
+        fingerprint=fingerprint,
+        n=n,
+        m=m,
+        g=g,
+        f=f,
+        pred=pred,
+        steps=build_round_schedule(pred),
+    )
+
+
+def execute_python(
+    system,
+    plan: OrdinaryPlan,
+    *,
+    collect_stats: bool = False,
+    max_rounds: Optional[int] = None,
+    f_initial: Optional[List[Any]] = None,
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
+) -> Tuple[List[Any], Optional[SolveStats]]:
+    """Pure-Python value engine replaying ``plan``.
+
+    Double-buffers every round (reads only the previous round's
+    values), exactly like the synchronous PRAM semantics of the
+    historical :func:`repro.core.ordinary.solve_ordinary`.
+    """
+    n = plan.n
+    op = system.op.fn
+    S = system.initial
+    F = f_initial if f_initial is not None else S
+    g = plan.g.tolist()
+    f = plan.f.tolist()
+
+    tracer = get_tracer()
+    registry = get_registry()
+    with maybe_span(tracer, "solver.ordinary", engine="python", n=n) as root:
+        val: List[Any] = [S[g[i]] for i in range(n)]
+        terminals = plan.terminal_idx.tolist()
+        for i in terminals:
+            val[i] = op(F[f[i]], val[i])  # first product at the terminal
+
+        init_ops = len(terminals)
+        stats = SolveStats(n=n, init_ops=init_ops) if collect_stats else None
+
+        enforcer = (
+            policy.enforcer("ordinary.python") if policy is not None else None
+        )
+        rounds = 0
+        for active_list, src_list in plan.steps_py():
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            if enforcer is not None and not enforcer.admit():
+                break
+            with maybe_span(
+                tracer, "solver.round", engine="python", round=rounds
+            ) as rsp:
+                new_val = list(val)
+                for i, p in zip(active_list, src_list):
+                    new_val[i] = op(val[p], val[i])
+                val = new_val
+                active = len(active_list)
+                rounds += 1
+                if rsp is not None:
+                    rsp.set_attribute("active", active)
+            if registry is not None:
+                registry.counter("solver.rounds", engine="python").inc()
+                registry.histogram(
+                    "solver.active_cells", engine="python"
+                ).observe(active)
+            if stats is not None:
+                stats.active_per_round.append(active)
+
+        if stats is not None:
+            stats.rounds = rounds
+        if root is not None:
+            root.set_attribute("rounds", rounds)
+        if registry is not None:
+            registry.counter("solver.solves", engine="python").inc()
+            registry.counter("solver.init_ops", engine="python").inc(init_ops)
+
+        if enforcer is not None and enforcer.should_fallback:
+            out = _sequential_baseline(system, f_initial)
+            _maybe_check(system, out, f_initial, checked, check_sample)
+            return out, stats
+
+        out = list(S)
+        for i in range(n):
+            out[g[i]] = val[i]
+        if enforcer is None or not enforcer.is_partial:
+            _maybe_check(system, out, f_initial, checked, check_sample)
+        return out, stats
+
+
+def _to_array(values: Sequence[Any], op, use_typed: bool) -> np.ndarray:
+    if use_typed:
+        return np.asarray(values, dtype=op.dtype)
+    arr = np.empty(len(values), dtype=object)
+    for idx, v in enumerate(values):  # element-wise: may hold sequences
+        arr[idx] = v
+    return arr
+
+
+def execute_numpy(
+    system,
+    plan: OrdinaryPlan,
+    *,
+    collect_stats: bool = False,
+    f_initial: Optional[List[Any]] = None,
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
+) -> Tuple[List[Any], Optional[SolveStats]]:
+    """Vectorized value engine replaying ``plan`` with fancy indexing."""
+    n = plan.n
+    S = system.initial
+    F = f_initial if f_initial is not None else S
+    g = plan.g
+
+    op = system.op
+    use_typed = op.vector_fn is not None and op.dtype is not None
+    init = _to_array(S, op, use_typed)
+    finit = init if f_initial is None else _to_array(F, op, use_typed)
+    vec = op.vector_fn if use_typed else np.frompyfunc(op.fn, 2, 1)
+
+    tracer = get_tracer()
+    registry = get_registry()
+    with maybe_span(tracer, "solver.ordinary", engine="numpy", n=n) as root:
+        val = init[g].copy()
+        # First products at the terminals (paper's initialization step).
+        t = plan.terminal_idx
+        if t.size:
+            val[t] = vec(finit[plan.f[t]], val[t])
+
+        init_ops = plan.init_ops
+        stats = SolveStats(n=n, init_ops=init_ops) if collect_stats else None
+
+        enforcer = (
+            policy.enforcer("ordinary.numpy") if policy is not None else None
+        )
+        rounds = 0
+        # Overflow saturates to +/-inf, matching the Python-float
+        # semantics of the sequential loop; suppress NumPy's warning
+        # about it.
+        with np.errstate(over="ignore", invalid="ignore"):
+            for active_idx, p in plan.steps:
+                if enforcer is not None and not enforcer.admit():
+                    break
+                active = int(active_idx.size)
+                with maybe_span(
+                    tracer,
+                    "solver.round",
+                    engine="numpy",
+                    round=rounds,
+                    active=active,
+                ):
+                    val[active_idx] = vec(val[p], val[active_idx])
+                    rounds += 1
+                    if stats is not None:
+                        stats.active_per_round.append(active)
+                if registry is not None:
+                    registry.counter("solver.rounds", engine="numpy").inc()
+                    registry.histogram(
+                        "solver.active_cells", engine="numpy"
+                    ).observe(active)
+
+        if stats is not None:
+            stats.rounds = rounds
+        if root is not None:
+            root.set_attribute("rounds", rounds)
+        if registry is not None:
+            registry.counter("solver.solves", engine="numpy").inc()
+            registry.counter("solver.init_ops", engine="numpy").inc(init_ops)
+
+        if enforcer is not None and enforcer.should_fallback:
+            out = _sequential_baseline(system, f_initial)
+            _maybe_check(system, out, f_initial, checked, check_sample)
+            return out, stats
+
+        out = list(S)
+        solved = val.tolist()  # numpy scalars -> Python scalars / objects
+        for i, cell in enumerate(g.tolist()):
+            out[cell] = solved[i]
+        if enforcer is None or not enforcer.is_partial:
+            _maybe_check(system, out, f_initial, checked, check_sample)
+        return out, stats
+
+
+def execute_numpy_batch(
+    system,
+    plan: OrdinaryPlan,
+    batch_initial: Sequence[Sequence[Any]],
+    *,
+    f_initial_batch: Optional[Sequence[Sequence[Any]]] = None,
+) -> List[List[Any]]:
+    """Solve ``k`` instances sharing the plan's index maps in one pass.
+
+    With a typed operator the whole batch runs as ``(k, m)`` matrices
+    through the same per-round gathers -- one vectorized sweep instead
+    of ``k`` solves.  Object-dtype operators fall back to sequentially
+    replaying the (already cached) plan per instance, which still skips
+    all replanning.
+    """
+    op = system.op
+    use_typed = op.vector_fn is not None and op.dtype is not None
+    k = len(batch_initial)
+    if k == 0:
+        return []
+    if not use_typed:
+        out: List[List[Any]] = []
+        for row_idx, initial in enumerate(batch_initial):
+            inst = type(system)(
+                initial=list(initial), g=system.g, f=system.f, op=op
+            )
+            f_init = (
+                None
+                if f_initial_batch is None
+                else list(f_initial_batch[row_idx])
+            )
+            values, _ = execute_numpy(inst, plan, f_initial=f_init)
+            out.append(values)
+        return out
+
+    vec = op.vector_fn
+    init = np.asarray(batch_initial, dtype=op.dtype)  # (k, m)
+    finit = (
+        init
+        if f_initial_batch is None
+        else np.asarray(f_initial_batch, dtype=op.dtype)
+    )
+    tracer = get_tracer()
+    registry = get_registry()
+    with maybe_span(
+        tracer, "solver.ordinary", engine="numpy.batch", n=plan.n, batch=k
+    ) as root:
+        val = init[:, plan.g].copy()  # (k, n)
+        t = plan.terminal_idx
+        if t.size:
+            val[:, t] = vec(finit[:, plan.f[t]], val[:, t])
+        with np.errstate(over="ignore", invalid="ignore"):
+            for active_idx, p in plan.steps:
+                val[:, active_idx] = vec(val[:, p], val[:, active_idx])
+        out_arr = init.copy()
+        out_arr[:, plan.g] = val
+        if root is not None:
+            root.set_attribute("rounds", plan.rounds)
+        if registry is not None:
+            registry.counter("solver.solves", engine="numpy.batch").inc()
+    return [row for row in out_arr.tolist()]

@@ -1,0 +1,274 @@
+"""Plans: the cacheable, value-independent half of a solve.
+
+A plan records everything the engine can derive from the index maps
+alone, so repeated solves sharing ``f, g, h`` skip straight to the
+value-dependent work:
+
+* :class:`OrdinaryPlan` -- the Lemma-1 predecessor array, the terminal
+  mask, and the full **round schedule**: for every pointer-jumping
+  round, the iterations that are active and the source each one
+  concatenates from.  Executing a planned solve is then one gather +
+  ``op`` + scatter per round; no pointer bookkeeping, no validation,
+  no ``np.unique``.
+* :class:`GIRPlan` -- the (possibly renamed) output cells, the CAP
+  power table of every iteration's trace, the projection map back onto
+  the original cells, and -- for ordinary-shaped systems -- a nested
+  :class:`OrdinaryPlan` for the cheap dispatch path.
+* :class:`MoebiusPlan` -- an :class:`OrdinaryPlan` over ``(g, f)``
+  shared by every Moebius execution path (object, affine, rational):
+  the pointer-jumping structure is the same regardless of how the
+  matrices are represented.
+
+Plans serialize to plain dicts (``to_dict``/``from_dict``) so they can
+be persisted and shipped; the schedule is stored as index lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "OrdinaryPlan",
+    "GIRPlan",
+    "MoebiusPlan",
+    "Plan",
+    "build_round_schedule",
+    "plan_to_dict",
+    "plan_from_dict",
+]
+
+PLAN_SCHEMA_VERSION = 1
+
+#: One pointer-jumping round: (active iteration ids, their sources).
+RoundStep = Tuple[np.ndarray, np.ndarray]
+
+
+def build_round_schedule(pred: np.ndarray) -> List[RoundStep]:
+    """Simulate pointer jumping on the index structure alone.
+
+    Replays the exact active-set progression of the value solvers --
+    ``p = nxt[active]; nxt[active] = nxt[p]; active = active[nxt >= 0]``
+    -- recording ``(active, p)`` per round.  The value engines then
+    replay the schedule verbatim, so planned execution is
+    step-for-step identical to the unplanned solvers (same rounds,
+    same active sets, same operand order).
+    """
+    nxt = pred.copy()
+    steps: List[RoundStep] = []
+    active = np.nonzero(nxt >= 0)[0]
+    while active.size:
+        p = nxt[active]
+        steps.append((active, p))
+        nxt[active] = nxt[p]
+        active = active[nxt[active] >= 0]
+    return steps
+
+
+@dataclass
+class OrdinaryPlan:
+    """Plan of an OrdinaryIR pointer-jumping solve over ``(g, f, m)``."""
+
+    fingerprint: str
+    n: int
+    m: int
+    g: np.ndarray
+    f: np.ndarray
+    pred: np.ndarray
+    steps: List[RoundStep]
+    family: str = "ordinary"
+    # lazily-built caches (not serialized)
+    _terminal_idx: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+    _steps_py: Optional[List[Tuple[List[int], List[int]]]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def rounds(self) -> int:
+        return len(self.steps)
+
+    @property
+    def terminal_idx(self) -> np.ndarray:
+        """Iterations whose ``f``-operand is an initial value."""
+        if self._terminal_idx is None:
+            self._terminal_idx = np.nonzero(self.pred < 0)[0]
+        return self._terminal_idx
+
+    @property
+    def init_ops(self) -> int:
+        return int(self.terminal_idx.size)
+
+    @property
+    def active_per_round(self) -> List[int]:
+        return [int(active.size) for active, _src in self.steps]
+
+    def steps_py(self) -> List[Tuple[List[int], List[int]]]:
+        """The schedule as Python lists (pure-Python backend)."""
+        if self._steps_py is None:
+            self._steps_py = [
+                (active.tolist(), src.tolist()) for active, src in self.steps
+            ]
+        return self._steps_py
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": PLAN_SCHEMA_VERSION,
+            "family": self.family,
+            "fingerprint": self.fingerprint,
+            "n": self.n,
+            "m": self.m,
+            "g": self.g.tolist(),
+            "f": self.f.tolist(),
+            "pred": self.pred.tolist(),
+            "steps": [
+                [active.tolist(), src.tolist()] for active, src in self.steps
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "OrdinaryPlan":
+        return cls(
+            fingerprint=payload["fingerprint"],
+            n=int(payload["n"]),
+            m=int(payload["m"]),
+            g=np.asarray(payload["g"], dtype=np.int64),
+            f=np.asarray(payload["f"], dtype=np.int64),
+            pred=np.asarray(payload["pred"], dtype=np.int64),
+            steps=[
+                (
+                    np.asarray(active, dtype=np.int64),
+                    np.asarray(src, dtype=np.int64),
+                )
+                for active, src in payload["steps"]
+            ],
+        )
+
+
+@dataclass
+class GIRPlan:
+    """Plan of a GIR solve.
+
+    Either ``dispatch`` is set (ordinary-shaped system: the nested
+    :class:`OrdinaryPlan` runs instead of the CAP pipeline), or the
+    CAP artifacts are: ``tables[i]`` maps leaf cells (< original ``m``)
+    to the power of their initial value in iteration ``i``'s trace,
+    ``out_cells[i]`` is the cell iteration ``i`` writes in the
+    (possibly renamed) working system, and ``final_cell_of`` projects
+    the renamed array back onto the original cells (``None`` when no
+    renaming happened).
+    """
+
+    fingerprint: str
+    n: int
+    m: int
+    renamed: bool = False
+    dispatch: Optional[OrdinaryPlan] = None
+    out_cells: Optional[np.ndarray] = None
+    tables: Optional[List[Dict[int, int]]] = None
+    final_cell_of: Optional[np.ndarray] = None
+    cap_iterations: int = 0
+    cap_edge_work: int = 0
+    family: str = "gir"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": PLAN_SCHEMA_VERSION,
+            "family": self.family,
+            "fingerprint": self.fingerprint,
+            "n": self.n,
+            "m": self.m,
+            "renamed": self.renamed,
+            "dispatch": None if self.dispatch is None else self.dispatch.to_dict(),
+            "out_cells": None
+            if self.out_cells is None
+            else self.out_cells.tolist(),
+            "tables": None
+            if self.tables is None
+            else [sorted(t.items()) for t in self.tables],
+            "final_cell_of": None
+            if self.final_cell_of is None
+            else self.final_cell_of.tolist(),
+            "cap_iterations": self.cap_iterations,
+            "cap_edge_work": self.cap_edge_work,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "GIRPlan":
+        return cls(
+            fingerprint=payload["fingerprint"],
+            n=int(payload["n"]),
+            m=int(payload["m"]),
+            renamed=bool(payload["renamed"]),
+            dispatch=None
+            if payload["dispatch"] is None
+            else OrdinaryPlan.from_dict(payload["dispatch"]),
+            out_cells=None
+            if payload["out_cells"] is None
+            else np.asarray(payload["out_cells"], dtype=np.int64),
+            tables=None
+            if payload["tables"] is None
+            else [{int(c): int(x) for c, x in t} for t in payload["tables"]],
+            final_cell_of=None
+            if payload["final_cell_of"] is None
+            else np.asarray(payload["final_cell_of"], dtype=np.int64),
+            cap_iterations=int(payload["cap_iterations"]),
+            cap_edge_work=int(payload["cap_edge_work"]),
+        )
+
+
+@dataclass
+class MoebiusPlan:
+    """Plan of a Moebius solve: the shared pointer-jumping structure
+    over ``(g, f)``; every numeric path (object / affine / rational)
+    replays it over its own matrix representation."""
+
+    fingerprint: str
+    n: int
+    m: int
+    ordinary: OrdinaryPlan = None  # type: ignore[assignment]
+    family: str = "moebius"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": PLAN_SCHEMA_VERSION,
+            "family": self.family,
+            "fingerprint": self.fingerprint,
+            "n": self.n,
+            "m": self.m,
+            "ordinary": self.ordinary.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MoebiusPlan":
+        return cls(
+            fingerprint=payload["fingerprint"],
+            n=int(payload["n"]),
+            m=int(payload["m"]),
+            ordinary=OrdinaryPlan.from_dict(payload["ordinary"]),
+        )
+
+
+Plan = Union[OrdinaryPlan, GIRPlan, MoebiusPlan]
+
+_PLAN_CLASSES = {
+    "ordinary": OrdinaryPlan,
+    "gir": GIRPlan,
+    "moebius": MoebiusPlan,
+}
+
+
+def plan_to_dict(plan: Plan) -> Dict[str, Any]:
+    """Serialize any plan to a JSON-compatible dict."""
+    return plan.to_dict()
+
+
+def plan_from_dict(payload: Dict[str, Any]) -> Plan:
+    """Inverse of :func:`plan_to_dict` (dispatches on ``family``)."""
+    family = payload.get("family")
+    if family not in _PLAN_CLASSES:
+        raise ValueError(f"unknown plan family {family!r}")
+    return _PLAN_CLASSES[family].from_dict(payload)

@@ -25,9 +25,9 @@ from typing import Any, Callable, Dict, List, Sequence
 import numpy as np
 
 from ..core.equations import OrdinaryIRSystem
-from ..core.moebius import AffineRecurrence, solve_moebius
+from ..core.moebius import AffineRecurrence
 from ..core.operators import FLOAT_ADD, Operator, make_operator
-from ..core.ordinary import solve_ordinary_numpy
+from ..engine import solve as engine_solve
 
 __all__ = [
     "fold_scatter",
@@ -84,7 +84,7 @@ def fold_scatter(
         f[i] = latest.get(cell, cell)
         latest[int(cell)] = m + i
     system = OrdinaryIRSystem(initial=list(base) + list(vals), g=g, f=f, op=op)
-    solved, _stats = solve_ordinary_numpy(system)
+    solved = engine_solve(system, backend="numpy").values
     return [solved[latest.get(x, x)] for x in range(m)]
 
 
@@ -170,7 +170,7 @@ def k05_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
     rec = AffineRecurrence.build(
         d["x"], g=list(range(1, n)), f=list(range(0, n - 1)), a=a, b=b
     )
-    x, _stats = solve_moebius(rec)
+    x = engine_solve(rec).values
     return {"x": x}
 
 
@@ -280,7 +280,7 @@ def k11_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
         a=[1.0] * (n - 1),
         b=[y[k] for k in range(1, n)],
     )
-    x, _stats = solve_moebius(rec)
+    x = engine_solve(rec).values
     return {"x": x}
 
 
@@ -351,7 +351,7 @@ def k19_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
             a=[sb[k] - 1.0 for k in order],
             b=[sa[k] for k in order],
         )
-        st, _ = solve_moebius(rec)
+        st = engine_solve(rec).values
         # b5[k] = sa[k] + st[t]*sb[k] for the t-th update
         b5_updates = [sa[k] + st[t] * sb[k] for t, k in enumerate(order)]
         return b5_updates, st[n]
@@ -416,7 +416,7 @@ def k23_parallel(d: Dict[str, Any]) -> Dict[str, Any]:
         rec = AffineRecurrence.build(
             column, g=list(range(1, n)), f=list(range(0, n - 1)), a=a, b=b
         )
-        solved, _ = solve_moebius(rec)
+        solved = engine_solve(rec).values
         for k in range(1, n):
             za[k][j] = solved[k]
     return {"za": za}

@@ -18,11 +18,10 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..core.equations import GIRSystem, IRClass, OrdinaryIRSystem
+from ..engine import solve as engine_solve
 from ..obs import get_registry, get_tracer, maybe_span
-from ..core.gir import GIRSolveStats, solve_gir
-from ..core.moebius import RationalRecurrence, solve_moebius
+from ..core.moebius import RationalRecurrence
 from ..core.operators import ADD, FLOAT_ADD, FLOAT_MUL, MUL, Operator
-from ..core.ordinary import SolveStats, solve_ordinary, solve_ordinary_numpy
 from .ast import Loop, evaluate_expr, evaluate_loop
 from .linfrac import DegreeError, extract_moebius_matrix
 from .recognize import Recognition, recognize
@@ -197,12 +196,15 @@ def _parallelize_impl(
             recurrence = RationalRecurrence.build(
                 env[target], g, f_cells, a, b, c, d, self_term=False
             )
-            solved, stats = solve_moebius(
+            # under the numpy backend "auto" upgrades to the affine
+            # fast path when it applies
+            result = engine_solve(
                 recurrence,
+                backend="numpy" if engine == "numpy" else "python",
                 collect_stats=collect_stats,
-                # "numpy" upgrades to the affine fast path when it applies
-                engine="auto" if engine == "numpy" else engine,
+                options={"path": "auto" if engine == "numpy" else "object"},
             )
+            solved, stats = result.values, result.stats
         else:
             # Single-assignment renaming: iteration i writes a fresh
             # version cell m+i; reads follow the latest version.  This
@@ -221,11 +223,13 @@ def _parallelize_impl(
             recurrence = RationalRecurrence.build(
                 initial2, new_g, new_f, a, b, c, d, self_term=False
             )
-            versions, stats = solve_moebius(
+            result = engine_solve(
                 recurrence,
+                backend="numpy" if engine == "numpy" else "python",
                 collect_stats=collect_stats,
-                engine="auto" if engine == "numpy" else engine,
+                options={"path": "auto" if engine == "numpy" else "object"},
             )
+            versions, stats = result.values, result.stats
             solved = [
                 versions[latest.get(x, x)] for x in range(m)
             ]
@@ -258,8 +262,12 @@ def _parallelize_impl(
             system = OrdinaryIRSystem(
                 initial=list(env[target]) + e_vals, g=new_g, f=new_f, op=op
             )
-            solver = solve_ordinary_numpy if engine == "numpy" else solve_ordinary
-            versions, stats = solver(system, collect_stats=collect_stats)
+            result = engine_solve(
+                system,
+                backend="numpy" if engine == "numpy" else "python",
+                collect_stats=collect_stats,
+            )
+            versions, stats = result.values, result.stats
             out = _copy_env(env)
             out[target] = [versions[latest.get(x, x)] for x in range(m)]
             return TransformResult(
@@ -279,7 +287,10 @@ def _parallelize_impl(
                 system = GIRSystem(
                     initial=list(env[target]), g=g, f=f, op=op, h=g.copy()
                 )
-                solved, stats = solve_gir(system, collect_stats=collect_stats)
+                result = engine_solve(
+                    system, backend="numpy", collect_stats=collect_stats
+                )
+                solved, stats = result.values, result.stats
                 out = _copy_env(env)
                 out[target] = solved
                 return TransformResult(
@@ -293,8 +304,12 @@ def _parallelize_impl(
                 loop, env, rec, "non-distinct g with non-commutative operator"
             )
         system = OrdinaryIRSystem(initial=list(env[target]), g=g, f=f, op=op)
-        solver = solve_ordinary_numpy if engine == "numpy" else solve_ordinary
-        solved, stats = solver(system, collect_stats=collect_stats)
+        result = engine_solve(
+            system,
+            backend="numpy" if engine == "numpy" else "python",
+            collect_stats=collect_stats,
+        )
+        solved, stats = result.values, result.stats
         out = _copy_env(env)
         out[target] = solved
         return TransformResult(
@@ -323,7 +338,8 @@ def _parallelize_impl(
             op=op,
             h=rec.h.materialize(n),
         )
-        solved, stats = solve_gir(system, collect_stats=collect_stats)
+        result = engine_solve(system, backend="numpy", collect_stats=collect_stats)
+        solved, stats = result.values, result.stats
         out = _copy_env(env)
         out[target] = solved
         return TransformResult(env=out, recognition=rec, method="gir", stats=stats)

@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.equations import GIRSystem, OrdinaryIRSystem
-from ..core.ordinary import SolveStats, solve_ordinary_numpy
+from ..core.ordinary import SolveStats
+from ..engine import solve as engine_solve
 from .instructions import DEFAULT_COST_MODEL, CostModel
 
 __all__ = [
@@ -138,7 +139,8 @@ def profile_ordinary(
     questions for any processor count without re-running (scheduling
     is pure arithmetic over the recorded active counts).
     """
-    result, stats = solve_ordinary_numpy(system, collect_stats=True)
+    solved = engine_solve(system, backend="numpy", collect_stats=True)
+    result, stats = solved.values, solved.stats
     assert stats is not None
     profile = OrdinaryCostProfile(
         n=system.n,
@@ -245,13 +247,16 @@ def profile_gir(
     from ..core.cap import count_all_paths
     from ..core.depgraph import build_dependence_graph
     from ..core.equations import normalize_non_distinct
-    from ..core.gir import solve_gir
 
     # force the CAP pipeline: the profile describes GIR's own stages,
     # not the ordinary-dispatch fast path
-    result, stats = solve_gir(
-        system, collect_stats=True, allow_ordinary_dispatch=False
+    solved = engine_solve(
+        system,
+        backend="numpy",
+        collect_stats=True,
+        allow_ordinary_dispatch=False,
     )
+    result, stats = solved.values, solved.stats
     assert stats is not None
     solved_system = (
         system if system.g_is_distinct() else normalize_non_distinct(system).system

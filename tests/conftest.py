@@ -76,3 +76,18 @@ def fraction_values(draw, max_num: int = 6, max_den: int = 4):
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plan_cache():
+    """Isolate tests from the engine's process-wide plan cache.
+
+    Span-shape and stats assertions expect *planning* solves; a plan
+    cached by an earlier test (same index maps) would skip the planning
+    phases and change what they observe.
+    """
+    from repro.engine import clear_plan_cache
+
+    clear_plan_cache()
+    yield
+    clear_plan_cache()

@@ -1,0 +1,90 @@
+"""Deprecation shims: each legacy entry point warns exactly once per
+process and names its engine replacement."""
+
+import warnings
+
+import pytest
+
+from repro.core import (
+    CONCAT,
+    GIRSystem,
+    OrdinaryIRSystem,
+    RationalRecurrence,
+    solve_gir,
+    solve_moebius,
+    solve_ordinary,
+    solve_ordinary_numpy,
+)
+from repro.core.moebius import solve_affine_numpy, solve_rational_numpy
+from repro.core.operators import modular_add
+from repro.engine import reset_deprecation_warnings
+
+
+@pytest.fixture(autouse=True)
+def _rearmed():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def _chain():
+    return OrdinaryIRSystem.build(
+        [(f"s{j}",) for j in range(5)], [1, 2, 3, 4], [0, 1, 2, 3], CONCAT
+    )
+
+
+def _rec():
+    return RationalRecurrence.build(
+        [1.0, 1.0], [1], [0], [2.0], [1.0], [0.0], [1.0]
+    )
+
+
+def _collect(fn):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fn()
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestWarnOnce:
+    def test_ordinary_warns_once_and_names_replacement(self):
+        first = _collect(lambda: solve_ordinary(_chain()))
+        assert len(first) == 1
+        msg = str(first[0].message)
+        assert "repro.core.ordinary.solve_ordinary is deprecated" in msg
+        assert "repro.engine.solve" in msg
+        assert _collect(lambda: solve_ordinary(_chain())) == []
+
+    def test_each_entry_point_has_its_own_warning(self):
+        sys_ = _chain()
+        gir = GIRSystem.build([1, 2, 3], [1], [0], [0], modular_add(97))
+        calls = [
+            (lambda: solve_ordinary(sys_), "solve_ordinary"),
+            (lambda: solve_ordinary_numpy(sys_), "solve_ordinary_numpy"),
+            (lambda: solve_gir(gir), "solve_gir"),
+            (lambda: solve_moebius(_rec()), "solve_moebius"),
+            (lambda: solve_affine_numpy(_rec()), "solve_affine_numpy"),
+            (lambda: solve_rational_numpy(_rec()), "solve_rational_numpy"),
+        ]
+        for fn, name in calls:
+            caught = _collect(fn)
+            assert len(caught) == 1, name
+            assert name in str(caught[0].message)
+            assert "repro.engine.solve" in str(caught[0].message)
+
+    def test_reset_rearms(self):
+        assert len(_collect(lambda: solve_ordinary(_chain()))) == 1
+        assert _collect(lambda: solve_ordinary(_chain())) == []
+        reset_deprecation_warnings()
+        assert len(_collect(lambda: solve_ordinary(_chain()))) == 1
+
+    def test_shim_results_unaffected_by_warning_state(self):
+        sys_ = _chain()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            reset_deprecation_warnings()
+            with pytest.raises(DeprecationWarning):
+                solve_ordinary(sys_)
+        # after the raise, the path still solves correctly
+        out, _ = solve_ordinary(sys_)
+        assert out[-1] == tuple(f"s{j}" for j in range(5))
