@@ -45,6 +45,7 @@ BENCHES = [
     "bench_ablation_scheduling",
     "bench_wallclock_engines",
     "bench_plan_reuse",
+    "bench_shm",
 ]
 
 RESULTS_SCHEMA_VERSION = 1

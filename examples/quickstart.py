@@ -13,7 +13,7 @@ and compares simulated instruction costs against the sequential loop.
 Run:  python examples/quickstart.py
 """
 
-from repro import CONCAT, OrdinaryIRSystem, run_ordinary, solve_ordinary
+from repro import CONCAT, OrdinaryIRSystem, run_ordinary, solve
 from repro.core.traces import all_ordinary_traces, render_factors
 from repro.pram import profile_ordinary
 
@@ -34,7 +34,8 @@ def main() -> None:
     sequential = run_ordinary(system)
 
     # 2. The paper's parallel algorithm: O(log n) pointer-jumping rounds.
-    parallel, stats = solve_ordinary(system, collect_stats=True)
+    result = solve(system, collect_stats=True)
+    parallel, stats = result.values, result.stats
     assert parallel == sequential
     print(f"parallel == sequential  (rounds={stats.rounds}, "
           f"op-work={stats.total_ops})")

@@ -26,9 +26,15 @@ Quick start::
 solve (trace lists, round schedules, CAP counts -- everything
 derivable from the index maps alone), caches the plan by fingerprint,
 and dispatches to a registered backend (``python``, ``numpy``,
-``pram``, or ``auto``).  The historical per-family solvers
-(``solve_ordinary``, ``solve_gir``, ``solve_moebius``, ...) remain as
-deprecated wrappers.
+``pram``, ``shm``, or ``auto``).  For repeated solves over one
+problem, :class:`repro.engine.Session` pins the plan and backend once
+and serves value vectors with no per-request planning.
+
+As of 1.1.0 the deprecated per-family wrappers (``solve_ordinary``,
+``solve_gir``, ``solve_moebius``, ``solve_ordinary_numpy``) are no
+longer re-exported here; they remain importable from
+:mod:`repro.core` for one more release.  See docs/API.md for the
+migration table.
 
 Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.engine`
 (Problem -> Plan -> Executor pipeline + backend registry; see
@@ -67,14 +73,11 @@ from .core import (
     run_gir,
     run_moebius_sequential,
     run_ordinary,
-    solve_gir,
-    solve_moebius,
-    solve_ordinary,
-    solve_ordinary_numpy,
 )
 from .engine import (
     EngineResult,
     Problem,
+    Session,
     available_backends,
     execute,
     register_backend,
@@ -101,6 +104,31 @@ from .resilience import (
     default_guard,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [name for name in dir() if not name.startswith("_")]
+
+# Deprecation end-of-life (PR 3 shims -> warned for two releases):
+# the per-family wrappers are gone from the root namespace.  The
+# module __getattr__ keeps the failure actionable -- an AttributeError
+# (so feature probes behave) that names the replacement.
+_REMOVED_SOLVERS = {
+    "solve_ordinary": "repro.solve(system)  # or repro.core.solve_ordinary",
+    "solve_ordinary_numpy": (
+        'repro.solve(system, backend="numpy")'
+        "  # or repro.core.solve_ordinary_numpy"
+    ),
+    "solve_gir": "repro.solve(system)  # or repro.core.solve_gir",
+    "solve_moebius": "repro.solve(rec)  # or repro.core.solve_moebius",
+}
+
+
+def __getattr__(name: str):
+    if name in _REMOVED_SOLVERS:
+        raise AttributeError(
+            f"repro.{name} was removed in 1.1.0; use "
+            f"{_REMOVED_SOLVERS[name]} -- the repro.core import keeps "
+            "the historical signature for one more release (see "
+            "docs/API.md)"
+        )
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -100,10 +100,18 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("path", help="JSON file written by dump_system")
     solve.add_argument(
         "--backend",
-        choices=["auto", "python", "numpy", "pram"],
+        choices=["auto", "python", "numpy", "pram", "shm"],
         default="auto",
         help="execution backend from the engine registry (default: auto; "
-        "'pram' runs the simulated machine, OrdinaryIR only)",
+        "'pram' runs the simulated machine, OrdinaryIR only; 'shm' fans "
+        "rounds across worker processes over shared memory)",
+    )
+    solve.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help="worker-process count for --backend shm (default: 4)",
     )
     solve.add_argument(
         "--stats", action="store_true", help="also print solver statistics"
@@ -341,6 +349,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             on_exhaustion=args.on_exhaustion,
         )
     system = load_system(path)
+    options = {}
+    if args.workers is not None:
+        if args.backend != "shm":
+            print("error: --workers applies to --backend shm", file=sys.stderr)
+            return 2
+        options["workers"] = args.workers
     try:
         solved = engine_solve(
             system,
@@ -348,6 +362,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             collect_stats=args.backend != "pram",
             policy=policy,
             checked=args.check,
+            options=options,
         )
     except ValueError as exc:
         # backend/family mismatch (e.g. --backend pram on a GIR system)

@@ -18,18 +18,30 @@ is that split made explicit:
 
 Entry points::
 
-    from repro.engine import solve, solve_batch, execute
+    from repro.engine import Session, solve, solve_batch, execute
 
     result = solve(system)                     # plan cached automatically
     result = solve(system, backend="python")   # exact reference backend
     outs = solve_batch(system, batch_of_initial_arrays)
     result = execute(result.plan, system2)     # explicit plan reuse
 
+    session = Session(system, backend="shm")   # pin plan + backend once
+    out = session.solve(values).values         # ...serve repeatedly
+
+For repeated solves over one problem, prefer :class:`Session`: it pins
+the plan and backend at construction and serves value vectors with no
+per-request planning or cache lookups.  The ``shm`` backend fans each
+round across worker processes over shared memory (see
+:mod:`repro.engine.exec_shm`).
+
 The historical per-module solvers (``repro.core.solve_ordinary`` and
-friends) remain as thin deprecated wrappers over :func:`solve`.
+friends) remain importable from :mod:`repro.core` for one more release
+(their ``repro`` root re-exports are gone as of 1.1.0).
 """
 
 from .api import EngineResult, execute, solve, solve_batch
+from .session import Session
+from .shm_pool import ShmWorkerPool, get_pool, shutdown_pools
 from .backends import (
     Backend,
     BackendCapabilities,
@@ -64,6 +76,10 @@ __all__ = [
     "solve",
     "execute",
     "solve_batch",
+    "Session",
+    "ShmWorkerPool",
+    "get_pool",
+    "shutdown_pools",
     "Problem",
     "Plan",
     "OrdinaryPlan",

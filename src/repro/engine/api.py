@@ -60,6 +60,52 @@ def _cacheable(problem: Problem, policy) -> bool:
     return problem.family != "gir" or policy is None
 
 
+#: The normalized front-door keyword set shared by :func:`solve`,
+#: :func:`execute`, :func:`solve_batch` and
+#: :class:`~repro.engine.session.Session` -- each accepts the subset
+#: that applies and rejects anything else by name.
+_SOLVE_KWARGS = (
+    "backend",
+    "plan",
+    "reuse_plan",
+    "cache",
+    "collect_stats",
+    "policy",
+    "checked",
+    "check_sample",
+    "f_initial",
+    "max_rounds",
+    "allow_rename",
+    "allow_ordinary_dispatch",
+    "options",
+)
+_BATCH_KWARGS = (
+    "backend",
+    "plan",
+    "reuse_plan",
+    "cache",
+    "policy",
+    "checked",
+    "check_sample",
+    "f_initial_batch",
+)
+
+
+def _reject_unknown(where: str, unknown, valid) -> None:
+    """Uniform unknown-keyword rejection across the front doors.
+
+    A plain ``TypeError`` from the interpreter names only the first
+    bad keyword; services prefer one structured error listing both the
+    offenders and the accepted set.
+    """
+    if unknown:
+        names = ", ".join(sorted(unknown))
+        raise ValueError(
+            f"{where} got unknown keyword argument(s): {names}; valid "
+            f"keywords: {', '.join(valid)}"
+        )
+
+
 def solve(
     source: Any,
     *,
@@ -76,6 +122,7 @@ def solve(
     allow_rename: bool = True,
     allow_ordinary_dispatch: bool = True,
     options: Optional[Dict[str, Any]] = None,
+    **unknown: Any,
 ) -> EngineResult:
     """Solve any supported source object through the engine.
 
@@ -89,6 +136,7 @@ def solve(
     ``guard``, PRAM ``processors`` / ``fault_plan`` / ...); the
     remaining keywords mirror the historical per-family solvers.
     """
+    _reject_unknown("solve()", unknown, _SOLVE_KWARGS)
     problem = Problem.from_system(
         source,
         allow_rename=allow_rename,
@@ -154,8 +202,14 @@ def execute(plan: Plan, source: Any, **kwargs) -> EngineResult:
     Equivalent to ``solve(source, plan=plan, ...)``; the plan must
     have been built for the same index maps (same fingerprint) --
     :func:`solve` with ``reuse_plan=True`` manages this automatically,
-    ``execute`` trusts the caller for the hot serving path.
+    ``execute`` trusts the caller for the hot serving path.  Accepts
+    the same ``backend= / policy= / checked=`` keyword set as
+    :func:`solve` (except ``plan``, which is positional here).
     """
+    valid = tuple(k for k in _SOLVE_KWARGS if k != "plan")
+    _reject_unknown(
+        "execute()", {k: v for k, v in kwargs.items() if k not in valid}, valid
+    )
     return solve(source, plan=plan, **kwargs)
 
 
@@ -167,15 +221,23 @@ def solve_batch(
     plan: Optional[Plan] = None,
     reuse_plan: bool = True,
     cache: Optional[PlanCache] = None,
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
     f_initial_batch: Optional[Sequence[Sequence[Any]]] = None,
+    **unknown: Any,
 ) -> List[List[Any]]:
     """Solve ``k`` instances sharing ``source``'s index maps and
     operator, one per row of ``batch_initial``.
 
-    The NumPy backend runs typed operators as ``(k, m)`` matrices
-    through one planned sweep; other operand kinds replay the shared
-    plan per row.  Returns the ``k`` final arrays.
+    The NumPy backend runs typed ordinary operators as ``(k, m)``
+    matrices and stackable Moebius affine recurrences as one ``(k, n)``
+    coefficient sweep through one planned replay; other operand kinds
+    replay the shared plan per row.  ``policy`` / ``checked`` carry the
+    standard budget and differential-verification semantics into the
+    batch.  Returns the ``k`` final arrays.
     """
+    _reject_unknown("solve_batch()", unknown, _BATCH_KWARGS)
     problem = Problem.from_system(source)
     chosen = resolve_backend(backend, problem)
     if not chosen.capabilities.batch:
@@ -185,11 +247,18 @@ def solve_batch(
 
     store = cache if cache is not None else get_plan_cache()
     consulted = False
-    if plan is None and reuse_plan:
+    if plan is None and reuse_plan and _cacheable(problem, policy):
         consulted = True
         plan = store.get(problem.fingerprint(), family=problem.family)
 
-    request = ExecutionRequest(problem=problem, source=source, plan=plan)
+    request = ExecutionRequest(
+        problem=problem,
+        source=source,
+        plan=plan,
+        policy=policy,
+        checked=checked,
+        check_sample=check_sample,
+    )
     values, built_plan = chosen.execute_batch(
         request, batch_initial, f_initial_batch
     )

@@ -201,11 +201,26 @@ class NumpyBackend(Backend):
         return values, stats, plan, None
 
     def execute_batch(self, request, batch_initial, f_initial_batch=None):
-        from . import exec_ordinary
+        from . import exec_moebius, exec_ordinary
 
-        if request.problem.family != "ordinary":
+        family = request.problem.family
+        if family == "moebius":
+            if f_initial_batch is not None:
+                raise ValueError(
+                    "f_initial_batch does not apply to the moebius family"
+                )
+            return exec_moebius.execute_batch(
+                request.source,
+                request.problem,
+                request.plan,
+                batch_initial,
+                policy=request.policy,
+                checked=request.checked,
+                check_sample=request.check_sample,
+            )
+        if family != "ordinary":
             raise NotImplementedError(
-                "batched execution currently covers the ordinary family"
+                "batched execution covers the ordinary and moebius families"
             )
         plan = request.plan
         if plan is None:
@@ -217,6 +232,9 @@ class NumpyBackend(Backend):
             plan,
             batch_initial,
             f_initial_batch=f_initial_batch,
+            policy=request.policy,
+            checked=request.checked,
+            check_sample=request.check_sample,
         )
         return values, plan
 
@@ -274,6 +292,69 @@ class PRAMBackend(Backend):
         return values, None, None, metrics
 
 
+class ShmBackend(Backend):
+    """Shared-memory multiprocess executor (the first real-parallelism
+    backend; see :mod:`repro.engine.exec_shm`).
+
+    Splits each pointer-jumping round's active set into contiguous
+    Brent-style ``n/P`` shards across a persistent pool of worker
+    processes over ``multiprocessing.shared_memory``.  Covers the
+    ordinary family with NumPy-typed operators and the Moebius affine
+    fast path.  Options: ``workers`` (default 4), Moebius ``path`` /
+    ``guard``, and the test-only ``_test_crash`` fault-injection hook.
+    ``exact=False``: object operands cannot cross the process boundary
+    without serialization, so exact/object solves stay on ``python`` /
+    ``numpy``.
+    """
+
+    name = "shm"
+    capabilities = BackendCapabilities(
+        families=frozenset({"ordinary", "moebius"}),
+        exact=False,
+        batch=False,
+    )
+
+    def execute(self, request: ExecutionRequest):
+        from . import exec_ordinary, exec_shm
+
+        opts = request.options
+        workers = int(opts.get("workers", exec_shm.DEFAULT_WORKERS))
+        crash = opts.get("_test_crash")
+        family = request.problem.family
+        if family == "ordinary":
+            plan = request.plan
+            if plan is None:
+                plan = exec_ordinary.build_plan(
+                    request.source, request.problem.fingerprint()
+                )
+            values, stats = exec_shm.execute_ordinary(
+                request.source,
+                plan,
+                workers=workers,
+                collect_stats=request.collect_stats,
+                f_initial=request.f_initial,
+                policy=request.policy,
+                checked=request.checked,
+                check_sample=request.check_sample,
+                crash=crash,
+            )
+            return values, stats, plan, None
+        values, stats, plan = exec_shm.execute_moebius(
+            request.source,
+            request.problem,
+            request.plan,
+            workers=workers,
+            path=opts.get("path", "auto"),
+            guard=opts.get("guard", "auto"),
+            collect_stats=request.collect_stats,
+            policy=request.policy,
+            checked=request.checked,
+            check_sample=request.check_sample,
+            crash=crash,
+        )
+        return values, stats, plan, None
+
+
 _REGISTRY: Dict[str, Backend] = {}
 
 
@@ -313,3 +394,4 @@ def resolve_backend(name: str, problem: Problem) -> Backend:
 register_backend(PythonBackend())
 register_backend(NumpyBackend())
 register_backend(PRAMBackend())
+register_backend(ShmBackend())

@@ -33,7 +33,14 @@ from ..resilience.guard import NumericGuard, default_guard
 from . import exec_ordinary
 from .plan import MoebiusPlan, OrdinaryPlan
 
-__all__ = ["execute", "resolve_path", "PATHS"]
+__all__ = [
+    "execute",
+    "execute_batch",
+    "execute_affine_batch",
+    "resolve_path",
+    "affine_coefficients",
+    "PATHS",
+]
 
 PATHS = ("auto", "object", "affine", "rational")
 
@@ -281,17 +288,10 @@ def _escalate_if_unhealthy(
         return run_moebius_sequential(rec), stats
 
 
-def execute_affine(
-    rec: RationalRecurrence,
-    plan: MoebiusPlan,
-    *,
-    collect_stats: bool = False,
-    guard: Optional[NumericGuard] = None,
-    policy=None,
-) -> Tuple[List[Any], Optional[SolveStats]]:
-    """Vectorized fast path for *affine* recurrences (``c = 0``) over
-    the planned schedule; see the historical
-    :func:`repro.core.moebius.solve_affine_numpy` for the algebra."""
+def _affine_base(rec: RationalRecurrence) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalized per-iteration ``(a, b)`` coefficients, terminal fold
+    **not** applied.  Validates the affine preconditions (``c = 0``,
+    ``d != 0``)."""
     rec.validate()
     n = rec.n
     if any(c != 0 for c in rec.c):
@@ -302,7 +302,6 @@ def execute_affine(
     if any(d == 0 for d in rec.d):
         raise ZeroDivisionError("affine normalization needs d != 0")
 
-    initial = np.asarray(rec.initial, dtype=np.float64)
     # per-iteration normalized coefficients (self-term folded in)
     a = np.empty(n, dtype=np.float64)
     b = np.empty(n, dtype=np.float64)
@@ -310,8 +309,19 @@ def execute_affine(
         mat = rec.coefficient_matrix(i)
         a[i] = mat.a / mat.d
         b[i] = mat.b / mat.d
+    return a, b
 
-    sched = plan.ordinary
+
+def affine_coefficients(
+    rec: RationalRecurrence,
+    sched: OrdinaryPlan,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalized per-iteration ``(a, b)`` coefficient arrays for the
+    affine fast path, with the terminal fold already applied --
+    float64 arrays ready for round replay (used by both this module's
+    :func:`execute_affine` and the shm backend's worker sweep)."""
+    a, b = _affine_base(rec)
+    initial = np.asarray(rec.initial, dtype=np.float64)
     terminal = sched.terminal_idx
     # terminals absorb Const(S[f(i)]): (a,b) o (0,S) = (0, a*S + b);
     # constant pairs (a == 0) keep their b untouched -- their
@@ -324,6 +334,23 @@ def execute_affine(
             at * initial[sched.f[terminal]] + b[terminal],
         )
     a[terminal] = 0.0
+    return a, b
+
+
+def execute_affine(
+    rec: RationalRecurrence,
+    plan: MoebiusPlan,
+    *,
+    collect_stats: bool = False,
+    guard: Optional[NumericGuard] = None,
+    policy=None,
+) -> Tuple[List[Any], Optional[SolveStats]]:
+    """Vectorized fast path for *affine* recurrences (``c = 0``) over
+    the planned schedule; see the historical
+    :func:`repro.core.moebius.solve_affine_numpy` for the algebra."""
+    n = rec.n
+    sched = plan.ordinary
+    a, b = affine_coefficients(rec, sched)
 
     stats = (
         SolveStats(n=n, init_ops=sched.init_ops) if collect_stats else None
@@ -487,3 +514,156 @@ def execute_rational(
             s = rec.initial[g_list[i]]
             out[g_list[i]] = (a * s + b) / (c * s + d)
     return out, stats
+
+
+# ---------------------------------------------------------------------------
+# Batched execution
+# ---------------------------------------------------------------------------
+
+
+def _stackable_affine(rec: RationalRecurrence, batch) -> bool:
+    """True when the whole batch can run as one stacked affine sweep:
+    no self term (the self-term rewrite folds each row's initial values
+    into the *coefficients*, so they stop being row-independent), affine
+    shape (``c = 0``, ``d != 0``), and every scalar -- coefficients and
+    all batch rows -- float-castable with at least one genuine float
+    (all-int / Fraction data keeps the exact per-row object engine,
+    mirroring the single-solve ``auto`` rules)."""
+    if rec.self_term:
+        return False
+    if any(x != 0 for x in rec.c) or any(x == 0 for x in rec.d):
+        return False
+    saw_float = False
+
+    def scan(xs) -> bool:
+        nonlocal saw_float
+        for x in xs:
+            if isinstance(x, (bool, np.bool_)):
+                return False
+            if isinstance(x, (float, np.floating)):
+                saw_float = True
+            elif not isinstance(x, (int, np.integer)):
+                return False
+        return True
+
+    for xs in (rec.a, rec.b, rec.d):
+        if not scan(xs):
+            return False
+    for row in batch:
+        if not scan(row):
+            return False
+    return saw_float
+
+
+def execute_affine_batch(
+    rec: RationalRecurrence,
+    plan: MoebiusPlan,
+    batch_initial,
+) -> List[List[Any]]:
+    """``k`` affine recurrences sharing maps + coefficients in one sweep.
+
+    The ``a`` coefficients are row-independent (composition multiplies
+    them without touching values), so they stay ``(n,)``; only ``b``
+    -- where each row's initial values enter through the terminal fold
+    -- is stacked to ``(k, n)``.  Round semantics are identical to
+    :func:`execute_affine`, so each row matches its single solve
+    bit-for-bit.
+    """
+    sched = plan.ordinary
+    n = rec.n
+    k = len(batch_initial)
+    V = np.asarray(batch_initial, dtype=np.float64)  # (k, m)
+    a, b0 = _affine_base(rec)
+    b = np.repeat(b0[None, :], k, axis=0)  # (k, n)
+    terminal = sched.terminal_idx
+    at = a[terminal]
+    with np.errstate(invalid="ignore"):
+        b[:, terminal] = np.where(
+            at == 0.0,
+            b[:, terminal],
+            at * V[:, sched.f[terminal]] + b[:, terminal],
+        )
+    a[terminal] = 0.0
+
+    tracer = get_tracer()
+    registry = get_registry()
+    with maybe_span(
+        tracer, "solver.moebius", engine="affine.batch", n=n, batch=k
+    ) as root:
+        with np.errstate(over="ignore", invalid="ignore"):
+            for active, p in sched.steps:
+                const_pair = a[active] == 0.0
+                new_b = np.where(
+                    const_pair,
+                    b[:, active],
+                    a[active] * b[:, p] + b[:, active],
+                )
+                new_a = np.where(const_pair, 0.0, a[active] * a[p])
+                a[active] = new_a
+                b[:, active] = new_b
+        if root is not None:
+            root.set_attribute("rounds", sched.rounds)
+        if registry is not None:
+            registry.counter("solver.solves", engine="affine.batch").inc()
+
+    g_list = sched.g.tolist()
+    values = b.tolist()
+    rows: List[List[Any]] = []
+    for r in range(k):
+        out = list(batch_initial[r])
+        vals = values[r]
+        for i in range(n):
+            out[g_list[i]] = vals[i]
+        rows.append(out)
+    return rows
+
+
+def execute_batch(
+    rec: RationalRecurrence,
+    problem,
+    plan: Optional[MoebiusPlan],
+    batch_initial,
+    *,
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
+) -> Tuple[List[List[Any]], MoebiusPlan]:
+    """Batch front door for the Moebius family.
+
+    Stacks the coefficient arrays into one :func:`execute_affine_batch`
+    sweep when :func:`_stackable_affine` allows; otherwise replays the
+    shared plan per row (object / Fraction operands, rational
+    recurrences, self-term rewrites) -- which still skips all
+    replanning.  A ``policy`` routes through the per-row path so every
+    row gets the full budget/fallback semantics of a single solve.
+    """
+    import dataclasses
+
+    if plan is None:
+        plan = build_plan(rec, problem.fingerprint())
+    if len(batch_initial) == 0:
+        return [], plan
+
+    if policy is None and _stackable_affine(rec, batch_initial):
+        rows = execute_affine_batch(rec, plan, batch_initial)
+        if checked:
+            from ..resilience.verify import differential_check
+
+            for row, X in zip(batch_initial, rows):
+                inst = dataclasses.replace(rec, initial=list(row))
+                differential_check("moebius", inst, X, sample=check_sample)
+        return rows, plan
+
+    out: List[List[Any]] = []
+    for row in batch_initial:
+        inst = dataclasses.replace(rec, initial=list(row))
+        X, _stats, _plan = execute(
+            inst,
+            problem,
+            plan,
+            policy=policy,
+            checked=checked,
+            check_sample=check_sample,
+        )
+        out.append(X)
+    return out, plan

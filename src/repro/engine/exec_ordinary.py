@@ -253,6 +253,9 @@ def execute_numpy_batch(
     batch_initial: Sequence[Sequence[Any]],
     *,
     f_initial_batch: Optional[Sequence[Sequence[Any]]] = None,
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
 ) -> List[List[Any]]:
     """Solve ``k`` instances sharing the plan's index maps in one pass.
 
@@ -260,25 +263,40 @@ def execute_numpy_batch(
     through the same per-round gathers -- one vectorized sweep instead
     of ``k`` solves.  Object-dtype operators fall back to sequentially
     replaying the (already cached) plan per instance, which still skips
-    all replanning.
+    all replanning.  ``policy`` budgets apply to the shared round loop
+    (rounds are the same for every row); ``checked`` differentially
+    verifies each row against the sequential semantics.
     """
     op = system.op
     use_typed = op.vector_fn is not None and op.dtype is not None
     k = len(batch_initial)
     if k == 0:
         return []
+
+    def row_instance(row_idx: int):
+        return type(system)(
+            initial=list(batch_initial[row_idx]),
+            g=system.g,
+            f=system.f,
+            op=op,
+        )
+
+    def row_f_init(row_idx: int):
+        if f_initial_batch is None:
+            return None
+        return list(f_initial_batch[row_idx])
+
     if not use_typed:
         out: List[List[Any]] = []
-        for row_idx, initial in enumerate(batch_initial):
-            inst = type(system)(
-                initial=list(initial), g=system.g, f=system.f, op=op
+        for row_idx in range(k):
+            values, _ = execute_numpy(
+                row_instance(row_idx),
+                plan,
+                f_initial=row_f_init(row_idx),
+                policy=policy,
+                checked=checked,
+                check_sample=check_sample,
             )
-            f_init = (
-                None
-                if f_initial_batch is None
-                else list(f_initial_batch[row_idx])
-            )
-            values, _ = execute_numpy(inst, plan, f_initial=f_init)
             out.append(values)
         return out
 
@@ -291,6 +309,9 @@ def execute_numpy_batch(
     )
     tracer = get_tracer()
     registry = get_registry()
+    enforcer = (
+        policy.enforcer("ordinary.numpy.batch") if policy is not None else None
+    )
     with maybe_span(
         tracer, "solver.ordinary", engine="numpy.batch", n=plan.n, batch=k
     ) as root:
@@ -298,13 +319,37 @@ def execute_numpy_batch(
         t = plan.terminal_idx
         if t.size:
             val[:, t] = vec(finit[:, plan.f[t]], val[:, t])
+        rounds = 0
         with np.errstate(over="ignore", invalid="ignore"):
             for active_idx, p in plan.steps:
+                if enforcer is not None and not enforcer.admit():
+                    break
                 val[:, active_idx] = vec(val[:, p], val[:, active_idx])
+                rounds += 1
         out_arr = init.copy()
         out_arr[:, plan.g] = val
         if root is not None:
-            root.set_attribute("rounds", plan.rounds)
+            root.set_attribute("rounds", rounds)
         if registry is not None:
             registry.counter("solver.solves", engine="numpy.batch").inc()
-    return [row for row in out_arr.tolist()]
+
+    if enforcer is not None and enforcer.should_fallback:
+        out = []
+        for row_idx in range(k):
+            baseline = _sequential_baseline(
+                row_instance(row_idx), row_f_init(row_idx)
+            )
+            out.append(baseline)
+        return out
+
+    rows = [row for row in out_arr.tolist()]
+    if checked and (enforcer is None or not enforcer.is_partial):
+        for row_idx, row in enumerate(rows):
+            _maybe_check(
+                row_instance(row_idx),
+                row,
+                row_f_init(row_idx),
+                checked,
+                check_sample,
+            )
+    return rows

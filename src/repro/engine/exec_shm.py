@@ -1,0 +1,455 @@
+"""Master-side drivers of the ``shm`` backend.
+
+The shared-memory executor is the first *real-parallelism* backend:
+where ``pram`` replays the paper's EREW schedule on one core, ``shm``
+fans each pointer-jumping round's active set out across OS processes
+over ``multiprocessing.shared_memory`` (see
+:mod:`repro.engine.shm_pool` for the pool/barrier protocol).  It
+covers
+
+* the **ordinary** family with NumPy-typed operators (``vector_fn`` +
+  ``dtype``) -- object monoids cannot cross a process boundary without
+  serialization, which would defeat the shared-memory design; and
+* the **Moebius affine** fast path (the ``(a, b)`` coefficient sweep),
+  with the standard guard/escalation ladder running master-side.
+
+Per-solve flow: truncate the plan's round schedule under a
+:class:`~repro.resilience.SolvePolicy` (``max_rounds`` master-side,
+``timeout_s`` cooperatively in the workers), initialize the shared
+value buffer, drive the rounds through the persistent pool, and -- on
+a worker crash -- respawn the dead rank and retry the whole job once
+from freshly initialized buffers (the solve is deterministic, so the
+retry is idempotent) before raising the structured
+:class:`~repro.errors.FaultError` (CLI exit code 7).
+
+Observability: spans ``solver.ordinary`` / ``solver.moebius`` with
+``engine="shm"``-prefixed labels, plus ``engine.shm.*`` counters --
+solves, rounds, worker gauge, per-round shard-size histogram, the
+per-worker barrier-wait histogram, plan uploads vs reuses, and
+respawns.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.moebius import run_moebius_sequential
+from ..core.ordinary import SolveStats, _maybe_check, _sequential_baseline
+from ..errors import FaultError, IterationBudgetExceeded, SolveTimeoutError
+from ..obs import get_registry, get_tracer, maybe_span
+from .plan import MoebiusPlan, OrdinaryPlan
+from .shm_pool import (
+    BARRIER_TIMEOUT_S,
+    CTRL_CRASH,
+    CTRL_SLOTS,
+    CTRL_STOP,
+    DEFAULT_WORKERS,
+    RunOutcome,
+    ShmWorkerPool,
+    get_pool,
+)
+
+__all__ = ["execute_ordinary", "execute_moebius", "DEFAULT_WORKERS"]
+
+
+def _record_exhausted(label: str, reason: str) -> None:
+    registry = get_registry()
+    if registry is not None:
+        registry.counter(
+            "resilience.policy.exhausted", label=label, reason=reason
+        ).inc()
+
+
+def _policy_preamble(
+    policy, label: str, rounds_total: int
+) -> Tuple[int, Optional[str], Optional[float]]:
+    """Apply ``max_rounds`` up front; returns ``(rounds_to_run,
+    rounds_exhaustion, deadline)``.  ``rounds_exhaustion`` is set when
+    the schedule was truncated (the caller applies the policy's
+    ``on_exhaustion`` behaviour); ``deadline`` is the absolute
+    wall-clock bound workers check cooperatively."""
+    rounds_to_run = rounds_total
+    exhausted = None
+    deadline = None
+    if policy is not None:
+        if policy.max_rounds is not None and rounds_total > policy.max_rounds:
+            exhausted = "rounds"
+            rounds_to_run = policy.max_rounds
+            _record_exhausted(label, "rounds")
+            if policy.on_exhaustion == "raise":
+                raise IterationBudgetExceeded(
+                    f"{label}: iteration budget of {policy.max_rounds} "
+                    "round(s) exhausted",
+                    rounds=policy.max_rounds,
+                    budget=policy.max_rounds,
+                )
+        if policy.timeout_s is not None:
+            deadline = time.time() + policy.timeout_s
+    return rounds_to_run, exhausted, deadline
+
+
+def _drive(
+    pool: ShmWorkerPool,
+    job: Dict[str, Any],
+    *,
+    deadline: Optional[float],
+    init_buffers: Callable[[], None],
+) -> RunOutcome:
+    """Run ``job``; on a crash, respawn and retry once from scratch."""
+    registry = get_registry()
+    for attempt in (0, 1):
+        init_buffers()
+        outcome = pool.run(job, deadline=deadline)
+        if outcome.ok:
+            return outcome
+        if outcome.errors:
+            detail = "; ".join(e["message"] for e in outcome.errors)
+            raise FaultError(f"shm worker raised: {detail}")
+        dead = sorted(set(outcome.crashed + outcome.wedged))
+        respawned = pool.repair()
+        if registry is not None:
+            registry.counter("engine.shm.respawns").inc(
+                max(len(respawned), 1)
+            )
+        if attempt == 1:
+            raise FaultError(
+                f"shm worker rank(s) {dead} crashed again after a respawn; "
+                "giving up after one retry"
+            )
+    raise AssertionError("unreachable")
+
+
+def _observe_run(
+    family: str,
+    workers: int,
+    executed: int,
+    active_sizes: List[int],
+    outcome: Optional[RunOutcome],
+) -> None:
+    registry = get_registry()
+    if registry is None:
+        return
+    registry.counter("engine.shm.solves", family=family).inc()
+    registry.gauge("engine.shm.workers").set(workers)
+    if executed:
+        registry.counter("engine.shm.rounds", family=family).inc(executed)
+    shard_hist = registry.histogram("engine.shm.shard_cells", family=family)
+    for size in active_sizes[:executed]:
+        shard_hist.observe(-(-size // workers))  # ceil(active / P)
+    if outcome is not None:
+        wait_hist = registry.histogram("engine.shm.barrier_wait_s")
+        for reply in outcome.replies.values():
+            wait_hist.observe(reply["barrier_wait_s"])
+
+
+def _schedule_entry(pool: ShmWorkerPool, plan: OrdinaryPlan) -> Dict[str, Any]:
+    entry, uploaded = pool.schedule_blocks(plan)
+    registry = get_registry()
+    if registry is not None:
+        name = "engine.shm.plan.uploads" if uploaded else "engine.shm.plan.reuses"
+        registry.counter(name).inc()
+    return entry
+
+
+def _timeout_error(label: str, policy, started: float) -> SolveTimeoutError:
+    elapsed = time.time() - started
+    return SolveTimeoutError(
+        f"{label}: wall-clock budget of {policy.timeout_s}s exhausted",
+        elapsed=elapsed,
+        timeout=policy.timeout_s,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ordinary family
+# ---------------------------------------------------------------------------
+
+
+def execute_ordinary(
+    system,
+    plan: OrdinaryPlan,
+    *,
+    workers: int = DEFAULT_WORKERS,
+    collect_stats: bool = False,
+    f_initial: Optional[List[Any]] = None,
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
+    crash: Optional[Dict[str, Any]] = None,
+) -> Tuple[List[Any], Optional[SolveStats]]:
+    """Replay ``plan`` over ``system``'s values across the worker pool.
+
+    Requires a typed operator; round semantics (operand order, active
+    sets) are identical to the ``numpy`` backend, so typed results are
+    bit-identical to it.  ``crash`` is the test-only fault-injection
+    hook (``{"rank": r, "round": k, "once": bool}``).
+    """
+    op = system.op
+    if op.vector_fn is None or op.dtype is None:
+        raise ValueError(
+            "the shm backend needs a NumPy-typed operator (vector_fn + "
+            f"dtype); operator {op.name!r} is object-typed -- use "
+            "backend='numpy' or backend='python' instead"
+        )
+    n = plan.n
+    label = "ordinary.shm"
+    started = time.time()
+    rounds_to_run, rounds_exhausted, deadline = _policy_preamble(
+        policy, label, plan.rounds
+    )
+    stats = (
+        SolveStats(n=n, init_ops=plan.init_ops) if collect_stats else None
+    )
+    if rounds_exhausted == "rounds" and policy.on_exhaustion == "fallback":
+        out = _sequential_baseline(system, f_initial)
+        _maybe_check(system, out, f_initial, checked, check_sample)
+        return out, stats
+
+    S = system.initial
+    dtype = np.dtype(op.dtype)
+    init = np.asarray(S, dtype=dtype)
+    finit = (
+        init if f_initial is None else np.asarray(f_initial, dtype=dtype)
+    )
+
+    tracer = get_tracer()
+    with maybe_span(
+        tracer, "solver.ordinary", engine="shm", n=n, workers=workers
+    ) as root:
+        pool = get_pool(workers)
+        entry = _schedule_entry(pool, plan)
+        val_shm = pool.data_block("ordinary.val", n * dtype.itemsize)
+        scratch_shm = pool.data_block("ordinary.scratch", n * dtype.itemsize)
+        ctrl_shm = pool.data_block("ctrl", CTRL_SLOTS * 8)
+        ctrl = np.ndarray((CTRL_SLOTS,), dtype="int64", buffer=ctrl_shm.buf)
+        ctrl[CTRL_CRASH] = 0
+        val = np.ndarray((n,), dtype=dtype, buffer=val_shm.buf)
+
+        def init_buffers() -> None:
+            ctrl[CTRL_STOP] = 0
+            val[:] = init[plan.g]
+            t = plan.terminal_idx
+            if t.size:
+                with np.errstate(over="ignore", invalid="ignore"):
+                    val[t] = op.vector_fn(finit[plan.f[t]], val[t])
+
+        job = {
+            "kind": "ordinary",
+            "rounds": rounds_to_run,
+            "offsets": entry["offsets"],
+            "total": entry["total"],
+            "n": n,
+            "dtype": str(dtype),
+            "sched_active": entry["active"].name,
+            "sched_src": entry["src"].name,
+            "ctrl": ctrl_shm.name,
+            "data": {"val": val_shm.name, "scratch": scratch_shm.name},
+            "op": op.vector_fn,
+            "deadline": deadline,
+            "barrier_timeout": BARRIER_TIMEOUT_S,
+            "crash": crash,
+        }
+        outcome: Optional[RunOutcome] = None
+        if rounds_to_run > 0:
+            outcome = _drive(
+                pool, job, deadline=deadline, init_buffers=init_buffers
+            )
+            executed = outcome.rounds
+            timed_out = outcome.exhausted == "timeout" or bool(outcome.wedged)
+        else:
+            init_buffers()
+            executed = 0
+            timed_out = False
+
+        _observe_run("ordinary", workers, executed, plan.active_per_round, outcome)
+        if stats is not None:
+            stats.rounds = executed
+            stats.active_per_round = plan.active_per_round[:executed]
+        if root is not None:
+            root.set_attribute("rounds", executed)
+
+        if timed_out:
+            _record_exhausted(label, "timeout")
+            if policy.on_exhaustion == "raise":
+                raise _timeout_error(label, policy, started)
+            if policy.on_exhaustion == "fallback":
+                out = _sequential_baseline(system, f_initial)
+                _maybe_check(system, out, f_initial, checked, check_sample)
+                return out, stats
+
+        out = list(S)
+        solved = val.tolist()
+        for i, cell in enumerate(plan.g.tolist()):
+            out[cell] = solved[i]
+        partial = timed_out or rounds_exhausted is not None
+        if not partial:
+            _maybe_check(system, out, f_initial, checked, check_sample)
+        return out, stats
+
+
+# ---------------------------------------------------------------------------
+# Moebius affine fast path
+# ---------------------------------------------------------------------------
+
+
+def execute_moebius(
+    rec,
+    problem,
+    plan: Optional[MoebiusPlan],
+    *,
+    workers: int = DEFAULT_WORKERS,
+    path: str = "auto",
+    guard: Any = "auto",
+    collect_stats: bool = False,
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
+    crash: Optional[Dict[str, Any]] = None,
+) -> Tuple[List[Any], Optional[SolveStats], MoebiusPlan]:
+    """Moebius front door of the shm backend: the affine fast path
+    only, with the standard guard/escalation ladder on top (escalation
+    rungs run master-side on the exact object engine)."""
+    from . import exec_moebius
+    from ..resilience.guard import NumericGuard, default_guard
+
+    rec.validate()
+    auto = path == "auto"
+    if isinstance(guard, str):
+        if guard != "auto":
+            raise ValueError(f"unknown guard mode {guard!r}")
+        guard_obj: Optional[NumericGuard] = default_guard() if auto else None
+    else:
+        guard_obj = guard
+    resolved = exec_moebius.resolve_path(rec, path)
+    if resolved != "affine":
+        raise ValueError(
+            "the shm backend covers the NumPy-typed affine fast path; this "
+            f"recurrence resolves to the {resolved!r} path -- use "
+            "backend='numpy' (or 'python') for object/rational solves"
+        )
+    if plan is None:
+        plan = exec_moebius.build_plan(rec, problem.fingerprint())
+
+    X, stats = _execute_affine(
+        rec,
+        plan,
+        workers=workers,
+        collect_stats=collect_stats,
+        policy=policy,
+        crash=crash,
+    )
+    if guard_obj is not None:
+        X, stats = exec_moebius._escalate_if_unhealthy(
+            rec,
+            plan,
+            X,
+            stats,
+            engine="shm.affine",
+            guard=guard_obj,
+            collect_stats=collect_stats,
+            policy=policy,
+        )
+    if checked:
+        from ..resilience.verify import differential_check
+
+        differential_check("moebius", rec, X, sample=check_sample)
+    return X, stats, plan
+
+
+def _execute_affine(
+    rec,
+    plan: MoebiusPlan,
+    *,
+    workers: int,
+    collect_stats: bool,
+    policy,
+    crash: Optional[Dict[str, Any]],
+) -> Tuple[List[Any], Optional[SolveStats]]:
+    from .exec_moebius import affine_coefficients
+
+    sched = plan.ordinary
+    n = rec.n
+    label = "moebius.shm"
+    started = time.time()
+    rounds_to_run, rounds_exhausted, deadline = _policy_preamble(
+        policy, label, sched.rounds
+    )
+    stats = (
+        SolveStats(n=n, init_ops=sched.init_ops) if collect_stats else None
+    )
+    if rounds_exhausted == "rounds" and policy.on_exhaustion == "fallback":
+        return run_moebius_sequential(rec), stats
+
+    a0, b0 = affine_coefficients(rec, sched)
+
+    tracer = get_tracer()
+    with maybe_span(
+        tracer, "solver.moebius", engine="shm.affine", n=n, workers=workers
+    ) as root:
+        pool = get_pool(workers)
+        entry = _schedule_entry(pool, sched)
+        blocks = {
+            role: pool.data_block(f"affine.{role}", n * 8)
+            for role in ("a", "b", "sa", "sb")
+        }
+        ctrl_shm = pool.data_block("ctrl", CTRL_SLOTS * 8)
+        ctrl = np.ndarray((CTRL_SLOTS,), dtype="int64", buffer=ctrl_shm.buf)
+        ctrl[CTRL_CRASH] = 0
+        a = np.ndarray((n,), dtype="float64", buffer=blocks["a"].buf)
+        b = np.ndarray((n,), dtype="float64", buffer=blocks["b"].buf)
+
+        def init_buffers() -> None:
+            ctrl[CTRL_STOP] = 0
+            a[:] = a0
+            b[:] = b0
+
+        job = {
+            "kind": "affine",
+            "rounds": rounds_to_run,
+            "offsets": entry["offsets"],
+            "total": entry["total"],
+            "n": n,
+            "dtype": "float64",
+            "sched_active": entry["active"].name,
+            "sched_src": entry["src"].name,
+            "ctrl": ctrl_shm.name,
+            "data": {role: blocks[role].name for role in blocks},
+            "op": None,
+            "deadline": deadline,
+            "barrier_timeout": BARRIER_TIMEOUT_S,
+            "crash": crash,
+        }
+        outcome: Optional[RunOutcome] = None
+        if rounds_to_run > 0:
+            outcome = _drive(
+                pool, job, deadline=deadline, init_buffers=init_buffers
+            )
+            executed = outcome.rounds
+            timed_out = outcome.exhausted == "timeout" or bool(outcome.wedged)
+        else:
+            init_buffers()
+            executed = 0
+            timed_out = False
+
+        _observe_run("moebius", workers, executed, sched.active_per_round, outcome)
+        if stats is not None:
+            stats.rounds = executed
+            stats.active_per_round = sched.active_per_round[:executed]
+        if root is not None:
+            root.set_attribute("rounds", executed)
+
+        if timed_out:
+            _record_exhausted(label, "timeout")
+            if policy.on_exhaustion == "raise":
+                raise _timeout_error(label, policy, started)
+            if policy.on_exhaustion == "fallback":
+                return run_moebius_sequential(rec), stats
+
+        out = list(rec.initial)
+        values = b.tolist()  # completed maps end constant: value = b
+        for i, cell in enumerate(sched.g.tolist()):
+            out[cell] = values[i]
+        return out, stats

@@ -1,0 +1,242 @@
+"""Pinned-plan serving sessions: the repeated-solve entry point.
+
+A :class:`Session` is the engine's "server-style" shape: it derives the
+:class:`~repro.engine.problem.Problem` of one source object **once** at
+construction, builds (and pins) its plan, resolves the backend, and
+then serves any number of value vectors through
+:meth:`Session.solve` / :meth:`Session.solve_batch` with **zero
+per-request planning or cache traffic** -- no fingerprint hashing, no
+LRU lookups, no validation.  The per-request work is exactly the plan
+replay.
+
+This is the preferred entry point when the same recurrence structure
+(index maps + operator) is solved repeatedly over different data::
+
+    from repro.engine import Session
+
+    session = Session(system, backend="auto")
+    out = session.solve(values).values          # one value vector
+    rows = session.solve_batch(value_matrix)    # many at once
+
+Sessions hold the same ``backend= / policy= / checked=`` knobs as
+:func:`repro.engine.solve`, fixed at construction so every request is
+served under one configuration.  They are cheap enough to build per
+problem and are safe to keep for the process lifetime; like the rest
+of the engine they serialize solves (no internal locking -- wrap in
+your own executor for concurrent serving).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs import get_registry
+from .api import EngineResult, _reject_unknown
+from .backends import Backend, ExecutionRequest, resolve_backend
+from .plan import Plan
+from .problem import Problem
+
+__all__ = ["Session"]
+
+_SESSION_KWARGS = ("backend", "policy", "checked", "check_sample", "options")
+_SOLVE_KWARGS = ("f_initial", "collect_stats")
+_BATCH_KWARGS = ("f_initial_batch",)
+
+
+class Session:
+    """One problem's plan + backend, pinned for repeated serving.
+
+    Parameters
+    ----------
+    source:
+        The problem-defining system (an
+        :class:`~repro.core.equations.OrdinaryIRSystem`,
+        :class:`~repro.core.equations.GIRSystem` or
+        :class:`~repro.core.moebius.RationalRecurrence`).  Its index
+        maps and operator define the pinned plan; its ``initial``
+        values are the default payload for :meth:`solve` with no
+        arguments.
+    backend, policy, checked, check_sample:
+        The standard front-door knobs (see :func:`repro.engine.solve`),
+        frozen for the session's lifetime.
+    options:
+        Backend extras (``workers`` for ``shm``, Moebius ``path`` /
+        ``guard``, PRAM ``processors``, ...).
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        *,
+        backend: str = "auto",
+        policy=None,
+        checked: bool = False,
+        check_sample: Optional[int] = 64,
+        options: Optional[Dict[str, Any]] = None,
+        **unknown: Any,
+    ):
+        _reject_unknown("Session", unknown, _SESSION_KWARGS)
+        self._source = source
+        self._problem = Problem.from_system(source)
+        self._backend: Backend = resolve_backend(backend, self._problem)
+        if policy is not None and not self._backend.capabilities.supports_policy:
+            raise ValueError(
+                f"backend {self._backend.name!r} does not support SolvePolicy"
+            )
+        self._policy = policy
+        self._checked = checked
+        self._check_sample = check_sample
+        self._options = dict(options or {})
+        self._plan = self._build_plan()
+
+    # -- construction ------------------------------------------------------
+
+    def _build_plan(self) -> Optional[Plan]:
+        """Pin the plan now for the families whose planners are
+        value-independent entry points; GIR plans (which depend on the
+        rename/dispatch pipeline inside the executor) are captured from
+        the first solve, and the PRAM machine does not plan."""
+        if self._backend.name == "pram":
+            return None
+        family = self._problem.family
+        if family == "ordinary":
+            from . import exec_ordinary
+
+            return exec_ordinary.build_plan(
+                self._source, self._problem.fingerprint()
+            )
+        if family == "moebius":
+            from . import exec_moebius
+
+            return exec_moebius.build_plan(
+                self._source, self._problem.fingerprint()
+            )
+        return None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        return self._backend.name
+
+    @property
+    def family(self) -> str:
+        return self._problem.family
+
+    @property
+    def problem(self) -> Problem:
+        return self._problem
+
+    @property
+    def plan(self) -> Optional[Plan]:
+        return self._plan
+
+    @property
+    def fingerprint(self) -> str:
+        return self._problem.fingerprint()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session(family={self.family!r}, backend={self.backend!r}, "
+            f"fingerprint={self.fingerprint[:12]!r})"
+        )
+
+    # -- serving -----------------------------------------------------------
+
+    def _with_values(self, values: Sequence[Any]) -> Any:
+        if len(values) != self._problem.m:
+            raise ValueError(
+                f"value vector has {len(values)} cells, the session's "
+                f"problem has m={self._problem.m}"
+            )
+        return dataclasses.replace(self._source, initial=list(values))
+
+    def solve(
+        self,
+        values: Optional[Sequence[Any]] = None,
+        *,
+        f_initial: Optional[List[Any]] = None,
+        collect_stats: bool = False,
+        **unknown: Any,
+    ) -> EngineResult:
+        """Serve one value vector through the pinned plan.
+
+        ``values`` replaces the source's ``initial`` array (``None``
+        solves the source as constructed); index maps and operator are
+        the session's.  Returns the same :class:`EngineResult` as
+        :func:`repro.engine.solve`.
+        """
+        _reject_unknown("Session.solve", unknown, _SOLVE_KWARGS)
+        source = self._source if values is None else self._with_values(values)
+        request = ExecutionRequest(
+            problem=self._problem,
+            source=source,
+            plan=self._plan,
+            collect_stats=collect_stats,
+            policy=self._policy,
+            checked=self._checked,
+            check_sample=self._check_sample,
+            f_initial=f_initial,
+            options=dict(self._options),
+        )
+        out, stats, built_plan, metrics = self._backend.execute(request)
+        if self._plan is None and built_plan is not None:
+            self._plan = built_plan  # GIR: pin from the first solve
+        registry = get_registry()
+        if registry is not None:
+            registry.counter(
+                "engine.session.solves",
+                backend=self._backend.name,
+                family=self._problem.family,
+            ).inc()
+        return EngineResult(
+            values=out,
+            stats=stats,
+            backend=self._backend.name,
+            family=self._problem.family,
+            plan=self._plan,
+            cache_hit=self._plan is not None,
+            metrics=metrics,
+        )
+
+    def solve_batch(
+        self,
+        batch_values: Sequence[Sequence[Any]],
+        *,
+        f_initial_batch: Optional[Sequence[Sequence[Any]]] = None,
+        **unknown: Any,
+    ) -> List[List[Any]]:
+        """Serve ``k`` value vectors (rows of ``batch_values``) in one
+        batched replay of the pinned plan."""
+        _reject_unknown("Session.solve_batch", unknown, _BATCH_KWARGS)
+        if not self._backend.capabilities.batch:
+            raise ValueError(
+                f"backend {self._backend.name!r} does not support batched "
+                "execution"
+            )
+        request = ExecutionRequest(
+            problem=self._problem,
+            source=self._source,
+            plan=self._plan,
+            policy=self._policy,
+            checked=self._checked,
+            check_sample=self._check_sample,
+            options=dict(self._options),
+        )
+        rows, built_plan = self._backend.execute_batch(
+            request, batch_values, f_initial_batch
+        )
+        if self._plan is None and built_plan is not None:
+            self._plan = built_plan
+        registry = get_registry()
+        if registry is not None:
+            registry.counter(
+                "engine.session.solves",
+                backend=self._backend.name,
+                family=self._problem.family,
+            ).inc(len(batch_values))
+            registry.counter(
+                "engine.session.batch.solves", backend=self._backend.name
+            ).inc()
+        return rows

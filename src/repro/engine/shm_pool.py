@@ -1,0 +1,496 @@
+"""Persistent shared-memory worker pool for the ``shm`` backend.
+
+The pool owns ``P`` long-lived OS processes plus a set of
+``multiprocessing.shared_memory`` blocks:
+
+* **schedule blocks** -- one pair of int64 arrays per plan fingerprint
+  (the concatenation of every round's active set and source set), so a
+  plan ships to the workers **once** and every subsequent solve on the
+  same index maps reuses it (the Session serving path);
+* **data blocks** -- reusable value/scratch buffers, grown on demand
+  and shared by every solve on the pool.
+
+One solve is one *job*: the master initializes the value buffer,
+broadcasts a small picklable job description (shm names, round offsets,
+the vectorized operator), and the workers replay the rounds together.
+Every round runs in two phases separated by a
+:class:`multiprocessing.Barrier`:
+
+1. **gather** -- worker ``w`` copies ``val[src]`` for its contiguous
+   shard of the round's active set (Brent-style ``n/P`` blocking) into
+   the scratch buffer, indexed by active cell so writes are disjoint;
+2. **combine** -- after the barrier guarantees every gather read the
+   pre-round state, each worker applies ``op`` over its own shard.
+
+The top-of-loop barrier doubles as the round separator and as the
+synchronization point for the cooperative stop flag (wall-clock
+budgets from a :class:`~repro.resilience.SolvePolicy`): any worker
+past the deadline raises the flag *before* its barrier wait, and every
+worker reads it *after* the release, so all of them stop at the same
+round boundary.
+
+Crash handling: the master waits on the workers' process sentinels
+next to their reply pipes; a dead worker aborts the shared barrier
+(unblocking its siblings into a ``BrokenBarrierError`` -> "aborted"
+reply), after which :meth:`ShmWorkerPool.repair` respawns the dead
+ranks and resets the barrier so the job can be retried from freshly
+initialized buffers.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import secrets
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from multiprocessing import get_context, get_all_start_methods, shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ShmWorkerPool",
+    "RunOutcome",
+    "get_pool",
+    "shutdown_pools",
+    "DEFAULT_WORKERS",
+    "BARRIER_TIMEOUT_S",
+]
+
+DEFAULT_WORKERS = 4
+#: Backstop so a worker never waits forever on a dead sibling even if
+#: the master's barrier abort is lost; the master normally detects the
+#: crash via the process sentinel long before this fires.
+BARRIER_TIMEOUT_S = 120.0
+#: Plan-schedule blocks cached per pool before LRU eviction.
+_PLAN_CACHE_SLOTS = 8
+
+# control-block slots (int64 each)
+CTRL_STOP = 0  # cooperative stop flag (policy timeout)
+CTRL_CRASH = 1  # test-only crash-injection "already fired" latch
+CTRL_SLOTS = 4
+
+
+def _new_name(tag: str) -> str:
+    return f"repro_{tag}_{os.getpid():x}_{secrets.token_hex(4)}"
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without registering it with the
+    resource tracker (the creator owns unlinking).
+
+    CPython < 3.13 registers attachers too; with the fork start method
+    the workers share the master's tracker process, so an attacher
+    calling ``unregister`` would remove the *creator's* entry and the
+    final unlink would trip a tracker KeyError.  Suppressing the
+    registration during attach leaves the creator's bookkeeping alone.
+    """
+    from multiprocessing import resource_tracker
+
+    orig = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig  # type: ignore[assignment]
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+_WORKER_SHMS: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _worker_block(name: str) -> shared_memory.SharedMemory:
+    shm = _WORKER_SHMS.get(name)
+    if shm is None:
+        shm = _attach(name)
+        _WORKER_SHMS[name] = shm
+    return shm
+
+
+def _worker_array(name: str, length: int, dtype: str) -> np.ndarray:
+    return np.ndarray((length,), dtype=dtype, buffer=_worker_block(name).buf)
+
+
+def _shard(lo: int, hi: int, rank: int, nworkers: int) -> Tuple[int, int]:
+    """Contiguous Brent-style split of schedule slots ``[lo, hi)``."""
+    size = hi - lo
+    return lo + rank * size // nworkers, lo + (rank + 1) * size // nworkers
+
+
+def _run_job(rank: int, nworkers: int, barrier, job: Dict[str, Any]) -> Dict[str, Any]:
+    total = job["total"]
+    offsets = job["offsets"]
+    rounds = job["rounds"]
+    deadline = job["deadline"]
+    bt = job["barrier_timeout"]
+    crash = job.get("crash")
+
+    sched_a = _worker_array(job["sched_active"], total, "int64")
+    sched_s = _worker_array(job["sched_src"], total, "int64")
+    ctrl = _worker_array(job["ctrl"], CTRL_SLOTS, "int64")
+
+    kind = job["kind"]
+    n = job["n"]
+    if kind == "ordinary":
+        val = _worker_array(job["data"]["val"], n, job["dtype"])
+        scratch = _worker_array(job["data"]["scratch"], n, job["dtype"])
+        vec = job["op"]
+    else:  # affine
+        a = _worker_array(job["data"]["a"], n, "float64")
+        b = _worker_array(job["data"]["b"], n, "float64")
+        sa = _worker_array(job["data"]["sa"], n, "float64")
+        sb = _worker_array(job["data"]["sb"], n, "float64")
+
+    barrier_wait = 0.0
+    done = 0
+    exhausted: Optional[str] = None
+    with np.errstate(over="ignore", invalid="ignore"):
+        for r in range(rounds):
+            if deadline is not None and time.time() >= deadline:
+                ctrl[CTRL_STOP] = 1
+            t0 = time.perf_counter()
+            barrier.wait(bt)  # round separator + stop-flag sync point
+            barrier_wait += time.perf_counter() - t0
+            if ctrl[CTRL_STOP]:
+                exhausted = "timeout"
+                break
+            if (
+                crash is not None
+                and crash["rank"] == rank
+                and crash["round"] == r
+                and (not crash.get("once", True) or ctrl[CTRL_CRASH] == 0)
+            ):
+                ctrl[CTRL_CRASH] = 1
+                os._exit(1)  # simulate a hard worker crash
+            lo, hi = _shard(offsets[r], offsets[r + 1], rank, nworkers)
+            active = sched_a[lo:hi]
+            src = sched_s[lo:hi]
+            if kind == "ordinary":
+                scratch[active] = val[src]  # gather: pre-round state
+                t0 = time.perf_counter()
+                barrier.wait(bt)
+                barrier_wait += time.perf_counter() - t0
+                val[active] = vec(scratch[active], val[active])
+            else:
+                sa[active] = a[src]
+                sb[active] = b[src]
+                t0 = time.perf_counter()
+                barrier.wait(bt)
+                barrier_wait += time.perf_counter() - t0
+                ao = a[active]
+                const = ao == 0.0  # constant maps absorb (the odot rule)
+                b[active] = np.where(const, b[active], ao * sb[active] + b[active])
+                a[active] = np.where(const, 0.0, ao * sa[active])
+            done += 1
+    return {"rank": rank, "rounds": done, "barrier_wait_s": barrier_wait, "exhausted": exhausted}
+
+
+def _worker_main(rank: int, nworkers: int, barrier, conn) -> None:
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg is None or msg[0] == "stop":
+            return
+        job = msg[1]
+        try:
+            conn.send(("ok", _run_job(rank, nworkers, barrier, job)))
+        except threading.BrokenBarrierError:
+            conn.send(("aborted", {"rank": rank}))
+        except Exception as exc:  # surfaced as a structured FaultError
+            conn.send(("error", {"rank": rank, "message": repr(exc)}))
+
+
+# ---------------------------------------------------------------------------
+# Master side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one job across the pool."""
+
+    replies: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    crashed: List[int] = field(default_factory=list)
+    aborted: List[int] = field(default_factory=list)
+    errors: List[Dict[str, Any]] = field(default_factory=list)
+    wedged: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.crashed or self.aborted or self.errors or self.wedged)
+
+    @property
+    def exhausted(self) -> Optional[str]:
+        for reply in self.replies.values():
+            if reply.get("exhausted"):
+                return reply["exhausted"]
+        return None
+
+    @property
+    def rounds(self) -> int:
+        return max((r["rounds"] for r in self.replies.values()), default=0)
+
+
+class ShmWorkerPool:
+    """``P`` persistent worker processes + the shared blocks they use.
+
+    One pool per worker count lives for the process (see
+    :func:`get_pool`); jobs are serialized through :meth:`run` under a
+    lock, matching the engine's synchronous solve contract.
+    """
+
+    def __init__(self, workers: int, *, start_method: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("shm pool needs workers >= 1")
+        self.workers = workers
+        if start_method is None:
+            start_method = "fork" if "fork" in get_all_start_methods() else "spawn"
+        self._ctx = get_context(start_method)
+        self._barrier = self._ctx.Barrier(workers)
+        self._procs: List[Any] = [None] * workers
+        self._conns: List[Any] = [None] * workers
+        self._lock = threading.Lock()
+        self._plan_blocks: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._data_blocks: Dict[str, shared_memory.SharedMemory] = {}
+        self._closed = False
+        for rank in range(workers):
+            self._spawn(rank)
+
+    # -- process management ------------------------------------------------
+
+    def _spawn(self, rank: int) -> None:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(rank, self.workers, self._barrier, child),
+            name=f"repro-shm-{rank}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self._procs[rank] = proc
+        self._conns[rank] = parent
+
+    def repair(self) -> List[int]:
+        """Respawn dead ranks and reset the (possibly broken) barrier.
+
+        Only call once every live worker is idle (i.e. after
+        :meth:`run` returned) -- the barrier reset must not race a
+        waiter.
+        """
+        try:
+            self._barrier.reset()
+        except Exception:
+            pass
+        respawned = []
+        for rank, proc in enumerate(self._procs):
+            if proc is None or not proc.is_alive():
+                self._spawn(rank)
+                respawned.append(rank)
+        return respawned
+
+    # -- shared blocks -----------------------------------------------------
+
+    def _create_block(self, tag: str, nbytes: int) -> shared_memory.SharedMemory:
+        return shared_memory.SharedMemory(
+            name=_new_name(tag), create=True, size=max(nbytes, 1)
+        )
+
+    def data_block(self, role: str, nbytes: int) -> shared_memory.SharedMemory:
+        """A reusable buffer for ``role``, grown when too small."""
+        shm = self._data_blocks.get(role)
+        if shm is None or shm.size < nbytes:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+            shm = self._create_block(role, nbytes)
+            self._data_blocks[role] = shm
+        return shm
+
+    def schedule_blocks(self, plan) -> Tuple[Dict[str, Any], bool]:
+        """The shared schedule of ``plan``, uploaded at most once.
+
+        Returns ``(entry, uploaded)`` where ``entry`` holds the block
+        names, the per-round offsets and the total schedule length.
+        Keyed by the plan fingerprint; a small LRU bounds resident
+        schedules (evicted blocks are unlinked).
+        """
+        key = plan.fingerprint
+        entry = self._plan_blocks.get(key)
+        if entry is not None:
+            self._plan_blocks.move_to_end(key)
+            return entry, False
+        sizes = [int(active.size) for active, _src in plan.steps]
+        offsets = [0]
+        for size in sizes:
+            offsets.append(offsets[-1] + size)
+        total = offsets[-1]
+        shm_a = self._create_block("sched_a", total * 8)
+        shm_s = self._create_block("sched_s", total * 8)
+        view_a = np.ndarray((total,), dtype="int64", buffer=shm_a.buf)
+        view_s = np.ndarray((total,), dtype="int64", buffer=shm_s.buf)
+        for r, (active, src) in enumerate(plan.steps):
+            view_a[offsets[r] : offsets[r + 1]] = active
+            view_s[offsets[r] : offsets[r + 1]] = src
+        entry = {
+            "active": shm_a,
+            "src": shm_s,
+            "offsets": offsets,
+            "total": total,
+            "rounds": len(sizes),
+        }
+        self._plan_blocks[key] = entry
+        while len(self._plan_blocks) > _PLAN_CACHE_SLOTS:
+            _key, old = self._plan_blocks.popitem(last=False)
+            for block in (old["active"], old["src"]):
+                block.close()
+                block.unlink()
+        return entry, True
+
+    # -- job execution -----------------------------------------------------
+
+    def run(
+        self,
+        job: Dict[str, Any],
+        *,
+        deadline: Optional[float] = None,
+        grace: float = 30.0,
+    ) -> RunOutcome:
+        """Broadcast ``job`` and wait for every rank to reply or die."""
+        try:
+            pickle.dumps(job)
+        except Exception as exc:
+            raise ValueError(
+                "shm job is not picklable (the operator's vector_fn must "
+                f"be a module-level callable / NumPy ufunc): {exc!r}"
+            ) from exc
+        with self._lock:
+            return self._run_locked(job, deadline, grace)
+
+    def _run_locked(self, job, deadline, grace) -> RunOutcome:
+        outcome = RunOutcome()
+        for conn in self._conns:
+            conn.send(("job", job))
+        pending = set(range(self.workers))
+        hard_deadline = None if deadline is None else deadline + grace
+        aborted_barrier = False
+        while pending:
+            conn_of = {self._conns[r]: r for r in pending}
+            sentinel_of = {self._procs[r].sentinel: r for r in pending}
+            timeout = None
+            if hard_deadline is not None:
+                timeout = max(0.0, hard_deadline - time.time())
+            ready = mp_connection.wait(
+                list(conn_of) + list(sentinel_of), timeout=timeout
+            )
+            if not ready:  # wedged past the grace window: give up hard
+                self._barrier.abort()
+                aborted_barrier = True
+                late = mp_connection.wait(list(conn_of), timeout=5.0)
+                for obj in late:
+                    rank = conn_of[obj]
+                    self._collect(obj, rank, outcome)
+                    pending.discard(rank)
+                for rank in list(pending):
+                    outcome.wedged.append(rank)
+                    self._procs[rank].terminate()
+                    pending.discard(rank)
+                break
+            for obj in ready:
+                if obj in conn_of:
+                    rank = conn_of[obj]
+                    self._collect(obj, rank, outcome)
+                    pending.discard(rank)
+                else:
+                    rank = sentinel_of[obj]
+                    if rank in pending and not self._procs[rank].is_alive():
+                        outcome.crashed.append(rank)
+                        pending.discard(rank)
+            # A dead rank's conn EOF and its sentinel turn ready
+            # together; whichever reported it, the siblings are (or
+            # will be) blocked on a barrier the dead rank can never
+            # reach -- break it so they surface "aborted" now instead
+            # of waiting out the barrier timeout.
+            if outcome.crashed and not aborted_barrier:
+                self._barrier.abort()
+                aborted_barrier = True
+        return outcome
+
+    def _collect(self, conn, rank: int, outcome: RunOutcome) -> None:
+        try:
+            kind, payload = conn.recv()
+        except (EOFError, OSError):
+            outcome.crashed.append(rank)
+            return
+        if kind == "ok":
+            outcome.replies[rank] = payload
+        elif kind == "aborted":
+            outcome.aborted.append(rank)
+        else:
+            outcome.errors.append(payload)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            if proc is not None:
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for entry in self._plan_blocks.values():
+            for block in (entry["active"], entry["src"]):
+                block.close()
+                block.unlink()
+        self._plan_blocks.clear()
+        for block in self._data_blocks.values():
+            block.close()
+            block.unlink()
+        self._data_blocks.clear()
+
+
+_POOLS: Dict[int, ShmWorkerPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def get_pool(workers: int = DEFAULT_WORKERS) -> ShmWorkerPool:
+    """The process-wide persistent pool for ``workers`` ranks."""
+    with _POOLS_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None or pool._closed:
+            pool = ShmWorkerPool(workers)
+            _POOLS[workers] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Stop every pool and release its shared-memory blocks."""
+    with _POOLS_LOCK:
+        for pool in _POOLS.values():
+            pool.shutdown()
+        _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
