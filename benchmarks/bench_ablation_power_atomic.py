@@ -9,9 +9,10 @@ trace factor -- Fibonacci-many.  The separation is the design point.
 """
 
 from repro.analysis.reporting import banner, series_table
-from repro.core import GIRSystem, modular_mul, run_gir, solve_gir
+from repro.core import GIRSystem, modular_mul, run_gir
 from repro.core.traces import gir_trace_tree, tree_sizes
 from repro.core.operators import make_operator
+from repro.engine import solve
 
 NS = [6, 10, 14, 18, 22, 26]
 MOD = 97
@@ -54,7 +55,8 @@ def pipeline_cost(n):
     """op/power-applications of the CAP pipeline, measured."""
     op, counter = counting_operator()
     system = build(n, op)
-    out, stats = solve_gir(system, collect_stats=True)
+    result = solve(system, collect_stats=True)
+    out, stats = result.values, result.stats
     assert out == run_gir(system)
     return counter["ops"] + stats.power_ops
 

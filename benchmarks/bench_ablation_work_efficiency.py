@@ -17,7 +17,7 @@ import math
 from repro.analysis.reporting import banner, series_table
 from repro.core import CONCAT, OrdinaryIRSystem, run_ordinary
 from repro.core.baselines import work_efficient_chain_solve
-from repro.core.ordinary import solve_ordinary_numpy
+from repro.engine import solve
 
 NS = [256, 1024, 4096, 16384]
 
@@ -36,7 +36,8 @@ def run_ablation():
             "scan_depth": []}
     for n in NS:
         system = chain(n)
-        out_pj, s_pj = solve_ordinary_numpy(system, collect_stats=True)
+        res = solve(system, backend="numpy", collect_stats=True)
+        out_pj, s_pj = res.values, res.stats
         out_we, s_we = work_efficient_chain_solve(system)
         assert out_pj == out_we == run_ordinary(system)
         rows["pj_work"].append(s_pj.total_ops)
@@ -73,7 +74,7 @@ def test_ablation_work_efficiency(benchmark):
     with pytest.raises(ValueError, match="branching"):
         work_efficient_chain_solve(branching)
     # ... while pointer jumping handles them (the paper's point)
-    assert solve_ordinary_numpy(branching)[0] == run_ordinary(branching)
+    assert solve(branching, backend="numpy").values == run_ordinary(branching)
 
 
 def main():

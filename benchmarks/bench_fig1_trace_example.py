@@ -11,7 +11,8 @@ figure discusses.
 """
 
 from repro.analysis.reporting import ascii_table, banner
-from repro.core import CONCAT, OrdinaryIRSystem, run_ordinary, solve_ordinary
+from repro.core import CONCAT, OrdinaryIRSystem, run_ordinary
+from repro.engine import solve
 from repro.core.traces import all_ordinary_traces, render_factors
 
 M = 12
@@ -36,7 +37,8 @@ def run_fig1():
     out = {}
     for name, system in (("literal", literal_loop()), ("chained", chained_loop())):
         traces = all_ordinary_traces(system)
-        parallel, stats = solve_ordinary(system, collect_stats=True)
+        res = solve(system, backend="python", collect_stats=True)
+        parallel, stats = res.values, res.stats
         assert parallel == run_ordinary(system)
         out[name] = (system, traces, stats)
     return out

@@ -9,7 +9,8 @@ invariant: after round r, every unfinished sub-trace covers exactly
 """
 
 from repro.analysis.reporting import ascii_table, banner
-from repro.core import CONCAT, OrdinaryIRSystem, run_ordinary, solve_ordinary
+from repro.core import CONCAT, OrdinaryIRSystem, run_ordinary
+from repro.engine import solve
 
 N = 16
 
@@ -26,10 +27,13 @@ def build():
 def run_rounds():
     """Partial solves after r = 0, 1, 2, ... rounds."""
     system = build()
-    _, full = solve_ordinary(system, collect_stats=True)
+    full = solve(system, backend="python", collect_stats=True).stats
     frames = []
     for r in range(full.rounds + 1):
-        out, stats = solve_ordinary(system, collect_stats=True, max_rounds=r)
+        res = solve(
+            system, backend="python", collect_stats=True, max_rounds=r
+        )
+        out, stats = res.values, res.stats
         frames.append((r, out, stats))
     return system, frames
 

@@ -8,10 +8,11 @@ full GIR pipeline against the sequential loop.
 """
 
 from repro.analysis.reporting import banner, series_table
-from repro.core import GIRSystem, modular_mul, run_gir, solve_gir
+from repro.core import GIRSystem, modular_mul, run_gir
 from repro.core.cap import count_all_paths
 from repro.core.depgraph import build_dependence_graph
 from repro.core.traces import gir_trace_tree, render_tree
+from repro.engine import solve
 
 N = 40
 MOD = 10**9 + 7
@@ -33,7 +34,8 @@ def run_fig5(n=N):
     graph = build_dependence_graph(system)
     cap = count_all_paths(graph)
     powers = [cap.powers_by_cell(graph, i) for i in range(n)]
-    parallel, stats = solve_gir(system, collect_stats=True)
+    result = solve(system, collect_stats=True)
+    parallel, stats = result.values, result.stats
     sequential = run_gir(system)
     return system, powers, parallel, sequential, stats
 

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core import FLOAT_MUL, OrdinaryIRSystem, run_ordinary
-from repro.core.ordinary import solve_ordinary, solve_ordinary_numpy
+from repro.engine import solve
 
 N = 100_000
 
@@ -32,13 +32,13 @@ def system():
 
 
 def test_wallclock_numpy_engine(benchmark, system):
-    result, _ = benchmark(solve_ordinary_numpy, system)
+    result = benchmark(lambda: solve(system, backend="numpy").values)
     assert len(result) == N + 1
 
 
 def test_wallclock_python_engine(benchmark, system):
     small = build(10_000)  # the pure-Python engine is the slow reference
-    result, _ = benchmark(solve_ordinary, small)
+    result = benchmark(lambda: solve(small, backend="python").values)
     assert len(result) == 10_001
 
 
@@ -63,18 +63,18 @@ def _affine_recurrence(n):
 
 
 def test_wallclock_moebius_object_engine(benchmark):
-    from repro.core.moebius import solve_moebius
-
     rec = _affine_recurrence(20_000)
-    result, _ = benchmark(solve_moebius, rec, engine="numpy")
+    result = benchmark(
+        lambda: solve(rec, options={"path": "object"}).values
+    )
     assert len(result) == 20_001
 
 
 def test_wallclock_moebius_affine_fast_path(benchmark):
-    from repro.core.moebius import solve_affine_numpy
-
     rec = _affine_recurrence(20_000)
-    result, _ = benchmark(solve_affine_numpy, rec)
+    result = benchmark(
+        lambda: solve(rec, options={"path": "affine"}).values
+    )
     assert len(result) == 20_001
 
 
@@ -84,14 +84,14 @@ def main():
     system = build()
     for name, fn in (
         ("sequential loop", lambda: run_ordinary(system)),
-        ("numpy parallel engine", lambda: solve_ordinary_numpy(system)),
+        ("numpy parallel engine", lambda: solve(system, backend="numpy")),
     ):
         t0 = time.perf_counter()
         fn()
         print(f"{name:<24} {time.perf_counter() - t0:.4f}s  (n = {N:,})")
     small = build(10_000)
     t0 = time.perf_counter()
-    solve_ordinary(small)
+    solve(small, backend="python")
     print(f"{'python parallel engine':<24} {time.perf_counter() - t0:.4f}s  (n = 10,000)")
 
 

@@ -24,8 +24,10 @@ import io
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
+from datetime import datetime, timezone
 
 BENCHES = [
     "bench_fig1_trace_example",
@@ -48,7 +50,7 @@ BENCHES = [
     "bench_shm",
 ]
 
-RESULTS_SCHEMA_VERSION = 1
+RESULTS_SCHEMA_VERSION = 2
 
 # counters summed into the "rounds" / "ops" convenience totals
 _ROUND_COUNTERS = ("solver.rounds", "cap.iterations", "pram.supersteps")
@@ -59,6 +61,35 @@ _OP_COUNTERS = (
     "gir.combine_ops",
     "pram.superstep.work",
 )
+
+
+def _provenance():
+    """Where/when/what produced this results file -- enough to judge
+    whether two files are comparable before diffing wall clocks."""
+    import numpy
+
+    git_sha = None
+    try:
+        git_sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        ).stdout.strip() or None
+    except Exception:
+        pass
+    return {
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+        "git_sha": git_sha,
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
 
 
 def _sum_counters(snapshot, names):
@@ -149,16 +180,16 @@ def main() -> int:
     total = sum(r["wall_clock_s"] for r in results)
 
     if args.json:
-        import numpy
-
         json_path = args.json_out or os.path.join(
             os.path.dirname(here), "BENCH_results.json"
         )
+        provenance = _provenance()
         payload = {
             "schema_version": RESULTS_SCHEMA_VERSION,
             "generated_by": "benchmarks/regenerate_all.py",
-            "python": platform.python_version(),
-            "numpy": numpy.__version__,
+            "provenance": provenance,
+            "python": provenance["python"],
+            "numpy": provenance["numpy"],
             "total_wall_clock_s": round(total, 4),
             "benches": [
                 {k: v for k, v in r.items() if k != "output"} for r in results

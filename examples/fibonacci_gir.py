@@ -14,10 +14,11 @@ them is hopeless, so the GIR solver instead
 Run:  python examples/fibonacci_gir.py
 """
 
-from repro.core import GIRSystem, modular_mul, run_gir, solve_gir
+from repro.core import GIRSystem, modular_mul, run_gir
 from repro.core.cap import cap_iterations, count_all_paths
 from repro.core.depgraph import build_dependence_graph
 from repro.core.traces import tree_sizes
+from repro.engine import solve
 
 
 def main() -> None:
@@ -53,7 +54,8 @@ def main() -> None:
     print("(the exponents are consecutive Fibonacci numbers)")
     print()
 
-    parallel, stats = solve_gir(system, collect_stats=True)
+    result = solve(system, collect_stats=True)
+    parallel, stats = result.values, result.stats
     sequential = run_gir(system)
     assert parallel == sequential
     print(f"GIR solver == sequential loop  "

@@ -19,7 +19,7 @@ Run:  python examples/livermore_hydro.py
 
 import numpy as np
 
-from repro.core import AffineRecurrence, run_moebius_sequential, solve_moebius
+from repro.core import AffineRecurrence
 from repro.livermore.data import kernel_inputs
 from repro.livermore.kernels import k23
 from repro.livermore.parallel import k23_parallel

@@ -30,11 +30,12 @@ and dispatches to a registered backend (``python``, ``numpy``,
 problem, :class:`repro.engine.Session` pins the plan and backend once
 and serves value vectors with no per-request planning.
 
-As of 1.1.0 the deprecated per-family wrappers (``solve_ordinary``,
-``solve_gir``, ``solve_moebius``, ``solve_ordinary_numpy``) are no
-longer re-exported here; they remain importable from
-:mod:`repro.core` for one more release.  See docs/API.md for the
-migration table.
+The deprecated per-family wrappers (``solve_ordinary``,
+``solve_gir``, ``solve_moebius``, ``solve_ordinary_numpy``, ...) are
+gone: the root re-exports were dropped in 1.1.0 and the
+:mod:`repro.core` shims in 1.2.0.  Importing one raises
+``AttributeError`` naming the :func:`repro.engine.solve` replacement;
+see docs/API.md for the migration table.
 
 Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.engine`
 (Problem -> Plan -> Executor pipeline + backend registry; see
@@ -104,7 +105,7 @@ from .resilience import (
     default_guard,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [name for name in dir() if not name.startswith("_")]
 
@@ -113,22 +114,18 @@ __all__ = [name for name in dir() if not name.startswith("_")]
 # module __getattr__ keeps the failure actionable -- an AttributeError
 # (so feature probes behave) that names the replacement.
 _REMOVED_SOLVERS = {
-    "solve_ordinary": "repro.solve(system)  # or repro.core.solve_ordinary",
-    "solve_ordinary_numpy": (
-        'repro.solve(system, backend="numpy")'
-        "  # or repro.core.solve_ordinary_numpy"
-    ),
-    "solve_gir": "repro.solve(system)  # or repro.core.solve_gir",
-    "solve_moebius": "repro.solve(rec)  # or repro.core.solve_moebius",
+    "solve_ordinary": "repro.solve(system)",
+    "solve_ordinary_numpy": 'repro.solve(system, backend="numpy")',
+    "solve_gir": "repro.solve(system)",
+    "solve_moebius": "repro.solve(rec)",
 }
 
 
 def __getattr__(name: str):
     if name in _REMOVED_SOLVERS:
         raise AttributeError(
-            f"repro.{name} was removed in 1.1.0; use "
-            f"{_REMOVED_SOLVERS[name]} -- the repro.core import keeps "
-            "the historical signature for one more release (see "
+            f"repro.{name} was removed in 1.1.0 (and the repro.core "
+            f"shim in 1.2.0); use {_REMOVED_SOLVERS[name]} (see "
             "docs/API.md)"
         )
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

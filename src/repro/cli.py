@@ -8,6 +8,8 @@ Small, dependency-free front door to the reproduction:
 * ``scan``    -- prefix-scan a list of numbers with a chosen operator;
 * ``solve``   -- solve an IR system stored as JSON (repro.core.serialize);
 * ``trace``   -- run any other command with observation enabled;
+* ``obs``     -- metrics tooling: ``serve`` (Prometheus endpoint),
+  ``top`` (terminal table), ``diff`` (snapshot deltas);
 * ``version`` -- package version (and the NumPy it runs on).
 
 Observability (see ``docs/OBSERVABILITY.md``): ``solve``, ``fig3`` and
@@ -216,6 +218,58 @@ def build_parser() -> argparse.ArgumentParser:
         nargs=argparse.REMAINDER,
         metavar="command ...",
         help="the repro command to run traced",
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="metrics tooling: Prometheus endpoint, terminal top, snapshot diff",
+        description=(
+            "Operate on metric snapshots (written by --metrics-json or "
+            "'repro trace --metrics-json'): 'repro obs serve --snapshot "
+            "m.json --port 9100' exposes Prometheus text format over "
+            "HTTP; 'repro obs top --snapshot m.json' prints a terminal "
+            "table (add --watch N to refresh); 'repro obs diff a.json "
+            "b.json' reports per-series deltas."
+        ),
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    serve = obs_sub.add_parser(
+        "serve", help="serve a snapshot as a Prometheus /metrics endpoint"
+    )
+    serve.add_argument(
+        "--snapshot",
+        required=True,
+        metavar="FILE",
+        help="metrics snapshot JSON (re-read on every scrape)",
+    )
+    serve.add_argument("--port", type=int, default=9100)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--prom-out",
+        metavar="FILE",
+        help="also write the exposition text here once and exit "
+        "(no HTTP server; for the node-exporter textfile collector)",
+    )
+    top = obs_sub.add_parser(
+        "top", help="terminal table of counters/gauges/histograms"
+    )
+    top.add_argument("--snapshot", required=True, metavar="FILE")
+    top.add_argument(
+        "--watch",
+        type=float,
+        metavar="SECONDS",
+        help="re-read the snapshot file and redraw every SECONDS",
+    )
+    diff = obs_sub.add_parser(
+        "diff", help="per-series delta between two metric snapshots"
+    )
+    diff.add_argument("before", metavar="BEFORE.json")
+    diff.add_argument("after", metavar="AFTER.json")
+    diff.add_argument(
+        "--all", action="store_true", help="include unchanged series"
+    )
+    diff.add_argument(
+        "--json", action="store_true", help="machine-readable delta rows"
     )
 
     return parser
@@ -513,6 +567,78 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_obs_serve(args: argparse.Namespace) -> int:
+    from .obs import prom
+
+    if not os.path.isfile(args.snapshot):
+        print(f"error: no such snapshot: {args.snapshot}", file=sys.stderr)
+        return 2
+    source = lambda: prom.load_snapshot_file(args.snapshot)  # noqa: E731
+    if args.prom_out:
+        error = _check_writable(args.prom_out)
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+        prom.write_prom_file(args.prom_out, source)
+        print(f"wrote {args.prom_out}", file=sys.stderr)
+        return 0
+    server = prom.serve_http(source, port=args.port, host=args.host)
+    host, port = server.server_address[:2]
+    print(f"serving metrics on http://{host}:{port}/metrics", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .obs import format_top
+    from .obs.prom import load_snapshot_file
+
+    if not os.path.isfile(args.snapshot):
+        print(f"error: no such snapshot: {args.snapshot}", file=sys.stderr)
+        return 2
+    while True:
+        try:
+            entries = load_snapshot_file(args.snapshot)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {args.snapshot}: {exc}", file=sys.stderr)
+            return 2
+        text = format_top(entries, title=f"repro obs top -- {args.snapshot}")
+        if args.watch:
+            print("\x1b[2J\x1b[H" + text, flush=True)  # clear + home
+            try:
+                _time.sleep(args.watch)
+            except KeyboardInterrupt:
+                return 0
+        else:
+            print(text)
+            return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from .obs import diff_snapshots, format_diff
+    from .obs.prom import load_snapshot_file
+
+    for path in (args.before, args.after):
+        if not os.path.isfile(path):
+            print(f"error: no such snapshot: {path}", file=sys.stderr)
+            return 2
+    rows = diff_snapshots(
+        load_snapshot_file(args.before), load_snapshot_file(args.after)
+    )
+    if args.json:
+        print(json.dumps(rows, indent=2, default=repr))
+    else:
+        print(format_diff(rows, include_unchanged=args.all))
+    return 0
+
+
 @contextlib.contextmanager
 def _observed_exports(args: argparse.Namespace) -> Iterator[None]:
     """Enable observation when ``--trace-out``/``--metrics-json`` were
@@ -542,6 +668,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_version()
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "obs":
+        if args.obs_command == "serve":
+            return _cmd_obs_serve(args)
+        if args.obs_command == "top":
+            return _cmd_obs_top(args)
+        return _cmd_obs_diff(args)
     with _observed_exports(args):
         if args.command == "census":
             return _cmd_census(args.n, args.json)
@@ -566,6 +698,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _dispatch(args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `repro obs top ... | head`);
+        # exit quietly like other line-oriented tools do
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     except ReproError as exc:
         # Structured failures exit with their taxonomy code (see
         # repro.errors); --json commands get the diagnosis as JSON.

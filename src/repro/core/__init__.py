@@ -36,7 +36,7 @@ from .equations import (
     as_index_array,
     normalize_non_distinct,
 )
-from .gir import GIRSolveStats, evaluate_trace_powers, solve_gir, trace_powers
+from .gir import GIRSolveStats, evaluate_trace_powers, trace_powers
 from .moebius import (
     AffineRecurrence,
     Mat2,
@@ -44,9 +44,6 @@ from .moebius import (
     moebius_compose,
     moebius_ir_operator,
     run_moebius_sequential,
-    solve_affine_numpy,
-    solve_moebius,
-    solve_rational_numpy,
 )
 from .operators import (
     ADD,
@@ -63,7 +60,7 @@ from .operators import (
     modular_add,
     modular_mul,
 )
-from .ordinary import SolveStats, solve_ordinary, solve_ordinary_numpy
+from .ordinary import SolveStats
 from .prefix import (
     exclusive_scan,
     lift_segmented,
@@ -111,3 +108,26 @@ from .traces import (
 )
 
 __all__ = [name for name in dir() if not name.startswith("_")]
+
+#: Deprecated per-family solver wrappers, removed in 1.2.0 after the
+#: 1.1.0 deprecation cycle.  The engine front door replaces all of
+#: them; the messages name the exact call.
+_REMOVED_SOLVERS = {
+    "solve_ordinary": 'repro.engine.solve(system, backend="python")',
+    "solve_ordinary_numpy": 'repro.engine.solve(system, backend="numpy")',
+    "solve_gir": "repro.engine.solve(system)",
+    "solve_moebius": "repro.engine.solve(rec)",
+    "solve_affine_numpy": 'repro.engine.solve(rec, options={"path": "affine"})',
+    "solve_rational_numpy": (
+        'repro.engine.solve(rec, options={"path": "rational"})'
+    ),
+}
+
+
+def __getattr__(name: str):
+    if name in _REMOVED_SOLVERS:
+        raise AttributeError(
+            f"repro.core.{name} was removed in repro 1.2.0; use "
+            f"{_REMOVED_SOLVERS[name]} instead (see docs/ARCHITECTURE.md)"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

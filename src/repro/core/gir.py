@@ -33,13 +33,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..resilience.policy import SolvePolicy
 from .cap import count_all_paths
 from .depgraph import build_dependence_graph
 from .equations import GIRSystem
 from .operators import Operator
 
-__all__ = ["GIRSolveStats", "solve_gir", "evaluate_trace_powers", "trace_powers"]
+__all__ = ["GIRSolveStats", "evaluate_trace_powers", "trace_powers"]
 
 
 @dataclass
@@ -119,57 +118,6 @@ def evaluate_trace_powers(
     return factors[0], power_ops, combine_ops
 
 
-def solve_gir(
-    system: GIRSystem,
-    *,
-    collect_stats: bool = False,
-    allow_rename: bool = True,
-    allow_ordinary_dispatch: bool = True,
-    policy: Optional[SolvePolicy] = None,
-    checked: bool = False,
-    check_sample: Optional[int] = 64,
-) -> Tuple[List[Any], Optional[GIRSolveStats]]:
-    """Solve a GIR system; returns ``(final_array, stats)``.
-
-    When ``g`` is non-distinct and ``allow_rename`` is set, the system
-    is first rewritten into an equivalent distinct-``g`` system and the
-    solution projected back onto the original cells.
-
-    When the system is *ordinary-shaped* (``h = g`` with distinct
-    ``g``) and ``allow_ordinary_dispatch`` is set, the cheaper
-    OrdinaryIR pointer-jumping solver is used instead -- which also
-    lifts the commutativity requirement, exactly as the paper's
-    section-2 special case does.  Set the flag to ``False`` to force
-    the CAP pipeline (tests do, to cross-check the two algorithms).
-
-    ``policy`` bounds the iteration loops (pointer jumping or CAP
-    doubling, whichever runs); ``checked=True`` differentially
-    verifies ``check_sample`` sampled cells against the sequential
-    baseline and raises :class:`~repro.errors.VerificationError` on
-    mismatch.
-
-    .. deprecated::
-        Use ``repro.engine.solve(system)`` -- which additionally
-        caches the DAG/CAP planning artifacts so repeated solves with
-        the same index maps skip straight to trace evaluation.
-    """
-    from ..engine import solve as engine_solve
-    from ..engine._deprecation import warn_once
-
-    warn_once("repro.core.gir.solve_gir", "repro.engine.solve(system)")
-    result = engine_solve(
-        system,
-        backend="numpy",
-        collect_stats=collect_stats,
-        allow_rename=allow_rename,
-        allow_ordinary_dispatch=allow_ordinary_dispatch,
-        policy=policy,
-        checked=checked,
-        check_sample=check_sample,
-    )
-    return result.values, result.stats
-
-
 def trace_powers(system: GIRSystem) -> List[Dict[int, int]]:
     """The power table of every iteration's trace.
 
@@ -182,3 +130,17 @@ def trace_powers(system: GIRSystem) -> List[Dict[int, int]]:
     graph = build_dependence_graph(system)
     cap = count_all_paths(graph)
     return [cap.powers_by_cell(graph, i) for i in range(system.n)]
+
+
+_REMOVED = {
+    "solve_gir": "repro.engine.solve(system)",
+}
+
+
+def __getattr__(name: str):
+    if name in _REMOVED:
+        raise AttributeError(
+            f"repro.core.gir.{name} was removed in repro 1.2.0; use "
+            f"{_REMOVED[name]} instead (see docs/ARCHITECTURE.md)"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

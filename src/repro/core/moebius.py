@@ -62,7 +62,6 @@ from typing import Any, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..resilience.guard import NumericGuard
-from ..resilience.policy import SolvePolicy
 from .equations import IRValidationError, as_index_array
 from .operators import Operator
 from .ordinary import SolveStats
@@ -74,9 +73,6 @@ __all__ = [
     "RationalRecurrence",
     "AffineRecurrence",
     "run_moebius_sequential",
-    "solve_moebius",
-    "solve_affine_numpy",
-    "solve_rational_numpy",
 ]
 
 Number = Union[int, float, Fraction]
@@ -446,172 +442,17 @@ def _exact_to_float(value: Number) -> Number:
     return value
 
 
-def solve_moebius(
-    rec: RationalRecurrence,
-    *,
-    collect_stats: bool = False,
-    engine: str = "auto",
-    guard: Any = "auto",
-    policy: Optional[SolvePolicy] = None,
-    checked: bool = False,
-    check_sample: Optional[int] = 64,
-) -> Tuple[List[Number], Optional[SolveStats]]:
-    """Solve the recurrence in parallel via the Moebius reduction.
-
-    Steps 1-3 of the paper's recipe: build coefficient matrices, run
-    OrdinaryIR over the matrix monoid, then evaluate the resulting
-    constant maps.  Cells never assigned keep their initial scalar
-    values.
-
-    ``engine`` selects the backend: ``"python"`` (pure-Python
-    reference), ``"numpy"`` (vectorized over Mat2 objects),
-    ``"affine"`` (the scalar-pair fast path, float affine recurrences
-    only -- bit-identical to the object engines and ~20x faster),
-    ``"rational"`` (the four-array fast path for float rational
-    recurrences), or ``"auto"`` (default: the best applicable fast
-    path, else ``"numpy"``).
-
-    ``guard`` controls the numeric-health degradation ladder.  The
-    default ``"auto"`` arms :func:`repro.resilience.default_guard` for
-    ``engine="auto"`` solves and leaves explicitly selected engines
-    unguarded (so their bit-level contracts hold); pass a
-    :class:`~repro.resilience.NumericGuard` to arm any engine, or
-    ``None`` to disable.  When the guard finds NaN (or Inf, if
-    configured fatal) in the result, the solve escalates: float64 fast
-    path -> exact ``Fraction`` object engine (when every scalar is
-    finite) -> the sequential baseline.  Trips and escalations are
-    counted in the obs registry (``resilience.guard.trips``,
-    ``resilience.escalations``).
-
-    ``policy`` bounds the solve (see
-    :class:`~repro.resilience.SolvePolicy`); ``checked=True``
-    differentially verifies ``check_sample`` cells against the
-    sequential baseline and raises
-    :class:`~repro.errors.VerificationError` on mismatch.
-
-    .. deprecated::
-        Use ``repro.engine.solve(rec)``; the ``engine`` parameter maps
-        onto the engine's backend + ``options={"path": ...}``.
-    """
-    from ..engine import solve as engine_solve
-    from ..engine._deprecation import warn_once
-
-    warn_once("repro.core.moebius.solve_moebius", "repro.engine.solve(rec)")
-    # Historical engine names -> (backend, numeric path): the object
-    # Mat2 path ran on either value engine; affine/rational are numpy
-    # fast paths; "auto" resolves per fast-path applicability.
-    backend = "python" if engine == "python" else "numpy"
-    path = {"auto": "auto", "numpy": "object", "python": "object"}.get(
-        engine, engine
-    )
-    result = engine_solve(
-        rec,
-        backend=backend,
-        collect_stats=collect_stats,
-        policy=policy,
-        checked=checked,
-        check_sample=check_sample,
-        options={"path": path, "guard": guard},
-    )
-    return result.values, result.stats
+_REMOVED = {
+    "solve_moebius": "repro.engine.solve(rec)",
+    "solve_affine_numpy": 'repro.engine.solve(rec, options={"path": "affine"})',
+    "solve_rational_numpy": 'repro.engine.solve(rec, options={"path": "rational"})',
+}
 
 
-def _cached_moebius_plan(rec: RationalRecurrence):
-    """Fetch (or build and cache) the shared pointer-jumping plan."""
-    from ..engine.exec_moebius import build_plan
-    from ..engine.planner import get_plan_cache
-    from ..engine.problem import Problem
-
-    problem = Problem.from_system(rec)
-    cache = get_plan_cache()
-    plan = cache.get(problem.fingerprint(), family="moebius")
-    if plan is None:
-        rec.validate()
-        plan = build_plan(rec, problem.fingerprint())
-        cache.put(problem.fingerprint(), plan)
-    return plan
-
-
-def solve_affine_numpy(
-    rec: RationalRecurrence,
-    *,
-    collect_stats: bool = False,
-    guard: Optional[NumericGuard] = None,
-    policy: Optional[SolvePolicy] = None,
-) -> Tuple[List[Number], Optional[SolveStats]]:
-    """Vectorized fast path for *affine* recurrences (``c = 0``).
-
-    Affine maps compose as scalar pairs -- ``(a2, b2) o (a1, b1) =
-    (a2*a1, a2*b1 + b2)`` -- so the whole pointer-jumping solve runs on
-    two float arrays with NumPy gathers, no per-element :class:`Mat2`
-    objects.  Constant maps are the ``a = 0`` pairs; the composition
-    masks them out explicitly so a constant's structural zero absorbs
-    even a non-finite partner (matching the exact ``odot`` rule
-    instead of IEEE's ``0 * inf = NaN``).
-
-    Requirements: every ``c[i] == 0`` and ``d[i] != 0`` (``d`` is
-    normalized away) and float-castable coefficients.  Produces
-    bit-identical results to the object engine on finite data -- the
-    arithmetic expressions are the same.
-
-    ``guard`` is accepted for interface symmetry (the affine
-    composition's degeneracy test -- ``a == 0`` -- is structural, so no
-    tolerance is needed); ``policy`` bounds the doubling loop.
-
-    .. deprecated::
-        Use ``repro.engine.solve(rec, options={"path": "affine"})``.
-        Unlike the engine entry point, this wrapper never runs the
-        guard's degradation ladder -- its historical contract.
-    """
-    from ..engine._deprecation import warn_once
-    from ..engine.exec_moebius import execute_affine
-
-    warn_once(
-        "repro.core.moebius.solve_affine_numpy",
-        'repro.engine.solve(rec, options={"path": "affine"})',
-    )
-    plan = _cached_moebius_plan(rec)
-    return execute_affine(
-        rec, plan, collect_stats=collect_stats, guard=guard, policy=policy
-    )
-
-
-def solve_rational_numpy(
-    rec: RationalRecurrence,
-    *,
-    collect_stats: bool = False,
-    guard: Optional[NumericGuard] = None,
-    policy: Optional[SolvePolicy] = None,
-) -> Tuple[List[Number], Optional[SolveStats]]:
-    """Vectorized engine for *rational* recurrences over floats.
-
-    Generalizes :func:`solve_affine_numpy` to the full 2x2 case: the
-    pointer-jumping state is four float arrays (one per matrix entry)
-    and the paper's ``odot`` degeneracy rule is applied with a
-    singularity mask.  Without a ``guard`` the mask is the exact
-    ``det == 0`` test the unguarded object engine performs, so results
-    are bit-identical on finite float data; with one, near-singular
-    drift is classified as constant via
-    :meth:`repro.resilience.NumericGuard.singular_mask` (matching the
-    guarded object engine).  Entry products use an absorbing-zero mask
-    so structural zeros wipe out non-finite partners, as in
-    :meth:`Mat2.matmul`.  Requires float-castable coefficients (exact
-    types keep the object engine).  ``policy`` bounds the doubling
-    loop.
-
-    .. deprecated::
-        Use ``repro.engine.solve(rec, options={"path": "rational"})``.
-        Unlike the engine entry point, this wrapper never runs the
-        guard's degradation ladder -- its historical contract.
-    """
-    from ..engine._deprecation import warn_once
-    from ..engine.exec_moebius import execute_rational
-
-    warn_once(
-        "repro.core.moebius.solve_rational_numpy",
-        'repro.engine.solve(rec, options={"path": "rational"})',
-    )
-    plan = _cached_moebius_plan(rec)
-    return execute_rational(
-        rec, plan, collect_stats=collect_stats, guard=guard, policy=policy
-    )
+def __getattr__(name: str):
+    if name in _REMOVED:
+        raise AttributeError(
+            f"repro.core.moebius.{name} was removed in repro 1.2.0; use "
+            f"{_REMOVED[name]} instead (see docs/ARCHITECTURE.md)"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -52,25 +52,25 @@ per-round value work:
   iteration-indexed arrays with NumPy fancy indexing, used for large
   ``n`` (the Fig-3 benchmark runs it at ``n = 50,000``).
 
-The historical entry points :func:`solve_ordinary` /
-:func:`solve_ordinary_numpy` remain as deprecated wrappers over
-:func:`repro.engine.solve`; they return the final array plus an
-optional :class:`SolveStats` record (rounds, per-round active counts)
-that the cost model consumes to charge SimParC-style instruction
-counts.
+The historical entry points ``solve_ordinary`` /
+``solve_ordinary_numpy`` were removed in 1.2.0 -- use
+:func:`repro.engine.solve` with ``backend="python"`` / ``"numpy"``.
+This module keeps the :class:`SolveStats` record (rounds, per-round
+active counts) that the cost model consumes to charge SimParC-style
+instruction counts, plus the sequential baseline the policy-fallback
+and differential-verification paths share.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional
 
 import numpy as np
 
-from ..resilience.policy import SolvePolicy
 from .equations import OrdinaryIRSystem
 
-__all__ = ["SolveStats", "solve_ordinary", "solve_ordinary_numpy"]
+__all__ = ["SolveStats"]
 
 NIL = np.int64(-1)
 
@@ -147,106 +147,18 @@ class SolveStats:
         return 1 + self.rounds
 
 
-def solve_ordinary(
-    system: OrdinaryIRSystem,
-    *,
-    collect_stats: bool = False,
-    max_rounds: Optional[int] = None,
-    f_initial: Optional[List[Any]] = None,
-    policy: Optional[SolvePolicy] = None,
-    checked: bool = False,
-    check_sample: Optional[int] = 64,
-) -> Tuple[List[Any], Optional[SolveStats]]:
-    """Pure-Python reference of the parallel OrdinaryIR algorithm.
+_REMOVED = {
+    "solve_ordinary": 'repro.engine.solve(system, backend="python")',
+    "solve_ordinary_numpy": 'repro.engine.solve(system, backend="numpy")',
+}
 
-    Executes the pointer-jumping rounds with explicit double buffering,
-    i.e. every round reads only the previous round's state -- exactly
-    the synchronous PRAM semantics.  Returns ``(final_array, stats)``;
-    ``stats`` is ``None`` unless ``collect_stats``.
 
-    ``max_rounds`` caps the number of rounds (used by tests probing
-    partial convergence); by default the solver runs until every
-    pointer is NIL, which provably happens within ``ceil(log2(n))``
-    rounds.
-
-    ``f_initial`` optionally supplies a *separate* array for the
-    ``f``-operand reads performed by chain terminals (the only place
-    the algorithm consumes ``A[f(i)]`` initial values).  The Moebius
-    reduction (:mod:`repro.core.moebius`) uses this to feed
-    constant-map matrices to terminals while chain cells contribute
-    coefficient matrices -- mirroring the paper's distinction between
-    ``f(i)^0`` initial-value nodes and final nodes.
-
-    ``policy`` bounds the doubling loop (iteration budget / wall-clock
-    timeout) with the :class:`~repro.resilience.SolvePolicy` exhaustion
-    behaviour: raise, fall back to the O(n) sequential baseline, or
-    return the current partial state.  ``checked=True`` differentially
-    verifies ``check_sample`` sampled cells against the sequential
-    baseline and raises :class:`~repro.errors.VerificationError` on
-    mismatch.
-
-    .. deprecated::
-        Use ``repro.engine.solve(system, backend="python")``.
-    """
-    from ..engine import solve as engine_solve
-    from ..engine._deprecation import warn_once
-
-    warn_once(
-        "repro.core.ordinary.solve_ordinary",
-        'repro.engine.solve(system, backend="python")',
+def __getattr__(name: str):
+    if name in _REMOVED:
+        raise AttributeError(
+            f"repro.core.ordinary.{name} was removed in repro 1.2.0; use "
+            f"{_REMOVED[name]} instead (see docs/ARCHITECTURE.md)"
+        )
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
     )
-    result = engine_solve(
-        system,
-        backend="python",
-        collect_stats=collect_stats,
-        max_rounds=max_rounds,
-        f_initial=f_initial,
-        policy=policy,
-        checked=checked,
-        check_sample=check_sample,
-    )
-    return result.values, result.stats
-
-
-def solve_ordinary_numpy(
-    system: OrdinaryIRSystem,
-    *,
-    collect_stats: bool = False,
-    f_initial: Optional[List[Any]] = None,
-    policy: Optional[SolvePolicy] = None,
-    checked: bool = False,
-    check_sample: Optional[int] = 64,
-) -> Tuple[List[Any], Optional[SolveStats]]:
-    """Vectorized engine for the same algorithm.
-
-    Uses iteration-indexed NumPy arrays; each round is a handful of
-    fancy-indexing operations over the active set.  When the operator
-    provides ``vector_fn``/``dtype`` the values live in a typed array;
-    otherwise an object array keeps arbitrary monoids working (at the
-    cost of Python-level dispatch inside NumPy).
-
-    Semantically identical to :func:`solve_ordinary`; tests assert
-    exact agreement (including per-round stats).  ``f_initial``,
-    ``policy``, ``checked``, ``check_sample`` as in
-    :func:`solve_ordinary`.
-
-    .. deprecated::
-        Use ``repro.engine.solve(system)`` (or ``backend="numpy"``).
-    """
-    from ..engine import solve as engine_solve
-    from ..engine._deprecation import warn_once
-
-    warn_once(
-        "repro.core.ordinary.solve_ordinary_numpy",
-        'repro.engine.solve(system, backend="numpy")',
-    )
-    result = engine_solve(
-        system,
-        backend="numpy",
-        collect_stats=collect_stats,
-        f_initial=f_initial,
-        policy=policy,
-        checked=checked,
-        check_sample=check_sample,
-    )
-    return result.values, result.stats

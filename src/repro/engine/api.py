@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..obs import get_registry
+from ..obs.recorder import record_event
 from .backends import Backend, ExecutionRequest, resolve_backend
 from .plan import Plan
 from .planner import PlanCache, get_plan_cache
@@ -169,7 +170,15 @@ def solve(
         max_rounds=max_rounds,
         options=dict(options or {}),
     )
+    record_event(
+        "solve.start",
+        family=problem.family,
+        backend=chosen.name,
+        n=problem.m,
+        cache_hit=cache_hit,
+    )
     values, stats, built_plan, metrics = chosen.execute(request)
+    record_event("solve.end", family=problem.family, backend=chosen.name)
 
     if (
         consulted

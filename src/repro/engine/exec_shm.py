@@ -39,7 +39,8 @@ import numpy as np
 from ..core.moebius import run_moebius_sequential
 from ..core.ordinary import SolveStats, _maybe_check, _sequential_baseline
 from ..errors import FaultError, IterationBudgetExceeded, SolveTimeoutError
-from ..obs import get_registry, get_tracer, maybe_span
+from ..obs import get_registry, get_tracer, maybe_span, merge_worker_snapshots
+from ..obs.recorder import record_event
 from .plan import MoebiusPlan, OrdinaryPlan
 from .shm_pool import (
     BARRIER_TIMEOUT_S,
@@ -109,7 +110,21 @@ def _drive(
             detail = "; ".join(e["message"] for e in outcome.errors)
             raise FaultError(f"shm worker raised: {detail}")
         dead = sorted(set(outcome.crashed + outcome.wedged))
+        # The failing round: crashed ranks die silently, but their
+        # siblings' broken-barrier replies say how far the sweep got.
+        rounds_reached = sorted(
+            {r for r in outcome.aborted_rounds.values() if r is not None}
+        )
+        record_event(
+            "shm.crash",
+            kind_of_job=job.get("kind"),
+            attempt=attempt,
+            crashed=dead,
+            aborted=sorted(outcome.aborted),
+            round=rounds_reached[-1] if rounds_reached else None,
+        )
         respawned = pool.repair()
+        record_event("worker.respawn", ranks=respawned, attempt=attempt)
         if registry is not None:
             registry.counter("engine.shm.respawns").inc(
                 max(len(respawned), 1)
@@ -129,6 +144,9 @@ def _observe_run(
     active_sizes: List[int],
     outcome: Optional[RunOutcome],
 ) -> None:
+    record_event(
+        "round", family=family, engine="shm", rounds=executed, workers=workers
+    )
     registry = get_registry()
     if registry is None:
         return
@@ -143,6 +161,9 @@ def _observe_run(
         wait_hist = registry.histogram("engine.shm.barrier_wait_s")
         for reply in outcome.replies.values():
             wait_hist.observe(reply["barrier_wait_s"])
+        # Fold the workers' own registries in: once per rank under
+        # proc=worker-N, once rolled up across the fleet.
+        merge_worker_snapshots(registry, outcome.worker_metrics)
 
 
 def _schedule_entry(pool: ShmWorkerPool, plan: OrdinaryPlan) -> Dict[str, Any]:
@@ -251,6 +272,7 @@ def execute_ordinary(
             "deadline": deadline,
             "barrier_timeout": BARRIER_TIMEOUT_S,
             "crash": crash,
+            "obs": get_registry() is not None,
         }
         outcome: Optional[RunOutcome] = None
         if rounds_to_run > 0:
@@ -421,6 +443,7 @@ def _execute_affine(
             "deadline": deadline,
             "barrier_timeout": BARRIER_TIMEOUT_S,
             "crash": crash,
+            "obs": get_registry() is not None,
         }
         outcome: Optional[RunOutcome] = None
         if rounds_to_run > 0:

@@ -29,6 +29,7 @@ your own executor for concurrent serving).
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..obs import get_registry
@@ -180,16 +181,22 @@ class Session:
             f_initial=f_initial,
             options=dict(self._options),
         )
+        registry = get_registry()
+        started = time.perf_counter() if registry is not None else 0.0
         out, stats, built_plan, metrics = self._backend.execute(request)
         if self._plan is None and built_plan is not None:
             self._plan = built_plan  # GIR: pin from the first solve
-        registry = get_registry()
         if registry is not None:
             registry.counter(
                 "engine.session.solves",
                 backend=self._backend.name,
                 family=self._problem.family,
             ).inc()
+            registry.histogram(
+                "engine.session.latency_s",
+                backend=self._backend.name,
+                family=self._problem.family,
+            ).observe(time.perf_counter() - started)
         return EngineResult(
             values=out,
             stats=stats,
@@ -224,12 +231,13 @@ class Session:
             check_sample=self._check_sample,
             options=dict(self._options),
         )
+        registry = get_registry()
+        started = time.perf_counter() if registry is not None else 0.0
         rows, built_plan = self._backend.execute_batch(
             request, batch_values, f_initial_batch
         )
         if self._plan is None and built_plan is not None:
             self._plan = built_plan
-        registry = get_registry()
         if registry is not None:
             registry.counter(
                 "engine.session.solves",
@@ -239,4 +247,9 @@ class Session:
             registry.counter(
                 "engine.session.batch.solves", backend=self._backend.name
             ).inc()
+            registry.histogram(
+                "engine.session.latency_s",
+                backend=self._backend.name,
+                family=self._problem.family,
+            ).observe(time.perf_counter() - started)
         return rows

@@ -125,13 +125,34 @@ def _shard(lo: int, hi: int, rank: int, nworkers: int) -> Tuple[int, int]:
     return lo + rank * size // nworkers, lo + (rank + 1) * size // nworkers
 
 
-def _run_job(rank: int, nworkers: int, barrier, job: Dict[str, Any]) -> Dict[str, Any]:
+def _run_job(
+    rank: int,
+    nworkers: int,
+    barrier,
+    job: Dict[str, Any],
+    progress: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     total = job["total"]
     offsets = job["offsets"]
     rounds = job["rounds"]
     deadline = job["deadline"]
     bt = job["barrier_timeout"]
     crash = job.get("crash")
+
+    # Per-worker telemetry: processes share nothing but the data plane,
+    # so each rank runs a private registry when the master asked for
+    # telemetry (job["obs"]) and ships the snapshot in its reply; the
+    # master folds replies via repro.obs.aggregate.  Disabled jobs skip
+    # every instrument call.
+    registry = None
+    wait_hist = rounds_counter = shard_gauge = None
+    if job.get("obs"):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        wait_hist = registry.histogram("engine.shm.worker.barrier_wait_s")
+        rounds_counter = registry.counter("engine.shm.worker.rounds")
+        shard_gauge = registry.gauge("engine.shm.worker.shard_cells")
 
     sched_a = _worker_array(job["sched_active"], total, "int64")
     sched_s = _worker_array(job["sched_src"], total, "int64")
@@ -154,11 +175,16 @@ def _run_job(rank: int, nworkers: int, barrier, job: Dict[str, Any]) -> Dict[str
     exhausted: Optional[str] = None
     with np.errstate(over="ignore", invalid="ignore"):
         for r in range(rounds):
+            if progress is not None:
+                progress["round"] = r
             if deadline is not None and time.time() >= deadline:
                 ctrl[CTRL_STOP] = 1
             t0 = time.perf_counter()
             barrier.wait(bt)  # round separator + stop-flag sync point
-            barrier_wait += time.perf_counter() - t0
+            wait = time.perf_counter() - t0
+            barrier_wait += wait
+            if wait_hist is not None:
+                wait_hist.observe(wait)
             if ctrl[CTRL_STOP]:
                 exhausted = "timeout"
                 break
@@ -171,26 +197,44 @@ def _run_job(rank: int, nworkers: int, barrier, job: Dict[str, Any]) -> Dict[str
                 ctrl[CTRL_CRASH] = 1
                 os._exit(1)  # simulate a hard worker crash
             lo, hi = _shard(offsets[r], offsets[r + 1], rank, nworkers)
+            if shard_gauge is not None:
+                shard_gauge.set(hi - lo)
             active = sched_a[lo:hi]
             src = sched_s[lo:hi]
             if kind == "ordinary":
                 scratch[active] = val[src]  # gather: pre-round state
                 t0 = time.perf_counter()
                 barrier.wait(bt)
-                barrier_wait += time.perf_counter() - t0
+                wait = time.perf_counter() - t0
+                barrier_wait += wait
+                if wait_hist is not None:
+                    wait_hist.observe(wait)
                 val[active] = vec(scratch[active], val[active])
             else:
                 sa[active] = a[src]
                 sb[active] = b[src]
                 t0 = time.perf_counter()
                 barrier.wait(bt)
-                barrier_wait += time.perf_counter() - t0
+                wait = time.perf_counter() - t0
+                barrier_wait += wait
+                if wait_hist is not None:
+                    wait_hist.observe(wait)
                 ao = a[active]
                 const = ao == 0.0  # constant maps absorb (the odot rule)
                 b[active] = np.where(const, b[active], ao * sb[active] + b[active])
                 a[active] = np.where(const, 0.0, ao * sa[active])
             done += 1
-    return {"rank": rank, "rounds": done, "barrier_wait_s": barrier_wait, "exhausted": exhausted}
+            if rounds_counter is not None:
+                rounds_counter.inc()
+    reply = {
+        "rank": rank,
+        "rounds": done,
+        "barrier_wait_s": barrier_wait,
+        "exhausted": exhausted,
+    }
+    if registry is not None:
+        reply["metrics"] = registry.snapshot()
+    return reply
 
 
 def _worker_main(rank: int, nworkers: int, barrier, conn) -> None:
@@ -202,10 +246,11 @@ def _worker_main(rank: int, nworkers: int, barrier, conn) -> None:
         if msg is None or msg[0] == "stop":
             return
         job = msg[1]
+        progress: Dict[str, Any] = {"round": None}
         try:
-            conn.send(("ok", _run_job(rank, nworkers, barrier, job)))
+            conn.send(("ok", _run_job(rank, nworkers, barrier, job, progress)))
         except threading.BrokenBarrierError:
-            conn.send(("aborted", {"rank": rank}))
+            conn.send(("aborted", {"rank": rank, "round": progress["round"]}))
         except Exception as exc:  # surfaced as a structured FaultError
             conn.send(("error", {"rank": rank, "message": repr(exc)}))
 
@@ -224,6 +269,9 @@ class RunOutcome:
     aborted: List[int] = field(default_factory=list)
     errors: List[Dict[str, Any]] = field(default_factory=list)
     wedged: List[int] = field(default_factory=list)
+    #: rank -> round the worker was in when its barrier broke (from
+    #: "aborted" replies); names the failing round in crash reports.
+    aborted_rounds: Dict[int, Optional[int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -239,6 +287,16 @@ class RunOutcome:
     @property
     def rounds(self) -> int:
         return max((r["rounds"] for r in self.replies.values()), default=0)
+
+    @property
+    def worker_metrics(self) -> Dict[int, List[Dict[str, Any]]]:
+        """Per-rank registry snapshots shipped in ``"ok"`` replies
+        (empty unless the job carried ``obs=True``)."""
+        return {
+            rank: reply["metrics"]
+            for rank, reply in self.replies.items()
+            if reply.get("metrics")
+        }
 
 
 class ShmWorkerPool:
@@ -436,6 +494,7 @@ class ShmWorkerPool:
             outcome.replies[rank] = payload
         elif kind == "aborted":
             outcome.aborted.append(rank)
+            outcome.aborted_rounds[rank] = payload.get("round")
         else:
             outcome.errors.append(payload)
 

@@ -48,10 +48,28 @@ __all__ = [
 
 
 class ReproError(Exception):
-    """Base class of all structured failures raised by this library."""
+    """Base class of all structured failures raised by this library.
+
+    Construction notifies the always-on flight recorder
+    (:mod:`repro.obs.recorder`): the error is buffered alongside the
+    events leading up to it, and -- when a crash-dump directory is
+    configured -- a crash-report JSON is written for the structured
+    exit codes (3-7).  ``crash_report_path`` holds the report's path
+    when one was written.
+    """
 
     exit_code: int = 1
     category: str = "generic"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.crash_report_path: Optional[str] = None
+        try:
+            from repro.obs.recorder import on_structured_error
+
+            self.crash_report_path = on_structured_error(self)
+        except Exception:  # telemetry must never mask the real failure
+            pass
 
     def diagnosis(self) -> Dict[str, Any]:
         """Machine-readable description of the failure (CLI ``--json``

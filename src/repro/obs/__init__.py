@@ -26,7 +26,7 @@ installed tracer/registry::
 Users switch it on around a region::
 
     with obs.observed() as (tracer, registry):
-        solve_ordinary_numpy(system)
+        solve(system, backend="numpy")
     print(obs.tree_summary(tracer, registry))
 
 or process-wide with :func:`enable` / :func:`disable` (the CLI's
@@ -39,6 +39,7 @@ import contextlib
 import threading
 from typing import Iterator, Optional, Tuple
 
+from .aggregate import merge_snapshot, merge_worker_snapshots
 from .export import (
     SCHEMA_VERSION,
     SchemaError,
@@ -50,31 +51,61 @@ from .export import (
     write_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .prom import (
+    PromFileWriter,
+    load_snapshot_file,
+    serve_http,
+    to_prometheus,
+    write_prom_file,
+)
+from .recorder import (
+    FlightRecorder,
+    configure as configure_recorder,
+    get_recorder,
+    on_structured_error,
+    record_event,
+)
+from .top import diff_snapshots, format_diff, format_top
 from .tracer import Span, Tracer, traced
 
 __all__ = [
     "SCHEMA_VERSION",
     "SchemaError",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PromFileWriter",
     "Span",
     "Tracer",
     "traced",
+    "configure_recorder",
+    "diff_snapshots",
     "enable",
     "disable",
+    "format_diff",
+    "format_top",
+    "get_recorder",
     "get_tracer",
     "get_registry",
     "is_enabled",
+    "load_snapshot_file",
     "maybe_span",
+    "merge_snapshot",
+    "merge_worker_snapshots",
     "observed",
+    "on_structured_error",
+    "record_event",
+    "serve_http",
     "to_chrome_trace",
+    "to_prometheus",
     "tree_summary",
     "validate_event",
     "validate_jsonl",
     "write_chrome_trace",
     "write_jsonl",
+    "write_prom_file",
 ]
 
 _install_lock = threading.Lock()

@@ -1,0 +1,90 @@
+"""Cross-process metric aggregation.
+
+The ``shm`` backend's workers each run a private
+:class:`~repro.obs.metrics.MetricsRegistry` (processes share nothing
+but the data plane), snapshot it at job end, and ship the snapshot
+back over the existing result channel.  This module is the
+master-side fold: :func:`merge_snapshot` replays one worker's
+snapshot into a registry, applying per-kind semantics --
+
+=========  ==========================================================
+counter    values sum
+gauge      last write wins (wall-clock ``ts``, value tie-break), so
+           the result is independent of merge order; min/max span
+           both operands, update counts sum
+histogram  bucket-wise count sum; count/sum/min/max/window combine
+           exactly
+=========  ==========================================================
+
+All three operations are associative and commutative over snapshots,
+so merging worker replies in arrival order equals merging them in
+rank order (property-tested in ``tests/obs/test_aggregate.py``).
+
+:func:`merge_worker_snapshots` is the shm driver's entry point: each
+worker's series land twice, once under an extra ``proc=worker-N``
+label (straggler visibility) and once rolled up without it (fleet
+totals).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = ["merge_snapshot", "merge_worker_snapshots"]
+
+_KIND_ACCESSOR = {
+    "counter": "counter",
+    "gauge": "gauge",
+    "histogram": "histogram",
+}
+
+
+def merge_snapshot(
+    registry: MetricsRegistry,
+    snapshot: Iterable[Dict[str, Any]],
+    *,
+    extra_labels: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Fold one registry snapshot (``MetricsRegistry.snapshot()``
+    output) into ``registry``; returns the number of series merged.
+
+    ``extra_labels`` are added to every merged series' label set --
+    the shm driver passes ``{"proc": "worker-3"}`` to keep one
+    worker's telemetry distinguishable after the fold.  Unknown kinds
+    are skipped rather than raised: a newer worker build must not
+    crash an older master.
+    """
+    merged = 0
+    for entry in snapshot:
+        accessor = _KIND_ACCESSOR.get(entry.get("kind"))
+        if accessor is None:
+            continue
+        labels = dict(entry.get("labels", {}))
+        if extra_labels:
+            labels.update(extra_labels)
+        instrument = getattr(registry, accessor)(entry["name"], **labels)
+        instrument.merge(entry)
+        merged += 1
+    return merged
+
+
+def merge_worker_snapshots(
+    registry: MetricsRegistry,
+    snapshots: Dict[int, List[Dict[str, Any]]],
+) -> int:
+    """Fold per-rank worker snapshots into the master registry.
+
+    Each series is recorded twice: labeled ``proc=worker-<rank>`` and
+    rolled up across the fleet.  Returns total series merged
+    (counting both projections).
+    """
+    merged = 0
+    for rank in sorted(snapshots):
+        snapshot = snapshots[rank]
+        merged += merge_snapshot(
+            registry, snapshot, extra_labels={"proc": f"worker-{rank}"}
+        )
+        merged += merge_snapshot(registry, snapshot)
+    return merged

@@ -259,24 +259,38 @@ def write_chrome_trace(
 # ---------------------------------------------------------------------------
 
 
-def _format_attrs(attrs: Dict[str, Any]) -> str:
+def _format_attrs(attrs: Dict[str, Any], *, max_attr_len: int = 80) -> str:
     if not attrs:
         return ""
-    inner = ", ".join(f"{k}={v}" for k, v in _clean_attrs(attrs).items())
-    return f"  [{inner}]"
+    parts = []
+    for k, v in _clean_attrs(attrs).items():
+        text = str(v)
+        if len(text) > max_attr_len:
+            text = text[: max_attr_len - 3] + "..."
+        parts.append(f"{k}={text}")
+    return f"  [{', '.join(parts)}]"
 
 
 def _summarize_span(
-    span: Span, lines: List[str], prefix: str, *, max_children: int
+    span: Span,
+    lines: List[str],
+    prefix: str,
+    *,
+    max_children: int,
+    max_attr_len: int,
 ) -> None:
     lines.append(
         f"{prefix}{span.name}  {span.duration * 1e3:.3f} ms"
-        f"{_format_attrs(span.attributes)}"
+        f"{_format_attrs(span.attributes, max_attr_len=max_attr_len)}"
     )
     shown = span.children[:max_children]
     for child in shown:
         _summarize_span(
-            child, lines, prefix + "  ", max_children=max_children
+            child,
+            lines,
+            prefix + "  ",
+            max_children=max_children,
+            max_attr_len=max_attr_len,
         )
     hidden = len(span.children) - len(shown)
     if hidden > 0:
@@ -288,15 +302,24 @@ def tree_summary(
     registry: Optional[MetricsRegistry] = None,
     *,
     max_children: int = 32,
+    max_attr_len: int = 80,
 ) -> str:
     """Indented span tree plus a metrics table -- the ``repro trace``
-    terminal report."""
+    terminal report.  Attribute values longer than ``max_attr_len``
+    characters are truncated with an ellipsis so one oversized repr
+    cannot wreck the report's layout."""
     lines: List[str] = []
     if tracer is not None:
         roots = tracer.roots()
         lines.append(f"trace: {len(roots)} root span(s)")
         for root in roots:
-            _summarize_span(root, lines, "  ", max_children=max_children)
+            _summarize_span(
+                root,
+                lines,
+                "  ",
+                max_children=max_children,
+                max_attr_len=max_attr_len,
+            )
     if registry is not None:
         entries = registry.snapshot()
         if entries:

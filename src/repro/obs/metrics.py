@@ -13,21 +13,73 @@ fetches them via :func:`repro.obs.get_registry` and skips everything
 when no registry is installed.  :meth:`MetricsRegistry.snapshot`
 produces the JSON-able structure the exporters and the bench harness
 (``BENCH_results.json``) persist.
+
+v2 additions (the serving-telemetry layer):
+
+* :meth:`Histogram.percentile` -- bucket-bounded quantile estimates
+  (p50/p99 latencies) from the fixed log2 bucket ladder, which now
+  extends below 1.0 so sub-second latencies resolve;
+* windowed min/max/sum/count on histograms
+  (:meth:`Histogram.window` / :meth:`Histogram.reset_window`) for
+  "since the last scrape" views;
+* every instrument knows how to :meth:`~Counter.merge` a snapshot
+  entry produced by another registry -- the cross-process aggregation
+  primitive (:mod:`repro.obs.aggregate`) the ``shm`` workers use to
+  ship their telemetry back to the master.  Merge semantics per kind:
+  counters sum, gauges keep the latest write (wall-clock ``ts``
+  tie-broken by value, so merging is order-insensitive), histograms
+  merge bucket-wise.
 """
 
 from __future__ import annotations
 
+import math
 import threading
+import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "series_key"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "series_key",
+    "bucket_bound",
+    "MIN_BUCKET_BOUND",
+]
 
 LabelSet = Tuple[Tuple[str, Any], ...]
+
+#: Smallest histogram bucket upper bound (2**-20, ~1 microsecond when
+#: observations are seconds); everything at or below lands here.
+MIN_BUCKET_BOUND = 2.0 ** -20
 
 
 def series_key(name: str, labels: Dict[str, Any]) -> Tuple[str, LabelSet]:
     """Canonical dictionary key of one labeled series."""
     return name, tuple(sorted(labels.items()))
+
+
+def bucket_bound(value: float):
+    """The log2-ladder bucket upper bound containing ``value``.
+
+    Bounds are ``..., 0.25, 0.5, 1, 2, 4, ...`` -- integers at and
+    above 1 (so historical integer-valued series keep their exact
+    bucket keys) and floats below.  Values at or below
+    :data:`MIN_BUCKET_BOUND` (including zero and negatives) collapse
+    into the bottom bucket.
+    """
+    if value <= MIN_BUCKET_BOUND:
+        return MIN_BUCKET_BOUND
+    if value > 0.5:
+        bound = 1
+        while bound < value:
+            bound <<= 1
+        return bound
+    bound = 0.5
+    while bound / 2 >= value:
+        bound /= 2
+    return bound
 
 
 class Counter:
@@ -46,16 +98,26 @@ class Counter:
             raise ValueError("counters only go up; use a gauge")
         self.value += amount
 
+    def merge(self, data: Dict[str, Any]) -> None:
+        """Fold another registry's snapshot of this series in (sum)."""
+        self.value += data["value"]
+
     def snapshot(self) -> Dict[str, Any]:
         return {"value": self.value}
 
 
 class Gauge:
     """Last-written value plus its observed range (live edges, active
-    processors)."""
+    processors).
+
+    ``ts`` is the wall-clock time of the last :meth:`set`; merging two
+    gauge snapshots keeps the write with the larger ``(ts, value)``
+    key, so cross-process "last write wins" is deterministic and
+    order-insensitive.
+    """
 
     kind = "gauge"
-    __slots__ = ("name", "labels", "value", "min", "max", "updates")
+    __slots__ = ("name", "labels", "value", "min", "max", "updates", "ts")
 
     def __init__(self, name: str, labels: Dict[str, Any]) -> None:
         self.name = name
@@ -64,12 +126,30 @@ class Gauge:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.updates: int = 0
+        self.ts: Optional[float] = None
 
     def set(self, value: float) -> None:
         self.value = value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
         self.updates += 1
+        self.ts = time.time()
+
+    def merge(self, data: Dict[str, Any]) -> None:
+        """Fold another registry's snapshot in (latest write wins)."""
+        if not data.get("updates"):
+            return
+        their_key = (data.get("ts") or 0.0, data["value"])
+        mine_key = None if self.updates == 0 else (self.ts or 0.0, self.value)
+        if mine_key is None or their_key >= mine_key:
+            self.value = data["value"]
+            self.ts = data.get("ts")
+        lo, hi = data.get("min"), data.get("max")
+        if lo is not None:
+            self.min = lo if self.min is None else min(self.min, lo)
+        if hi is not None:
+            self.max = hi if self.max is None else max(self.max, hi)
+        self.updates += data["updates"]
 
     def snapshot(self) -> Dict[str, Any]:
         return {
@@ -77,20 +157,35 @@ class Gauge:
             "min": self.min,
             "max": self.max,
             "updates": self.updates,
+            "ts": self.ts,
         }
 
 
 class Histogram:
-    """Distribution summary with power-of-two buckets.
+    """Distribution summary with fixed log2 buckets.
 
-    Tracks count/sum/min/max exactly and a coarse shape via bucket
-    upper bounds ``1, 2, 4, ...`` -- enough to see whether per-round
-    active counts halve geometrically (they should) without storing
-    every observation.
+    Tracks count/sum/min/max exactly and the distribution's shape via
+    power-of-two bucket upper bounds ``..., 0.25, 0.5, 1, 2, 4, ...``
+    -- enough to answer :meth:`percentile` queries to within one
+    bucket (a factor of 2) without storing observations.  A secondary
+    *window* accumulator (count/sum/min/max since the last
+    :meth:`reset_window`) gives "recent" views for live exporters.
     """
 
     kind = "histogram"
-    __slots__ = ("name", "labels", "count", "sum", "min", "max", "buckets")
+    __slots__ = (
+        "name",
+        "labels",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "buckets",
+        "window_count",
+        "window_sum",
+        "window_min",
+        "window_max",
+    )
 
     def __init__(self, name: str, labels: Dict[str, Any]) -> None:
         self.name = name
@@ -99,21 +194,100 @@ class Histogram:
         self.sum: float = 0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
-        self.buckets: Dict[int, int] = {}  # upper bound (2^k) -> count
+        self.buckets: Dict[Any, int] = {}  # upper bound (2^k) -> count
+        self.window_count: int = 0
+        self.window_sum: float = 0
+        self.window_min: Optional[float] = None
+        self.window_max: Optional[float] = None
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.sum += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
-        bound = 1
-        while bound < value:
-            bound <<= 1
+        bound = bucket_bound(value)
         self.buckets[bound] = self.buckets.get(bound, 0) + 1
+        self.window_count += 1
+        self.window_sum += value
+        self.window_min = (
+            value if self.window_min is None else min(self.window_min, value)
+        )
+        self.window_max = (
+            value if self.window_max is None else max(self.window_max, value)
+        )
 
     @property
     def mean(self) -> Optional[float]:
         return self.sum / self.count if self.count else None
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Bucket-bounded estimate of the ``q``-quantile (``0..1``).
+
+        Walks the bucket ladder to the bucket holding the
+        nearest-rank sample (rank ``ceil(q * count)``) and returns its
+        upper bound clamped to the observed ``[min, max]`` -- so the
+        estimate always lies in the same log2 bucket as the true
+        sorted-sample quantile (within a factor of 2).  ``None`` when
+        nothing was observed.
+        """
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        if q == 0:
+            return self.min
+        rank = math.ceil(q * self.count)
+        cum = 0
+        for bound, n in sorted(self.buckets.items()):
+            cum += n
+            if cum >= rank:
+                return min(max(float(bound), self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count always hits
+
+    def window(self) -> Dict[str, Any]:
+        """Count/sum/min/max accumulated since :meth:`reset_window`."""
+        return {
+            "count": self.window_count,
+            "sum": self.window_sum,
+            "min": self.window_min,
+            "max": self.window_max,
+        }
+
+    def reset_window(self) -> None:
+        self.window_count = 0
+        self.window_sum = 0
+        self.window_min = None
+        self.window_max = None
+
+    def merge(self, data: Dict[str, Any]) -> None:
+        """Fold another registry's snapshot in (bucket-wise sum)."""
+        self.count += data["count"]
+        self.sum += data["sum"]
+        lo, hi = data.get("min"), data.get("max")
+        if lo is not None:
+            self.min = lo if self.min is None else min(self.min, lo)
+        if hi is not None:
+            self.max = hi if self.max is None else max(self.max, hi)
+        for key, n in data.get("buckets", {}).items():
+            bound = float(key)
+            if bound >= 1 and bound == int(bound):
+                bound = int(bound)
+            self.buckets[bound] = self.buckets.get(bound, 0) + n
+        win = data.get("window")
+        if win and win.get("count"):
+            self.window_count += win["count"]
+            self.window_sum += win["sum"]
+            wlo, whi = win.get("min"), win.get("max")
+            if wlo is not None:
+                self.window_min = (
+                    wlo if self.window_min is None
+                    else min(self.window_min, wlo)
+                )
+            if whi is not None:
+                self.window_max = (
+                    whi if self.window_max is None
+                    else max(self.window_max, whi)
+                )
 
     def snapshot(self) -> Dict[str, Any]:
         return {
@@ -122,7 +296,10 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(0.5),
+            "p99": self.percentile(0.99),
             "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+            "window": self.window(),
         }
 
 

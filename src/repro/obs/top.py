@@ -1,0 +1,174 @@
+"""Terminal tooling over metric snapshots: ``repro obs top`` / ``diff``.
+
+Both operate on the JSON snapshot structure
+(:meth:`MetricsRegistry.snapshot`, or a ``{"metrics": [...]}``
+wrapper as written by ``--metrics-json``), so they work on live
+registries and on files a finished run left behind.
+
+* :func:`format_top` -- one aligned table: counters with totals,
+  gauges with last/min/max, histograms with count/mean/p50/p99/max.
+  ``repro obs top --watch`` redraws it from the snapshot file every
+  interval, which is all the "live" a single-node fleet needs.
+* :func:`diff_snapshots` -- per-series delta between two snapshots
+  (counter/count deltas, gauge value changes, added/removed series);
+  ``repro obs diff before.json after.json`` prints it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["format_top", "diff_snapshots", "format_diff"]
+
+
+def _series_id(entry: Dict[str, Any]) -> Tuple[str, Tuple[Tuple[str, Any], ...]]:
+    return entry["name"], tuple(sorted(entry.get("labels", {}).items()))
+
+
+def _label_text(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_top(entries: Iterable[Dict[str, Any]], *, title: str = "") -> str:
+    """The ``repro obs top`` table for one snapshot."""
+    counters: List[Dict[str, Any]] = []
+    gauges: List[Dict[str, Any]] = []
+    histograms: List[Dict[str, Any]] = []
+    for entry in entries:
+        {"counter": counters, "gauge": gauges, "histogram": histograms}.get(
+            entry.get("kind"), []
+        ).append(entry)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    total = len(counters) + len(gauges) + len(histograms)
+    lines.append(
+        f"{total} series ({len(counters)} counters, {len(gauges)} gauges, "
+        f"{len(histograms)} histograms)"
+    )
+    if histograms:
+        lines.append("")
+        lines.append(
+            f"  {'HISTOGRAM':<44} {'COUNT':>8} {'MEAN':>10} "
+            f"{'P50':>10} {'P99':>10} {'MAX':>10}"
+        )
+        for entry in histograms:
+            name = entry["name"] + _label_text(entry.get("labels", {}))
+            lines.append(
+                f"  {name:<44} {entry.get('count', 0):>8} "
+                f"{_fmt(entry.get('mean')):>10} {_fmt(entry.get('p50')):>10} "
+                f"{_fmt(entry.get('p99')):>10} {_fmt(entry.get('max')):>10}"
+            )
+    if counters:
+        lines.append("")
+        lines.append(f"  {'COUNTER':<44} {'TOTAL':>12}")
+        for entry in counters:
+            name = entry["name"] + _label_text(entry.get("labels", {}))
+            lines.append(f"  {name:<44} {_fmt(entry.get('value')):>12}")
+    if gauges:
+        lines.append("")
+        lines.append(
+            f"  {'GAUGE':<44} {'LAST':>10} {'MIN':>10} {'MAX':>10}"
+        )
+        for entry in gauges:
+            name = entry["name"] + _label_text(entry.get("labels", {}))
+            lines.append(
+                f"  {name:<44} {_fmt(entry.get('value')):>10} "
+                f"{_fmt(entry.get('min')):>10} {_fmt(entry.get('max')):>10}"
+            )
+    return "\n".join(lines)
+
+
+def diff_snapshots(
+    before: Iterable[Dict[str, Any]],
+    after: Iterable[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Structured per-series deltas between two snapshots.
+
+    Each row: ``{"name", "labels", "kind", "status", ...}`` where
+    ``status`` is ``added``/``removed``/``changed``/``unchanged``;
+    counters and histograms carry numeric ``delta`` fields, gauges the
+    before/after values.
+    """
+    a = {_series_id(e): e for e in before}
+    b = {_series_id(e): e for e in after}
+    rows: List[Dict[str, Any]] = []
+    for key in sorted(set(a) | set(b)):
+        old, new = a.get(key), b.get(key)
+        entry = new if new is not None else old
+        row: Dict[str, Any] = {
+            "name": entry["name"],
+            "labels": dict(entry.get("labels", {})),
+            "kind": entry.get("kind"),
+        }
+        if old is None:
+            row["status"] = "added"
+            if entry.get("kind") == "counter":
+                row["delta"] = entry.get("value")
+            elif entry.get("kind") == "histogram":
+                row["delta"] = entry.get("count")
+        elif new is None:
+            row["status"] = "removed"
+        elif entry.get("kind") == "counter":
+            delta = new.get("value", 0) - old.get("value", 0)
+            row["status"] = "changed" if delta else "unchanged"
+            row["delta"] = delta
+        elif entry.get("kind") == "histogram":
+            dcount = new.get("count", 0) - old.get("count", 0)
+            row["status"] = "changed" if dcount else "unchanged"
+            row["delta"] = dcount
+            row["delta_sum"] = new.get("sum", 0) - old.get("sum", 0)
+            row["p50"] = new.get("p50")
+            row["p99"] = new.get("p99")
+        else:  # gauge
+            changed = new.get("value") != old.get("value")
+            row["status"] = "changed" if changed else "unchanged"
+            row["before"] = old.get("value")
+            row["after"] = new.get("value")
+        rows.append(row)
+    return rows
+
+
+def format_diff(
+    rows: List[Dict[str, Any]], *, include_unchanged: bool = False
+) -> str:
+    """Human-readable rendering of :func:`diff_snapshots` rows."""
+    lines: List[str] = []
+    shown = 0
+    for row in rows:
+        if row["status"] == "unchanged" and not include_unchanged:
+            continue
+        shown += 1
+        name = row["name"] + _label_text(row["labels"])
+        if row["status"] == "added":
+            detail = "added"
+            if row.get("delta") is not None:
+                detail += f" (+{_fmt(row['delta'])})"
+        elif row["status"] == "removed":
+            detail = "removed"
+        elif row["kind"] == "counter":
+            detail = f"+{_fmt(row['delta'])}"
+        elif row["kind"] == "histogram":
+            detail = (
+                f"+{row['delta']} obs, sum +{_fmt(row['delta_sum'])}, "
+                f"p50 {_fmt(row.get('p50'))}, p99 {_fmt(row.get('p99'))}"
+            )
+        else:
+            detail = f"{_fmt(row['before'])} -> {_fmt(row['after'])}"
+        lines.append(f"  {row['kind']:<9} {name:<44} {detail}")
+    header = f"{shown} series changed" if not include_unchanged else (
+        f"{len(rows)} series"
+    )
+    return "\n".join([header] + lines)

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import FaultError
+from ..obs.recorder import record_event
 
 __all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan"]
 
@@ -199,7 +200,14 @@ class FaultPlan:
         return name, index, value
 
     def record_injection(self, event: FaultEvent, detail: Dict[str, Any]) -> None:
-        self.injected.append({**event.to_dict(), **detail})
+        entry = {**event.to_dict(), **detail}
+        scalars = {
+            ("fault_kind" if k in ("kind", "ts", "seq") else k): v
+            for k, v in entry.items()
+            if isinstance(v, (str, int, float, bool))
+        }
+        record_event("fault.injected", **scalars)
+        self.injected.append(entry)
 
     # -- serialization ----------------------------------------------------
 

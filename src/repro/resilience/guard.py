@@ -30,6 +30,7 @@ from typing import Any, Dict, Iterable, List, Optional
 import numpy as np
 
 from ..obs import get_registry
+from ..obs.recorder import record_event
 
 __all__ = ["GuardReport", "NumericGuard", "default_guard"]
 
@@ -160,7 +161,9 @@ class NumericGuard:
 
     def record_trip(self, *, kind: str, engine: str) -> None:
         """Count a guard trip in the obs registry (no-op when
-        observation is off)."""
+        observation is off) and buffer it in the flight recorder
+        (always on)."""
+        record_event("guard.trip", guard_kind=kind, engine=engine)
         registry = get_registry()
         if registry is not None:
             registry.counter(
@@ -169,6 +172,7 @@ class NumericGuard:
 
     def record_escalation(self, *, source: str, target: str) -> None:
         """Count a ladder escalation ``source -> target`` engine."""
+        record_event("guard.escalation", source=source, target=target)
         registry = get_registry()
         if registry is not None:
             registry.counter(

@@ -34,6 +34,7 @@ from typing import Optional
 
 from ..errors import IterationBudgetExceeded, SolveTimeoutError
 from ..obs import get_registry
+from ..obs.recorder import record_event
 
 __all__ = ["SolvePolicy", "PolicyEnforcer"]
 
@@ -87,6 +88,12 @@ class PolicyEnforcer:
 
     def _record(self, reason: str) -> None:
         self.exhausted = reason
+        record_event(
+            "policy.exhausted",
+            label=self.label,
+            reason=reason,
+            rounds=self.rounds,
+        )
         registry = get_registry()
         if registry is not None:
             registry.counter(

@@ -1,0 +1,177 @@
+"""Historical per-family solver signatures for the test suite.
+
+The ``repro.core.{solve_ordinary,solve_gir,solve_moebius,...}`` shims
+were removed in repro 1.2.0; the engine front door
+(:func:`repro.engine.solve`) is the only public entry point.  Many
+tests, however, exercise the *algorithms* rather than the API surface,
+and predate the engine -- rewriting hundreds of call sites would churn
+them for no coverage gain.  This module re-creates the old signatures
+as thin delegations onto the engine, with the exact semantics the
+shims had:
+
+* ``solve_ordinary`` / ``solve_ordinary_numpy`` pin the python/numpy
+  backend respectively;
+* ``solve_gir`` runs the numpy backend with the historical
+  rename/dispatch knobs;
+* ``solve_moebius`` maps the historical ``engine=`` names onto the
+  engine's backend + ``options={"path": ...}``;
+* ``solve_affine_numpy`` / ``solve_rational_numpy`` call the fast-path
+  executors *directly* (plan-cached, never the guard's degradation
+  ladder) -- their historical bit-level contract.
+
+All return ``(values, stats)`` tuples like the originals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.engine import solve as engine_solve
+
+__all__ = [
+    "solve_ordinary",
+    "solve_ordinary_numpy",
+    "solve_gir",
+    "solve_moebius",
+    "solve_affine_numpy",
+    "solve_rational_numpy",
+]
+
+
+def solve_ordinary(
+    system,
+    *,
+    collect_stats: bool = False,
+    max_rounds: Optional[int] = None,
+    f_initial: Optional[List[Any]] = None,
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
+) -> Tuple[List[Any], Any]:
+    result = engine_solve(
+        system,
+        backend="python",
+        collect_stats=collect_stats,
+        max_rounds=max_rounds,
+        f_initial=f_initial,
+        policy=policy,
+        checked=checked,
+        check_sample=check_sample,
+    )
+    return result.values, result.stats
+
+
+def solve_ordinary_numpy(
+    system,
+    *,
+    collect_stats: bool = False,
+    f_initial: Optional[List[Any]] = None,
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
+) -> Tuple[List[Any], Any]:
+    result = engine_solve(
+        system,
+        backend="numpy",
+        collect_stats=collect_stats,
+        f_initial=f_initial,
+        policy=policy,
+        checked=checked,
+        check_sample=check_sample,
+    )
+    return result.values, result.stats
+
+
+def solve_gir(
+    system,
+    *,
+    collect_stats: bool = False,
+    allow_rename: bool = True,
+    allow_ordinary_dispatch: bool = True,
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
+) -> Tuple[List[Any], Any]:
+    result = engine_solve(
+        system,
+        backend="numpy",
+        collect_stats=collect_stats,
+        allow_rename=allow_rename,
+        allow_ordinary_dispatch=allow_ordinary_dispatch,
+        policy=policy,
+        checked=checked,
+        check_sample=check_sample,
+    )
+    return result.values, result.stats
+
+
+def solve_moebius(
+    rec,
+    *,
+    collect_stats: bool = False,
+    engine: str = "auto",
+    guard: Any = "auto",
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
+) -> Tuple[List[Any], Any]:
+    backend = "python" if engine == "python" else "numpy"
+    path = {"auto": "auto", "numpy": "object", "python": "object"}.get(
+        engine, engine
+    )
+    result = engine_solve(
+        rec,
+        backend=backend,
+        collect_stats=collect_stats,
+        policy=policy,
+        checked=checked,
+        check_sample=check_sample,
+        options={"path": path, "guard": guard},
+    )
+    return result.values, result.stats
+
+
+def _cached_moebius_plan(rec):
+    """Fetch (or build and cache) the shared pointer-jumping plan."""
+    from repro.engine.exec_moebius import build_plan
+    from repro.engine.planner import get_plan_cache
+    from repro.engine.problem import Problem
+
+    problem = Problem.from_system(rec)
+    cache = get_plan_cache()
+    plan = cache.get(problem.fingerprint(), family="moebius")
+    if plan is None:
+        rec.validate()
+        plan = build_plan(rec, problem.fingerprint())
+        cache.put(problem.fingerprint(), plan)
+    return plan
+
+
+def solve_affine_numpy(
+    rec,
+    *,
+    collect_stats: bool = False,
+    guard=None,
+    policy=None,
+) -> Tuple[List[Any], Any]:
+    from repro.engine.exec_moebius import execute_affine
+
+    plan = _cached_moebius_plan(rec)
+    return execute_affine(
+        rec, plan, collect_stats=collect_stats, guard=guard, policy=policy
+    )
+
+
+def solve_rational_numpy(
+    rec,
+    *,
+    collect_stats: bool = False,
+    guard=None,
+    policy=None,
+) -> Tuple[List[Any], Any]:
+    from repro.engine.exec_moebius import execute_rational
+
+    plan = _cached_moebius_plan(rec)
+    return execute_rational(
+        rec, plan, collect_stats=collect_stats, guard=guard, policy=policy
+    )

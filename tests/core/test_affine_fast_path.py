@@ -10,9 +10,8 @@ from repro.core.moebius import (
     AffineRecurrence,
     RationalRecurrence,
     run_moebius_sequential,
-    solve_affine_numpy,
-    solve_moebius,
 )
+from .._legacy_solvers import solve_affine_numpy, solve_moebius
 
 
 def random_affine(rng, n, m, self_term=False):
@@ -131,7 +130,7 @@ class TestRationalFastPath:
 
     @pytest.mark.parametrize("self_term", [False, True])
     def test_bit_identical_to_object_engine(self, rng, self_term):
-        from repro.core.moebius import solve_rational_numpy
+        from .._legacy_solvers import solve_rational_numpy
 
         for _ in range(10):
             rec = self._rational(rng, int(rng.integers(1, 50)), self_term)
@@ -141,7 +140,7 @@ class TestRationalFastPath:
             assert s1.active_per_round == s2.active_per_round
 
     def test_auto_uses_rational_path_for_float_rational(self, rng):
-        from repro.core.moebius import solve_rational_numpy
+        from .._legacy_solvers import solve_rational_numpy
 
         rec = self._rational(rng, 30)
         auto, _ = solve_moebius(rec, engine="auto")
@@ -149,7 +148,7 @@ class TestRationalFastPath:
         assert auto == fast
 
     def test_degenerate_coefficient_maps(self):
-        from repro.core.moebius import solve_rational_numpy
+        from .._legacy_solvers import solve_rational_numpy
 
         # det(M) = 0 coefficient matrices (constant maps) mid-chain
         rec = RationalRecurrence.build(

@@ -10,11 +10,9 @@ from repro.core import (
     GIRSystem,
     OrdinaryIRSystem,
     modular_mul,
-    solve_gir,
-    solve_ordinary,
-    solve_ordinary_numpy,
 )
 from repro.core.diagnostics import explain_gir, explain_ordinary
+from .._legacy_solvers import solve_gir, solve_ordinary, solve_ordinary_numpy
 
 
 def chain(n):

@@ -8,12 +8,12 @@ from repro.core import (
     GIRSystem,
     OperatorError,
     run_gir,
-    solve_gir,
 )
 from repro.core.gir import evaluate_trace_powers
 from repro.core.operators import make_operator, modular_add, modular_mul
 
 from ..conftest import gir_systems
+from .._legacy_solvers import solve_gir
 
 
 def fib_system(n, mod=10**9 + 7):

@@ -13,11 +13,11 @@ from repro.core import (
     moebius_compose,
     moebius_ir_operator,
     run_moebius_sequential,
-    solve_moebius,
 )
 from repro.core.equations import IRValidationError
 
 from ..conftest import fraction_values
+from .._legacy_solvers import solve_moebius
 
 
 class TestMat2:

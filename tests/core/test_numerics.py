@@ -19,11 +19,9 @@ from repro.core import (
     OrdinaryIRSystem,
     run_moebius_sequential,
     run_ordinary,
-    solve_moebius,
-    solve_ordinary,
-    solve_ordinary_numpy,
 )
 from repro.core.operators import CONCAT, make_operator
+from .._legacy_solvers import solve_moebius, solve_ordinary, solve_ordinary_numpy
 
 
 class TestMoebiusAccuracy:

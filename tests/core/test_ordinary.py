@@ -13,12 +13,11 @@ from repro.core import (
     MIN,
     OrdinaryIRSystem,
     run_ordinary,
-    solve_ordinary,
-    solve_ordinary_numpy,
 )
 from repro.core.traces import max_chain_length
 
 from ..conftest import ordinary_systems
+from .._legacy_solvers import solve_ordinary, solve_ordinary_numpy
 
 
 def chain(n, op=CONCAT):

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.core import run_gir, run_ordinary, solve_gir, solve_ordinary_numpy
+from repro.core import run_gir, run_ordinary
 from repro.core.cap import count_all_paths
 from repro.core.depgraph import build_dependence_graph
 from repro.core.traces import chain_lengths, max_chain_length, tree_sizes
@@ -18,6 +18,7 @@ from repro.core.workloads import (
     random_ordinary_system,
     scatter_system,
 )
+from .._legacy_solvers import solve_gir, solve_ordinary_numpy
 
 
 class TestChain:

@@ -1,90 +1,80 @@
-"""Deprecation shims: each legacy entry point warns exactly once per
-process and names its engine replacement."""
-
-import warnings
+"""Removed legacy entry points: every ``repro.core`` solver shim is
+gone, and the module-level tombstones name the engine replacement."""
 
 import pytest
 
-from repro.core import (
-    CONCAT,
-    GIRSystem,
-    OrdinaryIRSystem,
-    RationalRecurrence,
-    solve_gir,
-    solve_moebius,
-    solve_ordinary,
-    solve_ordinary_numpy,
-)
-from repro.core.moebius import solve_affine_numpy, solve_rational_numpy
-from repro.core.operators import modular_add
-from repro.engine import reset_deprecation_warnings
+import repro
+import repro.core
+import repro.core.gir
+import repro.core.moebius
+import repro.core.ordinary
+
+REMOVED = [
+    "solve_ordinary",
+    "solve_ordinary_numpy",
+    "solve_gir",
+    "solve_moebius",
+    "solve_affine_numpy",
+    "solve_rational_numpy",
+]
+
+HOME_MODULE = {
+    "solve_ordinary": repro.core.ordinary,
+    "solve_ordinary_numpy": repro.core.ordinary,
+    "solve_gir": repro.core.gir,
+    "solve_moebius": repro.core.moebius,
+    "solve_affine_numpy": repro.core.moebius,
+    "solve_rational_numpy": repro.core.moebius,
+}
 
 
-@pytest.fixture(autouse=True)
-def _rearmed():
-    reset_deprecation_warnings()
-    yield
-    reset_deprecation_warnings()
-
-
-def _chain():
-    return OrdinaryIRSystem.build(
-        [(f"s{j}",) for j in range(5)], [1, 2, 3, 4], [0, 1, 2, 3], CONCAT
-    )
-
-
-def _rec():
-    return RationalRecurrence.build(
-        [1.0, 1.0], [1], [0], [2.0], [1.0], [0.0], [1.0]
-    )
-
-
-def _collect(fn):
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        fn()
-    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
-
-
-class TestWarnOnce:
-    def test_ordinary_warns_once_and_names_replacement(self):
-        first = _collect(lambda: solve_ordinary(_chain()))
-        assert len(first) == 1
-        msg = str(first[0].message)
-        assert "repro.core.ordinary.solve_ordinary is deprecated" in msg
+class TestPackageTombstones:
+    @pytest.mark.parametrize("name", REMOVED)
+    def test_core_attribute_gone(self, name):
+        with pytest.raises(AttributeError) as exc:
+            getattr(repro.core, name)
+        msg = str(exc.value)
+        assert name in msg
+        assert "removed in repro 1.2.0" in msg
         assert "repro.engine.solve" in msg
-        assert _collect(lambda: solve_ordinary(_chain())) == []
 
-    def test_each_entry_point_has_its_own_warning(self):
-        sys_ = _chain()
-        gir = GIRSystem.build([1, 2, 3], [1], [0], [0], modular_add(97))
-        calls = [
-            (lambda: solve_ordinary(sys_), "solve_ordinary"),
-            (lambda: solve_ordinary_numpy(sys_), "solve_ordinary_numpy"),
-            (lambda: solve_gir(gir), "solve_gir"),
-            (lambda: solve_moebius(_rec()), "solve_moebius"),
-            (lambda: solve_affine_numpy(_rec()), "solve_affine_numpy"),
-            (lambda: solve_rational_numpy(_rec()), "solve_rational_numpy"),
-        ]
-        for fn, name in calls:
-            caught = _collect(fn)
-            assert len(caught) == 1, name
-            assert name in str(caught[0].message)
-            assert "repro.engine.solve" in str(caught[0].message)
+    @pytest.mark.parametrize("name", REMOVED)
+    def test_home_module_attribute_gone(self, name):
+        with pytest.raises(AttributeError) as exc:
+            getattr(HOME_MODULE[name], name)
+        msg = str(exc.value)
+        assert name in msg
+        assert "removed in repro 1.2.0" in msg
+        assert "repro.engine.solve" in msg
 
-    def test_reset_rearms(self):
-        assert len(_collect(lambda: solve_ordinary(_chain()))) == 1
-        assert _collect(lambda: solve_ordinary(_chain())) == []
-        reset_deprecation_warnings()
-        assert len(_collect(lambda: solve_ordinary(_chain()))) == 1
+    # the two fast-path wrappers were never re-exported at the root
+    @pytest.mark.parametrize("name", REMOVED[:4])
+    def test_root_package_names_both_removals(self, name):
+        with pytest.raises(AttributeError) as exc:
+            getattr(repro, name)
+        msg = str(exc.value)
+        assert name in msg
+        assert "repro.solve(" in msg
 
-    def test_shim_results_unaffected_by_warning_state(self):
-        sys_ = _chain()
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            reset_deprecation_warnings()
-            with pytest.raises(DeprecationWarning):
-                solve_ordinary(sys_)
-        # after the raise, the path still solves correctly
-        out, _ = solve_ordinary(sys_)
-        assert out[-1] == tuple(f"s{j}" for j in range(5))
+    def test_unknown_attribute_is_plain_error(self):
+        with pytest.raises(AttributeError) as exc:
+            repro.core.no_such_thing
+        assert "no attribute" in str(exc.value)
+        assert "repro.engine" not in str(exc.value)
+
+    def test_star_import_surface_excludes_solvers(self):
+        exported = set(repro.core.__all__)
+        assert not exported & set(REMOVED)
+
+    def test_version_reflects_removal(self):
+        assert repro.__version__ == "1.2.0"
+
+
+class TestImportErrors:
+    """``from repro.core import solve_x`` must fail at import time, not
+    silently bind a tombstone."""
+
+    @pytest.mark.parametrize("name", REMOVED)
+    def test_from_import_raises(self, name):
+        with pytest.raises(ImportError):
+            exec(f"from repro.core import {name}")

@@ -48,11 +48,11 @@ class TestRegistrySurface:
 
 
 class TestEquivalenceWithWrappers:
-    """The deprecated per-family wrappers and the engine must agree."""
+    """The historical per-family signatures and the engine must agree."""
 
     def test_ordinary(self):
         sys_ = chain(8)
-        from repro.core import solve_ordinary, solve_ordinary_numpy
+        from .._legacy_solvers import solve_ordinary, solve_ordinary_numpy
 
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
@@ -66,7 +66,7 @@ class TestEquivalenceWithWrappers:
         sys_ = GIRSystem.build(
             [5, 6, 7, 8], [1, 2], [0, 1], [0, 0], modular_add(97)
         )
-        from repro.core import solve_gir
+        from .._legacy_solvers import solve_gir
 
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
@@ -83,7 +83,7 @@ class TestEquivalenceWithWrappers:
             [0.0, 0.5],
             [1.0, 1.0],
         )
-        from repro.core import solve_moebius
+        from .._legacy_solvers import solve_moebius
 
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)

@@ -10,7 +10,6 @@ from repro.core import (
     OrdinaryIRSystem,
     modular_mul,
     run_gir,
-    solve_gir,
 )
 from repro.core.cap import cap_iterations, count_all_paths
 from repro.core.depgraph import build_dependence_graph
@@ -20,6 +19,7 @@ from repro.livermore.data import kernel_inputs
 from repro.livermore.kernels import k23
 from repro.livermore.parallel import k23_parallel
 from repro.loops import evaluate_loop, parallelize
+from .._legacy_solvers import solve_gir
 
 
 class TestFig1TraceExample:
@@ -111,7 +111,8 @@ class TestPvsNCBoundary:
         sys_ = OrdinaryIRSystem.build(
             [("a",), ("b",), ("c",)], [1, 2], [0, 1], CONCAT
         )
-        from repro.core import run_ordinary, solve_ordinary
+        from repro.core import run_ordinary
+        from .._legacy_solvers import solve_ordinary
 
         assert solve_ordinary(sys_)[0] == run_ordinary(sys_)
 

@@ -1,0 +1,213 @@
+"""Cross-process metric aggregation: per-kind merge semantics and the
+worker-snapshot fan-in (``proc=worker-N`` plus rolled-up series).
+
+The property tests pin down the algebra the shm backend relies on:
+merging snapshots is associative and order-insensitive, so the master
+can fold worker snapshots in any arrival order and converge on the
+same aggregate.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import MetricsRegistry, merge_snapshot, merge_worker_snapshots
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+def _counter_entry(value):
+    return {"name": "c", "kind": "counter", "labels": {}, "value": value}
+
+
+def _gauge_entry(value, ts, lo=None, hi=None, updates=1):
+    return {
+        "name": "g", "kind": "gauge", "labels": {},
+        "value": value, "min": lo if lo is not None else value,
+        "max": hi if hi is not None else value, "updates": updates, "ts": ts,
+    }
+
+
+def _hist_of(values):
+    h = Histogram("h", {})
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def _hist_entry(values):
+    return {"name": "h", "kind": "histogram", "labels": {},
+            **_hist_of(values).snapshot()}
+
+
+class TestCounterMerge:
+    def test_sums(self):
+        c = Counter("c", {})
+        c.inc(3)
+        c.merge(_counter_entry(4))
+        assert c.value == 7
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 9), max_size=8))
+    def test_order_insensitive(self, amounts):
+        import itertools
+
+        results = set()
+        for perm in itertools.islice(itertools.permutations(amounts), 6):
+            c = Counter("c", {})
+            for a in perm:
+                c.merge(_counter_entry(a))
+            results.add(c.value)
+        assert len(results) <= 1
+
+
+class TestGaugeMerge:
+    def test_latest_ts_wins(self):
+        g = Gauge("g", {})
+        g.merge(_gauge_entry(10.0, ts=100.0))
+        g.merge(_gauge_entry(5.0, ts=200.0))
+        g.merge(_gauge_entry(99.0, ts=50.0))  # stale write loses
+        assert g.value == 5.0
+        assert g.min == 5.0
+        assert g.max == 99.0
+        assert g.updates == 3
+
+    def test_empty_snapshot_ignored(self):
+        g = Gauge("g", {})
+        g.set(7.0)
+        g.merge({"value": None, "min": None, "max": None,
+                 "updates": 0, "ts": None})
+        assert g.value == 7.0
+        assert g.updates == 1
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-1e6, 1e6, allow_nan=False),
+                st.floats(1.0, 1e9, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_order_insensitive(self, writes):
+        import itertools
+
+        entries = [_gauge_entry(v, ts=t) for v, t in writes]
+        states = set()
+        for perm in itertools.islice(itertools.permutations(entries), 6):
+            g = Gauge("g", {})
+            for e in perm:
+                g.merge(e)
+            states.add((g.value, g.min, g.max, g.updates, g.ts))
+        assert len(states) == 1
+
+
+hist_values = st.lists(
+    st.floats(min_value=2.0 ** -16, max_value=2.0 ** 20,
+              allow_nan=False, allow_infinity=False),
+    max_size=50,
+)
+
+
+class TestHistogramMerge:
+    def test_merge_equals_union(self):
+        a, b = [0.1, 0.2, 4.0], [0.15, 100.0]
+        h = _hist_of(a)
+        h.merge(_hist_entry(b))
+        ref = _hist_of(a + b)
+        assert h.count == ref.count
+        assert h.buckets == ref.buckets
+        assert h.min == ref.min and h.max == ref.max
+        assert h.sum == pytest.approx(ref.sum)
+
+    def test_bucket_keys_survive_json_stringification(self):
+        # snapshots stringify bucket keys; merge must fold "2" into
+        # the int-2 bucket, not a parallel "2.0" float bucket
+        h = _hist_of([1.5])  # bucket 2
+        h.merge(_hist_entry([1.7]))  # snapshot carries {"2": 1}
+        assert h.buckets == {2: 2}
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=hist_values, b=hist_values, c=hist_values)
+    def test_associative(self, a, b, c):
+        left = _hist_of(a)
+        left.merge(_hist_entry(b))
+        left.merge(_hist_entry(c))
+
+        inner = _hist_of(b)
+        inner.merge(_hist_entry(c))
+        right = _hist_of(a)
+        right.merge({"name": "h", "kind": "histogram", "labels": {},
+                     **inner.snapshot()})
+
+        assert left.count == right.count
+        assert left.buckets == right.buckets
+        assert left.min == right.min and left.max == right.max
+        assert left.sum == pytest.approx(right.sum)
+
+
+class TestMergeSnapshot:
+    def test_merges_by_kind_and_labels(self):
+        src = MetricsRegistry()
+        src.counter("rounds", engine="shm").inc(5)
+        src.gauge("cells").set(10)
+        src.histogram("wait").observe(0.25)
+
+        dst = MetricsRegistry()
+        dst.counter("rounds", engine="shm").inc(2)
+        n = merge_snapshot(dst, src.snapshot())
+        assert n == 3
+        assert dst.value("rounds", engine="shm") == 7
+        assert dst.get("cells").value == 10
+        assert dst.get("wait").count == 1
+
+    def test_extra_labels_fork_series(self):
+        src = MetricsRegistry()
+        src.counter("rounds").inc(4)
+        dst = MetricsRegistry()
+        merge_snapshot(dst, src.snapshot(), extra_labels={"proc": "worker-0"})
+        assert dst.value("rounds", proc="worker-0") == 4
+        assert dst.get("rounds") is None  # no unlabeled series created
+
+    def test_unknown_kind_skipped(self):
+        dst = MetricsRegistry()
+        n = merge_snapshot(dst, [{"name": "x", "kind": "mystery",
+                                  "labels": {}, "value": 1}])
+        assert n == 0
+
+    def test_kind_collision_raises(self):
+        dst = MetricsRegistry()
+        dst.counter("x").inc()
+        with pytest.raises(TypeError):
+            merge_snapshot(dst, [{"name": "x", "kind": "gauge",
+                                  "labels": {}, "value": 1.0, "min": 1.0,
+                                  "max": 1.0, "updates": 1, "ts": 1.0}])
+
+
+class TestMergeWorkerSnapshots:
+    def _worker_snap(self, rounds, wait):
+        reg = MetricsRegistry()
+        reg.counter("engine.shm.worker.rounds").inc(rounds)
+        reg.histogram("engine.shm.worker.barrier_wait_s").observe(wait)
+        return reg.snapshot()
+
+    def test_per_worker_and_rollup_series(self):
+        master = MetricsRegistry()
+        merged = merge_worker_snapshots(
+            master,
+            {0: self._worker_snap(3, 0.01), 1: self._worker_snap(5, 0.02)},
+        )
+        assert merged == 8  # 2 series x 2 workers x (proc + rollup)
+        assert master.value("engine.shm.worker.rounds", proc="worker-0") == 3
+        assert master.value("engine.shm.worker.rounds", proc="worker-1") == 5
+        # rolled-up series aggregate across procs
+        assert master.value("engine.shm.worker.rounds") == 8
+        rollup = master.get("engine.shm.worker.barrier_wait_s")
+        assert rollup.count == 2
+
+    def test_order_insensitive_across_ranks(self):
+        a = {0: self._worker_snap(3, 0.01), 1: self._worker_snap(5, 0.02)}
+        m1, m2 = MetricsRegistry(), MetricsRegistry()
+        merge_worker_snapshots(m1, a)
+        merge_worker_snapshots(m2, dict(reversed(list(a.items()))))
+        assert m1.snapshot() == m2.snapshot()

@@ -158,6 +158,114 @@ class TestTreeSummary:
     def test_empty(self):
         assert tree_summary(None, None) == "(nothing recorded)"
 
+    def test_attribute_truncation(self):
+        tracer = Tracer()
+        with tracer.span("root", blob="x" * 500, short="ok"):
+            pass
+        text = tree_summary(tracer, max_attr_len=20)
+        assert "x" * 17 + "..." in text
+        assert "x" * 18 not in text
+        assert "short=ok" in text
+        # default keeps more but still bounds the line
+        assert "x" * 77 + "..." in tree_summary(tracer)
+
+
+class TestShmChromeRoundTrip:
+    def _shm_like_trace(self):
+        """A tracer shaped like an observed shm solve: solve root,
+        per-attempt driver span, nested per-round spans."""
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with tracer.span("engine.solve", backend="shm", family="ordinary"):
+            with tracer.span("engine.shm.run", attempt=0, workers=2):
+                for r in range(4):
+                    with tracer.span("engine.shm.round", round=r):
+                        pass
+        registry.histogram(
+            "engine.shm.worker.barrier_wait_s", proc="worker-0"
+        ).observe(0.002)
+        return tracer, registry
+
+    def test_round_trip_preserves_nesting(self, tmp_path):
+        tracer, registry = self._shm_like_trace()
+        path = str(tmp_path / "shm_trace.json")
+        write_chrome_trace(path, tracer, registry)
+        with open(path) as handle:
+            trace = json.load(handle)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        by_name = {}
+        for e in xs:
+            by_name.setdefault(e["name"], []).append(e)
+        assert len(by_name["engine.shm.round"]) == 4
+        (root,) = by_name["engine.solve"]
+        (run,) = by_name["engine.shm.run"]
+        # nesting survives as interval containment on one thread
+        assert root["ts"] <= run["ts"]
+        assert run["ts"] + run["dur"] <= root["ts"] + root["dur"] + 1e-3
+        for e in by_name["engine.shm.round"]:
+            assert run["ts"] <= e["ts"]
+            assert e["ts"] + e["dur"] <= run["ts"] + run["dur"] + 1e-3
+        # per-worker metric series ride along with labels intact
+        metrics = trace["otherData"]["metrics"]
+        (wait,) = [
+            m for m in metrics
+            if m["name"] == "engine.shm.worker.barrier_wait_s"
+        ]
+        assert wait["labels"] == {"proc": "worker-0"}
+        assert wait["count"] == 1
+
+    def test_jsonl_round_trip_validates(self, tmp_path):
+        tracer, registry = self._shm_like_trace()
+        path = str(tmp_path / "shm.jsonl")
+        written = write_jsonl(path, tracer, registry)
+        assert validate_jsonl(path) == written
+        with open(path) as handle:
+            docs = [json.loads(line) for line in handle]
+        spans = [d for d in docs if d.get("type") == "span"]
+        rounds = [s for s in spans if s["name"] == "engine.shm.round"]
+        assert len(rounds) == 4
+        run = next(s for s in spans if s["name"] == "engine.shm.run")
+        assert all(s["parent_id"] == run["span_id"] for s in rounds)
+
+
+class TestValidateRejections:
+    def test_rejects_non_object_line(self, tmp_path):
+        tracer, registry = _sample()
+        path = tmp_path / "bad.jsonl"
+        write_jsonl(str(path), tracer, registry)
+        with open(path, "a") as handle:
+            handle.write("[1, 2, 3]\n")
+        with pytest.raises(SchemaError):
+            validate_jsonl(str(path))
+
+    def test_rejects_negative_duration(self, tmp_path):
+        tracer, registry = _sample()
+        path = tmp_path / "neg.jsonl"
+        write_jsonl(str(path), tracer, registry)
+        lines = path.read_text().splitlines()
+        doc = json.loads(lines[1])
+        assert doc["type"] == "span"
+        doc["dur_us"] = -5.0
+        lines[1] = json.dumps(doc)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SchemaError):
+            validate_jsonl(str(path))
+
+    def test_rejects_unknown_metric_kind(self, tmp_path):
+        tracer, registry = _sample()
+        path = tmp_path / "kind.jsonl"
+        write_jsonl(str(path), tracer, registry)
+        lines = path.read_text().splitlines()
+        idx, doc = next(
+            (i, json.loads(l)) for i, l in enumerate(lines)
+            if json.loads(l).get("type") == "metric"
+        )
+        doc["kind"] = "sketch"
+        lines[idx] = json.dumps(doc)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SchemaError):
+            validate_jsonl(str(path))
+
 
 class TestCLIValidator:
     def test_module_entry(self, tmp_path, capsys):

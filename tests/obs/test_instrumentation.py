@@ -14,13 +14,11 @@ from repro.core import (
     GIRSystem,
     OrdinaryIRSystem,
     modular_mul,
-    solve_gir,
-    solve_ordinary,
-    solve_ordinary_numpy,
 )
 from repro.core.cap import count_all_paths
 from repro.core.depgraph import build_dependence_graph
-from repro.core.moebius import AffineRecurrence, solve_affine_numpy, solve_moebius
+from repro.core.moebius import AffineRecurrence
+from .._legacy_solvers import solve_affine_numpy, solve_gir, solve_moebius, solve_ordinary, solve_ordinary_numpy
 
 
 def fig3_system(n):

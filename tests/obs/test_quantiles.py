@@ -1,0 +1,119 @@
+"""Histogram quantile estimation: the log2 bucket ladder answers
+``percentile(q)`` to within one bucket (a factor of 2) of the true
+nearest-rank sorted-sample quantile."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import MIN_BUCKET_BOUND, Histogram, bucket_bound
+
+
+def _hist(values):
+    h = Histogram("t", {})
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def _nearest_rank(values, q):
+    """The reference quantile: rank ``ceil(q * n)`` of the sorted
+    sample (1-indexed), the same rank convention the histogram uses."""
+    data = sorted(values)
+    rank = max(1, math.ceil(q * len(data)))
+    return data[rank - 1]
+
+
+class TestPercentileBasics:
+    def test_empty_is_none(self):
+        assert _hist([]).percentile(0.5) is None
+
+    def test_out_of_range_rejected(self):
+        h = _hist([1.0])
+        with pytest.raises(ValueError):
+            h.percentile(-0.01)
+        with pytest.raises(ValueError):
+            h.percentile(1.01)
+
+    def test_q0_is_min_q1_is_max(self):
+        h = _hist([3.0, 9.0, 1.5])
+        assert h.percentile(0.0) == 1.5
+        assert h.percentile(1.0) == 9.0  # clamped to observed max
+
+    def test_single_observation(self):
+        h = _hist([0.37])
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 0.37
+
+    def test_estimate_clamped_to_observed_range(self):
+        # 100 fast, 1 slow: p99 must not exceed the observed max even
+        # though the slow sample's bucket bound does
+        h = _hist([0.001] * 100 + [3.0])
+        assert h.percentile(1.0) == 3.0
+        assert h.percentile(0.5) <= 0.002
+
+    def test_monotone_in_q(self):
+        h = _hist([0.01, 0.02, 0.4, 1.0, 2.5, 70.0])
+        qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+        est = [h.percentile(q) for q in qs]
+        assert est == sorted(est)
+
+    def test_subsecond_buckets_resolve(self):
+        # latencies well below 1.0 must not collapse into one bucket
+        h = _hist([0.001] * 90 + [0.5] * 10)
+        assert h.percentile(0.5) < 0.01
+        assert h.percentile(0.99) >= 0.25
+
+    def test_snapshot_carries_p50_p99(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        (entry,) = reg.snapshot()
+        assert entry["p50"] == h.percentile(0.5)
+        assert entry["p99"] == h.percentile(0.99)
+
+
+class TestBucketLadder:
+    def test_bounds_cover_value(self):
+        for v in (1e-9, 0.001, 0.3, 0.5, 0.7, 1.0, 1.5, 2.0, 100.0):
+            b = bucket_bound(v)
+            assert b >= min(v, MIN_BUCKET_BOUND)
+            if v > MIN_BUCKET_BOUND:
+                assert b / 2 < v <= b
+
+    def test_integer_bounds_at_and_above_one(self):
+        assert bucket_bound(1.0) == 1
+        assert bucket_bound(3.0) == 4
+        assert isinstance(bucket_bound(3.0), int)
+        assert bucket_bound(0.4) == 0.5
+
+
+# values comfortably above the bottom bucket so every bucket satisfies
+# the strict b/2 < x <= b containment the error bound relies on
+positive_samples = st.lists(
+    st.floats(min_value=2.0 ** -16, max_value=2.0 ** 30,
+              allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestPercentileProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(values=positive_samples, q=st.floats(min_value=0.01, max_value=1.0))
+    def test_within_one_bucket_of_sorted_sample_quantile(self, values, q):
+        h = _hist(values)
+        est = h.percentile(q)
+        true = _nearest_rank(values, q)
+        assert true <= est <= 2 * true
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=positive_samples)
+    def test_estimate_inside_observed_range(self, values):
+        h = _hist(values)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            est = h.percentile(q)
+            assert min(values) <= est <= max(values)

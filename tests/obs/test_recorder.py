@@ -1,0 +1,131 @@
+"""Flight recorder: ring-buffer semantics, crash-report structure,
+and the structured-error hook wired into :mod:`repro.errors`."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultError, ReproError, VerificationError
+from repro.obs.recorder import (
+    FlightRecorder,
+    configure,
+    get_recorder,
+    on_structured_error,
+    record_event,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    configure(dump_dir="")
+    get_recorder().clear()
+    yield
+    configure(dump_dir="")
+    get_recorder().clear()
+
+
+class TestRing:
+    def test_records_in_order(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("a", x=1)
+        rec.record("b", x=2)
+        kinds = [e["kind"] for e in rec.events()]
+        assert kinds == ["a", "b"]
+        assert rec.events()[0]["x"] == 1
+        assert rec.events()[0]["seq"] == 0
+
+    def test_wraparound_keeps_newest(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("e", i=i)
+        events = rec.events()
+        assert len(events) == 4
+        assert [e["i"] for e in events] == [6, 7, 8, 9]
+
+    def test_clear(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record("e")
+        rec.clear()
+        assert rec.events() == []
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_configure_resizes_process_recorder(self):
+        before = get_recorder()
+        record_event("probe")
+        after = configure(capacity=before.capacity * 2)
+        assert after is get_recorder()
+        assert after.capacity == before.capacity * 2
+        assert after.events() == []  # resize drops the buffer
+        configure(capacity=before.capacity)
+
+
+class TestCrashReport:
+    def test_report_shape(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("round", rounds=3)
+        report = rec.crash_report(FaultError("worker 1 died"))
+        assert report["schema_version"] == 1
+        assert report["error"]["type"] == "FaultError"
+        assert report["error"]["exit_code"] == 7
+        assert "worker 1 died" in report["error"]["message"]
+        assert any(e["kind"] == "round" for e in report["events"])
+
+    def test_no_dump_without_dir(self):
+        rec = FlightRecorder(capacity=4)
+        rec.dump_dir = None
+        assert rec.dump_crash(FaultError("x")) is None
+
+    def test_dump_writes_json(self, tmp_path):
+        rec = FlightRecorder(capacity=4)
+        rec.dump_dir = str(tmp_path)
+        rec.record("round", rounds=2)
+        path = rec.dump_crash(VerificationError("mismatch"))
+        assert path is not None
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert doc["error"]["exit_code"] == 6
+        assert doc["events"][-1]["kind"] == "round"
+
+    def test_dump_never_raises(self):
+        rec = FlightRecorder(capacity=4)
+        rec.dump_dir = "/dev/null/not-a-directory"
+        assert rec.dump_crash(FaultError("x")) is None
+
+
+class TestStructuredErrorHook:
+    def test_error_event_buffered(self):
+        on_structured_error(FaultError("boom"))
+        last = get_recorder().events()[-1]
+        assert last["kind"] == "error"
+        assert last["error"] == "FaultError"
+        assert last["exit_code"] == 7
+
+    def test_repro_error_construction_buffers_event(self):
+        exc = FaultError("constructed")
+        events = [e for e in get_recorder().events() if e["kind"] == "error"]
+        assert any("constructed" in e["message"] for e in events)
+        assert exc.crash_report_path is None  # dumping disabled
+
+    def test_structured_code_dumps_when_configured(self, tmp_path):
+        configure(dump_dir=str(tmp_path))
+        record_event("round", rounds=5)
+        exc = FaultError("dump me")
+        assert exc.crash_report_path is not None
+        with open(exc.crash_report_path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        kinds = [e["kind"] for e in doc["events"]]
+        assert "round" in kinds and "error" in kinds
+
+    def test_generic_code_never_dumps(self, tmp_path):
+        configure(dump_dir=str(tmp_path))
+        exc = ReproError("plain")  # exit code 1: not a structured failure
+        assert exc.crash_report_path is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_env_var_arms_fresh_recorder(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CRASH_DIR", str(tmp_path))
+        rec = FlightRecorder(capacity=4)
+        assert rec.dump_dir == str(tmp_path)

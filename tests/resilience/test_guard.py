@@ -15,10 +15,9 @@ from repro.core.moebius import (
     RationalRecurrence,
     moebius_compose,
     run_moebius_sequential,
-    solve_moebius,
-    solve_rational_numpy,
 )
 from repro.resilience import GuardReport, NumericGuard, default_guard
+from .._legacy_solvers import solve_moebius, solve_rational_numpy
 
 INF = float("inf")
 
@@ -210,7 +209,7 @@ def test_engineered_nan_escalates_to_correct_result():
     oracle = run_moebius_sequential(rec)
 
     # the raw float fast path really is sick (the premise)
-    from repro.core.moebius import solve_affine_numpy
+    from .._legacy_solvers import solve_affine_numpy
 
     raw, _ = solve_affine_numpy(rec)
     assert any(isinstance(v, float) and math.isnan(v) for v in raw) or any(

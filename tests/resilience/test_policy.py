@@ -15,13 +15,11 @@ from repro.core import (
     modular_add,
     run_gir,
     run_ordinary,
-    solve_gir,
-    solve_ordinary,
-    solve_ordinary_numpy,
 )
-from repro.core.moebius import AffineRecurrence, run_moebius_sequential, solve_moebius
+from repro.core.moebius import AffineRecurrence, run_moebius_sequential
 from repro.errors import IterationBudgetExceeded, PolicyError, SolveTimeoutError
 from repro.resilience import SolvePolicy
+from .._legacy_solvers import solve_gir, solve_moebius, solve_ordinary, solve_ordinary_numpy
 
 
 def _chain(n: int) -> OrdinaryIRSystem:

@@ -20,9 +20,6 @@ from repro.core import (
     modular_add,
     run_gir,
     run_ordinary,
-    solve_gir,
-    solve_ordinary,
-    solve_ordinary_numpy,
 )
 from repro.core.depgraph import DependenceGraph
 from repro.errors import (
@@ -35,6 +32,7 @@ from repro.pram import run_ordinary_on_pram
 from repro.resilience import FaultPlan, SolvePolicy
 
 from ..conftest import gir_systems, ordinary_systems
+from .._legacy_solvers import solve_gir, solve_ordinary, solve_ordinary_numpy
 
 
 # ---------------------------------------------------------------------------

@@ -10,13 +10,11 @@ from repro.core import (
     GIRSystem,
     OrdinaryIRSystem,
     modular_add,
-    solve_gir,
-    solve_ordinary,
-    solve_ordinary_numpy,
 )
-from repro.core.moebius import AffineRecurrence, solve_moebius
+from repro.core.moebius import AffineRecurrence
 from repro.errors import VerificationError
 from repro.resilience import SolvePolicy, check_against_oracle, differential_check
+from .._legacy_solvers import solve_gir, solve_moebius, solve_ordinary, solve_ordinary_numpy
 
 
 def _chain(n: int) -> OrdinaryIRSystem:

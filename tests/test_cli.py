@@ -235,3 +235,62 @@ class TestTraceWrapper:
 
     def test_trace_propagates_exit_code(self, capsys):
         assert main(["trace", "--no-summary", "version"]) == 0
+
+
+class TestObsCommands:
+    def _snapshot_file(self, tmp_path, name="snap.json", inc=3):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("engine.solves", backend="numpy").inc(inc)
+        reg.histogram("engine.session.latency_s").observe(0.01)
+        path = tmp_path / name
+        path.write_text(json.dumps(reg.snapshot()))
+        return str(path)
+
+    def test_obs_serve_prom_out(self, tmp_path, capsys):
+        snap = self._snapshot_file(tmp_path)
+        out = str(tmp_path / "metrics.prom")
+        assert main(["obs", "serve", "--snapshot", snap,
+                     "--prom-out", out]) == 0
+        text = open(out).read()
+        assert "engine_solves_total" in text
+        assert "# TYPE engine_session_latency_s histogram" in text
+
+    def test_obs_serve_missing_snapshot(self, tmp_path, capsys):
+        assert main(["obs", "serve", "--snapshot",
+                     str(tmp_path / "nope.json")]) == 2
+        assert "no such snapshot" in capsys.readouterr().err
+
+    def test_obs_top(self, tmp_path, capsys):
+        snap = self._snapshot_file(tmp_path)
+        assert main(["obs", "top", "--snapshot", snap]) == 0
+        out = capsys.readouterr().out
+        assert "2 series" in out
+        assert "engine.solves{backend=numpy}" in out
+
+    def test_obs_top_live_metrics_json(self, tmp_path, capsys):
+        # the snapshot a traced solve writes feeds obs top directly
+        path = fig3_system_file(tmp_path, n=32)
+        metrics_path = str(tmp_path / "m.json")
+        assert main(["solve", path, "--metrics-json", metrics_path]) == 0
+        capsys.readouterr()
+        assert main(["obs", "top", "--snapshot", metrics_path]) == 0
+        assert "solver.rounds" in capsys.readouterr().out
+
+    def test_obs_diff(self, tmp_path, capsys):
+        before = self._snapshot_file(tmp_path, "a.json", inc=3)
+        after = self._snapshot_file(tmp_path, "b.json", inc=5)
+        assert main(["obs", "diff", before, after]) == 0
+        out = capsys.readouterr().out
+        assert "1 series changed" in out
+        assert "+2" in out
+
+    def test_obs_diff_json(self, tmp_path, capsys):
+        before = self._snapshot_file(tmp_path, "a.json", inc=3)
+        after = self._snapshot_file(tmp_path, "b.json", inc=5)
+        assert main(["obs", "diff", before, after, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        changed = [r for r in rows if r["status"] == "changed"]
+        assert changed[0]["name"] == "engine.solves"
+        assert changed[0]["delta"] == 2
