@@ -44,11 +44,24 @@ Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.engine`
 (benchmark suite), :mod:`repro.analysis` (models and reports),
 :mod:`repro.obs` (tracing + metrics; see ``docs/OBSERVABILITY.md``),
 :mod:`repro.resilience` (numeric guards, fault injection, solve
-policies; see ``docs/RESILIENCE.md``) with the failure taxonomy in
+policies; see ``docs/RESILIENCE.md``), :mod:`repro.check` (static
+plan/schedule verifier, precondition prover and loop lint; see
+``docs/CHECKING.md``) with the failure taxonomy in
 :mod:`repro.errors`.
 """
 
-from . import analysis, core, engine, errors, livermore, loops, obs, pram, resilience
+from . import (
+    analysis,
+    check,
+    core,
+    engine,
+    errors,
+    livermore,
+    loops,
+    obs,
+    pram,
+    resilience,
+)
 from .core import (
     ADD,
     CONCAT,
@@ -107,7 +120,78 @@ from .resilience import (
 
 __version__ = "1.2.0"
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    # subpackages
+    "analysis",
+    "check",
+    "core",
+    "engine",
+    "errors",
+    "livermore",
+    "loops",
+    "obs",
+    "pram",
+    "resilience",
+    # operators + core model
+    "ADD",
+    "CONCAT",
+    "FLOAT_ADD",
+    "FLOAT_MUL",
+    "MAX",
+    "MIN",
+    "MUL",
+    "AffineRecurrence",
+    "GIRSystem",
+    "IRClass",
+    "IRValidationError",
+    "Mat2",
+    "Operator",
+    "OperatorError",
+    "OrdinaryIRSystem",
+    "RationalRecurrence",
+    "SolveStats",
+    "make_operator",
+    "modular_add",
+    "modular_mul",
+    "normalize_non_distinct",
+    "run_gir",
+    "run_moebius_sequential",
+    "run_ordinary",
+    # engine
+    "EngineResult",
+    "Problem",
+    "Session",
+    "available_backends",
+    "execute",
+    "register_backend",
+    "solve",
+    "solve_batch",
+    # errors
+    "CyclicDependenceError",
+    "FaultError",
+    "NumericHealthError",
+    "PolicyError",
+    "ReproError",
+    "UnrecoverableFaultError",
+    "VerificationError",
+    "exit_code_for",
+    # loops
+    "Loop",
+    "parallelize",
+    "recognize",
+    # pram
+    "PRAM",
+    "AccessPolicy",
+    "profile_ordinary",
+    # resilience
+    "FaultEvent",
+    "FaultPlan",
+    "NumericGuard",
+    "SolvePolicy",
+    "default_guard",
+    # meta
+    "__version__",
+]
 
 # Deprecation end-of-life (PR 3 shims -> warned for two releases):
 # the per-family wrappers are gone from the root namespace.  The

@@ -8,4 +8,12 @@ from .complexity import (
 )
 from .reporting import ascii_table, banner, series_table
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "fit_parallel_constant",
+    "loglog_slope",
+    "model_crossover",
+    "model_parallel_time",
+    "ascii_table",
+    "banner",
+    "series_table",
+]

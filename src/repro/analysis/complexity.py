@@ -15,7 +15,7 @@ within a small tolerance) and to locate the Fig-3 crossover.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Sequence
 
 __all__ = [
     "model_parallel_time",

@@ -1,0 +1,311 @@
+"""Loop lint: explain *why* a loop did (not) parallelize.
+
+:func:`repro.loops.recognize` classifies loop bodies syntactically and
+the transformer silently falls back to sequential evaluation on
+``UNSUPPORTED`` shapes (and on degree > 1 Moebius bodies, which pass
+the syntactic test but fail coefficient extraction).  This pass turns
+each of those outcomes into a stable-coded
+:class:`~repro.check.findings.Finding` so users learn what to change
+instead of just observing a slow path:
+
+==========  ==============================================================
+code        meaning
+==========  ==============================================================
+``IR000``   loop recognized; names the class and solve strategy (info)
+``IR001``   target read at several distinct indices -- no single ``f``
+``IR002``   body mixes arithmetic with generic-operator applications
+``IR003``   operator not declared associative (parallelization unsound)
+``IR004``   a guard condition reads the recurrence variable
+``IR005``   own-cell reduction chain with a non-arithmetic body
+``IR006``   body is polynomial of degree > 1 in the recurrence variable
+``IR007``   ``OpApply`` operand shapes outside the recognized forms
+``IR008``   non-injective ``g`` handled by single-assignment renaming
+``IR009``   GIR-shaped body with a non-commutative operator
+==========  ==============================================================
+
+Degree probing (IR006) needs concrete coefficient values; when the
+caller has no ``env`` the linter synthesizes a benign probe
+environment (small non-zero floats) and samples a few iterations --
+degree is a property of the body's *shape*, not of the values, so any
+non-degenerate probe exposes it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .findings import CheckReport, error, info, warning
+
+__all__ = ["lint_loop", "lint_program", "lint_source"]
+
+#: Iterations sampled by the degree probe.
+_PROBE_POINTS = 3
+
+
+def _probe_env(loop: Any, n: int) -> Dict[str, List[float]]:
+    """A synthetic environment binding every array the body references
+    to non-zero floats large enough for all materialized indices."""
+    from ..loops.ast import array_names
+
+    sizes: Dict[str, int] = {}
+
+    def visit_ref(ref: Any) -> None:
+        idx = ref.index.materialize(n)
+        top = max(idx) if len(idx) else 0
+        sizes[ref.array] = max(sizes.get(ref.array, 0), int(top) + 1)
+
+    def walk(e: Any) -> None:
+        kind = type(e).__name__
+        if kind == "Ref":
+            visit_ref(e)
+        elif kind in ("BinOp", "OpApply"):
+            walk(e.left)
+            walk(e.right)
+        elif kind == "Where":
+            walk(e.cond.left)
+            walk(e.cond.right)
+            walk(e.then)
+            walk(e.other)
+
+    assign = loop.body
+    visit_ref(assign.target)
+    walk(assign.expr)
+    for name in array_names(assign.expr):
+        sizes.setdefault(name, n)
+    return {
+        name: [1.25 + ((j * 7 + k) % 11) * 0.375 for j in range(size)]
+        for k, (name, size) in enumerate(sorted(sizes.items()))
+    }
+
+
+def _degree_findings(loop: Any, rec: Any, env: Optional[Dict[str, List[Any]]]):
+    """Probe Moebius coefficient extraction for degree > 1 bodies."""
+    from ..loops.linfrac import DegreeError, extract_moebius_matrix
+
+    n = loop.n
+    if n == 0 or rec.f is None:
+        return []
+    probe = env if env is not None else _probe_env(loop, n)
+    points = sorted({0, n // 2, n - 1})[:_PROBE_POINTS]
+    for i in points:
+        try:
+            extract_moebius_matrix(
+                loop.body.expr,
+                i,
+                probe,
+                target=rec.target_array,
+                f_index=rec.f,
+                g_index=rec.g,
+            )
+        except DegreeError as exc:
+            return [
+                warning(
+                    "IR006",
+                    f"body is not linear-fractional in "
+                    f"{rec.target_array}[f(i)]: {exc} -- the transformer "
+                    "falls back to sequential evaluation",
+                    where=f"iteration {i}",
+                    hint="Moebius solving needs degree <= 1 (a*x + b) / "
+                    "(c*x + d)",
+                )
+            ]
+        except Exception as exc:  # probe values hit an unrelated edge
+            return [
+                info(
+                    "IR000",
+                    f"degree probe inconclusive at iteration {i}: {exc!r}",
+                    where=f"iteration {i}",
+                )
+            ]
+    return []
+
+
+def _unsupported_findings(rec: Any) -> List[Any]:
+    """Map the recognizer's UNSUPPORTED notes onto stable codes."""
+    notes = rec.notes or ""
+    if "guard condition reads" in notes:
+        return [
+            warning(
+                "IR004",
+                "a guard condition reads the recurrence variable, so the "
+                "branch taken depends on the running value and "
+                "coefficient extraction is ill-defined",
+                hint="guards may read anything except the target array",
+            )
+        ]
+    if "non-arithmetic body" in notes:
+        return [
+            warning(
+                "IR005",
+                "own-cell reduction chain with a non-arithmetic body; "
+                "only + - * / bodies reduce to Moebius form",
+                hint="use an OpApply fold (q[c] := op(q[c], e)) for "
+                "generic associative reductions",
+            )
+        ]
+    if "distinct indices" in notes:
+        k = "".join(ch for ch in notes if ch.isdigit()) or "several"
+        return [
+            warning(
+                "IR001",
+                f"the target array is read through {k} distinct index "
+                "maps in an arithmetic body; no single f(i) exists, so "
+                "the body is neither Moebius nor a two-operand IR form",
+                hint="arithmetic bodies may read the target at one "
+                "non-own index; use op(A[f], A[h]) for two-source forms",
+                data={"distinct_indices": notes},
+            )
+        ]
+    if "mixed arithmetic/operator" in notes:
+        return [
+            warning(
+                "IR002",
+                "body mixes arithmetic with generic-operator "
+                "applications; the recognizer handles either, not both",
+                hint="fold the arithmetic into the operator or "
+                "vice versa",
+            )
+        ]
+    if "OpApply" in notes:
+        return [
+            warning(
+                "IR007",
+                "operator application with unsupported operand shapes "
+                f"({rec.notes})",
+                hint="supported: op(A[f], A[g]), op(A[g], A[f]), "
+                "op(A[f], A[h]), and folds op(A[g], target-free expr)",
+            )
+        ]
+    return [
+        warning(
+            "IR007",
+            f"unsupported loop shape: {notes or 'unrecognized body'}",
+        )
+    ]
+
+
+def lint_loop(
+    loop: Any,
+    *,
+    env: Optional[Dict[str, List[Any]]] = None,
+    where: str = "loop",
+) -> CheckReport:
+    """Lint one :class:`~repro.loops.ast.Loop`.
+
+    Always returns a report; recognized-and-parallelizable loops get a
+    single ``IR000`` info finding naming the class.  ``env`` (arrays by
+    name) sharpens the Moebius degree probe; without it a synthetic
+    environment is used.
+    """
+    from ..core.equations import IRClass
+    from ..loops.recognize import RecognitionError, recognize
+
+    report = CheckReport(subject=where)
+    report.ran()
+    try:
+        rec = recognize(loop)
+    except RecognitionError as exc:
+        report.add(
+            error(
+                "IR007",
+                f"the loop body is not an expression form the "
+                f"recognizer knows: {exc}",
+            )
+        )
+        return report
+
+    cls = rec.ir_class
+    if cls == IRClass.UNSUPPORTED:
+        for finding in _unsupported_findings(rec):
+            report.add(finding)
+        return report
+
+    # Operator algebra requirements for recognized classes.
+    if rec.operator is not None:
+        report.ran()
+        if not rec.operator.associative:
+            report.add(
+                error(
+                    "IR003",
+                    f"operator {rec.operator.name!r} is not declared "
+                    "associative; trace concatenation would reorder "
+                    "applications unsoundly",
+                    hint="declare associative=True on the Operator only "
+                    "if it truly is",
+                )
+            )
+        if cls == IRClass.GIR and not rec.operator.commutative:
+            report.add(
+                warning(
+                    "IR009",
+                    f"GIR-shaped body with non-commutative operator "
+                    f"{rec.operator.name!r}; the path counter reorders "
+                    "operands, so the solve will be rejected",
+                    hint="GIR requires commutativity (paper section 4)",
+                )
+            )
+
+    if cls in (IRClass.MOEBIUS_AFFINE, IRClass.MOEBIUS_RATIONAL, IRClass.LINEAR):
+        report.ran()
+        degree = _degree_findings(loop, rec, env)
+        for finding in degree:
+            report.add(finding)
+        if any(f.code == "IR006" for f in degree):
+            return report
+
+    if rec.own_reads and "non-distinct" in (rec.notes or ""):
+        report.add(
+            info(
+                "IR008",
+                "g is not injective (reduction chain); the transformer "
+                "applies single-assignment renaming before solving",
+            )
+        )
+
+    strategy = {
+        IRClass.NO_RECURRENCE: "embarrassingly parallel map",
+        IRClass.LINEAR: "first-order linear recurrence (Moebius machinery)",
+        IRClass.ORDINARY_IR: "pointer-jumping over the Lemma-1 chains",
+        IRClass.GIR: "CAP path counting with atomic powers",
+        IRClass.MOEBIUS_AFFINE: "affine coefficient-matrix sweep",
+        IRClass.MOEBIUS_RATIONAL: "rational linear-fractional composition",
+    }[cls]
+    report.add(
+        info(
+            "IR000",
+            f"recognized as {cls.value}: solved by {strategy}",
+            data={"ir_class": cls.value},
+        )
+    )
+    return report
+
+
+def lint_program(
+    program: Any, *, env: Optional[Dict[str, List[Any]]] = None
+) -> CheckReport:
+    """Lint every loop of a :class:`~repro.loops.program.LoopProgram`."""
+    merged = CheckReport(subject=f"{len(program.loops)} loop(s)")
+    for k, loop in enumerate(program.loops):
+        target = loop.body.target.array
+        label = f"loop {k} (target {target!r})"
+        merged.extend(lint_loop(loop, env=env, where=label), prefix=label)
+    return merged
+
+
+def lint_source(
+    source: Any,
+    *,
+    consts: Optional[Dict[str, Any]] = None,
+    env: Optional[Dict[str, List[Any]]] = None,
+) -> CheckReport:
+    """Parse a Python function (source text or object) through the
+    loop frontend and lint every loop in it.
+
+    Raises :class:`~repro.loops.pyfrontend.FrontendError` when the
+    source is not in the supported single-function loop-nest form --
+    that is a usage error, not a lint finding.
+    """
+    from ..loops.pyfrontend import loops_from_source
+
+    program = loops_from_source(source, consts=consts)
+    return lint_program(program, env=env)

@@ -1,0 +1,276 @@
+"""Adversarial schedule mutations: the verifier's sparring partner.
+
+Property-based self-test for :mod:`repro.check.schedule`: take a
+*valid* planner-produced :class:`~repro.engine.plan.OrdinaryPlan`,
+apply a semantics-breaking mutation, and require the verifier to
+reject the result.  Every mutation models a real corruption mode of a
+serialized / hand-edited / miscomputed plan:
+
+===================  =====================================================
+kind                 models                                  caught by
+===================  =====================================================
+``swap_rounds``      reordered barrier phases                SCH002/SCH003
+``perturb_gather``   one gather index off                    SCH002
+``drop_round``       a lost barrier phase                    SCH002/SCH004
+``duplicate_active`` a write slot emitted twice              SCH001
+``corrupt_pred``     pred drifting from (g, f)               SCH006
+``truncate``         a schedule cut short                    SCH004
+``shift_shard``      a one-sided Brent boundary shift        SHM001/SHM002
+===================  =====================================================
+
+(A *coherent* boundary shift -- both neighbours moving together -- is
+deliberately not a mutation: it yields a different but still exact
+partition, which is race-free and must remain accepted.  The bug being
+modelled is two workers disagreeing about one boundary, which drops or
+double-executes a slot.)
+
+All mutations are seeded and pure: the input plan is never modified.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MUTATION_KINDS",
+    "SHARD_MUTATION_KINDS",
+    "Mutation",
+    "mutate_plan",
+    "mutation_campaign",
+]
+
+MUTATION_KINDS: Tuple[str, ...] = (
+    "swap_rounds",
+    "perturb_gather",
+    "drop_round",
+    "duplicate_active",
+    "corrupt_pred",
+    "truncate",
+)
+
+SHARD_MUTATION_KINDS: Tuple[str, ...] = ("shift_shard",)
+
+
+@dataclass
+class Mutation:
+    """One applied mutation.
+
+    ``plan`` is the mutated copy (schedule mutations), or the original
+    plan with ``boundaries`` carrying the corrupted per-round shard
+    layout (``shift_shard``; feed it to
+    :func:`~repro.check.schedule.verify_shard_layout`).
+    """
+
+    kind: str
+    description: str
+    plan: Any
+    boundaries: Optional[List[List[Tuple[int, int]]]] = None
+    workers: int = 0
+    data: dict = field(default_factory=dict)
+
+
+def _clone(plan: Any) -> Any:
+    from ..engine.plan import OrdinaryPlan
+
+    return OrdinaryPlan(
+        fingerprint=plan.fingerprint,
+        n=int(plan.n),
+        m=int(plan.m),
+        g=np.array(plan.g, dtype=np.int64, copy=True),
+        f=np.array(plan.f, dtype=np.int64, copy=True),
+        pred=np.array(plan.pred, dtype=np.int64, copy=True),
+        steps=[
+            (np.array(a, copy=True), np.array(s, copy=True))
+            for a, s in plan.steps
+        ],
+    )
+
+
+def _brent(lo: int, hi: int, rank: int, nworkers: int) -> Tuple[int, int]:
+    size = hi - lo
+    return lo + rank * size // nworkers, lo + (rank + 1) * size // nworkers
+
+
+def mutate_plan(
+    plan: Any, kind: str, seed: int = 0, *, workers: int = 4
+) -> Optional[Mutation]:
+    """Apply one seeded mutation of ``kind``; ``None`` when the plan is
+    too small for it (e.g. ``swap_rounds`` on a 1-round schedule)."""
+    # zlib.crc32 rather than hash(): stable across processes
+    # (str hashing is randomized by PYTHONHASHSEED).
+    rng = random.Random((seed * 1_000_003) ^ zlib.crc32(kind.encode()))
+    rounds = len(plan.steps)
+    n = int(plan.n)
+
+    if kind == "swap_rounds":
+        if rounds < 2:
+            return None
+        i = rng.randrange(rounds - 1)
+        j = rng.randrange(i + 1, rounds)
+        mutated = _clone(plan)
+        mutated.steps[i], mutated.steps[j] = mutated.steps[j], mutated.steps[i]
+        return Mutation(
+            kind=kind,
+            description=f"swapped rounds {i} and {j}",
+            plan=mutated,
+            data={"i": i, "j": j},
+        )
+
+    if kind == "perturb_gather":
+        if rounds == 0 or n < 2:
+            return None
+        r = rng.randrange(rounds)
+        active, src = plan.steps[r]
+        if active.size == 0:
+            return None
+        k = rng.randrange(int(active.size))
+        delta = rng.randrange(1, n)
+        mutated = _clone(plan)
+        new_src = mutated.steps[r][1]
+        new_src[k] = (int(new_src[k]) + delta) % n
+        return Mutation(
+            kind=kind,
+            description=f"round {r} slot {k}: gather index +{delta} (mod {n})",
+            plan=mutated,
+            data={"round": r, "slot": k},
+        )
+
+    if kind == "drop_round":
+        if rounds == 0:
+            return None
+        r = rng.randrange(rounds)
+        mutated = _clone(plan)
+        del mutated.steps[r]
+        return Mutation(
+            kind=kind,
+            description=f"dropped round {r} of {rounds}",
+            plan=mutated,
+            data={"round": r},
+        )
+
+    if kind == "duplicate_active":
+        if rounds == 0:
+            return None
+        r = rng.randrange(rounds)
+        active, src = plan.steps[r]
+        if active.size == 0:
+            return None
+        k = rng.randrange(int(active.size))
+        mutated = _clone(plan)
+        a, s = mutated.steps[r]
+        mutated.steps[r] = (
+            np.append(a, a[k]),
+            np.append(s, s[k]),
+        )
+        return Mutation(
+            kind=kind,
+            description=f"round {r}: write slot for iteration "
+            f"{int(active[k])} emitted twice",
+            plan=mutated,
+            data={"round": r, "iteration": int(active[k])},
+        )
+
+    if kind == "corrupt_pred":
+        if n == 0:
+            return None
+        i = rng.randrange(n)
+        orig = int(plan.pred[i])
+        choices = [v for v in range(-1, n) if v != orig]
+        mutated = _clone(plan)
+        mutated.pred[i] = rng.choice(choices)
+        return Mutation(
+            kind=kind,
+            description=f"pred[{i}]: {orig} -> {int(mutated.pred[i])}",
+            plan=mutated,
+            data={"iteration": i},
+        )
+
+    if kind == "truncate":
+        if rounds == 0:
+            return None
+        mutated = _clone(plan)
+        mutated.steps = mutated.steps[:-1]
+        return Mutation(
+            kind=kind,
+            description=f"dropped the final round ({rounds - 1})",
+            plan=mutated,
+        )
+
+    if kind == "shift_shard":
+        if workers < 2 or rounds == 0:
+            return None
+        # Find a round and an interior boundary that can shift by one
+        # slot on ONE side only: the neighbouring ranks then disagree,
+        # dropping a slot (gap) or executing it twice (overlap).
+        candidates = []
+        for r, (active, _src) in enumerate(plan.steps):
+            size = int(active.size)
+            if size < 2:
+                continue
+            offsets = sum(
+                int(a.size) for a, _ in plan.steps[:r]
+            )
+            shards = [
+                _brent(offsets, offsets + size, w, workers)
+                for w in range(workers)
+            ]
+            for w in range(1, workers):
+                b = shards[w][0]
+                if shards[w - 1][0] < b < shards[w][1]:
+                    candidates.append((r, w, shards))
+        if not candidates:
+            return None
+        r, w, shards = rng.choice(candidates)
+        direction = rng.choice((+1, -1))
+        corrupted = list(shards)
+        lo_w, hi_w = corrupted[w]
+        # Only rank w's start moves; rank w-1 keeps its end.
+        corrupted[w] = (lo_w + direction, hi_w)
+        boundaries: List[List[Tuple[int, int]]] = []
+        offset = 0
+        for rr, (active, _src) in enumerate(plan.steps):
+            size = int(active.size)
+            if rr == r:
+                boundaries.append(corrupted)
+            else:
+                boundaries.append(
+                    [
+                        _brent(offset, offset + size, ww, workers)
+                        for ww in range(workers)
+                    ]
+                )
+            offset += size
+        effect = "gap (slot dropped)" if direction > 0 else "overlap (slot run twice)"
+        return Mutation(
+            kind=kind,
+            description=f"round {r}: rank {w}'s lower boundary shifted "
+            f"{direction:+d} -- {effect}",
+            plan=plan,
+            boundaries=boundaries,
+            workers=workers,
+            data={"round": r, "rank": w, "direction": direction},
+        )
+
+    raise ValueError(f"unknown mutation kind {kind!r}")
+
+
+def mutation_campaign(
+    plan: Any,
+    *,
+    kinds: Sequence[str] = MUTATION_KINDS + SHARD_MUTATION_KINDS,
+    seeds: Sequence[int] = range(8),
+    workers: int = 4,
+) -> List[Mutation]:
+    """All applicable (kind, seed) mutations of ``plan``."""
+    out: List[Mutation] = []
+    for kind in kinds:
+        for seed in seeds:
+            mut = mutate_plan(plan, kind, seed, workers=workers)
+            if mut is not None:
+                out.append(mut)
+    return out

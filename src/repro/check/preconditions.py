@@ -1,0 +1,309 @@
+"""Precondition prover: the paper's safety side-conditions as findings.
+
+The parallelization theorems each rest on statically checkable
+preconditions (PAPER.md sections 2-4): ``g`` injective and ``h = g``
+for OrdinaryIR, a commutative-and-associative operator plus an acyclic
+dependence DAG for GIR, finite coefficients (with ``det = 0`` handled
+by the absorbing rule) for Moebius.  The core data model enforces the
+hard ones by raising; this module re-expresses every one of them as a
+typed :class:`~repro.check.findings.Finding` so callers -- the CLI,
+CI, crash reports -- get a *complete, structured* bill of health
+instead of the first bare exception.
+
+The finding constructors (``domain_finding``, ``injectivity_finding``,
+``chain_cycle_finding``, ...) are also the single source of the
+messages the core validation layer raises with: ``repro.core``
+delegates here, so an exit-code-3 failure carries the same ``Finding``
+payload the prover would report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from .findings import CheckReport, Finding, error, info, warning
+
+__all__ = [
+    "check_system",
+    "check_ordinary",
+    "check_gir",
+    "check_moebius",
+    "domain_finding",
+    "injectivity_finding",
+    "chain_cycle_finding",
+    "graph_cycle_finding",
+]
+
+# ---------------------------------------------------------------------------
+# Finding constructors shared with the core validation layer
+# ---------------------------------------------------------------------------
+
+
+def domain_finding(
+    arr: np.ndarray, m: int, name: str, *, where: str = ""
+) -> Optional[Finding]:
+    """PRE002 when ``arr`` leaves the array domain ``[0, m)``, naming
+    the first offending iteration (the eager bound check
+    :func:`repro.core.equations.as_index_array` raises with)."""
+    arr = np.asarray(arr)
+    if arr.size == 0 or (int(arr.min()) >= 0 and int(arr.max()) < m):
+        return None
+    bad_mask = (arr < 0) | (arr >= m)
+    iteration = int(np.argmax(bad_mask))
+    bad = int(arr[iteration])
+    return error(
+        "PRE002",
+        f"{name} maps iteration {iteration} to cell {bad}, outside "
+        f"the array domain [0, {m})",
+        where=where or name,
+        hint=f"index maps must stay within the initial array (m={m})",
+        data={"map": name, "iteration": iteration, "cell": bad, "m": int(m)},
+    )
+
+
+def injectivity_finding(
+    g: np.ndarray, *, name: str = "g", where: str = ""
+) -> Optional[Finding]:
+    """PRE001 when two iterations assign the same cell."""
+    g = np.asarray(g)
+    n = int(g.shape[0])
+    if len(np.unique(g)) == n:
+        return None
+    seen: dict = {}
+    for i, cell in enumerate(g.tolist()):
+        if cell in seen:
+            return error(
+                "PRE001",
+                f"{name} is not injective: cell {cell} is assigned by "
+                f"iterations {seen[cell]} and {i}",
+                where=where or name,
+                hint="use normalize_non_distinct() to rewrite into a "
+                "distinct-g GIR system",
+                data={"cell": int(cell), "iterations": [seen[cell], i]},
+            )
+        seen[cell] = i
+    return None  # pragma: no cover - unreachable
+
+
+def chain_cycle_finding(
+    iteration: int, n: int, chain_tail: Sequence[int], *, where: str = ""
+) -> Finding:
+    """PRE003 for the trace-walk bound: a predecessor chain longer than
+    ``n`` proves the (hand-supplied) predecessor array cycles."""
+    return error(
+        "PRE003",
+        f"predecessor chain of iteration {iteration} exceeds n={n} "
+        "nodes; the supplied predecessor array contains a cycle",
+        where=where or f"iteration {iteration}",
+        hint="rebuild pred with predecessor_array(); Lemma-1 chains "
+        "strictly decrease",
+        data={"iteration": int(iteration), "cycle": [int(c) for c in chain_tail]},
+    )
+
+
+def graph_cycle_finding(
+    cycle: Sequence[int], path: str, *, where: str = "dependence graph"
+) -> Finding:
+    """PRE003 for :meth:`DependenceGraph.validate_acyclic`."""
+    return error(
+        "PRE003",
+        f"dependence graph contains a cycle ({path}); the "
+        "path-doubling iterations would never converge",
+        where=where,
+        hint="operand targets must reference earlier iterations only",
+        data={"cycle": [int(v) for v in cycle]},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Whole-system provers
+# ---------------------------------------------------------------------------
+
+
+def _check_operator(op: Any, report: CheckReport, *, need_commutative: bool) -> None:
+    report.ran()
+    if not getattr(op, "associative", False):
+        report.add(
+            error(
+                "PRE005",
+                f"operator {op.name!r} is not declared associative; trace "
+                "concatenation is unsound without associativity",
+                hint="declare associative=True only when op truly is",
+            )
+        )
+    if need_commutative:
+        report.ran()
+        if not getattr(op, "commutative", False):
+            report.add(
+                error(
+                    "PRE004",
+                    f"operator {op.name!r} is not commutative; the GIR "
+                    "path counter reorders operands (the paper's P != NC "
+                    "guard, section 4)",
+                    hint="GIR requires commutativity; OrdinaryIR does not",
+                )
+            )
+
+
+def check_ordinary(system: Any) -> CheckReport:
+    """Prove an :class:`~repro.core.equations.OrdinaryIRSystem`'s
+    preconditions, reporting *all* violations."""
+    report = CheckReport(subject=f"ordinary n={system.n} m={system.m}")
+    _check_operator(system.op, report, need_commutative=False)
+    report.ran(2)
+    for name in ("g", "f"):
+        finding = domain_finding(getattr(system, name), system.m, name)
+        if finding is not None:
+            report.add(finding)
+    report.ran()
+    finding = injectivity_finding(system.g)
+    if finding is not None:
+        report.add(finding)
+    report.ran()
+    if system.f.shape != system.g.shape:
+        report.add(
+            error(
+                "PRE008",
+                f"f and g must have equal length, got {system.f.shape} "
+                f"vs {system.g.shape}",
+            )
+        )
+    return report
+
+
+def check_gir(system: Any) -> CheckReport:
+    """Prove a :class:`~repro.core.equations.GIRSystem`'s
+    preconditions, including acyclicity of the dependence DAG (via
+    :meth:`DependenceGraph.find_cycle`)."""
+    from ..core.depgraph import build_dependence_graph
+    from ..core.equations import normalize_non_distinct
+
+    report = CheckReport(subject=f"gir n={system.n} m={system.m}")
+    _check_operator(system.op, report, need_commutative=True)
+    report.ran(3)
+    for name in ("g", "f", "h"):
+        finding = domain_finding(getattr(system, name), system.m, name)
+        if finding is not None:
+            report.add(finding)
+    report.ran()
+    if system.h.shape != system.g.shape or system.f.shape != system.g.shape:
+        report.add(
+            error(
+                "PRE008",
+                f"f/h/g lengths disagree: {system.f.shape} / "
+                f"{system.h.shape} / {system.g.shape}",
+            )
+        )
+    if not report.ok:
+        return report
+
+    work = system
+    if not system.g_is_distinct():
+        report.add(
+            info(
+                "IR008",
+                "g is not injective; the planner applies single-"
+                "assignment renaming before CAP",
+            )
+        )
+        try:
+            work = normalize_non_distinct(system).system
+        except Exception as exc:
+            report.add(
+                error("PRE001", f"single-assignment renaming failed: {exc}")
+            )
+            return report
+    report.ran()
+    graph = build_dependence_graph(work)
+    cycle = graph.find_cycle()
+    if cycle:
+        path = " -> ".join(graph.node_label(v) for v in cycle + cycle[:1])
+        report.add(graph_cycle_finding(cycle, path))
+    return report
+
+
+def check_moebius(rec: Any) -> CheckReport:
+    """Prove a Moebius recurrence's preconditions: injective ``g``,
+    in-domain maps, finite coefficients; ``det = 0`` rows are reported
+    as PRE006 *info* (the absorbing constant-map rule handles them --
+    they are legal, but worth surfacing since the float fast path
+    classifies them with a tolerance)."""
+    report = CheckReport(subject=f"moebius n={rec.n} m={rec.m}")
+    report.ran(2)
+    for name in ("g", "f"):
+        finding = domain_finding(
+            np.asarray(getattr(rec, name)), rec.m, name
+        )
+        if finding is not None:
+            report.add(finding)
+    report.ran()
+    finding = injectivity_finding(np.asarray(rec.g))
+    if finding is not None:
+        report.add(finding)
+
+    coeffs = {
+        "a": np.asarray(rec.a, dtype=object),
+        "b": np.asarray(rec.b, dtype=object),
+        "c": np.asarray(rec.c, dtype=object),
+        "d": np.asarray(rec.d, dtype=object),
+    }
+    report.ran()
+    for name, arr in coeffs.items():
+        for i, v in enumerate(arr.tolist()):
+            if isinstance(v, float) and not np.isfinite(v):
+                report.add(
+                    error(
+                        "PRE007",
+                        f"coefficient {name}[{i}] = {v!r} is not finite",
+                        where=f"iteration {i}",
+                        hint="non-finite coefficients poison every chain "
+                        "the iteration participates in",
+                    )
+                )
+    report.ran()
+    degenerate = 0
+    first = -1
+    for i in range(rec.n):
+        mat = rec.coefficient_matrix(i)
+        try:
+            if mat.det() == 0:
+                degenerate += 1
+                if first < 0:
+                    first = i
+        except TypeError:  # non-numeric exotic coefficient types
+            continue
+    if degenerate:
+        report.add(
+            info(
+                "PRE006",
+                f"{degenerate} iteration(s) have det = 0 coefficient "
+                f"matrices (first: iteration {first}); the odot "
+                "absorbing rule applies (constant maps)",
+                data={"count": degenerate, "first": first},
+            )
+        )
+    return report
+
+
+def check_system(source: Any) -> CheckReport:
+    """Dispatch on the source object's family; accepts everything
+    :func:`repro.engine.solve` accepts."""
+    from ..core.equations import GIRSystem, OrdinaryIRSystem
+    from ..core.moebius import RationalRecurrence
+
+    if isinstance(source, OrdinaryIRSystem):
+        return check_ordinary(source)
+    if isinstance(source, GIRSystem):
+        return check_gir(source)
+    if isinstance(source, RationalRecurrence):
+        return check_moebius(source)
+    report = CheckReport(subject=type(source).__name__)
+    report.add(
+        warning(
+            "PRE008",
+            f"no precondition prover for {type(source).__name__}",
+        )
+    )
+    return report

@@ -1,0 +1,662 @@
+"""Static schedule verification: prove a plan race-free without running it.
+
+The value engines (``numpy`` / ``python`` / ``shm`` / batch) replay an
+:class:`~repro.engine.plan.OrdinaryPlan`'s round schedule verbatim:
+per round they gather ``val[src]`` from the pre-round state, then
+scatter ``op(val[src], val[active])`` into ``val[active]``.  This
+module proves -- from the index structure alone, for *any* plan
+including one rehydrated via
+:func:`~repro.engine.plan.plan_from_dict` -- that such a replay is
+race-free and trace-equivalent to the sequential loop:
+
+1. **Write-conflict freedom** (SCH001): within a round, no iteration
+   id appears twice in the active set, so the scatter has no
+   write-write race under any worker interleaving.
+2. **Happens-before** (SCH002/SCH003): the symbolic pointer state
+   ``ptr`` (initialized to the Lemma-1 predecessor array) is replayed
+   round by round.  Every gather must read exactly the cell holding
+   the iteration's *current* predecessor segment -- a source that is
+   not ``ptr[active]`` would read a cell whose chain segment does not
+   abut the writer's, i.e. a value not finalized for that concatenation.
+3. **Trace equivalence** (SCH004/SCH006): ``pred`` is independently
+   recomputed from ``(g, f)`` (Lemma 1), and the replay must finish
+   with every chain closed (``ptr == -1``).  By induction each round
+   preserves the invariant "``val[g(i)]`` holds the product of the
+   trace segment ``(ptr[i], i]``", so a complete replay computes
+   exactly the sequential traces -- in the symbolic index domain, for
+   every value assignment.
+
+The verifier accepts *any* correct schedule (including lazy variants
+that delay jumps), not just the canonical one the planner emits; the
+adversarial mutation suite (:mod:`repro.check.mutate`) relies on this
+being a semantic -- not byte-comparison -- check.
+
+For the ``shm`` backend, :func:`verify_shard_layout` additionally
+proves the Brent shard split used by
+:func:`repro.engine.shm_pool._shard` never splits a written cell
+across workers inside a barrier phase (SHM001/SHM002): the per-round
+shards must partition the round's schedule slots exactly, and -- with
+slot-unique active ids -- gather writes (``scratch[active]``) and
+combine writes (``val[active]``) are then disjoint across workers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .findings import CheckReport, error, info, warning
+
+__all__ = [
+    "verify_plan",
+    "verify_ordinary_schedule",
+    "verify_shard_layout",
+    "verify_or_raise",
+]
+
+#: Deep CAP-table verification against the dependence-graph oracle is
+#: O(n * leaves); bounded so ``verify_plan`` stays cheap by default.
+GIR_ORACLE_MAX_N = 2048
+
+
+def _brent_shard(lo: int, hi: int, rank: int, nworkers: int) -> Tuple[int, int]:
+    # Mirrors repro.engine.shm_pool._shard; duplicated as a frozen
+    # contract so the verifier stays independent of the implementation
+    # under test (a drifting formula must fail verification, not
+    # silently re-verify itself).
+    size = hi - lo
+    return lo + rank * size // nworkers, lo + (rank + 1) * size // nworkers
+
+
+# ---------------------------------------------------------------------------
+# Ordinary round schedules
+# ---------------------------------------------------------------------------
+
+
+def verify_ordinary_schedule(plan: Any, *, where: str = "plan") -> CheckReport:
+    """Prove an :class:`~repro.engine.plan.OrdinaryPlan` race-free and
+    trace-equivalent to the sequential loop (see module docstring)."""
+    report = CheckReport(subject=where)
+    n, m = int(plan.n), int(plan.m)
+    g = np.asarray(plan.g, dtype=np.int64)
+    f = np.asarray(plan.f, dtype=np.int64)
+    pred = np.asarray(plan.pred, dtype=np.int64)
+
+    # -- shapes and bounds --------------------------------------------
+    report.ran()
+    if n < 0 or m < 0 or g.shape != (n,) or f.shape != (n,) or pred.shape != (n,):
+        report.add(
+            error(
+                "SCH007",
+                f"plan metadata n={n}, m={m} disagrees with map shapes "
+                f"g{g.shape}, f{f.shape}, pred{pred.shape}",
+                where=where,
+                hint="rebuild the plan; do not edit serialized plans by hand",
+            )
+        )
+        return report
+
+    report.ran()
+    for name, arr, hi in (("g", g, m), ("f", f, m)):
+        if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= hi):
+            bad = int(np.argmax((arr < 0) | (arr >= hi)))
+            report.add(
+                error(
+                    "SCH005",
+                    f"{name} maps iteration {bad} to cell {int(arr[bad])}, "
+                    f"outside the array domain [0, {hi})",
+                    where=where,
+                    data={"map": name, "iteration": bad},
+                )
+            )
+    if pred.size and (int(pred.min()) < -1 or int(pred.max()) >= n):
+        bad = int(np.argmax((pred < -1) | (pred >= n)))
+        report.add(
+            error(
+                "SCH005",
+                f"pred[{bad}] = {int(pred[bad])} outside [-1, {n})",
+                where=where,
+                data={"map": "pred", "iteration": bad},
+            )
+        )
+    if not report.ok:
+        return report
+
+    # -- g injectivity + predecessor consistency (Lemma 1) -----------
+    # writer[g] == arange(n) simultaneously proves g injective (a
+    # duplicate cell keeps only its last writer) and gives the writer
+    # map for the pred cross-check -- O(n + m), no sort.
+    report.ran(2)
+    idx = np.arange(n, dtype=np.int64)
+    writer = np.full(m, -1, dtype=np.int64)
+    writer[g] = idx
+    if not np.array_equal(writer[g], idx):
+        dup = int(g[np.argmax(writer[g] != idx)])
+        its = np.nonzero(g == dup)[0][:2].tolist()
+        report.add(
+            error(
+                "SCH009",
+                f"plan g is not injective: cell {dup} is written by "
+                f"iterations {its[0]} and {its[1]}; the round replay "
+                "would race on it",
+                where=where,
+                data={"cell": dup, "iterations": its},
+                hint="OrdinaryIR requires distinct g; normalize first",
+            )
+        )
+        return report
+    cand = writer[f]
+    expected_pred = np.where(cand < idx, cand, -1)
+    if not np.array_equal(expected_pred, pred):
+        bad = int(np.argmax(expected_pred != pred))
+        report.add(
+            error(
+                "SCH006",
+                f"pred[{bad}] = {int(pred[bad])} but Lemma 1 gives "
+                f"{int(expected_pred[bad])} from (g, f); the schedule "
+                "would concatenate a different trace than the "
+                "sequential loop",
+                where=where,
+                data={
+                    "iteration": bad,
+                    "got": int(pred[bad]),
+                    "expected": int(expected_pred[bad]),
+                },
+            )
+        )
+        return report
+
+    # -- symbolic pointer replay --------------------------------------
+    ptr = pred.copy()
+    for r, (active_raw, src_raw) in enumerate(plan.steps):
+        active = np.asarray(active_raw, dtype=np.int64)
+        src = np.asarray(src_raw, dtype=np.int64)
+        loc = f"{where} round {r}"
+        report.ran(4)
+
+        if active.shape != src.shape or active.ndim != 1:
+            report.add(
+                error(
+                    "SCH007",
+                    f"round arrays disagree: active{active.shape} vs "
+                    f"src{src.shape}",
+                    where=loc,
+                )
+            )
+            return report
+        if active.size == 0:
+            report.add(
+                warning(
+                    "SCH007",
+                    "empty round (no active iterations); the executors "
+                    "tolerate it but the planner never emits one",
+                    where=loc,
+                )
+            )
+            continue
+        lo = int(min(active.min(), src.min()))
+        hi = int(max(active.max(), src.max()))
+        if lo < 0 or hi >= n:
+            report.add(
+                error(
+                    "SCH005",
+                    f"schedule references iteration {lo if lo < 0 else hi} "
+                    f"outside [0, {n})",
+                    where=loc,
+                )
+            )
+            return report
+
+        # Write-conflict freedom.  Planner rounds come from np.nonzero
+        # and are strictly increasing; fall back to counting only when
+        # that cheap proof fails.
+        if active.size > 1 and not bool(np.all(np.diff(active) > 0)):
+            uniq, counts = np.unique(active, return_counts=True)
+            if bool(np.any(counts > 1)):
+                dup = int(uniq[np.argmax(counts > 1)])
+                report.add(
+                    error(
+                        "SCH001",
+                        f"iteration {dup} (cell {int(g[dup])}) appears "
+                        f"{int(counts.max())} times in one round's write "
+                        "set: a write-write race under parallel replay",
+                        where=loc,
+                        data={"iteration": dup, "cell": int(g[dup])},
+                    )
+                )
+                return report
+
+        cur = ptr[active]
+        if int(cur.min()) < 0:
+            bad = int(active[np.argmax(cur < 0)])
+            report.add(
+                error(
+                    "SCH003",
+                    f"iteration {bad} is active but its chain is already "
+                    "complete; the gather would re-concatenate a "
+                    "finalized value",
+                    where=loc,
+                    data={"iteration": bad},
+                )
+            )
+            return report
+        if not np.array_equal(src, cur):
+            k = int(np.argmax(src != cur))
+            report.add(
+                error(
+                    "SCH002",
+                    f"iteration {int(active[k])} gathers from iteration "
+                    f"{int(src[k])} but its current predecessor is "
+                    f"{int(cur[k])}: the read cell's trace segment is "
+                    "not adjacent (happens-before violation)",
+                    where=loc,
+                    data={
+                        "iteration": int(active[k]),
+                        "got": int(src[k]),
+                        "expected": int(cur[k]),
+                    },
+                )
+            )
+            return report
+
+        # Synchronous pointer jump: gather pre-round ptr[src], then
+        # scatter -- exactly the two-phase gather/combine the engines
+        # (and the shm barrier) implement.
+        ptr[active] = ptr[src]
+
+    # -- completeness --------------------------------------------------
+    report.ran()
+    open_mask = ptr >= 0
+    if bool(open_mask.any()):
+        first = int(np.argmax(open_mask))
+        report.add(
+            error(
+                "SCH004",
+                f"{int(open_mask.sum())} chain(s) still open after the "
+                f"last round (first: iteration {first}); the replay "
+                "would return partial traces",
+                where=where,
+                data={"open": int(open_mask.sum()), "first": first},
+            )
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# shm shard layouts
+# ---------------------------------------------------------------------------
+
+
+def _verify_shard_layouts(
+    plan: Any,
+    counts: Sequence[int],
+    *,
+    boundaries: Optional[Sequence[Sequence[Tuple[int, int]]]] = None,
+    where: str = "shm",
+) -> Dict[int, CheckReport]:
+    """Verify every worker count in ``counts`` in ONE pass over
+    ``plan.steps``.
+
+    The expensive per-round work -- materializing the active array and
+    the sortedness test that gates the duplicate-id scan -- is
+    identical for every worker count, so sharing it makes verifying
+    the whole 1/2/4/8 matrix cost barely more than one count.  A
+    count stops being scanned after its first finding (mirroring the
+    single-count early return).  ``boundaries`` (the mutation suite's
+    override) requires exactly one count.
+    """
+    if boundaries is not None and len(counts) != 1:
+        raise ValueError("boundaries override requires exactly one worker count")
+    reports: Dict[int, CheckReport] = {}
+    live: List[int] = []
+    for raw in counts:
+        count = int(raw)
+        report = reports[count] = CheckReport(subject=f"{where} x{count}")
+        if count < 1:
+            report.add(
+                error(
+                    "SHM001",
+                    f"worker count must be >= 1, got {count}",
+                    where=where,
+                )
+            )
+        else:
+            live.append(count)
+
+    offset = 0
+    for r, (active_raw, _src) in enumerate(plan.steps):
+        if not live:
+            break
+        active = np.asarray(active_raw, dtype=np.int64)
+        size = int(active.size)
+        lo, hi = offset, offset + size
+        offset = hi
+        loc = f"{where} round {r}"
+
+        # Slot-unique active ids (verified by SCH001) arrive sorted
+        # from the planner, making the duplicate scan vacuous; compute
+        # the gate (and the sort, when it bites) once for all counts.
+        unsorted = size > 1 and not bool(np.all(np.diff(active) > 0))
+        if unsorted:
+            order = np.argsort(active, kind="stable")
+            sorted_active = active[order]
+            same = sorted_active[1:] == sorted_active[:-1]
+
+        for count in list(live):
+            report = reports[count]
+            report.ran(2)
+            if boundaries is not None:
+                shards = [(int(a), int(b)) for a, b in boundaries[r]]
+            else:
+                shards = [_brent_shard(lo, hi, w, count) for w in range(count)]
+
+            # Partition exactness: contiguous ranges must tile [lo, hi).
+            cursor = lo
+            tiled = True
+            for w, (slo, shi) in enumerate(shards):
+                if slo != cursor or shi < slo or shi > hi:
+                    report.add(
+                        error(
+                            "SHM001",
+                            f"rank {w} owns slots [{slo}, {shi}) but the "
+                            f"partition cursor is at {cursor} in [{lo}, {hi}): "
+                            + ("overlap" if slo < cursor else "gap")
+                            + " in the barrier phase",
+                            where=loc,
+                            data={"rank": w, "lo": slo, "hi": shi},
+                        )
+                    )
+                    tiled = False
+                    break
+                cursor = shi
+            if tiled and cursor != hi:
+                report.add(
+                    error(
+                        "SHM001",
+                        f"shards cover [{lo}, {cursor}) but the round has "
+                        f"slots [{lo}, {hi}): {hi - cursor} slot(s) dropped",
+                        where=loc,
+                    )
+                )
+                tiled = False
+            if not tiled:
+                live.remove(count)
+                continue
+
+            # Cell-split detection across ranks: a duplicated active id
+            # straddling a shard boundary is an inter-worker race.
+            if unsorted:
+                rank_of = np.empty(size, dtype=np.int64)
+                for w, (slo, shi) in enumerate(shards):
+                    rank_of[slo - lo : shi - lo] = w
+                split = same & (rank_of[order][1:] != rank_of[order][:-1])
+                if bool(split.any()):
+                    k = int(np.argmax(split))
+                    it = int(sorted_active[k])
+                    report.add(
+                        error(
+                            "SHM002",
+                            f"iteration {it}'s write is claimed by ranks "
+                            f"{int(rank_of[order][k])} and "
+                            f"{int(rank_of[order][k + 1])} in one barrier "
+                            "phase: an inter-worker write-write race",
+                            where=loc,
+                            data={"iteration": it},
+                        )
+                    )
+                    live.remove(count)
+    return reports
+
+
+def verify_shard_layout(
+    plan: Any,
+    workers: int,
+    *,
+    boundaries: Optional[Sequence[Sequence[Tuple[int, int]]]] = None,
+    where: str = "shm",
+) -> CheckReport:
+    """Prove the two-phase shm replay race-free for ``workers`` ranks.
+
+    Replays the slot partition :func:`repro.engine.shm_pool._shard`
+    assigns inside each barrier phase (or an explicit ``boundaries``
+    override: one ``[(lo, hi), ...]`` list per round, as produced by
+    the mutation suite) and checks:
+
+    * **SHM001** -- the per-round shards partition the round's slot
+      range ``[offset[r], offset[r+1])`` exactly: no slot is executed
+      twice (overlap) or dropped (gap).
+    * **SHM002** -- no written cell is claimed by two different
+      workers within one barrier phase.  Gather writes ``scratch[
+      active]`` and combine writes ``val[active]``; with slot-unique
+      active ids a cell can only be split across workers if a
+      duplicate id lands in two shards.
+    """
+    return _verify_shard_layouts(
+        plan, [int(workers)], boundaries=boundaries, where=where
+    )[int(workers)]
+
+
+# ---------------------------------------------------------------------------
+# GIR and Moebius plans
+# ---------------------------------------------------------------------------
+
+
+def _verify_gir(plan: Any, system: Any, report: CheckReport) -> None:
+    n, m = int(plan.n), int(plan.m)
+    report.ran()
+    if plan.dispatch is not None:
+        sub = verify_ordinary_schedule(plan.dispatch, where="dispatch plan")
+        if not sub.ok:
+            report.add(
+                error(
+                    "GIR001",
+                    "the nested ordinary dispatch plan failed verification",
+                    where="gir",
+                    data={"codes": sub.codes()},
+                )
+            )
+        report.extend(sub)
+        return
+    if plan.out_cells is None or plan.tables is None:
+        report.add(
+            error(
+                "GIR005",
+                "plan has neither a dispatch plan nor CAP artifacts "
+                "(out_cells/tables)",
+                where="gir",
+                hint="rebuild the plan from the system",
+            )
+        )
+        return
+
+    out_cells = np.asarray(plan.out_cells, dtype=np.int64)
+    work_m = m + n if plan.renamed else m
+    report.ran(3)
+    if out_cells.shape != (n,) or len(plan.tables) != n:
+        report.add(
+            error(
+                "SCH007",
+                f"CAP artifacts disagree with n={n}: out_cells"
+                f"{out_cells.shape}, {len(plan.tables)} table(s)",
+                where="gir",
+            )
+        )
+        return
+    if n and (int(out_cells.min()) < 0 or int(out_cells.max()) >= work_m):
+        report.add(
+            error(
+                "GIR002",
+                f"out_cells leave the working array [0, {work_m})",
+                where="gir",
+            )
+        )
+        return
+    if np.unique(out_cells).size != n:
+        report.add(
+            error(
+                "GIR003",
+                "output cells are not distinct; two iterations would "
+                "race on one result cell",
+                where="gir",
+                hint="the planner renames non-distinct g before CAP",
+            )
+        )
+        return
+    for i, table in enumerate(plan.tables):
+        for cell, power in table.items():
+            if not (0 <= int(cell) < m) or int(power) < 1:
+                report.add(
+                    error(
+                        "GIR002",
+                        f"table[{i}] entry ({cell}: {power}) is not a "
+                        f"positive power of an original cell < {m}",
+                        where="gir",
+                    )
+                )
+                return
+    if plan.final_cell_of is not None:
+        report.ran()
+        proj = np.asarray(plan.final_cell_of, dtype=np.int64)
+        if proj.shape != (m,) or (
+            m and (int(proj.min()) < 0 or int(proj.max()) >= work_m)
+        ):
+            report.add(
+                error(
+                    "GIR002",
+                    f"final_cell_of does not project {m} cells into "
+                    f"[0, {work_m})",
+                    where="gir",
+                )
+            )
+            return
+
+    # Deep equivalence against the dependence-graph oracle: the CAP
+    # table must equal the exact leaf multiplicities of each trace
+    # (paper Fig 8).  O(n * leaves) -- bounded.
+    if system is not None and n <= GIR_ORACLE_MAX_N:
+        from ..core.equations import normalize_non_distinct
+        from ..core.traces import leaf_counts
+
+        report.ran()
+        work = system
+        if plan.renamed:
+            work = normalize_non_distinct(system).system
+        oracle = leaf_counts(work)
+        for i in range(n):
+            got = {int(c): int(p) for c, p in plan.tables[i].items()}
+            if got != oracle[i]:
+                report.add(
+                    error(
+                        "GIR004",
+                        f"iteration {i}'s power table {got} disagrees "
+                        f"with the trace oracle {oracle[i]}",
+                        where="gir",
+                        data={"iteration": i},
+                    )
+                )
+                return
+        report.add(
+            info(
+                "IR000",
+                f"CAP tables match the trace oracle on all {n} iterations",
+                where="gir",
+            )
+        )
+
+
+def verify_plan(
+    plan: Any,
+    problem: Any = None,
+    *,
+    system: Any = None,
+    workers: Optional[Sequence[int]] = None,
+    where: Optional[str] = None,
+) -> CheckReport:
+    """Verify any plan family; the ``repro check`` CLI and the
+    ``verify_plan=`` engine kwarg both land here.
+
+    ``problem`` (when given) pins the fingerprint (SCH008).  ``system``
+    enables the deep GIR oracle check.  ``workers`` adds
+    :func:`verify_shard_layout` for each worker count (the ``shm``
+    backend's barrier-phase race check).
+    """
+    family = getattr(plan, "family", None)
+    label = where or f"{family or 'plan'} {str(plan.fingerprint)[:12]}"
+    report = CheckReport(subject=label)
+
+    if problem is not None:
+        report.ran()
+        want = problem.fingerprint()
+        if str(plan.fingerprint) != want:
+            report.add(
+                error(
+                    "SCH008",
+                    f"plan fingerprint {str(plan.fingerprint)[:12]}... does "
+                    f"not match the problem ({want[:12]}...): the plan was "
+                    "built for different index maps",
+                    where=label,
+                    hint="rebuild or re-fetch the plan for this problem",
+                )
+            )
+            return report
+
+    if family == "ordinary":
+        report.extend(verify_ordinary_schedule(plan, where=label))
+        sched = plan
+    elif family == "moebius":
+        report.extend(
+            verify_ordinary_schedule(plan.ordinary, where=f"{label} ordinary")
+        )
+        report.ran()
+        if (int(plan.n), int(plan.m)) != (int(plan.ordinary.n), int(plan.ordinary.m)):
+            report.add(
+                error(
+                    "SCH007",
+                    "Moebius plan dims disagree with its nested ordinary plan",
+                    where=label,
+                )
+            )
+        sched = plan.ordinary
+    elif family == "gir":
+        _verify_gir(plan, system, report)
+        sched = plan.dispatch
+    else:
+        report.add(
+            error("SCH007", f"unknown plan family {family!r}", where=label)
+        )
+        return report
+
+    if workers and sched is not None and report.ok:
+        layouts = _verify_shard_layouts(
+            sched, [int(count) for count in workers], where=label
+        )
+        for sub in layouts.values():
+            report.extend(sub)
+    return report
+
+
+def verify_or_raise(
+    plan: Any,
+    problem: Any = None,
+    *,
+    system: Any = None,
+    workers: Optional[Sequence[int]] = None,
+    where: Optional[str] = None,
+) -> CheckReport:
+    """:func:`verify_plan`, raising
+    :class:`~repro.errors.PlanVerificationError` (exit code 8) when any
+    error-severity finding is present."""
+    report = verify_plan(
+        plan, problem, system=system, workers=workers, where=where
+    )
+    if not report.ok:
+        from ..errors import PlanVerificationError
+
+        first = report.errors[0]
+        raise PlanVerificationError(
+            f"plan verification failed: {first.describe()} "
+            f"({len(report.errors)} error finding(s))",
+            report=report,
+        )
+    return report

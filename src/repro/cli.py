@@ -147,7 +147,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="differentially verify sampled cells against the "
         "sequential oracle (exit 6 on mismatch)",
     )
+    solve.add_argument(
+        "--verify",
+        action="store_true",
+        help="statically verify preconditions and the solve plan "
+        "(repro.check) before trusting it (exit 8 on error findings)",
+    )
     _add_obs_flags(solve)
+
+    check = sub.add_parser(
+        "check",
+        help="statically verify a solve plan or IR system JSON file "
+        "(race freedom, happens-before, preconditions; exit 8 on "
+        "error findings)",
+        description=(
+            "Static analysis without execution: PATH is either a plan "
+            "JSON (written by plan_to_dict) whose round schedule is "
+            "proved race-free and trace-equivalent, or a system JSON "
+            "(written by dump_system) whose paper preconditions are "
+            "proved and whose plan is built and verified.  See "
+            "docs/CHECKING.md for the finding-code reference."
+        ),
+    )
+    check.add_argument("path", help="plan JSON or system JSON file")
+    check.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        action="append",
+        help="also verify the shm backend's Brent shard layout for N "
+        "worker processes (repeatable)",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full CheckReport as JSON",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="explain why loops in a Python file did or did not "
+        "parallelize (stable IR0xx finding codes)",
+        description=(
+            "Parse a restricted-Python loop nest (repro.loops "
+            "frontend) and report, per loop, the recognized IR class "
+            "or the specific reason it falls back to sequential "
+            "execution.  Exit 0 when no error finding, 8 otherwise; "
+            "frontend rejections exit 2."
+        ),
+    )
+    lint.add_argument("path", help="Python source file containing the kernel")
+    lint.add_argument(
+        "--const",
+        action="append",
+        default=[],
+        metavar="NAME=INT",
+        help="bind a consts name used in range bounds / indices "
+        "(repeatable)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="print the findings as JSON",
+    )
 
     faults = sub.add_parser(
         "faults",
@@ -416,6 +478,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             collect_stats=args.backend != "pram",
             policy=policy,
             checked=args.check,
+            verify_plan=args.verify,
             options=options,
         )
     except ValueError as exc:
@@ -451,6 +514,106 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print("# WARNING: parallel result differs from sequential "
               "(floating-point reassociation?)", file=sys.stderr)
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import check_system, verify_plan
+    from .check.findings import CheckReport
+
+    path = args.path
+    if not os.path.isfile(path):
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+
+    workers = args.workers or None
+    if isinstance(data, dict) and "schema_version" in data and "family" in data:
+        # A serialized plan (plan_to_dict): verify the schedule alone.
+        from .engine.plan import plan_from_dict
+
+        plan = plan_from_dict(data)
+        report = verify_plan(plan, workers=workers)
+    elif isinstance(data, dict) and "kind" in data:
+        # A serialized system (dump_system): prove preconditions, then
+        # build its plan and verify that too.
+        from .core.serialize import load_system
+        from .engine.problem import Problem
+
+        system = load_system(path)
+        report = CheckReport(subject=path)
+        report.extend(check_system(system))
+        if report.ok:
+            problem = Problem.from_system(system)
+            if problem.family == "ordinary":
+                from .engine import exec_ordinary
+
+                plan = exec_ordinary.build_plan(
+                    system, problem.fingerprint()
+                )
+                report.extend(
+                    verify_plan(plan, problem, workers=workers)
+                )
+            elif problem.family == "gir":
+                from .engine import solve as engine_solve
+
+                captured = engine_solve(system, backend="numpy").plan
+                if captured is not None:
+                    report.extend(
+                        verify_plan(
+                            captured,
+                            problem,
+                            system=system,
+                            workers=workers,
+                        )
+                    )
+    else:
+        print(
+            f"error: {path} is neither a plan JSON (plan_to_dict) nor "
+            "a system JSON (dump_system)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    return 0 if report.ok else 8
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .check import lint_source
+    from .loops.pyfrontend import FrontendError
+
+    path = args.path
+    if not os.path.isfile(path):
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    consts = {}
+    for item in args.const:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            print(f"error: --const expects NAME=INT, got {item!r}", file=sys.stderr)
+            return 2
+        try:
+            consts[name] = int(value)
+        except ValueError:
+            print(f"error: --const {name} must be an int, got {value!r}",
+                  file=sys.stderr)
+            return 2
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        report = lint_source(source, consts=consts or None)
+    except FrontendError as exc:
+        print(f"error [frontend]: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    return 0 if report.ok else 8
 
 
 def _cmd_faults_gen(args: argparse.Namespace) -> int:
@@ -685,6 +848,10 @@ def _dispatch(args: argparse.Namespace) -> int:
             return _cmd_scan(args.values, args.op)
         if args.command == "solve":
             return _cmd_solve(args)
+        if args.command == "check":
+            return _cmd_check(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "faults":
             if args.faults_command == "gen":
                 return _cmd_faults_gen(args)

@@ -181,10 +181,13 @@ class DependenceGraph:
         cycle = self.find_cycle()
         if cycle:
             path = " -> ".join(self.node_label(v) for v in cycle + cycle[:1])
+            from ..check.preconditions import graph_cycle_finding
+
+            finding = graph_cycle_finding(cycle, path)
             raise CyclicDependenceError(
-                f"dependence graph contains a cycle ({path}); the "
-                "path-doubling iterations would never converge",
+                finding.message,
                 cycle=cycle,
+                findings=[finding],
             )
 
     def to_networkx(self):

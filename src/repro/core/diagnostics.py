@@ -14,7 +14,7 @@ from typing import List
 
 from .depgraph import build_dependence_graph
 from .equations import GIRSystem, OrdinaryIRSystem, normalize_non_distinct
-from .traces import chain_lengths, max_chain_length, tree_sizes
+from .traces import chain_lengths, tree_sizes
 
 __all__ = ["explain_ordinary", "explain_gir"]
 

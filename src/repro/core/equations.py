@@ -31,12 +31,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import IRValidationError
-from .operators import Operator, OperatorError
+from .operators import Operator
 
 __all__ = [
     "IRClass",
@@ -109,13 +109,13 @@ def as_index_array(
 
 def _check_domain(arr: np.ndarray, m: int, name: str) -> None:
     if arr.size and (arr.min() < 0 or arr.max() >= m):
-        bad_mask = (arr < 0) | (arr >= m)
-        iteration = int(np.argmax(bad_mask))
-        bad = int(arr[iteration])
-        raise IRValidationError(
-            f"{name} maps iteration {iteration} to cell {bad}, outside "
-            f"the array domain [0, {m})"
-        )
+        # The precondition prover owns the message and the structured
+        # PRE002 payload; crash reports then carry the same finding the
+        # static checker would emit.
+        from ..check.preconditions import domain_finding
+
+        finding = domain_finding(arr, m, name)
+        raise IRValidationError(finding.message, findings=[finding])
 
 
 @dataclass

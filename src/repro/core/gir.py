@@ -31,7 +31,7 @@ pipeline, matching the full paper's deferred remark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from .cap import count_all_paths
 from .depgraph import build_dependence_graph

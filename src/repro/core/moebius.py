@@ -57,14 +57,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..resilience.guard import NumericGuard
 from .equations import IRValidationError, as_index_array
 from .operators import Operator
-from .ordinary import SolveStats
 
 __all__ = [
     "Mat2",

@@ -109,11 +109,13 @@ def ordinary_trace_factors(
         # chain can never exceed n nodes; a hand-supplied pred with a
         # cycle would loop here forever.
         if len(chain) > system.n:
+            from ..check.preconditions import chain_cycle_finding
+
+            finding = chain_cycle_finding(iteration, system.n, chain[-4:])
             raise CyclicDependenceError(
-                f"predecessor chain of iteration {iteration} exceeds n="
-                f"{system.n} nodes; the supplied predecessor array "
-                "contains a cycle",
+                finding.message,
                 cycle=chain[-4:],
+                findings=[finding],
             )
     terminal = chain[-1]
     factors = [int(system.f[terminal])]

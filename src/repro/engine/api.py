@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..obs import get_registry
 from ..obs.recorder import record_event
-from .backends import Backend, ExecutionRequest, resolve_backend
+from .backends import ExecutionRequest, resolve_backend
 from .plan import Plan
 from .planner import PlanCache, get_plan_cache
 from .problem import Problem
@@ -78,6 +78,7 @@ _SOLVE_KWARGS = (
     "max_rounds",
     "allow_rename",
     "allow_ordinary_dispatch",
+    "verify_plan",
     "options",
 )
 _BATCH_KWARGS = (
@@ -90,6 +91,71 @@ _BATCH_KWARGS = (
     "check_sample",
     "f_initial_batch",
 )
+
+
+def _verified(plan, problem, source, *, stage: str):
+    """Run the :mod:`repro.check` schedule verifier over ``plan`` for
+    the ``verify_plan=True`` opt-in; raises
+    :class:`~repro.errors.PlanVerificationError` on error findings and
+    counts ``check.plan.verifications`` either way."""
+    from ..check.schedule import verify_or_raise
+
+    registry = get_registry()
+    family = problem.family
+    try:
+        report = verify_or_raise(
+            plan,
+            problem,
+            system=source if family == "gir" else None,
+        )
+    except Exception:
+        if registry is not None:
+            registry.counter(
+                "check.plan.verifications",
+                family=family,
+                outcome="rejected",
+            ).inc()
+        record_event(
+            "check.plan.rejected", family=family, stage=stage
+        )
+        raise
+    if registry is not None:
+        registry.counter(
+            "check.plan.verifications", family=family, outcome="accepted"
+        ).inc()
+    record_event(
+        "check.plan.verified",
+        family=family,
+        stage=stage,
+        checks=report.checks_run,
+    )
+    return report
+
+
+def _check_preconditions(source, problem) -> None:
+    """Precondition half of ``verify_plan=True``: prove the paper's
+    side-conditions on the source system before planning/executing."""
+    from ..check.preconditions import check_system
+    from ..errors import PlanVerificationError
+
+    report = check_system(source)
+    if not report.ok:
+        registry = get_registry()
+        if registry is not None:
+            registry.counter(
+                "check.preconditions", family=problem.family, outcome="rejected"
+            ).inc()
+        first = report.errors[0]
+        raise PlanVerificationError(
+            f"precondition check failed: {first.describe()} "
+            f"({len(report.errors)} error finding(s))",
+            report=report,
+        )
+    registry = get_registry()
+    if registry is not None:
+        registry.counter(
+            "check.preconditions", family=problem.family, outcome="accepted"
+        ).inc()
 
 
 def _reject_unknown(where: str, unknown, valid) -> None:
@@ -122,6 +188,7 @@ def solve(
     max_rounds: Optional[int] = None,
     allow_rename: bool = True,
     allow_ordinary_dispatch: bool = True,
+    verify_plan: bool = False,
     options: Optional[Dict[str, Any]] = None,
     **unknown: Any,
 ) -> EngineResult:
@@ -136,6 +203,13 @@ def solve(
     ``options`` carries backend/family extras (Moebius ``path`` /
     ``guard``, PRAM ``processors`` / ``fault_plan`` / ...); the
     remaining keywords mirror the historical per-family solvers.
+
+    ``verify_plan=True`` opts into the :mod:`repro.check` static
+    analyzer: the source system's preconditions are proved first, and
+    the solve plan (caller-held, cached, or freshly built) is verified
+    race-free and trace-equivalent -- before execution when the plan is
+    already at hand, after planning otherwise.  Error findings raise
+    :class:`~repro.errors.PlanVerificationError` (exit code 8).
     """
     _reject_unknown("solve()", unknown, _SOLVE_KWARGS)
     problem = Problem.from_system(
@@ -144,6 +218,10 @@ def solve(
         allow_ordinary_dispatch=allow_ordinary_dispatch,
     )
     chosen = resolve_backend(backend, problem)
+    if verify_plan:
+        _check_preconditions(source, problem)
+        if plan is not None:
+            _verified(plan, problem, source, stage="pre")
 
     cache_hit = False
     consulted = False
@@ -157,6 +235,8 @@ def solve(
         consulted = True
         plan = store.get(problem.fingerprint(), family=problem.family)
         cache_hit = plan is not None
+        if verify_plan and cache_hit:
+            _verified(plan, problem, source, stage="cache")
 
     request = ExecutionRequest(
         problem=problem,
@@ -179,6 +259,11 @@ def solve(
     )
     values, stats, built_plan, metrics = chosen.execute(request)
     record_event("solve.end", family=problem.family, backend=chosen.name)
+    if verify_plan and built_plan is not None and built_plan is not plan:
+        # Freshly built this solve (GIR plans only materialize inside
+        # execute): verify post-hoc so a bad plan cannot be cached or
+        # reused even though this execution already consumed it.
+        _verified(built_plan, problem, source, stage="post")
 
     if (
         consulted

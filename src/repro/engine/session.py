@@ -40,7 +40,14 @@ from .problem import Problem
 
 __all__ = ["Session"]
 
-_SESSION_KWARGS = ("backend", "policy", "checked", "check_sample", "options")
+_SESSION_KWARGS = (
+    "backend",
+    "policy",
+    "checked",
+    "check_sample",
+    "verify_plan",
+    "options",
+)
 _SOLVE_KWARGS = ("f_initial", "collect_stats")
 _BATCH_KWARGS = ("f_initial_batch",)
 
@@ -61,6 +68,12 @@ class Session:
     backend, policy, checked, check_sample:
         The standard front-door knobs (see :func:`repro.engine.solve`),
         frozen for the session's lifetime.
+    verify_plan:
+        Opt into :mod:`repro.check`: preconditions are proved and the
+        pinned plan verified at construction (GIR plans, captured from
+        the first solve, are verified at capture).  Error findings
+        raise :class:`~repro.errors.PlanVerificationError` before any
+        request is served with a bad plan.
     options:
         Backend extras (``workers`` for ``shm``, Moebius ``path`` /
         ``guard``, PRAM ``processors``, ...).
@@ -74,6 +87,7 @@ class Session:
         policy=None,
         checked: bool = False,
         check_sample: Optional[int] = 64,
+        verify_plan: bool = False,
         options: Optional[Dict[str, Any]] = None,
         **unknown: Any,
     ):
@@ -88,8 +102,31 @@ class Session:
         self._policy = policy
         self._checked = checked
         self._check_sample = check_sample
+        self._verify = verify_plan
         self._options = dict(options or {})
         self._plan = self._build_plan()
+        if self._verify:
+            from .api import _check_preconditions
+
+            _check_preconditions(self._source, self._problem)
+            if self._plan is not None:
+                self._verify_pinned(self._plan)
+
+    def _verify_pinned(self, plan: Plan) -> None:
+        from .api import _verified
+
+        workers = self._options.get("workers")
+        if workers is not None:
+            from ..check.schedule import verify_or_raise
+
+            verify_or_raise(
+                plan,
+                self._problem,
+                system=self._source if self.family == "gir" else None,
+                workers=[int(workers)],
+            )
+        else:
+            _verified(plan, self._problem, self._source, stage="session")
 
     # -- construction ------------------------------------------------------
 
@@ -185,6 +222,8 @@ class Session:
         started = time.perf_counter() if registry is not None else 0.0
         out, stats, built_plan, metrics = self._backend.execute(request)
         if self._plan is None and built_plan is not None:
+            if self._verify:
+                self._verify_pinned(built_plan)
             self._plan = built_plan  # GIR: pin from the first solve
         if registry is not None:
             registry.counter(
@@ -237,6 +276,8 @@ class Session:
             request, batch_values, f_initial_batch
         )
         if self._plan is None and built_plan is not None:
+            if self._verify:
+                self._verify_pinned(built_plan)
             self._plan = built_plan
         if registry is not None:
             registry.counter(

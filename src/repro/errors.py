@@ -17,6 +17,8 @@ class                       exit code    meaning
 :class:`VerificationError`  6            differential check against the
                                          sequential oracle failed
 :class:`FaultError`         7            PRAM fault injection / recovery failure
+:class:`CheckError`         8            static analysis (:mod:`repro.check`)
+                                         found an error-severity finding
 ==========================  ===========  =======================================
 
 Each class carries ``exit_code`` and ``category`` attributes; the CLI
@@ -43,6 +45,8 @@ __all__ = [
     "VerificationError",
     "FaultError",
     "UnrecoverableFaultError",
+    "CheckError",
+    "PlanVerificationError",
     "exit_code_for",
 ]
 
@@ -54,15 +58,22 @@ class ReproError(Exception):
     (:mod:`repro.obs.recorder`): the error is buffered alongside the
     events leading up to it, and -- when a crash-dump directory is
     configured -- a crash-report JSON is written for the structured
-    exit codes (3-7).  ``crash_report_path`` holds the report's path
+    exit codes (3-8).  ``crash_report_path`` holds the report's path
     when one was written.
+
+    ``findings`` optionally carries :class:`repro.check.Finding`
+    instances (structured static-analysis facts) explaining the
+    failure; they are included in :meth:`diagnosis` and hence in crash
+    reports and CLI ``--json`` error output.
     """
 
     exit_code: int = 1
     category: str = "generic"
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
+        findings = kwargs.pop("findings", None)
         super().__init__(*args, **kwargs)
+        self.findings: List[Any] = list(findings) if findings else []
         self.crash_report_path: Optional[str] = None
         try:
             from repro.obs.recorder import on_structured_error
@@ -74,11 +85,17 @@ class ReproError(Exception):
     def diagnosis(self) -> Dict[str, Any]:
         """Machine-readable description of the failure (CLI ``--json``
         error output and the obs event log both use it)."""
-        return {
+        doc: Dict[str, Any] = {
             "category": self.category,
             "type": type(self).__name__,
             "message": str(self),
         }
+        if self.findings:
+            doc["findings"] = [
+                f.to_dict() if hasattr(f, "to_dict") else repr(f)
+                for f in self.findings
+            ]
+        return doc
 
 
 class IRValidationError(ReproError, ValueError):
@@ -95,9 +112,15 @@ class CyclicDependenceError(IRValidationError):
     pointer-jumping iterations would never converge.  ``cycle`` lists
     the node ids on the offending cycle."""
 
-    def __init__(self, message: str, *, cycle: Optional[Sequence[int]] = None):
-        super().__init__(message)
+    def __init__(
+        self,
+        message: str,
+        *,
+        cycle: Optional[Sequence[int]] = None,
+        findings: Optional[Sequence[Any]] = None,
+    ):
         self.cycle: List[int] = list(cycle) if cycle is not None else []
+        super().__init__(message, findings=findings)
 
     def diagnosis(self) -> Dict[str, Any]:
         doc = super().diagnosis()
@@ -199,6 +222,32 @@ class UnrecoverableFaultError(FaultError):
     def diagnosis(self) -> Dict[str, Any]:
         doc = super().diagnosis()
         doc.update(step=self.step, attempts=self.attempts)
+        return doc
+
+
+class CheckError(ReproError):
+    """Static analysis (:mod:`repro.check`) found error-severity
+    findings.  Raised only on explicit opt-in (``verify_plan=True``,
+    ``repro check``): the checkers themselves report, never raise."""
+
+    exit_code = 8
+    category = "check"
+
+
+class PlanVerificationError(CheckError):
+    """A solve plan failed schedule verification.  ``report`` is the
+    full :class:`repro.check.CheckReport`; ``findings`` (inherited)
+    holds its error-severity findings."""
+
+    def __init__(self, message: str, *, report: Optional[Any] = None):
+        self.report = report
+        errors = list(getattr(report, "errors", None) or [])
+        super().__init__(message, findings=errors)
+
+    def diagnosis(self) -> Dict[str, Any]:
+        doc = super().diagnosis()
+        if self.report is not None and hasattr(self.report, "to_dict"):
+            doc["report"] = self.report.to_dict()
         return doc
 
 

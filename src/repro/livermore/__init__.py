@@ -13,4 +13,20 @@ from .frontend import k23_loop_program, k23_via_frontend
 from .kernels import KERNELS, run_kernel
 from .parallel import PARALLEL_KERNELS, fold_scatter, scatter_add
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "KERNEL_NAMES",
+    "PAPER_GROUPS",
+    "CensusEntry",
+    "ast_model",
+    "census",
+    "census_table",
+    "INPUT_GENERATORS",
+    "kernel_inputs",
+    "k23_loop_program",
+    "k23_via_frontend",
+    "KERNELS",
+    "run_kernel",
+    "PARALLEL_KERNELS",
+    "fold_scatter",
+    "scatter_add",
+]

@@ -28,8 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-import numpy as np
-
 from ..core.equations import IRClass
 from ..loops.ast import AffineIndex, Assign, BinOp, Const, Loop, OpApply, Ref, TableIndex
 from ..loops.recognize import recognize
@@ -165,7 +163,6 @@ def _model_k05(n: int, seed: int) -> Tuple[Loop, Dict[str, List[Any]]]:
 def _model_k07(n: int, seed: int) -> Tuple[Loop, Dict[str, List[Any]]]:
     d = kernel_inputs(7, n, seed)
     r, t, q = d["r"], d["t"], d["q"]
-    u = Ref
     expr = BinOp(
         "+",
         BinOp(

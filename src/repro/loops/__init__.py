@@ -36,4 +36,41 @@ from .transform import (
     pick_arith_operator,
 )
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    # ast
+    "AffineIndex",
+    "Assign",
+    "BinOp",
+    "Compare",
+    "Const",
+    "Loop",
+    "OpApply",
+    "Ref",
+    "TableIndex",
+    "Where",
+    "array_names",
+    "evaluate_compare",
+    "evaluate_expr",
+    "evaluate_loop",
+    # linfrac
+    "DegreeError",
+    "extract_moebius_matrix",
+    # pyfrontend
+    "FrontendError",
+    "loops_from_source",
+    "parallelize_source",
+    # program
+    "LoopProgram",
+    "ProgramResult",
+    "evaluate_program",
+    "parallelize_program",
+    # recognize
+    "Recognition",
+    "RecognitionError",
+    "recognize",
+    # transform
+    "TransformResult",
+    "flip_operator",
+    "parallelize",
+    "pick_arith_operator",
+]

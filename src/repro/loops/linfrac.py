@@ -18,7 +18,7 @@ cell's *initial* value -- the paper's self-term rewrite, valid because
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..core.moebius import Mat2
 from .ast import (
@@ -29,7 +29,6 @@ from .ast import (
     Ref,
     Where,
     evaluate_compare,
-    evaluate_expr,
 )
 
 __all__ = ["DegreeError", "extract_moebius_matrix"]

@@ -31,14 +31,13 @@ paper's selling point:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..core.equations import IRClass
 from ..core.operators import Operator
 from .ast import (
     AffineIndex,
-    Assign,
     BinOp,
     Const,
     Expr,

@@ -221,7 +221,6 @@ def to_chrome_trace(
     ]
     for span in tracer.spans():
         start = _micros(tracer, span.start)
-        end = span.end if span.end is not None else span.start + span.duration
         events.append(
             {
                 "name": span.name,

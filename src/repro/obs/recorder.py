@@ -167,7 +167,7 @@ def record_event(kind: str, **fields: Any) -> None:
 def on_structured_error(exc: BaseException) -> Optional[str]:
     """Hook called from :class:`repro.errors.ReproError` construction:
     buffer an ``error`` event and, for the structured exit codes
-    (3-7), dump a crash report when a dump dir is configured."""
+    (3-8), dump a crash report when a dump dir is configured."""
     code = getattr(exc, "exit_code", 1)
     _recorder.record(
         "error",
@@ -175,6 +175,6 @@ def on_structured_error(exc: BaseException) -> Optional[str]:
         message=str(exc)[:200],
         exit_code=code,
     )
-    if 3 <= code <= 7:
+    if 3 <= code <= 8:
         return _recorder.dump_crash(exc)
     return None

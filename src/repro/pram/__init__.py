@@ -41,4 +41,32 @@ from .vectorized import (
     sequential_time,
 )
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "CostModel",
+    "run_cap_on_pram",
+    "run_gir_on_pram",
+    "run_ordinary_on_pram",
+    "run_sequential_on_pram",
+    "run_trace_eval_on_pram",
+    "PRAM",
+    "AccessPolicy",
+    "MemoryConflictError",
+    "SharedMemory",
+    "RunMetrics",
+    "StepMetrics",
+    "map_time",
+    "run_crcw_min_on_pram",
+    "reduce_time",
+    "run_map_on_pram",
+    "run_reduce_on_pram",
+    "run_scan_on_pram",
+    "scan_time",
+    "ProcContext",
+    "make_bursts",
+    "GIRCostProfile",
+    "OrdinaryCostProfile",
+    "profile_gir",
+    "profile_ordinary",
+    "sequential_time",
+]

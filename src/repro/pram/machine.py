@@ -21,7 +21,7 @@ the cross-validated analytic engine in :mod:`repro.pram.vectorized`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Any, FrozenSet, List, Optional, Tuple
 
 from ..errors import UnrecoverableFaultError
 from ..obs import get_tracer, maybe_span

@@ -16,9 +16,8 @@ provides :class:`SharedMemory`, a collection of named arrays with
 from __future__ import annotations
 
 import enum
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 __all__ = ["AccessPolicy", "MemoryConflictError", "SharedMemory"]
 
@@ -120,7 +119,6 @@ class SharedMemory:
                         f"{sorted(writers)} concurrently wrote {loc[0]}[{loc[1]}]"
                     )
                 if self.policy is AccessPolicy.CRCW_COMMON:
-                    values = {id(v) if not _hashable(v) else v for _p, v in writes}
                     raw = [v for _p, v in writes]
                     if any(v != raw[0] for v in raw[1:]):
                         raise MemoryConflictError(
@@ -165,11 +163,3 @@ class SharedMemory:
     def peek(self, name: str, index: int) -> Any:
         """Host-side read without logging or charging."""
         return self.arrays[name][int(index)]
-
-
-def _hashable(v: Any) -> bool:
-    try:
-        hash(v)
-    except TypeError:
-        return False
-    return True

@@ -21,8 +21,8 @@ so a processor may load an index once and reuse it later.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, Tuple
 
 from .memory import SharedMemory
 

@@ -10,7 +10,7 @@ winner ordering.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple, TypeVar
+from typing import List, Sequence, TypeVar
 
 T = TypeVar("T")
 

@@ -24,7 +24,6 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.equations import GIRSystem, OrdinaryIRSystem
-from ..core.ordinary import SolveStats
 from ..engine import solve as engine_solve
 from .instructions import DEFAULT_COST_MODEL, CostModel
 

@@ -1,0 +1,149 @@
+"""Loop lint: every UNSUPPORTED/fallback verdict must come with a
+stable code explaining *which* structural feature blocked it, and
+supported loops must name their strategy (IR000).
+
+These are the recognizer's edge cases from the issue checklist:
+degree>1 Moebius bodies, three-index bodies, own-cell-only reads --
+plus the operator-algebra and guard diagnostics.
+"""
+
+import pytest
+
+from repro.check import lint_loop, lint_program, lint_source
+from repro.core.operators import CONCAT, make_operator
+from repro.loops import loops_from_source
+from repro.loops.ast import AffineIndex, Assign, Loop, OpApply, Ref
+
+
+def codes(report):
+    return {f.code for f in report.findings}
+
+
+def by_code(report, code):
+    return [f for f in report.findings if f.code == code]
+
+
+def lint_first(source, **kwargs):
+    program = loops_from_source(source, consts=kwargs.pop("consts", None))
+    return lint_loop(program.loops[0], **kwargs)
+
+
+class TestSupported:
+    def test_linear_recurrence_names_strategy(self):
+        report = lint_first(
+            "def k(X, Y):\n"
+            "    for i in range(1, 100):\n"
+            "        X[i] = X[i - 1] * Y[i]\n"
+        )
+        assert report.ok
+        (finding,) = by_code(report, "IR000")
+        assert finding.severity == "info"
+        assert "linear" in finding.message
+
+    def test_own_cell_reduction_is_ir008_plus_ir000(self):
+        # X[0] accumulates every iteration: non-injective g, handled by
+        # single-assignment renaming -- informational, not a blocker.
+        report = lint_first(
+            "def k(X, Y):\n"
+            "    for i in range(0, 50):\n"
+            "        X[0] = X[0] + Y[i]\n"
+        )
+        assert report.ok
+        assert "IR008" in codes(report)
+        assert "IR000" in codes(report)
+
+
+class TestDegree:
+    def test_degree_two_body_is_ir006(self):
+        report = lint_first(
+            "def k(X, Y):\n"
+            "    for i in range(0, 40):\n"
+            "        X[0] = X[0] * X[0] + Y[i]\n"
+        )
+        findings = by_code(report, "IR006")
+        assert findings and findings[0].severity == "warning"
+        assert "degree" in findings[0].message
+
+    def test_degree_one_body_stays_clean(self):
+        report = lint_first(
+            "def k(X, Y):\n"
+            "    for i in range(1, 40):\n"
+            "        X[i] = 2 * X[i - 1] + Y[i]\n"
+        )
+        assert report.ok
+        assert "IR006" not in codes(report)
+
+
+class TestUnsupported:
+    def test_three_index_body_is_ir001(self):
+        report = lint_first(
+            "def k(Z):\n"
+            "    for i in range(3, 100):\n"
+            "        Z[i] = Z[i - 1] + Z[i - 2] + Z[i - 3]\n"
+        )
+        findings = by_code(report, "IR001")
+        assert findings and findings[0].severity == "warning"
+
+    def test_guard_reading_target_is_ir004(self):
+        report = lint_first(
+            "def k(X, Y):\n"
+            "    for i in range(1, 50):\n"
+            "        X[i] = X[i - 1] + Y[i] if X[i - 1] > 0 else Y[i]\n"
+        )
+        assert "IR004" in codes(report)
+
+
+class TestOperatorAlgebra:
+    def loop_with(self, op):
+        # X[i] := op(X[i-1], X[i-2]) -- target read through two maps
+        # with a generic operator: the GIR shape.
+        body = Assign(
+            Ref("X", AffineIndex(1, 2)),
+            OpApply(op, Ref("X", AffineIndex(1, 1)), Ref("X", AffineIndex(1, 0))),
+        )
+        return Loop(40, body)
+
+    def test_non_associative_operator_is_ir003_error(self):
+        shaky = make_operator(
+            "shaky", lambda a, b: a - b, associative=False, commutative=False
+        )
+        report = lint_loop(self.loop_with(shaky))
+        assert not report.ok
+        assert "IR003" in codes(report)
+
+    def test_non_commutative_gir_operator_is_ir009_warning(self):
+        report = lint_loop(self.loop_with(CONCAT))
+        assert "IR009" in codes(report)
+        # warning, not error: the lint explains the upcoming rejection
+        assert all(f.severity != "error" for f in by_code(report, "IR009"))
+
+
+class TestProgramAndSource:
+    def test_program_findings_carry_loop_labels(self):
+        program = loops_from_source(
+            "def k(X, Y, Z):\n"
+            "    for i in range(1, 60):\n"
+            "        X[i] = X[i - 1] * Y[i]\n"
+            "    for i in range(3, 60):\n"
+            "        Z[i] = Z[i - 1] + Z[i - 2] + Z[i - 3]\n"
+        )
+        report = lint_program(program)
+        wheres = {f.where for f in report.findings}
+        assert any("loop 0" in w and "'X'" in w for w in wheres)
+        assert any("loop 1" in w and "'Z'" in w for w in wheres)
+
+    def test_lint_source_with_consts(self):
+        report = lint_source(
+            "def k(X, Y):\n"
+            "    for i in range(1, n):\n"
+            "        X[i] = X[i - 1] * Y[i]\n",
+            consts={"n": 80},
+        )
+        assert report.ok
+        assert "IR000" in codes(report)
+
+    def test_frontend_error_propagates(self):
+        from repro.loops.pyfrontend import FrontendError
+
+        with pytest.raises(FrontendError):
+            lint_source("def k(X):\n    X[0] = 1\n")

@@ -1,0 +1,178 @@
+"""The precondition prover, and its integration with the eager
+validation paths in ``repro.core`` (exit-code-3 failures now carry the
+same structured ``Finding`` payloads the prover emits)."""
+
+import numpy as np
+import pytest
+
+from repro.check import check_system
+from repro.check.preconditions import (
+    check_gir,
+    check_moebius,
+    check_ordinary,
+)
+from repro.core import ADD, CONCAT, GIRSystem, OrdinaryIRSystem
+from repro.core.moebius import RationalRecurrence
+from repro.core.operators import make_operator
+from repro.core.workloads import chain_system, fibonacci_gir_system
+from repro.errors import CyclicDependenceError, IRValidationError
+
+
+def codes(report):
+    return {f.code for f in report.findings}
+
+
+class TestOrdinary:
+    def test_valid_system_clean(self):
+        report = check_ordinary(chain_system(50))
+        assert report.ok
+        assert report.checks_run >= 4
+
+    def test_non_injective_g_is_pre001(self):
+        system = OrdinaryIRSystem.build(
+            [1.0, 1.0, 1.0], [1, 1], [0, 0], ADD, validate=False
+        )
+        report = check_ordinary(system)
+        assert not report.ok
+        assert "PRE001" in codes(report)
+
+    def test_domain_violation_is_pre002(self):
+        # Eager validation blocks out-of-domain maps at build time, so
+        # corrupt the array afterwards -- the prover is the defense for
+        # systems mutated (or deserialized) past the constructor.
+        system = OrdinaryIRSystem.build(
+            [1.0, 1.0, 1.0], [1, 2], [0, 1], ADD
+        )
+        system.f[1] = 9
+        report = check_ordinary(system)
+        assert not report.ok
+        assert "PRE002" in codes(report)
+
+    def test_non_associative_operator_is_pre005(self):
+        shaky = make_operator(
+            "shaky", lambda a, b: a - b, associative=False, commutative=False
+        )
+        system = OrdinaryIRSystem.build(
+            [1.0, 1.0, 1.0], [1, 2], [0, 1], shaky, validate=False
+        )
+        report = check_ordinary(system)
+        assert "PRE005" in codes(report)
+
+
+class TestGIR:
+    def test_valid_system_clean(self):
+        report = check_gir(fibonacci_gir_system(16))
+        assert report.ok
+
+    def test_non_commutative_operator_is_pre004(self):
+        n = 4
+        system = GIRSystem.build(
+            [("a",)] * (n + 1),
+            list(range(1, n + 1)),
+            list(range(n)),
+            list(range(n)),
+            CONCAT,
+            validate=False,
+        )
+        report = check_gir(system)
+        assert "PRE004" in codes(report)
+
+    def test_cycle_finding_constructor_is_pre003(self):
+        from repro.check.preconditions import graph_cycle_finding
+
+        finding = graph_cycle_finding([0, 1, 2], [0, 1, 2, 0])
+        assert finding.code == "PRE003"
+        assert finding.severity == "error"
+
+    def test_non_distinct_g_noted_as_ir008(self):
+        system = GIRSystem.build(
+            [1, 1, 1], [0, 0], [1, 2], [1, 2], ADD, validate=False
+        )
+        report = check_gir(system)
+        assert report.ok  # renaming handles it; info only
+        assert "IR008" in codes(report)
+
+
+class TestMoebius:
+    def build(self, c, d):
+        return RationalRecurrence.build(
+            [1.0, 0.0, 0.0], [1, 2], [0, 1],
+            [1.0, 1.0], [0.5, 0.5], c, d,
+        )
+
+    def test_valid_recurrence_clean(self):
+        report = check_moebius(self.build([0.0, 0.0], [1.0, 1.0]))
+        assert report.ok
+
+    def test_non_finite_coefficient_is_pre007(self):
+        report = check_moebius(self.build([float("nan"), 0.0], [1.0, 1.0]))
+        assert not report.ok
+        assert "PRE007" in codes(report)
+
+    def test_degenerate_det_is_pre006_info_only(self):
+        # a*d - b*c = 0: constant map; absorbing rule applies, not an error.
+        rec = RationalRecurrence.build(
+            [1.0, 0.0, 0.0], [1, 2], [0, 1],
+            [1.0, 1.0], [1.0, 0.5], [1.0, 0.0], [1.0, 1.0],
+        )
+        report = check_moebius(rec)
+        assert report.ok
+        assert "PRE006" in codes(report)
+
+
+class TestDispatch:
+    def test_check_system_routes_all_families(self):
+        assert check_system(chain_system(10)).ok
+        assert check_system(fibonacci_gir_system(8)).ok
+
+    def test_unknown_source_is_pre008_warning(self):
+        report = check_system(object())
+        assert report.ok  # warning, not error
+        assert "PRE008" in codes(report)
+
+
+class TestCoreIntegration:
+    """Satellite: eager validation raises with Finding payloads."""
+
+    def test_domain_validation_carries_pre002(self):
+        with pytest.raises(IRValidationError) as exc_info:
+            OrdinaryIRSystem.build([1.0, 1.0, 1.0], [1, 2], [0, 9], ADD)
+        err = exc_info.value
+        assert err.findings and err.findings[0].code == "PRE002"
+        assert err.findings[0].message in str(err)
+
+    def test_graph_cycle_detection_carries_pre003(self):
+        from repro.core.depgraph import DependenceGraph
+
+        # build_dependence_graph cannot produce a cycle (sequential
+        # semantics forbid it); hand-build one, as a malformed foreign
+        # front end might.
+        graph = DependenceGraph(
+            n=3,
+            m=3,
+            target_f=np.array([1, 2, 0]),
+            target_h=np.array([1, 2, 0]),
+        )
+        with pytest.raises(CyclicDependenceError) as exc_info:
+            graph.validate_acyclic()
+        err = exc_info.value
+        assert err.findings and err.findings[0].code == "PRE003"
+        assert err.cycle  # the legacy attribute is still populated
+
+    def test_trace_walk_cycle_carries_pre003(self):
+        from repro.core.traces import ordinary_trace_factors
+        from repro.core.workloads import chain_system
+
+        system = chain_system(4)
+        looping_pred = np.array([1, 0, -1, -1, -1])
+        with pytest.raises(CyclicDependenceError) as exc_info:
+            ordinary_trace_factors(system, 0, looping_pred)
+        err = exc_info.value
+        assert err.findings and err.findings[0].code == "PRE003"
+
+    def test_diagnosis_includes_findings(self):
+        with pytest.raises(IRValidationError) as exc_info:
+            OrdinaryIRSystem.build([1.0, 1.0], [5], [0], ADD)
+        doc = exc_info.value.diagnosis()
+        assert doc["findings"][0]["code"] == "PRE002"
+        assert doc["findings"][0]["severity"] == "error"

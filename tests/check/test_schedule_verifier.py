@@ -1,0 +1,208 @@
+"""The schedule verifier: 100% acceptance of genuine planner output,
+rejection of every adversarial mutation.
+
+Acceptance runs the whole family matrix (ordinary, Moebius, GIR with
+both dispatch and CAP artifacts), including serialized round trips --
+the ``repro check`` file path -- and shm shard layouts for the CI
+worker counts.  The mutation half is the verifier's own soundness
+test: a verifier that accepts a corrupted schedule would sign off on
+a silent data race.
+"""
+
+import pytest
+
+from repro.check import (
+    MUTATION_KINDS,
+    SHARD_MUTATION_KINDS,
+    mutate_plan,
+    mutation_campaign,
+    verify_or_raise,
+    verify_plan,
+    verify_shard_layout,
+)
+from repro.core.moebius import AffineRecurrence
+from repro.core.workloads import (
+    chain_system,
+    double_chain_gir_system,
+    fibonacci_gir_system,
+    forest_system,
+    random_ordinary_system,
+    scatter_system,
+)
+from repro.engine import solve
+from repro.engine.plan import plan_from_dict, plan_to_dict
+from repro.engine.planner import PlanCache
+from repro.engine.problem import Problem
+from repro.errors import PlanVerificationError, exit_code_for
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def plan_for(system):
+    result = solve(system, backend="numpy", cache=PlanCache())
+    assert result.plan is not None
+    return Problem.from_system(system), result.plan
+
+
+SYSTEMS = {
+    "chain": lambda: chain_system(300),
+    "forest": lambda: forest_system([64, 5, 5, 5, 1, 0]),
+    "random": lambda: random_ordinary_system(200, seed=3),
+    "fibonacci-gir": lambda: fibonacci_gir_system(24),
+    "double-chain-gir": lambda: double_chain_gir_system(16),
+    "scatter-gir": lambda: scatter_system(120, 12, seed=5),
+}
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize("name", sorted(SYSTEMS))
+    def test_genuine_plan_accepted(self, name):
+        system = SYSTEMS[name]()
+        problem, plan = plan_for(system)
+        report = verify_plan(
+            plan,
+            problem,
+            system=system if problem.family == "gir" else None,
+            workers=WORKER_COUNTS,
+        )
+        assert report.ok, [f.describe() for f in report.errors]
+        assert report.checks_run > 0
+
+    @pytest.mark.parametrize("name", sorted(SYSTEMS))
+    def test_serialized_round_trip_accepted(self, name):
+        system = SYSTEMS[name]()
+        problem, plan = plan_for(system)
+        rehydrated = plan_from_dict(plan_to_dict(plan))
+        report = verify_plan(rehydrated, problem, workers=(2, 4))
+        assert report.ok, [f.describe() for f in report.errors]
+
+    def test_moebius_plan_accepted(self):
+        n = 150
+        rec = AffineRecurrence.build(
+            initial=[1.0] + [0.0] * n,
+            g=list(range(1, n + 1)),
+            f=list(range(n)),
+            a=[1.01] * n,
+            b=[0.5] * n,
+        )
+        problem, plan = plan_for(rec)
+        assert plan.family == "moebius"
+        report = verify_plan(plan, problem, workers=WORKER_COUNTS)
+        assert report.ok, [f.describe() for f in report.errors]
+
+    def test_verify_or_raise_returns_report_when_clean(self):
+        problem, plan = plan_for(chain_system(50))
+        report = verify_or_raise(plan, problem)
+        assert report.ok
+
+    def test_gir_cap_oracle_runs_when_system_given(self):
+        system = double_chain_gir_system(12)
+        problem, plan = plan_for(system)
+        report = verify_plan(plan, problem, system=system)
+        assert report.ok
+        # The deep oracle leaves its IR000 confirmation behind.
+        assert "IR000" in report.codes()
+
+
+class TestFingerprint:
+    def test_plan_for_other_problem_rejected(self):
+        _, plan = plan_for(chain_system(40))
+        other = Problem.from_system(chain_system(41))
+        report = verify_plan(plan, other)
+        assert not report.ok
+        assert report.errors[0].code == "SCH008"
+
+
+class TestMutationRejection:
+    @pytest.mark.parametrize("kind", MUTATION_KINDS)
+    def test_every_kind_rejected_on_chain(self, kind):
+        problem, plan = plan_for(chain_system(120))
+        mut = mutate_plan(plan, kind, seed=0)
+        assert mut is not None, f"{kind} inapplicable to a 120-chain plan"
+        report = verify_plan(mut.plan, problem)
+        assert not report.ok, f"{kind} survived: {mut.description}"
+
+    @pytest.mark.parametrize("kind", SHARD_MUTATION_KINDS)
+    def test_shard_mutations_rejected(self, kind):
+        _, plan = plan_for(chain_system(120))
+        mut = mutate_plan(plan, kind, seed=0, workers=4)
+        assert mut is not None
+        report = verify_shard_layout(
+            mut.plan, mut.workers, boundaries=mut.boundaries
+        )
+        assert not report.ok
+        assert report.errors[0].code == "SHM001"
+
+    def test_full_campaign_rejected_across_shapes(self):
+        total = rejected = 0
+        for name in ("chain", "forest", "random"):
+            problem, plan = plan_for(SYSTEMS[name]())
+            for mut in mutation_campaign(plan, seeds=range(4)):
+                total += 1
+                if mut.boundaries is not None:
+                    report = verify_shard_layout(
+                        mut.plan, mut.workers, boundaries=mut.boundaries
+                    )
+                else:
+                    report = verify_plan(mut.plan, problem)
+                if not report.ok:
+                    rejected += 1
+        assert total > 0
+        assert rejected == total, f"{total - rejected}/{total} mutants survived"
+
+    def test_boundaries_override_requires_single_count(self):
+        from repro.check.schedule import _verify_shard_layouts
+
+        _, plan = plan_for(chain_system(30))
+        mut = mutate_plan(plan, "shift_shard", seed=0, workers=4)
+        with pytest.raises(ValueError):
+            _verify_shard_layouts(plan, [2, 4], boundaries=mut.boundaries)
+
+
+class TestShardLayouts:
+    def test_genuine_layouts_all_counts(self):
+        _, plan = plan_for(chain_system(100))
+        for workers in WORKER_COUNTS:
+            report = verify_shard_layout(plan, workers)
+            assert report.ok, [f.describe() for f in report.errors]
+
+    def test_zero_workers_rejected(self):
+        _, plan = plan_for(chain_system(20))
+        report = verify_shard_layout(plan, 0)
+        assert not report.ok
+        assert report.errors[0].code == "SHM001"
+
+    def test_duplicate_active_straddling_boundary_is_shm002(self):
+        # Duplicate an active id across a shard boundary by hand: the
+        # one genuinely-racy layout SCH001 alone would also catch, but
+        # the shard check must localize it to the barrier phase.
+        _, plan = plan_for(chain_system(64))
+        mut = mutate_plan(plan, "duplicate_active", seed=1)
+        assert mut is not None
+        report = verify_shard_layout(mut.plan, 4)
+        codes = set()
+        if not report.ok:
+            codes = {f.code for f in report.errors}
+        # Either the duplicate straddles a boundary (SHM002) or it
+        # lands inside one shard -- then only SCH001 sees it, which
+        # verify_plan layers on top (workers= runs after the schedule
+        # proof, so the full path still rejects).
+        full = verify_plan(mut.plan, workers=(4,))
+        assert not full.ok
+        assert codes <= {"SHM002"}
+
+
+class TestRaiseContract:
+    def test_error_carries_report_findings_and_exit_code(self):
+        problem, plan = plan_for(chain_system(80))
+        mut = mutate_plan(plan, "perturb_gather", seed=2)
+        with pytest.raises(PlanVerificationError) as exc_info:
+            verify_or_raise(mut.plan, problem)
+        err = exc_info.value
+        assert exit_code_for(err) == 8
+        assert err.report is not None and not err.report.ok
+        assert err.findings and err.findings[0].code.startswith("SCH")
+        doc = err.diagnosis()
+        assert doc["category"] == "check"
+        assert doc["report"]["ok"] is False
+        assert doc["findings"][0]["code"] == err.findings[0].code
