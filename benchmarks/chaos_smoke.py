@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""CI gate: the serving stack must survive every chaos fault class.
+
+Runs one single-fault scenario per chaos kind against the REAL shm
+worker pool at ``n >= 100k`` (int64 ADD chain, full differential
+verification) and requires the **exact** sequential-oracle answer from
+every one -- via whichever recovery path the fault demands:
+
+==========  =============================  ==========================
+scenario    injected fault                 required evidence
+==========  =============================  ==========================
+kill        worker hard-exit mid-round     respawn >= 1, served on shm
+hang        worker sleeps 60s mid-round    watchdog kill >= 1, respawn
+                                           >= 1, served on shm
+slow        sub-watchdog 50ms sleep        NO recovery action (false-
+                                           positive guard), served on
+                                           shm
+corrupt     scribbled shard post-combine   caught by verification,
+                                           failover to numpy
+kill-x2     kill on every retry attempt    retry exhausted, failover
+                                           to numpy
+==========  =============================  ==========================
+
+Recovery latency is bounded: every scenario must finish within
+``LATENCY_BUDGET_S`` (hang's budget additionally covers the watchdog).
+After the sweep the pools are shut down and ``/dev/shm`` is checked
+for leftover ``repro_*`` segments -- a leak fails the gate.
+
+Exit 0 on success, 1 on any violated requirement.
+"""
+
+import argparse
+import glob
+import os
+import sys
+
+N = int(os.environ.get("REPRO_CHAOS_N", "100000"))
+WATCHDOG_S = float(os.environ.get("REPRO_CHAOS_WATCHDOG_S", "1.0"))
+LATENCY_BUDGET_S = float(os.environ.get("REPRO_CHAOS_LATENCY_S", "60.0"))
+
+
+def shm_segments():
+    return set(glob.glob("/dev/shm/repro_*"))
+
+
+def scenarios():
+    from repro.chaos import ChaosPlan
+
+    return [
+        # (name, plan, requirements: dict of report-key -> predicate)
+        (
+            "kill",
+            ChaosPlan.single("kill", round=1, rank=0),
+            {
+                "backend": lambda v: v == "shm",
+                "respawns": lambda v: v >= 1,
+            },
+        ),
+        (
+            "hang",
+            ChaosPlan.single("hang", round=1, rank=0, delay_s=60.0),
+            {
+                "backend": lambda v: v == "shm",
+                "hang_kills": lambda v: v >= 1,
+                "respawns": lambda v: v >= 1,
+            },
+        ),
+        (
+            "slow",
+            ChaosPlan.single("slow", round=1, rank=0, delay_s=0.05),
+            {
+                "backend": lambda v: v == "shm",
+                "respawns": lambda v: v == 0,
+                "hang_kills": lambda v: v == 0,
+            },
+        ),
+        (
+            "corrupt",
+            ChaosPlan.single("corrupt", round=1, rank=0),
+            {
+                "backend": lambda v: v == "numpy",
+                "failover_from": lambda v: v == "shm",
+                "reroutes": lambda v: v >= 1,
+            },
+        ),
+        (
+            "kill-x2",
+            ChaosPlan.single("kill", round=1, rank=0, attempts=(0, 1)),
+            {
+                "backend": lambda v: v == "numpy",
+                "failover_from": lambda v: v == "shm",
+            },
+        ),
+    ]
+
+
+def run_one(name, plan, checks, workers):
+    from repro.chaos import run_chaos
+    from repro.resilience.breaker import reset_breakers
+
+    # every scenario starts with a closed ladder: no breaker state
+    # bleeding between fault classes
+    reset_breakers()
+    report = run_chaos(
+        plan, n=N, workers=workers, watchdog_s=WATCHDOG_S, retries=1
+    )
+    failures = []
+    if not report["ok"]:
+        failures.append(f"not ok (error={report['error']})")
+    if not report["oracle_exact"]:
+        failures.append("values diverged from the sequential oracle")
+    budget = LATENCY_BUDGET_S + (WATCHDOG_S * 4 if name == "hang" else 0)
+    if report["latency_s"] > budget:
+        failures.append(
+            f"recovery latency {report['latency_s']}s > budget {budget}s"
+        )
+    for key, predicate in checks.items():
+        if not predicate(report[key]):
+            failures.append(f"{key}={report[key]!r} violates the scenario")
+    line = (
+        f"  {name:<8} backend={report['backend']} "
+        f"respawns={report['respawns']} hang_kills={report['hang_kills']} "
+        f"reroutes={report['reroutes']} latency={report['latency_s']}s"
+    )
+    print(line, flush=True)
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=int(os.environ.get("REPRO_CHAOS_WORKERS", "4")),
+    )
+    args = parser.parse_args(argv)
+
+    from repro.engine import shutdown_pools
+
+    before = shm_segments()
+    print(
+        f"chaos smoke: n={N} workers={args.workers} "
+        f"watchdog={WATCHDOG_S}s",
+        flush=True,
+    )
+    all_failures = []
+    for name, plan, checks in scenarios():
+        for failure in run_one(name, plan, checks, args.workers):
+            all_failures.append(f"{name}: {failure}")
+
+    shutdown_pools()
+    leaked = sorted(shm_segments() - before)
+    if leaked:
+        all_failures.append(f"segments outlived the run: {leaked}")
+
+    if all_failures:
+        print("chaos smoke FAILED:", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(
+        "chaos smoke ok: every fault class recovered to the exact "
+        "oracle, no segment leaked"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,319 @@
+"""Whole-stack chaos harness for the shm serving path.
+
+Where :class:`repro.resilience.FaultPlan` injects faults into the
+*simulated* PRAM machine, a :class:`ChaosPlan` injects them into the
+**real** worker pool of the ``shm`` backend -- live OS processes,
+shared-memory buffers, a real barrier.  Four fault kinds cover the
+failure modes the supervisor/failover stack must absorb:
+
+* ``"kill"``    -- the victim rank hard-exits mid-round
+  (``os._exit``): exercises sentinel detection, barrier abort,
+  respawn-and-retry, and -- when persistent across attempts -- the
+  backend failover ladder;
+* ``"hang"``    -- the victim sleeps ``delay_s`` seconds mid-round:
+  exercises heartbeat staleness, the supervisor's targeted kill, and
+  the same recovery path;
+* ``"slow"``    -- a sub-watchdog sleep: must be absorbed with **no**
+  recovery action (the false-positive guard);
+* ``"corrupt"`` -- the victim scribbles garbage into its own shard
+  after the combine phase: undetectable by process machinery,
+  caught only by differential verification (``checked=True,
+  check_sample=None``) and recovered via failover to an exact
+  backend.
+
+Events target a ``(rank, round, attempt)`` coordinate; open ranks are
+resolved with the plan's seeded RNG so a plan generated from a seed
+replays identically.  Plans round-trip through JSON (version 2 of the
+fault-plan schema; ``repro chaos gen | run`` and
+``benchmarks/chaos_smoke.py`` drive them).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .errors import FaultError
+
+__all__ = ["CHAOS_KINDS", "ChaosEvent", "ChaosPlan", "run_chaos"]
+
+CHAOS_KINDS = ("kill", "hang", "slow", "corrupt")
+
+#: Default sleep for ``hang`` events -- long enough that any sane
+#: watchdog budget fires first (the supervisor kills the sleeper).
+DEFAULT_HANG_S = 300.0
+#: Default sleep for ``slow`` events -- short enough that no sane
+#: watchdog budget fires (the solve just takes a little longer).
+DEFAULT_SLOW_S = 0.05
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault against the real pool.
+
+    ``rank`` may be ``None``: the plan resolves it at dispatch time
+    with its seeded RNG against the actual worker count, so one plan
+    file serves any pool width deterministically.
+    """
+
+    kind: str
+    round: int
+    rank: Optional[int] = None
+    attempt: int = 0
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise FaultError(
+                f"unknown chaos kind {self.kind!r}; expected one of "
+                f"{CHAOS_KINDS}"
+            )
+        if self.round < 0:
+            raise FaultError("chaos round must be >= 0")
+        if self.attempt < 0:
+            raise FaultError("chaos attempt must be >= 0")
+        if self.kind in ("hang", "slow") and self.delay_s <= 0:
+            object.__setattr__(
+                self,
+                "delay_s",
+                DEFAULT_HANG_S if self.kind == "hang" else DEFAULT_SLOW_S,
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"kind": self.kind, "round": self.round}
+        if self.rank is not None:
+            doc["rank"] = self.rank
+        if self.attempt:
+            doc["attempt"] = self.attempt
+        if self.delay_s:
+            doc["delay_s"] = self.delay_s
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ChaosEvent":
+        known = {"kind", "round", "rank", "attempt", "delay_s"}
+        unknown = set(doc) - known
+        if unknown:
+            raise FaultError(f"unknown chaos-event fields: {sorted(unknown)}")
+        return cls(
+            kind=doc["kind"],
+            round=int(doc["round"]),
+            rank=doc.get("rank"),
+            attempt=int(doc.get("attempt", 0)),
+            delay_s=float(doc.get("delay_s", 0.0)),
+        )
+
+
+@dataclass
+class ChaosPlan:
+    """A deterministic schedule of :class:`ChaosEvent`\\ s."""
+
+    events: List[ChaosEvent] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        rounds: int,
+        count: int = 4,
+        kinds: Sequence[str] = CHAOS_KINDS,
+    ) -> "ChaosPlan":
+        """A seeded plan of ``count`` events over rounds ``[0,
+        rounds)``, cycling through ``kinds`` so every requested kind
+        appears when ``count >= len(kinds)``.  Ranks are left open
+        (resolved against the pool width at dispatch)."""
+        if rounds <= 0:
+            raise FaultError("rounds must be positive")
+        for kind in kinds:
+            if kind not in CHAOS_KINDS:
+                raise FaultError(f"unknown chaos kind {kind!r}")
+        rng = random.Random(seed)
+        events = []
+        for i in range(count):
+            kind = kinds[i % len(kinds)]
+            delay = 0.0
+            if kind == "slow":
+                delay = round(rng.uniform(0.02, 0.1), 3)
+            events.append(
+                ChaosEvent(kind=kind, round=rng.randrange(rounds), delay_s=delay)
+            )
+        events.sort(key=lambda e: (e.round, e.kind))
+        return cls(events=events, seed=seed)
+
+    @classmethod
+    def single(cls, kind: str, *, round: int = 1, rank: int = 0,
+               attempts: Sequence[int] = (0,), delay_s: float = 0.0,
+               seed: Optional[int] = None) -> "ChaosPlan":
+        """The single-fault scenarios the chaos gate sweeps: one kind,
+        one (rank, round), optionally repeated across attempts to model
+        a persistent fault that defeats retry and forces failover."""
+        return cls(
+            events=[
+                ChaosEvent(
+                    kind=kind, round=round, rank=rank,
+                    attempt=a, delay_s=delay_s,
+                )
+                for a in attempts
+            ],
+            seed=seed,
+        )
+
+    # -- dispatch ----------------------------------------------------------
+
+    def resolve(self, workers: int) -> Dict[str, Any]:
+        """The picklable job payload: every event with its rank pinned
+        (open ranks drawn from this plan's seeded RNG)."""
+        if workers < 1:
+            raise FaultError("workers must be >= 1")
+        rng = random.Random(self.seed)
+        events = []
+        for event in self.events:
+            rank = event.rank
+            if rank is None:
+                rank = rng.randrange(workers)
+            elif not 0 <= rank < workers:
+                continue  # plan written for a wider pool; skip
+            doc = event.to_dict()
+            doc["rank"] = int(rank)
+            doc.setdefault("attempt", 0)
+            doc.setdefault("delay_s", event.delay_s)
+            events.append(doc)
+        return {"events": events}
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "version": 2,
+            "kind": "chaos",
+            "events": [e.to_dict() for e in self.events],
+        }
+        if self.seed is not None:
+            doc["seed"] = self.seed
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ChaosPlan":
+        if doc.get("version") != 2 or doc.get("kind") != "chaos":
+            raise FaultError(
+                "not a chaos plan (expected version 2, kind 'chaos'; "
+                f"got version {doc.get('version')!r}, kind {doc.get('kind')!r})"
+            )
+        return cls(
+            events=[ChaosEvent.from_dict(e) for e in doc.get("events", [])],
+            seed=doc.get("seed"),
+        )
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        text = json.dumps(self.to_dict(), indent=2)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return text
+
+    @classmethod
+    def from_json(cls, text_or_path: str) -> "ChaosPlan":
+        text = text_or_path
+        if not text_or_path.lstrip().startswith("{"):
+            with open(text_or_path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"invalid chaos-plan JSON: {exc}") from exc
+        return cls.from_dict(doc)
+
+
+# ---------------------------------------------------------------------------
+# Harness runner
+# ---------------------------------------------------------------------------
+
+
+def run_chaos(
+    plan: ChaosPlan,
+    *,
+    n: int = 100_000,
+    workers: int = 4,
+    watchdog_s: float = 1.0,
+    retries: int = 1,
+    seed: int = 0,
+    failover: bool = True,
+) -> Dict[str, Any]:
+    """Solve an ``n``-cell int64 ADD chain on the shm backend under
+    ``plan``, with full differential verification and the failover
+    ladder armed; returns a JSON-able report.
+
+    This is the engine of ``repro chaos run`` and the per-scenario step
+    of ``benchmarks/chaos_smoke.py``.  ``ok`` in the report means the
+    returned values matched the sequential oracle exactly -- via clean
+    execution, in-pool recovery (respawn / supervisor kill), or backend
+    failover, whichever the fault demanded.
+    """
+    import numpy as np
+
+    from . import obs
+    from .core import ADD, OrdinaryIRSystem, run_ordinary
+    from .engine import solve
+
+    rng = np.random.default_rng(seed)
+    system = OrdinaryIRSystem.build(
+        rng.integers(0, 1000, size=n + 1).tolist(),
+        np.arange(1, n + 1),
+        np.arange(n),
+        ADD,
+    )
+    oracle = run_ordinary(system)
+
+    with obs.observed() as (_tracer, registry):
+        t0 = time.perf_counter()
+        error: Optional[BaseException] = None
+        result = None
+        try:
+            result = solve(
+                system,
+                backend="shm",
+                checked=True,
+                check_sample=None,  # full-cell check: catches corrupt shards
+                failover=failover,
+                options={
+                    "workers": workers,
+                    "chaos": plan,
+                    "watchdog_s": watchdog_s,
+                    "max_retries": retries,
+                },
+            )
+        except Exception as exc:
+            error = exc
+        latency = time.perf_counter() - t0
+
+    counters: Dict[str, float] = {}
+    for snap in registry.snapshot():
+        if snap.get("kind") == "counter":
+            counters[snap["name"]] = counters.get(snap["name"], 0) + snap["value"]
+    report: Dict[str, Any] = {
+        "n": n,
+        "workers": workers,
+        "watchdog_s": watchdog_s,
+        "plan": plan.to_dict(),
+        "latency_s": round(latency, 4),
+        "error": repr(error) if error is not None else None,
+        "backend": result.backend if result is not None else None,
+        "failover_from": (
+            result.failover_from if result is not None else None
+        ),
+        "oracle_exact": (
+            result is not None and list(result.values) == list(oracle)
+        ),
+        "respawns": int(counters.get("engine.shm.respawns", 0)),
+        "hang_kills": int(counters.get("engine.shm.heartbeat.stale", 0)),
+        "reroutes": int(counters.get("engine.failover.reroutes", 0)),
+    }
+    report["ok"] = report["oracle_exact"] and error is None
+    return report

@@ -253,6 +253,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(frun)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="generate or run a whole-stack chaos plan on the shm pool",
+        description=(
+            "Chaos driver for the REAL shm worker pool: "
+            "'repro chaos gen --seed 7 --out plan.json' writes a seeded "
+            "plan of kill/hang/slow/corrupt faults; 'repro chaos run "
+            "--plan plan.json' injects them into a live solve and reports "
+            "whether recovery (respawn, watchdog kill, failover) still "
+            "produced the exact sequential-oracle answer."
+        ),
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    cgen = chaos_sub.add_parser("gen", help="generate a seeded chaos plan")
+    cgen.add_argument("--seed", type=int, default=0, help="plan RNG seed")
+    cgen.add_argument(
+        "--rounds", type=int, default=4, help="round range faults land in"
+    )
+    cgen.add_argument("--count", type=int, default=4, help="number of faults")
+    cgen.add_argument(
+        "--kinds",
+        default=None,
+        metavar="K1,K2",
+        help="comma-separated subset of kill,hang,slow,corrupt",
+    )
+    cgen.add_argument(
+        "--out", metavar="FILE", help="write the plan JSON here (default: stdout)"
+    )
+    crun = chaos_sub.add_parser(
+        "run", help="run a chaos plan against a live shm-pool solve"
+    )
+    crun.add_argument(
+        "--plan", metavar="FILE", help="chaos-plan JSON (default: a fresh "
+        "seeded plan, see --seed)"
+    )
+    crun.add_argument("--seed", type=int, default=0, help="seed when no --plan")
+    crun.add_argument("--n", type=int, default=100_000, help="chain length")
+    crun.add_argument("--workers", type=int, default=4, help="pool size")
+    crun.add_argument(
+        "--watchdog", type=float, default=1.0, metavar="SECONDS",
+        help="heartbeat watchdog budget for hang detection",
+    )
+    crun.add_argument(
+        "--max-retries", type=int, default=1, help="respawn-and-retry budget"
+    )
+    crun.add_argument(
+        "--no-failover",
+        action="store_true",
+        help="disable the backend failover ladder (raw faults surface)",
+    )
+    crun.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+
     trace = sub.add_parser(
         "trace",
         help="run another repro command with tracing + metrics enabled",
@@ -687,6 +741,69 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
     return 0 if ok else 7
 
 
+def _cmd_chaos_gen(args: argparse.Namespace) -> int:
+    from .chaos import CHAOS_KINDS, ChaosPlan
+
+    kinds = CHAOS_KINDS
+    if args.kinds:
+        kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    plan = ChaosPlan.random(
+        args.seed, rounds=args.rounds, count=args.count, kinds=kinds
+    )
+    if args.out:
+        error = _check_writable(args.out)
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+        plan.to_json(args.out)
+        print(
+            f"wrote {len(plan.events)} chaos event(s) to {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        print(plan.to_json())
+    return 0
+
+
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    """Inject a chaos plan into a live shm-pool solve.
+
+    Accepted when the solve completed (recovery or failover) and the
+    final array equals the sequential oracle exactly; exit code 7
+    mirrors :class:`~repro.errors.FaultError` otherwise.
+    """
+    from .chaos import ChaosPlan, run_chaos
+
+    if args.plan:
+        plan = ChaosPlan.from_json(args.plan)
+    else:
+        plan = ChaosPlan.random(args.seed, rounds=4, count=4)
+    report = run_chaos(
+        plan,
+        n=args.n,
+        workers=args.workers,
+        watchdog_s=args.watchdog,
+        retries=args.max_retries,
+        seed=args.seed,
+        failover=not args.no_failover,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"events={len(plan.events)} backend={report['backend']} "
+            f"respawns={report['respawns']} hang_kills={report['hang_kills']} "
+            f"reroutes={report['reroutes']} "
+            f"latency_s={report['latency_s']}"
+        )
+        if report["failover_from"]:
+            print(f"  failed over from: {report['failover_from']}")
+        if report["error"]:
+            print(f"  error: {report['error']}")
+        print("oracle match: " + ("yes" if report["oracle_exact"] else "NO"))
+    return 0 if report["ok"] else 7
+
+
 def _check_writable(*paths: Optional[str]) -> Optional[str]:
     """Return an error message if any output path's directory is
     missing -- checked up front so a typo fails before the work runs."""
@@ -856,6 +973,10 @@ def _dispatch(args: argparse.Namespace) -> int:
             if args.faults_command == "gen":
                 return _cmd_faults_gen(args)
             return _cmd_faults_run(args)
+        if args.command == "chaos":
+            if args.chaos_command == "gen":
+                return _cmd_chaos_gen(args)
+            return _cmd_chaos_run(args)
     raise AssertionError(args.command)
 
 

@@ -40,6 +40,7 @@ friends) remain importable from :mod:`repro.core` for one more release
 """
 
 from .api import EngineResult, execute, solve, solve_batch
+from .failover import FAILOVER_TRIP, LADDER_ORDER, failover_ladder, run_ladder
 from .session import Session
 from .shm_pool import ShmWorkerPool, get_pool, shutdown_pools
 from .backends import (
@@ -77,6 +78,10 @@ __all__ = [
     "execute",
     "solve_batch",
     "Session",
+    "FAILOVER_TRIP",
+    "LADDER_ORDER",
+    "failover_ladder",
+    "run_ladder",
     "ShmWorkerPool",
     "get_pool",
     "shutdown_pools",

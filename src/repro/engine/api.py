@@ -17,6 +17,16 @@
 Every solve increments ``engine.solves`` (labeled by backend and
 family) in the obs metrics registry when observation is enabled; cache
 lookups increment ``engine.plan.cache.{hits,misses}``.
+
+``failover=True`` (the default) arms the backend failover ladder
+(:mod:`repro.engine.failover`): a structured backend failure
+(:class:`~repro.errors.FaultError`,
+:class:`~repro.errors.VerificationError`) transparently re-executes
+the request on the next capable backend (``shm -> numpy -> python``),
+guarded by per-fingerprint circuit breakers.
+:attr:`EngineResult.backend` names the rung that actually served;
+:attr:`EngineResult.failover_from` the originally chosen backend when
+they differ.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from ..obs import get_registry
 from ..obs.recorder import record_event
 from .backends import ExecutionRequest, resolve_backend
+from .failover import failover_ladder, run_ladder
 from .plan import Plan
 from .planner import PlanCache, get_plan_cache
 from .problem import Problem
@@ -52,6 +63,9 @@ class EngineResult:
     plan: Optional[Plan]
     cache_hit: bool = False
     metrics: Optional[object] = None
+    #: The originally chosen backend when the failover ladder rerouted
+    #: this solve (``backend`` then names the rung that served it).
+    failover_from: Optional[str] = None
 
 
 def _cacheable(problem: Problem, policy) -> bool:
@@ -79,6 +93,7 @@ _SOLVE_KWARGS = (
     "allow_rename",
     "allow_ordinary_dispatch",
     "verify_plan",
+    "failover",
     "options",
 )
 _BATCH_KWARGS = (
@@ -90,6 +105,7 @@ _BATCH_KWARGS = (
     "checked",
     "check_sample",
     "f_initial_batch",
+    "failover",
 )
 
 
@@ -189,6 +205,7 @@ def solve(
     allow_rename: bool = True,
     allow_ordinary_dispatch: bool = True,
     verify_plan: bool = False,
+    failover: bool = True,
     options: Optional[Dict[str, Any]] = None,
     **unknown: Any,
 ) -> EngineResult:
@@ -210,6 +227,10 @@ def solve(
     race-free and trace-equivalent -- before execution when the plan is
     already at hand, after planning otherwise.  Error findings raise
     :class:`~repro.errors.PlanVerificationError` (exit code 8).
+
+    ``failover=False`` disables the backend failover ladder: backend
+    faults raise instead of re-executing on the next capable backend
+    (the mode for tests and callers that must see the raw failure).
     """
     _reject_unknown("solve()", unknown, _SOLVE_KWARGS)
     problem = Problem.from_system(
@@ -257,8 +278,22 @@ def solve(
         n=problem.m,
         cache_hit=cache_hit,
     )
-    values, stats, built_plan, metrics = chosen.execute(request)
-    record_event("solve.end", family=problem.family, backend=chosen.name)
+    failover_from: Optional[str] = None
+    served = chosen
+    rungs = (
+        failover_ladder(chosen, problem) if failover else [chosen]
+    )
+    if len(rungs) > 1:
+        outcome, served, failover_from = run_ladder(
+            rungs,
+            problem.fingerprint(),
+            problem.family,
+            lambda b: b.execute(request),
+        )
+        values, stats, built_plan, metrics = outcome
+    else:
+        values, stats, built_plan, metrics = chosen.execute(request)
+    record_event("solve.end", family=problem.family, backend=served.name)
     if verify_plan and built_plan is not None and built_plan is not plan:
         # Freshly built this solve (GIR plans only materialize inside
         # execute): verify post-hoc so a bad plan cannot be cached or
@@ -276,17 +311,18 @@ def solve(
     registry = get_registry()
     if registry is not None:
         registry.counter(
-            "engine.solves", backend=chosen.name, family=problem.family
+            "engine.solves", backend=served.name, family=problem.family
         ).inc()
 
     return EngineResult(
         values=values,
         stats=stats,
-        backend=chosen.name,
+        backend=served.name,
         family=problem.family,
         plan=built_plan,
         cache_hit=cache_hit,
         metrics=metrics,
+        failover_from=failover_from,
     )
 
 
@@ -319,6 +355,7 @@ def solve_batch(
     checked: bool = False,
     check_sample: Optional[int] = 64,
     f_initial_batch: Optional[Sequence[Sequence[Any]]] = None,
+    failover: bool = True,
     **unknown: Any,
 ) -> List[List[Any]]:
     """Solve ``k`` instances sharing ``source``'s index maps and
@@ -329,7 +366,8 @@ def solve_batch(
     coefficient sweep through one planned replay; other operand kinds
     replay the shared plan per row.  ``policy`` / ``checked`` carry the
     standard budget and differential-verification semantics into the
-    batch.  Returns the ``k`` final arrays.
+    batch.  ``failover`` mirrors :func:`solve` (batch-capable rungs
+    only).  Returns the ``k`` final arrays.
     """
     _reject_unknown("solve_batch()", unknown, _BATCH_KWARGS)
     problem = Problem.from_system(source)
@@ -353,9 +391,22 @@ def solve_batch(
         checked=checked,
         check_sample=check_sample,
     )
-    values, built_plan = chosen.execute_batch(
-        request, batch_initial, f_initial_batch
+    served = chosen
+    rungs = (
+        failover_ladder(chosen, problem, batch=True) if failover else [chosen]
     )
+    if len(rungs) > 1:
+        outcome, served, _failover_from = run_ladder(
+            rungs,
+            problem.fingerprint(),
+            problem.family,
+            lambda b: b.execute_batch(request, batch_initial, f_initial_batch),
+        )
+        values, built_plan = outcome
+    else:
+        values, built_plan = chosen.execute_batch(
+            request, batch_initial, f_initial_batch
+        )
 
     if consulted and plan is None and built_plan is not None:
         store.put(problem.fingerprint(), built_plan)
@@ -363,7 +414,7 @@ def solve_batch(
     registry = get_registry()
     if registry is not None:
         registry.counter(
-            "engine.solves", backend=chosen.name, family=problem.family
+            "engine.solves", backend=served.name, family=problem.family
         ).inc(len(batch_initial))
-        registry.counter("engine.batch.solves", backend=chosen.name).inc()
+        registry.counter("engine.batch.solves", backend=served.name).inc()
     return values

@@ -301,10 +301,13 @@ class ShmBackend(Backend):
     processes over ``multiprocessing.shared_memory``.  Covers the
     ordinary family with NumPy-typed operators and the Moebius affine
     fast path.  Options: ``workers`` (default 4), Moebius ``path`` /
-    ``guard``, and the test-only ``_test_crash`` fault-injection hook.
-    ``exact=False``: object operands cannot cross the process boundary
-    without serialization, so exact/object solves stay on ``python`` /
-    ``numpy``.
+    ``guard``, ``watchdog_s`` (heartbeat watchdog override; ``<= 0``
+    disables), ``max_retries`` (crash/hang respawn-and-retry budget),
+    ``chaos`` (a :class:`~repro.chaos.ChaosPlan` or resolved event
+    dict, injected into the real workers), and the test-only
+    ``_test_crash`` fault-injection hook.  ``exact=False``: object
+    operands cannot cross the process boundary without serialization,
+    so exact/object solves stay on ``python`` / ``numpy``.
     """
 
     name = "shm"
@@ -320,6 +323,13 @@ class ShmBackend(Backend):
         opts = request.options
         workers = int(opts.get("workers", exec_shm.DEFAULT_WORKERS))
         crash = opts.get("_test_crash")
+        chaos = opts.get("chaos")
+        if chaos is not None and hasattr(chaos, "resolve"):
+            chaos = chaos.resolve(workers)
+        watchdog_s = opts.get("watchdog_s")
+        if watchdog_s is not None:
+            watchdog_s = float(watchdog_s)
+        retries = int(opts.get("max_retries", exec_shm.DEFAULT_RETRIES))
         family = request.problem.family
         if family == "ordinary":
             plan = request.plan
@@ -337,6 +347,9 @@ class ShmBackend(Backend):
                 checked=request.checked,
                 check_sample=request.check_sample,
                 crash=crash,
+                chaos=chaos,
+                watchdog_s=watchdog_s,
+                retries=retries,
             )
             return values, stats, plan, None
         values, stats, plan = exec_shm.execute_moebius(
@@ -351,6 +364,9 @@ class ShmBackend(Backend):
             checked=request.checked,
             check_sample=request.check_sample,
             crash=crash,
+            chaos=chaos,
+            watchdog_s=watchdog_s,
+            retries=retries,
         )
         return values, stats, plan, None
 

@@ -654,14 +654,21 @@ def execute_batch(
                 differential_check("moebius", inst, X, sample=check_sample)
         return rows, plan
 
+    # Per-row replay shares ONE cumulative policy budget: each row is
+    # handed the remaining slice of the original timeout, so a batch
+    # cannot stretch a t-second budget into k*t seconds.
+    from ..resilience import policy as policy_mod
+
+    t0 = policy_mod.budget_clock() if policy is not None else 0.0
     out: List[List[Any]] = []
     for row in batch_initial:
+        row_policy = policy.with_remaining(t0) if policy is not None else None
         inst = dataclasses.replace(rec, initial=list(row))
         X, _stats, _plan = execute(
             inst,
             problem,
             plan,
-            policy=policy,
+            policy=row_policy,
             checked=checked,
             check_sample=check_sample,
         )

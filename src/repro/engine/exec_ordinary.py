@@ -287,13 +287,23 @@ def execute_numpy_batch(
         return list(f_initial_batch[row_idx])
 
     if not use_typed:
+        # The per-row fallback must honor the policy timeout
+        # *cumulatively* across the batch -- k rows sharing one budget,
+        # not k fresh budgets -- so each row runs under the remaining
+        # slice of the original wall-clock allowance.
+        from ..resilience import policy as policy_mod
+
+        t0 = policy_mod.budget_clock() if policy is not None else 0.0
         out: List[List[Any]] = []
         for row_idx in range(k):
+            row_policy = (
+                policy.with_remaining(t0) if policy is not None else None
+            )
             values, _ = execute_numpy(
                 row_instance(row_idx),
                 plan,
                 f_initial=row_f_init(row_idx),
-                policy=policy,
+                policy=row_policy,
                 checked=checked,
                 check_sample=check_sample,
             )

@@ -17,10 +17,14 @@ Per-solve flow: truncate the plan's round schedule under a
 :class:`~repro.resilience.SolvePolicy` (``max_rounds`` master-side,
 ``timeout_s`` cooperatively in the workers), initialize the shared
 value buffer, drive the rounds through the persistent pool, and -- on
-a worker crash -- respawn the dead rank and retry the whole job once
-from freshly initialized buffers (the solve is deterministic, so the
-retry is idempotent) before raising the structured
-:class:`~repro.errors.FaultError` (CLI exit code 7).
+a worker crash *or a supervisor-detected hang* -- respawn the dead
+ranks and retry the whole job from freshly initialized buffers (the
+solve is deterministic, so retries are idempotent), up to a bounded
+retry budget, before raising the structured
+:class:`~repro.errors.FaultError` (CLI exit code 7).  Each job arms
+the pool's :class:`~repro.resilience.supervisor.PoolSupervisor` with
+a policy-derived watchdog budget; chaos-injection payloads
+(:mod:`repro.chaos`) ride the job dict into the workers.
 
 Observability: spans ``solver.ordinary`` / ``solver.moebius`` with
 ``engine="shm"``-prefixed labels, plus ``engine.shm.*`` counters --
@@ -38,7 +42,12 @@ import numpy as np
 
 from ..core.moebius import run_moebius_sequential
 from ..core.ordinary import SolveStats, _maybe_check, _sequential_baseline
-from ..errors import FaultError, IterationBudgetExceeded, SolveTimeoutError
+from ..errors import (
+    FaultError,
+    IterationBudgetExceeded,
+    PoolSpawnError,
+    SolveTimeoutError,
+)
 from ..obs import get_registry, get_tracer, maybe_span, merge_worker_snapshots
 from ..obs.recorder import record_event
 from .plan import MoebiusPlan, OrdinaryPlan
@@ -54,6 +63,46 @@ from .shm_pool import (
 )
 
 __all__ = ["execute_ordinary", "execute_moebius", "DEFAULT_WORKERS"]
+
+#: Watchdog budget when neither ``watchdog_s`` nor a policy timeout is
+#: given: generous enough that no honest solve trips it, far below the
+#: 120 s barrier backstop so hangs recover in bounded time.
+DEFAULT_WATCHDOG_S = 60.0
+#: Slack added on top of a policy-derived watchdog so the cooperative
+#: stop flag (checked at round boundaries) gets first shot at a
+#: timeout before the supervisor starts killing ranks.
+WATCHDOG_GRACE_S = 5.0
+#: Crash/hang retry budget per solve (the historical behaviour:
+#: one respawn-and-retry before the structured FaultError).
+DEFAULT_RETRIES = 1
+
+
+def _watchdog_budget(policy, override) -> Optional[float]:
+    """The heartbeat-staleness budget for one job.
+
+    Explicit ``watchdog_s`` option wins (``0``/negative disables
+    supervision); otherwise a policy wall-clock budget plus grace;
+    otherwise :data:`DEFAULT_WATCHDOG_S`.
+    """
+    if override is not None:
+        budget = float(override)
+        return budget if budget > 0 else None
+    if policy is not None and policy.timeout_s is not None:
+        return policy.timeout_s + WATCHDOG_GRACE_S
+    return DEFAULT_WATCHDOG_S
+
+
+def _get_pool(workers: int):
+    """Spawn failures surface as the structured, failover-eligible
+    :class:`~repro.errors.PoolSpawnError` instead of a raw OSError."""
+    try:
+        return get_pool(workers)
+    except (OSError, RuntimeError) as exc:
+        record_event("shm.spawn_failed", workers=workers, error=repr(exc))
+        raise PoolSpawnError(
+            f"could not spawn the shm worker pool ({workers} workers): "
+            f"{exc!r}"
+        ) from exc
 
 
 def _record_exhausted(label: str, reason: str) -> None:
@@ -92,24 +141,48 @@ def _policy_preamble(
     return rounds_to_run, exhausted, deadline
 
 
+def _record_chaos(outcome: RunOutcome) -> None:
+    """Flight-record every chaos event the workers report firing."""
+    registry = get_registry()
+    for reply in outcome.replies.values():
+        for fired in reply.get("chaos_fired", ()):
+            # The fired dict's own "kind" is the *fault* kind; the
+            # recorder's first argument is the event kind.
+            fields = {
+                ("fault" if k == "kind" else k): v for k, v in fired.items()
+            }
+            record_event("chaos.injected", **fields)
+            if registry is not None:
+                registry.counter(
+                    "engine.chaos.injected", kind=fired.get("kind", "?")
+                ).inc()
+
+
 def _drive(
     pool: ShmWorkerPool,
     job: Dict[str, Any],
     *,
     deadline: Optional[float],
     init_buffers: Callable[[], None],
+    retries: int = DEFAULT_RETRIES,
+    watchdog_s: Optional[float] = None,
 ) -> RunOutcome:
-    """Run ``job``; on a crash, respawn and retry once from scratch."""
+    """Run ``job``; on a crash or supervisor-detected hang, respawn the
+    dead ranks and retry from scratch up to ``retries`` times (the
+    solve is deterministic, so retries are idempotent)."""
     registry = get_registry()
-    for attempt in (0, 1):
+    for attempt in range(retries + 1):
+        job["attempt"] = attempt  # chaos events target attempts
         init_buffers()
-        outcome = pool.run(job, deadline=deadline)
+        outcome = pool.run(job, deadline=deadline, watchdog_s=watchdog_s)
+        _record_chaos(outcome)
         if outcome.ok:
             return outcome
         if outcome.errors:
             detail = "; ".join(e["message"] for e in outcome.errors)
             raise FaultError(f"shm worker raised: {detail}")
         dead = sorted(set(outcome.crashed + outcome.wedged))
+        hung = sorted(outcome.hung)
         # The failing round: crashed ranks die silently, but their
         # siblings' broken-barrier replies say how far the sweep got.
         rounds_reached = sorted(
@@ -120,6 +193,7 @@ def _drive(
             kind_of_job=job.get("kind"),
             attempt=attempt,
             crashed=dead,
+            hung=hung,
             aborted=sorted(outcome.aborted),
             round=rounds_reached[-1] if rounds_reached else None,
         )
@@ -129,10 +203,12 @@ def _drive(
             registry.counter("engine.shm.respawns").inc(
                 max(len(respawned), 1)
             )
-        if attempt == 1:
+        if attempt == retries:
+            how = "hung (watchdog kill)" if hung else "crashed"
             raise FaultError(
-                f"shm worker rank(s) {dead} crashed again after a respawn; "
-                "giving up after one retry"
+                f"shm worker rank(s) {dead} {how} again after a respawn; "
+                f"giving up after {retries} retr"
+                f"{'y' if retries == 1 else 'ies'}"
             )
     raise AssertionError("unreachable")
 
@@ -200,13 +276,19 @@ def execute_ordinary(
     checked: bool = False,
     check_sample: Optional[int] = 64,
     crash: Optional[Dict[str, Any]] = None,
+    chaos: Optional[Dict[str, Any]] = None,
+    watchdog_s: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
 ) -> Tuple[List[Any], Optional[SolveStats]]:
     """Replay ``plan`` over ``system``'s values across the worker pool.
 
     Requires a typed operator; round semantics (operand order, active
     sets) are identical to the ``numpy`` backend, so typed results are
     bit-identical to it.  ``crash`` is the test-only fault-injection
-    hook (``{"rank": r, "round": k, "once": bool}``).
+    hook (``{"rank": r, "round": k, "once": bool}``); ``chaos`` is a
+    resolved :meth:`repro.chaos.ChaosPlan.resolve` payload;
+    ``watchdog_s`` overrides the supervisor's hang budget (see
+    :func:`_watchdog_budget`); ``retries`` bounds respawn-and-retry.
     """
     op = system.op
     if op.vector_fn is None or op.dtype is None:
@@ -240,7 +322,7 @@ def execute_ordinary(
     with maybe_span(
         tracer, "solver.ordinary", engine="shm", n=n, workers=workers
     ) as root:
-        pool = get_pool(workers)
+        pool = _get_pool(workers)
         entry = _schedule_entry(pool, plan)
         val_shm = pool.data_block("ordinary.val", n * dtype.itemsize)
         scratch_shm = pool.data_block("ordinary.scratch", n * dtype.itemsize)
@@ -272,12 +354,18 @@ def execute_ordinary(
             "deadline": deadline,
             "barrier_timeout": BARRIER_TIMEOUT_S,
             "crash": crash,
+            "chaos": chaos,
             "obs": get_registry() is not None,
         }
         outcome: Optional[RunOutcome] = None
         if rounds_to_run > 0:
             outcome = _drive(
-                pool, job, deadline=deadline, init_buffers=init_buffers
+                pool,
+                job,
+                deadline=deadline,
+                init_buffers=init_buffers,
+                retries=retries,
+                watchdog_s=_watchdog_budget(policy, watchdog_s),
             )
             executed = outcome.rounds
             timed_out = outcome.exhausted == "timeout" or bool(outcome.wedged)
@@ -330,6 +418,9 @@ def execute_moebius(
     checked: bool = False,
     check_sample: Optional[int] = 64,
     crash: Optional[Dict[str, Any]] = None,
+    chaos: Optional[Dict[str, Any]] = None,
+    watchdog_s: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
 ) -> Tuple[List[Any], Optional[SolveStats], MoebiusPlan]:
     """Moebius front door of the shm backend: the affine fast path
     only, with the standard guard/escalation ladder on top (escalation
@@ -362,6 +453,9 @@ def execute_moebius(
         collect_stats=collect_stats,
         policy=policy,
         crash=crash,
+        chaos=chaos,
+        watchdog_s=watchdog_s,
+        retries=retries,
     )
     if guard_obj is not None:
         X, stats = exec_moebius._escalate_if_unhealthy(
@@ -389,6 +483,9 @@ def _execute_affine(
     collect_stats: bool,
     policy,
     crash: Optional[Dict[str, Any]],
+    chaos: Optional[Dict[str, Any]] = None,
+    watchdog_s: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
 ) -> Tuple[List[Any], Optional[SolveStats]]:
     from .exec_moebius import affine_coefficients
 
@@ -411,7 +508,7 @@ def _execute_affine(
     with maybe_span(
         tracer, "solver.moebius", engine="shm.affine", n=n, workers=workers
     ) as root:
-        pool = get_pool(workers)
+        pool = _get_pool(workers)
         entry = _schedule_entry(pool, sched)
         blocks = {
             role: pool.data_block(f"affine.{role}", n * 8)
@@ -443,12 +540,18 @@ def _execute_affine(
             "deadline": deadline,
             "barrier_timeout": BARRIER_TIMEOUT_S,
             "crash": crash,
+            "chaos": chaos,
             "obs": get_registry() is not None,
         }
         outcome: Optional[RunOutcome] = None
         if rounds_to_run > 0:
             outcome = _drive(
-                pool, job, deadline=deadline, init_buffers=init_buffers
+                pool,
+                job,
+                deadline=deadline,
+                init_buffers=init_buffers,
+                retries=retries,
+                watchdog_s=_watchdog_budget(policy, watchdog_s),
             )
             executed = outcome.rounds
             timed_out = outcome.exhausted == "timeout" or bool(outcome.wedged)

@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from ..obs import get_registry
 from .api import EngineResult, _reject_unknown
 from .backends import Backend, ExecutionRequest, resolve_backend
+from .failover import failover_ladder, run_ladder
 from .plan import Plan
 from .problem import Problem
 
@@ -46,6 +47,7 @@ _SESSION_KWARGS = (
     "checked",
     "check_sample",
     "verify_plan",
+    "failover",
     "options",
 )
 _SOLVE_KWARGS = ("f_initial", "collect_stats")
@@ -74,6 +76,12 @@ class Session:
         the first solve, are verified at capture).  Error findings
         raise :class:`~repro.errors.PlanVerificationError` before any
         request is served with a bad plan.
+    failover:
+        ``True`` (default) arms the backend failover ladder
+        (:mod:`repro.engine.failover`), resolved once at construction:
+        a structured backend failure re-executes the request on the
+        next capable rung, so a served session survives worker-pool
+        loss.  ``False`` exposes raw backend faults.
     options:
         Backend extras (``workers`` for ``shm``, Moebius ``path`` /
         ``guard``, PRAM ``processors``, ...).
@@ -88,6 +96,7 @@ class Session:
         checked: bool = False,
         check_sample: Optional[int] = 64,
         verify_plan: bool = False,
+        failover: bool = True,
         options: Optional[Dict[str, Any]] = None,
         **unknown: Any,
     ):
@@ -104,6 +113,17 @@ class Session:
         self._check_sample = check_sample
         self._verify = verify_plan
         self._options = dict(options or {})
+        # Ladders are structural (family + capabilities), so resolve
+        # them once here rather than per request.
+        self._ladder: List[Backend] = (
+            failover_ladder(self._backend, self._problem) if failover
+            else [self._backend]
+        )
+        self._batch_ladder: List[Backend] = (
+            failover_ladder(self._backend, self._problem, batch=True)
+            if failover
+            else [self._backend]
+        )
         self._plan = self._build_plan()
         if self._verify:
             from .api import _check_preconditions
@@ -220,7 +240,18 @@ class Session:
         )
         registry = get_registry()
         started = time.perf_counter() if registry is not None else 0.0
-        out, stats, built_plan, metrics = self._backend.execute(request)
+        served = self._backend
+        failover_from = None
+        if len(self._ladder) > 1:
+            outcome, served, failover_from = run_ladder(
+                self._ladder,
+                self.fingerprint,
+                self._problem.family,
+                lambda b: b.execute(request),
+            )
+            out, stats, built_plan, metrics = outcome
+        else:
+            out, stats, built_plan, metrics = self._backend.execute(request)
         if self._plan is None and built_plan is not None:
             if self._verify:
                 self._verify_pinned(built_plan)
@@ -228,22 +259,23 @@ class Session:
         if registry is not None:
             registry.counter(
                 "engine.session.solves",
-                backend=self._backend.name,
+                backend=served.name,
                 family=self._problem.family,
             ).inc()
             registry.histogram(
                 "engine.session.latency_s",
-                backend=self._backend.name,
+                backend=served.name,
                 family=self._problem.family,
             ).observe(time.perf_counter() - started)
         return EngineResult(
             values=out,
             stats=stats,
-            backend=self._backend.name,
+            backend=served.name,
             family=self._problem.family,
             plan=self._plan,
             cache_hit=self._plan is not None,
             metrics=metrics,
+            failover_from=failover_from,
         )
 
     def solve_batch(
@@ -272,9 +304,19 @@ class Session:
         )
         registry = get_registry()
         started = time.perf_counter() if registry is not None else 0.0
-        rows, built_plan = self._backend.execute_batch(
-            request, batch_values, f_initial_batch
-        )
+        served = self._backend
+        if len(self._batch_ladder) > 1:
+            outcome, served, _failover_from = run_ladder(
+                self._batch_ladder,
+                self.fingerprint,
+                self._problem.family,
+                lambda b: b.execute_batch(request, batch_values, f_initial_batch),
+            )
+            rows, built_plan = outcome
+        else:
+            rows, built_plan = self._backend.execute_batch(
+                request, batch_values, f_initial_batch
+            )
         if self._plan is None and built_plan is not None:
             if self._verify:
                 self._verify_pinned(built_plan)
@@ -282,15 +324,15 @@ class Session:
         if registry is not None:
             registry.counter(
                 "engine.session.solves",
-                backend=self._backend.name,
+                backend=served.name,
                 family=self._problem.family,
             ).inc(len(batch_values))
             registry.counter(
-                "engine.session.batch.solves", backend=self._backend.name
+                "engine.session.batch.solves", backend=served.name
             ).inc()
             registry.histogram(
                 "engine.session.latency_s",
-                backend=self._backend.name,
+                backend=served.name,
                 family=self._problem.family,
             ).observe(time.perf_counter() - started)
         return rows

@@ -35,6 +35,23 @@ next to their reply pipes; a dead worker aborts the shared barrier
 reply), after which :meth:`ShmWorkerPool.repair` respawns the dead
 ranks and resets the barrier so the job can be retried from freshly
 initialized buffers.
+
+Hang handling: every worker bumps a per-rank int64 heartbeat slot
+around each barrier wait (and parks it at
+:data:`~repro.resilience.supervisor.HB_DONE` when its reply is sent);
+a per-pool :class:`~repro.resilience.supervisor.PoolSupervisor`
+thread, armed per job with a policy-derived watchdog budget, SIGKILLs
+any live-but-stale straggler so the crash machinery above takes over
+(see :mod:`repro.resilience.supervisor`).  Chaos injection
+(:mod:`repro.chaos`) rides the same job dict: kill/hang/slow/corrupt
+events fire inside :func:`_run_job` at their (rank, round, attempt)
+coordinates.
+
+Segment hygiene: every block the pool creates is registered with the
+resilience segment reaper, which force-unlinks leftovers on abnormal
+exit (atexit + SIGTERM); the orderly :meth:`ShmWorkerPool.shutdown`
+unregisters as it unlinks, and wraps each unlink so one failure cannot
+leak the rest.
 """
 
 from __future__ import annotations
@@ -52,6 +69,15 @@ from multiprocessing import get_context, get_all_start_methods, shared_memory
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from ..resilience.supervisor import (
+    HB_DONE,
+    PoolSupervisor,
+    install_reaper,
+    register_cleanup,
+    register_segment,
+    unregister_segment,
+)
 
 __all__ = [
     "ShmWorkerPool",
@@ -138,6 +164,18 @@ def _run_job(
     deadline = job["deadline"]
     bt = job["barrier_timeout"]
     crash = job.get("crash")
+    attempt = int(job.get("attempt", 0))
+
+    hb = None
+    if job.get("hb"):
+        hb = _worker_array(job["hb"], nworkers, "int64")
+
+    # Chaos events addressed to (this rank, this attempt), by round.
+    chaos_by_round: Dict[int, List[Dict[str, Any]]] = {}
+    for ev in (job.get("chaos") or {}).get("events", ()):
+        if ev.get("rank") == rank and int(ev.get("attempt", 0)) == attempt:
+            chaos_by_round.setdefault(int(ev["round"]), []).append(ev)
+    chaos_fired: List[Dict[str, Any]] = []
 
     # Per-worker telemetry: processes share nothing but the data plane,
     # so each rank runs a private registry when the master asked for
@@ -179,10 +217,14 @@ def _run_job(
                 progress["round"] = r
             if deadline is not None and time.time() >= deadline:
                 ctrl[CTRL_STOP] = 1
+            if hb is not None:
+                hb[rank] += 1
             t0 = time.perf_counter()
             barrier.wait(bt)  # round separator + stop-flag sync point
             wait = time.perf_counter() - t0
             barrier_wait += wait
+            if hb is not None:
+                hb[rank] += 1
             if wait_hist is not None:
                 wait_hist.observe(wait)
             if ctrl[CTRL_STOP]:
@@ -196,6 +238,16 @@ def _run_job(
             ):
                 ctrl[CTRL_CRASH] = 1
                 os._exit(1)  # simulate a hard worker crash
+            for ev in chaos_by_round.get(r, ()):
+                ckind = ev["kind"]
+                if ckind == "kill":
+                    os._exit(1)
+                elif ckind in ("hang", "slow"):
+                    # A hang sleeps past the watchdog budget (the
+                    # supervisor kills us mid-sleep); a slow sleep
+                    # stays under it and must be absorbed untouched.
+                    time.sleep(float(ev.get("delay_s", 0.0)))
+                    chaos_fired.append({"kind": ckind, "round": r, "rank": rank})
             lo, hi = _shard(offsets[r], offsets[r + 1], rank, nworkers)
             if shard_gauge is not None:
                 shard_gauge.set(hi - lo)
@@ -203,26 +255,48 @@ def _run_job(
             src = sched_s[lo:hi]
             if kind == "ordinary":
                 scratch[active] = val[src]  # gather: pre-round state
+                if hb is not None:
+                    hb[rank] += 1
                 t0 = time.perf_counter()
                 barrier.wait(bt)
                 wait = time.perf_counter() - t0
                 barrier_wait += wait
+                if hb is not None:
+                    hb[rank] += 1
                 if wait_hist is not None:
                     wait_hist.observe(wait)
                 val[active] = vec(scratch[active], val[active])
             else:
                 sa[active] = a[src]
                 sb[active] = b[src]
+                if hb is not None:
+                    hb[rank] += 1
                 t0 = time.perf_counter()
                 barrier.wait(bt)
                 wait = time.perf_counter() - t0
                 barrier_wait += wait
+                if hb is not None:
+                    hb[rank] += 1
                 if wait_hist is not None:
                     wait_hist.observe(wait)
                 ao = a[active]
                 const = ao == 0.0  # constant maps absorb (the odot rule)
                 b[active] = np.where(const, b[active], ao * sb[active] + b[active])
                 a[active] = np.where(const, 0.0, ao * sa[active])
+            for ev in chaos_by_round.get(r, ()):
+                if ev["kind"] == "corrupt" and hi > lo:
+                    # Scribble over the first cell of our own shard
+                    # *after* the combine: structurally invisible
+                    # (no crash, no stall), detectable only by the
+                    # differential check against the oracle.
+                    cell = int(active[0])
+                    if kind == "ordinary":
+                        val[cell] = val[cell] * 2 + 12345
+                    else:
+                        b[cell] = b[cell] * 2.0 + 12345.0
+                    chaos_fired.append(
+                        {"kind": "corrupt", "round": r, "rank": rank, "cell": cell}
+                    )
             done += 1
             if rounds_counter is not None:
                 rounds_counter.inc()
@@ -232,9 +306,25 @@ def _run_job(
         "barrier_wait_s": barrier_wait,
         "exhausted": exhausted,
     }
+    if chaos_fired:
+        reply["chaos_fired"] = chaos_fired
     if registry is not None:
         reply["metrics"] = registry.snapshot()
     return reply
+
+
+def _mark_done(job: Dict[str, Any], rank: int, nworkers: int) -> None:
+    """Park this rank's heartbeat at HB_DONE *before* the reply is
+    sent: the master only reuses the slots (resets to 0) after every
+    reply arrived, so a finished rank is never mistaken for a hung one
+    while its siblings keep working."""
+    name = job.get("hb")
+    if not name:
+        return
+    try:
+        _worker_array(name, nworkers, "int64")[rank] = HB_DONE
+    except Exception:
+        pass
 
 
 def _worker_main(rank: int, nworkers: int, barrier, conn) -> None:
@@ -248,11 +338,13 @@ def _worker_main(rank: int, nworkers: int, barrier, conn) -> None:
         job = msg[1]
         progress: Dict[str, Any] = {"round": None}
         try:
-            conn.send(("ok", _run_job(rank, nworkers, barrier, job, progress)))
+            reply = ("ok", _run_job(rank, nworkers, barrier, job, progress))
         except threading.BrokenBarrierError:
-            conn.send(("aborted", {"rank": rank, "round": progress["round"]}))
+            reply = ("aborted", {"rank": rank, "round": progress["round"]})
         except Exception as exc:  # surfaced as a structured FaultError
-            conn.send(("error", {"rank": rank, "message": repr(exc)}))
+            reply = ("error", {"rank": rank, "message": repr(exc)})
+        _mark_done(job, rank, nworkers)
+        conn.send(reply)
 
 
 # ---------------------------------------------------------------------------
@@ -269,6 +361,9 @@ class RunOutcome:
     aborted: List[int] = field(default_factory=list)
     errors: List[Dict[str, Any]] = field(default_factory=list)
     wedged: List[int] = field(default_factory=list)
+    #: ranks the supervisor SIGKILLed for stale heartbeats this job
+    #: (a subset of ``crashed`` -- the kill trips the sentinel path).
+    hung: List[int] = field(default_factory=list)
     #: rank -> round the worker was in when its barrier broke (from
     #: "aborted" replies); names the failing round in crash reports.
     aborted_rounds: Dict[int, Optional[int]] = field(default_factory=dict)
@@ -321,6 +416,14 @@ class ShmWorkerPool:
         self._plan_blocks: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._data_blocks: Dict[str, shared_memory.SharedMemory] = {}
         self._closed = False
+        self._hb_shm = self._create_block("hb", workers * 8)
+        self._hb = np.ndarray((workers,), dtype="int64", buffer=self._hb_shm.buf)
+        self._hb[:] = 0
+        self._supervisor = PoolSupervisor(
+            read_heartbeats=self._read_heartbeats,
+            rank_alive=self._rank_alive,
+            kill_rank=self._kill_rank,
+        )
         for rank in range(workers):
             self._spawn(rank)
 
@@ -338,6 +441,22 @@ class ShmWorkerPool:
         child.close()
         self._procs[rank] = proc
         self._conns[rank] = parent
+
+    # -- supervisor callbacks ---------------------------------------------
+
+    def _read_heartbeats(self) -> List[int]:
+        return self._hb.tolist()
+
+    def _rank_alive(self, rank: int) -> bool:
+        proc = self._procs[rank]
+        return proc is not None and proc.is_alive()
+
+    def _kill_rank(self, rank: int) -> None:
+        """SIGKILL a hung rank; its sentinel wakes the master, which
+        runs the ordinary crash path (barrier abort, repair, retry)."""
+        proc = self._procs[rank]
+        if proc is not None and proc.is_alive():
+            proc.kill()
 
     def repair(self) -> List[int]:
         """Respawn dead ranks and reset the (possibly broken) barrier.
@@ -360,17 +479,36 @@ class ShmWorkerPool:
     # -- shared blocks -----------------------------------------------------
 
     def _create_block(self, tag: str, nbytes: int) -> shared_memory.SharedMemory:
-        return shared_memory.SharedMemory(
+        shm = shared_memory.SharedMemory(
             name=_new_name(tag), create=True, size=max(nbytes, 1)
         )
+        register_segment(shm.name)
+        return shm
+
+    @staticmethod
+    def _release_block(shm: shared_memory.SharedMemory) -> None:
+        """Close + unlink one block, tolerating exported views and
+        already-gone names so one failure cannot leak its siblings."""
+        unregister_segment(shm.name)
+        try:
+            shm.close()
+        except BufferError:
+            pass  # a live ndarray view pins the mmap; unlink still works
+        except OSError:
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError:
+            pass
 
     def data_block(self, role: str, nbytes: int) -> shared_memory.SharedMemory:
         """A reusable buffer for ``role``, grown when too small."""
         shm = self._data_blocks.get(role)
         if shm is None or shm.size < nbytes:
             if shm is not None:
-                shm.close()
-                shm.unlink()
+                self._release_block(shm)
             shm = self._create_block(role, nbytes)
             self._data_blocks[role] = shm
         return shm
@@ -411,8 +549,7 @@ class ShmWorkerPool:
         while len(self._plan_blocks) > _PLAN_CACHE_SLOTS:
             _key, old = self._plan_blocks.popitem(last=False)
             for block in (old["active"], old["src"]):
-                block.close()
-                block.unlink()
+                self._release_block(block)
         return entry, True
 
     # -- job execution -----------------------------------------------------
@@ -423,8 +560,15 @@ class ShmWorkerPool:
         *,
         deadline: Optional[float] = None,
         grace: float = 30.0,
+        watchdog_s: Optional[float] = None,
     ) -> RunOutcome:
-        """Broadcast ``job`` and wait for every rank to reply or die."""
+        """Broadcast ``job`` and wait for every rank to reply or die.
+
+        A positive ``watchdog_s`` arms the pool supervisor for the
+        job's duration: live ranks whose heartbeat goes stale past the
+        budget are SIGKILLed (surfacing in ``outcome.hung`` as well as
+        ``outcome.crashed``).
+        """
         try:
             pickle.dumps(job)
         except Exception as exc:
@@ -433,10 +577,22 @@ class ShmWorkerPool:
                 f"be a module-level callable / NumPy ufunc): {exc!r}"
             ) from exc
         with self._lock:
-            return self._run_locked(job, deadline, grace)
+            return self._run_locked(job, deadline, grace, watchdog_s)
 
-    def _run_locked(self, job, deadline, grace) -> RunOutcome:
+    def _run_locked(self, job, deadline, grace, watchdog_s=None) -> RunOutcome:
         outcome = RunOutcome()
+        self._hb[:] = 0
+        job["hb"] = self._hb_shm.name
+        supervised = watchdog_s is not None and watchdog_s > 0
+        if supervised:
+            self._supervisor.arm(watchdog_s)
+        try:
+            return self._wait_for_replies(job, deadline, grace, outcome)
+        finally:
+            if supervised:
+                outcome.hung = self._supervisor.disarm()
+
+    def _wait_for_replies(self, job, deadline, grace, outcome) -> RunOutcome:
         for conn in self._conns:
             conn.send(("job", job))
         pending = set(range(self.workers))
@@ -504,6 +660,10 @@ class ShmWorkerPool:
         if self._closed:
             return
         self._closed = True
+        try:
+            self._supervisor.close()
+        except Exception:
+            pass
         for conn in self._conns:
             try:
                 conn.send(("stop", None))
@@ -521,13 +681,13 @@ class ShmWorkerPool:
                 pass
         for entry in self._plan_blocks.values():
             for block in (entry["active"], entry["src"]):
-                block.close()
-                block.unlink()
+                self._release_block(block)
         self._plan_blocks.clear()
         for block in self._data_blocks.values():
-            block.close()
-            block.unlink()
+            self._release_block(block)
         self._data_blocks.clear()
+        self._hb = None  # drop the exported view before closing its block
+        self._release_block(self._hb_shm)
 
 
 _POOLS: Dict[int, ShmWorkerPool] = {}
@@ -552,4 +712,26 @@ def shutdown_pools() -> None:
         _POOLS.clear()
 
 
+def _kill_pool_workers() -> None:
+    """Signal-path cleanup: SIGKILL every pool worker so a master dying
+    to SIGTERM cannot orphan daemon workers (which would hold inherited
+    pipe and shm handles open long after the master is gone)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+    for pool in pools:
+        for proc in pool._procs:
+            try:
+                if proc is not None and proc.is_alive():
+                    proc.kill()
+            except Exception:
+                pass
+
+
+# Orderly-first shutdown ordering: atexit runs LIFO, so registering
+# the reaper *after* shutdown_pools makes the reaper run first and
+# force-unlink anything a wedged shutdown would leave behind, then the
+# orderly shutdown handles workers + remaining blocks (its unlinks
+# tolerate already-reaped names).
 atexit.register(shutdown_pools)
+install_reaper()
+register_cleanup(_kill_pool_workers)

@@ -1,0 +1,186 @@
+"""Per-fingerprint circuit breakers for the backend failover ladder.
+
+A :class:`CircuitBreaker` guards one ``(problem fingerprint, backend)``
+pair on the serving hot path.  Classic three-state protocol:
+
+* **closed** -- requests flow; consecutive failures are counted and
+  reset on any success;
+* **open** -- after ``threshold`` consecutive failures the breaker
+  opens and :meth:`allow` answers ``False`` until ``cooldown_s`` has
+  elapsed, so a sick shm pool is not re-spun (respawn + retry + crash)
+  on every request;
+* **half-open** -- the first :meth:`allow` after the cooldown admits a
+  single probe; its success closes the breaker, its failure re-opens
+  it for another cooldown.
+
+Breakers live in a process-wide registry keyed by
+``(fingerprint, backend)`` (:func:`get_breaker`); the failover ladder
+consults them before each rung and records the outcome after.  State
+transitions emit ``breaker.open`` / ``breaker.close`` flight-recorder
+events and ``engine.breaker.transitions`` counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..obs import get_registry
+from ..obs.recorder import record_event
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "get_breaker",
+    "reset_breakers",
+    "configure_breakers",
+    "breakers_snapshot",
+]
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Knobs shared by every breaker minted after ``configure``."""
+
+    threshold: int = 3  # consecutive failures before opening
+    cooldown_s: float = 30.0  # open -> half-open probe delay
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("breaker cooldown_s must be >= 0")
+
+
+class CircuitBreaker:
+    """One (fingerprint, backend) failure gate.  Thread-safe; the
+    ``clock`` seam (monotonic seconds) makes transitions testable."""
+
+    def __init__(
+        self,
+        key: Tuple[str, str],
+        config: Optional[BreakerConfig] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.key = key
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def allow(self) -> bool:
+        """May a request hit this backend right now?
+
+        An open breaker past its cooldown transitions to half-open and
+        admits exactly one probe; further calls answer ``False`` until
+        the probe's outcome is recorded.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.config.cooldown_s:
+                    self._transition("half-open")
+                    return True
+                return False
+            return False  # half-open: a probe is already in flight
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self._state != "closed":
+                self._transition("closed")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == "half-open" or (
+                self._state == "closed"
+                and self._failures >= self.config.threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition("open")
+
+    def _transition(self, state: str) -> None:
+        # callers hold self._lock
+        prev, self._state = self._state, state
+        fingerprint, backend = self.key
+        record_event(
+            "breaker." + ("open" if state == "open" else
+                          "close" if state == "closed" else "half_open"),
+            backend=backend,
+            fingerprint=fingerprint[:12],
+            failures=self._failures,
+        )
+        registry = get_registry()
+        if registry is not None:
+            registry.counter(
+                "engine.breaker.transitions",
+                backend=backend,
+                to=state,
+                frm=prev,
+            ).inc()
+
+
+_BREAKERS: Dict[Tuple[str, str], CircuitBreaker] = {}
+_BREAKERS_LOCK = threading.Lock()
+_CONFIG = BreakerConfig()
+
+
+def configure_breakers(
+    threshold: Optional[int] = None, cooldown_s: Optional[float] = None
+) -> BreakerConfig:
+    """Set the config future breakers are minted with (existing
+    breakers keep theirs); returns the effective config."""
+    global _CONFIG
+    with _BREAKERS_LOCK:
+        _CONFIG = BreakerConfig(
+            threshold=_CONFIG.threshold if threshold is None else threshold,
+            cooldown_s=_CONFIG.cooldown_s if cooldown_s is None else cooldown_s,
+        )
+        return _CONFIG
+
+
+def get_breaker(fingerprint: str, backend: str) -> CircuitBreaker:
+    """The process-wide breaker for ``(fingerprint, backend)``."""
+    key = (fingerprint, backend)
+    with _BREAKERS_LOCK:
+        breaker = _BREAKERS.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(key, _CONFIG)
+            _BREAKERS[key] = breaker
+        return breaker
+
+
+def reset_breakers() -> None:
+    """Forget every breaker (tests; ops 'clear the ladder state')."""
+    with _BREAKERS_LOCK:
+        _BREAKERS.clear()
+
+
+def breakers_snapshot() -> Dict[str, Dict[str, object]]:
+    """State dump for runbooks: ``{fingerprint12/backend: {...}}``."""
+    with _BREAKERS_LOCK:
+        breakers = dict(_BREAKERS)
+    return {
+        f"{fp[:12]}/{backend}": {
+            "state": b.state,
+            "failures": b.failures,
+        }
+        for (fp, backend), b in breakers.items()
+    }

@@ -36,9 +36,20 @@ from ..errors import IterationBudgetExceeded, SolveTimeoutError
 from ..obs import get_registry
 from ..obs.recorder import record_event
 
-__all__ = ["SolvePolicy", "PolicyEnforcer"]
+__all__ = ["SolvePolicy", "PolicyEnforcer", "budget_clock"]
 
 _BEHAVIOURS = ("raise", "fallback", "partial")
+
+
+def budget_clock() -> float:
+    """The monotonic clock every budget computation reads.
+
+    A single seam (instead of scattered ``time.monotonic()`` calls)
+    means tests can drive deterministic timeout behaviour -- e.g. the
+    cumulative batch-budget tests advance a fake clock from inside the
+    operator -- without monkeypatching ``time`` globally.
+    """
+    return time.monotonic()
 
 
 @dataclass(frozen=True)
@@ -68,6 +79,22 @@ class SolvePolicy:
         """A fresh per-solve enforcement clock."""
         return PolicyEnforcer(self, label)
 
+    def with_remaining(self, started: float) -> "SolvePolicy":
+        """This policy with ``timeout_s`` reduced by the time elapsed
+        since ``started`` (a :func:`budget_clock` reading).
+
+        Batch drivers use it to make one wall-clock budget cumulative
+        across per-row solves: each row gets whatever is left, and a
+        fully spent budget (``timeout_s == 0.0``) trips the next row's
+        enforcer on its first admit.
+        """
+        if self.timeout_s is None:
+            return self
+        import dataclasses
+
+        remaining = self.timeout_s - (budget_clock() - started)
+        return dataclasses.replace(self, timeout_s=max(remaining, 0.0))
+
 
 class PolicyEnforcer:
     """Mutable per-solve budget clock.
@@ -83,7 +110,7 @@ class PolicyEnforcer:
         self.policy = policy
         self.label = label
         self.rounds = 0
-        self.started = time.monotonic()
+        self.started = budget_clock()
         self.exhausted: Optional[str] = None  # None | "rounds" | "timeout"
 
     def _record(self, reason: str) -> None:
@@ -114,7 +141,7 @@ class PolicyEnforcer:
                 )
             return False
         if policy.timeout_s is not None:
-            elapsed = time.monotonic() - self.started
+            elapsed = budget_clock() - self.started
             if elapsed > policy.timeout_s:
                 self._record("timeout")
                 if policy.on_exhaustion == "raise":

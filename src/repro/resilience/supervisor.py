@@ -1,0 +1,341 @@
+"""Pool supervision: hang detection for shm workers + segment reaping.
+
+Two independent facilities used by :mod:`repro.engine.shm_pool`:
+
+**PoolSupervisor** -- a daemon thread watching per-worker heartbeat
+counters (int64 slots in a shared-memory block, bumped by every worker
+around each barrier wait).  The pool *arms* the supervisor for the
+duration of one job with a watchdog budget derived from the job's
+:class:`~repro.resilience.SolvePolicy` (or an explicit
+``watchdog_s`` option); while armed, the supervisor polls the
+counters and declares a rank *hung* when
+
+* its process is still alive (a dead process is the crash path,
+  handled by the master's sentinel wait), and
+* its heartbeat has not moved for longer than the watchdog budget, and
+* it has not finished the job (finished ranks park their slot at
+  :data:`HB_DONE`), and
+* it is *behind* the fleet (its counter is below the maximum) -- or
+  every stale rank is tied, in which case the lowest stale rank is
+  picked so a livelocked fleet still makes progress one kill at a
+  time.
+
+A hung rank is killed with ``SIGKILL``; its death trips the master's
+existing crash machinery (sentinel wakes, barrier aborts, siblings
+reply "aborted", :meth:`~repro.engine.shm_pool.ShmWorkerPool.repair`
+respawns, the driver retries).  Detection therefore converts "silent
+stall until the barrier backstop" into "bounded recovery".
+
+**Segment reaper** -- a registry of every shared-memory segment name
+the process has created, with ``atexit`` and ``SIGTERM`` hooks that
+force-unlink whatever is still registered.  The pool's orderly
+``shutdown()`` unregisters as it unlinks, so the reaper only acts on
+abnormal exits (KeyboardInterrupt, a signal, an exception that skipped
+shutdown) -- closing the historical ``/dev/shm`` leak.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import signal
+import threading
+import time
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..obs import get_registry
+from ..obs.recorder import record_event
+
+__all__ = [
+    "HB_DONE",
+    "PoolSupervisor",
+    "register_segment",
+    "unregister_segment",
+    "registered_segments",
+    "register_cleanup",
+    "reap_segments",
+    "install_reaper",
+]
+
+#: Heartbeat slot value a worker parks when it finished its job (sent
+#: its reply); finished ranks are never hang candidates even while
+#: their siblings keep working.
+HB_DONE = -1
+
+
+# ---------------------------------------------------------------------------
+# Hang detection
+# ---------------------------------------------------------------------------
+
+
+class PoolSupervisor:
+    """Watchdog thread over one pool's heartbeat counters.
+
+    The pool provides three callables so this module stays free of any
+    engine imports: ``read_heartbeats()`` returning the current counter
+    values, ``rank_alive(rank)``, and ``kill_rank(rank)`` (must be
+    idempotent; SIGKILL the worker process).
+    """
+
+    def __init__(
+        self,
+        *,
+        read_heartbeats: Callable[[], Sequence[int]],
+        rank_alive: Callable[[int], bool],
+        kill_rank: Callable[[int], None],
+        poll_floor_s: float = 0.02,
+    ):
+        self._read = read_heartbeats
+        self._alive = rank_alive
+        self._kill = kill_rank
+        self._poll_floor = poll_floor_s
+        self._cond = threading.Condition()
+        self._watchdog: Optional[float] = None
+        self._kills: List[int] = []
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-shm-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    # -- pool-facing protocol ---------------------------------------------
+
+    def arm(self, watchdog_s: float) -> None:
+        """Start watching for the job about to run."""
+        with self._cond:
+            self._kills = []
+            self._watchdog = float(watchdog_s)
+            self._cond.notify_all()
+
+    def disarm(self) -> List[int]:
+        """Stop watching; returns the ranks killed while armed."""
+        with self._cond:
+            kills = list(self._kills)
+            self._watchdog = None
+            self._cond.notify_all()
+        return kills
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout=2.0)
+
+    # -- watchdog loop -----------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while self._watchdog is None and not self._closed:
+                    self._cond.wait()
+                if self._closed:
+                    return
+                watchdog = self._watchdog
+            self._watch_one_job(watchdog)
+
+    def _watch_one_job(self, watchdog: float) -> None:
+        poll = max(min(watchdog / 4.0, 1.0), self._poll_floor)
+        last_hb: Optional[List[int]] = None
+        last_change: List[float] = []
+        killed: set = set()
+        while True:
+            with self._cond:
+                if self._closed or self._watchdog is None:
+                    return
+                self._cond.wait(timeout=poll)
+                if self._closed or self._watchdog is None:
+                    return
+            try:
+                hb = [int(v) for v in self._read()]
+            except Exception:  # pool tearing down under us
+                return
+            now = time.monotonic()
+            if last_hb is None or len(last_hb) != len(hb):
+                last_hb = hb
+                last_change = [now] * len(hb)
+                continue
+            for rank, (old, new) in enumerate(zip(last_hb, hb)):
+                if new != old:
+                    last_change[rank] = now
+            last_hb = hb
+            stale = [
+                rank
+                for rank in range(len(hb))
+                if hb[rank] != HB_DONE
+                and rank not in killed
+                and now - last_change[rank] > watchdog
+                and self._safe_alive(rank)
+            ]
+            if not stale:
+                continue
+            # Kill only ranks that are *behind* the fleet: a straggler
+            # blocks everyone at the next barrier, so the whole fleet
+            # can look stale while only one rank is actually stuck.
+            peak = max(hb)
+            lagging = [rank for rank in stale if hb[rank] < peak]
+            if not lagging:
+                lagging = [min(stale)]
+            for rank in lagging:
+                killed.add(rank)
+                self._record_kill(rank, now - last_change[rank], watchdog)
+                try:
+                    self._kill(rank)
+                except Exception:
+                    pass
+                with self._cond:
+                    self._kills.append(rank)
+
+    def _safe_alive(self, rank: int) -> bool:
+        try:
+            return bool(self._alive(rank))
+        except Exception:
+            return False
+
+    def _record_kill(self, rank: int, age_s: float, watchdog: float) -> None:
+        record_event(
+            "shm.hang",
+            rank=rank,
+            stale_s=round(age_s, 3),
+            watchdog_s=watchdog,
+        )
+        registry = get_registry()
+        if registry is not None:
+            registry.counter("engine.shm.heartbeat.stale").inc()
+            registry.counter(
+                "engine.shm.heartbeat.kills", rank=str(rank)
+            ).inc()
+
+
+# ---------------------------------------------------------------------------
+# Segment reaper
+# ---------------------------------------------------------------------------
+
+_SEGMENTS: Dict[str, bool] = {}  # name -> registered (ordered set)
+_SEG_LOCK = threading.Lock()
+_CLEANUPS: List[Callable[[], None]] = []
+_REAPER_INSTALLED = False
+_PREV_HANDLERS: Dict[int, object] = {}
+#: Reaping is creator-only: fork-started workers inherit this module's
+#: state (registry, atexit hooks, the SIGTERM handler), and a worker
+#: being terminated must never unlink the master's live segments.
+_OWNER_PID: Optional[int] = None
+
+
+def register_segment(name: str) -> None:
+    """Track a shared-memory segment this process created."""
+    global _OWNER_PID
+    with _SEG_LOCK:
+        if _OWNER_PID is None:
+            _OWNER_PID = os.getpid()
+        _SEGMENTS[name] = True
+    install_reaper()
+
+
+def unregister_segment(name: str) -> None:
+    """Stop tracking ``name`` (orderly unlink happened)."""
+    with _SEG_LOCK:
+        _SEGMENTS.pop(name, None)
+
+
+def registered_segments() -> List[str]:
+    with _SEG_LOCK:
+        return list(_SEGMENTS)
+
+
+def register_cleanup(fn: Callable[[], None]) -> None:
+    """Run ``fn`` (best-effort) before segments are reaped on abnormal
+    exit.  The pool registers a worker-process killer here: a master
+    dying to a signal must not orphan daemon workers, which would
+    otherwise keep inherited pipe/shm handles alive indefinitely."""
+    with _SEG_LOCK:
+        if fn not in _CLEANUPS:
+            _CLEANUPS.append(fn)
+
+
+def _attach_quiet(name: str) -> shared_memory.SharedMemory:
+    """Attach without registering with the resource tracker -- the
+    creator's tracker entry is the one ``unlink`` below balances."""
+    from multiprocessing import resource_tracker
+
+    orig = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig  # type: ignore[assignment]
+
+
+def reap_segments() -> List[str]:
+    """Force-unlink every still-registered segment; returns the names
+    actually reaped.  Safe to call repeatedly and from signal handlers
+    (best effort: a segment that cannot be attached is skipped)."""
+    with _SEG_LOCK:
+        if _OWNER_PID is not None and _OWNER_PID != os.getpid():
+            return []  # forked child: not ours to reap
+        names = list(_SEGMENTS)
+        _SEGMENTS.clear()
+        cleanups = list(_CLEANUPS)
+    for fn in cleanups:
+        try:
+            fn()
+        except Exception:
+            pass
+    reaped = []
+    for name in names:
+        try:
+            seg = _attach_quiet(name)
+        except FileNotFoundError:
+            continue
+        except Exception:
+            continue
+        try:
+            seg.unlink()
+            reaped.append(name)
+        except Exception:
+            pass
+        try:
+            seg.close()
+        except Exception:
+            pass
+    if reaped:
+        try:
+            record_event("shm.segments.reaped", count=len(reaped))
+        except Exception:
+            pass
+    return reaped
+
+
+def _on_signal(signum, frame) -> None:  # pragma: no cover - signal path
+    reap_segments()
+    prev = _PREV_HANDLERS.get(signum)
+    if callable(prev):
+        prev(signum, frame)
+    else:
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+
+def install_reaper() -> None:
+    """Install the atexit + SIGTERM reaping hooks (idempotent).
+
+    ``atexit`` covers normal interpreter exit *and* KeyboardInterrupt
+    unwinding; the SIGTERM handler covers orchestrators that terminate
+    rather than interrupt.  SIGINT is left alone -- Python already
+    turns it into KeyboardInterrupt, which reaches atexit.  Installing
+    from a non-main thread skips the signal half (atexit still runs).
+    """
+    global _REAPER_INSTALLED
+    if _REAPER_INSTALLED:
+        return
+    _REAPER_INSTALLED = True
+    atexit.register(reap_segments)
+    try:
+        for signum in (signal.SIGTERM,):
+            prev = signal.getsignal(signum)
+            if prev is _on_signal:
+                continue
+            _PREV_HANDLERS[signum] = prev
+            signal.signal(signum, _on_signal)
+    except (ValueError, OSError):  # not the main thread / exotic platform
+        pass

@@ -86,6 +86,7 @@ class TestCrashReport:
             solve(
                 sys_,
                 backend="shm",
+                failover=False,  # must see the raw worker fault
                 options={
                     "workers": WORKERS,
                     "_test_crash": {"rank": 0, "round": 1, "once": False},
@@ -116,6 +117,7 @@ class TestCrashReport:
             solve(
                 sys_,
                 backend="shm",
+                failover=False,
                 options={
                     "workers": WORKERS,
                     "_test_crash": {"rank": 0, "round": 0, "once": False},

@@ -189,6 +189,7 @@ class TestCrashRecovery:
             solve(
                 sys_,
                 backend="shm",
+                failover=False,  # the raw fault is the point here
                 options={
                     "workers": WORKERS,
                     "_test_crash": {"rank": 0, "round": 1, "once": False},
@@ -196,12 +197,27 @@ class TestCrashRecovery:
             )
         assert info.value.exit_code == 7
 
+    def test_crash_twice_fails_over_by_default(self):
+        sys_ = int_chain(n=600, seed=4)
+        res = solve(
+            sys_,
+            backend="shm",
+            options={
+                "workers": WORKERS,
+                "_test_crash": {"rank": 0, "round": 1, "once": False},
+            },
+        )
+        assert res.values == run_ordinary(sys_)
+        assert res.backend == "numpy"
+        assert res.failover_from == "shm"
+
     def test_pool_survives_fault(self):
         sys_ = int_chain(n=600, seed=4)
         with pytest.raises(FaultError):
             solve(
                 sys_,
                 backend="shm",
+                failover=False,
                 options={
                     "workers": WORKERS,
                     "_test_crash": {"rank": 0, "round": 0, "once": False},

@@ -1,0 +1,139 @@
+"""The chaos harness: plan schema, determinism, and live injection.
+
+Schema tests mirror the FaultPlan suite (version-2 chaos plans must
+round-trip and reject foreign documents); injection tests run each
+fault kind against the REAL shm pool at small ``n`` and assert the
+recovery path the kind is designed to exercise.  The large-``n`` sweep
+lives in ``benchmarks/chaos_smoke.py``.
+"""
+
+import os
+
+import pytest
+
+from repro.chaos import (
+    CHAOS_KINDS,
+    DEFAULT_HANG_S,
+    DEFAULT_SLOW_S,
+    ChaosEvent,
+    ChaosPlan,
+    run_chaos,
+)
+from repro.errors import FaultError
+from repro.resilience import FaultPlan
+
+WORKERS = int(os.environ.get("REPRO_SHM_TEST_WORKERS", "2"))
+
+
+class TestChaosEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(FaultError, match="unknown chaos kind"):
+            ChaosEvent(kind="meteor", round=0)
+
+    def test_rejects_negative_coordinates(self):
+        with pytest.raises(FaultError):
+            ChaosEvent(kind="kill", round=-1)
+        with pytest.raises(FaultError):
+            ChaosEvent(kind="kill", round=0, attempt=-1)
+
+    def test_hang_and_slow_default_their_delays(self):
+        assert ChaosEvent(kind="hang", round=0).delay_s == DEFAULT_HANG_S
+        assert ChaosEvent(kind="slow", round=0).delay_s == DEFAULT_SLOW_S
+        assert ChaosEvent(kind="kill", round=0).delay_s == 0.0
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultError, match="unknown chaos-event fields"):
+            ChaosEvent.from_dict({"kind": "kill", "round": 0, "blast": 9})
+
+
+class TestChaosPlanSchema:
+    def test_json_round_trip(self, tmp_path):
+        plan = ChaosPlan.random(7, rounds=5, count=6)
+        path = tmp_path / "plan.json"
+        plan.to_json(str(path))
+        back = ChaosPlan.from_json(str(path))
+        assert back.to_dict() == plan.to_dict()
+        assert back.seed == 7
+
+    def test_same_seed_same_plan(self):
+        a = ChaosPlan.random(42, rounds=4, count=8)
+        b = ChaosPlan.random(42, rounds=4, count=8)
+        assert a.to_dict() == b.to_dict()
+        assert a.to_dict() != ChaosPlan.random(43, rounds=4, count=8).to_dict()
+
+    def test_cycles_all_kinds(self):
+        plan = ChaosPlan.random(1, rounds=3, count=4)
+        assert {e.kind for e in plan.events} == set(CHAOS_KINDS)
+
+    def test_rejects_version_1_fault_plans(self):
+        fault_doc = FaultPlan.random(3, steps=4, count=2).to_dict()
+        with pytest.raises(FaultError, match="not a chaos plan"):
+            ChaosPlan.from_dict(fault_doc)
+
+    def test_fault_plan_rejects_chaos_documents(self):
+        chaos_doc = ChaosPlan.random(3, rounds=4, count=2).to_dict()
+        with pytest.raises(Exception):
+            FaultPlan.from_dict(chaos_doc)
+
+    def test_resolve_pins_open_ranks_deterministically(self):
+        plan = ChaosPlan.random(11, rounds=4, count=6)
+        first = plan.resolve(4)
+        second = plan.resolve(4)
+        assert first == second
+        assert all(0 <= e["rank"] < 4 for e in first["events"])
+        # a different width resolves (deterministically) too
+        assert all(0 <= e["rank"] < 2 for e in plan.resolve(2)["events"])
+
+    def test_resolve_skips_out_of_range_pinned_ranks(self):
+        plan = ChaosPlan.single("kill", round=1, rank=7)
+        assert plan.resolve(2)["events"] == []
+
+
+class TestLiveInjection:
+    """Each kind end-to-end at small n; the gate runs these at >=100k."""
+
+    def test_kill_recovers_by_respawn(self):
+        report = run_chaos(
+            ChaosPlan.single("kill", round=1, rank=0),
+            n=3_000, workers=WORKERS, watchdog_s=5.0,
+        )
+        assert report["ok"], report["error"]
+        assert report["backend"] == "shm"
+        assert report["respawns"] >= 1
+
+    def test_slow_is_absorbed_without_recovery_action(self):
+        report = run_chaos(
+            ChaosPlan.single("slow", round=1, rank=0, delay_s=0.05),
+            n=3_000, workers=WORKERS, watchdog_s=5.0,
+        )
+        assert report["ok"], report["error"]
+        assert report["backend"] == "shm"
+        assert report["respawns"] == 0  # the false-positive guard
+        assert report["hang_kills"] == 0
+
+    def test_corrupt_is_caught_and_failed_over(self):
+        report = run_chaos(
+            ChaosPlan.single("corrupt", round=1, rank=0),
+            n=3_000, workers=WORKERS, watchdog_s=5.0,
+        )
+        assert report["ok"], report["error"]
+        assert report["backend"] == "numpy"
+        assert report["failover_from"] == "shm"
+        assert report["reroutes"] >= 1
+
+    def test_persistent_kill_exhausts_retries_then_fails_over(self):
+        report = run_chaos(
+            ChaosPlan.single("kill", round=1, rank=0, attempts=(0, 1)),
+            n=3_000, workers=WORKERS, watchdog_s=5.0, retries=1,
+        )
+        assert report["ok"], report["error"]
+        assert report["backend"] == "numpy"
+        assert report["failover_from"] == "shm"
+
+    def test_corrupt_without_failover_raises(self):
+        report = run_chaos(
+            ChaosPlan.single("corrupt", round=1, rank=0),
+            n=3_000, workers=WORKERS, watchdog_s=5.0, failover=False,
+        )
+        assert not report["ok"]
+        assert "VerificationError" in report["error"]
