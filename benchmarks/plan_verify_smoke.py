@@ -13,7 +13,9 @@ file path):
 2. **Mutation rejection** -- :func:`repro.check.mutate.mutation_campaign`
    corrupts each ordinary schedule (round swaps, gather perturbations,
    dropped rounds, duplicated active ids, predecessor corruption,
-   truncation, one-sided shard-boundary shifts) and the verifier must
+   truncation, one-sided shard-boundary shifts) plus each GIR CAP
+   power table (exponent perturbation, row-pointer truncation, cell
+   swaps, pointer-repaired leaf drift) and the verifier must
    reject at least ``REJECT_FLOOR`` (95%) of the mutants.  The floor
    exists because a mutation can, rarely, land on a semantically
    equivalent schedule; in practice rejection is 100%.
@@ -158,27 +160,37 @@ def ordinary_schedule_of(family, plan):
 
 
 def gate_mutations(rows):
-    """Gate 2: campaign every ordinary schedule; count rejections."""
+    """Gate 2: campaign every ordinary schedule -- and every GIR CAP
+    power table against the system-backed oracle; count rejections."""
     from repro.check import mutation_campaign, verify_plan, verify_shard_layout
 
     total = rejected = 0
     survivors = []
-    for label, family, _problem, _system, plan, _plan_s in rows:
+    for label, family, _problem, system, plan, _plan_s in rows:
         sched = ordinary_schedule_of(family, plan)
-        if sched is None:
-            continue
-        for mut in mutation_campaign(sched, seeds=MUTATION_SEEDS):
-            total += 1
-            if mut.boundaries is not None:
-                report = verify_shard_layout(
-                    mut.plan, mut.workers, boundaries=mut.boundaries
-                )
-            else:
-                report = verify_plan(mut.plan)
-            if report.ok:
-                survivors.append((label, mut.kind, mut.description))
-            else:
-                rejected += 1
+        if sched is not None:
+            for mut in mutation_campaign(sched, seeds=MUTATION_SEEDS):
+                total += 1
+                if mut.boundaries is not None:
+                    report = verify_shard_layout(
+                        mut.plan, mut.workers, boundaries=mut.boundaries
+                    )
+                else:
+                    report = verify_plan(mut.plan)
+                if report.ok:
+                    survivors.append((label, mut.kind, mut.description))
+                else:
+                    rejected += 1
+        if family == "gir" and getattr(plan, "table", None) is not None:
+            # CAP-family plans: the v2 CSR mutation classes, verified
+            # against the dependence-graph oracle.
+            for mut in mutation_campaign(plan, seeds=MUTATION_SEEDS):
+                total += 1
+                report = verify_plan(mut.plan, system=system)
+                if report.ok:
+                    survivors.append((label, mut.kind, mut.description))
+                else:
+                    rejected += 1
     return total, rejected, survivors
 
 

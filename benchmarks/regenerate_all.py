@@ -47,6 +47,7 @@ BENCHES = [
     "bench_ablation_scheduling",
     "bench_wallclock_engines",
     "bench_plan_reuse",
+    "bench_gir_powers",
     "bench_shm",
 ]
 

@@ -60,6 +60,9 @@ FINDING_CODES: Dict[str, str] = {
     "GIR003": "GIR plan output cells are not distinct",
     "GIR004": "CAP power table disagrees with the dependence-graph oracle",
     "GIR005": "GIR plan carries neither dispatch nor CAP artifacts",
+    "GIR006": "GIR power-table CSR structure is inconsistent",
+    "GIR007": "power-table leaf counts drift from the dependence-graph totals",
+    "GIR008": "sampled trace row disagrees with the exact leaf-count oracle",
     # -- precondition prover (PRE0xx) ----------------------------------
     "PRE001": "g index map is not injective (distinctness violated)",
     "PRE002": "index map leaves the array domain",

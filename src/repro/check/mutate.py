@@ -18,6 +18,23 @@ kind                 models                                  caught by
 ``shift_shard``      a one-sided Brent boundary shift        SHM001/SHM002
 ===================  =====================================================
 
+GIR plans (the v2 CSR power table) have their own mutation classes,
+applied by :func:`mutate_plan` when the plan's family is ``gir`` --
+feed the result to ``verify_plan(plan, system=system)``:
+
+=========================  ===============================================
+kind                       models                              caught by
+=========================  ===============================================
+``gir_perturb_exponent``   one path count miscounted           GIR004/GIR007
+``gir_truncate_rowptr``    a row pointer cut short             GIR006
+``gir_swap_cells``         row cells out of sorted order       GIR006
+``gir_leaf_drift``         a factor dropped, CSR re-closed     GIR004/GIR007
+=========================  ===============================================
+
+``gir_leaf_drift`` is the adversarial one: it deletes a factor *and*
+repairs every downstream row pointer, so the table stays structurally
+perfect and only the dependence-graph oracle can reject it.
+
 (A *coherent* boundary shift -- both neighbours moving together -- is
 deliberately not a mutation: it yields a different but still exact
 partition, which is race-free and must remain accepted.  The bug being
@@ -39,6 +56,7 @@ import numpy as np
 __all__ = [
     "MUTATION_KINDS",
     "SHARD_MUTATION_KINDS",
+    "GIR_MUTATION_KINDS",
     "Mutation",
     "mutate_plan",
     "mutation_campaign",
@@ -54,6 +72,13 @@ MUTATION_KINDS: Tuple[str, ...] = (
 )
 
 SHARD_MUTATION_KINDS: Tuple[str, ...] = ("shift_shard",)
+
+GIR_MUTATION_KINDS: Tuple[str, ...] = (
+    "gir_perturb_exponent",
+    "gir_truncate_rowptr",
+    "gir_swap_cells",
+    "gir_leaf_drift",
+)
 
 
 @dataclass
@@ -96,6 +121,114 @@ def _brent(lo: int, hi: int, rank: int, nworkers: int) -> Tuple[int, int]:
     return lo + rank * size // nworkers, lo + (rank + 1) * size // nworkers
 
 
+def _clone_gir(plan: Any) -> Any:
+    from ..engine.plan import GIRPlan, PowerTable
+
+    table = plan.table
+    return GIRPlan(
+        fingerprint=plan.fingerprint,
+        n=int(plan.n),
+        m=int(plan.m),
+        renamed=bool(plan.renamed),
+        dispatch=plan.dispatch,
+        out_cells=np.array(plan.out_cells, dtype=np.int64, copy=True),
+        table=PowerTable(
+            row_ptr=np.array(table.row_ptr, dtype=np.int64, copy=True),
+            cells=np.array(table.cells, dtype=np.int64, copy=True),
+            exponents=list(table.exponents),
+        ),
+        final_cell_of=(
+            None
+            if plan.final_cell_of is None
+            else np.array(plan.final_cell_of, dtype=np.int64, copy=True)
+        ),
+        cap_iterations=int(plan.cap_iterations),
+        cap_edge_work=int(plan.cap_edge_work),
+    )
+
+
+def _mutate_gir(plan: Any, kind: str, rng: random.Random) -> Optional[Mutation]:
+    """The GIR power-table mutation classes (v2 CSR artifacts)."""
+    table = getattr(plan, "table", None)
+    if table is None:
+        return None
+    nnz = table.nnz
+
+    if kind == "gir_perturb_exponent":
+        if nnz == 0:
+            return None
+        j = rng.randrange(nnz)
+        delta = rng.randrange(1, 5)
+        mutated = _clone_gir(plan)
+        mutated.table.exponents[j] = int(mutated.table.exponents[j]) + delta
+        return Mutation(
+            kind=kind,
+            description=f"table entry {j}: exponent +{delta}",
+            plan=mutated,
+            data={"entry": j, "delta": delta},
+        )
+
+    if kind == "gir_truncate_rowptr":
+        if nnz == 0:
+            return None
+        mutated = _clone_gir(plan)
+        mutated.table.row_ptr[-1] -= 1
+        return Mutation(
+            kind=kind,
+            description="final row pointer decremented: the table no "
+            "longer closes over its entries",
+            plan=mutated,
+        )
+
+    if kind == "gir_swap_cells":
+        rows = [
+            i
+            for i in range(table.rows)
+            if int(table.row_ptr[i + 1]) - int(table.row_ptr[i]) >= 2
+        ]
+        if not rows:
+            return None
+        r = rng.choice(rows)
+        j = rng.randrange(
+            int(table.row_ptr[r]), int(table.row_ptr[r + 1]) - 1
+        )
+        mutated = _clone_gir(plan)
+        cells = mutated.table.cells
+        cells[j], cells[j + 1] = int(cells[j + 1]), int(cells[j])
+        return Mutation(
+            kind=kind,
+            description=f"row {r}: adjacent cells {j} and {j + 1} swapped "
+            "(sorted-order violation)",
+            plan=mutated,
+            data={"row": r, "entry": j},
+        )
+
+    if kind == "gir_leaf_drift":
+        rows = [
+            i
+            for i in range(table.rows)
+            if int(table.row_ptr[i + 1]) - int(table.row_ptr[i]) >= 2
+        ]
+        if not rows:
+            return None
+        r = rng.choice(rows)
+        j = rng.randrange(int(table.row_ptr[r]), int(table.row_ptr[r + 1]))
+        mutated = _clone_gir(plan)
+        t = mutated.table
+        t.cells = np.delete(t.cells, j)
+        del t.exponents[j]
+        t.row_ptr[r + 1 :] -= 1
+        return Mutation(
+            kind=kind,
+            description=f"row {r}: factor at entry {j} dropped with the "
+            "CSR pointers repaired (structurally invisible)",
+            plan=mutated,
+            data={"row": r, "entry": j},
+        )
+
+    raise ValueError(f"unknown mutation kind {kind!r}")
+
+
 def mutate_plan(
     plan: Any, kind: str, seed: int = 0, *, workers: int = 4
 ) -> Optional[Mutation]:
@@ -104,6 +237,8 @@ def mutate_plan(
     # zlib.crc32 rather than hash(): stable across processes
     # (str hashing is randomized by PYTHONHASHSEED).
     rng = random.Random((seed * 1_000_003) ^ zlib.crc32(kind.encode()))
+    if kind.startswith("gir_"):
+        return _mutate_gir(plan, kind, rng)
     rounds = len(plan.steps)
     n = int(plan.n)
 
@@ -262,11 +397,21 @@ def mutate_plan(
 def mutation_campaign(
     plan: Any,
     *,
-    kinds: Sequence[str] = MUTATION_KINDS + SHARD_MUTATION_KINDS,
+    kinds: Optional[Sequence[str]] = None,
     seeds: Sequence[int] = range(8),
     workers: int = 4,
 ) -> List[Mutation]:
-    """All applicable (kind, seed) mutations of ``plan``."""
+    """All applicable (kind, seed) mutations of ``plan``.
+
+    ``kinds`` defaults by plan family: GIR CAP plans (those carrying a
+    power table) get :data:`GIR_MUTATION_KINDS`; everything else gets
+    the schedule + shard classes.
+    """
+    if kinds is None:
+        if getattr(plan, "table", None) is not None:
+            kinds = GIR_MUTATION_KINDS
+        else:
+            kinds = MUTATION_KINDS + SHARD_MUTATION_KINDS
     out: List[Mutation] = []
     for kind in kinds:
         for seed in seeds:

@@ -57,7 +57,18 @@ __all__ = [
 
 #: Deep CAP-table verification against the dependence-graph oracle is
 #: O(n * leaves); bounded so ``verify_plan`` stays cheap by default.
+#: Above the bound the verifier switches to the unbounded total-count
+#: oracle (GIR007) plus exact equivalence on sampled rows (GIR008).
 GIR_ORACLE_MAX_N = 2048
+#: Rows exactly re-derived from the dependence graph when the full
+#: oracle is out of budget.
+GIR_SAMPLE_ROWS = 16
+#: Work bound for the sampled oracle's memoized DP (total dict entries
+#: accumulated); past it the remaining sampled rows are skipped.
+GIR_SAMPLE_BUDGET = 4_000_000
+#: Modulus of the unbounded total-path-count oracle: a prime small
+#: enough that per-row int64 sums cannot overflow.
+_GIR_TOTAL_MOD = 2_147_483_629
 
 
 def _brent_shard(lo: int, hi: int, rank: int, nworkers: int) -> Tuple[int, int]:
@@ -458,12 +469,12 @@ def _verify_gir(plan: Any, system: Any, report: CheckReport) -> None:
             )
         report.extend(sub)
         return
-    if plan.out_cells is None or plan.tables is None:
+    if plan.out_cells is None or plan.table is None:
         report.add(
             error(
                 "GIR005",
                 "plan has neither a dispatch plan nor CAP artifacts "
-                "(out_cells/tables)",
+                "(out_cells/table)",
                 where="gir",
                 hint="rebuild the plan from the system",
             )
@@ -471,14 +482,15 @@ def _verify_gir(plan: Any, system: Any, report: CheckReport) -> None:
         return
 
     out_cells = np.asarray(plan.out_cells, dtype=np.int64)
+    table = plan.table
     work_m = m + n if plan.renamed else m
     report.ran(3)
-    if out_cells.shape != (n,) or len(plan.tables) != n:
+    if out_cells.shape != (n,):
         report.add(
             error(
                 "SCH007",
                 f"CAP artifacts disagree with n={n}: out_cells"
-                f"{out_cells.shape}, {len(plan.tables)} table(s)",
+                f"{out_cells.shape}",
                 where="gir",
             )
         )
@@ -503,18 +515,8 @@ def _verify_gir(plan: Any, system: Any, report: CheckReport) -> None:
             )
         )
         return
-    for i, table in enumerate(plan.tables):
-        for cell, power in table.items():
-            if not (0 <= int(cell) < m) or int(power) < 1:
-                report.add(
-                    error(
-                        "GIR002",
-                        f"table[{i}] entry ({cell}: {power}) is not a "
-                        f"positive power of an original cell < {m}",
-                        where="gir",
-                    )
-                )
-                return
+    if not _verify_gir_csr(table, n, m, report):
+        return
     if plan.final_cell_of is not None:
         report.ran()
         proj = np.asarray(plan.final_cell_of, dtype=np.int64)
@@ -531,20 +533,26 @@ def _verify_gir(plan: Any, system: Any, report: CheckReport) -> None:
             )
             return
 
-    # Deep equivalence against the dependence-graph oracle: the CAP
-    # table must equal the exact leaf multiplicities of each trace
-    # (paper Fig 8).  O(n * leaves) -- bounded.
-    if system is not None and n <= GIR_ORACLE_MAX_N:
-        from ..core.equations import normalize_non_distinct
+    # Deep equivalence against the dependence-graph oracle, in three
+    # tiers: the exact full oracle (GIR004, bounded), the unbounded
+    # modular total-path-count sweep (GIR007, O(n + nnz)), and exact
+    # re-derivation of sampled rows (GIR008) when the full oracle is
+    # out of budget.
+    if system is None or n == 0:
+        return
+    from ..core.equations import normalize_non_distinct
+
+    work = system
+    if plan.renamed:
+        work = normalize_non_distinct(system).system
+
+    if n <= GIR_ORACLE_MAX_N:
         from ..core.traces import leaf_counts
 
         report.ran()
-        work = system
-        if plan.renamed:
-            work = normalize_non_distinct(system).system
         oracle = leaf_counts(work)
         for i in range(n):
-            got = {int(c): int(p) for c, p in plan.tables[i].items()}
+            got = dict(table.row_items(i))
             if got != oracle[i]:
                 report.add(
                     error(
@@ -560,6 +568,254 @@ def _verify_gir(plan: Any, system: Any, report: CheckReport) -> None:
             info(
                 "IR000",
                 f"CAP tables match the trace oracle on all {n} iterations",
+                where="gir",
+            )
+        )
+        return
+
+    from ..core.depgraph import build_dependence_graph
+
+    graph = build_dependence_graph(work)
+    if not _verify_gir_totals(table, graph, report):
+        return
+    _verify_gir_sampled(table, graph, report)
+
+
+def _verify_gir_csr(table: Any, n: int, m: int, report: CheckReport) -> bool:
+    """GIR006/GIR002: structural integrity of the v2 CSR power table.
+
+    Proves the flat arrays form a well-shaped table -- row pointers
+    monotone from 0 to nnz, no empty trace rows, leaf cells strictly
+    increasing within each row (the order the evaluators rely on) and
+    inside the original array, exponents positive.  Returns False when
+    a finding stops verification.
+    """
+    row_ptr = np.asarray(table.row_ptr, dtype=np.int64)
+    cells = np.asarray(table.cells, dtype=np.int64)
+    nnz = len(table.exponents)
+    report.ran(5)
+    if row_ptr.shape != (n + 1,) or (n >= 0 and int(row_ptr[0]) != 0):
+        report.add(
+            error(
+                "GIR006",
+                f"row_ptr{row_ptr.shape} does not start a {n}-row table "
+                "at 0",
+                where="gir",
+                hint="rebuild the plan; do not edit serialized plans by hand",
+            )
+        )
+        return False
+    lengths = np.diff(row_ptr)
+    if lengths.size and int(lengths.min()) < 0:
+        bad = int(np.argmax(lengths < 0))
+        report.add(
+            error(
+                "GIR006",
+                f"row pointers decrease at row {bad} "
+                f"({int(row_ptr[bad])} -> {int(row_ptr[bad + 1])})",
+                where="gir",
+                data={"row": bad},
+            )
+        )
+        return False
+    if int(row_ptr[-1]) != nnz or cells.shape != (nnz,):
+        report.add(
+            error(
+                "GIR006",
+                f"row_ptr closes the table at {int(row_ptr[-1])} but it "
+                f"holds {nnz} exponent(s) / {cells.shape[0]} cell(s)",
+                where="gir",
+            )
+        )
+        return False
+    if lengths.size and int(lengths.min()) == 0:
+        bad = int(np.argmax(lengths == 0))
+        report.add(
+            error(
+                "GIR006",
+                f"row {bad} is an empty trace (its cell was never "
+                "assigned); evaluation would fail",
+                where="gir",
+                data={"row": bad},
+            )
+        )
+        return False
+    if nnz > 1:
+        # Strictly increasing within each row: adjacent-pair diffs,
+        # masking out the positions where a new row starts.
+        d = np.diff(cells)
+        mask = np.ones(nnz - 1, dtype=bool)
+        interior = row_ptr[1:-1]
+        starts = interior[(interior > 0) & (interior < nnz)] - 1
+        mask[starts] = False
+        if bool(np.any(d[mask] <= 0)):
+            j = int(np.nonzero(mask & (d <= 0))[0][0])
+            row = int(np.searchsorted(row_ptr, j, side="right")) - 1
+            report.add(
+                error(
+                    "GIR006",
+                    f"row {row} cells are not strictly increasing at "
+                    f"entry {j} ({int(cells[j])} then {int(cells[j + 1])})",
+                    where="gir",
+                    data={"row": row, "entry": j},
+                )
+            )
+            return False
+    if nnz and (int(cells.min()) < 0 or int(cells.max()) >= m):
+        j = int(np.argmax((cells < 0) | (cells >= m)))
+        report.add(
+            error(
+                "GIR002",
+                f"table entry {j} references cell {int(cells[j])}, "
+                f"outside the original array [0, {m})",
+                where="gir",
+                data={"entry": j},
+            )
+        )
+        return False
+    if any(x < 1 for x in table.exponents):
+        j = next(j for j, x in enumerate(table.exponents) if x < 1)
+        report.add(
+            error(
+                "GIR002",
+                f"table entry {j} carries exponent {table.exponents[j]}; "
+                "powers must be >= 1",
+                where="gir",
+                data={"entry": j},
+            )
+        )
+        return False
+    return True
+
+
+def _verify_gir_totals(table: Any, graph: Any, report: CheckReport) -> bool:
+    """GIR007: unbounded leaf-count drift oracle.
+
+    The total number of leaf paths from final node ``i`` equals the sum
+    of row ``i``'s exponents; both sides are recomputed modulo a prime
+    -- the graph side by an O(n) forward DP over the dependence DAG,
+    the table side by one segmented sum -- so the sweep stays linear at
+    any ``n``.  Catches any mutation that changes a multiplicity or
+    drops/duplicates a factor, with false-accept probability 1/p per
+    row.
+    """
+    n = graph.n
+    P = _GIR_TOTAL_MOD
+    report.ran()
+    vals = np.ones(n + graph.m, dtype=np.int64).tolist()
+    tf = graph.target_f.tolist()
+    th = graph.target_h.tolist()
+    for i in range(n):
+        # targets are strictly earlier finals or leaves (init 1)
+        vals[i] = (vals[tf[i]] + vals[th[i]]) % P
+    exps_mod = np.fromiter(
+        (x % P for x in table.exponents), dtype=np.int64, count=table.nnz
+    )
+    sums = np.add.reduceat(exps_mod, table.row_ptr[:-1]) % P
+    expect = np.asarray(vals[:n], dtype=np.int64)
+    if not np.array_equal(sums, expect):
+        bad = int(np.argmax(sums != expect))
+        report.add(
+            error(
+                "GIR007",
+                f"row {bad}'s exponents sum to {int(sums[bad])} (mod "
+                f"{P}) but the dependence graph has {int(expect[bad])} "
+                "leaf paths: the power table drifted from the traces",
+                where="gir",
+                data={"row": bad},
+            )
+        )
+        return False
+    report.add(
+        info(
+            "IR000",
+            f"power-table totals match the dependence graph on all {n} "
+            "rows (modular oracle)",
+            where="gir",
+        )
+    )
+    return True
+
+
+def _verify_gir_sampled(table: Any, graph: Any, report: CheckReport) -> None:
+    """GIR008: exact leaf-count re-derivation of sampled rows.
+
+    Rebuilds the full ``{cell: multiplicity}`` dict of up to
+    :data:`GIR_SAMPLE_ROWS` evenly spaced rows by memoized DP over the
+    dependence DAG (exact big-int arithmetic, iterative so chain depth
+    cannot overflow the stack) and requires byte-equality with the
+    table rows.  Work is bounded by :data:`GIR_SAMPLE_BUDGET`
+    accumulated dict entries; rows past the budget are skipped with an
+    info finding rather than silently passed.
+    """
+    n = graph.n
+    sample = sorted(
+        set(np.linspace(0, n - 1, GIR_SAMPLE_ROWS, dtype=np.int64).tolist())
+    )
+    tf = graph.target_f.tolist()
+    th = graph.target_h.tolist()
+    memo: Dict[int, Dict[int, int]] = {}
+    budget = GIR_SAMPLE_BUDGET
+    checked = 0
+    for root in sample:
+        if budget <= 0:
+            break
+        stack = [int(root)]
+        while stack and budget > 0:
+            node = stack[-1]
+            if node in memo:
+                stack.pop()
+                continue
+            deps = [
+                t
+                for t in (tf[node], th[node])
+                if t < n and t not in memo
+            ]
+            if deps:
+                stack.extend(deps)
+                continue
+            acc: Dict[int, int] = {}
+            for t in (tf[node], th[node]):
+                if t >= n:
+                    cell = t - n
+                    acc[cell] = acc.get(cell, 0) + 1
+                else:
+                    for cell, k in memo[t].items():
+                        acc[cell] = acc.get(cell, 0) + k
+            memo[node] = acc
+            budget -= len(acc)
+            stack.pop()
+        if int(root) not in memo:
+            break
+        report.ran()
+        got = dict(table.row_items(int(root)))
+        if got != memo[int(root)]:
+            report.add(
+                error(
+                    "GIR008",
+                    f"sampled row {int(root)} disagrees with the exact "
+                    "leaf-count oracle",
+                    where="gir",
+                    data={"row": int(root)},
+                )
+            )
+            return
+        checked += 1
+    if checked < len(sample):
+        report.add(
+            info(
+                "IR000",
+                f"sampled oracle verified {checked}/{len(sample)} rows "
+                "before exhausting its work budget",
+                where="gir",
+            )
+        )
+    else:
+        report.add(
+            info(
+                "IR000",
+                f"{checked} sampled rows match the exact leaf-count "
+                "oracle",
                 where="gir",
             )
         )

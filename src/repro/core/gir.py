@@ -38,7 +38,12 @@ from .depgraph import build_dependence_graph
 from .equations import GIRSystem
 from .operators import Operator
 
-__all__ = ["GIRSolveStats", "evaluate_trace_powers", "trace_powers"]
+__all__ = [
+    "GIRSolveStats",
+    "evaluate_trace_powers",
+    "evaluate_trace_powers_items",
+    "trace_powers",
+]
 
 
 @dataclass
@@ -98,7 +103,22 @@ def evaluate_trace_powers(
     ``op`` the order is semantically irrelevant, but determinism keeps
     floating-point results reproducible run to run.
     """
-    items = sorted(powers_by_cell.items())
+    return evaluate_trace_powers_items(sorted(powers_by_cell.items()), initial, op)
+
+
+def evaluate_trace_powers_items(
+    items: List[Tuple[int, int]],
+    initial: List[Any],
+    op: Operator,
+) -> Tuple[Any, int, int]:
+    """:func:`evaluate_trace_powers` over **pre-sorted** ``(cell,
+    power)`` pairs.
+
+    Plans store each row's cells already sorted (CSR rows are built
+    ordered), so per-solve evaluation skips the historical per-call
+    re-sort.  Semantics are otherwise identical, including the exact
+    balanced pairing order.
+    """
     if not items:
         raise ValueError("empty trace: cell was never assigned")
     factors = [
@@ -129,7 +149,7 @@ def trace_powers(system: GIRSystem) -> List[Dict[int, int]]:
     """
     graph = build_dependence_graph(system)
     cap = count_all_paths(graph)
-    return [cap.powers_by_cell(graph, i) for i in range(system.n)]
+    return cap.powers_by_cell_all(graph)
 
 
 _REMOVED = {

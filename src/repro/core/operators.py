@@ -79,6 +79,142 @@ def _float_pow(x: float, k: int) -> float:
         return sign * math.inf
 
 
+def _is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit-ish inputs.
+
+    The base set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} is a
+    proven witness set for every ``n < 3.3 * 10**24``, far beyond any
+    modulus the engines accept for vectorized arithmetic.
+    """
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+#: Largest modulus for which (m-1)*m and (m-1)**2 stay inside int64,
+#: so the vectorized modular kernels are exact without promotion.
+_VEC_MOD_MAX = 3037000499
+
+
+class _ModAddFn:
+    """Picklable ``(x + y) % m`` -- scalar and elementwise."""
+
+    __slots__ = ("modulus",)
+
+    def __init__(self, modulus: int):
+        self.modulus = modulus
+
+    def __call__(self, x, y):
+        return (x + y) % self.modulus
+
+
+class _ModMulFn:
+    """Picklable ``(x * y) % m`` -- scalar and elementwise."""
+
+    __slots__ = ("modulus",)
+
+    def __init__(self, modulus: int):
+        self.modulus = modulus
+
+    def __call__(self, x, y):
+        return (x * y) % self.modulus
+
+
+class _ModAddPower:
+    """Scalar atomic power of modular addition: ``(x * (k % m)) % m``."""
+
+    __slots__ = ("modulus",)
+
+    def __init__(self, modulus: int):
+        self.modulus = modulus
+
+    def __call__(self, x: int, k: int) -> int:
+        return (x * (k % self.modulus)) % self.modulus
+
+
+class _ModMulPower:
+    """Scalar atomic power of modular multiplication: ``pow(x, k, m)``."""
+
+    __slots__ = ("modulus",)
+
+    def __init__(self, modulus: int):
+        self.modulus = modulus
+
+    def __call__(self, x: int, k: int) -> int:
+        return pow(x, k, self.modulus)
+
+
+class _VecModScale:
+    """Vectorized modular-add power over int64 arrays.
+
+    Exact as long as inputs are in ``[0, m)`` and exponents in
+    ``[1, m]`` (the reduced range): the intermediate product is at most
+    ``(m-1)*m < 2**63`` for every modulus up to ``_VEC_MOD_MAX``.
+    """
+
+    __slots__ = ("modulus",)
+
+    def __init__(self, modulus: int):
+        self.modulus = modulus
+
+    def domain_check(self, values) -> bool:
+        return bool(((values >= 0) & (values < self.modulus)).all())
+
+    def __call__(self, x, k):
+        return (x * (k % self.modulus)) % self.modulus
+
+
+class _VecModPow:
+    """Vectorized modular exponentiation (binary square-and-multiply).
+
+    Everything stays in int64: squares are bounded by ``(m-1)**2``
+    which fits for ``m <= _VEC_MOD_MAX``; exponents are pre-reduced to
+    ``[1, period]`` so at most ~32 rounds run.
+    """
+
+    __slots__ = ("modulus",)
+
+    def __init__(self, modulus: int):
+        self.modulus = modulus
+
+    def domain_check(self, values) -> bool:
+        return bool(((values >= 0) & (values < self.modulus)).all())
+
+    def __call__(self, x, k):
+        m = self.modulus
+        base = np.asarray(x, dtype=np.int64) % m
+        exp = np.asarray(k, dtype=np.int64).copy()
+        out = np.ones_like(base)
+        while exp.any():
+            odd = (exp & 1).astype(bool)
+            out[odd] = (out[odd] * base[odd]) % m
+            base = (base * base) % m
+            exp >>= 1
+        return out
+
+
+def _idempotent_vector_power(x, k):
+    """Vector power of an idempotent operator: ``x^k = x``."""
+    return x
+
+
 def _default_power(op: Callable[[Any, Any], Any]) -> Callable[[Any, int], Any]:
     """Build a power function by repeated squaring over ``op``.
 
@@ -138,6 +274,21 @@ class Operator:
         the vectorized solvers (``np.add`` for ``add`` etc.).  When
         ``None`` the engines fall back to an object-array loop, which
         keeps arbitrary monoids (tuples, 2x2 matrices) working.
+    vector_power:
+        Optional elementwise atomic power ``vector_power(x, k)`` over
+        NumPy arrays, used by the batched GIR evaluator and the shm GIR
+        workers.  It may expose ``domain_check(values) -> bool`` to
+        reject inputs outside its exact range (the engines then fall
+        back to the scalar ``power`` loop).  Must be picklable for the
+        shm backend (module-level callables / callable class instances,
+        not closures).
+    power_period:
+        Optional period ``p`` such that ``power(x, k) == power(x, k')``
+        whenever ``k ≡ k' (mod p)`` and both are >= 1.  GIR exponents
+        (path counts) can be astronomically large; a period lets plans
+        cache them reduced into int64 via ``((k - 1) % p) + 1``.
+        Modular addition has period ``m``; modular multiplication has
+        period ``m - 1`` when the modulus is prime (Fermat).
     """
 
     name: str
@@ -149,6 +300,8 @@ class Operator:
     cost: int = 1
     dtype: Optional[str] = None
     vector_fn: Optional[Callable[[Any, Any], Any]] = None
+    vector_power: Optional[Callable[[Any, Any], Any]] = None
+    power_period: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.power is None:
@@ -206,6 +359,9 @@ def make_operator(
     power: Optional[Callable[[Any, int], Any]] = None,
     cost: int = 1,
     dtype: Optional[str] = None,
+    vector_fn: Optional[Callable[[Any, Any], Any]] = None,
+    vector_power: Optional[Callable[[Any, Any], Any]] = None,
+    power_period: Optional[int] = None,
 ) -> Operator:
     """Convenience constructor mirroring :class:`Operator`."""
     return Operator(
@@ -217,6 +373,9 @@ def make_operator(
         power=power,
         cost=cost,
         dtype=dtype,
+        vector_fn=vector_fn,
+        vector_power=vector_power,
+        power_period=power_period,
     )
 
 
@@ -289,6 +448,7 @@ MIN = Operator(
     cost=1,
     dtype="float64",
     vector_fn=np.minimum,
+    vector_power=_idempotent_vector_power,
 )
 """Minimum; idempotent, so ``power(x, k) = x``."""
 
@@ -302,6 +462,7 @@ MAX = Operator(
     cost=1,
     dtype="float64",
     vector_fn=np.maximum,
+    vector_power=_idempotent_vector_power,
 )
 """Maximum; idempotent, so ``power(x, k) = x``."""
 
@@ -331,18 +492,20 @@ def modular_add(modulus: int) -> Operator:
     if modulus <= 1:
         raise ValueError("modulus must be >= 2")
 
-    def power(x: int, k: int) -> int:
-        return (x * (k % modulus)) % modulus
-
+    vectorizable = modulus <= _VEC_MOD_MAX
     return Operator(
         name=f"add_mod_{modulus}",
-        fn=lambda x, y: (x + y) % modulus,
+        fn=_ModAddFn(modulus),
         associative=True,
         commutative=True,
         identity=0,
-        power=power,
+        power=_ModAddPower(modulus),
         cost=1,
         dtype="int64",
+        vector_fn=_ModAddFn(modulus) if vectorizable else None,
+        vector_power=_VecModScale(modulus) if vectorizable else None,
+        # (k % m) * x == (k' % m) * x whenever k ≡ k' (mod m)
+        power_period=modulus,
     )
 
 
@@ -355,15 +518,21 @@ def modular_mul(modulus: int) -> Operator:
     if modulus <= 1:
         raise ValueError("modulus must be >= 2")
 
+    vectorizable = modulus <= _VEC_MOD_MAX
     return Operator(
         name=f"mul_mod_{modulus}",
-        fn=lambda x, y: (x * y) % modulus,
+        fn=_ModMulFn(modulus),
         associative=True,
         commutative=True,
         identity=1,
-        power=lambda x, k: pow(x, k, modulus),
+        power=_ModMulPower(modulus),
         cost=1,
         dtype="int64",
+        vector_fn=_ModMulFn(modulus) if vectorizable else None,
+        vector_power=_VecModPow(modulus) if vectorizable else None,
+        # Fermat: x^(m-1) ≡ 1 for prime m (and 0^k = 0 for every k >= 1),
+        # so exponents reduce mod m-1.  Composite moduli get no period.
+        power_period=modulus - 1 if _is_prime(modulus) else None,
     )
 
 

@@ -127,6 +127,7 @@ class PythonBackend(Backend):
                 policy=request.policy,
                 checked=request.checked,
                 check_sample=request.check_sample,
+                eval_mode=request.options.get("gir_eval", "auto"),
             )
             return values, stats, plan, None
         values, stats, plan = exec_moebius.execute(
@@ -184,6 +185,7 @@ class NumpyBackend(Backend):
                 policy=request.policy,
                 checked=request.checked,
                 check_sample=request.check_sample,
+                eval_mode=request.options.get("gir_eval", "auto"),
             )
             return values, stats, plan, None
         values, stats, plan = exec_moebius.execute(
@@ -201,9 +203,24 @@ class NumpyBackend(Backend):
         return values, stats, plan, None
 
     def execute_batch(self, request, batch_initial, f_initial_batch=None):
-        from . import exec_moebius, exec_ordinary
+        from . import exec_gir, exec_moebius, exec_ordinary
 
         family = request.problem.family
+        if family == "gir":
+            if f_initial_batch is not None:
+                raise ValueError(
+                    "f_initial_batch does not apply to the gir family"
+                )
+            return exec_gir.execute_batch(
+                request.source,
+                request.problem,
+                request.plan,
+                batch_initial,
+                policy=request.policy,
+                checked=request.checked,
+                check_sample=request.check_sample,
+                eval_mode=request.options.get("gir_eval", "auto"),
+            )
         if family == "moebius":
             if f_initial_batch is not None:
                 raise ValueError(
@@ -220,7 +237,8 @@ class NumpyBackend(Backend):
             )
         if family != "ordinary":
             raise NotImplementedError(
-                "batched execution covers the ordinary and moebius families"
+                "batched execution covers the ordinary, gir and moebius "
+                "families"
             )
         plan = request.plan
         if plan is None:
@@ -299,8 +317,11 @@ class ShmBackend(Backend):
     Splits each pointer-jumping round's active set into contiguous
     Brent-style ``n/P`` shards across a persistent pool of worker
     processes over ``multiprocessing.shared_memory``.  Covers the
-    ordinary family with NumPy-typed operators and the Moebius affine
-    fast path.  Options: ``workers`` (default 4), Moebius ``path`` /
+    ordinary family with NumPy-typed operators, the Moebius affine
+    fast path, and GIR trace evaluation (power-table rows sharded
+    Brent-style, the plan arrays shipped once through the
+    fingerprint-keyed shm upload path).  Options: ``workers``
+    (default 4), Moebius ``path`` /
     ``guard``, ``watchdog_s`` (heartbeat watchdog override; ``<= 0``
     disables), ``max_retries`` (crash/hang respawn-and-retry budget),
     ``chaos`` (a :class:`~repro.chaos.ChaosPlan` or resolved event
@@ -312,7 +333,7 @@ class ShmBackend(Backend):
 
     name = "shm"
     capabilities = BackendCapabilities(
-        families=frozenset({"ordinary", "moebius"}),
+        families=frozenset({"ordinary", "gir", "moebius"}),
         exact=False,
         batch=False,
     )
@@ -343,6 +364,22 @@ class ShmBackend(Backend):
                 workers=workers,
                 collect_stats=request.collect_stats,
                 f_initial=request.f_initial,
+                policy=request.policy,
+                checked=request.checked,
+                check_sample=request.check_sample,
+                crash=crash,
+                chaos=chaos,
+                watchdog_s=watchdog_s,
+                retries=retries,
+            )
+            return values, stats, plan, None
+        if family == "gir":
+            values, stats, plan = exec_shm.execute_gir(
+                request.source,
+                request.problem,
+                request.plan,
+                workers=workers,
+                collect_stats=request.collect_stats,
                 policy=request.policy,
                 checked=request.checked,
                 check_sample=request.check_sample,

@@ -9,7 +9,15 @@ covers
 
 * the **ordinary** family with NumPy-typed operators (``vector_fn`` +
   ``dtype``) -- object monoids cannot cross a process boundary without
-  serialization, which would defeat the shared-memory design; and
+  serialization, which would defeat the shared-memory design;
+* the **GIR** family for operators that are additionally *power-typed*
+  (``vector_power`` + int64-reducible exponents): the plan's CSR power
+  table ships through the fingerprint-keyed upload path once, each
+  worker evaluates a Brent-style contiguous shard of table rows in one
+  round, and the master scatters the row values onto the output cells
+  -- bit-identical to the numpy backend's batched evaluator, which
+  runs the same kernel (:func:`repro.engine.exec_gir.
+  eval_rows_vectorized`); and
 * the **Moebius affine** fast path (the ``(a, b)`` coefficient sweep),
   with the standard guard/escalation ladder running master-side.
 
@@ -40,8 +48,11 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..core.equations import OrdinaryIRSystem
+from ..core.gir import GIRSolveStats
 from ..core.moebius import run_moebius_sequential
 from ..core.ordinary import SolveStats, _maybe_check, _sequential_baseline
+from ..core.sequential import run_gir
 from ..errors import (
     FaultError,
     IterationBudgetExceeded,
@@ -50,7 +61,7 @@ from ..errors import (
 )
 from ..obs import get_registry, get_tracer, maybe_span, merge_worker_snapshots
 from ..obs.recorder import record_event
-from .plan import MoebiusPlan, OrdinaryPlan
+from .plan import GIRPlan, MoebiusPlan, OrdinaryPlan
 from .shm_pool import (
     BARRIER_TIMEOUT_S,
     CTRL_CRASH,
@@ -62,7 +73,12 @@ from .shm_pool import (
     get_pool,
 )
 
-__all__ = ["execute_ordinary", "execute_moebius", "DEFAULT_WORKERS"]
+__all__ = [
+    "execute_ordinary",
+    "execute_gir",
+    "execute_moebius",
+    "DEFAULT_WORKERS",
+]
 
 #: Watchdog budget when neither ``watchdog_s`` nor a policy timeout is
 #: given: generous enough that no honest solve trips it, far below the
@@ -398,6 +414,257 @@ def execute_ordinary(
         if not partial:
             _maybe_check(system, out, f_initial, checked, check_sample)
         return out, stats
+
+
+# ---------------------------------------------------------------------------
+# GIR family
+# ---------------------------------------------------------------------------
+
+
+def execute_gir(
+    system,
+    problem,
+    plan: Optional[GIRPlan],
+    *,
+    workers: int = DEFAULT_WORKERS,
+    collect_stats: bool = False,
+    policy=None,
+    checked: bool = False,
+    check_sample: Optional[int] = 64,
+    crash: Optional[Dict[str, Any]] = None,
+    chaos: Optional[Dict[str, Any]] = None,
+    watchdog_s: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+) -> Tuple[List[Any], Optional[GIRSolveStats], GIRPlan]:
+    """Evaluate a GIR plan's power table across the worker pool.
+
+    Planning (renaming, dependence graph, CAP) runs master-side via
+    :func:`repro.engine.exec_gir.build_plan`; the CSR table arrays are
+    uploaded once per ``(fingerprint, power period)`` and every worker
+    evaluates a contiguous shard of trace rows with the same vectorized
+    kernel the numpy backend uses, so typed results are bit-identical
+    to it.  Requires a *power-typed* operator: ``vector_fn`` +
+    ``vector_power`` + ``dtype``, with exponents reducible into int64
+    (either directly or through the operator's ``power_period``).
+
+    Ordinary-shaped systems dispatch to :func:`execute_ordinary` on the
+    nested plan, exactly as the in-process executors dispatch.
+
+    A :class:`~repro.resilience.SolvePolicy` acts in two places: its
+    iteration budget bounds the CAP doubling loop at *plan* time (as on
+    every backend), and its wall clock rides the job as the workers'
+    cooperative deadline.  ``crash`` / ``chaos`` / ``watchdog_s`` /
+    ``retries`` behave as in :func:`execute_ordinary`.
+    """
+    from . import exec_gir
+
+    if plan is None:
+        system.validate()
+        dispatch = exec_gir._should_dispatch(system, problem)
+    else:
+        dispatch = plan.dispatch is not None
+
+    if dispatch:
+        from . import exec_ordinary
+
+        ordinary = OrdinaryIRSystem(
+            initial=list(system.initial),
+            g=system.g,
+            f=system.f,
+            op=system.op,
+        )
+        if plan is None:
+            plan = GIRPlan(
+                fingerprint=problem.fingerprint(),
+                n=system.n,
+                m=system.m,
+                dispatch=exec_ordinary.build_plan(
+                    ordinary, problem.fingerprint()
+                ),
+            )
+        out, ord_stats = execute_ordinary(
+            ordinary,
+            plan.dispatch,
+            workers=workers,
+            collect_stats=collect_stats,
+            policy=policy,
+            crash=crash,
+            chaos=chaos,
+            watchdog_s=watchdog_s,
+            retries=retries,
+        )
+        stats = None
+        if collect_stats:
+            assert ord_stats is not None
+            stats = GIRSolveStats(
+                n=system.n,
+                cap_iterations=0,
+                cap_edge_work=0,
+                power_ops=0,
+                combine_ops=ord_stats.total_ops,
+                reduction_depth=ord_stats.depth,
+                renamed=False,
+                ordinary_dispatch=True,
+            )
+        if checked:
+            from ..resilience.verify import differential_check
+
+            differential_check("gir", system, out, sample=check_sample)
+        return out, stats, plan
+
+    op = system.op
+    op.require_commutative()
+    if op.vector_fn is None or op.vector_power is None or op.dtype is None:
+        raise ValueError(
+            "the shm backend needs a power-typed operator (vector_fn + "
+            f"vector_power + dtype); operator {op.name!r} cannot evaluate "
+            "traces across a process boundary -- use backend='numpy' or "
+            "backend='python' instead"
+        )
+    dtype = np.dtype(op.dtype)
+    try:
+        initial_arr = np.asarray(system.initial, dtype=dtype)
+    except (OverflowError, TypeError, ValueError) as exc:
+        raise ValueError(
+            f"initial values do not fit operator dtype {op.dtype!r} for "
+            f"the shm backend ({exc!r}) -- use backend='numpy' or "
+            "backend='python' instead"
+        ) from exc
+    domain_check = getattr(op.vector_power, "domain_check", None)
+    if domain_check is not None and not domain_check(initial_arr):
+        raise ValueError(
+            f"initial values fall outside operator {op.name!r}'s "
+            "vectorized domain for the shm backend -- use "
+            "backend='numpy' or backend='python' instead"
+        )
+
+    label = "gir.shm"
+    started = time.time()
+    deadline = None
+    if policy is not None and policy.timeout_s is not None:
+        deadline = time.time() + policy.timeout_s
+
+    tracer = get_tracer()
+    registry = get_registry()
+    with maybe_span(
+        tracer, "solver.gir", engine="shm", n=system.n, workers=workers
+    ) as root:
+        if plan is None:
+            plan = exec_gir.build_plan(system, problem, policy=policy)
+        table = plan.table
+        period = op.power_period
+        if table.reduced_exponents(period) is None:
+            raise ValueError(
+                "the shm backend needs int64-reducible trace exponents; "
+                f"operator {op.name!r} has no power period and this "
+                "system's path counts overflow int64 -- use "
+                "backend='numpy' or backend='python' instead"
+            )
+        n_rows = table.rows
+        power_ops = table.power_entry_count
+        combine_ops = table.nnz - table.rows
+        stats = None
+        if collect_stats:
+            stats = GIRSolveStats(
+                n=n_rows,
+                cap_iterations=plan.cap_iterations,
+                cap_edge_work=plan.cap_edge_work,
+                power_ops=power_ops,
+                combine_ops=combine_ops,
+                reduction_depth=table.reduction_depth,
+                renamed=plan.renamed,
+            )
+
+        pool = _get_pool(workers)
+        entry, uploaded = pool.gir_blocks(plan, period)
+        if registry is not None:
+            name = (
+                "engine.shm.plan.uploads"
+                if uploaded
+                else "engine.shm.plan.reuses"
+            )
+            registry.counter(name).inc()
+        init_shm = pool.data_block(
+            "gir.init", initial_arr.size * dtype.itemsize
+        )
+        out_shm = pool.data_block("gir.out", n_rows * dtype.itemsize)
+        ctrl_shm = pool.data_block("ctrl", CTRL_SLOTS * 8)
+        ctrl = np.ndarray((CTRL_SLOTS,), dtype="int64", buffer=ctrl_shm.buf)
+        ctrl[CTRL_CRASH] = 0
+        init_view = np.ndarray(
+            (initial_arr.size,), dtype=dtype, buffer=init_shm.buf
+        )
+        out_view = np.ndarray((n_rows,), dtype=dtype, buffer=out_shm.buf)
+
+        def init_buffers() -> None:
+            ctrl[CTRL_STOP] = 0
+            init_view[:] = initial_arr
+            out_view[:] = 0  # retry hygiene: stale rows never leak
+
+        job = {
+            "kind": "gir",
+            "rounds": 1,
+            "offsets": [0, n_rows],
+            "total": n_rows,
+            "n": n_rows,
+            "dtype": str(dtype),
+            "gir": {
+                "row_ptr": entry["row_ptr"].name,
+                "cells": entry["cells"].name,
+                "exps": entry["exps"].name,
+                "nnz": entry["nnz"],
+                "init_len": int(initial_arr.size),
+            },
+            "ctrl": ctrl_shm.name,
+            "data": {"init": init_shm.name, "out": out_shm.name},
+            "op": {"fn": op.vector_fn, "power": op.vector_power},
+            "deadline": deadline,
+            "barrier_timeout": BARRIER_TIMEOUT_S,
+            "crash": crash,
+            "chaos": chaos,
+            "obs": registry is not None,
+        }
+        outcome = _drive(
+            pool,
+            job,
+            deadline=deadline,
+            init_buffers=init_buffers,
+            retries=retries,
+            watchdog_s=_watchdog_budget(policy, watchdog_s),
+        )
+        executed = outcome.rounds
+        timed_out = outcome.exhausted == "timeout" or bool(outcome.wedged)
+
+        _observe_run("gir", workers, executed, [n_rows], outcome)
+        if root is not None:
+            root.set_attribute("cap_iterations", plan.cap_iterations)
+            root.set_attribute("renamed", plan.renamed)
+            root.set_attribute("power_ops", power_ops)
+            root.set_attribute("combine_ops", combine_ops)
+        if registry is not None:
+            registry.counter("solver.solves", engine="gir").inc()
+            registry.counter("gir.power_ops").inc(power_ops)
+            registry.counter("gir.combine_ops").inc(combine_ops)
+
+        if timed_out:
+            _record_exhausted(label, "timeout")
+            if policy.on_exhaustion == "raise":
+                raise _timeout_error(label, policy, started)
+            if policy.on_exhaustion == "fallback":
+                out = run_gir(system)
+                return out, stats, plan
+            # "partial": the single evaluation round never ran, so the
+            # partial result is the untouched initial array.
+            return list(system.initial), stats, plan
+
+        values = out_view.copy()
+        out = exec_gir._scatter(plan, system, values, initial_arr)
+
+    if checked:
+        from ..resilience.verify import differential_check
+
+        differential_check("gir", system, out, sample=check_sample)
+    return out, stats, plan
 
 
 # ---------------------------------------------------------------------------

@@ -11,9 +11,12 @@ value-dependent work:
   ``op`` + scatter per round; no pointer bookkeeping, no validation,
   no ``np.unique``.
 * :class:`GIRPlan` -- the (possibly renamed) output cells, the CAP
-  power table of every iteration's trace, the projection map back onto
-  the original cells, and -- for ordinary-shaped systems -- a nested
-  :class:`OrdinaryPlan` for the cheap dispatch path.
+  power table of every iteration's trace as a flat CSR-style
+  :class:`PowerTable` (row-ptr / cell-id / exponent arrays, v2), the
+  projection map back onto the original cells, and -- for ordinary-
+  shaped systems -- a nested :class:`OrdinaryPlan` for the cheap
+  dispatch path.  The historical per-row dict ``tables`` survive as a
+  lazily-built read-only view; v1 payloads still deserialize.
 * :class:`MoebiusPlan` -- an :class:`OrdinaryPlan` over ``(g, f)``
   shared by every Moebius execution path (object, affine, rational):
   the pointer-jumping structure is the same regardless of how the
@@ -34,6 +37,7 @@ __all__ = [
     "OrdinaryPlan",
     "GIRPlan",
     "MoebiusPlan",
+    "PowerTable",
     "Plan",
     "build_round_schedule",
     "plan_to_dict",
@@ -41,6 +45,9 @@ __all__ = [
 ]
 
 PLAN_SCHEMA_VERSION = 1
+#: GIR plans moved from per-row dicts (v1) to flat arrays (v2);
+#: ``GIRPlan.from_dict`` migrates v1 payloads transparently.
+GIR_PLAN_SCHEMA_VERSION = 2
 
 #: One pointer-jumping round: (active iteration ids, their sources).
 RoundStep = Tuple[np.ndarray, np.ndarray]
@@ -149,17 +156,190 @@ class OrdinaryPlan:
 
 
 @dataclass
+class PowerTable:
+    """The CAP power table of every iteration's trace, CSR-style.
+
+    Row ``i`` holds the factors of iteration ``i``'s trace: the slice
+    ``[row_ptr[i], row_ptr[i+1])`` of ``cells`` / ``exponents`` lists
+    the leaf cells (strictly increasing within each row -- the order
+    :func:`repro.core.gir.evaluate_trace_powers` historically sorted
+    into) and the power of each cell's initial value.  Exponents are
+    exact Python ints (path counts are Fibonacci-sized); int64 and
+    period-reduced views are built lazily and cached for the
+    vectorized evaluators.
+    """
+
+    row_ptr: np.ndarray  # (rows + 1,) int64
+    cells: np.ndarray  # (nnz,) int64, sorted strictly increasing per row
+    exponents: List[int]  # (nnz,) exact Python ints, >= 1
+    # lazily-built caches (not serialized, not compared)
+    _exp_i64: Any = field(default=False, repr=False, compare=False)
+    _reduced: Dict[Optional[int], Optional[np.ndarray]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _dicts: Optional[List[Dict[int, int]]] = field(
+        default=None, repr=False, compare=False
+    )
+    _dedup: Dict[Optional[int], Any] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _power_entries: Optional[int] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def rows(self) -> int:
+        return int(self.row_ptr.shape[0]) - 1
+
+    @property
+    def nnz(self) -> int:
+        return len(self.exponents)
+
+    @property
+    def power_entry_count(self) -> int:
+        """Entries with exponent > 1 -- the solve's ``power_ops``."""
+        if self._power_entries is None:
+            self._power_entries = sum(1 for x in self.exponents if x > 1)
+        return self._power_entries
+
+    @property
+    def reduction_depth(self) -> int:
+        """Parallel depth of the combine stage: ``max_i ceil(log2(nnz_i))``."""
+        lengths = np.diff(self.row_ptr)
+        if lengths.size == 0:
+            return 0
+        top = int(lengths.max())
+        return (top - 1).bit_length() if top > 1 else 0
+
+    def dedup_factors(self, period: Optional[int]):
+        """Distinct ``(cell, exponent)`` factor pairs plus the inverse
+        scatter, int64-reduced via ``period``; ``None`` when exponents
+        do not reduce.  Cached per period: the batched evaluator powers
+        each distinct pair exactly once per initial-value vector.
+        """
+        if period not in self._dedup:
+            reduced = self.reduced_exponents(period)
+            if reduced is None:
+                self._dedup[period] = None
+            else:
+                pairs = np.stack([self.cells, reduced], axis=1)
+                unique, inverse = np.unique(pairs, axis=0, return_inverse=True)
+                self._dedup[period] = (
+                    unique[:, 0].copy(),
+                    unique[:, 1].copy(),
+                    inverse.reshape(-1),
+                )
+        return self._dedup[period]
+
+    def row_items(self, i: int) -> List[Tuple[int, int]]:
+        """Row ``i`` as sorted ``(cell, exponent)`` pairs."""
+        lo, hi = int(self.row_ptr[i]), int(self.row_ptr[i + 1])
+        cells = self.cells
+        exps = self.exponents
+        return [(int(cells[j]), exps[j]) for j in range(lo, hi)]
+
+    def row_dicts(self) -> List[Dict[int, int]]:
+        """The legacy per-row dict view (built once, cached)."""
+        if self._dicts is None:
+            ptr = self.row_ptr
+            cells = self.cells.tolist()
+            exps = self.exponents
+            self._dicts = [
+                dict(
+                    zip(
+                        cells[int(ptr[i]) : int(ptr[i + 1])],
+                        exps[int(ptr[i]) : int(ptr[i + 1])],
+                    )
+                )
+                for i in range(self.rows)
+            ]
+        return self._dicts
+
+    def exponents_int64(self) -> Optional[np.ndarray]:
+        """Exponents as an int64 array, or ``None`` when any overflows."""
+        if self._exp_i64 is False:
+            try:
+                arr = np.array(self.exponents, dtype=np.int64)
+            except OverflowError:
+                arr = None
+            self._exp_i64 = arr
+        return self._exp_i64
+
+    def reduced_exponents(self, period: Optional[int]) -> Optional[np.ndarray]:
+        """Exponents reduced into int64 via the operator's power period.
+
+        Uses ``((k - 1) % period) + 1`` so the result stays >= 1 (atomic
+        powers require positive exponents) while agreeing with ``k``
+        modulo ``period``.  With no period, returns the raw int64 view
+        when it exists.  Cached per period -- reducing Fibonacci-sized
+        exponents costs a big-int pass worth amortizing across solves.
+        """
+        if period not in self._reduced:
+            if period is None:
+                self._reduced[period] = self.exponents_int64()
+            else:
+                self._reduced[period] = np.fromiter(
+                    (((k - 1) % period) + 1 for k in self.exponents),
+                    dtype=np.int64,
+                    count=self.nnz,
+                )
+        return self._reduced[period]
+
+    @classmethod
+    def from_node_rows(cls, rows: List[Dict[int, int]], n: int) -> "PowerTable":
+        """Build from CAP's converged edge sets (targets are leaf node
+        ids ``n + cell``); one pass, rows come out cell-sorted."""
+        row_ptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        cells: List[int] = []
+        exponents: List[int] = []
+        for i, row in enumerate(rows):
+            for t, x in sorted(row.items()):
+                cells.append(t - n)
+                exponents.append(x)
+            row_ptr[i + 1] = len(cells)
+        return cls(
+            row_ptr=row_ptr,
+            cells=np.asarray(cells, dtype=np.int64),
+            exponents=exponents,
+        )
+
+    @classmethod
+    def from_tables(cls, tables: List[Dict[int, int]]) -> "PowerTable":
+        """Build from legacy cell-keyed per-row dicts (v1 payloads)."""
+        return cls.from_node_rows(tables, 0)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "row_ptr": self.row_ptr.tolist(),
+            "cells": self.cells.tolist(),
+            # JSON carries arbitrary-precision ints natively
+            "exponents": [int(x) for x in self.exponents],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "PowerTable":
+        return cls(
+            row_ptr=np.asarray(payload["row_ptr"], dtype=np.int64),
+            cells=np.asarray(payload["cells"], dtype=np.int64),
+            exponents=[int(x) for x in payload["exponents"]],
+        )
+
+
+@dataclass
 class GIRPlan:
-    """Plan of a GIR solve.
+    """Plan of a GIR solve (schema v2: array-backed power table).
 
     Either ``dispatch`` is set (ordinary-shaped system: the nested
     :class:`OrdinaryPlan` runs instead of the CAP pipeline), or the
-    CAP artifacts are: ``tables[i]`` maps leaf cells (< original ``m``)
-    to the power of their initial value in iteration ``i``'s trace,
-    ``out_cells[i]`` is the cell iteration ``i`` writes in the
-    (possibly renamed) working system, and ``final_cell_of`` projects
-    the renamed array back onto the original cells (``None`` when no
-    renaming happened).
+    CAP artifacts are: ``table`` -- the flat :class:`PowerTable` whose
+    row ``i`` maps leaf cells (< original ``m``) to the power of their
+    initial value in iteration ``i``'s trace -- ``out_cells[i]``, the
+    cell iteration ``i`` writes in the (possibly renamed) working
+    system, and ``final_cell_of``, projecting the renamed array back
+    onto the original cells (``None`` when no renaming happened).
+
+    ``tables`` (the v1 per-row dicts) remains available as a lazy
+    read-only view for the checker's oracle and historical callers.
     """
 
     fingerprint: str
@@ -168,15 +348,22 @@ class GIRPlan:
     renamed: bool = False
     dispatch: Optional[OrdinaryPlan] = None
     out_cells: Optional[np.ndarray] = None
-    tables: Optional[List[Dict[int, int]]] = None
+    table: Optional[PowerTable] = None
     final_cell_of: Optional[np.ndarray] = None
     cap_iterations: int = 0
     cap_edge_work: int = 0
     family: str = "gir"
 
+    @property
+    def tables(self) -> Optional[List[Dict[int, int]]]:
+        """Legacy v1 view: per-row ``{cell: power}`` dicts."""
+        if self.table is None:
+            return None
+        return self.table.row_dicts()
+
     def to_dict(self) -> Dict[str, Any]:
         return {
-            "schema_version": PLAN_SCHEMA_VERSION,
+            "schema_version": GIR_PLAN_SCHEMA_VERSION,
             "family": self.family,
             "fingerprint": self.fingerprint,
             "n": self.n,
@@ -186,9 +373,7 @@ class GIRPlan:
             "out_cells": None
             if self.out_cells is None
             else self.out_cells.tolist(),
-            "tables": None
-            if self.tables is None
-            else [sorted(t.items()) for t in self.tables],
+            "table": None if self.table is None else self.table.to_payload(),
             "final_cell_of": None
             if self.final_cell_of is None
             else self.final_cell_of.tolist(),
@@ -198,6 +383,14 @@ class GIRPlan:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "GIRPlan":
+        table: Optional[PowerTable] = None
+        if payload.get("table") is not None:
+            table = PowerTable.from_payload(payload["table"])
+        elif payload.get("tables") is not None:
+            # v1 payload: per-row [(cell, power), ...] pair lists
+            table = PowerTable.from_tables(
+                [{int(c): int(x) for c, x in t} for t in payload["tables"]]
+            )
         return cls(
             fingerprint=payload["fingerprint"],
             n=int(payload["n"]),
@@ -209,9 +402,7 @@ class GIRPlan:
             out_cells=None
             if payload["out_cells"] is None
             else np.asarray(payload["out_cells"], dtype=np.int64),
-            tables=None
-            if payload["tables"] is None
-            else [{int(c): int(x) for c, x in t} for t in payload["tables"]],
+            table=table,
             final_cell_of=None
             if payload["final_cell_of"] is None
             else np.asarray(payload["final_cell_of"], dtype=np.int64),

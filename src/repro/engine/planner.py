@@ -25,6 +25,7 @@ from .plan import Plan
 
 __all__ = [
     "PlanCache",
+    "plan_nbytes",
     "get_plan_cache",
     "set_plan_cache",
     "clear_plan_cache",
@@ -33,6 +34,32 @@ __all__ = [
 ]
 
 DEFAULT_CACHE_SIZE = 128
+
+
+def plan_nbytes(plan) -> int:
+    """Approximate resident size of a plan's array payload.
+
+    Counts the flat index arrays (schedule steps, CSR power-table
+    triple, projection maps); per-object overhead and the GIR table's
+    exact big-int exponents are estimated at one word each.  Used by
+    :meth:`PlanCache.info` so the cache's memory footprint is visible
+    next to its hit rate.
+    """
+    total = 0
+    ordinary = getattr(plan, "ordinary", None) or getattr(plan, "dispatch", None)
+    if ordinary is not None:
+        return plan_nbytes(ordinary)
+    for name in ("g", "f", "pred", "out_cells", "final_cell_of"):
+        arr = getattr(plan, name, None)
+        if arr is not None:
+            total += int(arr.nbytes)
+    for active, src in getattr(plan, "steps", ()):
+        total += int(active.nbytes) + int(src.nbytes)
+    table = getattr(plan, "table", None)
+    if table is not None:
+        total += int(table.row_ptr.nbytes) + int(table.cells.nbytes)
+        total += 8 * table.nnz  # exact-int exponents, >= one word each
+    return total
 
 
 class PlanCache:
@@ -82,11 +109,14 @@ class PlanCache:
         return len(self._entries)
 
     def info(self) -> Dict[str, int]:
+        with self._lock:
+            resident = sum(plan_nbytes(p) for p in self._entries.values())
         return {
             "size": len(self._entries),
             "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
+            "bytes": resident,
         }
 
 

@@ -6,7 +6,9 @@ The pool owns ``P`` long-lived OS processes plus a set of
 * **schedule blocks** -- one pair of int64 arrays per plan fingerprint
   (the concatenation of every round's active set and source set), so a
   plan ships to the workers **once** and every subsequent solve on the
-  same index maps reuses it (the Session serving path);
+  same index maps reuses it (the Session serving path); GIR plans ship
+  their CSR power-table triple (row-ptr / cells / reduced exponents)
+  through the same fingerprint-keyed LRU;
 * **data blocks** -- reusable value/scratch buffers, grown on demand
   and shared by every solve on the pool.
 
@@ -192,13 +194,27 @@ def _run_job(
         rounds_counter = registry.counter("engine.shm.worker.rounds")
         shard_gauge = registry.gauge("engine.shm.worker.shard_cells")
 
-    sched_a = _worker_array(job["sched_active"], total, "int64")
-    sched_s = _worker_array(job["sched_src"], total, "int64")
+    sched_a = sched_s = None
+    if job.get("sched_active") is not None:
+        sched_a = _worker_array(job["sched_active"], total, "int64")
+        sched_s = _worker_array(job["sched_src"], total, "int64")
     ctrl = _worker_array(job["ctrl"], CTRL_SLOTS, "int64")
 
     kind = job["kind"]
     n = job["n"]
-    if kind == "ordinary":
+    if kind == "gir":
+        # Single-round trace evaluation: the power-table arrays are
+        # read-only, the out rows are disjoint per shard -- no mid-
+        # round barrier is needed, only the top-of-loop separator.
+        gir = job["gir"]
+        g_ptr = _worker_array(gir["row_ptr"], n + 1, "int64")
+        g_cells = _worker_array(gir["cells"], gir["nnz"], "int64")
+        g_exps = _worker_array(gir["exps"], gir["nnz"], "int64")
+        g_init = _worker_array(job["data"]["init"], gir["init_len"], job["dtype"])
+        g_out = _worker_array(job["data"]["out"], n, job["dtype"])
+        g_fn = job["op"]["fn"]
+        g_pow = job["op"]["power"]
+    elif kind == "ordinary":
         val = _worker_array(job["data"]["val"], n, job["dtype"])
         scratch = _worker_array(job["data"]["scratch"], n, job["dtype"])
         vec = job["op"]
@@ -251,6 +267,28 @@ def _run_job(
             lo, hi = _shard(offsets[r], offsets[r + 1], rank, nworkers)
             if shard_gauge is not None:
                 shard_gauge.set(hi - lo)
+            if kind == "gir":
+                if hi > lo:
+                    from .exec_gir import eval_rows_vectorized
+
+                    g_out[lo:hi] = eval_rows_vectorized(
+                        g_ptr, g_cells, g_exps, g_init, g_fn, g_pow,
+                        lo=lo, hi=hi,
+                    )
+                for ev in chaos_by_round.get(r, ()):
+                    if ev["kind"] == "corrupt" and hi > lo:
+                        # Scribble over our shard's first row value:
+                        # structurally invisible, caught only by the
+                        # differential check.
+                        g_out[lo] = g_out[lo] * 2 + 12345
+                        chaos_fired.append(
+                            {"kind": "corrupt", "round": r, "rank": rank,
+                             "cell": lo}
+                        )
+                done += 1
+                if rounds_counter is not None:
+                    rounds_counter.inc()
+                continue
             active = sched_a[lo:hi]
             src = sched_s[lo:hi]
             if kind == "ordinary":
@@ -544,13 +582,59 @@ class ShmWorkerPool:
             "offsets": offsets,
             "total": total,
             "rounds": len(sizes),
+            "blocks": [shm_a, shm_s],
         }
+        self._cache_entry(key, entry)
+        return entry, True
+
+    def gir_blocks(self, plan, period) -> Tuple[Dict[str, Any], bool]:
+        """The shared GIR power-table arrays of ``plan``, uploaded at
+        most once per ``(fingerprint, power period)``.
+
+        Ships the CSR triple -- row pointers, leaf cells, and the
+        exponents reduced into int64 via ``period`` -- through the same
+        fingerprint-keyed LRU as the ordinary round schedules, so
+        re-solves on a cached plan skip the upload entirely.  The
+        caller guarantees the reduction exists.
+        """
+        key = f"{plan.fingerprint}|gir|{period}"
+        entry = self._plan_blocks.get(key)
+        if entry is not None:
+            self._plan_blocks.move_to_end(key)
+            return entry, False
+        table = plan.table
+        rows, nnz = table.rows, table.nnz
+        reduced = table.reduced_exponents(period)
+        shm_ptr = self._create_block("gir_rowptr", (rows + 1) * 8)
+        shm_cells = self._create_block("gir_cells", nnz * 8)
+        shm_exps = self._create_block("gir_exps", nnz * 8)
+        np.ndarray((rows + 1,), dtype="int64", buffer=shm_ptr.buf)[:] = (
+            table.row_ptr
+        )
+        if nnz:
+            np.ndarray((nnz,), dtype="int64", buffer=shm_cells.buf)[:] = (
+                table.cells
+            )
+            np.ndarray((nnz,), dtype="int64", buffer=shm_exps.buf)[:] = reduced
+        entry = {
+            "row_ptr": shm_ptr,
+            "cells": shm_cells,
+            "exps": shm_exps,
+            "rows": rows,
+            "nnz": nnz,
+            "blocks": [shm_ptr, shm_cells, shm_exps],
+        }
+        self._cache_entry(key, entry)
+        return entry, True
+
+    def _cache_entry(self, key: str, entry: Dict[str, Any]) -> None:
+        """Insert into the plan-block LRU, evicting (and unlinking every
+        block of) the stalest entries past the cache bound."""
         self._plan_blocks[key] = entry
         while len(self._plan_blocks) > _PLAN_CACHE_SLOTS:
             _key, old = self._plan_blocks.popitem(last=False)
-            for block in (old["active"], old["src"]):
+            for block in old["blocks"]:
                 self._release_block(block)
-        return entry, True
 
     # -- job execution -----------------------------------------------------
 
@@ -680,7 +764,7 @@ class ShmWorkerPool:
             except OSError:
                 pass
         for entry in self._plan_blocks.values():
-            for block in (entry["active"], entry["src"]):
+            for block in entry["blocks"]:
                 self._release_block(block)
         self._plan_blocks.clear()
         for block in self._data_blocks.values():

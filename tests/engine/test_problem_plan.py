@@ -200,12 +200,14 @@ class TestPlanCache:
         assert info["hits"] == 1
         assert info["misses"] == 1
         assert info["size"] == 1
+        assert info["bytes"] > 0  # resident schedule arrays are counted
         cache.clear()
         assert cache.info() == {
             "size": 0,
             "maxsize": 4,
             "hits": 0,
             "misses": 0,
+            "bytes": 0,
         }
 
     def test_rejects_zero_capacity(self):

@@ -74,17 +74,18 @@ class TestRegistry:
     def test_registered_with_capabilities(self):
         assert "shm" in available_backends()
         caps = get_backend("shm").capabilities
-        assert caps.families == frozenset({"ordinary", "moebius"})
+        assert caps.families == frozenset({"ordinary", "gir", "moebius"})
         assert caps.supports_policy
         assert not caps.batch
         assert not caps.exact
 
-    def test_gir_family_rejected(self):
-        from repro.core import GIRSystem, MAX
+    def test_gir_family_served(self):
+        from repro.core import GIRSystem, MAX, run_gir
 
         sys_ = GIRSystem.build([0, 1, 2, 3], [1, 2], [0, 1], [3, 3], MAX)
-        with pytest.raises(ValueError, match="gir"):
-            solve(sys_, backend="shm")
+        res = solve(sys_, backend="shm", options={"workers": 2})
+        assert res.values == run_gir(sys_)
+        assert res.backend == "shm"
 
 
 class TestParity:
