@@ -49,6 +49,7 @@ BENCHES = [
     "bench_plan_reuse",
     "bench_gir_powers",
     "bench_shm",
+    "bench_serve",
 ]
 
 RESULTS_SCHEMA_VERSION = 2

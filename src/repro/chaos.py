@@ -260,7 +260,7 @@ def run_chaos(
 
     from . import obs
     from .core import ADD, OrdinaryIRSystem, run_ordinary
-    from .engine import solve
+    from .engine import EngineOptions, solve
 
     rng = np.random.default_rng(seed)
     system = OrdinaryIRSystem.build(
@@ -278,16 +278,18 @@ def run_chaos(
         try:
             result = solve(
                 system,
-                backend="shm",
-                checked=True,
-                check_sample=None,  # full-cell check: catches corrupt shards
-                failover=failover,
-                options={
-                    "workers": workers,
-                    "chaos": plan,
-                    "watchdog_s": watchdog_s,
-                    "max_retries": retries,
-                },
+                options=EngineOptions(
+                    backend="shm",
+                    checked=True,
+                    check_sample=None,  # full-cell check: catches corrupt shards
+                    failover=failover,
+                    workers=workers,
+                    backend_options={
+                        "chaos": plan,
+                        "watchdog_s": watchdog_s,
+                        "max_retries": retries,
+                    },
+                ),
             )
         except Exception as exc:
             error = exc

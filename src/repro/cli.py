@@ -155,6 +155,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(solve)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio HTTP/JSON serving front end "
+        "(repro.serve): pooled pinned sessions, request coalescing, "
+        "per-tenant quotas, /metrics Prometheus exposure",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8377, help="TCP port (default: 8377; 0 "
+        "picks a free port)"
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="coalescing gather window per problem lane (default: 2.0; "
+        "0 disables coalescing)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        metavar="K",
+        help="largest number of requests merged into one stacked sweep "
+        "(default: 256)",
+    )
+    serve.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-tenant in-flight request cap, 429 beyond it "
+        "(default: 64)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="global in-flight cap, 503 backpressure beyond it "
+        "(default: 1024)",
+    )
+    serve.add_argument(
+        "--pool-capacity",
+        type=int,
+        default=32,
+        metavar="N",
+        help="session pool capacity, idle-LRU beyond it (default: 32)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline when the problem's policy "
+        "has none (default: unbounded)",
+    )
+    serve.add_argument(
+        "--problem",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="system JSON (dump_system format) to register at startup; "
+        "repeatable",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy", "pram", "shm"],
+        default="auto",
+        help="backend for --problem registrations (default: auto)",
+    )
+
     check = sub.add_parser(
         "check",
         help="statically verify a solve plan or IR system JSON file "
@@ -505,6 +580,7 @@ def _stats_dict(stats: object) -> Optional[dict]:
 def _cmd_solve(args: argparse.Namespace) -> int:
     from .core import GIRSystem, run_gir, run_ordinary
     from .core.serialize import load_system
+    from .engine import EngineOptions
     from .engine import solve as engine_solve
     from .resilience import SolvePolicy
 
@@ -519,21 +595,20 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             on_exhaustion=args.on_exhaustion,
         )
     system = load_system(path)
-    options = {}
-    if args.workers is not None:
-        if args.backend != "shm":
-            print("error: --workers applies to --backend shm", file=sys.stderr)
-            return 2
-        options["workers"] = args.workers
+    if args.workers is not None and args.backend != "shm":
+        print("error: --workers applies to --backend shm", file=sys.stderr)
+        return 2
     try:
         solved = engine_solve(
             system,
-            backend=args.backend,
             collect_stats=args.backend != "pram",
-            policy=policy,
-            checked=args.check,
-            verify_plan=args.verify,
-            options=options,
+            options=EngineOptions(
+                backend=args.backend,
+                policy=policy,
+                checked=args.check,
+                verify_plan=args.verify,
+                workers=args.workers,
+            ),
         )
     except ValueError as exc:
         # backend/family mismatch (e.g. --backend pram on a GIR system)
@@ -567,6 +642,50 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if not matches and not as_json:
         print("# WARNING: parallel result differs from sequential "
               "(floating-point reassociation?)", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .core.serialize import load_system
+    from .engine import EngineOptions
+    from .serve import RecurrenceServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        tenant_quota=args.tenant_quota,
+        max_pending=args.max_pending,
+        pool_capacity=args.pool_capacity,
+        default_deadline_s=args.deadline,
+    )
+    server = RecurrenceServer(config)
+    options = EngineOptions(backend=args.backend)
+    for path in args.problem:
+        system = load_system(path)
+        problem = server.register(system, options=options)
+        session = problem.lane.session
+        print(
+            f"registered {path}: family={session.family} "
+            f"backend={session.backend} "
+            f"fingerprint={problem.fingerprint[:12]}"
+        )
+
+    async def _main() -> None:
+        host, port = await server.start()
+        print(f"repro.serve listening on http://{host}:{port}")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("shutting down")
     return 0
 
 
@@ -609,9 +728,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     verify_plan(plan, problem, workers=workers)
                 )
             elif problem.family == "gir":
+                from .engine import EngineOptions
                 from .engine import solve as engine_solve
 
-                captured = engine_solve(system, backend="numpy").plan
+                captured = engine_solve(
+                    system, options=EngineOptions(backend="numpy")
+                ).plan
                 if captured is not None:
                     report.extend(
                         verify_plan(
@@ -948,6 +1070,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_version()
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "obs":
         if args.obs_command == "serve":
             return _cmd_obs_serve(args)

@@ -66,13 +66,16 @@ def prefix_scan(
     """
     if len(values) <= 1:
         return list(values), (SolveStats(n=0) if collect_stats else None)
+    from ..engine import EngineOptions
     from ..engine import solve as engine_solve
 
     system = _scan_system(values, op)
     result = engine_solve(
         system,
-        backend="numpy" if engine == "numpy" else "python",
         collect_stats=collect_stats,
+        options=EngineOptions(
+            backend="numpy" if engine == "numpy" else "python"
+        ),
     )
     return result.values, result.stats
 
@@ -171,11 +174,14 @@ def linear_recurrence(
         a=list(a),
         b=list(b),
     )
+    from ..engine import EngineOptions
     from ..engine import solve as engine_solve
 
     result = engine_solve(
         rec,
-        backend="numpy" if engine == "numpy" else "python",
-        options={"path": "auto" if engine == "numpy" else "object"},
+        options=EngineOptions(
+            backend="numpy" if engine == "numpy" else "python",
+            backend_options={"path": "auto" if engine == "numpy" else "object"},
+        ),
     )
     return result.values[1:]

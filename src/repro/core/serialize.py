@@ -15,6 +15,7 @@ import re
 from typing import Any, Dict, Union
 
 from .equations import GIRSystem, OrdinaryIRSystem
+from .moebius import AffineRecurrence, RationalRecurrence
 from .operators import STOCK_OPERATORS, Operator, modular_add, modular_mul
 
 __all__ = [
@@ -58,17 +59,40 @@ def operator_from_name(name: str) -> Operator:
     raise ValueError(f"unknown operator name {name!r}")
 
 
-def system_to_dict(
-    system: Union[OrdinaryIRSystem, GIRSystem]
-) -> Dict[str, Any]:
+AnySystem = Union[
+    OrdinaryIRSystem, GIRSystem, RationalRecurrence, AffineRecurrence
+]
+
+
+def system_to_dict(system: AnySystem) -> Dict[str, Any]:
     """JSON-ready description of an IR system.
 
     Initial values must themselves be JSON-serializable (numbers,
     strings, lists); tuples are converted to lists and restored as
-    tuples on load when ``tuple_values`` is flagged.
+    tuples on load when ``tuple_values`` is flagged.  Moebius systems
+    (``kind: "affine"`` / ``"rational"``) serialize their coefficient
+    arrays instead of an operator name -- this is the wire form
+    ``repro.serve`` problem registration accepts.
     """
+    if isinstance(system, RationalRecurrence):
+        affine = isinstance(system, AffineRecurrence) or (
+            all(x == 0 for x in system.c) and all(x == 1 for x in system.d)
+        )
+        doc: Dict[str, Any] = {
+            "kind": "affine" if affine else "rational",
+            "initial": list(system.initial),
+            "g": system.g.tolist(),
+            "f": system.f.tolist(),
+            "a": list(system.a),
+            "b": list(system.b),
+            "self_term": system.self_term,
+        }
+        if not affine:
+            doc["c"] = list(system.c)
+            doc["d"] = list(system.d)
+        return doc
     tuple_values = any(isinstance(v, tuple) for v in system.initial)
-    doc: Dict[str, Any] = {
+    doc = {
         "kind": "gir" if isinstance(system, GIRSystem) else "ordinary",
         "operator": operator_to_name(system.op),
         "initial": [
@@ -83,29 +107,48 @@ def system_to_dict(
     return doc
 
 
-def system_from_dict(doc: Dict[str, Any]) -> Union[OrdinaryIRSystem, GIRSystem]:
+def system_from_dict(doc: Dict[str, Any]) -> AnySystem:
     """Rebuild a system from :func:`system_to_dict` output."""
+    kind = doc["kind"]
+    if kind == "affine":
+        return AffineRecurrence.build(
+            doc["initial"],
+            doc["g"],
+            doc["f"],
+            doc["a"],
+            doc["b"],
+            self_term=bool(doc.get("self_term", False)),
+        )
+    if kind == "rational":
+        return RationalRecurrence.build(
+            doc["initial"],
+            doc["g"],
+            doc["f"],
+            doc["a"],
+            doc["b"],
+            doc["c"],
+            doc["d"],
+            self_term=bool(doc.get("self_term", False)),
+        )
     op = operator_from_name(doc["operator"])
     initial = [
         tuple(v) if doc.get("tuple_values") and isinstance(v, list) else v
         for v in doc["initial"]
     ]
-    if doc["kind"] == "gir":
+    if kind == "gir":
         return GIRSystem.build(initial, doc["g"], doc["f"], doc["h"], op)
-    if doc["kind"] == "ordinary":
+    if kind == "ordinary":
         return OrdinaryIRSystem.build(initial, doc["g"], doc["f"], op)
-    raise ValueError(f"unknown system kind {doc['kind']!r}")
+    raise ValueError(f"unknown system kind {kind!r}")
 
 
-def dump_system(
-    system: Union[OrdinaryIRSystem, GIRSystem], path: str
-) -> None:
+def dump_system(system: AnySystem, path: str) -> None:
     """Write a system to a JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(system_to_dict(system), handle, indent=2)
 
 
-def load_system(path: str) -> Union[OrdinaryIRSystem, GIRSystem]:
+def load_system(path: str) -> AnySystem:
     """Read a system from a JSON file."""
     with open(path, "r", encoding="utf-8") as handle:
         return system_from_dict(json.load(handle))

@@ -18,15 +18,19 @@ is that split made explicit:
 
 Entry points::
 
-    from repro.engine import Session, solve, solve_batch, execute
+    from repro.engine import EngineOptions, Session, solve, solve_batch, execute
 
     result = solve(system)                     # plan cached automatically
-    result = solve(system, backend="python")   # exact reference backend
+    result = solve(system, options=EngineOptions(backend="python"))
     outs = solve_batch(system, batch_of_initial_arrays)
     result = execute(result.plan, system2)     # explicit plan reuse
 
-    session = Session(system, backend="shm")   # pin plan + backend once
+    session = Session(system, options=EngineOptions(backend="shm"))
     out = session.solve(values).values         # ...serve repeatedly
+
+Configuration travels as one frozen :class:`EngineOptions` record
+(``options=`` everywhere; the loose ``backend=`` / ``policy=`` /
+``checked=`` keywords still work for one release and warn once).
 
 For repeated solves over one problem, prefer :class:`Session`: it pins
 the plan and backend at construction and serves value vectors with no
@@ -41,7 +45,8 @@ friends) remain importable from :mod:`repro.core` for one more release
 
 from .api import EngineResult, execute, solve, solve_batch
 from .failover import FAILOVER_TRIP, LADDER_ORDER, failover_ladder, run_ladder
-from .session import Session
+from .options import EngineOptions
+from .session import Session, SessionPool
 from .shm_pool import ShmWorkerPool, get_pool, shutdown_pools
 from .backends import (
     Backend,
@@ -74,10 +79,12 @@ from ._deprecation import reset_deprecation_warnings, warn_once
 
 __all__ = [
     "EngineResult",
+    "EngineOptions",
     "solve",
     "execute",
     "solve_batch",
     "Session",
+    "SessionPool",
     "FAILOVER_TRIP",
     "LADDER_ORDER",
     "failover_ladder",

@@ -36,18 +36,32 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..obs import get_registry
 from ..obs.recorder import record_event
+from ._deprecation import warn_once
 from .backends import ExecutionRequest, resolve_backend
 from .failover import failover_ladder, run_ladder
+from .options import EngineOptions
 from .plan import Plan
 from .planner import PlanCache, get_plan_cache
 from .problem import Problem
 
-__all__ = ["EngineResult", "solve", "execute", "solve_batch"]
+__all__ = ["EngineResult", "EngineOptions", "solve", "execute", "solve_batch"]
+
+
+class _Unset:
+    """Sentinel distinguishing "keyword not passed" from ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unset>"
+
+
+_UNSET = _Unset()
 
 
 @dataclass
 class EngineResult:
-    """Outcome of one engine solve.
+    """Outcome of one engine solve -- the stable result envelope shared
+    by direct calls and ``repro.serve`` responses (see docs/API.md for
+    the documented field list).
 
     ``values`` is the final array; ``stats`` the family's stats record
     (when requested); ``plan`` the plan that ran (reusable via
@@ -66,6 +80,36 @@ class EngineResult:
     #: The originally chosen backend when the failover ladder rerouted
     #: this solve (``backend`` then names the rung that served it).
     failover_from: Optional[str] = None
+    #: Serving metadata (default-``None``/``False`` outside
+    #: :mod:`repro.serve`): the request id the front end assigned or
+    #: echoed, whether this solve was merged into a coalesced batch
+    #: sweep, and how long it waited in the gather queue.
+    request_id: Optional[str] = None
+    coalesced: bool = False
+    queue_wait_s: Optional[float] = None
+
+
+def _resolve_engine_options(
+    where: str, options: Any, loose: Dict[str, Any]
+) -> EngineOptions:
+    """Normalize ``options=`` plus the deprecated loose keywords.
+
+    The loose configuration keywords (``backend=`` / ``policy=`` /
+    ``checked=`` / ``check_sample=`` / ``verify_plan=`` /
+    ``failover=``) still work for one release; the first use emits one
+    :class:`DeprecationWarning` naming :class:`EngineOptions` as the
+    replacement, then they silently override the corresponding fields.
+    """
+    base = EngineOptions.from_value(options, where=where)
+    explicit = {k: v for k, v in loose.items() if not isinstance(v, _Unset)}
+    if explicit:
+        warn_once(
+            "engine front-door keyword configuration (backend= / policy= / "
+            "checked= / check_sample= / verify_plan= / failover=)",
+            "options=EngineOptions(...) (repro.engine.EngineOptions)",
+        )
+        base = base.merged(**explicit)
+    return base
 
 
 def _cacheable(problem: Problem, policy) -> bool:
@@ -106,6 +150,7 @@ _BATCH_KWARGS = (
     "check_sample",
     "f_initial_batch",
     "failover",
+    "options",
 )
 
 
@@ -192,54 +237,74 @@ def _reject_unknown(where: str, unknown, valid) -> None:
 def solve(
     source: Any,
     *,
-    backend: str = "auto",
+    backend: Any = _UNSET,
     plan: Optional[Plan] = None,
     reuse_plan: bool = True,
     cache: Optional[PlanCache] = None,
     collect_stats: bool = False,
-    policy=None,
-    checked: bool = False,
-    check_sample: Optional[int] = 64,
+    policy: Any = _UNSET,
+    checked: Any = _UNSET,
+    check_sample: Any = _UNSET,
     f_initial: Optional[List[Any]] = None,
     max_rounds: Optional[int] = None,
     allow_rename: bool = True,
     allow_ordinary_dispatch: bool = True,
-    verify_plan: bool = False,
-    failover: bool = True,
-    options: Optional[Dict[str, Any]] = None,
+    verify_plan: Any = _UNSET,
+    failover: Any = _UNSET,
+    options: Any = None,
     **unknown: Any,
 ) -> EngineResult:
     """Solve any supported source object through the engine.
 
     ``source`` is an :class:`~repro.core.equations.OrdinaryIRSystem`,
     :class:`~repro.core.equations.GIRSystem` or
-    :class:`~repro.core.moebius.RationalRecurrence`.  ``backend``
-    selects the executor by registry name (``"auto"`` resolves to
-    ``"numpy"``).  ``plan`` runs a caller-held plan directly;
-    otherwise ``reuse_plan=True`` (default) consults the plan cache.
-    ``options`` carries backend/family extras (Moebius ``path`` /
-    ``guard``, PRAM ``processors`` / ``fault_plan`` / ...); the
-    remaining keywords mirror the historical per-family solvers.
+    :class:`~repro.core.moebius.RationalRecurrence`.  ``options``
+    is the unified configuration record -- an
+    :class:`~repro.engine.options.EngineOptions` (or, historically, a
+    plain dict of backend extras: Moebius ``path`` / ``guard``, PRAM
+    ``processors`` / ``fault_plan`` / ...).  ``plan`` runs a
+    caller-held plan directly; otherwise ``reuse_plan=True`` (default)
+    consults the plan cache.
 
-    ``verify_plan=True`` opts into the :mod:`repro.check` static
-    analyzer: the source system's preconditions are proved first, and
-    the solve plan (caller-held, cached, or freshly built) is verified
-    race-free and trace-equivalent -- before execution when the plan is
-    already at hand, after planning otherwise.  Error findings raise
-    :class:`~repro.errors.PlanVerificationError` (exit code 8).
+    The loose configuration keywords (``backend=`` / ``policy=`` /
+    ``checked=`` / ``check_sample=`` / ``verify_plan=`` /
+    ``failover=``) are deprecated in favour of
+    ``options=EngineOptions(...)``; they still override the
+    corresponding fields for one release and the first use warns once.
 
-    ``failover=False`` disables the backend failover ladder: backend
-    faults raise instead of re-executing on the next capable backend
-    (the mode for tests and callers that must see the raw failure).
+    ``EngineOptions.verify_plan`` opts into the :mod:`repro.check`
+    static analyzer: the source system's preconditions are proved
+    first, and the solve plan (caller-held, cached, or freshly built)
+    is verified race-free and trace-equivalent -- before execution when
+    the plan is already at hand, after planning otherwise.  Error
+    findings raise :class:`~repro.errors.PlanVerificationError` (exit
+    code 8).
+
+    ``EngineOptions.failover=False`` disables the backend failover
+    ladder: backend faults raise instead of re-executing on the next
+    capable backend (the mode for tests and callers that must see the
+    raw failure).
     """
     _reject_unknown("solve()", unknown, _SOLVE_KWARGS)
+    opts = _resolve_engine_options(
+        "solve()",
+        options,
+        {
+            "backend": backend,
+            "policy": policy,
+            "checked": checked,
+            "check_sample": check_sample,
+            "verify_plan": verify_plan,
+            "failover": failover,
+        },
+    )
     problem = Problem.from_system(
         source,
         allow_rename=allow_rename,
         allow_ordinary_dispatch=allow_ordinary_dispatch,
     )
-    chosen = resolve_backend(backend, problem)
-    if verify_plan:
+    chosen = resolve_backend(opts.backend, problem)
+    if opts.verify_plan:
         _check_preconditions(source, problem)
         if plan is not None:
             _verified(plan, problem, source, stage="pre")
@@ -251,12 +316,12 @@ def solve(
         plan is None
         and reuse_plan
         and chosen.name != "pram"  # the PRAM machine does not plan
-        and _cacheable(problem, policy)
+        and _cacheable(problem, opts.policy)
     ):
         consulted = True
         plan = store.get(problem.fingerprint(), family=problem.family)
         cache_hit = plan is not None
-        if verify_plan and cache_hit:
+        if opts.verify_plan and cache_hit:
             _verified(plan, problem, source, stage="cache")
 
     request = ExecutionRequest(
@@ -264,12 +329,12 @@ def solve(
         source=source,
         plan=plan,
         collect_stats=collect_stats,
-        policy=policy,
-        checked=checked,
-        check_sample=check_sample,
+        policy=opts.policy,
+        checked=opts.checked,
+        check_sample=opts.check_sample,
         f_initial=f_initial,
         max_rounds=max_rounds,
-        options=dict(options or {}),
+        options=opts.request_options(),
     )
     record_event(
         "solve.start",
@@ -281,7 +346,7 @@ def solve(
     failover_from: Optional[str] = None
     served = chosen
     rungs = (
-        failover_ladder(chosen, problem) if failover else [chosen]
+        failover_ladder(chosen, problem) if opts.failover else [chosen]
     )
     if len(rungs) > 1:
         outcome, served, failover_from = run_ladder(
@@ -294,7 +359,7 @@ def solve(
     else:
         values, stats, built_plan, metrics = chosen.execute(request)
     record_event("solve.end", family=problem.family, backend=served.name)
-    if verify_plan and built_plan is not None and built_plan is not plan:
+    if opts.verify_plan and built_plan is not None and built_plan is not plan:
         # Freshly built this solve (GIR plans only materialize inside
         # execute): verify post-hoc so a bad plan cannot be cached or
         # reused even though this execution already consumed it.
@@ -304,7 +369,7 @@ def solve(
         consulted
         and not cache_hit
         and built_plan is not None
-        and _cacheable(problem, policy)
+        and _cacheable(problem, opts.policy)
     ):
         store.put(problem.fingerprint(), built_plan)
 
@@ -347,15 +412,16 @@ def solve_batch(
     source: Any,
     batch_initial: Sequence[Sequence[Any]],
     *,
-    backend: str = "auto",
+    backend: Any = _UNSET,
     plan: Optional[Plan] = None,
     reuse_plan: bool = True,
     cache: Optional[PlanCache] = None,
-    policy=None,
-    checked: bool = False,
-    check_sample: Optional[int] = 64,
+    policy: Any = _UNSET,
+    checked: Any = _UNSET,
+    check_sample: Any = _UNSET,
     f_initial_batch: Optional[Sequence[Sequence[Any]]] = None,
-    failover: bool = True,
+    failover: Any = _UNSET,
+    options: Any = None,
     **unknown: Any,
 ) -> List[List[Any]]:
     """Solve ``k`` instances sharing ``source``'s index maps and
@@ -364,36 +430,60 @@ def solve_batch(
     The NumPy backend runs typed ordinary operators as ``(k, m)``
     matrices and stackable Moebius affine recurrences as one ``(k, n)``
     coefficient sweep through one planned replay; other operand kinds
-    replay the shared plan per row.  ``policy`` / ``checked`` carry the
-    standard budget and differential-verification semantics into the
-    batch.  ``failover`` mirrors :func:`solve` (batch-capable rungs
-    only).  Returns the ``k`` final arrays.
+    replay the shared plan per row.  ``options`` is the unified
+    :class:`~repro.engine.options.EngineOptions` record (the loose
+    ``backend= / policy= / checked= / failover=`` keywords are
+    deprecated but still override it for one release); ``policy`` /
+    ``checked`` carry the standard budget and
+    differential-verification semantics into the batch, and
+    ``failover`` mirrors :func:`solve` (batch-capable rungs only).
+    Returns the ``k`` final arrays.
     """
     _reject_unknown("solve_batch()", unknown, _BATCH_KWARGS)
+    opts = _resolve_engine_options(
+        "solve_batch()",
+        options,
+        {
+            "backend": backend,
+            "policy": policy,
+            "checked": checked,
+            "check_sample": check_sample,
+            "failover": failover,
+        },
+    )
     problem = Problem.from_system(source)
-    chosen = resolve_backend(backend, problem)
+    chosen = resolve_backend(opts.backend, problem)
     if not chosen.capabilities.batch:
         raise ValueError(
             f"backend {chosen.name!r} does not support batched execution"
         )
+    if opts.verify_plan:
+        _check_preconditions(source, problem)
+        if plan is not None:
+            _verified(plan, problem, source, stage="pre")
 
     store = cache if cache is not None else get_plan_cache()
     consulted = False
-    if plan is None and reuse_plan and _cacheable(problem, policy):
+    if plan is None and reuse_plan and _cacheable(problem, opts.policy):
         consulted = True
         plan = store.get(problem.fingerprint(), family=problem.family)
+        if opts.verify_plan and plan is not None:
+            _verified(plan, problem, source, stage="cache")
 
     request = ExecutionRequest(
         problem=problem,
         source=source,
         plan=plan,
-        policy=policy,
-        checked=checked,
-        check_sample=check_sample,
+        policy=opts.policy,
+        checked=opts.checked,
+        check_sample=opts.check_sample,
+        options=opts.request_options(),
     )
     served = chosen
     rungs = (
-        failover_ladder(chosen, problem, batch=True) if failover else [chosen]
+        failover_ladder(chosen, problem, batch=True)
+        if opts.failover
+        else [chosen]
     )
     if len(rungs) > 1:
         outcome, served, _failover_from = run_ladder(
@@ -407,6 +497,12 @@ def solve_batch(
         values, built_plan = chosen.execute_batch(
             request, batch_initial, f_initial_batch
         )
+    if (
+        opts.verify_plan
+        and built_plan is not None
+        and built_plan is not plan
+    ):
+        _verified(built_plan, problem, source, stage="post")
 
     if consulted and plan is None and built_plan is not None:
         store.put(problem.fingerprint(), built_plan)

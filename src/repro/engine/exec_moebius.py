@@ -535,7 +535,8 @@ def _stackable_affine(rec: RationalRecurrence, batch) -> bool:
         return False
     saw_float = False
 
-    def scan(xs) -> bool:
+    def scan_slow(xs) -> bool:
+        # Object/mixed rows: the original elementwise walk.
         nonlocal saw_float
         for x in xs:
             if isinstance(x, (bool, np.bool_)):
@@ -545,6 +546,26 @@ def _stackable_affine(rec: RationalRecurrence, batch) -> bool:
             elif not isinstance(x, (int, np.integer)):
                 return False
         return True
+
+    def scan(xs) -> bool:
+        # Dtype inspection classifies a whole row in O(1) after one
+        # asarray pass -- the serving coalescer calls this per gather
+        # window, so the O(k*n) isinstance walk above is reserved for
+        # object arrays (Fraction / mixed rows), where elementwise is
+        # the only sound answer.
+        nonlocal saw_float
+        try:
+            arr = np.asarray(xs)
+        except (ValueError, TypeError, OverflowError):
+            return False
+        if arr.dtype == object:
+            return scan_slow(arr.tolist())
+        if arr.dtype.kind == "f":
+            saw_float = True
+            return True
+        if arr.dtype.kind in "iu":
+            return True
+        return False  # bool, complex, str, datetime, ...
 
     for xs in (rec.a, rec.b, rec.d):
         if not scan(xs):

@@ -28,18 +28,21 @@ your own executor for concurrent serving).
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..obs import get_registry
-from .api import EngineResult, _reject_unknown
+from .api import EngineResult, _reject_unknown, _resolve_engine_options, _UNSET
 from .backends import Backend, ExecutionRequest, resolve_backend
 from .failover import failover_ladder, run_ladder
+from .options import EngineOptions
 from .plan import Plan
 from .problem import Problem
 
-__all__ = ["Session"]
+__all__ = ["Session", "SessionPool"]
 
 _SESSION_KWARGS = (
     "backend",
@@ -67,61 +70,73 @@ class Session:
         maps and operator define the pinned plan; its ``initial``
         values are the default payload for :meth:`solve` with no
         arguments.
-    backend, policy, checked, check_sample:
-        The standard front-door knobs (see :func:`repro.engine.solve`),
-        frozen for the session's lifetime.
-    verify_plan:
-        Opt into :mod:`repro.check`: preconditions are proved and the
-        pinned plan verified at construction (GIR plans, captured from
-        the first solve, are verified at capture).  Error findings
-        raise :class:`~repro.errors.PlanVerificationError` before any
-        request is served with a bad plan.
-    failover:
-        ``True`` (default) arms the backend failover ladder
-        (:mod:`repro.engine.failover`), resolved once at construction:
-        a structured backend failure re-executes the request on the
-        next capable rung, so a served session survives worker-pool
-        loss.  ``False`` exposes raw backend faults.
     options:
-        Backend extras (``workers`` for ``shm``, Moebius ``path`` /
-        ``guard``, PRAM ``processors``, ...).
+        The unified :class:`~repro.engine.options.EngineOptions`
+        record (or, historically, a plain dict of backend extras:
+        ``workers`` for ``shm``, Moebius ``path`` / ``guard``, PRAM
+        ``processors``, ...), frozen for the session's lifetime.
+    backend, policy, checked, check_sample, verify_plan, failover:
+        The deprecated loose forms of the same knobs (see
+        :func:`repro.engine.solve`); they still override ``options``
+        for one release and the first use warns once.
+        ``verify_plan`` opts into :mod:`repro.check`: preconditions
+        are proved and the pinned plan verified at construction (GIR
+        plans, captured from the first solve, are verified at
+        capture), and ``failover=True`` (default) arms the backend
+        failover ladder, resolved once at construction.
     """
 
     def __init__(
         self,
         source: Any,
         *,
-        backend: str = "auto",
-        policy=None,
-        checked: bool = False,
-        check_sample: Optional[int] = 64,
-        verify_plan: bool = False,
-        failover: bool = True,
-        options: Optional[Dict[str, Any]] = None,
+        backend: Any = _UNSET,
+        policy: Any = _UNSET,
+        checked: Any = _UNSET,
+        check_sample: Any = _UNSET,
+        verify_plan: Any = _UNSET,
+        failover: Any = _UNSET,
+        options: Any = None,
         **unknown: Any,
     ):
         _reject_unknown("Session", unknown, _SESSION_KWARGS)
+        opts = _resolve_engine_options(
+            "Session",
+            options,
+            {
+                "backend": backend,
+                "policy": policy,
+                "checked": checked,
+                "check_sample": check_sample,
+                "verify_plan": verify_plan,
+                "failover": failover,
+            },
+        )
+        self._opts = opts
         self._source = source
         self._problem = Problem.from_system(source)
-        self._backend: Backend = resolve_backend(backend, self._problem)
-        if policy is not None and not self._backend.capabilities.supports_policy:
+        self._backend: Backend = resolve_backend(opts.backend, self._problem)
+        if (
+            opts.policy is not None
+            and not self._backend.capabilities.supports_policy
+        ):
             raise ValueError(
                 f"backend {self._backend.name!r} does not support SolvePolicy"
             )
-        self._policy = policy
-        self._checked = checked
-        self._check_sample = check_sample
-        self._verify = verify_plan
-        self._options = dict(options or {})
+        self._policy = opts.policy
+        self._checked = opts.checked
+        self._check_sample = opts.check_sample
+        self._verify = opts.verify_plan
+        self._options = opts.request_options()
         # Ladders are structural (family + capabilities), so resolve
         # them once here rather than per request.
         self._ladder: List[Backend] = (
-            failover_ladder(self._backend, self._problem) if failover
+            failover_ladder(self._backend, self._problem) if opts.failover
             else [self._backend]
         )
         self._batch_ladder: List[Backend] = (
             failover_ladder(self._backend, self._problem, batch=True)
-            if failover
+            if opts.failover
             else [self._backend]
         )
         self._plan = self._build_plan()
@@ -193,6 +208,22 @@ class Session:
     @property
     def fingerprint(self) -> str:
         return self._problem.fingerprint()
+
+    @property
+    def options(self) -> EngineOptions:
+        """The resolved :class:`EngineOptions` this session serves
+        under (loose constructor keywords already folded in)."""
+        return self._opts
+
+    @property
+    def policy(self):
+        return self._policy
+
+    @property
+    def batch_capable(self) -> bool:
+        """Whether :meth:`solve_batch` is available on the pinned
+        backend (the coalescing precondition in :mod:`repro.serve`)."""
+        return bool(self._backend.capabilities.batch)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -336,3 +367,172 @@ class Session:
                 family=self._problem.family,
             ).observe(time.perf_counter() - started)
         return rows
+
+
+class _PoolEntry:
+    __slots__ = ("session", "leases", "last_used")
+
+    def __init__(self, session: Session):
+        self.session = session
+        self.leases = 0
+        self.last_used = time.monotonic()
+
+
+class SessionPool:
+    """A bounded pool of pinned :class:`Session`\\ s keyed by
+    ``(problem fingerprint, options identity)``.
+
+    This is the serving layer's session owner: :mod:`repro.serve`
+    leases one session per distinct (problem, configuration) pair and
+    the pool amortizes planning across every request that shares the
+    pair.  Eviction is LRU over **idle** entries only -- a session is
+    never evicted while leased, so an in-flight coalesced batch cannot
+    lose its plan mid-sweep.
+
+    ``acquire``/``release`` bracket each use (or use the
+    :meth:`lease` context manager)::
+
+        pool = SessionPool(capacity=32)
+        with pool.lease(system, options=opts) as session:
+            result = session.solve(values)
+
+    The pool is thread-safe for lease bookkeeping; the leased
+    ``Session`` itself keeps the engine's serialized-solve contract
+    (callers coordinate their own concurrency, as ``repro.serve`` does
+    with per-session asyncio lanes).
+
+    Metrics (when :func:`repro.obs.enable` is active):
+    ``engine.session.pool.hits`` / ``.misses`` / ``.evictions``
+    counters and an ``engine.session.pool.size`` gauge.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.RLock()
+        self._entries: Dict[Tuple[str, tuple], _PoolEntry] = {}
+        self._by_id: Dict[int, Tuple[str, tuple]] = {}
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "sessions": len(self._entries),
+                "leased": sum(
+                    1 for e in self._entries.values() if e.leases > 0
+                ),
+                "capacity": self._capacity,
+            }
+
+    # -- leasing -----------------------------------------------------------
+
+    @staticmethod
+    def _key(source: Any, opts: EngineOptions) -> Tuple[str, tuple]:
+        return (Problem.from_system(source).fingerprint(), opts.key())
+
+    def acquire(self, source: Any, *, options: Any = None) -> Session:
+        """Lease the pooled session for ``source`` under ``options``,
+        building (and pooling) it on first use.  Every ``acquire``
+        must be paired with a :meth:`release`."""
+        opts = EngineOptions.from_value(options, where="SessionPool options")
+        key = self._key(source, opts)
+        registry = get_registry()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                if registry is not None:
+                    registry.counter("engine.session.pool.misses").inc()
+                entry = _PoolEntry(Session(source, options=opts))
+                self._entries[key] = entry
+                self._by_id[id(entry.session)] = key
+                entry.leases += 1
+                entry.last_used = time.monotonic()
+                self._evict_idle_locked()
+            else:
+                if registry is not None:
+                    registry.counter("engine.session.pool.hits").inc()
+                entry.leases += 1
+                entry.last_used = time.monotonic()
+            if registry is not None:
+                registry.gauge("engine.session.pool.size").set(
+                    len(self._entries)
+                )
+            return entry.session
+
+    def release(self, session: Session) -> None:
+        """Return a leased session to the pool (idempotence is the
+        caller's job -- double releases corrupt the lease count)."""
+        with self._lock:
+            key = self._by_id.get(id(session))
+            if key is None:
+                raise ValueError("release() got a session this pool never leased")
+            entry = self._entries.get(key)
+            if entry is None or entry.leases < 1:
+                raise ValueError("release() without a matching acquire()")
+            entry.leases -= 1
+            entry.last_used = time.monotonic()
+            self._evict_idle_locked()
+
+    @contextlib.contextmanager
+    def lease(self, source: Any, *, options: Any = None) -> Iterator[Session]:
+        session = self.acquire(source, options=options)
+        try:
+            yield session
+        finally:
+            self.release(session)
+
+    # -- eviction ----------------------------------------------------------
+
+    def _evict_idle_locked(self) -> None:
+        while len(self._entries) > self._capacity:
+            idle = [
+                (entry.last_used, key)
+                for key, entry in self._entries.items()
+                if entry.leases == 0
+            ]
+            if not idle:
+                # Everything is leased: over-capacity is allowed rather
+                # than evicting a session mid-flight.
+                return
+            idle.sort()
+            _, key = idle[0]
+            entry = self._entries.pop(key)
+            self._by_id.pop(id(entry.session), None)
+            registry = get_registry()
+            if registry is not None:
+                registry.counter("engine.session.pool.evictions").inc()
+                registry.gauge("engine.session.pool.size").set(
+                    len(self._entries)
+                )
+
+    def clear(self) -> int:
+        """Drop every idle session; returns how many were evicted
+        (leased sessions stay)."""
+        with self._lock:
+            idle = [
+                key
+                for key, entry in self._entries.items()
+                if entry.leases == 0
+            ]
+            for key in idle:
+                entry = self._entries.pop(key)
+                self._by_id.pop(id(entry.session), None)
+            registry = get_registry()
+            if registry is not None and idle:
+                registry.counter("engine.session.pool.evictions").inc(
+                    len(idle)
+                )
+                registry.gauge("engine.session.pool.size").set(
+                    len(self._entries)
+                )
+            return len(idle)

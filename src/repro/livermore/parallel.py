@@ -27,6 +27,7 @@ import numpy as np
 from ..core.equations import OrdinaryIRSystem
 from ..core.moebius import AffineRecurrence
 from ..core.operators import FLOAT_ADD, Operator, make_operator
+from ..engine import EngineOptions
 from ..engine import solve as engine_solve
 
 __all__ = [
@@ -84,7 +85,7 @@ def fold_scatter(
         f[i] = latest.get(cell, cell)
         latest[int(cell)] = m + i
     system = OrdinaryIRSystem(initial=list(base) + list(vals), g=g, f=f, op=op)
-    solved = engine_solve(system, backend="numpy").values
+    solved = engine_solve(system, options=EngineOptions(backend="numpy")).values
     return [solved[latest.get(x, x)] for x in range(m)]
 
 

@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..core.equations import GIRSystem, IRClass, OrdinaryIRSystem
+from ..engine import EngineOptions
 from ..engine import solve as engine_solve
 from ..obs import get_registry, get_tracer, maybe_span
 from ..core.moebius import RationalRecurrence
@@ -200,9 +201,13 @@ def _parallelize_impl(
             # fast path when it applies
             result = engine_solve(
                 recurrence,
-                backend="numpy" if engine == "numpy" else "python",
                 collect_stats=collect_stats,
-                options={"path": "auto" if engine == "numpy" else "object"},
+                options=EngineOptions(
+                    backend="numpy" if engine == "numpy" else "python",
+                    backend_options={
+                        "path": "auto" if engine == "numpy" else "object"
+                    },
+                ),
             )
             solved, stats = result.values, result.stats
         else:
@@ -225,9 +230,13 @@ def _parallelize_impl(
             )
             result = engine_solve(
                 recurrence,
-                backend="numpy" if engine == "numpy" else "python",
                 collect_stats=collect_stats,
-                options={"path": "auto" if engine == "numpy" else "object"},
+                options=EngineOptions(
+                    backend="numpy" if engine == "numpy" else "python",
+                    backend_options={
+                        "path": "auto" if engine == "numpy" else "object"
+                    },
+                ),
             )
             versions, stats = result.values, result.stats
             solved = [
@@ -264,8 +273,10 @@ def _parallelize_impl(
             )
             result = engine_solve(
                 system,
-                backend="numpy" if engine == "numpy" else "python",
                 collect_stats=collect_stats,
+                options=EngineOptions(
+                    backend="numpy" if engine == "numpy" else "python"
+                ),
             )
             versions, stats = result.values, result.stats
             out = _copy_env(env)
@@ -288,7 +299,9 @@ def _parallelize_impl(
                     initial=list(env[target]), g=g, f=f, op=op, h=g.copy()
                 )
                 result = engine_solve(
-                    system, backend="numpy", collect_stats=collect_stats
+                    system,
+                    collect_stats=collect_stats,
+                    options=EngineOptions(backend="numpy"),
                 )
                 solved, stats = result.values, result.stats
                 out = _copy_env(env)
@@ -306,8 +319,10 @@ def _parallelize_impl(
         system = OrdinaryIRSystem(initial=list(env[target]), g=g, f=f, op=op)
         result = engine_solve(
             system,
-            backend="numpy" if engine == "numpy" else "python",
             collect_stats=collect_stats,
+            options=EngineOptions(
+                backend="numpy" if engine == "numpy" else "python"
+            ),
         )
         solved, stats = result.values, result.stats
         out = _copy_env(env)
@@ -338,7 +353,11 @@ def _parallelize_impl(
             op=op,
             h=rec.h.materialize(n),
         )
-        result = engine_solve(system, backend="numpy", collect_stats=collect_stats)
+        result = engine_solve(
+            system,
+            collect_stats=collect_stats,
+            options=EngineOptions(backend="numpy"),
+        )
         solved, stats = result.values, result.stats
         out = _copy_env(env)
         out[target] = solved

@@ -83,6 +83,7 @@ __all__ = [
     "configure_recorder",
     "diff_snapshots",
     "enable",
+    "enable_metrics",
     "disable",
     "format_diff",
     "format_top",
@@ -161,6 +162,26 @@ def enable(
         _tracer = tracer if tracer is not None else Tracer()
         _registry = registry if registry is not None else MetricsRegistry()
         return _tracer, _registry
+
+
+def enable_metrics(
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Install (only) a metrics registry process-wide; returns it.
+
+    The serving-path variant of :func:`enable`: counters and
+    histograms (``serve.*``, ``engine.session.*``) come alive while
+    span tracing stays off, so the hot path pays the registry's atomic
+    increments but no span-tree bookkeeping.  An already-installed
+    registry is kept (and returned) rather than replaced.
+    """
+    global _registry
+    with _install_lock:
+        if _registry is None:
+            _registry = (
+                registry if registry is not None else MetricsRegistry()
+            )
+        return _registry
 
 
 def disable() -> None:

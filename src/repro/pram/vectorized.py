@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.equations import GIRSystem, OrdinaryIRSystem
+from ..engine import EngineOptions
 from ..engine import solve as engine_solve
 from .instructions import DEFAULT_COST_MODEL, CostModel
 
@@ -138,7 +139,9 @@ def profile_ordinary(
     questions for any processor count without re-running (scheduling
     is pure arithmetic over the recorded active counts).
     """
-    solved = engine_solve(system, backend="numpy", collect_stats=True)
+    solved = engine_solve(
+        system, collect_stats=True, options=EngineOptions(backend="numpy")
+    )
     result, stats = solved.values, solved.stats
     assert stats is not None
     profile = OrdinaryCostProfile(
@@ -251,9 +254,9 @@ def profile_gir(
     # not the ordinary-dispatch fast path
     solved = engine_solve(
         system,
-        backend="numpy",
         collect_stats=True,
         allow_ordinary_dispatch=False,
+        options=EngineOptions(backend="numpy"),
     )
     result, stats = solved.values, solved.stats
     assert stats is not None

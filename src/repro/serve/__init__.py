@@ -1,0 +1,47 @@
+"""``repro.serve``: the asyncio multi-tenant serving front end.
+
+The network-facing owner of the engine's serving machinery -- the
+piece that turns pinned :class:`~repro.engine.session.Session`\\ s,
+batched sweeps, the failover ladder and the obs histograms into an
+HTTP/JSON service (stdlib only; no web framework).
+
+Core mechanism: **request coalescing**.  Concurrent solves that share
+a problem fingerprint and an :class:`~repro.engine.EngineOptions`
+configuration land in a short gather window, dedup to their distinct
+payloads, and run as one stacked
+:meth:`~repro.engine.session.Session.solve_batch` sweep -- the
+paper's ``(k, n)`` batched evaluation applied to live traffic -- then
+fan back out to per-request futures.  See
+:mod:`repro.serve.coalescer` for the mechanism,
+:mod:`repro.serve.server` for routes + admission control, and
+docs/SERVING.md for deployment and the metrics runbook.
+
+Quickstart::
+
+    from repro.serve import RecurrenceServer, ServeConfig
+
+    server = RecurrenceServer(ServeConfig(port=8377, window_ms=2.0))
+    server.register(system)             # pin plan + backend now
+    asyncio.run(server.serve_forever())
+
+or from the shell: ``python -m repro serve --problem system.json``.
+"""
+
+from .client import ServeClient, ServeError, ServeRejected
+from .coalescer import CoalesceLane, payload_key, split_serve_policy
+from .protocol import HttpError, HttpRequest
+from .server import RecurrenceServer, ServeConfig, run
+
+__all__ = [
+    "CoalesceLane",
+    "HttpError",
+    "HttpRequest",
+    "RecurrenceServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServeRejected",
+    "payload_key",
+    "run",
+    "split_serve_policy",
+]

@@ -1,0 +1,164 @@
+"""A small blocking client for :mod:`repro.serve`.
+
+Thin ``http.client`` wrapper with one keep-alive connection per
+instance -- thread-per-client load generators (``bench_serve.py``)
+and tests give each thread its own :class:`ServeClient`.  Server-side
+rejections (quota / backpressure / deadline) raise
+:class:`ServeRejected` carrying the HTTP status and structured
+reason so closed-loop clients can back off.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ServeClient", "ServeError", "ServeRejected"]
+
+
+class ServeError(Exception):
+    """A non-2xx response that is not an admission rejection."""
+
+    def __init__(self, status: int, doc: Dict[str, Any]):
+        super().__init__(f"HTTP {status}: {doc.get('error', doc)}")
+        self.status = status
+        self.doc = doc
+
+
+class ServeRejected(ServeError):
+    """Admission control said no (quota / backpressure / deadline /
+    timeout); ``reason`` carries which."""
+
+    @property
+    def reason(self) -> str:
+        return str(self.doc.get("reason", "rejected"))
+
+
+class ServeClient:
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        doc: Optional[Dict[str, Any]] = None,
+        *,
+        raw: Optional[bytes] = None,
+    ) -> Any:
+        if raw is not None:
+            body: Optional[bytes] = raw
+        else:
+            body = json.dumps(doc).encode("utf-8") if doc is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                # Stale keep-alive connection: reconnect once.
+                self.close()
+                if attempt:
+                    raise
+        if response.getheader("Content-Type", "").startswith(
+            "application/json"
+        ):
+            parsed = json.loads(payload) if payload else {}
+        else:
+            parsed = payload.decode("utf-8", "replace")
+        if response.status in (408, 429, 503, 504):
+            raise ServeRejected(response.status, parsed)
+        if response.status >= 400:
+            raise ServeError(
+                response.status,
+                parsed if isinstance(parsed, dict) else {"error": parsed},
+            )
+        return parsed
+
+    # -- API ---------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics")
+
+    def register(
+        self,
+        system_doc: Dict[str, Any],
+        *,
+        options: Optional[Dict[str, Any]] = None,
+        window_ms: Optional[float] = None,
+        max_batch: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"system": system_doc}
+        if options is not None:
+            doc["options"] = options
+        if window_ms is not None:
+            doc["window_ms"] = window_ms
+        if max_batch is not None:
+            doc["max_batch"] = max_batch
+        return self._request("POST", "/v1/problems", doc)
+
+    def solve(
+        self,
+        fingerprint: str,
+        *,
+        values: Optional[Sequence[Any]] = None,
+        patch: Optional[Dict[int, Any]] = None,
+        tenant: str = "anonymous",
+        request_id: Optional[str] = None,
+        reply: str = "values",
+        deadline_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "fingerprint": fingerprint,
+            "tenant": tenant,
+            "reply": reply,
+        }
+        if values is not None:
+            doc["values"] = list(values)
+        if patch is not None:
+            doc["patch"] = {str(k): v for k, v in patch.items()}
+        if request_id is not None:
+            doc["request_id"] = request_id
+        if deadline_s is not None:
+            doc["deadline_s"] = deadline_s
+        return self._request("POST", "/v1/solve", doc)
+
+    def solve_values(self, fingerprint: str, **kwargs) -> List[Any]:
+        return self.solve(fingerprint, **kwargs)["values"]

@@ -1,0 +1,149 @@
+"""Minimal HTTP/1.1 framing for :mod:`repro.serve`.
+
+The serving front end speaks plain HTTP/JSON so any client stack
+(curl, load generators, the bundled :class:`~repro.serve.client.
+ServeClient`) can talk to it, but the repo takes no web-framework
+dependency: requests are parsed straight off ``asyncio`` streams with
+the small subset of HTTP/1.1 the service needs -- request line,
+headers, ``Content-Length`` bodies, keep-alive.  Anything outside that
+subset (chunked uploads, continuation lines, HTTP/2) is rejected with
+a clean 4xx rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "read_request",
+    "response_bytes",
+    "json_response_bytes",
+]
+
+#: Largest accepted request body -- a (64k cells x ~20 bytes) JSON
+#: value vector fits with room; anything bigger is a client bug.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A malformed or oversized request; carries the status to send."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+    keep_alive: bool = True
+
+    def json(self) -> Any:
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+
+async def read_request(reader) -> Optional[HttpRequest]:
+    """Parse one request off the stream; ``None`` on a clean EOF
+    (client closed a keep-alive connection between requests)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except Exception as exc:  # IncompleteReadError, LimitOverrun, reset
+        if getattr(exc, "partial", b"") in (b"", None):
+            return None
+        raise HttpError(400, "truncated or oversized request head") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    length = 0
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "invalid Content-Length") from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body of {length} bytes exceeds limit")
+    body = await reader.readexactly(length) if length else b""
+
+    split = urlsplit(target)
+    connection = headers.get("connection", "").lower()
+    keep_alive = connection != "close" and version != "HTTP/1.0"
+    return HttpRequest(
+        method=method.upper(),
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    head.extend(f"{k}: {v}" for k, v in extra_headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response_bytes(
+    status: int, doc: Any, *, keep_alive: bool = True
+) -> bytes:
+    body = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    return response_bytes(status, body, keep_alive=keep_alive)

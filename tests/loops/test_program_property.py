@@ -7,6 +7,8 @@ sequential interpreter -- including when individual statements fall
 back.
 """
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -101,6 +103,13 @@ def test_random_programs_match_interpreter(kinds, seed):
     reference = evaluate_program(program, env)
     for name in env:
         for a, b in zip(result.env[name], reference[name]):
+            if not math.isfinite(b):
+                # chained degree2 statements can overflow; once the
+                # reference walk leaves the finite range, evaluation
+                # order alone decides inf vs nan — only require that
+                # both paths overflowed.
+                assert not math.isfinite(a), (name, kinds)
+                continue
             assert a == pytest.approx(b, rel=1e-6, abs=1e-9), (name, kinds)
     # degree2 statements (and only those) must have fallen back
     for kind, step in zip(kinds, result.steps):

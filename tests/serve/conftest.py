@@ -1,0 +1,62 @@
+"""Shared harness: run a RecurrenceServer on a background event loop."""
+
+import asyncio
+import contextlib
+import threading
+
+import pytest
+
+from repro import obs
+from repro.serve import RecurrenceServer, ServeConfig
+
+
+class RunningServer:
+    def __init__(self, server: RecurrenceServer, host: str, port: int):
+        self.server = server
+        self.host = host
+        self.port = port
+
+
+@contextlib.contextmanager
+def running_server(config: ServeConfig = None, *, register=()):
+    """Start a server (port 0) on a daemon-thread event loop; yields
+    the server plus its bound host/port.
+
+    ``register`` is a list of ``(system, options)`` pairs pinned
+    before the listener opens.  ``asyncio.start_server`` serves as
+    soon as it returns, so no ``serve_forever`` task is needed.
+    """
+    obs_was_enabled = obs.is_enabled()
+    server = RecurrenceServer(config or ServeConfig(port=0))
+    for system, options in register:
+        server.register(system, options=options)
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=_loop_main, args=(loop,), daemon=True)
+    thread.start()
+    host, port = asyncio.run_coroutine_threadsafe(
+        server.start(), loop
+    ).result(timeout=10)
+    try:
+        yield RunningServer(server, host, port)
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(
+            timeout=10
+        )
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+        # RecurrenceServer.__init__ installs a process-wide metrics
+        # registry; leave global observation the way we found it so
+        # later test modules see a clean slate.
+        if not obs_was_enabled:
+            obs.disable()
+
+
+def _loop_main(loop):
+    asyncio.set_event_loop(loop)
+    loop.run_forever()
+
+
+@pytest.fixture
+def serve_factory():
+    return running_server
